@@ -1,0 +1,96 @@
+// Command phasetune-compare regenerates Figure 6: every exploration
+// strategy replayed on every scenario with the paper's resampling
+// methodology (30 repetitions of 127 iterations by default), reporting
+// the mean total time and the acceleration versus always using all nodes.
+//
+// Usage:
+//
+//	phasetune-compare                      # all 16 scenarios, paper sizes
+//	phasetune-compare -scenarios b,i,p
+//	phasetune-compare -tiles 32 -reps 10   # reduced, faster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+func main() {
+	scenarios := flag.String("scenarios", "", "comma-separated scenario keys (default: all)")
+	tiles := flag.Int("tiles", 0, "tile-count override (0 = paper size)")
+	iters := flag.Int("iters", harness.DefaultIterations, "iterations per repetition")
+	reps := flag.Int("reps", harness.DefaultReps, "repetitions")
+	seed := flag.Int64("seed", 42, "random seed")
+	curveFile := flag.String("curve", "", "run on a saved curve JSON instead of simulating")
+	regret := flag.Bool("regret", false, "also print cumulative-regret checkpoints")
+	flag.Parse()
+
+	if *curveFile != "" {
+		curve, err := harness.LoadCurve(*curveFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		cmp, err := harness.Compare(curve, *iters, *reps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(cmp.Render())
+		return
+	}
+
+	var keys []string
+	if *scenarios != "" {
+		keys = strings.Split(*scenarios, ",")
+	} else {
+		for _, sc := range platform.Scenarios() {
+			keys = append(keys, sc.Key)
+		}
+	}
+
+	for _, key := range keys {
+		sc, ok := platform.ScenarioByKey(strings.TrimSpace(key))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", key)
+			os.Exit(1)
+		}
+		start := time.Now()
+		curve, err := harness.ComputeCurve(sc, harness.CurveOptions{
+			Sim: harness.SimOptions{Tiles: *tiles},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		cmp, err := harness.Compare(curve, *iters, *reps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %v elapsed ---\n", time.Since(start).Round(time.Millisecond))
+		fmt.Print(cmp.Render())
+		if *regret {
+			curves, err := harness.RegretCurves(curve, *iters, min(*reps, 10), *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Print(harness.RenderRegret(curves))
+		}
+		fmt.Println()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

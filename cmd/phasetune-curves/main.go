@@ -1,0 +1,85 @@
+// Command phasetune-curves regenerates the duration-curve figures:
+// Figure 2 (three representative scenarios), Figure 5 (all 16 scenarios)
+// and Figure 8 (the 2-D generation x factorization sweep).
+//
+// Usage:
+//
+//	phasetune-curves -fig 2            # scenarios c, i, p
+//	phasetune-curves -fig 5            # all 16 scenarios
+//	phasetune-curves -fig 8            # 2-D sweep of scenario f
+//	phasetune-curves -scenarios b,i    # explicit scenario keys
+//	phasetune-curves -tiles 32         # reduced tile count (faster)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+func main() {
+	fig := flag.Int("fig", 5, "figure to regenerate: 2, 5 or 8")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario keys (overrides -fig)")
+	tiles := flag.Int("tiles", 0, "tile-count override (0 = paper size)")
+	exact := flag.Bool("exact", false, "use the exact fluid network model")
+	stride := flag.Int("stride", 2, "fig 8: node-count stride")
+	saveDir := flag.String("save-dir", "", "directory to write curve JSON files (reusable by the other tools)")
+	flag.Parse()
+
+	opts := harness.CurveOptions{Sim: harness.SimOptions{Tiles: *tiles, Exact: *exact}}
+
+	var keys []string
+	switch {
+	case *scenarios != "":
+		keys = strings.Split(*scenarios, ",")
+	case *fig == 2:
+		keys = []string{"c", "i", "p"}
+	case *fig == 8:
+		sc, _ := platform.ScenarioByKey("f")
+		start := time.Now()
+		grid, err := harness.ComputeGrid2D(sc, harness.Grid2DOptions{
+			Sim: opts.Sim, Stride: *stride,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Figure 8 (%v elapsed)\n", time.Since(start).Round(time.Second))
+		fmt.Print(grid.Render())
+		return
+	default:
+		for _, sc := range platform.Scenarios() {
+			keys = append(keys, sc.Key)
+		}
+	}
+
+	for _, key := range keys {
+		sc, ok := platform.ScenarioByKey(strings.TrimSpace(key))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", key)
+			os.Exit(1)
+		}
+		start := time.Now()
+		c, err := harness.ComputeCurve(sc, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- computed in %v ---\n", time.Since(start).Round(time.Millisecond))
+		fmt.Print(c.Render())
+		fmt.Println()
+		if *saveDir != "" {
+			path := fmt.Sprintf("%s/curve_%s.json", *saveDir, sc.Key)
+			if err := harness.SaveCurve(c, path); err != nil {
+				fmt.Fprintln(os.Stderr, "save error:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("saved %s\n\n", path)
+		}
+	}
+}

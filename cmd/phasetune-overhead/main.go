@@ -1,0 +1,48 @@
+// Command phasetune-overhead regenerates Figure 7: the wall-clock
+// computational overhead of the GP-discontinuous strategy per application
+// iteration, measured by running the strategy online (the Go GP stands in
+// for DiceKriging).
+//
+// Usage:
+//
+//	phasetune-overhead -scenario b -reps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+func main() {
+	scenario := flag.String("scenario", "b", "scenario key (the paper uses b)")
+	iters := flag.Int("iters", harness.DefaultIterations, "iterations")
+	reps := flag.Int("reps", 10, "repetitions")
+	tiles := flag.Int("tiles", 0, "tile-count override (0 = paper size)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	sc, ok := platform.ScenarioByKey(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	curve, err := harness.ComputeCurve(sc, harness.CurveOptions{
+		Sim: harness.SimOptions{Tiles: *tiles},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	res := harness.MeasureOverhead(curve, *iters, *reps, *seed)
+	fmt.Printf("Figure 7 — GP overhead per iteration on (%s) %s (%d reps)\n",
+		sc.Key, sc.Name, res.Reps)
+	fmt.Printf("%6s %14s\n", "iter", "overhead [ms]")
+	for i, v := range res.PerIteration {
+		fmt.Printf("%6d %14.3f\n", i+1, v*1000)
+	}
+	fmt.Printf("max single-iteration overhead: %.3f ms\n", res.Max*1000)
+}

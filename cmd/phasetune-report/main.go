@@ -1,0 +1,53 @@
+// Command phasetune-report prints the paper's tables and the Figure 3
+// Gaussian-Process demonstration.
+//
+// Usage:
+//
+//	phasetune-report table1
+//	phasetune-report table2
+//	phasetune-report fig3
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"phasetune/internal/harness"
+)
+
+func main() {
+	what := "table2"
+	if len(os.Args) > 1 {
+		what = os.Args[1]
+	}
+	switch what {
+	case "table1":
+		fmt.Print(harness.RenderTableI())
+	case "table2":
+		fmt.Print(harness.RenderTableII())
+	case "fig3":
+		grid, xs, ys, err := harness.Fig3Demo(7)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Figure 3 — GP fit with eight measurements over cos")
+		fmt.Println("measurements:")
+		for i := range xs {
+			fmt.Printf("  x=%7.4f  y=%8.4f\n", xs[i], ys[i])
+		}
+		fmt.Printf("%8s %9s %9s %9s %9s\n", "x", "cos(x)", "mean", "lo95", "hi95")
+		for i, p := range grid {
+			if i%5 != 0 {
+				continue
+			}
+			fmt.Printf("%8.4f %9.4f %9.4f %9.4f %9.4f\n",
+				p.X, p.Truth, p.Mean, p.Lo, p.Hi)
+		}
+		fmt.Printf("95%% band contains the true function at %.0f%% of grid points\n",
+			100*harness.CoverageOfFig3(grid))
+	default:
+		fmt.Fprintf(os.Stderr, "usage: phasetune-report [table1|table2|fig3]\n")
+		os.Exit(2)
+	}
+}

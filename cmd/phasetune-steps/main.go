@@ -1,0 +1,68 @@
+// Command phasetune-steps regenerates Figure 4: the step-by-step state of
+// the GP strategies (posterior mean and uncertainty per action, selection
+// counts, next action) at chosen iterations.
+//
+// Usage:
+//
+//	phasetune-steps -scenario b -variant gp-ucb
+//	phasetune-steps -scenario i -variant gp-discontinuous -at 8,20,100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phasetune/internal/core"
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+func main() {
+	scenario := flag.String("scenario", "b", "scenario key")
+	variant := flag.String("variant", "gp-discontinuous", "gp-ucb or gp-discontinuous")
+	at := flag.String("at", "5,8,20,100", "iterations to snapshot")
+	tiles := flag.Int("tiles", 0, "tile-count override (0 = paper size)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	sc, ok := platform.ScenarioByKey(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	var v core.GPVariant
+	switch *variant {
+	case "gp-ucb":
+		v = core.VariantGPUCB
+	case "gp-discontinuous":
+		v = core.VariantDiscontinuous
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(1)
+	}
+	var iters []int
+	for _, tok := range strings.Split(*at, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad iteration %q\n", tok)
+			os.Exit(1)
+		}
+		iters = append(iters, n)
+	}
+
+	curve, err := harness.ComputeCurve(sc, harness.CurveOptions{
+		Sim: harness.SimOptions{Tiles: *tiles},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Figure 4 — %s on (%s) %s\n\n", *variant, sc.Key, sc.Name)
+	for _, snap := range harness.StepByStep(curve, v, iters, *seed) {
+		fmt.Print(harness.RenderSnapshot(curve, snap))
+		fmt.Println()
+	}
+}

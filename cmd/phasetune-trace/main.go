@@ -1,0 +1,94 @@
+// Command phasetune-trace regenerates the paper's Figure 1: three
+// application iterations traced over time, showing how the generation
+// (g) and factorization (#) phases occupy the nodes under different
+// configurations — few nodes for both phases, all nodes for both, and
+// all nodes for generation with only the fast subset factorizing.
+//
+// Usage:
+//
+//	phasetune-trace -scenario b -tiles 48 -width 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+	"phasetune/internal/trace"
+)
+
+func main() {
+	scenario := flag.String("scenario", "b", "scenario key")
+	tiles := flag.Int("tiles", 48, "tile count (reduced for readability)")
+	width := flag.Int("width", 100, "gantt width in characters")
+	stats := flag.Bool("stats", false, "print per-node utilization tables")
+	flag.Parse()
+
+	sc, ok := platform.ScenarioByKey(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	n := sc.Platform.N()
+	fast := 0
+	for _, g := range sc.Platform.Groups {
+		if g.Class.NumGPUs > 0 {
+			fast += g.Count
+		}
+	}
+	if fast == 0 || fast == n {
+		fast = (n + 1) / 2
+	}
+
+	// Find the best factorization count at this problem size for the
+	// third (mixed) configuration, as the paper's Figure 1 does.
+	bestFact, bestMk := n, 0.0
+	for k := sc.MinNodes; k <= n; k++ {
+		mk, err := harness.SimulateIteration(sc, k, harness.SimOptions{Tiles: *tiles})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if k == sc.MinNodes || mk < bestMk {
+			bestFact, bestMk = k, mk
+		}
+	}
+
+	type config struct {
+		label    string
+		genNodes int
+		factN    int
+	}
+	configs := []config{
+		{fmt.Sprintf("iteration 1: %d nodes for both phases", fast), fast, fast},
+		{fmt.Sprintf("iteration 2: all %d nodes for both phases", n), 0, n},
+		{fmt.Sprintf("iteration 3: all %d generating, %d fastest factorizing", n, bestFact), 0, bestFact},
+	}
+	fmt.Printf("Figure 1 — (%s) %s, tiles=%d  (g=generation, #=factorization, .=other)\n\n",
+		sc.Key, sc.Name, *tiles)
+	for _, cfg := range configs {
+		rec := trace.NewRecorder()
+		mk, err := harness.SimulateIteration(sc, cfg.factN, harness.SimOptions{
+			Tiles: *tiles, GenNodes: cfg.genNodes, Observer: rec,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s — makespan %.2f s\n", cfg.label, mk)
+		fmt.Print(rec.Gantt(n, *width))
+		if s, e, ok := rec.PhaseSpan("gen"); ok {
+			fmt.Printf("generation span %.2f..%.2f s", s, e)
+		}
+		if s, e, ok := rec.PhaseSpan("gemm"); ok {
+			fmt.Printf("; update span %.2f..%.2f s", s, e)
+		}
+		fmt.Print("\n\n")
+		if *stats {
+			fmt.Print(trace.Analyze(rec.Spans()).String())
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command phasetune-tune is the end-user entry point: point it at one of
+// the paper's scenarios (-scenario) or at your own platform description
+// (-config cluster.json), pick a strategy, and it runs the online tuning
+// loop against the simulator, printing the node-count trajectory, the
+// converged choice and the time saved versus always using all nodes.
+//
+//	phasetune-tune -scenario i -strategy GP-discontinuous -iters 60
+//	phasetune-tune -config mycluster.json -tiles 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasetune/internal/core"
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "paper scenario key (a..p)")
+	config := flag.String("config", "", "platform JSON file (see README)")
+	strategy := flag.String("strategy", "GP-discontinuous",
+		"DC | Right-Left | Brent | UCB | UCB-struct | GP-UCB | GP-discontinuous | SANN | SPSA")
+	iters := flag.Int("iters", 60, "tuning iterations")
+	tiles := flag.Int("tiles", 0, "tile-count override (0 = workload size)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	var sc platform.Scenario
+	switch {
+	case *config != "":
+		var err error
+		sc, err = platform.LoadConfig(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *scenario != "":
+		var ok bool
+		sc, ok = platform.ScenarioByKey(*scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -scenario or -config")
+		os.Exit(2)
+	}
+
+	opts := harness.SimOptions{Tiles: *tiles}
+	lp, err := harness.LPBound(sc, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	ctx := core.Context{
+		N:          sc.Platform.N(),
+		Min:        sc.MinNodes,
+		GroupSizes: sc.Platform.GroupSizes(),
+		LP:         lp,
+	}
+	s, err := harness.NewStrategy(*strategy, ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("tuning %s on %s (%d nodes, groups %v) with %s\n\n",
+		sc.Workload.Name, sc.Name, sc.Platform.N(), sc.Platform.GroupSizes(),
+		s.Name())
+	res, err := harness.RunOnline(sc, s, *iters, opts, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	counts := map[int]int{}
+	for i, a := range res.Actions {
+		if i < 10 || i%10 == 0 || i == len(res.Actions)-1 {
+			fmt.Printf("  iter %3d: %3d nodes -> %7.2f s\n", i+1, a, res.Durations[i])
+		}
+		if i >= 3*len(res.Actions)/4 {
+			counts[a]++
+		}
+	}
+	best, bc := sc.Platform.N(), -1
+	for a, c := range counts {
+		if c > bc {
+			best, bc = a, c
+		}
+	}
+	allNodes, err := harness.SimulateIteration(sc, sc.Platform.N(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	baseline := float64(*iters) * allNodes
+	fmt.Printf("\nconverged choice: %d of %d nodes\n", best, sc.Platform.N())
+	fmt.Printf("total: %.1f s vs always-all-nodes %.1f s (%.1f%% saved)\n",
+		res.Total, baseline, 100*(baseline-res.Total)/baseline)
+}

@@ -1,0 +1,59 @@
+package phasetune_test
+
+import (
+	"fmt"
+
+	"phasetune"
+)
+
+// ExampleNewStrategy shows the online protocol on a synthetic problem:
+// the application asks the tuner how many nodes to use, runs an
+// iteration, and reports the duration back.
+func ExampleNewStrategy() {
+	ctx := phasetune.Context{
+		N:          14,
+		Min:        2,
+		GroupSizes: []int{2, 6, 6},
+		LP:         func(n int) float64 { return 100 / float64(n) },
+	}
+	tuner, err := phasetune.NewStrategy("GP-discontinuous", ctx)
+	if err != nil {
+		panic(err)
+	}
+	// A stand-in for the application's measured iteration: convex with
+	// the usual 1/x + x shape, optimum at 9 nodes.
+	iterationDuration := func(n int) float64 {
+		return 100/float64(n) + 1.2*float64(n)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 60; i++ {
+		n := tuner.Next()
+		tuner.Observe(n, iterationDuration(n))
+		if i >= 45 {
+			counts[n]++
+		}
+	}
+	best, bc := 0, 0
+	for n, c := range counts {
+		if c > bc {
+			best, bc = n, c
+		}
+	}
+	// The flat basin spans 7..11; the tuner settles inside it.
+	if best >= 7 && best <= 11 {
+		fmt.Println("converged inside the optimal basin")
+	}
+	// Output:
+	// converged inside the optimal basin
+}
+
+// ExampleScenarios enumerates the paper's evaluation scenarios.
+func ExampleScenarios() {
+	for _, sc := range phasetune.Scenarios()[:3] {
+		fmt.Printf("(%s) %s: %d nodes\n", sc.Key, sc.Name, sc.Platform.N())
+	}
+	// Output:
+	// (a) G5K 2L-4M-4S 101: 10 nodes
+	// (b) G5K 2L-6M-6S 101: 14 nodes
+	// (c) SD 10L-10S 128: 20 nodes
+}

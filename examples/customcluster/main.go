@@ -1,0 +1,58 @@
+// customcluster shows how a downstream user applies the library to their
+// own machines: define node classes and a network, build a platform,
+// produce the duration curve with the simulator, and compare tuning
+// strategies on it — answering "how many of my nodes should the heavy
+// phase use, and which tuner finds that fastest?".
+//
+//	go run ./examples/customcluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+	"phasetune/internal/simnet"
+)
+
+func main() {
+	// A private cluster: 4 GPU nodes, 12 CPU nodes, 25 GbE.
+	gpuNode := &platform.NodeClass{
+		Site: platform.G5K, Category: platform.Large, Machine: "gpu-box",
+		CPU: "2x EPYC 7302", GPU: "2x A30",
+		CPUSpeed: 1100, GPUSpeed: 2500, NumGPUs: 2,
+	}
+	cpuNode := &platform.NodeClass{
+		Site: platform.G5K, Category: platform.Small, Machine: "cpu-box",
+		CPU: "2x EPYC 7302", CPUSpeed: 1100,
+	}
+	net := simnet.Topology{
+		NICBandwidth:      3.1e9, // 25 GbE
+		BackboneBandwidth: 2.5e10,
+		Latency:           3e-5,
+	}
+	plat := platform.Build("my-cluster", net,
+		platform.GroupSpec{Class: gpuNode, Count: 4},
+		platform.GroupSpec{Class: cpuNode, Count: 12})
+
+	sc := platform.Scenario{
+		Key: "custom", Name: "my-cluster 4G-12C",
+		Platform: plat, Workload: platform.W101, MinNodes: 2,
+	}
+
+	curve, err := harness.ComputeCurve(sc, harness.CurveOptions{
+		Sim: harness.SimOptions{Tiles: 48},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(curve.Render())
+	fmt.Println()
+
+	cmp, err := harness.Compare(curve, 60, 10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cmp.Render())
+}

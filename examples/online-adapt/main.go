@@ -1,0 +1,59 @@
+// online-adapt runs the closed-loop deployment mode: the strategy sits in
+// the application's main loop and every iteration is freshly "executed"
+// (simulated) at the node count it chose — no precomputed pools. This is
+// the paper's Section VI-E setting, where the GP runs online inside
+// ExaGeoStat and controls the number of nodes it uses.
+//
+//	go run ./examples/online-adapt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasetune/internal/core"
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+func main() {
+	sc, ok := platform.ScenarioByKey("i") // G5K 6L-30S: limited network
+	if !ok {
+		log.Fatal("scenario missing")
+	}
+	fmt.Printf("scenario: (%s) %s — %d nodes\n", sc.Key, sc.Name, sc.Platform.N())
+
+	opts := harness.SimOptions{Tiles: 48}
+	lp, err := harness.LPBound(sc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := core.Context{
+		N:          sc.Platform.N(),
+		Min:        sc.MinNodes,
+		GroupSizes: sc.Platform.GroupSizes(),
+		LP:         lp,
+	}
+	tuner := core.NewGPDiscontinuous(ctx, core.GPOptions{})
+
+	res, err := harness.RunOnline(sc, tuner, 50, opts, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n iter  nodes  duration[s]   strategy-cost[ms]")
+	for i := range res.Actions {
+		cost := ""
+		if i == len(res.Actions)-1 {
+			cost = fmt.Sprintf("%8.2f", tuner.LastFitDuration().Seconds()*1000)
+		}
+		if i < 10 || i%10 == 0 || i == len(res.Actions)-1 {
+			fmt.Printf("%5d %6d %12.2f   %s\n", i+1, res.Actions[i], res.Durations[i], cost)
+		}
+	}
+	allNodes, err := harness.SimulateIteration(sc, sc.Platform.N(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal: %.1f s over 50 iterations; always-all-nodes ~%.1f s\n",
+		res.Total, 50*allNodes)
+}

@@ -1,0 +1,51 @@
+// perfmodel-calibrate demonstrates the runtime's performance-model
+// substrate (Section II of the paper: StarPU schedules with per-kernel
+// duration models and handles outlier tasks): execute one traced
+// iteration, calibrate per-(kernel, unit) models from the trace, predict
+// kernel durations, and show outlier detection.
+//
+//	go run ./examples/perfmodel-calibrate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+	"phasetune/internal/trace"
+)
+
+func main() {
+	sc, ok := platform.ScenarioByKey("b")
+	if !ok {
+		log.Fatal("scenario missing")
+	}
+	rec := trace.NewRecorder()
+	mk, err := harness.SimulateIteration(sc, 8, harness.SimOptions{
+		Tiles: 48, Observer: rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced one iteration of (%s) %s: %d task executions, %.2f s\n\n",
+		sc.Key, sc.Name, len(rec.Spans()), mk)
+
+	model := trace.CalibrateModel(rec.Spans()) // per-worker, as StarPU does
+	flops := 2 * 952.0 * 952 * 952 * 1e-9      // one gemm tile in Gflop
+	fmt.Println("per-worker gemm models (first workers of each kind):")
+	for _, unit := range []string{"n0.gpu0", "n2.gpu0", "n0.cpu0"} {
+		if est, ok := model.Estimate("gemm", unit, flops); ok {
+			fmt.Printf("  %-8s %8.2f ms  (%d observations)\n",
+				unit, est*1000, model.Observations("gemm", unit))
+		}
+	}
+
+	// Outlier handling: a task 10x slower than the model (e.g. a
+	// descheduled worker) is flagged and excluded from the model.
+	if est, ok := model.Estimate("gemm", "n0.gpu0", flops); ok {
+		slow := est * 10
+		fmt.Printf("\na %0.2f ms gemm observation on n0.gpu0 would be an outlier: %v\n",
+			slow*1000, model.IsOutlier("gemm", "n0.gpu0", flops, slow))
+	}
+}

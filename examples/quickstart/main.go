@@ -1,0 +1,58 @@
+// Quickstart: tune the number of factorization nodes of a multi-phase
+// application online with the GP-discontinuous strategy.
+//
+// The example takes one of the paper's scenarios, builds its iteration
+// duration profile with the bundled simulator, then lets the strategy
+// drive 40 application iterations — exactly how the method would sit
+// inside a real application's main loop.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasetune"
+)
+
+func main() {
+	// A heterogeneous platform: 2 large + 6 medium + 6 small G5K nodes.
+	sc, ok := phasetune.ScenarioByKey("b")
+	if !ok {
+		log.Fatal("scenario b missing")
+	}
+	fmt.Printf("scenario: %s (%d nodes)\n", sc.Name, sc.Platform.N())
+
+	// Simulate the application once per feasible node count (a reduced
+	// tile count keeps the quickstart snappy; drop Tiles for paper size).
+	curve, err := phasetune.ComputeCurve(sc, phasetune.CurveOptions{
+		Sim: phasetune.SimOptions{Tiles: 48},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, bestTime := curve.Best()
+	fmt.Printf("ground truth: best = %d nodes (%.2f s), all nodes = %.2f s\n\n",
+		best, bestTime, curve.AllNodes())
+
+	// The strategy only sees what a real application would see: its own
+	// iteration durations.
+	tuner := phasetune.NewGPDiscontinuous(curve.Context(), phasetune.GPOptions{})
+	pool := curve.Pool(0.5, 30, 1) // noisy measurements around the truth
+	rng := phasetune.NewRNG(7)
+
+	total := 0.0
+	for iter := 1; iter <= 40; iter++ {
+		n := tuner.Next()
+		duration := pool.Draw(n, rng) // stands in for one real iteration
+		tuner.Observe(n, duration)
+		total += duration
+		if iter <= 8 || iter%10 == 0 {
+			fmt.Printf("iteration %3d: %2d nodes -> %6.2f s\n", iter, n, duration)
+		}
+	}
+	fmt.Printf("\ntotal application time: %.1f s "+
+		"(always-all-nodes would be ~%.1f s)\n",
+		total, 40*curve.AllNodes())
+}

@@ -1,0 +1,52 @@
+// traceviz reproduces the narrative of the paper's Figure 1 as an ASCII
+// Gantt chart: the same application iteration under three node
+// configurations, showing the generation phase (g), the factorization
+// (#), the small closing phases (.) and idle time — and why restricting
+// the factorization to the fast nodes wins.
+//
+//	go run ./examples/traceviz
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+	"phasetune/internal/trace"
+)
+
+func main() {
+	sc, ok := platform.ScenarioByKey("b") // 2L + 6M + 6S on G5K
+	if !ok {
+		log.Fatal("scenario missing")
+	}
+	run := func(label string, genNodes, factNodes int) float64 {
+		rec := trace.NewRecorder()
+		mk, err := harness.SimulateIteration(sc, factNodes, harness.SimOptions{
+			Tiles: 40, GenNodes: genNodes, Observer: rec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — makespan %.2f s\n", label, mk)
+		fmt.Print(rec.Gantt(sc.Platform.N(), 96))
+		fmt.Println()
+		return mk
+	}
+	fmt.Printf("(%s) %s — g=generation  #=factorization  .=other  (blank=idle)\n\n",
+		sc.Key, sc.Name)
+	m1 := run("iteration 1: 8 nodes for both phases", 8, 8)
+	m2 := run("iteration 2: all 14 nodes for both phases", 0, 14)
+	m3 := run("iteration 3: 14 generating, 7 fastest factorizing", 0, 7)
+	fmt.Printf("makespans: %.2f / %.2f / %.2f s\n", m1, m2, m3)
+	switch {
+	case m3 < m1 && m3 < m2:
+		fmt.Println("the mixed configuration (all generating, fast subset " +
+			"factorizing) wins — the paper's Figure 1 narrative")
+	case m1 < m2:
+		fmt.Println("the small homogeneous subset wins at this problem size")
+	default:
+		fmt.Println("using all nodes wins at this problem size")
+	}
+}

@@ -1,0 +1,97 @@
+// Package bandit implements the multi-armed-bandit comparators of
+// Section IV-C: the classical UCB1 policy over every feasible action and
+// the structured variant (UCB-struct) restricted to complete groups of
+// homogeneous machines.
+package bandit
+
+import (
+	"math"
+	"sort"
+)
+
+// UCB is an Upper-Confidence-Bound policy over a fixed, discrete set of
+// arms. Rewards here are the *negated* iteration durations, so the policy
+// maximizes reward by minimizing duration (Equation 1 of the paper).
+type UCB struct {
+	arms  []int
+	c     float64
+	t     int
+	count map[int]int
+	mean  map[int]float64
+}
+
+// NewUCB creates a policy over the given arms with exploration constant c
+// (the paper's adjustment constant; sqrt(2) is the classical choice).
+func NewUCB(arms []int, c float64) *UCB {
+	sorted := append([]int(nil), arms...)
+	sort.Ints(sorted)
+	return &UCB{
+		arms:  sorted,
+		c:     c,
+		count: make(map[int]int, len(arms)),
+		mean:  make(map[int]float64, len(arms)),
+	}
+}
+
+// Arms returns the action set (sorted ascending).
+func (u *UCB) Arms() []int { return append([]int(nil), u.arms...) }
+
+// Select returns the next arm: any arm not yet played (lowest first), and
+// otherwise argmax of mean reward + c*sqrt(ln t / N(arm)).
+func (u *UCB) Select() int {
+	for _, a := range u.arms {
+		if u.count[a] == 0 {
+			return a
+		}
+	}
+	best := u.arms[0]
+	bestScore := math.Inf(-1)
+	lt := math.Log(float64(u.t))
+	for _, a := range u.arms {
+		score := u.mean[a] + u.c*math.Sqrt(lt/float64(u.count[a]))
+		if score > bestScore {
+			best, bestScore = a, score
+		}
+	}
+	return best
+}
+
+// Observe records a reward for the arm (for durations pass -duration).
+func (u *UCB) Observe(arm int, reward float64) {
+	u.t++
+	n := u.count[arm] + 1
+	u.count[arm] = n
+	u.mean[arm] += (reward - u.mean[arm]) / float64(n)
+}
+
+// Count returns the number of times the arm was played.
+func (u *UCB) Count(arm int) int { return u.count[arm] }
+
+// MeanReward returns the empirical mean reward of the arm (0 if unplayed).
+func (u *UCB) MeanReward(arm int) float64 { return u.mean[arm] }
+
+// BestArm returns the arm with the highest empirical mean among played
+// arms, or the first arm when nothing has been played.
+func (u *UCB) BestArm() int {
+	best := u.arms[0]
+	bestMean := math.Inf(-1)
+	for _, a := range u.arms {
+		if u.count[a] > 0 && u.mean[a] > bestMean {
+			best, bestMean = a, u.mean[a]
+		}
+	}
+	return best
+}
+
+// StructArms returns the restricted action set used by UCB-struct: the
+// cumulative sizes of complete homogeneous machine groups. For groups of
+// sizes {5, 5, 5} the arms are {5, 10, 15}.
+func StructArms(groupSizes []int) []int {
+	arms := make([]int, 0, len(groupSizes))
+	total := 0
+	for _, s := range groupSizes {
+		total += s
+		arms = append(arms, total)
+	}
+	return arms
+}

@@ -1,0 +1,97 @@
+package bandit
+
+import (
+	"testing"
+
+	"phasetune/internal/stats"
+)
+
+func TestUCBPlaysEveryArmOnce(t *testing.T) {
+	u := NewUCB([]int{3, 1, 2}, 1.0)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		a := u.Select()
+		if seen[a] {
+			t.Fatalf("arm %d selected twice before all arms played", a)
+		}
+		seen[a] = true
+		u.Observe(a, -1)
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("arms covered: %v", seen)
+	}
+}
+
+func TestUCBConvergesToBestArm(t *testing.T) {
+	// Arm durations: arm 10 is best (5s), others worse.
+	dur := map[int]float64{5: 9, 10: 5, 15: 8}
+	rng := stats.NewRNG(1)
+	u := NewUCB([]int{5, 10, 15}, 2.0)
+	for i := 0; i < 400; i++ {
+		a := u.Select()
+		u.Observe(a, -(dur[a] + rng.Normal(0, 0.5)))
+	}
+	if u.BestArm() != 10 {
+		t.Fatalf("BestArm = %d, want 10", u.BestArm())
+	}
+	if u.Count(10) <= u.Count(5) || u.Count(10) <= u.Count(15) {
+		t.Fatalf("best arm underplayed: counts %d/%d/%d",
+			u.Count(5), u.Count(10), u.Count(15))
+	}
+}
+
+func TestUCBKeepsExploring(t *testing.T) {
+	// Even clearly bad arms must be revisited occasionally (no-regret
+	// behaviour the paper describes).
+	u := NewUCB([]int{1, 2}, 2.0)
+	for i := 0; i < 200; i++ {
+		a := u.Select()
+		r := -3.0
+		if a == 1 {
+			r = -1
+		}
+		u.Observe(a, r)
+	}
+	if u.Count(2) < 2 {
+		t.Fatalf("bad arm revisited only %d times", u.Count(2))
+	}
+	if u.Count(1) < 150 {
+		t.Fatalf("good arm played only %d/200 times", u.Count(1))
+	}
+}
+
+func TestUCBMeanReward(t *testing.T) {
+	u := NewUCB([]int{1}, 1)
+	u.Observe(1, -4)
+	u.Observe(1, -6)
+	if m := u.MeanReward(1); m != -5 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestUCBBestArmUnplayed(t *testing.T) {
+	u := NewUCB([]int{7, 9}, 1)
+	if u.BestArm() != 7 {
+		t.Fatalf("BestArm with no data = %d", u.BestArm())
+	}
+}
+
+func TestStructArms(t *testing.T) {
+	got := StructArms([]int{5, 5, 5})
+	want := []int{5, 10, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StructArms = %v", got)
+		}
+	}
+	if len(StructArms(nil)) != 0 {
+		t.Fatal("empty groups should give no arms")
+	}
+	got = StructArms([]int{2, 6, 15})
+	want = []int{2, 8, 23}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StructArms = %v", got)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package cholesky provides the tiled Cholesky factorization in two
+// complementary forms, mirroring the role the Chameleon library plays for
+// ExaGeoStat:
+//
+//   - a task-graph builder (BuildDAG) that submits the POTRF/TRSM/SYRK/
+//     GEMM dependency structure to the simulated task runtime, and
+//   - real numeric tile kernels plus a goroutine-parallel tiled executor
+//     (TiledCholesky) used by the actual GeoStatistics computations and
+//     as a correctness oracle for the DAG shape.
+package cholesky
+
+import (
+	"fmt"
+
+	"phasetune/internal/taskrt"
+)
+
+// Costs gives the flop counts of the four tile kernels for one tile size.
+type Costs struct {
+	POTRF float64
+	TRSM  float64
+	SYRK  float64
+	GEMM  float64
+}
+
+// KernelCosts returns the classical dense flop counts for b x b tiles,
+// in Gflop (matching the runtime's Gflop/s speeds).
+func KernelCosts(tileSize int) Costs {
+	b := float64(tileSize)
+	const g = 1e-9
+	return Costs{
+		POTRF: b * b * b / 3 * g,
+		TRSM:  b * b * b * g,
+		SYRK:  b * b * b * g,
+		GEMM:  2 * b * b * b * g,
+	}
+}
+
+// BuildDAG submits the right-looking tiled Cholesky task graph over a
+// tiles x tiles lower-triangular block matrix to the runtime.
+//
+// owner maps each tile (i, j), i >= j, to its node (owner-computes).
+// producers, when non-nil, supplies the task that produces tile (i, j)
+// — the generation phase — so that factorization overlaps generation
+// through fine-grained dependencies exactly as in the paper's Figure 1.
+// tileBytes is the size of one tile for dependency transfers.
+//
+// It returns the final POTRF task (the factorization's last panel root)
+// and the per-diagonal POTRF tasks (used by the solve/determinant phases).
+func BuildDAG(rt *taskrt.Runtime, tiles int, tileBytes float64, costs Costs,
+	owner func(i, j int) int, producers [][]*taskrt.Task) []*taskrt.Task {
+
+	// lastWriter[i][j] tracks the task whose output is the current
+	// version of tile (i, j).
+	lastWriter := make([][]*taskrt.Task, tiles)
+	for i := range lastWriter {
+		lastWriter[i] = make([]*taskrt.Task, i+1)
+		if producers != nil {
+			copy(lastWriter[i], producers[i])
+		}
+	}
+	prio := func(k, rank int) int64 { return int64(tiles-k)*4 + int64(rank) }
+
+	potrfs := make([]*taskrt.Task, tiles)
+	for k := 0; k < tiles; k++ {
+		p := rt.NewTask(fmt.Sprintf("potrf(%d)", k), "potrf",
+			costs.POTRF, owner(k, k), false, prio(k, 3))
+		rt.AddDep(p, lastWriter[k][k], tileBytes)
+		lastWriter[k][k] = p
+		potrfs[k] = p
+
+		trsms := make([]*taskrt.Task, tiles)
+		for i := k + 1; i < tiles; i++ {
+			t := rt.NewTask(fmt.Sprintf("trsm(%d,%d)", i, k), "trsm",
+				costs.TRSM, owner(i, k), false, prio(k, 2))
+			rt.AddDep(t, p, tileBytes)
+			rt.AddDep(t, lastWriter[i][k], tileBytes)
+			lastWriter[i][k] = t
+			trsms[i] = t
+		}
+		for i := k + 1; i < tiles; i++ {
+			for j := k + 1; j <= i; j++ {
+				var u *taskrt.Task
+				if i == j {
+					u = rt.NewTask(fmt.Sprintf("syrk(%d,%d)", i, k), "syrk",
+						costs.SYRK, owner(i, i), false, prio(k, 1))
+					rt.AddDep(u, trsms[i], tileBytes)
+				} else {
+					u = rt.NewTask(fmt.Sprintf("gemm(%d,%d,%d)", i, j, k), "gemm",
+						costs.GEMM, owner(i, j), false, prio(k, 0))
+					rt.AddDep(u, trsms[i], tileBytes)
+					rt.AddDep(u, trsms[j], tileBytes)
+				}
+				rt.AddDep(u, lastWriter[i][j], tileBytes)
+				lastWriter[i][j] = u
+			}
+		}
+	}
+	return potrfs
+}
+
+// TaskCount returns the number of tasks BuildDAG submits for a given tile
+// count: T potrf + T(T-1)/2 trsm + T(T-1)/2 syrk + T(T-1)(T-2)/6 gemm.
+func TaskCount(tiles int) int {
+	t := tiles
+	return t + t*(t-1)/2 + t*(t-1)/2 + t*(t-1)*(t-2)/6
+}

@@ -1,0 +1,104 @@
+package cholesky
+
+import (
+	"errors"
+	"math"
+)
+
+// Tile is a dense square tile stored row-major.
+type Tile struct {
+	B    int // side length
+	Data []float64
+}
+
+// NewTile returns a zeroed b x b tile.
+func NewTile(b int) *Tile { return &Tile{B: b, Data: make([]float64, b*b)} }
+
+// At returns element (i, j).
+func (t *Tile) At(i, j int) float64 { return t.Data[i*t.B+j] }
+
+// Set assigns element (i, j).
+func (t *Tile) Set(i, j int, v float64) { t.Data[i*t.B+j] = v }
+
+// ErrTileNotPD reports a non-positive pivot during a tile POTRF.
+var ErrTileNotPD = errors.New("cholesky: tile not positive definite")
+
+// POTRF factorizes the tile in place: A = L L^T, keeping L in the lower
+// triangle (the strict upper triangle is zeroed).
+func POTRF(a *Tile) error {
+	b := a.B
+	for j := 0; j < b; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := a.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return ErrTileNotPD
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		inv := 1 / d
+		for i := j + 1; i < b; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s*inv)
+		}
+	}
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// TRSM solves X * L^T = A in place over tile a, where l holds the lower
+// Cholesky factor of the corresponding diagonal tile: a <- a * l^-T.
+func TRSM(l, a *Tile) {
+	b := a.B
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * l.At(j, k)
+			}
+			a.Set(i, j, s/l.At(j, j))
+		}
+	}
+}
+
+// SYRK performs the symmetric rank-k update c <- c - a * a^T (full tile;
+// only the lower triangle is meaningful for diagonal tiles but keeping
+// the full product keeps GEMM and SYRK interchangeable in tests).
+func SYRK(a, c *Tile) {
+	b := c.B
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := c.At(i, j)
+			for k := 0; k < b; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// GEMM performs c <- c - a * b^T.
+func GEMM(a, bt, c *Tile) {
+	n := c.B
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bt.Data[j*n : (j+1)*n]
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += arow[k] * brow[k]
+			}
+			crow[j] -= s
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package cholesky
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mixed-precision tiled Cholesky — the extension sketched in the paper's
+// conclusion: "ExaGeoStat can run the factorization with mixed precision
+// blocks. The application could dynamically adjust the number of
+// diagonals that use each precision in a trade-off between accuracy and
+// performance."
+//
+// Tiles within `band` block-diagonals of the main diagonal keep full
+// float64 storage; tiles further out are stored in float32 precision
+// (computation stays in float64, storage is truncated after every kernel
+// that writes the tile — the storage scheme of the three-precision
+// ExaGeoStat variants).
+
+// roundToFloat32 truncates a tile's storage to float32 precision.
+func roundToFloat32(t *Tile) {
+	for i, v := range t.Data {
+		t.Data[i] = float64(float32(v))
+	}
+}
+
+// TiledCholeskyMixed factorizes m in place like TiledCholesky, storing
+// tiles with |i-j| >= band in float32 precision. band >= T is equivalent
+// to the full-precision factorization; band must be >= 1 (the diagonal
+// itself always stays in float64, as positive-definiteness hinges on it).
+func TiledCholeskyMixed(m *TiledMatrix, workers int, band int) error {
+	if band < 1 {
+		return fmt.Errorf("cholesky: mixed-precision band %d < 1", band)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	lowPrec := func(i, j int) bool { return i-j >= band }
+	// Pre-truncate the input tiles that will live in low precision.
+	for i := 0; i < m.T; i++ {
+		for j := 0; j <= i; j++ {
+			if lowPrec(i, j) {
+				roundToFloat32(m.tiles[i][j])
+			}
+		}
+	}
+
+	type ptask struct {
+		run   func() error
+		succs []*ptask
+		deps  int32
+	}
+	var tasks []*ptask
+	add := func(run func() error, deps ...*ptask) *ptask {
+		t := &ptask{run: run}
+		for _, d := range deps {
+			if d == nil {
+				continue
+			}
+			d.succs = append(d.succs, t)
+			t.deps++
+		}
+		tasks = append(tasks, t)
+		return t
+	}
+	// wrap truncates the written tile when it is low-precision.
+	wrap := func(i, j int, kernel func()) func() error {
+		return func() error {
+			kernel()
+			if lowPrec(i, j) {
+				roundToFloat32(m.tiles[i][j])
+			}
+			return nil
+		}
+	}
+
+	T := m.T
+	lastWriter := make([][]*ptask, T)
+	for i := range lastWriter {
+		lastWriter[i] = make([]*ptask, i+1)
+	}
+	for k := 0; k < T; k++ {
+		k := k
+		p := add(func() error { return POTRF(m.tiles[k][k]) }, lastWriter[k][k])
+		lastWriter[k][k] = p
+		trsms := make([]*ptask, T)
+		for i := k + 1; i < T; i++ {
+			i := i
+			t := add(wrap(i, k, func() { TRSM(m.tiles[k][k], m.tiles[i][k]) }),
+				p, lastWriter[i][k])
+			lastWriter[i][k] = t
+			trsms[i] = t
+		}
+		for i := k + 1; i < T; i++ {
+			for j := k + 1; j <= i; j++ {
+				i, j := i, j
+				var u *ptask
+				if i == j {
+					u = add(wrap(i, i, func() { SYRK(m.tiles[i][k], m.tiles[i][i]) }),
+						trsms[i], lastWriter[i][i])
+				} else {
+					u = add(wrap(i, j, func() { GEMM(m.tiles[i][k], m.tiles[j][k], m.tiles[i][j]) }),
+						trsms[i], trsms[j], lastWriter[i][j])
+				}
+				lastWriter[i][j] = u
+			}
+		}
+	}
+
+	ready := make(chan *ptask, len(tasks))
+	for _, t := range tasks {
+		if t.deps == 0 {
+			ready <- t
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	var firstErr atomic.Value
+	failed := new(atomic.Bool)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range ready {
+				if !failed.Load() {
+					if err := t.run(); err != nil {
+						if failed.CompareAndSwap(false, true) {
+							firstErr.Store(err)
+						}
+					}
+				}
+				for _, s := range t.succs {
+					if atomic.AddInt32(&s.deps, -1) == 0 {
+						ready <- s
+					}
+				}
+				wg.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ready)
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// LowPrecisionFraction returns the fraction of lower-triangle tiles that
+// a given band stores in float32 (the "performance dial" of the
+// trade-off: low-precision tiles halve memory traffic).
+func LowPrecisionFraction(tiles, band int) float64 {
+	if band < 1 {
+		band = 1
+	}
+	total := tiles * (tiles + 1) / 2
+	low := 0
+	for i := 0; i < tiles; i++ {
+		for j := 0; j <= i; j++ {
+			if i-j >= band {
+				low++
+			}
+		}
+	}
+	return float64(low) / float64(total)
+}

@@ -1,0 +1,141 @@
+package cholesky
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"phasetune/internal/linalg"
+)
+
+func wellConditionedSPD(n int, rng *rand.Rand) *linalg.Matrix {
+	b := linalg.NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := linalg.Mul(b, b.T())
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(4*n))
+	}
+	return a
+}
+
+func mixedSolveError(t *testing.T, n, tile, band int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	a := wellConditionedSPD(n, rng)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	rhs := linalg.MulVec(a, xTrue)
+	tm, err := FromDense(a, tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TiledCholeskyMixed(tm, 3, band); err != nil {
+		t.Fatal(err)
+	}
+	x := BackwardSolve(tm, ForwardSolve(tm, rhs))
+	worst := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - xTrue[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestMixedFullBandMatchesFloat64(t *testing.T) {
+	// band >= T keeps everything in float64: identical to TiledCholesky.
+	rng := rand.New(rand.NewSource(3))
+	a := wellConditionedSPD(24, rng)
+	m1, err := FromDense(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FromDense(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TiledCholesky(m1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := TiledCholeskyMixed(m2, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(m1.ToDenseLower(), m2.ToDenseLower()); d != 0 {
+		t.Fatalf("full-band mixed differs from float64 path by %v", d)
+	}
+}
+
+func TestMixedPrecisionAccuracyTradeoff(t *testing.T) {
+	// Lower bands (more float32 tiles) must stay usable and the pure
+	// float64 factorization must be at least as accurate.
+	full := mixedSolveError(t, 32, 4, 8) // band = T: pure float64
+	narrow := mixedSolveError(t, 32, 4, 1)
+	if full > 1e-9 {
+		t.Fatalf("full-precision error = %v", full)
+	}
+	if narrow > 1e-3 {
+		t.Fatalf("band-1 mixed error too large: %v", narrow)
+	}
+	if narrow < full {
+		t.Logf("note: narrow band beat full precision (%v < %v) — possible but unusual", narrow, full)
+	}
+}
+
+func TestMixedBandValidation(t *testing.T) {
+	tm := NewTiledMatrix(3, 2)
+	if err := TiledCholeskyMixed(tm, 1, 0); err == nil {
+		t.Fatal("band 0 should be rejected")
+	}
+}
+
+func TestMixedRejectsIndefinite(t *testing.T) {
+	n := 8
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 1)
+		}
+	}
+	tm, err := FromDense(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TiledCholeskyMixed(tm, 2, 2); err == nil {
+		t.Fatal("expected error for non-PD input")
+	}
+}
+
+func TestLowPrecisionFraction(t *testing.T) {
+	if f := LowPrecisionFraction(4, 4); f != 0 {
+		t.Fatalf("band=T fraction = %v", f)
+	}
+	// T=4, band=1: low tiles are all off-diagonal = 6 of 10.
+	if f := LowPrecisionFraction(4, 1); math.Abs(f-0.6) > 1e-12 {
+		t.Fatalf("band=1 fraction = %v", f)
+	}
+	// Monotone: smaller band, more low-precision tiles.
+	prev := -1.0
+	for band := 8; band >= 1; band-- {
+		f := LowPrecisionFraction(8, band)
+		if f < prev {
+			t.Fatalf("fraction not monotone at band %d", band)
+		}
+		prev = f
+	}
+	if LowPrecisionFraction(4, 0) != LowPrecisionFraction(4, 1) {
+		t.Fatal("band<1 should clamp to 1")
+	}
+}
+
+func TestRoundToFloat32(t *testing.T) {
+	tile := NewTile(2)
+	tile.Set(0, 0, math.Pi)
+	roundToFloat32(tile)
+	if tile.At(0, 0) != float64(float32(math.Pi)) {
+		t.Fatal("rounding wrong")
+	}
+}

@@ -1,0 +1,252 @@
+package cholesky
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"phasetune/internal/linalg"
+)
+
+// TiledMatrix is a symmetric matrix stored as its lower-triangular tiles.
+type TiledMatrix struct {
+	T     int // tiles per dimension
+	B     int // tile side
+	tiles [][]*Tile
+}
+
+// NewTiledMatrix allocates a T x T tile grid of zeroed B x B tiles
+// (lower triangle only).
+func NewTiledMatrix(t, b int) *TiledMatrix {
+	m := &TiledMatrix{T: t, B: b, tiles: make([][]*Tile, t)}
+	for i := 0; i < t; i++ {
+		m.tiles[i] = make([]*Tile, i+1)
+		for j := 0; j <= i; j++ {
+			m.tiles[i][j] = NewTile(b)
+		}
+	}
+	return m
+}
+
+// Tile returns tile (i, j) with i >= j.
+func (m *TiledMatrix) Tile(i, j int) *Tile { return m.tiles[i][j] }
+
+// N returns the full matrix dimension T*B.
+func (m *TiledMatrix) N() int { return m.T * m.B }
+
+// FromDense splits the lower triangle of a symmetric dense matrix into
+// tiles. The matrix dimension must be a multiple of b.
+func FromDense(a *linalg.Matrix, b int) (*TiledMatrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("cholesky: non-square %dx%d", a.Rows, a.Cols)
+	}
+	if a.Rows%b != 0 {
+		return nil, fmt.Errorf("cholesky: dimension %d not a multiple of tile %d", a.Rows, b)
+	}
+	t := a.Rows / b
+	m := NewTiledMatrix(t, b)
+	for i := 0; i < t; i++ {
+		for j := 0; j <= i; j++ {
+			tl := m.tiles[i][j]
+			for r := 0; r < b; r++ {
+				for c := 0; c < b; c++ {
+					tl.Set(r, c, a.At(i*b+r, j*b+c))
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// ToDenseLower reassembles the tiles into a dense lower-triangular matrix.
+func (m *TiledMatrix) ToDenseLower() *linalg.Matrix {
+	n := m.N()
+	out := linalg.NewMatrix(n, n)
+	for i := 0; i < m.T; i++ {
+		for j := 0; j <= i; j++ {
+			tl := m.tiles[i][j]
+			for r := 0; r < m.B; r++ {
+				maxC := m.B
+				for c := 0; c < maxC; c++ {
+					v := tl.At(r, c)
+					row, col := i*m.B+r, j*m.B+c
+					if col <= row {
+						out.Set(row, col, v)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TiledCholesky factorizes m in place (m becomes the tiled lower factor L)
+// using a goroutine pool executing the same POTRF/TRSM/SYRK/GEMM task
+// graph that BuildDAG submits to the simulator.
+func TiledCholesky(m *TiledMatrix, workers int) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	type ptask struct {
+		run   func() error
+		succs []*ptask
+		deps  int32
+	}
+	var tasks []*ptask
+	add := func(run func() error, deps ...*ptask) *ptask {
+		t := &ptask{run: run}
+		for _, d := range deps {
+			if d == nil {
+				continue
+			}
+			d.succs = append(d.succs, t)
+			t.deps++
+		}
+		tasks = append(tasks, t)
+		return t
+	}
+
+	T := m.T
+	lastWriter := make([][]*ptask, T)
+	for i := range lastWriter {
+		lastWriter[i] = make([]*ptask, i+1)
+	}
+	for k := 0; k < T; k++ {
+		k := k
+		p := add(func() error { return POTRF(m.tiles[k][k]) }, lastWriter[k][k])
+		lastWriter[k][k] = p
+		trsms := make([]*ptask, T)
+		for i := k + 1; i < T; i++ {
+			i := i
+			t := add(func() error { TRSM(m.tiles[k][k], m.tiles[i][k]); return nil },
+				p, lastWriter[i][k])
+			lastWriter[i][k] = t
+			trsms[i] = t
+		}
+		for i := k + 1; i < T; i++ {
+			for j := k + 1; j <= i; j++ {
+				i, j := i, j
+				var u *ptask
+				if i == j {
+					u = add(func() error { SYRK(m.tiles[i][k], m.tiles[i][i]); return nil },
+						trsms[i], lastWriter[i][i])
+				} else {
+					u = add(func() error { GEMM(m.tiles[i][k], m.tiles[j][k], m.tiles[i][j]); return nil },
+						trsms[i], trsms[j], lastWriter[i][j])
+				}
+				lastWriter[i][j] = u
+			}
+		}
+	}
+
+	ready := make(chan *ptask, len(tasks))
+	for _, t := range tasks {
+		if t.deps == 0 {
+			ready <- t
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	var firstErr atomic.Value
+	failed := new(atomic.Bool)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range ready {
+				if !failed.Load() {
+					if err := t.run(); err != nil {
+						if failed.CompareAndSwap(false, true) {
+							firstErr.Store(err)
+						}
+					}
+				}
+				for _, s := range t.succs {
+					if atomic.AddInt32(&s.deps, -1) == 0 {
+						ready <- s
+					}
+				}
+				wg.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ready)
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ForwardSolve solves L y = b using the tiled lower factor.
+func ForwardSolve(l *TiledMatrix, b []float64) []float64 {
+	n := l.N()
+	if len(b) != n {
+		panic("cholesky: ForwardSolve dimension mismatch")
+	}
+	y := append([]float64(nil), b...)
+	B := l.B
+	for bi := 0; bi < l.T; bi++ {
+		for bj := 0; bj < bi; bj++ {
+			tl := l.tiles[bi][bj]
+			for r := 0; r < B; r++ {
+				s := 0.0
+				for c := 0; c < B; c++ {
+					s += tl.At(r, c) * y[bj*B+c]
+				}
+				y[bi*B+r] -= s
+			}
+		}
+		diag := l.tiles[bi][bi]
+		for r := 0; r < B; r++ {
+			s := y[bi*B+r]
+			for c := 0; c < r; c++ {
+				s -= diag.At(r, c) * y[bi*B+c]
+			}
+			y[bi*B+r] = s / diag.At(r, r)
+		}
+	}
+	return y
+}
+
+// BackwardSolve solves L^T x = y using the tiled lower factor.
+func BackwardSolve(l *TiledMatrix, y []float64) []float64 {
+	n := l.N()
+	if len(y) != n {
+		panic("cholesky: BackwardSolve dimension mismatch")
+	}
+	x := append([]float64(nil), y...)
+	B := l.B
+	for bi := l.T - 1; bi >= 0; bi-- {
+		for bj := l.T - 1; bj > bi; bj-- {
+			tl := l.tiles[bj][bi] // (bj, bi) holds the transpose block
+			for r := 0; r < B; r++ {
+				s := 0.0
+				for c := 0; c < B; c++ {
+					s += tl.At(c, r) * x[bj*B+c]
+				}
+				x[bi*B+r] -= s
+			}
+		}
+		diag := l.tiles[bi][bi]
+		for r := B - 1; r >= 0; r-- {
+			s := x[bi*B+r]
+			for c := r + 1; c < B; c++ {
+				s -= diag.At(c, r) * x[bi*B+c]
+			}
+			x[bi*B+r] = s / diag.At(r, r)
+		}
+	}
+	return x
+}
+
+// LogDet returns log(det(A)) = 2 sum log(L[ii]) from the tiled factor.
+func LogDet(l *TiledMatrix) float64 {
+	s := 0.0
+	for bi := 0; bi < l.T; bi++ {
+		diag := l.tiles[bi][bi]
+		for r := 0; r < l.B; r++ {
+			s += math.Log(diag.At(r, r))
+		}
+	}
+	return 2 * s
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	// Zero uncertainty: EI is the plain improvement, floored at zero.
+	if got := expectedImprovement(10, 8, 0); got != 2 {
+		t.Fatalf("EI deterministic = %v, want 2", got)
+	}
+	if got := expectedImprovement(10, 12, 0); got != 0 {
+		t.Fatalf("EI deterministic worse = %v, want 0", got)
+	}
+	// EI grows with uncertainty for a mean at the incumbent.
+	lo := expectedImprovement(10, 10, 0.5)
+	hi := expectedImprovement(10, 10, 2.0)
+	if !(hi > lo && lo > 0) {
+		t.Fatalf("EI monotone in sd: %v vs %v", lo, hi)
+	}
+	// EI is non-negative everywhere.
+	for _, m := range []float64{5, 10, 20} {
+		for _, sd := range []float64{0.1, 1, 5} {
+			if expectedImprovement(10, m, sd) < 0 {
+				t.Fatalf("negative EI at m=%v sd=%v", m, sd)
+			}
+		}
+	}
+}
+
+func TestProbImprovementProperties(t *testing.T) {
+	if got := probImprovement(10, 8, 0); got != 1 {
+		t.Fatalf("PI deterministic better = %v", got)
+	}
+	if got := probImprovement(10, 12, 0); got != 0 {
+		t.Fatalf("PI deterministic worse = %v", got)
+	}
+	if got := probImprovement(10, 10, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PI at incumbent = %v, want 0.5", got)
+	}
+	if probImprovement(10, 8, 1) <= probImprovement(10, 12, 1) {
+		t.Fatal("PI should favour lower means")
+	}
+}
+
+func TestGPWithEIAndPIConverge(t *testing.T) {
+	f := smoothCurve(100, 1.2)
+	opt := argminCurve(f, 2, 14)
+	for _, acq := range []Acquisition{AcqEI, AcqPI} {
+		pool := poolFor(f, 2, 14, 0.3, 31+int64(acq))
+		s := NewGPDiscontinuous(Context{N: 14, Min: 2,
+			GroupSizes: []int{2, 6, 6},
+			LP:         func(n int) float64 { return 100/float64(n) - 1 },
+		}, GPOptions{Acq: acq})
+		got := runStrategy(s, pool, 80, 32+int64(acq))
+		if d := got - opt; d < -2 || d > 2 {
+			t.Fatalf("acq %d converged to %d, optimum %d", acq, got, opt)
+		}
+	}
+}

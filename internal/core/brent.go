@@ -1,0 +1,28 @@
+package core
+
+import (
+	"math"
+
+	"phasetune/internal/optimize"
+)
+
+// BrentStrategy adapts Brent's continuous minimizer (Section IV-B, as in
+// R's optim) to the online Next/Observe protocol. The synchronous
+// algorithm runs in its own goroutine and is fed measurements through
+// channels; proposed points are rounded to integer node counts. Once the
+// algorithm converges the strategy exploits the best measured action.
+type BrentStrategy struct {
+	*funcDriven
+}
+
+// NewBrent starts the background Brent search over [Min, N].
+func NewBrent(ctx Context) *BrentStrategy {
+	fd := newFuncDriven(ctx, "Brent", func(f func(int) float64) {
+		// x-tolerance below 1 node; the evaluation budget keeps the
+		// goroutine bounded even on pathological curves.
+		optimize.Brent(func(x float64) float64 {
+			return f(int(math.Round(x)))
+		}, float64(ctx.Min), float64(ctx.N), 0.5, 60)
+	})
+	return &BrentStrategy{funcDriven: fd}
+}

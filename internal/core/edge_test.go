@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"phasetune/internal/stats"
+)
+
+func TestStrategyNamesStable(t *testing.T) {
+	c := Context{N: 10, Min: 2, GroupSizes: []int{4, 6},
+		LP: func(n int) float64 { return 10 / float64(n) }}
+	cases := []struct {
+		s    Strategy
+		want string
+	}{
+		{NewDC(c), "DC"},
+		{NewRightLeft(c), "Right-Left"},
+		{NewBrent(c), "Brent"},
+		{NewUCB(c, 0), "UCB"},
+		{NewUCBStruct(c, 0), "UCB-struct"},
+		{NewGPUCB(c, GPOptions{}), "GP-UCB"},
+		{NewGPDiscontinuous(c, GPOptions{}), "GP-discontinuous"},
+	}
+	for _, tc := range cases {
+		if tc.s.Name() != tc.want {
+			t.Fatalf("Name = %q, want %q", tc.s.Name(), tc.want)
+		}
+	}
+	if NewGP2D(Context2D{N: 4}, GPOptions{}).Name() != "GP-2D" {
+		t.Fatal("GP-2D name")
+	}
+}
+
+func TestRightLeftNextBeforeObserve(t *testing.T) {
+	r := NewRightLeft(Context{N: 5})
+	if r.Next() != 5 {
+		t.Fatal("first proposal should be N")
+	}
+	// histBest with no history must fall back to N.
+	if r.histBest() != 5 {
+		t.Fatal("histBest fallback")
+	}
+}
+
+func TestRightLeftReachesMin(t *testing.T) {
+	// Strictly decreasing curve: the walker must stop at Min and stay.
+	r := NewRightLeft(Context{N: 6, Min: 2})
+	for i := 0; i < 10; i++ {
+		a := r.Next()
+		r.Observe(a, float64(a)) // lower n, lower duration
+	}
+	if got := r.Next(); got != 2 {
+		t.Fatalf("converged to %d, want Min=2", got)
+	}
+}
+
+func TestDCDegenerateRange(t *testing.T) {
+	// A 2-point range collapses immediately to exploitation.
+	d := NewDC(Context{N: 3, Min: 2})
+	a := d.Next()
+	if a < 2 || a > 3 {
+		t.Fatalf("action %d", a)
+	}
+	d.Observe(a, 1)
+	for i := 0; i < 5; i++ {
+		b := d.Next()
+		if b < 2 || b > 3 {
+			t.Fatalf("action %d", b)
+		}
+		d.Observe(b, 1)
+	}
+}
+
+func TestDCIgnoresForeignObservations(t *testing.T) {
+	d := NewDC(Context{N: 14, Min: 2})
+	want := d.Next()
+	// Observing an action DC did not request must not advance its state.
+	d.Observe(99, 1)
+	if got := d.Next(); got != want {
+		t.Fatalf("pending measurement changed: %d -> %d", want, got)
+	}
+}
+
+func TestGPDiscWithoutLP(t *testing.T) {
+	// Without an LP the bound is skipped but the strategy still works.
+	s := NewGPDiscontinuous(Context{N: 8, Min: 2, GroupSizes: []int{4, 4}},
+		GPOptions{})
+	rng := stats.NewRNG(1)
+	for i := 0; i < 25; i++ {
+		a := s.Next()
+		if a < 2 || a > 8 {
+			t.Fatalf("action %d", a)
+		}
+		s.Observe(a, 5+math.Abs(float64(a)-4)+rng.Normal(0, 0.2))
+	}
+	if len(s.Allowed()) != 7 {
+		t.Fatalf("allowed = %v, want full range without LP", s.Allowed())
+	}
+}
+
+func TestGPDiscBoundExcludesEverythingFallsBack(t *testing.T) {
+	// An LP that is always worse than the first observation would prune
+	// every action; the strategy must keep at least all-nodes.
+	s := NewGPDiscontinuous(Context{N: 6, Min: 2,
+		LP: func(n int) float64 { return 1e9 }}, GPOptions{})
+	a := s.Next()
+	s.Observe(a, 10)
+	b := s.Next()
+	if b != 6 {
+		t.Fatalf("fallback action = %d, want N", b)
+	}
+	if got := s.Allowed(); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("allowed = %v", got)
+	}
+}
+
+func TestGPUniformInitSpreads(t *testing.T) {
+	s := NewGPDiscontinuous(Context{N: 20, Min: 2, GroupSizes: []int{10, 10},
+		LP: func(n int) float64 { return 1 }}, GPOptions{UniformInit: true})
+	rng := stats.NewRNG(2)
+	seen := map[int]bool{}
+	first := s.Next()
+	s.Observe(first, 10+rng.Normal(0, 0.1))
+	for i := 0; i < 9; i++ {
+		a := s.Next()
+		seen[a] = true
+		s.Observe(a, 10+rng.Normal(0, 0.1))
+	}
+	if len(seen) < 6 {
+		t.Fatalf("uniform init visited only %d distinct actions", len(seen))
+	}
+	// Must include both edges of the allowed range.
+	if !seen[2] || !seen[20] {
+		t.Fatalf("uniform init missed the edges: %v", seen)
+	}
+}
+
+func TestGPLeastMeasuredFallback(t *testing.T) {
+	// Force the model-fit error path by making all observations identical
+	// and the design degenerate is hard; instead call leastMeasured
+	// directly through a tiny wrapper scenario: two allowed actions, one
+	// measured more often.
+	s := NewGPDiscontinuous(Context{N: 3, Min: 2}, GPOptions{})
+	s.Observe(3, 5)
+	s.boundSet = true
+	s.allowed = []int{2, 3}
+	if got := s.leastMeasured(); got != 2 {
+		t.Fatalf("leastMeasured = %d, want 2", got)
+	}
+}
+
+func TestGP2DLeastMeasured(t *testing.T) {
+	g := NewGP2D(Context2D{N: 3, MinGen: 2, MinFact: 2}, GPOptions{})
+	g.Observe2D(Action2D{3, 3}, 5)
+	a := g.leastMeasured()
+	if g.seen[a] != 0 {
+		t.Fatalf("leastMeasured returned a measured action %+v", a)
+	}
+}
+
+func TestGP2DPanicsOnBadContext(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGP2D(Context2D{N: 0}, GPOptions{})
+}
+
+func TestConstructorsPanicOnInvalidContext(t *testing.T) {
+	bad := Context{N: 2, Min: 5}
+	for _, build := range []func(){
+		func() { NewDC(bad) },
+		func() { NewRightLeft(bad) },
+		func() { NewBrent(bad) },
+		func() { NewUCB(bad, 0) },
+		func() { NewUCBStruct(bad, 0) },
+		func() { NewGPUCB(bad, GPOptions{}) },
+		func() { NewGPDiscontinuous(bad, GPOptions{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor accepted invalid context")
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestHistoryBestTieBreaks(t *testing.T) {
+	h := newHistory()
+	h.observe(5, 2)
+	h.observe(3, 2)
+	if got := h.best(99); got != 3 {
+		t.Fatalf("best = %d, want lowest action on tie", got)
+	}
+	if got := newHistory().best(7); got != 7 {
+		t.Fatalf("empty best = %d, want fallback", got)
+	}
+}
+
+func TestBrentObserveForeignAction(t *testing.T) {
+	b := NewBrent(Context{N: 10, Min: 2})
+	want := b.Next()
+	b.Observe(want+1, 3) // not the pending one: recorded but not consumed
+	if got := b.Next(); got != want {
+		t.Fatalf("pending Brent action changed: %d -> %d", want, got)
+	}
+	b.Observe(want, 3)
+}

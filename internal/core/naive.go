@@ -1,0 +1,135 @@
+package core
+
+// DC is the divide-and-conquer dichotomy of Section IV-A: the search
+// space is split in two, the midpoint of each half is measured, and the
+// half with the lower measurement becomes the new search space. Once the
+// interval collapses the strategy exploits the best action seen. Fast on
+// smooth low-variance curves, easily misled by noise.
+type DC struct {
+	ctx     Context
+	hist    *history
+	lo, hi  int
+	pending []int // midpoints awaiting measurement in this split
+	results []float64
+	done    bool
+}
+
+// NewDC builds the dichotomy strategy.
+func NewDC(ctx Context) *DC {
+	if err := ctx.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DC{ctx: ctx, hist: newHistory(), lo: ctx.Min, hi: ctx.N}
+	d.split()
+	return d
+}
+
+// Name implements Strategy.
+func (d *DC) Name() string { return "DC" }
+
+// split prepares the two midpoint measurements for the current interval.
+func (d *DC) split() {
+	if d.hi-d.lo <= 1 {
+		d.done = true
+		return
+	}
+	mid := (d.lo + d.hi) / 2
+	m1 := (d.lo + mid) / 2
+	m2 := (mid + 1 + d.hi) / 2
+	if m1 == m2 {
+		d.done = true
+		return
+	}
+	d.pending = []int{m1, m2}
+	d.results = d.results[:0]
+}
+
+// Next implements Strategy.
+func (d *DC) Next() int {
+	if d.done || len(d.pending) == 0 {
+		return d.hist.best(d.ctx.N)
+	}
+	return d.pending[0]
+}
+
+// Observe implements Strategy.
+func (d *DC) Observe(action int, duration float64) {
+	d.hist.observe(action, duration)
+	if d.done || len(d.pending) == 0 || action != d.pending[0] {
+		return
+	}
+	d.pending = d.pending[1:]
+	d.results = append(d.results, duration)
+	if len(d.pending) > 0 {
+		return
+	}
+	mid := (d.lo + d.hi) / 2
+	if d.results[0] <= d.results[1] {
+		d.hi = mid
+	} else {
+		d.lo = mid + 1
+	}
+	d.split()
+}
+
+// RightLeft is the heuristic of Section IV-A that assumes the best
+// candidate uses all machines: starting from N it walks left while the
+// left neighbour measures faster, then exploits. It cannot escape local
+// minima and is sensitive to measurement noise.
+type RightLeft struct {
+	ctx     Context
+	hist    *history
+	current int
+	lastDur float64
+	started bool
+	stopped bool
+}
+
+// NewRightLeft builds the right-to-left walker.
+func NewRightLeft(ctx Context) *RightLeft {
+	if err := ctx.Validate(); err != nil {
+		panic(err)
+	}
+	return &RightLeft{ctx: ctx, current: ctx.N}
+}
+
+// Name implements Strategy.
+func (r *RightLeft) Name() string { return "Right-Left" }
+
+// Next implements Strategy.
+func (r *RightLeft) Next() int {
+	if r.stopped {
+		return r.histBest()
+	}
+	return r.current
+}
+
+func (r *RightLeft) histBest() int {
+	if r.hist == nil {
+		return r.ctx.N
+	}
+	return r.hist.best(r.ctx.N)
+}
+
+// Observe implements Strategy.
+func (r *RightLeft) Observe(action int, duration float64) {
+	if r.hist == nil {
+		r.hist = newHistory()
+	}
+	r.hist.observe(action, duration)
+	if r.stopped || action != r.current {
+		return
+	}
+	if r.started && duration >= r.lastDur {
+		// The step left did not improve: stop and exploit.
+		r.stopped = true
+		return
+	}
+	r.started = true
+	r.lastDur = duration
+	if r.current <= r.ctx.Min {
+		r.stopped = true
+		return
+	}
+	r.current--
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"phasetune/internal/stats"
+)
+
+// driftingCurve moves its optimum from nOpt1 to nOpt2 after the switch
+// iteration — the non-stationary setting of the paper's future-work
+// discussion.
+func driftingCurve(nOpt1, nOpt2, switchAt int) func(iter, n int) float64 {
+	return func(iter, n int) float64 {
+		opt := nOpt1
+		if iter >= switchAt {
+			opt = nOpt2
+		}
+		d := float64(n - opt)
+		return 10 + 0.3*d*d
+	}
+}
+
+func runDrifting(t *testing.T, opt GPOptions, seed int64) (lateBest int) {
+	t.Helper()
+	f := driftingCurve(4, 11, 60)
+	s := NewGPDiscontinuous(Context{N: 14, Min: 2, GroupSizes: []int{7, 7}}, opt)
+	rng := stats.NewRNG(seed)
+	counts := map[int]int{}
+	for i := 0; i < 140; i++ {
+		a := s.Next()
+		s.Observe(a, f(i, a)+rng.Normal(0, 0.3))
+		if i >= 120 {
+			counts[a]++
+		}
+	}
+	best, bc := -1, -1
+	for a, c := range counts {
+		if c > bc {
+			best, bc = a, c
+		}
+	}
+	return best
+}
+
+func TestWindowedGPTracksDrift(t *testing.T) {
+	// With a sliding window the strategy should re-localize near the new
+	// optimum (11) after the shift; count successes over several seeds
+	// since the drift problem is genuinely hard.
+	hit := 0
+	for seed := int64(0); seed < 6; seed++ {
+		best := runDrifting(t, GPOptions{Window: 30}, seed)
+		if best >= 8 {
+			hit++
+		}
+	}
+	if hit < 4 {
+		t.Fatalf("windowed GP tracked the drifted optimum only %d/6 times", hit)
+	}
+}
+
+func TestUnwindowedGPAnchorsToStaleData(t *testing.T) {
+	// Without a window the surrogate keeps averaging pre-shift data; it
+	// should track the drift less reliably than the windowed variant.
+	hitWindow, hitFull := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		if runDrifting(t, GPOptions{Window: 30}, seed) >= 8 {
+			hitWindow++
+		}
+		if runDrifting(t, GPOptions{}, seed) >= 8 {
+			hitFull++
+		}
+	}
+	if hitFull > hitWindow {
+		t.Fatalf("full-history GP (%d/6) beat windowed GP (%d/6) under drift",
+			hitFull, hitWindow)
+	}
+}
+
+func TestWindowLargerThanHistoryIsHarmless(t *testing.T) {
+	s := NewGPDiscontinuous(Context{N: 8, Min: 2}, GPOptions{Window: 1000})
+	rng := stats.NewRNG(3)
+	for i := 0; i < 15; i++ {
+		a := s.Next()
+		if a < 2 || a > 8 {
+			t.Fatalf("action %d", a)
+		}
+		s.Observe(a, 5+rng.Normal(0, 0.2))
+	}
+}

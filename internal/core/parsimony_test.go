@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"phasetune/internal/stats"
+)
+
+// TestGPDiscSkipsBadRegions locks in the paper's Figure 4 (C) behaviour:
+// once the trend explains the curve, GP-discontinuous must NOT sweep the
+// whole action space — a large fraction of clearly-bad actions stays
+// unvisited while the optimum accumulates selections.
+func TestGPDiscSkipsBadRegions(t *testing.T) {
+	// A (i)-like curve: optimum at 6, steady overhead growth to the
+	// right, cliff at the group boundary 6.
+	f := func(n int) float64 {
+		v := 100/float64(n) + 1.1*float64(n)
+		if n > 6 {
+			v += 6
+		}
+		return v
+	}
+	lp := func(n int) float64 { return 100 / float64(n) }
+	ctx := Context{N: 36, Min: 2, GroupSizes: []int{6, 30}, LP: lp}
+	pool := stats.NewPool()
+	rng := stats.NewRNG(1)
+	for n := 2; n <= 36; n++ {
+		for r := 0; r < 30; r++ {
+			pool.Add(n, f(n)+rng.Normal(0, 0.5))
+		}
+	}
+	s := NewGPDiscontinuous(ctx, GPOptions{})
+	counts := map[int]int{}
+	for i := 0; i < 100; i++ {
+		a := s.Next()
+		counts[a]++
+		s.Observe(a, pool.Draw(a, rng))
+	}
+	unvisited := 0
+	for n := 2; n <= 36; n++ {
+		if counts[n] == 0 {
+			unvisited++
+		}
+	}
+	if unvisited < 10 {
+		t.Fatalf("GP-discontinuous swept the space: only %d unvisited actions", unvisited)
+	}
+	best, bc := 0, 0
+	for a, c := range counts {
+		if c > bc {
+			best, bc = a, c
+		}
+	}
+	if best < 5 || best > 7 {
+		t.Fatalf("most-selected action %d (%d times), want ~6", best, bc)
+	}
+	if bc < 40 {
+		t.Fatalf("optimum selected only %d/100 times", bc)
+	}
+}
+
+// TestGPUCBExploresMoreThanGPDisc reproduces the Figure 4 (B) vs (C)
+// contrast: on the same discontinuous curve, plain GP-UCB visits
+// substantially more distinct actions than the structured variant.
+func TestGPUCBExploresMoreThanGPDisc(t *testing.T) {
+	f := func(n int) float64 {
+		v := 100/float64(n) + 1.1*float64(n)
+		if n > 6 {
+			v += 6
+		}
+		return v
+	}
+	lp := func(n int) float64 { return 100 / float64(n) }
+	ctx := Context{N: 36, Min: 2, GroupSizes: []int{6, 30}, LP: lp}
+	visited := func(s Strategy, seed int64) int {
+		pool := stats.NewPool()
+		rng := stats.NewRNG(seed)
+		for n := 2; n <= 36; n++ {
+			for r := 0; r < 30; r++ {
+				pool.Add(n, f(n)+rng.Normal(0, 0.5))
+			}
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 100; i++ {
+			a := s.Next()
+			seen[a] = true
+			s.Observe(a, pool.Draw(a, rng))
+		}
+		return len(seen)
+	}
+	vDisc := visited(NewGPDiscontinuous(ctx, GPOptions{}), 2)
+	vUCB := visited(NewGPUCB(ctx, GPOptions{}), 2)
+	if vDisc >= vUCB {
+		t.Fatalf("GP-disc visited %d actions, GP-UCB %d: expected disc < ucb",
+			vDisc, vUCB)
+	}
+}

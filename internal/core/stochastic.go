@@ -1,0 +1,101 @@
+package core
+
+import (
+	"phasetune/internal/optimize"
+	"phasetune/internal/stats"
+)
+
+// funcDriven bridges a synchronous optimizer (which wants to call
+// f(action) and block for the result) to the online Next/Observe
+// protocol, running the optimizer in its own goroutine.
+type funcDriven struct {
+	ctx     Context
+	name    string
+	hist    *history
+	req     chan int
+	resp    chan float64
+	pending int
+	waiting bool
+	done    bool
+}
+
+func newFuncDriven(ctx Context, name string, run func(f func(int) float64)) *funcDriven {
+	if err := ctx.Validate(); err != nil {
+		panic(err)
+	}
+	d := &funcDriven{
+		ctx:  ctx,
+		name: name,
+		hist: newHistory(),
+		req:  make(chan int),
+		resp: make(chan float64),
+	}
+	go func() {
+		defer close(d.req)
+		run(func(a int) float64 {
+			if a < ctx.Min {
+				a = ctx.Min
+			}
+			if a > ctx.N {
+				a = ctx.N
+			}
+			d.req <- a
+			return <-d.resp
+		})
+	}()
+	return d
+}
+
+// Name implements Strategy.
+func (d *funcDriven) Name() string { return d.name }
+
+// Next implements Strategy.
+func (d *funcDriven) Next() int {
+	if d.done {
+		return d.hist.best(d.ctx.N)
+	}
+	if d.waiting {
+		return d.pending
+	}
+	a, ok := <-d.req
+	if !ok {
+		d.done = true
+		return d.hist.best(d.ctx.N)
+	}
+	d.pending = a
+	d.waiting = true
+	return a
+}
+
+// Observe implements Strategy.
+func (d *funcDriven) Observe(action int, duration float64) {
+	d.hist.observe(action, duration)
+	if d.waiting && action == d.pending {
+		d.waiting = false
+		d.resp <- duration
+	}
+}
+
+// NewSANN adapts simulated annealing (R optim's SANN) to the online
+// protocol. The paper evaluated it and found it "not parsimonious" —
+// included as a comparator; iters bounds its exploration budget.
+func NewSANN(ctx Context, iters int, seed int64) Strategy {
+	if iters <= 0 {
+		iters = 60
+	}
+	return newFuncDriven(ctx, "SANN", func(f func(int) float64) {
+		optimize.SimulatedAnnealing(f, ctx.Min, ctx.N, iters, stats.NewRNG(seed))
+	})
+}
+
+// NewSPSA adapts simultaneous-perturbation stochastic approximation
+// (the paper's "Stochastic Approximation [16]") to the online protocol;
+// also dismissed by the paper for its measurement appetite.
+func NewSPSA(ctx Context, iters int, seed int64) Strategy {
+	if iters <= 0 {
+		iters = 40
+	}
+	return newFuncDriven(ctx, "SPSA", func(f func(int) float64) {
+		optimize.SPSA(f, ctx.Min, ctx.N, iters, stats.NewRNG(seed))
+	})
+}

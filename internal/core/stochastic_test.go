@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"phasetune/internal/stats"
+)
+
+func TestSANNAndSPSAConvergeOnEasyCurve(t *testing.T) {
+	f := smoothCurve(60, 0.8)
+	opt := argminCurve(f, 2, 14)
+	for name, build := range map[string]func() Strategy{
+		"SANN": func() Strategy { return NewSANN(Context{N: 14, Min: 2}, 120, 1) },
+		"SPSA": func() Strategy { return NewSPSA(Context{N: 14, Min: 2}, 60, 1) },
+	} {
+		pool := poolFor(f, 2, 14, 0.05, 41)
+		got := runStrategy(build(), pool, 200, 42)
+		if d := got - opt; d < -2 || d > 2 {
+			t.Errorf("%s converged to %d, optimum %d", name, got, opt)
+		}
+	}
+}
+
+func TestSANNNotParsimonious(t *testing.T) {
+	// The paper dismisses SANN for achieving "bad results because they
+	// are not parsimonious": on the same pools it accumulates more total
+	// time (regret) than GP-discontinuous. Averaged over seeds.
+	f := cliffCurve(80, 1.0, 8, 6)
+	lp := func(n int) float64 { return 80/float64(n) - 1 }
+	total := func(s Strategy, pool *stats.Pool, seed int64) float64 {
+		rng := stats.NewRNG(seed)
+		sum := 0.0
+		for i := 0; i < 60; i++ {
+			a := s.Next()
+			d := pool.Draw(a, rng)
+			s.Observe(a, d)
+			sum += d
+		}
+		return sum
+	}
+	var sumGP, sumSANN float64
+	for seed := int64(0); seed < 5; seed++ {
+		pool := poolFor(f, 2, 14, 0.5, 100+seed)
+		sumGP += total(NewGPDiscontinuous(Context{N: 14, Min: 2,
+			GroupSizes: []int{2, 6, 6}, LP: lp}, GPOptions{}), pool, 200+seed)
+		pool2 := poolFor(f, 2, 14, 0.5, 100+seed)
+		sumSANN += total(NewSANN(Context{N: 14, Min: 2}, 120, seed), pool2, 200+seed)
+	}
+	if sumSANN < sumGP {
+		t.Fatalf("SANN total %v beat GP-disc total %v: expected SANN to "+
+			"pay more exploration cost", sumSANN, sumGP)
+	}
+}
+
+func TestStochasticStrategiesNames(t *testing.T) {
+	if NewSANN(Context{N: 5}, 10, 1).Name() != "SANN" {
+		t.Fatal("SANN name")
+	}
+	if NewSPSA(Context{N: 5}, 10, 1).Name() != "SPSA" {
+		t.Fatal("SPSA name")
+	}
+}
+
+func TestStochasticStrategiesBounds(t *testing.T) {
+	pool := poolFor(smoothCurve(60, 0.8), 2, 14, 0.3, 45)
+	for _, s := range []Strategy{
+		NewSANN(Context{N: 14, Min: 2}, 200, 3),
+		NewSPSA(Context{N: 14, Min: 2}, 100, 3),
+	} {
+		rng := stats.NewRNG(46)
+		for i := 0; i < 120; i++ {
+			a := s.Next()
+			if a < 2 || a > 14 {
+				t.Fatalf("%s proposed %d", s.Name(), a)
+			}
+			s.Observe(a, pool.Draw(a, rng))
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package core implements the paper's contribution: online exploration
+// strategies that let an iterative multi-phase task-based application
+// learn, during its own iterations, the best number of heterogeneous
+// nodes for its dominant phase. The action space is the number of
+// (fastest-first) factorization nodes; the feedback is the measured
+// iteration duration.
+//
+// Implemented strategies (Section IV):
+//
+//	DC                — divide-and-conquer dichotomy
+//	Right-Left        — walk from all nodes leftwards while improving
+//	Brent             — classical 1-D minimization (R optim's Brent)
+//	UCB               — multi-armed bandit over every node count
+//	UCB-struct        — bandit restricted to complete homogeneous groups
+//	GP-UCB            — Gaussian-Process bandit, MLE hyper-parameters
+//	GP-discontinuous  — GP with LP bound, LP-residual linear trend and
+//	                    per-group dummy variables (the proposed method)
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"phasetune/internal/stats"
+)
+
+// Context describes the tuning problem handed to a strategy.
+type Context struct {
+	// N is the total number of nodes (the action space is [Min, N]).
+	N int
+	// Min is the smallest feasible action (memory bound); defaults to 1.
+	Min int
+	// GroupSizes are the homogeneous machine group sizes, fastest group
+	// first, summing to N. Used by UCB-struct and GP-discontinuous.
+	GroupSizes []int
+	// LP returns the linear-programming makespan lower bound for an
+	// action. May be nil for strategies that do not use it.
+	LP func(n int) float64
+}
+
+// Validate checks and normalizes the context.
+func (c *Context) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("core: N = %d", c.N)
+	}
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Min > c.N {
+		return fmt.Errorf("core: Min %d > N %d", c.Min, c.N)
+	}
+	if len(c.GroupSizes) > 0 {
+		sum := 0
+		for _, g := range c.GroupSizes {
+			if g <= 0 {
+				return fmt.Errorf("core: non-positive group size %d", g)
+			}
+			sum += g
+		}
+		if sum != c.N {
+			return fmt.Errorf("core: group sizes sum to %d, want N=%d", sum, c.N)
+		}
+	}
+	return nil
+}
+
+// Actions returns the full action list [Min..N].
+func (c *Context) Actions() []int {
+	out := make([]int, 0, c.N-c.Min+1)
+	for n := c.Min; n <= c.N; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// GroupEnds returns the cumulative group boundaries (the node counts at
+// which a homogeneous group completes), e.g. sizes {2,6,6} -> {2,8,14}.
+func (c *Context) GroupEnds() []int {
+	out := make([]int, 0, len(c.GroupSizes))
+	total := 0
+	for _, g := range c.GroupSizes {
+		total += g
+		out = append(out, total)
+	}
+	return out
+}
+
+// GroupIndexOf returns the index of the group containing action n
+// (0-based), or -1 when groups are not configured or n is out of range.
+func (c *Context) GroupIndexOf(n int) int {
+	total := 0
+	for i, g := range c.GroupSizes {
+		total += g
+		if n <= total {
+			return i
+		}
+	}
+	return -1
+}
+
+// Strategy is an online tuner: Next proposes the node count for the
+// coming iteration and Observe feeds back its measured duration.
+// Implementations never propose actions outside [ctx.Min, ctx.N].
+type Strategy interface {
+	Name() string
+	Next() int
+	Observe(action int, duration float64)
+}
+
+// history accumulates per-action statistics shared by several strategies.
+type history struct {
+	count map[int]int
+	mean  map[int]float64
+	xs    []float64 // raw observation inputs (action values)
+	ys    []float64 // raw observed durations
+}
+
+func newHistory() *history {
+	return &history{count: map[int]int{}, mean: map[int]float64{}}
+}
+
+func (h *history) observe(action int, duration float64) {
+	n := h.count[action] + 1
+	h.count[action] = n
+	h.mean[action] += (duration - h.mean[action]) / float64(n)
+	h.xs = append(h.xs, float64(action))
+	h.ys = append(h.ys, duration)
+}
+
+// best returns the action with the lowest empirical mean duration, or
+// fallback when nothing was observed.
+func (h *history) best(fallback int) int {
+	best := fallback
+	bv := math.Inf(1)
+	for a, m := range h.mean {
+		if m < bv || (m == bv && a < best) {
+			best, bv = a, m
+		}
+	}
+	return best
+}
+
+func (h *history) iterations() int { return len(h.ys) }
+
+// Evaluate replays a strategy against a duration pool for a number of
+// iterations, as the paper's resampling methodology does, returning the
+// per-iteration durations (their sum is the application makespan).
+func Evaluate(s Strategy, pool *stats.Pool, iterations int, rng *stats.RNG) []float64 {
+	out := make([]float64, 0, iterations)
+	for i := 0; i < iterations; i++ {
+		a := s.Next()
+		d := pool.Draw(a, rng)
+		s.Observe(a, d)
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"phasetune/internal/stats"
+)
+
+// smoothCurve is the paper's canonical 1/x + x shape with minimum near
+// nOpt for the given scale.
+func smoothCurve(work, commSlope float64) func(int) float64 {
+	return func(n int) float64 {
+		return work/float64(n) + commSlope*float64(n)
+	}
+}
+
+// cliffCurve adds a discontinuous penalty once n exceeds boundary
+// (slow-group critical path), as in Figure 5 (k), (n), (o), (p).
+func cliffCurve(work, commSlope float64, boundary int, jump float64) func(int) float64 {
+	base := smoothCurve(work, commSlope)
+	return func(n int) float64 {
+		v := base(n)
+		if n > boundary {
+			v += jump
+		}
+		return v
+	}
+}
+
+// poolFor tabulates a curve with Gaussian noise into a resampling pool
+// (30 observations per action, the paper's augmentation).
+func poolFor(f func(int) float64, min, max int, sd float64, seed int64) *stats.Pool {
+	rng := stats.NewRNG(seed)
+	p := stats.NewPool()
+	for n := min; n <= max; n++ {
+		for r := 0; r < 30; r++ {
+			p.Add(n, math.Max(0.01, f(n)+rng.Normal(0, sd)))
+		}
+	}
+	return p
+}
+
+func argminCurve(f func(int) float64, min, max int) int {
+	best, bv := min, math.Inf(1)
+	for n := min; n <= max; n++ {
+		if v := f(n); v < bv {
+			best, bv = n, v
+		}
+	}
+	return best
+}
+
+func ctx14() Context {
+	return Context{N: 14, Min: 2, GroupSizes: []int{2, 6, 6}}
+}
+
+func TestContextValidate(t *testing.T) {
+	c := Context{N: 10}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Min != 1 {
+		t.Fatalf("Min defaulted to %d", c.Min)
+	}
+	bad := Context{N: 10, GroupSizes: []int{4, 4}}
+	if bad.Validate() == nil {
+		t.Fatal("group sum mismatch should error")
+	}
+	if (&Context{N: 0}).Validate() == nil {
+		t.Fatal("N=0 should error")
+	}
+	if (&Context{N: 2, Min: 5}).Validate() == nil {
+		t.Fatal("Min>N should error")
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	c := ctx14()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	acts := c.Actions()
+	if len(acts) != 13 || acts[0] != 2 || acts[12] != 14 {
+		t.Fatalf("Actions = %v", acts)
+	}
+	ends := c.GroupEnds()
+	if len(ends) != 3 || ends[0] != 2 || ends[1] != 8 || ends[2] != 14 {
+		t.Fatalf("GroupEnds = %v", ends)
+	}
+	if c.GroupIndexOf(2) != 0 || c.GroupIndexOf(3) != 1 || c.GroupIndexOf(14) != 2 {
+		t.Fatal("GroupIndexOf wrong")
+	}
+	if c.GroupIndexOf(99) != -1 {
+		t.Fatal("out-of-range group should be -1")
+	}
+}
+
+// runStrategy replays s against the pool and returns the most-used action
+// over the last quarter of iterations (the converged choice).
+func runStrategy(s Strategy, pool *stats.Pool, iters int, seed int64) int {
+	rng := stats.NewRNG(seed)
+	counts := map[int]int{}
+	for i := 0; i < iters; i++ {
+		a := s.Next()
+		d := pool.Draw(a, rng)
+		s.Observe(a, d)
+		if i >= 3*iters/4 {
+			counts[a]++
+		}
+	}
+	best, bc := -1, -1
+	for a, c := range counts {
+		if c > bc || (c == bc && a < best) {
+			best, bc = a, c
+		}
+	}
+	return best
+}
+
+func TestDCFindsMinOnSmoothCurve(t *testing.T) {
+	f := smoothCurve(60, 0.8) // min near sqrt(60/0.8) ~ 8.7
+	opt := argminCurve(f, 2, 14)
+	pool := poolFor(f, 2, 14, 0.01, 1)
+	got := runStrategy(NewDC(ctx14()), pool, 40, 2)
+	if d := got - opt; d < -1 || d > 1 {
+		t.Fatalf("DC converged to %d, optimum %d", got, opt)
+	}
+}
+
+func TestDCExploitsAfterConvergence(t *testing.T) {
+	pool := poolFor(smoothCurve(60, 0.8), 2, 14, 0.01, 3)
+	s := NewDC(ctx14())
+	rng := stats.NewRNG(4)
+	var last int
+	for i := 0; i < 50; i++ {
+		a := s.Next()
+		s.Observe(a, pool.Draw(a, rng))
+		last = a
+	}
+	// After convergence the same action repeats.
+	for i := 0; i < 5; i++ {
+		if a := s.Next(); a != last {
+			t.Fatalf("DC still moving after 50 iters: %d vs %d", a, last)
+		}
+		s.Observe(last, pool.MeanOf(last))
+	}
+}
+
+func TestRightLeftWalksWhileImproving(t *testing.T) {
+	// Monotone decreasing toward the left until 6, then increasing:
+	// Right-Left should land at 6.
+	f := func(n int) float64 { return math.Abs(float64(n) - 6) }
+	pool := poolFor(f, 2, 14, 0.001, 5)
+	got := runStrategy(NewRightLeft(Context{N: 14, Min: 2}), pool, 40, 6)
+	if got < 5 || got > 7 {
+		t.Fatalf("Right-Left converged to %d, want ~6", got)
+	}
+}
+
+func TestRightLeftStuckInLocalMin(t *testing.T) {
+	// Paper Figure 5 (p): f(N) < f(N-1) so Right-Left never leaves N
+	// even though the global optimum is far left.
+	f := func(n int) float64 {
+		if n == 14 {
+			return 10
+		}
+		if n == 13 {
+			return 12
+		}
+		return 5 + math.Abs(float64(n)-4)
+	}
+	pool := poolFor(f, 2, 14, 0.001, 6)
+	got := runStrategy(NewRightLeft(Context{N: 14, Min: 2}), pool, 30, 7)
+	if got != 14 {
+		t.Fatalf("Right-Left should stop at 14, got %d", got)
+	}
+}
+
+func TestBrentConvergesOnSmoothCurve(t *testing.T) {
+	f := smoothCurve(100, 1.2) // min near 9.1
+	opt := argminCurve(f, 2, 14)
+	pool := poolFor(f, 2, 14, 0.01, 7)
+	got := runStrategy(NewBrent(Context{N: 14, Min: 2}), pool, 60, 8)
+	if d := got - opt; d < -1 || d > 1 {
+		t.Fatalf("Brent converged to %d, optimum %d", got, opt)
+	}
+}
+
+func TestBrentStaysInBounds(t *testing.T) {
+	pool := poolFor(smoothCurve(100, 1.2), 2, 14, 0.3, 9)
+	s := NewBrent(Context{N: 14, Min: 2})
+	rng := stats.NewRNG(10)
+	for i := 0; i < 80; i++ {
+		a := s.Next()
+		if a < 2 || a > 14 {
+			t.Fatalf("Brent proposed out-of-range action %d", a)
+		}
+		s.Observe(a, pool.Draw(a, rng))
+	}
+}
+
+func TestUCBConvergesAndArms(t *testing.T) {
+	f := smoothCurve(60, 0.8)
+	opt := argminCurve(f, 2, 14)
+	pool := poolFor(f, 2, 14, 0.3, 11)
+	s := NewUCB(ctx14(), 0)
+	if got := len(s.Arms()); got != 13 {
+		t.Fatalf("UCB arms = %d, want 13", got)
+	}
+	got := runStrategy(s, pool, 300, 12)
+	if d := got - opt; d < -1 || d > 1 {
+		t.Fatalf("UCB converged to %d, optimum %d", got, opt)
+	}
+}
+
+func TestUCBStructArmsRestricted(t *testing.T) {
+	s := NewUCBStruct(ctx14(), 0)
+	arms := s.Arms()
+	want := []int{2, 8, 14}
+	if len(arms) != len(want) {
+		t.Fatalf("arms = %v", arms)
+	}
+	for i := range want {
+		if arms[i] != want[i] {
+			t.Fatalf("arms = %v, want %v", arms, want)
+		}
+	}
+}
+
+func TestUCBStructRespectsMin(t *testing.T) {
+	s := NewUCBStruct(Context{N: 14, Min: 5, GroupSizes: []int{2, 6, 6}}, 0)
+	for _, a := range s.Arms() {
+		if a < 5 {
+			t.Fatalf("arm %d below Min", a)
+		}
+	}
+}
+
+func TestUCBStructFindsBestGroupBoundary(t *testing.T) {
+	// Optimum exactly at a group boundary (8): UCB-struct should nail it.
+	f := func(n int) float64 { return math.Abs(float64(n)-8) + 5 }
+	pool := poolFor(f, 2, 14, 0.3, 13)
+	got := runStrategy(NewUCBStruct(ctx14(), 0), pool, 120, 14)
+	if got != 8 {
+		t.Fatalf("UCB-struct converged to %d, want 8", got)
+	}
+}
+
+func TestGPUCBFirstActionIsAllNodes(t *testing.T) {
+	s := NewGPUCB(ctx14(), GPOptions{})
+	if a := s.Next(); a != 14 {
+		t.Fatalf("first action = %d, want N", a)
+	}
+}
+
+func TestGPUCBConvergesOnSmoothCurve(t *testing.T) {
+	f := smoothCurve(100, 1.2)
+	opt := argminCurve(f, 2, 14)
+	pool := poolFor(f, 2, 14, 0.5, 15)
+	got := runStrategy(NewGPUCB(ctx14(), GPOptions{}), pool, 100, 16)
+	if d := got - opt; d < -2 || d > 2 {
+		t.Fatalf("GP-UCB converged to %d, optimum %d", got, opt)
+	}
+}
+
+func lpFor(f func(int) float64, slack float64) func(int) float64 {
+	// An optimistic lower bound: the 1/x part of the curve minus slack.
+	return func(n int) float64 { return f(n) - slack }
+}
+
+func TestGPDiscInitialDesign(t *testing.T) {
+	// Work through the documented initialization: N first, then leftmost,
+	// middle twice, then group ends.
+	work, slope := 100.0, 1.2
+	f := smoothCurve(work, slope)
+	lp := func(n int) float64 { return work / float64(n) }
+	s := NewGPDiscontinuous(Context{N: 14, Min: 2, GroupSizes: []int{2, 6, 6},
+		LP: lp}, GPOptions{})
+	rng := stats.NewRNG(17)
+	seq := []int{}
+	for i := 0; i < 7; i++ {
+		a := s.Next()
+		seq = append(seq, a)
+		s.Observe(a, f(a)+rng.Normal(0, 0.1))
+	}
+	if seq[0] != 14 {
+		t.Fatalf("first action = %d, want 14", seq[0])
+	}
+	// Bound: LP(n) < f(14) = 100/14+16.8 = 23.9 -> 100/n < 23.9 -> n >= 5.
+	allowed := s.Allowed()
+	if allowed[0] != 5 {
+		t.Fatalf("leftmost allowed = %d, want 5 (bound mechanism)", allowed[0])
+	}
+	if seq[1] != 5 {
+		t.Fatalf("second action = %d, want leftmost 5", seq[1])
+	}
+	mid := (5 + 14) / 2
+	if seq[2] != mid || seq[3] != mid {
+		t.Fatalf("actions 3-4 = %d,%d, want middle %d twice", seq[2], seq[3], mid)
+	}
+	// Group ends 2 and 8: 2 is excluded by the bound; 8 enters the design.
+	if seq[4] != 8 {
+		t.Fatalf("action 5 = %d, want group end 8", seq[4])
+	}
+}
+
+func TestGPDiscBoundExcludesHopelessActions(t *testing.T) {
+	work := 200.0
+	f := smoothCurve(work, 0.5)
+	lp := func(n int) float64 { return work / float64(n) }
+	s := NewGPDiscontinuous(Context{N: 14, Min: 2, LP: lp}, GPOptions{})
+	pool := poolFor(f, 2, 14, 0.3, 18)
+	rng := stats.NewRNG(19)
+	for i := 0; i < 60; i++ {
+		a := s.Next()
+		// f(14) = 200/14 + 7 = 21.3; LP(n) >= 21.3 for n <= 9.4 ->
+		// actions <= 9 excluded.
+		if i > 0 && a < 10 {
+			t.Fatalf("iteration %d proposed pruned action %d", i, a)
+		}
+		s.Observe(a, pool.Draw(a, rng))
+	}
+}
+
+func TestGPDiscFindsOptimumOnCliffCurve(t *testing.T) {
+	// Discontinuity at the group boundary 8 (slow group begins): optimum
+	// just before the cliff.
+	f := cliffCurve(100, 0.8, 8, 8)
+	opt := argminCurve(f, 2, 14)
+	lp := func(n int) float64 { return 100/float64(n) - 1 }
+	pool := poolFor(f, 2, 14, 0.5, 20)
+	s := NewGPDiscontinuous(Context{N: 14, Min: 2, GroupSizes: []int{2, 6, 6},
+		LP: lp}, GPOptions{})
+	got := runStrategy(s, pool, 100, 21)
+	if d := got - opt; d < -1 || d > 1 {
+		t.Fatalf("GP-discontinuous converged to %d, optimum %d", got, opt)
+	}
+}
+
+func TestGPDiscPosteriorAccessors(t *testing.T) {
+	f := smoothCurve(100, 1.2)
+	lp := func(n int) float64 { return 100 / float64(n) }
+	s := NewGPDiscontinuous(Context{N: 14, Min: 2, GroupSizes: []int{2, 6, 6},
+		LP: lp}, GPOptions{})
+	if _, _, ok := s.Posterior(10); ok {
+		t.Fatal("posterior should be unavailable before fitting")
+	}
+	rng := stats.NewRNG(22)
+	for i := 0; i < 12; i++ {
+		a := s.Next()
+		s.Observe(a, f(a)+rng.Normal(0, 0.1))
+	}
+	m, sd, ok := s.Posterior(12)
+	if !ok {
+		t.Fatal("posterior unavailable after model iterations")
+	}
+	if sd < 0 || math.IsNaN(m) {
+		t.Fatalf("posterior = (%v, %v)", m, sd)
+	}
+	alpha, theta := s.Hyperparameters()
+	if alpha <= 0 || theta != 1 {
+		t.Fatalf("hyperparameters = (%v, %v), want theta=1", alpha, theta)
+	}
+	if s.LastFitDuration() <= 0 {
+		t.Fatal("LastFitDuration should be positive after a model fit")
+	}
+}
+
+func TestGPAblationOptionsRun(t *testing.T) {
+	f := cliffCurve(100, 0.8, 8, 6)
+	lp := func(n int) float64 { return 100/float64(n) - 1 }
+	pool := poolFor(f, 2, 14, 0.5, 23)
+	for _, opt := range []GPOptions{
+		{DisableBound: true},
+		{DisableDummies: true},
+		{DisableTrend: true},
+		{DisableBound: true, DisableDummies: true, DisableTrend: true},
+	} {
+		s := NewGPDiscontinuous(Context{N: 14, Min: 2,
+			GroupSizes: []int{2, 6, 6}, LP: lp}, opt)
+		rng := stats.NewRNG(24)
+		for i := 0; i < 30; i++ {
+			a := s.Next()
+			if a < 2 || a > 14 {
+				t.Fatalf("ablation %+v proposed %d", opt, a)
+			}
+			s.Observe(a, pool.Draw(a, rng))
+		}
+	}
+}
+
+func TestEvaluateReplaysPool(t *testing.T) {
+	f := smoothCurve(60, 0.8)
+	pool := poolFor(f, 2, 14, 0.2, 25)
+	durations := Evaluate(NewDC(ctx14()), pool, 50, stats.NewRNG(26))
+	if len(durations) != 50 {
+		t.Fatalf("len = %d", len(durations))
+	}
+	for _, d := range durations {
+		if d <= 0 {
+			t.Fatalf("non-positive duration %v", d)
+		}
+	}
+}
+
+func TestAllStrategiesStayInBounds(t *testing.T) {
+	f := cliffCurve(80, 1.0, 8, 5)
+	lp := func(n int) float64 { return 80/float64(n) - 1 }
+	pool := poolFor(f, 2, 14, 0.5, 27)
+	build := func() []Strategy {
+		c := Context{N: 14, Min: 2, GroupSizes: []int{2, 6, 6}, LP: lp}
+		return []Strategy{
+			NewDC(c), NewRightLeft(c), NewBrent(c),
+			NewUCB(c, 0), NewUCBStruct(c, 0),
+			NewGPUCB(c, GPOptions{}), NewGPDiscontinuous(c, GPOptions{}),
+		}
+	}
+	for _, s := range build() {
+		rng := stats.NewRNG(28)
+		for i := 0; i < 40; i++ {
+			a := s.Next()
+			if a < 2 || a > 14 {
+				t.Fatalf("%s proposed out-of-bounds action %d", s.Name(), a)
+			}
+			s.Observe(a, pool.Draw(a, rng))
+		}
+	}
+}
+
+func TestGP2DInitAndConvergence(t *testing.T) {
+	f := func(a Action2D) float64 {
+		// Bowl with optimum at gen=6, fact=4.
+		dg := float64(a.Gen - 6)
+		df := float64(a.Fact - 4)
+		return 10 + 0.5*dg*dg + 0.8*df*df
+	}
+	s := NewGP2D(Context2D{N: 8, MinGen: 2, MinFact: 2}, GPOptions{})
+	rng := stats.NewRNG(29)
+	first := s.Next2D()
+	if first.Gen != 8 || first.Fact != 8 {
+		t.Fatalf("first 2D action = %+v, want (8,8)", first)
+	}
+	counts := map[Action2D]int{}
+	for i := 0; i < 120; i++ {
+		a := s.Next2D()
+		if a.Gen < 2 || a.Gen > 8 || a.Fact < 2 || a.Fact > 8 {
+			t.Fatalf("out-of-range 2D action %+v", a)
+		}
+		s.Observe2D(a, f(a)+rng.Normal(0, 0.2))
+		if i >= 90 {
+			counts[a]++
+		}
+	}
+	best, bc := Action2D{}, -1
+	for a, c := range counts {
+		if c > bc {
+			best, bc = a, c
+		}
+	}
+	if math.Abs(float64(best.Gen-6)) > 2 || math.Abs(float64(best.Fact-4)) > 2 {
+		t.Fatalf("GP-2D converged to %+v, want near (6,4)", best)
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 7 {
+		t.Fatalf("Table I rows = %d", len(rows))
+	}
+	if rows[6].Algorithm != "GP-discontinuous" ||
+		!rows[6].ResilientToNoise || !rows[6].Optimal || !rows[6].Fast {
+		t.Fatalf("GP-discontinuous row wrong: %+v", rows[6])
+	}
+	// Only the proposed method has all three properties unqualified.
+	for _, r := range rows[:6] {
+		if r.ResilientToNoise && r.Optimal && r.Fast && r.OptimalNote == "" {
+			t.Fatalf("%s should not have all properties", r.Algorithm)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package core
+
+// Expectation is one row of the paper's Table I: the qualitative
+// properties expected of each exploration strategy.
+type Expectation struct {
+	Algorithm        string
+	ResilientToNoise bool
+	Optimal          bool
+	OptimalNote      string
+	Fast             bool
+}
+
+// TableI returns the paper's Table I expectations, used by the reporting
+// tool and checked against measured behaviour by the harness tests.
+func TableI() []Expectation {
+	return []Expectation{
+		{Algorithm: "DC", Fast: true},
+		{Algorithm: "Right-Left", Fast: true},
+		{Algorithm: "Brent", Fast: true},
+		{Algorithm: "UCB", ResilientToNoise: true, Optimal: true},
+		{Algorithm: "UCB-struct", ResilientToNoise: true,
+			Optimal: true, OptimalNote: "limited exploration", Fast: true},
+		{Algorithm: "GP-UCB", ResilientToNoise: true, Optimal: true},
+		{Algorithm: "GP-discontinuous", ResilientToNoise: true,
+			Optimal: true, Fast: true},
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+
+	"phasetune/internal/bandit"
+)
+
+// UCBStrategy wraps the UCB1 bandit (Section IV-C) over a discrete arm
+// set; rewards are negated durations. The full variant uses every node
+// count in [Min, N]; the structured variant (UCB-struct) restricts arms
+// to complete homogeneous machine groups.
+type UCBStrategy struct {
+	name string
+	ucb  *bandit.UCB
+}
+
+// DefaultUCBConstant is the exploration constant c of Equation 1.
+const DefaultUCBConstant = math.Sqrt2
+
+// NewUCB builds the full-action-space bandit.
+func NewUCB(ctx Context, c float64) *UCBStrategy {
+	if err := ctx.Validate(); err != nil {
+		panic(err)
+	}
+	if c <= 0 {
+		c = DefaultUCBConstant
+	}
+	return &UCBStrategy{name: "UCB", ucb: bandit.NewUCB(ctx.Actions(), c)}
+}
+
+// NewUCBStruct builds the group-restricted bandit. Its arms are the
+// cumulative sizes of complete homogeneous groups (clipped to [Min, N]);
+// if the optimum lies between group boundaries this strategy can never
+// find it, as the paper discusses.
+func NewUCBStruct(ctx Context, c float64) *UCBStrategy {
+	if err := ctx.Validate(); err != nil {
+		panic(err)
+	}
+	if c <= 0 {
+		c = DefaultUCBConstant
+	}
+	var arms []int
+	for _, end := range bandit.StructArms(ctx.GroupSizes) {
+		if end >= ctx.Min && end <= ctx.N {
+			arms = append(arms, end)
+		}
+	}
+	if len(arms) == 0 {
+		arms = []int{ctx.N}
+	}
+	return &UCBStrategy{name: "UCB-struct", ucb: bandit.NewUCB(arms, c)}
+}
+
+// Name implements Strategy.
+func (u *UCBStrategy) Name() string { return u.name }
+
+// Next implements Strategy.
+func (u *UCBStrategy) Next() int { return u.ucb.Select() }
+
+// Observe implements Strategy.
+func (u *UCBStrategy) Observe(action int, duration float64) {
+	u.ucb.Observe(action, -duration)
+}
+
+// Arms exposes the bandit's action set (diagnostics and tests).
+func (u *UCBStrategy) Arms() []int { return u.ucb.Arms() }

@@ -1,0 +1,129 @@
+// Package des is a minimal discrete-event simulation core: a virtual
+// clock and a time-ordered event queue with cancellation. It plays the
+// role SimGrid's simulation kernel plays for StarPU-SimGrid in the paper.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at    float64
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 once removed
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() float64 { return e.at }
+
+// Engine owns the virtual clock and the pending event set.
+type Engine struct {
+	now    float64
+	queue  eventHeap
+	seq    uint64
+	nSteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it would corrupt causality.
+func (e *Engine) Schedule(at float64, fn func()) *Event {
+	if at < e.now {
+		panic("des: scheduling into the past")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step executes the earliest pending event. It reports whether an event
+// was executed.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.nSteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final clock.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t
+// (if it is ahead of the last event).
+func (e *Engine) RunUntil(t float64) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventHeap orders events by (time, insertion sequence) so simultaneous
+// events run in FIFO order, keeping simulations deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

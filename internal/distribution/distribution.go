@@ -1,0 +1,144 @@
+// Package distribution maps the tiles of the lower-triangular block
+// matrix onto nodes. It implements the distribution families the paper's
+// application relies on (from Nesi et al. ICPP'21 and the classical
+// heterogeneous allocations of Beaumont et al.): homogeneous 2D
+// block-cyclic, smooth weighted-cyclic columns, and work-balanced (LPT)
+// weighted columns for heterogeneous node sets. The generation phase uses
+// its own weighted distribution over all nodes.
+package distribution
+
+import "sort"
+
+// Dist assigns an owner node to every lower-triangular tile (i, j) with
+// i >= j of a Tiles x Tiles block matrix.
+type Dist struct {
+	Tiles int
+	owner func(i, j int) int
+}
+
+// Owner returns the node owning tile (i, j). Callers must pass i >= j.
+func (d *Dist) Owner(i, j int) int { return d.owner(i, j) }
+
+// Counts returns how many tiles each of n nodes owns.
+func (d *Dist) Counts(n int) []int {
+	out := make([]int, n)
+	for i := 0; i < d.Tiles; i++ {
+		for j := 0; j <= i; j++ {
+			out[d.Owner(i, j)]++
+		}
+	}
+	return out
+}
+
+// BlockCyclic2D is the homogeneous p x q block-cyclic distribution:
+// owner(i, j) = (i mod p) * q + (j mod q).
+func BlockCyclic2D(tiles, p, q int) *Dist {
+	return &Dist{Tiles: tiles, owner: func(i, j int) int {
+		return (i%p)*q + (j % q)
+	}}
+}
+
+// proportionalSequence returns a length-n sequence over len(weights)
+// values in which value v appears with frequency proportional to
+// weights[v], interleaved smoothly (Sainte-Laguë style quota method).
+func proportionalSequence(weights []float64, n int) []int {
+	k := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	seq := make([]int, n)
+	given := make([]float64, k)
+	for t := 0; t < n; t++ {
+		best, bestDeficit := 0, -1.0
+		for v := 0; v < k; v++ {
+			if weights[v] <= 0 {
+				continue
+			}
+			target := weights[v] * float64(t+1) / total
+			deficit := target - given[v]
+			if deficit > bestDeficit {
+				best, bestDeficit = v, deficit
+			}
+		}
+		seq[t] = best
+		given[best]++
+	}
+	return seq
+}
+
+// WeightedCyclicColumns assigns each tile column to a node with frequency
+// proportional to the node's speed, smoothly interleaved. All tiles of a
+// column share an owner (1D column distribution), which keeps panel
+// operations local — the layout family used for the factorization.
+func WeightedCyclicColumns(tiles int, speeds []float64) *Dist {
+	cols := proportionalSequence(speeds, tiles)
+	return &Dist{Tiles: tiles, owner: func(i, j int) int { return cols[j] }}
+}
+
+// WeightedColumnLPT balances the actual factorization work: column j of a
+// T-tile Cholesky carries roughly (T-j)*(j+1) tile-updates of work.
+// Columns are assigned in decreasing work order to the node with the
+// smallest normalized load (longest-processing-time greedy on load/speed).
+// Slow nodes therefore end up owning the small, late columns — the exact
+// mechanism behind the paper's critical-path discontinuities.
+func WeightedColumnLPT(tiles int, speeds []float64) *Dist {
+	type col struct {
+		j    int
+		work float64
+	}
+	cols := make([]col, tiles)
+	for j := 0; j < tiles; j++ {
+		cols[j] = col{j, float64(tiles-j) * float64(j+1)}
+	}
+	sort.Slice(cols, func(a, b int) bool {
+		if cols[a].work != cols[b].work {
+			return cols[a].work > cols[b].work
+		}
+		return cols[a].j < cols[b].j
+	})
+	load := make([]float64, len(speeds))
+	ownerOf := make([]int, tiles)
+	for _, c := range cols {
+		best := -1
+		bestLoad := 0.0
+		for v, s := range speeds {
+			if s <= 0 {
+				continue
+			}
+			l := (load[v] + c.work) / s
+			if best == -1 || l < bestLoad {
+				best, bestLoad = v, l
+			}
+		}
+		if best == -1 {
+			panic("distribution: no node with positive speed")
+		}
+		load[best] += c.work
+		ownerOf[c.j] = best
+	}
+	return &Dist{Tiles: tiles, owner: func(i, j int) int { return ownerOf[j] }}
+}
+
+// GenerationDist spreads individual tiles over all nodes proportionally
+// to CPU speed — the generation phase is embarrassingly parallel, so a
+// smooth elementwise interleave suffices.
+func GenerationDist(tiles int, cpuSpeeds []float64) *Dist {
+	total := tiles * (tiles + 1) / 2
+	seq := proportionalSequence(cpuSpeeds, total)
+	return &Dist{Tiles: tiles, owner: func(i, j int) int {
+		// Linear index of (i, j) in the row-major lower triangle.
+		return seq[i*(i+1)/2+j]
+	}}
+}
+
+// LoadPerNode returns, for each node, the total column work it owns under
+// a column distribution d, using the (T-j)*(j+1) per-column work model.
+// Useful for balance diagnostics and tests.
+func LoadPerNode(d *Dist, n int) []float64 {
+	out := make([]float64, n)
+	for j := 0; j < d.Tiles; j++ {
+		out[d.Owner(d.Tiles-1, j)] += float64(d.Tiles-j) * float64(j+1)
+	}
+	return out
+}

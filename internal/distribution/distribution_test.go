@@ -1,0 +1,199 @@
+package distribution
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockCyclic2DCoversAllNodes(t *testing.T) {
+	d := BlockCyclic2D(8, 2, 2)
+	counts := d.Counts(4)
+	total := 0
+	for v, c := range counts {
+		if c == 0 {
+			t.Fatalf("node %d owns no tiles", v)
+		}
+		total += c
+	}
+	if total != 8*9/2 {
+		t.Fatalf("total tiles = %d", total)
+	}
+}
+
+func TestBlockCyclic2DPattern(t *testing.T) {
+	d := BlockCyclic2D(4, 2, 2)
+	if d.Owner(0, 0) != 0 || d.Owner(1, 0) != 2 || d.Owner(1, 1) != 3 ||
+		d.Owner(2, 0) != 0 || d.Owner(3, 2) != 2 {
+		t.Fatal("2D cyclic owner pattern wrong")
+	}
+}
+
+func TestProportionalSequenceFrequencies(t *testing.T) {
+	seq := proportionalSequence([]float64{3, 1}, 40)
+	counts := [2]int{}
+	for _, v := range seq {
+		counts[v]++
+	}
+	if counts[0] != 30 || counts[1] != 10 {
+		t.Fatalf("counts = %v, want 30/10", counts)
+	}
+}
+
+func TestProportionalSequenceInterleaves(t *testing.T) {
+	// With equal weights the sequence must alternate within every window
+	// of size k.
+	seq := proportionalSequence([]float64{1, 1, 1}, 30)
+	for w := 0; w+3 <= len(seq); w += 3 {
+		seen := map[int]bool{}
+		for _, v := range seq[w : w+3] {
+			seen[v] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("window at %d not a permutation: %v", w, seq[w:w+3])
+		}
+	}
+}
+
+func TestProportionalSequenceSkipsZeroWeight(t *testing.T) {
+	seq := proportionalSequence([]float64{1, 0, 2}, 12)
+	for _, v := range seq {
+		if v == 1 {
+			t.Fatal("zero-weight node received work")
+		}
+	}
+}
+
+func TestWeightedCyclicColumnsProportional(t *testing.T) {
+	speeds := []float64{4, 2, 2}
+	d := WeightedCyclicColumns(64, speeds)
+	colCount := make([]int, 3)
+	for j := 0; j < 64; j++ {
+		colCount[d.Owner(63, j)]++
+	}
+	if colCount[0] != 32 || colCount[1] != 16 || colCount[2] != 16 {
+		t.Fatalf("column counts = %v", colCount)
+	}
+	// Column distribution: owner independent of row.
+	for i := 5; i < 64; i++ {
+		if d.Owner(i, 3) != d.Owner(63, 3) {
+			t.Fatal("column owner varies with row")
+		}
+	}
+}
+
+func TestWeightedColumnLPTBalances(t *testing.T) {
+	speeds := []float64{10, 5, 1}
+	d := WeightedColumnLPT(96, speeds)
+	loads := LoadPerNode(d, 3)
+	// Normalized loads (time) should be within ~25% of each other.
+	times := make([]float64, 3)
+	for v := range loads {
+		times[v] = loads[v] / speeds[v]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range times {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi > 1.3*lo {
+		t.Fatalf("normalized loads unbalanced: %v", times)
+	}
+}
+
+func TestWeightedColumnLPTSlowNodeGetsLateColumns(t *testing.T) {
+	// The slow node should predominantly own low-work columns, which for
+	// Cholesky are at the extremes (early j has few rows? no: work
+	// (T-j)(j+1) peaks in the middle). Verify the slow node's average
+	// per-column work is below the fast node's.
+	speeds := []float64{10, 1}
+	d := WeightedColumnLPT(64, speeds)
+	var work [2]float64
+	var count [2]int
+	for j := 0; j < 64; j++ {
+		o := d.Owner(63, j)
+		work[o] += float64(64-j) * float64(j+1)
+		count[o]++
+	}
+	if count[1] == 0 {
+		t.Skip("slow node received no columns at this size")
+	}
+	avgFast := work[0] / float64(count[0])
+	avgSlow := work[1] / float64(count[1])
+	if avgSlow > avgFast {
+		t.Fatalf("slow node owns heavier columns on average: %v vs %v",
+			avgSlow, avgFast)
+	}
+}
+
+func TestWeightedColumnLPTAllColumnsOwned(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%7) + 1
+		if n < 1 {
+			n = 1
+		}
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = float64(i%3 + 1)
+		}
+		tiles := 20 + int(seed%13+13)%13
+		d := WeightedColumnLPT(tiles, speeds)
+		for j := 0; j < tiles; j++ {
+			o := d.Owner(tiles-1, j)
+			if o < 0 || o >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerationDistProportional(t *testing.T) {
+	speeds := []float64{2, 1, 1}
+	d := GenerationDist(32, speeds)
+	counts := d.Counts(3)
+	total := 32 * 33 / 2
+	if counts[0]+counts[1]+counts[2] != total {
+		t.Fatalf("counts sum = %v", counts)
+	}
+	frac := float64(counts[0]) / float64(total)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("fast node owns fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestCountsMatchManualScan(t *testing.T) {
+	d := WeightedCyclicColumns(10, []float64{1, 1})
+	counts := d.Counts(2)
+	manual := make([]int, 2)
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			manual[d.Owner(i, j)]++
+		}
+	}
+	for v := range counts {
+		if counts[v] != manual[v] {
+			t.Fatalf("Counts = %v, manual = %v", counts, manual)
+		}
+	}
+}
+
+func TestDistsChangeWithNodeCount(t *testing.T) {
+	// Adding a node must change the mapping (the paper's "distribution
+	// break" effect when partitions reorganize).
+	speeds5 := []float64{5, 4, 3, 2, 1}
+	d5 := WeightedCyclicColumns(40, speeds5)
+	d4 := WeightedCyclicColumns(40, speeds5[:4])
+	diff := 0
+	for j := 0; j < 40; j++ {
+		if d5.Owner(39, j) != d4.Owner(39, j) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("distribution identical after adding a node")
+	}
+}

@@ -1,0 +1,12 @@
+package distribution
+
+// FullDist spreads the tiles of a full (square) T x T grid over nodes
+// proportionally to their speeds, elementwise — used for assembly-style
+// embarrassingly parallel phases over non-symmetric matrices (the LU
+// application's first phase).
+func FullDist(tiles int, speeds []float64) *Dist {
+	seq := proportionalSequence(speeds, tiles*tiles)
+	return &Dist{Tiles: tiles, owner: func(i, j int) int {
+		return seq[i*tiles+j]
+	}}
+}

@@ -1,0 +1,75 @@
+package distribution
+
+import (
+	"math"
+	"sort"
+)
+
+// WeightedGrid is the heterogeneous two-level (2D) distribution used for
+// the factorization phase, in the spirit of the heterogeneous partitions
+// of Beaumont et al. that the paper's distributions build on:
+//
+//  1. nodes are packed into q ~ sqrt(n) "super-columns" of balanced
+//     aggregate speed (greedy LPT),
+//  2. block-columns are dealt to super-columns proportionally to their
+//     aggregate speed (smooth interleave),
+//  3. within a super-column, block-rows are dealt to member nodes
+//     proportionally to their individual speed.
+//
+// Every node's tile share stays proportional to its speed while a tile's
+// consumers shrink from O(n) (1D columns) to O(sqrt(n)) — the volume
+// scaling that lets fast-network platforms profit from many nodes.
+func WeightedGrid(tiles int, speeds []float64) *Dist {
+	n := len(speeds)
+	if n == 0 {
+		panic("distribution: WeightedGrid with no nodes")
+	}
+	q := int(math.Round(math.Sqrt(float64(n))))
+	if q < 1 {
+		q = 1
+	}
+	if q > n {
+		q = n
+	}
+	// Greedy LPT packing of nodes into q buckets balanced by speed.
+	type bucket struct {
+		members []int
+		agg     float64
+	}
+	buckets := make([]bucket, q)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return speeds[order[a]] > speeds[order[b]]
+	})
+	for _, v := range order {
+		best := 0
+		for b := 1; b < q; b++ {
+			if buckets[b].agg < buckets[best].agg {
+				best = b
+			}
+		}
+		buckets[best].members = append(buckets[best].members, v)
+		buckets[best].agg += speeds[v]
+	}
+	// Column pattern over buckets, row pattern per bucket over members.
+	aggs := make([]float64, q)
+	for b := range buckets {
+		aggs[b] = buckets[b].agg
+	}
+	colPattern := proportionalSequence(aggs, tiles)
+	rowPatterns := make([][]int, q)
+	for b := range buckets {
+		ms := make([]float64, len(buckets[b].members))
+		for i, v := range buckets[b].members {
+			ms[i] = speeds[v]
+		}
+		rowPatterns[b] = proportionalSequence(ms, tiles)
+	}
+	return &Dist{Tiles: tiles, owner: func(i, j int) int {
+		b := colPattern[j]
+		return buckets[b].members[rowPatterns[b][i]]
+	}}
+}

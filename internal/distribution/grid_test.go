@@ -1,0 +1,112 @@
+package distribution
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedGridLoadProportional(t *testing.T) {
+	speeds := []float64{8, 8, 4, 4, 2, 2}
+	d := WeightedGrid(48, speeds)
+	counts := d.Counts(6)
+	total := 48 * 49 / 2
+	sumSpeed := 28.0
+	for v, c := range counts {
+		want := speeds[v] / sumSpeed
+		got := float64(c) / float64(total)
+		if math.Abs(got-want) > 0.06 {
+			t.Fatalf("node %d owns fraction %.3f, want ~%.3f (counts %v)",
+				v, got, want, counts)
+		}
+	}
+}
+
+func TestWeightedGridAllNodesUsed(t *testing.T) {
+	speeds := make([]float64, 9)
+	for i := range speeds {
+		speeds[i] = float64(10 - i)
+	}
+	d := WeightedGrid(30, speeds)
+	counts := d.Counts(9)
+	for v, c := range counts {
+		if c == 0 {
+			t.Fatalf("node %d received no tiles", v)
+		}
+	}
+}
+
+func TestWeightedGridConsumerScaling(t *testing.T) {
+	// The point of the 2D distribution: the number of distinct owners in
+	// any block row or column is O(sqrt(n)), not O(n).
+	n := 36
+	speeds := make([]float64, n)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	tiles := 72
+	d := WeightedGrid(tiles, speeds)
+	maxRowOwners := 0
+	for i := 0; i < tiles; i++ {
+		owners := map[int]bool{}
+		for j := 0; j <= i; j++ {
+			owners[d.Owner(i, j)] = true
+		}
+		if len(owners) > maxRowOwners {
+			maxRowOwners = len(owners)
+		}
+	}
+	// q = 6 super-columns: a row's tiles touch at most q owners.
+	if maxRowOwners > 7 {
+		t.Fatalf("row owners = %d, want <= ~sqrt(n)", maxRowOwners)
+	}
+	maxColOwners := 0
+	for j := 0; j < tiles; j++ {
+		owners := map[int]bool{}
+		for i := j; i < tiles; i++ {
+			owners[d.Owner(i, j)] = true
+		}
+		if len(owners) > maxColOwners {
+			maxColOwners = len(owners)
+		}
+	}
+	if maxColOwners > 8 {
+		t.Fatalf("column owners = %d, want <= ~n/sqrt(n)+slack", maxColOwners)
+	}
+}
+
+func TestWeightedGridSingleNode(t *testing.T) {
+	d := WeightedGrid(10, []float64{3})
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			if d.Owner(i, j) != 0 {
+				t.Fatal("single node must own everything")
+			}
+		}
+	}
+}
+
+func TestWeightedGridChangesWithN(t *testing.T) {
+	speeds := []float64{5, 4, 3, 2, 1}
+	d5 := WeightedGrid(24, speeds)
+	d4 := WeightedGrid(24, speeds[:4])
+	diff := 0
+	for i := 0; i < 24; i++ {
+		for j := 0; j <= i; j++ {
+			if d5.Owner(i, j) != d4.Owner(i, j) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("grid distribution identical after adding a node")
+	}
+}
+
+func TestWeightedGridPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedGrid(4, nil)
+}

@@ -1,0 +1,308 @@
+package geostat
+
+import (
+	"math"
+	"testing"
+
+	"phasetune/internal/des"
+	"phasetune/internal/linalg"
+	"phasetune/internal/simnet"
+	"phasetune/internal/stats"
+	"phasetune/internal/taskrt"
+)
+
+func TestMaternClosedForms(t *testing.T) {
+	m05 := Matern{Sigma2: 2, Beta: 1, Nu: 0.5}
+	if got, want := m05.Cov(1), 2*math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("nu=0.5: %v, want %v", got, want)
+	}
+	m15 := Matern{Sigma2: 1, Beta: 1, Nu: 1.5}
+	s := math.Sqrt(3)
+	if got, want := m15.Cov(1), (1+s)*math.Exp(-s); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("nu=1.5: %v, want %v", got, want)
+	}
+	m25 := Matern{Sigma2: 1, Beta: 2, Nu: 2.5}
+	z := math.Sqrt(5) / 2
+	if got, want := m25.Cov(1), (1+z+z*z/3)*math.Exp(-z); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("nu=2.5: %v, want %v", got, want)
+	}
+}
+
+func TestMaternAtZeroIsVariance(t *testing.T) {
+	for _, nu := range []float64{0.5, 1.5, 2.5} {
+		m := Matern{Sigma2: 3, Beta: 0.7, Nu: nu}
+		if math.Abs(m.Cov(0)-3) > 1e-12 {
+			t.Fatalf("nu=%v: Cov(0) = %v", nu, m.Cov(0))
+		}
+	}
+}
+
+func TestMaternValidate(t *testing.T) {
+	if (Matern{Sigma2: 1, Beta: 1, Nu: 0.5}).Validate() != nil {
+		t.Fatal("valid kernel rejected")
+	}
+	if (Matern{Sigma2: 0, Beta: 1}).Validate() == nil ||
+		(Matern{Sigma2: 1, Beta: -1}).Validate() == nil {
+		t.Fatal("invalid kernel accepted")
+	}
+}
+
+func TestLocationsGenerators(t *testing.T) {
+	rng := stats.NewRNG(1)
+	u := UniformLocations(50, rng)
+	if len(u) != 50 {
+		t.Fatalf("len = %d", len(u))
+	}
+	g := GridLocations(49, 0.3, rng)
+	if len(g) != 49 {
+		t.Fatalf("grid len = %d", len(g))
+	}
+	for _, p := range append(u, g...) {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("point out of unit square: %+v", p)
+		}
+	}
+}
+
+func TestCovMatrixSPD(t *testing.T) {
+	rng := stats.NewRNG(2)
+	locs := UniformLocations(40, rng)
+	sigma := CovMatrix(locs, Matern{Sigma2: 1, Beta: 0.2, Nu: 0.5}, 1e-8)
+	if _, err := linalg.Cholesky(sigma); err != nil {
+		t.Fatalf("covariance not SPD: %v", err)
+	}
+	// Symmetry.
+	if d := linalg.MaxAbsDiff(sigma, sigma.T()); d != 0 {
+		t.Fatalf("asymmetry %v", d)
+	}
+}
+
+func TestSimulateFieldVariance(t *testing.T) {
+	rng := stats.NewRNG(3)
+	locs := UniformLocations(30, rng)
+	kernel := Matern{Sigma2: 4, Beta: 0.1, Nu: 0.5}
+	var all []float64
+	for rep := 0; rep < 60; rep++ {
+		z, err := SimulateField(locs, kernel, 1e-8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, z...)
+	}
+	v := stats.Variance(all)
+	if v < 2.5 || v > 5.5 {
+		t.Fatalf("field variance = %v, want ~4", v)
+	}
+}
+
+func TestIterateMatchesDirectLogLik(t *testing.T) {
+	rng := stats.NewRNG(4)
+	locs := UniformLocations(24, rng)
+	kernel := Matern{Sigma2: 1.5, Beta: 0.15, Nu: 0.5}
+	z, err := SimulateField(locs, kernel, 1e-8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &Evaluator{Locs: locs, Z: z, Nugget: 1e-8}
+	res, err := ev.Iterate(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct computation.
+	sigma := CovMatrix(locs, kernel, 1e-8)
+	l, err := linalg.Cholesky(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := linalg.CholSolve(l, z)
+	want := -0.5*linalg.Dot(z, x) - 0.5*linalg.LogDetFromChol(l) -
+		0.5*float64(len(z))*math.Log(2*math.Pi)
+	if math.Abs(res.LogLik-want) > 1e-8 {
+		t.Fatalf("LogLik = %v, want %v", res.LogLik, want)
+	}
+}
+
+func TestIterateTiledMatchesDense(t *testing.T) {
+	rng := stats.NewRNG(5)
+	locs := UniformLocations(32, rng)
+	kernel := Matern{Sigma2: 1, Beta: 0.2, Nu: 1.5}
+	z, err := SimulateField(locs, kernel, 1e-8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := &Evaluator{Locs: locs, Z: z, Nugget: 1e-6}
+	tiled := &Evaluator{Locs: locs, Z: z, Nugget: 1e-6, TileSize: 8, Workers: 3}
+	rd, err := dense.Iterate(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tiled.Iterate(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rd.LogLik-rt.LogLik) > 1e-6 {
+		t.Fatalf("tiled %v vs dense %v", rt.LogLik, rd.LogLik)
+	}
+}
+
+func TestIterateErrors(t *testing.T) {
+	ev := &Evaluator{Locs: make([]Point, 3), Z: make([]float64, 2)}
+	if _, err := ev.Iterate(Matern{Sigma2: 1, Beta: 1, Nu: 0.5}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	ev2 := &Evaluator{Locs: make([]Point, 2), Z: make([]float64, 2)}
+	if _, err := ev2.Iterate(Matern{}); err == nil {
+		t.Fatal("invalid kernel should error")
+	}
+}
+
+func TestFitRangeRecoversBeta(t *testing.T) {
+	rng := stats.NewRNG(6)
+	locs := GridLocations(64, 0.4, rng)
+	truth := Matern{Sigma2: 1, Beta: 0.2, Nu: 0.5}
+	z, err := SimulateField(locs, truth, 1e-8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &Evaluator{Locs: locs, Z: z, Nugget: 1e-8}
+	fit, err := ev.FitRange(1, 0.5, 0.02, 1.0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MLE from one realization is noisy; require the right order of
+	// magnitude and that the likelihood at the fit beats bad candidates.
+	if fit.Kernel.Beta < 0.03 || fit.Kernel.Beta > 0.9 {
+		t.Fatalf("fitted beta = %v, truth 0.2", fit.Kernel.Beta)
+	}
+	bad, err := ev.Iterate(Matern{Sigma2: 1, Beta: 0.9, Nu: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.LogLik < bad.LogLik {
+		t.Fatalf("fit loglik %v below far-off candidate %v", fit.LogLik, bad.LogLik)
+	}
+	if fit.Iterations != len(fit.PerIter) {
+		t.Fatalf("iteration bookkeeping mismatch: %d vs %d",
+			fit.Iterations, len(fit.PerIter))
+	}
+}
+
+func TestPhaseTimingsTotal(t *testing.T) {
+	p := PhaseTimings{Generation: 1, Factorization: 2, Solve: 3, Determinant: 4, DotProduct: 5}
+	if p.Total() != 15 {
+		t.Fatalf("Total = %v", p.Total())
+	}
+}
+
+func buildSimRuntime(nodes int) (*taskrt.Runtime, *des.Engine) {
+	eng := des.NewEngine()
+	net := simnet.NewFast(eng, nodes, simnet.Topology{
+		NICBandwidth: 7e9, BackboneBandwidth: 1e11, Latency: 1e-5,
+	})
+	specs := make([]taskrt.NodeSpec, nodes)
+	for i := range specs {
+		if i < nodes/2 {
+			specs[i] = taskrt.NodeSpec{CPUSpeed: 700, GPUSpeeds: []float64{2000, 2000}}
+		} else {
+			specs[i] = taskrt.NodeSpec{CPUSpeed: 550}
+		}
+	}
+	return taskrt.New(eng, specs, net), eng
+}
+
+func iterSpec(tiles, nGen, nFact int) IterationSpec {
+	gen := make([]float64, nGen)
+	fact := make([]float64, nFact)
+	for i := range gen {
+		if i < nGen/2 {
+			gen[i] = 700
+		} else {
+			gen[i] = 550
+		}
+	}
+	for i := range fact {
+		if i < nGen/2 {
+			fact[i] = 4700
+		} else {
+			fact[i] = 550
+		}
+	}
+	return IterationSpec{
+		Tiles: tiles, TileSize: 960, TileBytes: 960 * 960 * 8,
+		GenSpeeds: gen, FactSpeeds: fact,
+	}
+}
+
+func TestBuildIterationGraphRuns(t *testing.T) {
+	rt, _ := buildSimRuntime(6)
+	if err := BuildIterationGraph(rt, iterSpec(12, 6, 4)); err != nil {
+		t.Fatal(err)
+	}
+	mk := rt.Run()
+	if mk <= 0 || math.IsInf(mk, 0) || math.IsNaN(mk) {
+		t.Fatalf("makespan = %v", mk)
+	}
+}
+
+func TestBuildIterationGraphValidation(t *testing.T) {
+	rt, _ := buildSimRuntime(2)
+	if err := BuildIterationGraph(rt, IterationSpec{}); err == nil {
+		t.Fatal("empty spec should error")
+	}
+	if err := BuildIterationGraph(rt, IterationSpec{Tiles: 4, TileSize: 10}); err == nil {
+		t.Fatal("missing speeds should error")
+	}
+}
+
+func TestIterationMakespanConvexTrend(t *testing.T) {
+	// Over a comm-bound platform, the makespan as a function of the
+	// number of factorization nodes should improve initially and
+	// eventually stop improving (the paper's core observation). We check
+	// the two endpoints against the interior minimum.
+	makespan := func(nFact int) float64 {
+		rt, _ := buildSimRuntime(6)
+		if err := BuildIterationGraph(rt, iterSpec(24, 6, nFact)); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Run()
+	}
+	m1 := makespan(1)
+	best := math.Inf(1)
+	for n := 2; n <= 5; n++ {
+		if m := makespan(n); m < best {
+			best = m
+		}
+	}
+	if best >= m1 {
+		t.Fatalf("adding nodes never helped: m1=%v best=%v", m1, best)
+	}
+}
+
+func TestIterateMixedPrecisionCloseToFull(t *testing.T) {
+	rng := stats.NewRNG(8)
+	locs := UniformLocations(32, rng)
+	kernel := Matern{Sigma2: 1, Beta: 0.2, Nu: 0.5}
+	z, err := SimulateField(locs, kernel, 1e-6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &Evaluator{Locs: locs, Z: z, Nugget: 1e-6, TileSize: 8, Workers: 2}
+	mixed := &Evaluator{Locs: locs, Z: z, Nugget: 1e-6, TileSize: 8, Workers: 2,
+		MixedBand: 1}
+	rf, err := full.Iterate(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := mixed.Iterate(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(rf.LogLik-rm.LogLik) / math.Abs(rf.LogLik)
+	if rel > 0.01 {
+		t.Fatalf("mixed-precision loglik off by %.3f%% (full %v, mixed %v)",
+			100*rel, rf.LogLik, rm.LogLik)
+	}
+	if rf.LogLik == rm.LogLik {
+		t.Fatal("mixed precision had no numeric effect (band ignored?)")
+	}
+}

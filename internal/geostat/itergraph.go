@@ -1,0 +1,101 @@
+package geostat
+
+import (
+	"fmt"
+
+	"phasetune/internal/cholesky"
+	"phasetune/internal/distribution"
+	"phasetune/internal/taskrt"
+)
+
+// GenFlopsPerElement is the calibrated cost of generating one covariance
+// matrix element (Matérn evaluation) in Gflop. It controls the relative
+// length of the CPU-only generation phase versus the factorization, tuned
+// so the phase proportions match the paper's Figures 1-2.
+const GenFlopsPerElement = 8e-6
+
+// IterationSpec parameterizes the task graph of one application iteration
+// for the simulated runtime.
+//
+// Node indices are platform indices (fastest first): the generation phase
+// runs on nodes 0..len(GenSpeeds)-1 and the factorization on nodes
+// 0..len(FactSpeeds)-1, mirroring the paper where generation uses all
+// nodes and factorization the n fastest.
+type IterationSpec struct {
+	Tiles     int
+	TileSize  int
+	TileBytes float64
+	// GenSpeeds are the CPU speeds of the generation nodes.
+	GenSpeeds []float64
+	// FactSpeeds are the factorization speeds of the factorization nodes.
+	FactSpeeds []float64
+}
+
+// BuildIterationGraph submits the five phases of one iteration to the
+// runtime: generation tasks (CPU-only, spread over the generation nodes),
+// the tiled Cholesky DAG (over the factorization nodes, fine-grained
+// dependencies letting the phases overlap), and the small solve /
+// determinant / dot-product chains.
+func BuildIterationGraph(rt *taskrt.Runtime, spec IterationSpec) error {
+	if spec.Tiles <= 0 || spec.TileSize <= 0 {
+		return fmt.Errorf("geostat: bad iteration spec %+v", spec)
+	}
+	if len(spec.GenSpeeds) == 0 || len(spec.FactSpeeds) == 0 {
+		return fmt.Errorf("geostat: empty node speed sets")
+	}
+	T := spec.Tiles
+	genDist := distribution.GenerationDist(T, spec.GenSpeeds)
+	factDist := distribution.WeightedGrid(T, spec.FactSpeeds)
+
+	b := float64(spec.TileSize)
+	genFlops := b * b * GenFlopsPerElement
+
+	// Generation: one CPU-only task per lower-triangle tile. Priority
+	// follows the panel that first consumes the tile so early panels'
+	// inputs materialize first and factorization overlaps generation.
+	producers := make([][]*taskrt.Task, T)
+	for i := 0; i < T; i++ {
+		producers[i] = make([]*taskrt.Task, i+1)
+		for j := 0; j <= i; j++ {
+			prio := int64(T-j) * 4
+			producers[i][j] = rt.NewTask(
+				fmt.Sprintf("gen(%d,%d)", i, j), "gen",
+				genFlops, genDist.Owner(i, j), true, prio)
+		}
+	}
+
+	potrfs := cholesky.BuildDAG(rt, T, spec.TileBytes,
+		cholesky.KernelCosts(spec.TileSize), factDist.Owner, producers)
+
+	// Solve: tiled forward/backward substitution approximated as a chain
+	// of per-diagonal tasks gated by the panel roots.
+	const g = 1e-9
+	vecBytes := b * 8
+	trsvFlops := 2 * b * b * g
+	var prev *taskrt.Task
+	for k := 0; k < T; k++ {
+		s := rt.NewTask(fmt.Sprintf("solve(%d)", k), "solve",
+			trsvFlops, factDist.Owner(k, k), false, 2)
+		rt.AddDep(s, potrfs[k], spec.TileBytes)
+		rt.AddDep(s, prev, vecBytes)
+		prev = s
+	}
+	solveTail := prev
+
+	// Determinant: per-diagonal log-sums reduced along a chain.
+	var dprev *taskrt.Task
+	for k := 0; k < T; k++ {
+		d := rt.NewTask(fmt.Sprintf("det(%d)", k), "det",
+			b*g, factDist.Owner(k, k), false, 1)
+		rt.AddDep(d, potrfs[k], 0)
+		rt.AddDep(d, dprev, 8)
+		dprev = d
+	}
+
+	// Dot product: consumes the solve result.
+	dot := rt.NewTask("dot", "dot", 2*b*float64(T)*g,
+		factDist.Owner(T-1, T-1), false, 0)
+	rt.AddDep(dot, solveTail, vecBytes)
+	rt.AddDep(dot, dprev, 8)
+	return nil
+}

@@ -1,0 +1,59 @@
+package geostat
+
+import (
+	"testing"
+
+	"phasetune/internal/cholesky"
+	"phasetune/internal/des"
+	"phasetune/internal/simnet"
+	"phasetune/internal/taskrt"
+)
+
+func TestIterationGraphTaskAccounting(t *testing.T) {
+	rt, _ := buildSimRuntime(4)
+	T := 10
+	if err := BuildIterationGraph(rt, iterSpec(T, 4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// gen: T(T+1)/2, factorization: cholesky.TaskCount, solve: T,
+	// det: T, dot: 1.
+	want := T*(T+1)/2 + cholesky.TaskCount(T) + T + T + 1
+	if got := rt.NumTasks(); got != want {
+		t.Fatalf("tasks = %d, want %d", got, want)
+	}
+}
+
+func TestIterationPhasesObserved(t *testing.T) {
+	eng := des.NewEngine()
+	net := simnet.NewFast(eng, 3, simnet.Topology{NICBandwidth: 7e9, Latency: 1e-5})
+	specs := []taskrt.NodeSpec{
+		{CPUSpeed: 480, CPUCores: 4, GPUSpeeds: []float64{1300}},
+		{CPUSpeed: 480, CPUCores: 4, GPUSpeeds: []float64{1300}},
+		{CPUSpeed: 480, CPUCores: 4},
+	}
+	rt := taskrt.New(eng, specs, net)
+	kinds := map[string]int{}
+	rt.SetObserver(kindCounter{kinds})
+	spec := IterationSpec{
+		Tiles: 8, TileSize: 960, TileBytes: 960 * 960 * 8,
+		GenSpeeds:  []float64{480, 480, 480},
+		FactSpeeds: []float64{3080, 3080},
+	}
+	if err := BuildIterationGraph(rt, spec); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	for _, kind := range []string{"gen", "potrf", "trsm", "syrk", "gemm",
+		"solve", "det", "dot"} {
+		if kinds[kind] == 0 {
+			t.Fatalf("phase %q never executed (%v)", kind, kinds)
+		}
+	}
+}
+
+type kindCounter struct{ m map[string]int }
+
+func (k kindCounter) TaskStarted(*taskrt.Task, string, float64) {}
+func (k kindCounter) TaskFinished(t *taskrt.Task, _ string, _ float64) {
+	k.m[t.Kind]++
+}

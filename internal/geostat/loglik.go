@@ -1,0 +1,161 @@
+package geostat
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"phasetune/internal/cholesky"
+	"phasetune/internal/linalg"
+	"phasetune/internal/optimize"
+)
+
+// PhaseTimings records the wall-clock cost of the five phases of one
+// log-likelihood iteration — the structure the whole paper revolves
+// around.
+type PhaseTimings struct {
+	Generation    time.Duration
+	Factorization time.Duration
+	Solve         time.Duration
+	Determinant   time.Duration
+	DotProduct    time.Duration
+}
+
+// Total returns the summed phase time.
+func (p PhaseTimings) Total() time.Duration {
+	return p.Generation + p.Factorization + p.Solve + p.Determinant + p.DotProduct
+}
+
+// IterationResult is the outcome of one likelihood evaluation.
+type IterationResult struct {
+	LogLik  float64
+	Timings PhaseTimings
+}
+
+// Evaluator computes the Gaussian log-likelihood of observations z at
+// locations locs for candidate Matérn parameters, executing the five
+// ExaGeoStat phases. Workers configures the tiled factorization's
+// parallelism; TileSize the tile side (0 = dense un-tiled path).
+type Evaluator struct {
+	Locs     []Point
+	Z        []float64
+	Nugget   float64
+	TileSize int
+	Workers  int
+	// MixedBand, when positive, stores tiles beyond that many block
+	// diagonals in float32 during the factorization — the
+	// accuracy/performance dial of the paper's mixed-precision
+	// discussion (Section VIII). Zero keeps full float64.
+	MixedBand int
+}
+
+// Iterate runs one full five-phase likelihood evaluation for the kernel.
+func (e *Evaluator) Iterate(kernel Matern) (IterationResult, error) {
+	if err := kernel.Validate(); err != nil {
+		return IterationResult{}, err
+	}
+	n := len(e.Locs)
+	if len(e.Z) != n {
+		return IterationResult{}, fmt.Errorf("geostat: %d observations for %d locations", len(e.Z), n)
+	}
+	var res IterationResult
+
+	// Phase 1: generation of the covariance matrix.
+	t0 := time.Now()
+	sigma := CovMatrix(e.Locs, kernel, e.Nugget)
+	res.Timings.Generation = time.Since(t0)
+
+	var logdet float64
+	var x []float64
+	if e.TileSize > 0 && n%e.TileSize == 0 {
+		// Tiled path (Chameleon equivalent).
+		t0 = time.Now()
+		tm, err := cholesky.FromDense(sigma, e.TileSize)
+		if err != nil {
+			return IterationResult{}, err
+		}
+		if e.MixedBand > 0 {
+			err = cholesky.TiledCholeskyMixed(tm, e.Workers, e.MixedBand)
+		} else {
+			err = cholesky.TiledCholesky(tm, e.Workers)
+		}
+		if err != nil {
+			return IterationResult{}, fmt.Errorf("geostat: factorization: %w", err)
+		}
+		res.Timings.Factorization = time.Since(t0)
+
+		t0 = time.Now()
+		y := cholesky.ForwardSolve(tm, e.Z)
+		x = cholesky.BackwardSolve(tm, y)
+		res.Timings.Solve = time.Since(t0)
+
+		t0 = time.Now()
+		logdet = cholesky.LogDet(tm)
+		res.Timings.Determinant = time.Since(t0)
+	} else {
+		t0 = time.Now()
+		l, err := linalg.Cholesky(sigma)
+		if err != nil {
+			return IterationResult{}, fmt.Errorf("geostat: factorization: %w", err)
+		}
+		res.Timings.Factorization = time.Since(t0)
+
+		t0 = time.Now()
+		x = cholSolveDense(l, e.Z)
+		res.Timings.Solve = time.Since(t0)
+
+		t0 = time.Now()
+		logdet = linalg.LogDetFromChol(l)
+		res.Timings.Determinant = time.Since(t0)
+	}
+
+	// Phase 5: dot product and assembly of the log-likelihood.
+	t0 = time.Now()
+	quad := linalg.Dot(e.Z, x)
+	res.Timings.DotProduct = time.Since(t0)
+
+	res.LogLik = -0.5*quad - 0.5*logdet - 0.5*float64(n)*math.Log(2*math.Pi)
+	return res, nil
+}
+
+func cholSolveDense(l *linalg.Matrix, b []float64) []float64 {
+	return linalg.CholSolve(l, b)
+}
+
+// FitResult is the outcome of the outer maximum-likelihood loop.
+type FitResult struct {
+	Kernel     Matern
+	LogLik     float64
+	Iterations int
+	PerIter    []IterationResult
+}
+
+// FitRange runs the application's outer loop: maximize the log-likelihood
+// over the Matérn range parameter beta (variance and smoothness fixed),
+// using Brent search — each objective evaluation is one full five-phase
+// iteration, exactly the iteration structure the tuning strategies
+// exploit. betaLo/betaHi bracket the search; maxIter caps iterations.
+func (e *Evaluator) FitRange(sigma2, nu, betaLo, betaHi float64, maxIter int) (FitResult, error) {
+	var fit FitResult
+	var firstErr error
+	obj := func(beta float64) float64 {
+		if firstErr != nil {
+			return math.Inf(1)
+		}
+		res, err := e.Iterate(Matern{Sigma2: sigma2, Beta: beta, Nu: nu})
+		if err != nil {
+			firstErr = err
+			return math.Inf(1)
+		}
+		fit.PerIter = append(fit.PerIter, res)
+		return -res.LogLik
+	}
+	r := optimize.Brent(obj, betaLo, betaHi, 1e-4, maxIter)
+	if firstErr != nil {
+		return FitResult{}, firstErr
+	}
+	fit.Kernel = Matern{Sigma2: sigma2, Beta: r.X, Nu: nu}
+	fit.LogLik = -r.F
+	fit.Iterations = r.Evals
+	return fit, nil
+}

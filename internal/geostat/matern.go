@@ -1,0 +1,120 @@
+// Package geostat implements the GeoStatistics application of the paper
+// (an ExaGeoStat equivalent): synthetic spatial fields, Matérn covariance
+// kernels, the five-phase log-likelihood iteration (generation, Cholesky
+// factorization, solve, determinant, dot product) with real numerics, the
+// outer maximum-likelihood loop over the covariance hyper-parameter, and
+// the task-graph builder that submits one iteration to the simulated
+// runtime for the performance studies.
+package geostat
+
+import (
+	"fmt"
+	"math"
+
+	"phasetune/internal/linalg"
+	"phasetune/internal/stats"
+)
+
+// Point is a spatial location in the unit square.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// UniformLocations samples n locations uniformly in the unit square.
+func UniformLocations(n int, rng *stats.RNG) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = Point{rng.Float64(), rng.Float64()}
+	}
+	return out
+}
+
+// GridLocations places n points on a jittered regular grid — the
+// quasi-uniform synthetic layout ExaGeoStat uses for its sample datasets.
+func GridLocations(n int, jitter float64, rng *stats.RNG) []Point {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	out := make([]Point, 0, n)
+	for i := 0; i < side && len(out) < n; i++ {
+		for j := 0; j < side && len(out) < n; j++ {
+			x := (float64(j) + 0.5 + jitter*(rng.Float64()-0.5)) / float64(side)
+			y := (float64(i) + 0.5 + jitter*(rng.Float64()-0.5)) / float64(side)
+			out = append(out, Point{clamp01(x), clamp01(y)})
+		}
+	}
+	return out
+}
+
+func clamp01(v float64) float64 { return math.Max(0, math.Min(1, v)) }
+
+// Matern is the Matérn covariance kernel with variance Sigma2, range Beta
+// and smoothness Nu restricted to the closed-form cases 0.5, 1.5 and 2.5
+// (nu = 0.5 is the exponential kernel). These are the theta parameters
+// ExaGeoStat optimizes.
+type Matern struct {
+	Sigma2 float64
+	Beta   float64
+	Nu     float64
+}
+
+// Cov returns the covariance at distance r.
+func (m Matern) Cov(r float64) float64 {
+	if r < 0 {
+		r = -r
+	}
+	z := r / m.Beta
+	switch {
+	case m.Nu <= 0.5:
+		return m.Sigma2 * math.Exp(-z)
+	case m.Nu <= 1.5:
+		s := math.Sqrt(3) * z
+		return m.Sigma2 * (1 + s) * math.Exp(-s)
+	default:
+		s := math.Sqrt(5) * z
+		return m.Sigma2 * (1 + s + s*s/3) * math.Exp(-s)
+	}
+}
+
+// Validate checks the parameters.
+func (m Matern) Validate() error {
+	if m.Sigma2 <= 0 || m.Beta <= 0 {
+		return fmt.Errorf("geostat: invalid Matern parameters %+v", m)
+	}
+	return nil
+}
+
+// CovMatrix builds the dense covariance matrix over the locations,
+// adding nugget on the diagonal for numerical stability.
+func CovMatrix(locs []Point, kernel Matern, nugget float64) *linalg.Matrix {
+	n := len(locs)
+	out := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.Cov(locs[i].Dist(locs[j]))
+			if i == j {
+				v += nugget
+			}
+			out.Set(i, j, v)
+			out.Set(j, i, v)
+		}
+	}
+	return out
+}
+
+// SimulateField draws one realization z ~ N(0, Sigma) of the Gaussian
+// random field over the locations.
+func SimulateField(locs []Point, kernel Matern, nugget float64, rng *stats.RNG) ([]float64, error) {
+	sigma := CovMatrix(locs, kernel, nugget)
+	l, err := linalg.Cholesky(sigma)
+	if err != nil {
+		return nil, fmt.Errorf("geostat: field covariance: %w", err)
+	}
+	w := make([]float64, len(locs))
+	for i := range w {
+		w[i] = rng.Normal(0, 1)
+	}
+	return linalg.MulVec(l, w), nil
+}

@@ -1,0 +1,92 @@
+// Package gp implements Gaussian-Process regression (kriging) with trend
+// models — the functionality the paper obtains from the R DiceKriging
+// package. It provides stationary covariance kernels, universal kriging
+// with arbitrary trend bases (constant, linear, and the dummy-variable
+// group trend of the GP-discontinuous strategy), noise estimation from
+// replicated measurements, and maximum-likelihood hyper-parameter
+// estimation.
+package gp
+
+import "math"
+
+// Kernel is a stationary covariance function evaluated on the Euclidean
+// distance between two inputs.
+type Kernel interface {
+	// Cov returns the covariance at distance r >= 0.
+	Cov(r float64) float64
+	// Variance returns Cov(0), the process variance.
+	Variance() float64
+}
+
+// Exponential is the kernel the paper parameterizes as
+// Sigma(x, x') = alpha * exp(-|x-x'| / theta)   (Equation 3).
+type Exponential struct {
+	Alpha float64 // process variance
+	Theta float64 // range (length scale)
+}
+
+// Cov implements Kernel.
+func (k Exponential) Cov(r float64) float64 {
+	return k.Alpha * math.Exp(-r/k.Theta)
+}
+
+// Variance implements Kernel.
+func (k Exponential) Variance() float64 { return k.Alpha }
+
+// SquaredExponential is the Gaussian kernel
+// alpha * exp(-(r/theta)^2 / 2).
+type SquaredExponential struct {
+	Alpha float64
+	Theta float64
+}
+
+// Cov implements Kernel.
+func (k SquaredExponential) Cov(r float64) float64 {
+	z := r / k.Theta
+	return k.Alpha * math.Exp(-z*z/2)
+}
+
+// Variance implements Kernel.
+func (k SquaredExponential) Variance() float64 { return k.Alpha }
+
+// Matern32 is the Matérn kernel with smoothness 3/2:
+// alpha * (1 + sqrt(3) r/theta) exp(-sqrt(3) r/theta).
+type Matern32 struct {
+	Alpha float64
+	Theta float64
+}
+
+// Cov implements Kernel.
+func (k Matern32) Cov(r float64) float64 {
+	z := math.Sqrt(3) * r / k.Theta
+	return k.Alpha * (1 + z) * math.Exp(-z)
+}
+
+// Variance implements Kernel.
+func (k Matern32) Variance() float64 { return k.Alpha }
+
+// Matern52 is the Matérn kernel with smoothness 5/2.
+type Matern52 struct {
+	Alpha float64
+	Theta float64
+}
+
+// Cov implements Kernel.
+func (k Matern52) Cov(r float64) float64 {
+	z := math.Sqrt(5) * r / k.Theta
+	return k.Alpha * (1 + z + z*z/3) * math.Exp(-z)
+}
+
+// Variance implements Kernel.
+func (k Matern52) Variance() float64 { return k.Alpha }
+
+// Distance returns the Euclidean distance between two points of equal
+// dimension.
+func Distance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,99 @@
+package gp
+
+import (
+	"math"
+
+	"phasetune/internal/linalg"
+	"phasetune/internal/optimize"
+)
+
+// ProfiledMLE estimates the exponential-kernel hyper-parameters by
+// maximum likelihood with the process variance alpha profiled out in
+// closed form: for a fixed range theta and relative nugget g (noise
+// variance divided by alpha), the GLS residual quadratic form yields
+// alpha directly, so only theta needs a 1-D search. This is the fast path
+// the online GP-UCB strategy uses every iteration.
+//
+// It returns the estimated (alpha, theta); the caller derives the noise
+// variance as g*alpha.
+func ProfiledMLE(xs [][]float64, ys []float64, basis []BasisFunc, g, thetaMin, thetaMax float64, evals int) (alpha, theta float64) {
+	n := len(xs)
+	if n == 0 {
+		return 1, math.Max(thetaMin, 1)
+	}
+	if thetaMin <= 0 {
+		thetaMin = 1e-3
+	}
+	if thetaMax <= thetaMin {
+		thetaMax = 100 * thetaMin
+	}
+	if g < 0 {
+		g = 0
+	}
+	if evals <= 0 {
+		evals = 12
+	}
+
+	p := len(basis)
+	F := linalg.NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			F.Set(i, j, basis[j](xs[i]))
+		}
+	}
+
+	// negProfLL returns the negative profiled log-likelihood and the
+	// profiled alpha for a given theta.
+	negProfLL := func(theta float64) (float64, float64) {
+		c := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := math.Exp(-Distance(xs[i], xs[j]) / theta)
+				if i == j {
+					v += g + 1e-10
+				}
+				c.Set(i, j, v)
+				c.Set(j, i, v)
+			}
+		}
+		chol, err := linalg.Cholesky(c)
+		if err != nil {
+			return math.Inf(1), 1
+		}
+		resid := append([]float64(nil), ys...)
+		if p > 0 {
+			cinvF := linalg.CholSolveMatrix(chol, F)
+			ftcF := linalg.Mul(F.T(), cinvF)
+			for d := 0; d < p; d++ {
+				ftcF.Add(d, d, 1e-10)
+			}
+			inv, err := linalg.Inverse(ftcF)
+			if err != nil {
+				return math.Inf(1), 1
+			}
+			cinvY := linalg.CholSolve(chol, ys)
+			gamma := linalg.MulVec(inv, linalg.MulVec(F.T(), cinvY))
+			fg := linalg.MulVec(F, gamma)
+			for i := range resid {
+				resid[i] -= fg[i]
+			}
+		}
+		cinvR := linalg.CholSolve(chol, resid)
+		quad := linalg.Dot(resid, cinvR)
+		a := quad / float64(n)
+		if a <= 0 || math.IsNaN(a) {
+			a = 1e-12
+		}
+		nll := 0.5*float64(n)*math.Log(a) + 0.5*linalg.LogDetFromChol(chol) +
+			0.5*float64(n)
+		return nll, a
+	}
+
+	r := optimize.Brent(func(logTheta float64) float64 {
+		nll, _ := negProfLL(math.Exp(logTheta))
+		return nll
+	}, math.Log(thetaMin), math.Log(thetaMax), 1e-2, evals)
+	theta = math.Exp(r.X)
+	_, alpha = negProfLL(theta)
+	return alpha, theta
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"testing"
+
+	"phasetune/internal/platform"
+)
+
+// TestGroupBoundaryCliff checks the paper's Section III discontinuity:
+// on SD 10L-10S, adding the first CPU-only nodes past the 10 GPU nodes
+// degrades the iteration (critical path through slow per-core kernels),
+// so the makespan jumps at the group boundary.
+func TestGroupBoundaryCliff(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("c")
+	opts := SimOptions{Tiles: 32}
+	atBoundary, err := SimulateIteration(sc, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pastBoundary, err := SimulateIteration(sc, 13, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pastBoundary <= atBoundary {
+		t.Fatalf("no cliff: 10 nodes %.3fs vs 13 nodes %.3fs",
+			atBoundary, pastBoundary)
+	}
+	// And the cliff is material, not noise-level.
+	if pastBoundary < atBoundary*1.05 {
+		t.Fatalf("cliff too small: %.3fs -> %.3fs", atBoundary, pastBoundary)
+	}
+}
+
+// TestFasterNodesFirstHelps confirms the left side of the convex shape:
+// few nodes are compute-bound, so doubling the fast-node count helps.
+func TestFasterNodesFirstHelps(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("c")
+	opts := SimOptions{Tiles: 32}
+	at6, err := SimulateIteration(sc, 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at10, err := SimulateIteration(sc, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at10 >= at6 {
+		t.Fatalf("more fast nodes did not help: 6 -> %.3fs, 10 -> %.3fs", at6, at10)
+	}
+}

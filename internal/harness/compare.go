@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"phasetune/internal/core"
+	"phasetune/internal/stats"
+)
+
+// DefaultIterations is the paper's evaluation horizon (Figure 6: mean of
+// 30 executions after 127 iterations).
+const DefaultIterations = 127
+
+// DefaultReps is the paper's number of repetitions.
+const DefaultReps = 30
+
+// StrategyNames lists the compared strategies in the paper's order.
+var StrategyNames = []string{
+	"DC", "Right-Left", "Brent", "UCB", "UCB-struct", "GP-UCB",
+	"GP-discontinuous",
+}
+
+// NewStrategy instantiates a strategy by paper name for a context.
+func NewStrategy(name string, ctx core.Context) (core.Strategy, error) {
+	switch name {
+	case "DC":
+		return core.NewDC(ctx), nil
+	case "Right-Left":
+		return core.NewRightLeft(ctx), nil
+	case "Brent":
+		return core.NewBrent(ctx), nil
+	case "UCB":
+		return core.NewUCB(ctx, 0), nil
+	case "UCB-struct":
+		return core.NewUCBStruct(ctx, 0), nil
+	case "GP-UCB":
+		return core.NewGPUCB(ctx, core.GPOptions{}), nil
+	case "GP-discontinuous":
+		return core.NewGPDiscontinuous(ctx, core.GPOptions{}), nil
+	case "SANN":
+		// Evaluated and dismissed by the paper (Section IV-B); available
+		// for completeness but not part of the Figure 6 set.
+		return core.NewSANN(ctx, 0, 1), nil
+	case "SPSA":
+		return core.NewSPSA(ctx, 0, 1), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown strategy %q", name)
+	}
+}
+
+// StrategyResult aggregates one strategy's repetitions on one scenario.
+type StrategyResult struct {
+	Strategy string
+	Totals   []float64 // total application time per repetition
+	Mean     float64
+	CIHalf   float64 // 95% half-width
+	GainPct  float64 // acceleration vs the all-nodes baseline
+}
+
+// Comparison is one scenario panel of Figure 6.
+type Comparison struct {
+	Curve      *Curve
+	Iterations int
+	Reps       int
+	// AllNodesMean is the paper's top dashed line: mean total time when
+	// always using every node.
+	AllNodesMean float64
+	// BestStaticMean is the bottom dashed line: the clairvoyant static
+	// choice.
+	BestStaticMean float64
+	Results        []StrategyResult
+}
+
+// Compare replays every strategy against the scenario's resampling pool,
+// all strategies drawing from the exact same duration distributions
+// (Section V methodology), with the paper's 0.5 s observation noise.
+func Compare(curve *Curve, iterations, reps int, seed int64) (*Comparison, error) {
+	return CompareWithNoise(curve, iterations, reps, seed, NoiseSD)
+}
+
+// CompareWithNoise is Compare with an explicit observation-noise standard
+// deviation — reduced-scale runs (tests, benchmarks) should scale the
+// noise with their shrunken durations to keep the signal-to-noise ratio
+// of the paper-size experiments.
+func CompareWithNoise(curve *Curve, iterations, reps int, seed int64, noiseSD float64) (*Comparison, error) {
+	if iterations <= 0 {
+		iterations = DefaultIterations
+	}
+	if reps <= 0 {
+		reps = DefaultReps
+	}
+	if noiseSD <= 0 {
+		noiseSD = NoiseSD
+	}
+	pool := curve.Pool(noiseSD, DefaultReps, seed)
+	root := stats.NewRNG(seed + 1)
+
+	cmp := &Comparison{Curve: curve, Iterations: iterations, Reps: reps}
+
+	// Baselines.
+	n := curve.Scenario.Platform.N()
+	bestAction, _ := curve.Best()
+	var allTotals, bestTotals []float64
+	for r := 0; r < reps; r++ {
+		rng := root.Split()
+		sumAll, sumBest := 0.0, 0.0
+		for i := 0; i < iterations; i++ {
+			sumAll += pool.Draw(n, rng)
+			sumBest += pool.Draw(bestAction, rng)
+		}
+		allTotals = append(allTotals, sumAll)
+		bestTotals = append(bestTotals, sumBest)
+	}
+	cmp.AllNodesMean = stats.Mean(allTotals)
+	cmp.BestStaticMean = stats.Mean(bestTotals)
+
+	ctx := curve.Context()
+	for _, name := range StrategyNames {
+		totals := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			s, err := NewStrategy(name, ctx)
+			if err != nil {
+				return nil, err
+			}
+			rng := root.Split()
+			durations := core.Evaluate(s, pool, iterations, rng)
+			sum := 0.0
+			for _, d := range durations {
+				sum += d
+			}
+			totals = append(totals, sum)
+		}
+		mean, half := stats.MeanCI(totals, 0.95)
+		cmp.Results = append(cmp.Results, StrategyResult{
+			Strategy: name,
+			Totals:   totals,
+			Mean:     mean,
+			CIHalf:   half,
+			GainPct:  100 * (cmp.AllNodesMean - mean) / cmp.AllNodesMean,
+		})
+	}
+	return cmp, nil
+}
+
+// Result returns the row for a strategy name (nil when absent).
+func (c *Comparison) Result(name string) *StrategyResult {
+	for i := range c.Results {
+		if c.Results[i].Strategy == name {
+			return &c.Results[i]
+		}
+	}
+	return nil
+}
+
+// Render prints the comparison as one Figure 6 panel.
+func (c *Comparison) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(%s) %s — %d reps x %d iterations\n",
+		c.Curve.Scenario.Key, c.Curve.Scenario.Name, c.Reps, c.Iterations)
+	fmt.Fprintf(&sb, "  all-nodes baseline: %10.1f s   best static: %10.1f s\n",
+		c.AllNodesMean, c.BestStaticMean)
+	for _, r := range c.Results {
+		fmt.Fprintf(&sb, "  %-18s %10.1f ± %6.1f s   gain %+6.1f%%\n",
+			r.Strategy, r.Mean, r.CIHalf, r.GainPct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"phasetune/internal/core"
+	"phasetune/internal/platform"
+	"phasetune/internal/stats"
+)
+
+// OnlineResult is the outcome of a closed-loop run where the strategy
+// drives real (simulated) iterations rather than resampled pools — the
+// counterpart of the paper's "implemented directly in ExaGeoStat" mode.
+type OnlineResult struct {
+	Actions   []int
+	Durations []float64
+	Total     float64
+}
+
+// RunOnline executes iterations application-style: each iteration asks
+// the strategy for a node count, simulates a full iteration at that
+// configuration, perturbs it with observation noise and feeds it back.
+// Simulated makespans are memoized per action (the simulation is
+// deterministic), so the cost matches a pre-computed curve while the
+// control flow matches a real deployment.
+func RunOnline(sc platform.Scenario, s core.Strategy, iterations int,
+	opts SimOptions, seed int64) (OnlineResult, error) {
+
+	rng := stats.NewRNG(seed)
+	memo := map[int]float64{}
+	var res OnlineResult
+	for i := 0; i < iterations; i++ {
+		n := s.Next()
+		mk, ok := memo[n]
+		if !ok {
+			var err error
+			mk, err = SimulateIteration(sc, n, opts)
+			if err != nil {
+				return OnlineResult{}, err
+			}
+			memo[n] = mk
+		}
+		d := mk + rng.Normal(0, NoiseSD)
+		if d < 0.01 {
+			d = 0.01
+		}
+		s.Observe(n, d)
+		res.Actions = append(res.Actions, n)
+		res.Durations = append(res.Durations, d)
+		res.Total += d
+	}
+	return res, nil
+}

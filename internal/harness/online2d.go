@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"phasetune/internal/core"
+	"phasetune/internal/platform"
+	"phasetune/internal/stats"
+)
+
+// Online2DResult is the outcome of a closed-loop 2-D tuning run.
+type Online2DResult struct {
+	Actions   []core.Action2D
+	Durations []float64
+	Total     float64
+	// Final is the most frequently chosen action over the last quarter
+	// of iterations (the converged joint configuration).
+	Final core.Action2D
+}
+
+// RunOnline2D lets the GP-2D strategy tune generation and factorization
+// node counts jointly against fresh simulations — the exploration "in
+// both dimensions" the paper's conclusion proposes for situations like
+// its Figure 8, where shrinking the generation set also helps.
+func RunOnline2D(sc platform.Scenario, iterations int, opts SimOptions,
+	gpOpts core.GPOptions, seed int64) (Online2DResult, error) {
+
+	s := core.NewGP2D(core.Context2D{
+		N:       sc.Platform.N(),
+		MinGen:  sc.MinNodes,
+		MinFact: sc.MinNodes,
+	}, gpOpts)
+	rng := stats.NewRNG(seed)
+	memo := map[core.Action2D]float64{}
+	var res Online2DResult
+	counts := map[core.Action2D]int{}
+	for i := 0; i < iterations; i++ {
+		a := s.Next2D()
+		mk, ok := memo[a]
+		if !ok {
+			so := opts
+			so.GenNodes = a.Gen
+			var err error
+			mk, err = SimulateIteration(sc, a.Fact, so)
+			if err != nil {
+				return Online2DResult{}, err
+			}
+			memo[a] = mk
+		}
+		d := mk + rng.Normal(0, NoiseSD)
+		if d < 0.01 {
+			d = 0.01
+		}
+		s.Observe2D(a, d)
+		res.Actions = append(res.Actions, a)
+		res.Durations = append(res.Durations, d)
+		res.Total += d
+		if i >= 3*iterations/4 {
+			counts[a]++
+		}
+	}
+	best, bc := core.Action2D{Gen: sc.Platform.N(), Fact: sc.Platform.N()}, -1
+	for a, c := range counts {
+		if c > bc {
+			best, bc = a, c
+		}
+	}
+	res.Final = best
+	return res, nil
+}

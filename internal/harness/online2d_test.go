@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+
+	"phasetune/internal/core"
+	"phasetune/internal/platform"
+)
+
+func TestRunOnline2D(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	res, err := RunOnline2D(sc, 40, SimOptions{Tiles: 16}, core.GPOptions{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Actions) != 40 {
+		t.Fatalf("actions = %d", len(res.Actions))
+	}
+	first := res.Actions[0]
+	if first.Gen != 14 || first.Fact != 14 {
+		t.Fatalf("first 2D action = %+v, want all nodes", first)
+	}
+	if res.Final.Gen < sc.MinNodes || res.Final.Gen > 14 ||
+		res.Final.Fact < sc.MinNodes || res.Final.Fact > 14 {
+		t.Fatalf("final action out of range: %+v", res.Final)
+	}
+	if res.Total <= 0 {
+		t.Fatal("total missing")
+	}
+	// The converged joint configuration should not be worse than the
+	// default all/all configuration.
+	def, err := SimulateIteration(sc, 14, SimOptions{Tiles: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := SimulateIteration(sc, res.Final.Fact, SimOptions{
+		Tiles: 16, GenNodes: res.Final.Gen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv > def+2*NoiseSD {
+		t.Fatalf("converged 2D config (%v s) worse than default (%v s)", conv, def)
+	}
+}

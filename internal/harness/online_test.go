@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"testing"
+
+	"phasetune/internal/core"
+	"phasetune/internal/platform"
+)
+
+func TestRunOnlineClosedLoop(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	curve := testCurve(t, "b")
+	s := core.NewGPDiscontinuous(curve.Context(), core.GPOptions{})
+	res, err := RunOnline(sc, s, 30, SimOptions{Tiles: 24}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Actions) != 30 || len(res.Durations) != 30 {
+		t.Fatalf("lengths = %d/%d", len(res.Actions), len(res.Durations))
+	}
+	if res.Actions[0] != sc.Platform.N() {
+		t.Fatalf("first online action = %d, want N", res.Actions[0])
+	}
+	sum := 0.0
+	for i, d := range res.Durations {
+		if d <= 0 {
+			t.Fatalf("duration %d = %v", i, d)
+		}
+		sum += d
+	}
+	if sum != res.Total {
+		t.Fatalf("total mismatch: %v vs %v", sum, res.Total)
+	}
+	// The closed loop should end up cheaper than always-all-nodes.
+	if res.Total >= float64(len(res.Durations))*curve.AllNodes()*1.2 {
+		t.Fatalf("online run did not adapt: total %v", res.Total)
+	}
+}
+
+func TestRunOnlinePropagatesErrors(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	// A strategy proposing an invalid action surfaces the simulation
+	// error.
+	bad := badStrategy{}
+	if _, err := RunOnline(sc, bad, 3, SimOptions{Tiles: 8}, 1); err == nil {
+		t.Fatal("expected error from invalid action")
+	}
+}
+
+type badStrategy struct{}
+
+func (badStrategy) Name() string         { return "bad" }
+func (badStrategy) Next() int            { return -1 }
+func (badStrategy) Observe(int, float64) {}

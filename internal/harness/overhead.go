@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"phasetune/internal/core"
+	"phasetune/internal/stats"
+)
+
+// OverheadResult is the data behind Figure 7: the wall-clock cost of the
+// GP-discontinuous strategy's own computations per application iteration.
+type OverheadResult struct {
+	Reps int
+	// PerIteration[i] is the mean strategy computation time (seconds) at
+	// iteration i+1 across repetitions.
+	PerIteration []float64
+	// Max is the worst single-iteration overhead observed.
+	Max float64
+}
+
+// MeasureOverhead runs the GP-discontinuous strategy online against the
+// scenario pool, measuring the real time spent inside Next() at every
+// iteration — the "implemented directly in ExaGeoStat" measurement of
+// Section VI-E, with the Go GP implementation standing in for
+// DiceKriging.
+func MeasureOverhead(curve *Curve, iterations, reps int, seed int64) OverheadResult {
+	if iterations <= 0 {
+		iterations = DefaultIterations
+	}
+	if reps <= 0 {
+		reps = 10 // the paper uses ten repetitions for this experiment
+	}
+	pool := curve.Pool(NoiseSD, DefaultReps, seed)
+	root := stats.NewRNG(seed + 13)
+	sums := make([]float64, iterations)
+	maxSeen := 0.0
+	for r := 0; r < reps; r++ {
+		s := core.NewGPDiscontinuous(curve.Context(), core.GPOptions{})
+		rng := root.Split()
+		for i := 0; i < iterations; i++ {
+			a := s.Next()
+			cost := s.LastFitDuration().Seconds()
+			sums[i] += cost
+			if cost > maxSeen {
+				maxSeen = cost
+			}
+			s.Observe(a, pool.Draw(a, rng))
+		}
+	}
+	per := make([]float64, iterations)
+	for i := range per {
+		per[i] = sums[i] / float64(reps)
+	}
+	return OverheadResult{Reps: reps, PerIteration: per, Max: maxSeen}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"phasetune/internal/platform"
+)
+
+// curveFile is the JSON schema for a persisted curve. Curves at paper
+// scale take minutes to simulate; persisting them lets the comparison and
+// step-by-step tools iterate without re-simulation (the paper's companion
+// ships the equivalent measurement data).
+type curveFile struct {
+	ScenarioKey string    `json:"scenario_key"`
+	Scenario    string    `json:"scenario"`
+	Tiles       int       `json:"tiles"`
+	Actions     []int     `json:"actions"`
+	Sim         []float64 `json:"sim_seconds"`
+	LP          []float64 `json:"lp_seconds"`
+}
+
+// SaveCurve writes the curve to path as JSON.
+func SaveCurve(c *Curve, path string) error {
+	payload := curveFile{
+		ScenarioKey: c.Scenario.Key,
+		Scenario:    c.Scenario.Name,
+		Tiles:       c.Tiles,
+		Actions:     c.Actions,
+		Sim:         c.Sim,
+		LP:          c.LP,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encode curve: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCurve reads a curve saved by SaveCurve. The scenario is resolved by
+// key so platform metadata (groups, N) is available; the stored LP values
+// back the context's LP function.
+func LoadCurve(path string) (*Curve, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var payload curveFile
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, fmt.Errorf("harness: decode curve %s: %w", path, err)
+	}
+	sc, ok := platform.ScenarioByKey(payload.ScenarioKey)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown scenario key %q in %s",
+			payload.ScenarioKey, path)
+	}
+	if len(payload.Actions) == 0 ||
+		len(payload.Actions) != len(payload.Sim) ||
+		len(payload.Actions) != len(payload.LP) {
+		return nil, fmt.Errorf("harness: malformed curve file %s", path)
+	}
+	c := &Curve{
+		Scenario: sc,
+		Tiles:    payload.Tiles,
+		Actions:  payload.Actions,
+		Sim:      payload.Sim,
+		LP:       payload.LP,
+	}
+	min := payload.Actions[0]
+	lp := make([]float64, len(payload.LP))
+	copy(lp, payload.LP)
+	c.lpFunc = func(n int) float64 {
+		i := n - min
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lp) {
+			i = len(lp) - 1
+		}
+		return lp[i]
+	}
+	return c, nil
+}
+
+// SaveGrid2D writes a 2-D sweep to path as JSON.
+func SaveGrid2D(g *Grid2D, path string) error {
+	payload := struct {
+		ScenarioKey string      `json:"scenario_key"`
+		Scenario    string      `json:"scenario"`
+		GenActions  []int       `json:"gen_actions"`
+		FactActions []int       `json:"fact_actions"`
+		Makespan    [][]float64 `json:"makespan_seconds"`
+	}{g.Scenario.Key, g.Scenario.Name, g.GenActions, g.FactActions, g.Makespan}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encode grid: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phasetune/internal/platform"
+)
+
+func TestSaveLoadCurveRoundTrip(t *testing.T) {
+	c := testCurve(t, "b")
+	path := filepath.Join(t.TempDir(), "curve.json")
+	if err := SaveCurve(c, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCurve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario.Key != "b" || got.Tiles != c.Tiles {
+		t.Fatalf("metadata: %+v", got)
+	}
+	if len(got.Actions) != len(c.Actions) {
+		t.Fatalf("actions = %d", len(got.Actions))
+	}
+	for i := range c.Actions {
+		if got.Sim[i] != c.Sim[i] || got.LP[i] != c.LP[i] {
+			t.Fatalf("data mismatch at %d", i)
+		}
+	}
+	// The loaded curve's context must be usable by strategies.
+	ctx := got.Context()
+	if err := ctx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.LP(got.Actions[0]) != c.LPAt(c.Actions[0]) {
+		t.Fatal("LP function mismatch after load")
+	}
+	// And out-of-range LP queries clamp.
+	if ctx.LP(0) != got.LP[0] || ctx.LP(999) != got.LP[len(got.LP)-1] {
+		t.Fatal("LP clamping broken")
+	}
+	// A full comparison runs on a loaded curve.
+	if _, err := Compare(got, 20, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCurveErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCurve(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadCurve(bad); err == nil {
+		t.Fatal("bad json should error")
+	}
+	unknown := filepath.Join(dir, "unknown.json")
+	os.WriteFile(unknown, []byte(`{"scenario_key":"zz","actions":[1],"sim_seconds":[1],"lp_seconds":[1]}`), 0o644)
+	if _, err := LoadCurve(unknown); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+	malformed := filepath.Join(dir, "malformed.json")
+	os.WriteFile(malformed, []byte(`{"scenario_key":"b","actions":[1,2],"sim_seconds":[1],"lp_seconds":[1,2]}`), 0o644)
+	if _, err := LoadCurve(malformed); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestSaveGrid2D(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	g, err := ComputeGrid2D(sc, Grid2DOptions{
+		Sim: SimOptions{Tiles: 12}, Stride: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := SaveGrid2D(g, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty grid file")
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"phasetune/internal/stats"
+)
+
+// RegretCurve is the cumulative-regret view of a strategy run: the
+// running sum of (chosen duration - clairvoyant best mean duration), the
+// quantity whose growth rate the UCB/GP-UCB no-regret guarantees bound
+// (Section IV). A strategy that converges has a flattening curve; one
+// that keeps paying exploration grows linearly.
+type RegretCurve struct {
+	Strategy   string
+	Cumulative []float64 // mean over repetitions, per iteration
+}
+
+// RegretCurves replays every strategy on the scenario pool and returns
+// mean cumulative regret per iteration.
+func RegretCurves(curve *Curve, iterations, reps int, seed int64) ([]RegretCurve, error) {
+	if iterations <= 0 {
+		iterations = DefaultIterations
+	}
+	if reps <= 0 {
+		reps = 10
+	}
+	pool := curve.Pool(NoiseSD, DefaultReps, seed)
+	// The clairvoyant reference: the best action's pool mean.
+	bestAction, _ := curve.Best()
+	ref := pool.MeanOf(bestAction)
+
+	root := stats.NewRNG(seed + 3)
+	out := make([]RegretCurve, 0, len(StrategyNames))
+	ctx := curve.Context()
+	for _, name := range StrategyNames {
+		sums := make([]float64, iterations)
+		for r := 0; r < reps; r++ {
+			s, err := NewStrategy(name, ctx)
+			if err != nil {
+				return nil, err
+			}
+			rng := root.Split()
+			cum := 0.0
+			for i := 0; i < iterations; i++ {
+				a := s.Next()
+				d := pool.Draw(a, rng)
+				s.Observe(a, d)
+				cum += d - ref
+				sums[i] += cum
+			}
+		}
+		rc := RegretCurve{Strategy: name, Cumulative: make([]float64, iterations)}
+		for i := range sums {
+			rc.Cumulative[i] = sums[i] / float64(reps)
+		}
+		out = append(out, rc)
+	}
+	return out, nil
+}
+
+// FinalRegret returns the cumulative regret at the last iteration.
+func (r RegretCurve) FinalRegret() float64 {
+	if len(r.Cumulative) == 0 {
+		return 0
+	}
+	return r.Cumulative[len(r.Cumulative)-1]
+}
+
+// RenderRegret prints regret at a few checkpoints for every strategy.
+func RenderRegret(curves []RegretCurve) string {
+	if len(curves) == 0 {
+		return ""
+	}
+	n := len(curves[0].Cumulative)
+	checkpoints := []int{n / 8, n / 4, n / 2, n - 1}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s", "cumulative regret")
+	for _, c := range checkpoints {
+		fmt.Fprintf(&sb, " iter%-4d", c+1)
+	}
+	sb.WriteByte('\n')
+	for _, rc := range curves {
+		fmt.Fprintf(&sb, "%-18s", rc.Strategy)
+		for _, c := range checkpoints {
+			fmt.Fprintf(&sb, " %8.1f", rc.Cumulative[c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegretCurves(t *testing.T) {
+	c := testCurve(t, "b")
+	curves, err := RegretCurves(c, 60, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != len(StrategyNames) {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for _, rc := range curves {
+		if len(rc.Cumulative) != 60 {
+			t.Fatalf("%s: %d iterations", rc.Strategy, len(rc.Cumulative))
+		}
+		// Cumulative regret is non-decreasing up to noise: check the
+		// broad trend (final >= value at 1/4, allowing noise slack).
+		if rc.FinalRegret() < rc.Cumulative[14]-5 {
+			t.Fatalf("%s: regret shrank substantially: %v -> %v",
+				rc.Strategy, rc.Cumulative[14], rc.FinalRegret())
+		}
+	}
+	out := RenderRegret(curves)
+	if !strings.Contains(out, "GP-discontinuous") {
+		t.Fatalf("render missing strategies:\n%s", out)
+	}
+	if RenderRegret(nil) != "" {
+		t.Fatal("empty render should be empty")
+	}
+}
+
+func TestRegretConvergedStrategiesFlatten(t *testing.T) {
+	// A converging strategy's late-half regret growth should be well
+	// below its early-half growth on a well-behaved scenario.
+	c := testCurve(t, "b")
+	curves, err := RegretCurves(c, 80, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rc := range curves {
+		if rc.Strategy != "GP-discontinuous" && rc.Strategy != "DC" {
+			continue
+		}
+		early := rc.Cumulative[39] - rc.Cumulative[0]
+		late := rc.FinalRegret() - rc.Cumulative[39]
+		if late > early {
+			t.Fatalf("%s regret accelerating: early %v late %v",
+				rc.Strategy, early, late)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"phasetune/internal/core"
+	"phasetune/internal/stats"
+)
+
+// StepSnapshot captures a GP strategy's internal state at one iteration —
+// the content of one panel of the paper's Figure 4.
+type StepSnapshot struct {
+	Iteration  int
+	NextAction int
+	Counts     map[int]int     // times each action has been selected so far
+	Mean       map[int]float64 // posterior mean duration per action
+	SD         map[int]float64 // posterior standard deviation per action
+	Allowed    []int
+	Alpha      float64
+	Theta      float64
+}
+
+// StepByStep replays a GP strategy against the scenario pool and captures
+// snapshots at the requested iteration numbers (1-based, as in Figure 4's
+// "Iteration 5 / 8 / 20 / 100" panels).
+func StepByStep(curve *Curve, variant core.GPVariant, atIterations []int, seed int64) []StepSnapshot {
+	want := map[int]bool{}
+	maxIter := 0
+	for _, it := range atIterations {
+		want[it] = true
+		if it > maxIter {
+			maxIter = it
+		}
+	}
+	pool := curve.Pool(NoiseSD, DefaultReps, seed)
+	rng := stats.NewRNG(seed + 7)
+	ctx := curve.Context()
+	var s *core.GPStrategy
+	if variant == core.VariantDiscontinuous {
+		s = core.NewGPDiscontinuous(ctx, core.GPOptions{})
+	} else {
+		s = core.NewGPUCB(ctx, core.GPOptions{})
+	}
+
+	counts := map[int]int{}
+	var out []StepSnapshot
+	for it := 1; it <= maxIter; it++ {
+		a := s.Next()
+		if want[it] {
+			snap := StepSnapshot{
+				Iteration:  it,
+				NextAction: a,
+				Counts:     map[int]int{},
+				Mean:       map[int]float64{},
+				SD:         map[int]float64{},
+				Allowed:    s.Allowed(),
+			}
+			snap.Alpha, snap.Theta = s.Hyperparameters()
+			for k, v := range counts {
+				snap.Counts[k] = v
+			}
+			for _, n := range curve.Actions {
+				if m, sd, ok := s.Posterior(n); ok {
+					snap.Mean[n] = m
+					snap.SD[n] = sd
+				}
+			}
+			out = append(out, snap)
+		}
+		counts[a]++
+		s.Observe(a, pool.Draw(a, rng))
+	}
+	return out
+}
+
+// RenderSnapshot prints one Figure 4 panel as text: real behaviour, LP,
+// posterior band and selection counts per action.
+func RenderSnapshot(curve *Curve, snap StepSnapshot) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Iteration %d — next action: %d\n", snap.Iteration, snap.NextAction)
+	fmt.Fprintf(&sb, "%6s %10s %10s %10s %10s %7s\n",
+		"nodes", "real[s]", "LP[s]", "mean[s]", "sd", "count")
+	for i, a := range curve.Actions {
+		mean, sd := "-", "-"
+		if m, ok := snap.Mean[a]; ok {
+			mean = fmt.Sprintf("%10.2f", m)
+			sd = fmt.Sprintf("%10.2f", snap.SD[a])
+		}
+		fmt.Fprintf(&sb, "%6d %10.2f %10.2f %10s %10s %7d\n",
+			a, curve.Sim[i], curve.LP[i], mean, sd, snap.Counts[a])
+	}
+	return sb.String()
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestTableIQualitative verifies the paper's Table I expectations against
+// measured behaviour on a reduced discontinuous scenario (SD 10L-40S —
+// cliff at the group boundary), mirroring how Section VI-D corroborates
+// the table.
+func TestTableIQualitative(t *testing.T) {
+	c := testCurve(t, "k")
+	// Reduced tiles shrink durations ~20x; scale the noise accordingly
+	// to keep the paper-scale signal-to-noise ratio.
+	cmp, err := CompareWithNoise(c, 80, 6, 17, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := func(name string) float64 {
+		r := cmp.Result(name)
+		if r == nil {
+			t.Fatalf("missing strategy %s", name)
+		}
+		return r.GainPct
+	}
+	gpDisc := gain("GP-discontinuous")
+	best := gpDisc
+	for _, n := range StrategyNames {
+		if g := gain(n); g > best {
+			best = g
+		}
+	}
+	// "GP-discontinuous provides consistently good results": within a
+	// few points of the per-scenario winner.
+	if gpDisc < best-8 {
+		t.Fatalf("GP-disc gain %.1f%% too far from best %.1f%%", gpDisc, best)
+	}
+	// Right-Left cannot leave the right edge on this shape.
+	if rl := gain("Right-Left"); rl > gpDisc {
+		t.Fatalf("Right-Left (%.1f%%) should not beat GP-disc (%.1f%%)", rl, gpDisc)
+	}
+	// UCB pays full exploration on a 50-action space: below UCB-struct.
+	if gain("UCB") >= gain("UCB-struct") {
+		t.Fatalf("UCB (%.1f%%) should trail UCB-struct (%.1f%%) here",
+			gain("UCB"), gain("UCB-struct"))
+	}
+	// GP-disc must beat plain GP-UCB on a discontinuous curve.
+	if gpDisc <= gain("GP-UCB")-1 {
+		t.Fatalf("GP-disc (%.1f%%) should not trail GP-UCB (%.1f%%)",
+			gpDisc, gain("GP-UCB"))
+	}
+}

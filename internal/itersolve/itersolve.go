@@ -1,0 +1,181 @@
+// Package itersolve is the second iterative multi-phase application (the
+// paper's conclusion proposes evaluating the tuning strategies beyond
+// ExaGeoStat): an LU-based iterative-refinement linear solver whose every
+// iteration runs four phases — assembly (CPU-only, embarrassingly
+// parallel), LU factorization (GPU-heavy, communication-bound),
+// triangular solves, and residual evaluation. The phase mix differs from
+// the GeoStatistics application (full square matrix, heavier updates), so
+// the tuning problem has the same structure but different constants.
+package itersolve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"phasetune/internal/distribution"
+	"phasetune/internal/linalg"
+	"phasetune/internal/lu"
+	"phasetune/internal/taskrt"
+)
+
+// AsmFlopsPerElement is the calibrated per-element assembly cost in Gflop
+// (quadrature-style element evaluation).
+const AsmFlopsPerElement = 4e-6
+
+// IterationSpec parameterizes the simulated task graph of one solver
+// iteration (node indexing as in geostat.IterationSpec: fastest first,
+// assembly on len(AsmSpeeds) nodes, factorization on len(FactSpeeds)).
+type IterationSpec struct {
+	Tiles      int
+	TileSize   int
+	TileBytes  float64
+	AsmSpeeds  []float64
+	FactSpeeds []float64
+}
+
+// BuildIterationGraph submits assembly + LU + solve + residual phases.
+func BuildIterationGraph(rt *taskrt.Runtime, spec IterationSpec) error {
+	if spec.Tiles <= 0 || spec.TileSize <= 0 {
+		return fmt.Errorf("itersolve: bad iteration spec %+v", spec)
+	}
+	if len(spec.AsmSpeeds) == 0 || len(spec.FactSpeeds) == 0 {
+		return fmt.Errorf("itersolve: empty node speed sets")
+	}
+	T := spec.Tiles
+	asmDist := distribution.FullDist(T, spec.AsmSpeeds)
+	factDist := distribution.WeightedGrid(T, spec.FactSpeeds)
+	// WeightedGrid is defined over any (i, j) pair: row and column
+	// patterns are independent, so the full grid is covered.
+
+	b := float64(spec.TileSize)
+	asmFlops := b * b * AsmFlopsPerElement
+	producers := make([][]*taskrt.Task, T)
+	for i := 0; i < T; i++ {
+		producers[i] = make([]*taskrt.Task, T)
+		for j := 0; j < T; j++ {
+			prio := int64(T-min(i, j)) * 4
+			producers[i][j] = rt.NewTask(
+				fmt.Sprintf("asm(%d,%d)", i, j), "asm",
+				asmFlops, asmDist.Owner(i, j), true, prio)
+		}
+	}
+	getrfs := lu.BuildDAG(rt, T, spec.TileBytes, lu.KernelCosts(spec.TileSize),
+		factDist.Owner, producers)
+
+	const g = 1e-9
+	vecBytes := b * 8
+	trsv := 2 * b * b * g
+	var fwd *taskrt.Task
+	for k := 0; k < T; k++ {
+		s := rt.NewTask(fmt.Sprintf("fwd(%d)", k), "solve",
+			trsv, factDist.Owner(k, k), false, 2)
+		rt.AddDep(s, getrfs[k], spec.TileBytes)
+		rt.AddDep(s, fwd, vecBytes)
+		fwd = s
+	}
+	var bwd *taskrt.Task = fwd
+	for k := T - 1; k >= 0; k-- {
+		s := rt.NewTask(fmt.Sprintf("bwd(%d)", k), "solve",
+			trsv, factDist.Owner(k, k), false, 2)
+		rt.AddDep(s, bwd, vecBytes)
+		bwd = s
+	}
+	// Residual: one matvec task per block row against the assembled
+	// matrix, then a norm reduction.
+	var rprev *taskrt.Task
+	for i := 0; i < T; i++ {
+		r := rt.NewTask(fmt.Sprintf("resid(%d)", i), "resid",
+			2*b*b*float64(T)*g, asmDist.Owner(i, i), false, 1)
+		rt.AddDep(r, bwd, vecBytes)
+		rt.AddDep(r, producers[i][i], 0)
+		rt.AddDep(r, rprev, 8)
+		rprev = r
+	}
+	norm := rt.NewTask("norm", "norm", b*g, asmDist.Owner(0, 0), false, 0)
+	rt.AddDep(norm, rprev, 8)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PhaseTimings records the real (wall-clock) cost of the refinement
+// phases.
+type PhaseTimings struct {
+	Assembly      time.Duration
+	Factorization time.Duration
+	Solve         time.Duration
+	Residual      time.Duration
+}
+
+// Result reports a real iterative-refinement solve.
+type Result struct {
+	X          []float64
+	Iterations int
+	Residual   float64
+	Timings    PhaseTimings
+}
+
+// ErrNoConvergence reports that refinement stalled above the tolerance.
+var ErrNoConvergence = errors.New("itersolve: no convergence")
+
+// Refine solves A x = b by LU factorization plus iterative refinement
+// with real numerics (A must be diagonally dominant for the unpivoted
+// tiled LU). tile is the tile size (must divide len(b)); workers sets the
+// factorization parallelism.
+func Refine(a *linalg.Matrix, rhs []float64, tile, workers, maxIter int, tol float64) (Result, error) {
+	var res Result
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	t0 := time.Now()
+	m, err := lu.FromDense(a, tile)
+	if err != nil {
+		return res, err
+	}
+	res.Timings.Assembly = time.Since(t0) // tiling stands in for assembly
+
+	t0 = time.Now()
+	if err := lu.TiledLU(m, workers); err != nil {
+		return res, err
+	}
+	res.Timings.Factorization = time.Since(t0)
+
+	t0 = time.Now()
+	x := m.Solve(rhs)
+	res.Timings.Solve = time.Since(t0)
+
+	for it := 0; it < maxIter; it++ {
+		t0 = time.Now()
+		r := make([]float64, len(rhs))
+		ax := linalg.MulVec(a, x)
+		for i := range r {
+			r[i] = rhs[i] - ax[i]
+		}
+		norm := linalg.Norm2(r)
+		res.Timings.Residual += time.Since(t0)
+		res.Iterations = it + 1
+		res.Residual = norm
+		if norm <= tol {
+			res.X = x
+			return res, nil
+		}
+		t0 = time.Now()
+		dx := m.Solve(r)
+		linalg.AXPY(1, dx, x)
+		res.Timings.Solve += time.Since(t0)
+	}
+	res.X = x
+	if res.Residual > tol {
+		return res, ErrNoConvergence
+	}
+	return res, nil
+}

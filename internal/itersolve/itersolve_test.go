@@ -1,0 +1,153 @@
+package itersolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"phasetune/internal/des"
+	"phasetune/internal/linalg"
+	"phasetune/internal/lu"
+	"phasetune/internal/simnet"
+	"phasetune/internal/taskrt"
+)
+
+func testSystem(n int, seed int64) (*linalg.Matrix, []float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Add(i, i, float64(2*n))
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	return a, linalg.MulVec(a, xTrue), xTrue
+}
+
+func TestRefineConverges(t *testing.T) {
+	a, rhs, xTrue := testSystem(24, 1)
+	res, err := Refine(a, rhs, 8, 3, 10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], xTrue[i])
+		}
+	}
+	if res.Residual > 1e-10 {
+		t.Fatalf("residual = %v", res.Residual)
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no refinement iterations recorded")
+	}
+	if res.Timings.Factorization <= 0 || res.Timings.Solve <= 0 {
+		t.Fatalf("phase timings missing: %+v", res.Timings)
+	}
+}
+
+func TestRefineBadTile(t *testing.T) {
+	a, rhs, _ := testSystem(24, 2)
+	if _, err := Refine(a, rhs, 7, 1, 5, 1e-10); err == nil {
+		t.Fatal("tile not dividing n should error")
+	}
+}
+
+func TestRefineSingular(t *testing.T) {
+	n := 8
+	a := linalg.NewMatrix(n, n) // all zeros: zero pivot
+	rhs := make([]float64, n)
+	if _, err := Refine(a, rhs, 4, 1, 5, 1e-10); err == nil {
+		t.Fatal("singular system should error")
+	}
+}
+
+func buildRT(nodes int) *taskrt.Runtime {
+	eng := des.NewEngine()
+	net := simnet.NewFast(eng, nodes, simnet.Topology{
+		NICBandwidth: 7e9, BackboneBandwidth: 1e11, Latency: 1e-5,
+	})
+	specs := make([]taskrt.NodeSpec, nodes)
+	for i := range specs {
+		if i < nodes/2 {
+			specs[i] = taskrt.NodeSpec{CPUSpeed: 480, CPUCores: 24,
+				GPUSpeeds: []float64{1300, 1300}}
+		} else {
+			specs[i] = taskrt.NodeSpec{CPUSpeed: 480, CPUCores: 24}
+		}
+	}
+	return taskrt.New(eng, specs, net)
+}
+
+func spec(tiles, nAsm, nFact int) IterationSpec {
+	asm := make([]float64, nAsm)
+	fact := make([]float64, nFact)
+	for i := range asm {
+		asm[i] = 480
+	}
+	for i := range fact {
+		if i < nAsm/2 {
+			fact[i] = 3080
+		} else {
+			fact[i] = 480
+		}
+	}
+	return IterationSpec{
+		Tiles: tiles, TileSize: 960, TileBytes: 960 * 960 * 8,
+		AsmSpeeds: asm, FactSpeeds: fact,
+	}
+}
+
+func TestBuildIterationGraphRunsAndAccounts(t *testing.T) {
+	rt := buildRT(6)
+	T := 8
+	if err := BuildIterationGraph(rt, spec(T, 6, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// asm: T^2, LU: TaskCount, solve: 2T, resid: T, norm: 1.
+	want := T*T + lu.TaskCount(T) + 2*T + T + 1
+	if got := rt.NumTasks(); got != want {
+		t.Fatalf("tasks = %d, want %d", got, want)
+	}
+	mk := rt.Run()
+	if mk <= 0 || math.IsNaN(mk) {
+		t.Fatalf("makespan = %v", mk)
+	}
+}
+
+func TestBuildIterationGraphValidation(t *testing.T) {
+	rt := buildRT(2)
+	if err := BuildIterationGraph(rt, IterationSpec{}); err == nil {
+		t.Fatal("empty spec should error")
+	}
+	if err := BuildIterationGraph(rt, IterationSpec{Tiles: 4, TileSize: 8}); err == nil {
+		t.Fatal("missing speeds should error")
+	}
+}
+
+func TestTunableResponseShape(t *testing.T) {
+	// The second application exposes the same tuning problem: the
+	// makespan over factorization node counts is not monotone (there is
+	// an interior optimum or a plateau, not "more is always better").
+	makespan := func(nFact int) float64 {
+		rt := buildRT(6)
+		if err := BuildIterationGraph(rt, spec(16, 6, nFact)); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Run()
+	}
+	m1 := makespan(1)
+	best := math.Inf(1)
+	for n := 2; n <= 6; n++ {
+		if m := makespan(n); m < best {
+			best = m
+		}
+	}
+	if best >= m1 {
+		t.Fatalf("adding nodes never helped: m1=%v best=%v", m1, best)
+	}
+}

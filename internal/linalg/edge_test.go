@@ -1,0 +1,79 @@
+package linalg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestStringRendering(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	s := m.String()
+	if !strings.Contains(s, "1.0000") || !strings.Contains(s, "4.0000") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(3, 3)
+	cases := []func(){
+		func() { Mul(a, b) },
+		func() { MulVec(a, []float64{1}) },
+		func() { Dot([]float64{1}, []float64{1, 2}) },
+		func() { AXPY(1, []float64{1}, []float64{1, 2}) },
+		func() { AddMatrix(a, b) },
+		func() { SubMatrix(a, b) },
+		func() { MaxAbsDiff(a, b) },
+		func() { Cholesky(NewMatrix(2, 3)) },
+		func() { FactorLU(NewMatrix(2, 3)) },
+		func() { SolveLower(a, []float64{1}) },
+		func() { SolveUpperT(a, []float64{1}) },
+		func() { CholSolveMatrix(a, b) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestInverseAndSolveSPDErrorPath(t *testing.T) {
+	indef := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := Inverse(indef); err == nil {
+		t.Fatal("Inverse of indefinite should error")
+	}
+	if _, err := SolveSPD(indef, []float64{1, 1}); err == nil {
+		t.Fatal("SolveSPD of indefinite should error")
+	}
+	if _, err := SolveGeneral(FromRows([][]float64{{1, 2}, {2, 4}}),
+		[]float64{1, 1}); err == nil {
+		t.Fatal("SolveGeneral of singular should error")
+	}
+}
+
+func TestLUSolveDimensionPanics(t *testing.T) {
+	f, err := FactorLU(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Solve([]float64{1})
+}

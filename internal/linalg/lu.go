@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports that a factorization or solve met a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// LU holds a compact LU factorization with partial pivoting: PA = LU.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign float64
+}
+
+// FactorLU computes the LU factorization of a with partial pivoting.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: FactorLU on non-square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Pivot: largest |value| in column k at or below the diagonal.
+		p := k
+		pmax := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > pmax {
+				pmax, p = v, i
+			}
+		}
+		if pmax == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				v := lu.At(k, j)
+				lu.Set(k, j, lu.At(p, j))
+				lu.Set(p, j, v)
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A*x = b using the stored factorization.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Backward substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns det(A) from the factorization.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveGeneral solves A*x = b for a general square matrix.
+func SolveGeneral(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

@@ -1,0 +1,299 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveBasicLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  ->  min -x-y.
+	p := &Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{3, 1}, Sense: LE, RHS: 6},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal at intersection: x=8/5, y=6/5, value=-14/5.
+	if !approx(sol.Value, -2.8, 1e-7) {
+		t.Fatalf("value = %v, want -2.8", sol.Value)
+	}
+	if !approx(sol.X[0], 1.6, 1e-7) || !approx(sol.X[1], 1.2, 1e-7) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestSolveWithGEAndEQ(t *testing.T) {
+	// min 2x+3y s.t. x+y>=10, x==4  -> x=4, y=6, value 26.
+	p := &Problem{
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 10},
+			{Coeffs: []float64{1, 0}, Sense: EQ, RHS: 4},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 26, 1e-7) {
+		t.Fatalf("value = %v", sol.Value)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -5  (i.e. x >= 5).
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Sense: LE, RHS: -5},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 5, 1e-7) {
+		t.Fatalf("value = %v, want 5", sol.Value)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	if _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x with no upper bound on x.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Sense: LE, RHS: 0}, // x >= 0 already
+		},
+	}
+	if _, err := Solve(p); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: multiple constraints active at origin.
+	p := &Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 3},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 0, 1e-9) {
+		t.Fatalf("value = %v, want 0", sol.Value)
+	}
+}
+
+func TestSolveEqualityOnly(t *testing.T) {
+	// min x+y s.t. x+y == 7 -> 7.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 7},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 7, 1e-7) {
+		t.Fatalf("value = %v", sol.Value)
+	}
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// Duplicated equality row should not break phase 1 cleanup.
+	p := &Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 4},
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 4},
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 3},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min x+2y on x+y=4, x<=3: x=3, y=1 -> 5.
+	if !approx(sol.Value, 5, 1e-7) {
+		t.Fatalf("value = %v, want 5", sol.Value)
+	}
+}
+
+func TestAllocationSingleClassMatchesClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 0.1 + rng.Float64()*5
+		}
+		count := float64(10 + rng.Intn(500))
+		alloc, err := SolveAllocation([]TaskClass{
+			{Name: "gemm", Count: count, Costs: costs},
+		}, n)
+		if err != nil {
+			return false
+		}
+		want := LowerBoundSingleClass(count, costs)
+		if !approx(alloc.Makespan, want, 1e-6*want) {
+			return false
+		}
+		// Conservation.
+		sum := 0.0
+		for _, v := range alloc.Tasks[0] {
+			if v < -1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return approx(sum, count, 1e-6*count)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocationRespectsInfiniteCosts(t *testing.T) {
+	inf := math.Inf(1)
+	alloc, err := SolveAllocation([]TaskClass{
+		{Name: "gen", Count: 100, Costs: []float64{1, 1, inf}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Tasks[0][2] != 0 {
+		t.Fatalf("node with Inf cost received %v tasks", alloc.Tasks[0][2])
+	}
+	if !approx(alloc.Makespan, 50, 1e-6) {
+		t.Fatalf("makespan = %v, want 50", alloc.Makespan)
+	}
+}
+
+func TestAllocationTwoClasses(t *testing.T) {
+	// Node 0 is fast for class A, node 1 fast for class B. The LP should
+	// specialize and beat any single-node bound.
+	alloc, err := SolveAllocation([]TaskClass{
+		{Name: "A", Count: 100, Costs: []float64{0.1, 1.0}},
+		{Name: "B", Count: 100, Costs: []float64{1.0, 0.1}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric optimum: makespan somewhere near 100*0.1*... compute:
+	// perfect specialization gives each node 100 tasks at 0.1 = 10s, but
+	// then loads are 10 and 10 -> 10s. Mixing only hurts.
+	if !approx(alloc.Makespan, 10, 1e-5) {
+		t.Fatalf("makespan = %v, want 10", alloc.Makespan)
+	}
+	if alloc.Tasks[0][0] < 99 || alloc.Tasks[1][1] < 99 {
+		t.Fatalf("expected specialization, got %v", alloc.Tasks)
+	}
+}
+
+func TestAllocationHeterogeneousMakespanMonotonic(t *testing.T) {
+	// Adding nodes (with finite costs) can only reduce the LP makespan.
+	costs := []float64{0.5, 0.7, 1.0, 1.5, 2.0, 3.0}
+	prev := math.Inf(1)
+	for n := 1; n <= len(costs); n++ {
+		alloc, err := SolveAllocation([]TaskClass{
+			{Name: "w", Count: 1000, Costs: costs[:n]},
+		}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.Makespan > prev+1e-9 {
+			t.Fatalf("makespan increased at n=%d: %v > %v", n, alloc.Makespan, prev)
+		}
+		prev = alloc.Makespan
+	}
+}
+
+func TestAllocationAllNodesInfeasible(t *testing.T) {
+	inf := math.Inf(1)
+	if _, err := SolveAllocation([]TaskClass{
+		{Name: "gpuonly", Count: 10, Costs: []float64{inf, inf}},
+	}, 2); err == nil {
+		t.Fatal("expected error when no node can run a class")
+	}
+}
+
+func TestRoundCountsExact(t *testing.T) {
+	got := RoundCounts([]float64{1.5, 2.5, 3.0}, 7)
+	sum := 0
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 7 {
+		t.Fatalf("sum = %d, want 7 (counts %v)", sum, got)
+	}
+	if got[2] != 3 {
+		t.Fatalf("integral part must be preserved: %v", got)
+	}
+}
+
+func TestRoundCountsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		total := rng.Intn(200)
+		frac := make([]float64, n)
+		remaining := float64(total)
+		for i := 0; i < n-1; i++ {
+			v := rng.Float64() * remaining
+			frac[i] = v
+			remaining -= v
+		}
+		frac[n-1] = remaining
+		out := RoundCounts(frac, total)
+		sum := 0
+		for i, v := range out {
+			if v < 0 {
+				return false
+			}
+			// Never drift more than 1 from the fractional value.
+			if math.Abs(float64(v)-frac[i]) > 1+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundSingleClassNoNodes(t *testing.T) {
+	if !math.IsInf(LowerBoundSingleClass(5, []float64{math.Inf(1)}), 1) {
+		t.Fatal("bound with no usable nodes should be +Inf")
+	}
+}

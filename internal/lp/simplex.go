@@ -1,0 +1,291 @@
+// Package lp implements a dense two-phase primal simplex solver and, on
+// top of it, the task-allocation linear program of Nesi et al. (ICPP'21)
+// that the paper uses both to compute ideal per-node task counts and as an
+// optimistic makespan lower bound LP(n) for the bound mechanism of the
+// GP-discontinuous strategy.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a.x <= b
+	GE              // a.x >= b
+	EQ              // a.x == b
+)
+
+// Constraint is a single linear constraint over the problem variables.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program in the form
+//
+//	minimize  c.x
+//	subject to constraints, x >= 0.
+//
+// Variables are implicitly non-negative; use the Shift helpers or split
+// variables for free variables (not needed by this repository).
+type Problem struct {
+	// Objective coefficients, one per variable.
+	Objective []float64
+	// Constraints over the same variables.
+	Constraints []Constraint
+}
+
+// Solution of a linear program.
+type Solution struct {
+	X     []float64 // optimal variable values
+	Value float64   // optimal objective value
+}
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+)
+
+const eps = 1e-9
+
+// Solve minimizes the problem with the two-phase primal simplex method
+// (Bland's rule, dense tableau). It is intended for the small/medium
+// problems this repository generates (hundreds of variables).
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.Objective)
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d",
+				i, len(c.Coeffs), n)
+		}
+	}
+
+	// Standard form: every constraint becomes an equality with added
+	// slack/surplus variables, all RHS made non-negative.
+	m := len(p.Constraints)
+	type rowSpec struct {
+		coeffs []float64
+		rhs    float64
+		sense  Sense
+	}
+	rows := make([]rowSpec, m)
+	for i, c := range p.Constraints {
+		coeffs := append([]float64(nil), c.Coeffs...)
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[i] = rowSpec{coeffs, rhs, sense}
+	}
+
+	// Count slack and artificial variables.
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		switch r.sense {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows of coefficients + rhs column.
+	a := make([][]float64, m)
+	basis := make([]int, m)
+	rhs := make([]float64, m)
+	slackIdx := n
+	artIdx := n + nSlack
+	for i, r := range rows {
+		a[i] = make([]float64, total)
+		copy(a[i], r.coeffs)
+		rhs[i] = r.rhs
+		switch r.sense {
+		case LE:
+			a[i][slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			a[i][slackIdx] = -1
+			slackIdx++
+			a[i][artIdx] = 1
+			basis[i] = artIdx
+			artIdx++
+		case EQ:
+			a[i][artIdx] = 1
+			basis[i] = artIdx
+			artIdx++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		phase1 := make([]float64, total)
+		for j := n + nSlack; j < total; j++ {
+			phase1[j] = 1
+		}
+		val, err := runSimplex(a, rhs, basis, phase1)
+		if err != nil {
+			return nil, err
+		}
+		if val > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive any remaining artificial variables out of the basis.
+		for i, b := range basis {
+			if b < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(a[i][j]) > eps {
+					pivot(a, rhs, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: the artificial stays basic at zero,
+				// which is harmless as long as its column is never
+				// re-entered; zero out artificial columns to be safe.
+				for k := range a {
+					a[k][b] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective (artificials excluded from pricing).
+	obj := make([]float64, total)
+	copy(obj, p.Objective)
+	if _, err := runSimplexLimited(a, rhs, basis, obj, n+nSlack); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = rhs[i]
+		}
+	}
+	val := 0.0
+	for j, c := range p.Objective {
+		val += c * x[j]
+	}
+	return &Solution{X: x, Value: val}, nil
+}
+
+// runSimplex minimizes obj over the current tableau, allowing every column.
+func runSimplex(a [][]float64, rhs []float64, basis []int, obj []float64) (float64, error) {
+	return simplexLoop(a, rhs, basis, obj, len(obj))
+}
+
+// runSimplexLimited restricts entering columns to indices < limit
+// (used in phase 2 to keep artificial columns out of the basis).
+func runSimplexLimited(a [][]float64, rhs []float64, basis []int, obj []float64, limit int) (float64, error) {
+	return simplexLoop(a, rhs, basis, obj, limit)
+}
+
+func simplexLoop(a [][]float64, rhs []float64, basis []int, obj []float64, limit int) (float64, error) {
+	m := len(a)
+	if m == 0 {
+		return 0, nil
+	}
+	total := len(a[0])
+	if limit > total {
+		limit = total
+	}
+	// y holds the simplex multipliers implicitly via reduced costs computed
+	// from the current basis each iteration (dense, O(m*total) per pivot);
+	// fine at this problem scale.
+	maxIter := 50 * (m + total)
+	for iter := 0; iter < maxIter; iter++ {
+		// Reduced costs: r_j = c_j - c_B . B^-1 A_j. The tableau already
+		// stores B^-1 A, so r_j = c_j - sum_i c_basis[i] * a[i][j].
+		entering := -1
+		for j := 0; j < limit; j++ {
+			r := obj[j]
+			for i := 0; i < m; i++ {
+				cb := obj[basis[i]]
+				if cb != 0 {
+					r -= cb * a[i][j]
+				}
+			}
+			if r < -eps {
+				entering = j // Bland's rule: first improving column
+				break
+			}
+		}
+		if entering == -1 {
+			// Optimal.
+			val := 0.0
+			for i := 0; i < m; i++ {
+				val += obj[basis[i]] * rhs[i]
+			}
+			return val, nil
+		}
+		// Ratio test (Bland: smallest basis index on ties).
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if a[i][entering] > eps {
+				ratio := rhs[i] / a[i][entering]
+				if ratio < best-eps ||
+					(ratio < best+eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(a, rhs, basis, leaving, entering)
+	}
+	return 0, errors.New("lp: simplex iteration limit exceeded")
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(a [][]float64, rhs []float64, basis []int, row, col int) {
+	p := a[row][col]
+	inv := 1 / p
+	for j := range a[row] {
+		a[row][j] *= inv
+	}
+	rhs[row] *= inv
+	for i := range a {
+		if i == row {
+			continue
+		}
+		f := a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range a[i] {
+			a[i][j] -= f * a[row][j]
+		}
+		rhs[i] -= f * rhs[row]
+	}
+	basis[row] = col
+}

@@ -1,0 +1,81 @@
+package lu
+
+import (
+	"fmt"
+
+	"phasetune/internal/taskrt"
+)
+
+// Costs gives the flop counts of the LU tile kernels in Gflop.
+type Costs struct {
+	GETRF float64
+	TRSM  float64
+	GEMM  float64
+}
+
+// KernelCosts returns dense flop counts for b x b tiles.
+func KernelCosts(tileSize int) Costs {
+	b := float64(tileSize)
+	const g = 1e-9
+	return Costs{
+		GETRF: 2 * b * b * b / 3 * g,
+		TRSM:  b * b * b * g,
+		GEMM:  2 * b * b * b * g,
+	}
+}
+
+// BuildDAG submits the tiled LU task graph over a full tiles x tiles
+// block matrix to the simulated runtime. owner maps tile (i, j) (both
+// triangles) to its node; producers optionally supplies per-tile
+// producer tasks (the assembly phase). It returns the per-panel GETRF
+// tasks.
+func BuildDAG(rt *taskrt.Runtime, tiles int, tileBytes float64, costs Costs,
+	owner func(i, j int) int, producers [][]*taskrt.Task) []*taskrt.Task {
+
+	lastWriter := make([][]*taskrt.Task, tiles)
+	for i := range lastWriter {
+		lastWriter[i] = make([]*taskrt.Task, tiles)
+		if producers != nil {
+			copy(lastWriter[i], producers[i])
+		}
+	}
+	prio := func(k, rank int) int64 { return int64(tiles-k)*4 + int64(rank) }
+	getrfs := make([]*taskrt.Task, tiles)
+	for k := 0; k < tiles; k++ {
+		p := rt.NewTask(fmt.Sprintf("getrf(%d)", k), "getrf",
+			costs.GETRF, owner(k, k), false, prio(k, 3))
+		rt.AddDep(p, lastWriter[k][k], tileBytes)
+		lastWriter[k][k] = p
+		getrfs[k] = p
+
+		rowT := make([]*taskrt.Task, tiles)
+		colT := make([]*taskrt.Task, tiles)
+		for j := k + 1; j < tiles; j++ {
+			t := rt.NewTask(fmt.Sprintf("trsml(%d,%d)", k, j), "trsm",
+				costs.TRSM, owner(k, j), false, prio(k, 2))
+			rt.AddDep(t, p, tileBytes)
+			rt.AddDep(t, lastWriter[k][j], tileBytes)
+			lastWriter[k][j] = t
+			rowT[j] = t
+		}
+		for i := k + 1; i < tiles; i++ {
+			t := rt.NewTask(fmt.Sprintf("trsmu(%d,%d)", i, k), "trsm",
+				costs.TRSM, owner(i, k), false, prio(k, 2))
+			rt.AddDep(t, p, tileBytes)
+			rt.AddDep(t, lastWriter[i][k], tileBytes)
+			lastWriter[i][k] = t
+			colT[i] = t
+		}
+		for i := k + 1; i < tiles; i++ {
+			for j := k + 1; j < tiles; j++ {
+				u := rt.NewTask(fmt.Sprintf("gemm(%d,%d,%d)", i, j, k), "gemm",
+					costs.GEMM, owner(i, j), false, prio(k, 0))
+				rt.AddDep(u, colT[i], tileBytes)
+				rt.AddDep(u, rowT[j], tileBytes)
+				rt.AddDep(u, lastWriter[i][j], tileBytes)
+				lastWriter[i][j] = u
+			}
+		}
+	}
+	return getrfs
+}

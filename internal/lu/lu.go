@@ -1,0 +1,312 @@
+// Package lu implements a tiled LU factorization (without pivoting, for
+// diagonally dominant systems) with real numeric kernels, a
+// goroutine-parallel executor, and the task-graph builder for the
+// simulated runtime. It is the substrate of the second iterative
+// multi-phase application (internal/itersolve) — the paper's conclusion
+// proposes evaluating the tuning strategies on applications beyond
+// ExaGeoStat, and LU-based iterative refinement has the same
+// stable-iteration structure with different phase characteristics.
+package lu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"phasetune/internal/cholesky"
+	"phasetune/internal/linalg"
+)
+
+// Tile aliases the dense tile type shared with the Cholesky substrate.
+type Tile = cholesky.Tile
+
+// ErrZeroPivot reports a (near-)zero pivot during the unpivoted GETRF;
+// callers must supply diagonally dominant systems.
+var ErrZeroPivot = errors.New("lu: zero pivot (matrix not diagonally dominant?)")
+
+// GETRF factorizes a tile in place into unit-lower L and upper U
+// (A = L*U, L's unit diagonal implicit), without pivoting.
+func GETRF(a *Tile) error {
+	b := a.B
+	for k := 0; k < b; k++ {
+		pivot := a.At(k, k)
+		if math.Abs(pivot) < 1e-300 {
+			return ErrZeroPivot
+		}
+		inv := 1 / pivot
+		for i := k + 1; i < b; i++ {
+			m := a.At(i, k) * inv
+			a.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < b; j++ {
+				a.Set(i, j, a.At(i, j)-m*a.At(k, j))
+			}
+		}
+	}
+	return nil
+}
+
+// TRSML solves L * X = A in place over tile a, where lu holds a factored
+// diagonal tile (unit-lower L): a <- L^-1 * a. Used for tiles right of
+// the diagonal.
+func TRSML(lu, a *Tile) {
+	b := a.B
+	for j := 0; j < b; j++ {
+		for i := 0; i < b; i++ {
+			s := a.At(i, j)
+			for k := 0; k < i; k++ {
+				s -= lu.At(i, k) * a.At(k, j)
+			}
+			a.Set(i, j, s) // unit diagonal: no division
+		}
+	}
+}
+
+// TRSMU solves X * U = A in place over tile a, where lu holds a factored
+// diagonal tile (upper U): a <- a * U^-1. Used for tiles below the
+// diagonal.
+func TRSMU(lu, a *Tile) {
+	b := a.B
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * lu.At(k, j)
+			}
+			a.Set(i, j, s/lu.At(j, j))
+		}
+	}
+}
+
+// GEMMNN performs c <- c - a*b (plain, not transposed — LU's update).
+func GEMMNN(a, b, c *Tile) {
+	n := c.B
+	for i := 0; i < n; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] -= av * brow[j]
+			}
+		}
+	}
+}
+
+// Matrix is a full square tiled matrix (LU needs both triangles).
+type Matrix struct {
+	T     int
+	B     int
+	tiles [][]*Tile
+}
+
+// NewMatrix allocates a T x T grid of zeroed B x B tiles.
+func NewMatrix(t, b int) *Matrix {
+	m := &Matrix{T: t, B: b, tiles: make([][]*Tile, t)}
+	for i := range m.tiles {
+		m.tiles[i] = make([]*Tile, t)
+		for j := range m.tiles[i] {
+			m.tiles[i][j] = cholesky.NewTile(b)
+		}
+	}
+	return m
+}
+
+// Tile returns tile (i, j).
+func (m *Matrix) Tile(i, j int) *Tile { return m.tiles[i][j] }
+
+// N returns the full dimension.
+func (m *Matrix) N() int { return m.T * m.B }
+
+// FromDense splits a dense square matrix into tiles.
+func FromDense(a *linalg.Matrix, b int) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("lu: non-square %dx%d", a.Rows, a.Cols)
+	}
+	if a.Rows%b != 0 {
+		return nil, fmt.Errorf("lu: dimension %d not a multiple of tile %d", a.Rows, b)
+	}
+	t := a.Rows / b
+	m := NewMatrix(t, b)
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			tl := m.tiles[i][j]
+			for r := 0; r < b; r++ {
+				for c := 0; c < b; c++ {
+					tl.Set(r, c, a.At(i*b+r, j*b+c))
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// TiledLU factorizes m in place with a goroutine pool (A = L*U, unit
+// lower L in the strict lower part, U in the upper part).
+func TiledLU(m *Matrix, workers int) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	type ptask struct {
+		run   func() error
+		succs []*ptask
+		deps  int32
+	}
+	var tasks []*ptask
+	add := func(run func() error, deps ...*ptask) *ptask {
+		t := &ptask{run: run}
+		for _, d := range deps {
+			if d == nil {
+				continue
+			}
+			d.succs = append(d.succs, t)
+			t.deps++
+		}
+		tasks = append(tasks, t)
+		return t
+	}
+	T := m.T
+	lastWriter := make([][]*ptask, T)
+	for i := range lastWriter {
+		lastWriter[i] = make([]*ptask, T)
+	}
+	for k := 0; k < T; k++ {
+		k := k
+		p := add(func() error { return GETRF(m.tiles[k][k]) }, lastWriter[k][k])
+		lastWriter[k][k] = p
+		rowT := make([]*ptask, T)
+		colT := make([]*ptask, T)
+		for j := k + 1; j < T; j++ {
+			j := j
+			t := add(func() error { TRSML(m.tiles[k][k], m.tiles[k][j]); return nil },
+				p, lastWriter[k][j])
+			lastWriter[k][j] = t
+			rowT[j] = t
+		}
+		for i := k + 1; i < T; i++ {
+			i := i
+			t := add(func() error { TRSMU(m.tiles[k][k], m.tiles[i][k]); return nil },
+				p, lastWriter[i][k])
+			lastWriter[i][k] = t
+			colT[i] = t
+		}
+		for i := k + 1; i < T; i++ {
+			for j := k + 1; j < T; j++ {
+				i, j := i, j
+				u := add(func() error {
+					GEMMNN(m.tiles[i][k], m.tiles[k][j], m.tiles[i][j])
+					return nil
+				}, colT[i], rowT[j], lastWriter[i][j])
+				lastWriter[i][j] = u
+			}
+		}
+	}
+
+	ready := make(chan *ptask, len(tasks))
+	for _, t := range tasks {
+		if t.deps == 0 {
+			ready <- t
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	var firstErr atomic.Value
+	failed := new(atomic.Bool)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range ready {
+				if !failed.Load() {
+					if err := t.run(); err != nil {
+						if failed.CompareAndSwap(false, true) {
+							firstErr.Store(err)
+						}
+					}
+				}
+				for _, s := range t.succs {
+					if atomic.AddInt32(&s.deps, -1) == 0 {
+						ready <- s
+					}
+				}
+				wg.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ready)
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Solve solves A x = rhs using the factored tiles (forward with unit L,
+// backward with U).
+func (m *Matrix) Solve(rhs []float64) []float64 {
+	n := m.N()
+	if len(rhs) != n {
+		panic("lu: Solve dimension mismatch")
+	}
+	B := m.B
+	y := append([]float64(nil), rhs...)
+	// Forward: L y = rhs (unit diagonal).
+	for bi := 0; bi < m.T; bi++ {
+		for bj := 0; bj < bi; bj++ {
+			tl := m.tiles[bi][bj]
+			for r := 0; r < B; r++ {
+				s := 0.0
+				for c := 0; c < B; c++ {
+					s += tl.At(r, c) * y[bj*B+c]
+				}
+				y[bi*B+r] -= s
+			}
+		}
+		diag := m.tiles[bi][bi]
+		for r := 0; r < B; r++ {
+			s := y[bi*B+r]
+			for c := 0; c < r; c++ {
+				s -= diag.At(r, c) * y[bi*B+c]
+			}
+			y[bi*B+r] = s
+		}
+	}
+	// Backward: U x = y.
+	for bi := m.T - 1; bi >= 0; bi-- {
+		for bj := m.T - 1; bj > bi; bj-- {
+			tl := m.tiles[bi][bj]
+			for r := 0; r < B; r++ {
+				s := 0.0
+				for c := 0; c < B; c++ {
+					s += tl.At(r, c) * y[bj*B+c]
+				}
+				y[bi*B+r] -= s
+			}
+		}
+		diag := m.tiles[bi][bi]
+		for r := B - 1; r >= 0; r-- {
+			s := y[bi*B+r]
+			for c := r + 1; c < B; c++ {
+				s -= diag.At(r, c) * y[bi*B+c]
+			}
+			y[bi*B+r] = s / diag.At(r, r)
+		}
+	}
+	return y
+}
+
+// TaskCount returns the number of tasks TiledLU executes for T tiles:
+// T getrf + T(T-1) trsm + sum k^2 gemm.
+func TaskCount(tiles int) int {
+	t := tiles
+	gemm := 0
+	for k := 1; k < t; k++ {
+		gemm += k * k
+	}
+	return t + t*(t-1) + gemm
+}

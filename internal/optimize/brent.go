@@ -1,0 +1,144 @@
+// Package optimize implements the derivative-free optimizers the paper
+// compares against or relies on: Brent's method and golden-section search
+// in one dimension, Nelder-Mead simplex in several, plus the
+// non-parsimonious methods the paper dismisses (simulated annealing and
+// SPSA stochastic approximation). The geostat MLE loop also uses these.
+package optimize
+
+import "math"
+
+// Result of a scalar minimization.
+type Result struct {
+	X     float64 // minimizer
+	F     float64 // minimum value
+	Evals int     // objective evaluations performed
+}
+
+const goldenRatio = 0.3819660112501051 // (3 - sqrt(5)) / 2
+
+// Brent minimizes f on [a, b] with Brent's method (golden-section search
+// combined with successive parabolic interpolation), the algorithm behind
+// R's optimize()/optim(method="Brent") used by the paper. tol is the
+// absolute x-tolerance; maxEvals caps objective evaluations.
+func Brent(f func(float64) float64, a, b, tol float64, maxEvals int) Result {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxEvals <= 0 {
+		maxEvals = 200
+	}
+	const tiny = 1e-11
+	x := a + goldenRatio*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	evals := 1
+	d, e := 0.0, 0.0
+
+	for evals < maxEvals {
+		m := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + tiny
+		tol2 := 2 * tol1
+		if math.Abs(x-m) <= tol2-0.5*(b-a) {
+			break
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Fit a parabola through (v,fv), (w,fw), (x,fx).
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etmp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etmp) && p > q*(a-x) && p < q*(b-x) {
+				// Accept the parabolic step.
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, m-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x < m {
+				e = b - x
+			} else {
+				e = a - x
+			}
+			d = goldenRatio * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		evals++
+		if fu <= fx {
+			if u < x {
+				b = x
+			} else {
+				a = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return Result{X: x, F: fx, Evals: evals}
+}
+
+// GoldenSection minimizes a unimodal f on [a, b] by golden-section search.
+func GoldenSection(f func(float64) float64, a, b, tol float64, maxEvals int) Result {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxEvals <= 0 {
+		maxEvals = 200
+	}
+	invPhi := (math.Sqrt(5) - 1) / 2
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	evals := 2
+	for b-a > tol && evals < maxEvals {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+		evals++
+	}
+	if f1 < f2 {
+		return Result{X: x1, F: f1, Evals: evals}
+	}
+	return Result{X: x2, F: f2, Evals: evals}
+}

@@ -1,0 +1,129 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+)
+
+// VecResult is the outcome of a multidimensional minimization.
+type VecResult struct {
+	X     []float64
+	F     float64
+	Evals int
+}
+
+// NelderMead minimizes f starting from x0 using the downhill-simplex
+// method with the standard coefficients (reflection 1, expansion 2,
+// contraction 0.5, shrink 0.5). step sets the initial simplex size per
+// coordinate (a scalar step is applied to every coordinate when the
+// slice has length 1).
+func NelderMead(f func([]float64) float64, x0 []float64, step []float64, tol float64, maxEvals int) VecResult {
+	n := len(x0)
+	if n == 0 {
+		return VecResult{X: nil, F: f(nil), Evals: 1}
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxEvals <= 0 {
+		maxEvals = 400 * n
+	}
+	stepAt := func(i int) float64 {
+		if len(step) == 0 {
+			return 0.1
+		}
+		if len(step) == 1 {
+			return step[0]
+		}
+		return step[i]
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		d := stepAt(i)
+		if d == 0 {
+			d = 0.00025
+		}
+		x[i] += d
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+
+	centroid := make([]float64, n)
+	xr := make([]float64, n)
+	xe := make([]float64, n)
+	xc := make([]float64, n)
+
+	for evals < maxEvals {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		best, worst := simplex[0], simplex[n]
+		if math.Abs(worst.f-best.f) <= tol*(math.Abs(best.f)+tol) {
+			break
+		}
+		// Centroid of all but the worst.
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += simplex[i].x[j]
+			}
+			centroid[j] = s / float64(n)
+		}
+		for j := 0; j < n; j++ {
+			xr[j] = centroid[j] + (centroid[j] - worst.x[j])
+		}
+		fr := eval(xr)
+		switch {
+		case fr < best.f:
+			for j := 0; j < n; j++ {
+				xe[j] = centroid[j] + 2*(centroid[j]-worst.x[j])
+			}
+			fe := eval(xe)
+			if fe < fr {
+				copy(simplex[n].x, xe)
+				simplex[n].f = fe
+			} else {
+				copy(simplex[n].x, xr)
+				simplex[n].f = fr
+			}
+		case fr < simplex[n-1].f:
+			copy(simplex[n].x, xr)
+			simplex[n].f = fr
+		default:
+			// Contraction.
+			if fr < worst.f {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] + 0.5*(xr[j]-centroid[j])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] + 0.5*(worst.x[j]-centroid[j])
+				}
+			}
+			fc := eval(xc)
+			if fc < math.Min(fr, worst.f) {
+				copy(simplex[n].x, xc)
+				simplex[n].f = fc
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = best.x[j] + 0.5*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return VecResult{X: simplex[0].x, F: simplex[0].f, Evals: evals}
+}

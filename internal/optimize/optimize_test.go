@@ -1,0 +1,140 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phasetune/internal/stats"
+)
+
+func TestBrentQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	r := Brent(f, -10, 10, 1e-8, 0)
+	if math.Abs(r.X-3) > 1e-6 {
+		t.Fatalf("X = %v, want 3", r.X)
+	}
+	if r.Evals > 60 {
+		t.Fatalf("Brent used %d evals on a quadratic", r.Evals)
+	}
+}
+
+func TestBrentCos(t *testing.T) {
+	r := Brent(math.Cos, 2, 5, 1e-10, 0)
+	if math.Abs(r.X-math.Pi) > 1e-7 {
+		t.Fatalf("X = %v, want pi", r.X)
+	}
+	if math.Abs(r.F+1) > 1e-10 {
+		t.Fatalf("F = %v, want -1", r.F)
+	}
+}
+
+func TestBrentReversedBounds(t *testing.T) {
+	r := Brent(func(x float64) float64 { return x * x }, 4, -4, 1e-8, 0)
+	if math.Abs(r.X) > 1e-6 {
+		t.Fatalf("X = %v, want 0", r.X)
+	}
+}
+
+func TestBrentRespectsEvalBudget(t *testing.T) {
+	count := 0
+	f := func(x float64) float64 { count++; return math.Sin(5*x) + 0.1*x*x }
+	Brent(f, -10, 10, 1e-12, 25)
+	if count > 25 {
+		t.Fatalf("used %d evals with budget 25", count)
+	}
+}
+
+func TestBrentFindsMinOfShiftedQuadraticProperty(t *testing.T) {
+	f := func(shiftRaw float64) bool {
+		shift := math.Mod(math.Abs(shiftRaw), 8) - 4
+		if math.IsNaN(shift) {
+			return true
+		}
+		r := Brent(func(x float64) float64 { return (x - shift) * (x - shift) }, -5, 5, 1e-9, 0)
+		return math.Abs(r.X-shift) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	r := GoldenSection(func(x float64) float64 { return math.Abs(x - 1.25) }, 0, 4, 1e-7, 0)
+	if math.Abs(r.X-1.25) > 1e-5 {
+		t.Fatalf("X = %v", r.X)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	rosen := func(x []float64) float64 {
+		return 100*math.Pow(x[1]-x[0]*x[0], 2) + math.Pow(1-x[0], 2)
+	}
+	r := NelderMead(rosen, []float64{-1.2, 1}, []float64{0.5}, 1e-12, 4000)
+	if math.Abs(r.X[0]-1) > 1e-3 || math.Abs(r.X[1]-1) > 1e-3 {
+		t.Fatalf("X = %v, want (1,1)", r.X)
+	}
+}
+
+func TestNelderMeadQuadratic3D(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-1)*(x[0]-1) + 2*(x[1]+2)*(x[1]+2) + 0.5*(x[2]-3)*(x[2]-3)
+	}
+	r := NelderMead(f, []float64{0, 0, 0}, []float64{1}, 1e-12, 4000)
+	want := []float64{1, -2, 3}
+	for i := range want {
+		if math.Abs(r.X[i]-want[i]) > 1e-4 {
+			t.Fatalf("X = %v", r.X)
+		}
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	r := NelderMead(func(x []float64) float64 { return 7 }, nil, nil, 0, 0)
+	if r.F != 7 || r.Evals != 1 {
+		t.Fatalf("empty-input result = %+v", r)
+	}
+}
+
+func TestSimulatedAnnealingFindsGlobalOnMultimodal(t *testing.T) {
+	// Deceptive landscape: local minimum at 80, global at 20.
+	f := func(n int) float64 {
+		x := float64(n)
+		return math.Min(math.Abs(x-80)+2, math.Abs(x-20))
+	}
+	hit := 0
+	for seed := int64(0); seed < 10; seed++ {
+		best, _, _ := SimulatedAnnealing(f, 0, 100, 600, stats.NewRNG(seed))
+		if math.Abs(float64(best)-20) <= 2 {
+			hit++
+		}
+	}
+	if hit < 6 {
+		t.Fatalf("SANN found the global basin only %d/10 times", hit)
+	}
+}
+
+func TestSPSAQuadratic(t *testing.T) {
+	f := func(n int) float64 { d := float64(n - 30); return d * d }
+	hit := 0
+	for seed := int64(0); seed < 10; seed++ {
+		best, _, _ := SPSA(f, 0, 100, 200, stats.NewRNG(seed))
+		if math.Abs(float64(best)-30) <= 3 {
+			hit++
+		}
+	}
+	if hit < 7 {
+		t.Fatalf("SPSA converged only %d/10 times", hit)
+	}
+}
+
+func TestStochasticBoundsRespected(t *testing.T) {
+	f := func(n int) float64 {
+		if n < 5 || n > 15 {
+			t.Fatalf("evaluated out-of-bounds point %d", n)
+		}
+		return float64(n)
+	}
+	SimulatedAnnealing(f, 5, 15, 100, stats.NewRNG(1))
+	SPSA(f, 5, 15, 50, stats.NewRNG(1))
+}

@@ -1,0 +1,93 @@
+package optimize
+
+import (
+	"math"
+
+	"phasetune/internal/stats"
+)
+
+// SimulatedAnnealing minimizes f on the integer range [lo, hi] with the
+// Metropolis acceptance rule and a geometric cooling schedule. This mirrors
+// R optim's SANN as the paper applied it to the node-count search space:
+// not parsimonious, included as a comparator.
+func SimulatedAnnealing(f func(int) float64, lo, hi int, iters int, rng *stats.RNG) (int, float64, int) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	cur := lo + rng.Intn(hi-lo+1)
+	fcur := f(cur)
+	evals := 1
+	best, fbest := cur, fcur
+	temp := math.Max(1e-9, fcur) // scale-aware starting temperature
+	cool := math.Pow(1e-3, 1/float64(iters))
+	span := hi - lo
+	for i := 0; i < iters; i++ {
+		// Neighbourhood: a step of up to ~10% of the span, at least 1.
+		maxStep := span/10 + 1
+		step := rng.Intn(2*maxStep+1) - maxStep
+		next := cur + step
+		if next < lo {
+			next = lo
+		}
+		if next > hi {
+			next = hi
+		}
+		fnext := f(next)
+		evals++
+		if fnext <= fcur || rng.Float64() < math.Exp((fcur-fnext)/math.Max(temp, 1e-12)) {
+			cur, fcur = next, fnext
+			if fcur < fbest {
+				best, fbest = cur, fcur
+			}
+		}
+		temp *= cool
+	}
+	return best, fbest, evals
+}
+
+// SPSA performs simultaneous-perturbation stochastic approximation on a
+// scalar domain [lo, hi], rounding iterates to integers when evaluating.
+// Like SANN it is a non-parsimonious comparator from the paper's
+// Section IV-B discussion.
+func SPSA(f func(int) float64, lo, hi int, iters int, rng *stats.RNG) (int, float64, int) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	clamp := func(x float64) float64 {
+		return math.Max(float64(lo), math.Min(float64(hi), x))
+	}
+	x := float64(lo) + rng.Float64()*float64(hi-lo)
+	a0 := float64(hi-lo) / 10
+	c0 := math.Max(1, float64(hi-lo)/20)
+	best := int(math.Round(x))
+	fbest := f(best)
+	evals := 1
+	for k := 1; k <= iters; k++ {
+		ak := a0 / math.Pow(float64(k)+10, 0.602)
+		ck := c0 / math.Pow(float64(k), 0.101)
+		delta := 1.0
+		if rng.Float64() < 0.5 {
+			delta = -1
+		}
+		xp := clamp(x + ck*delta)
+		xm := clamp(x - ck*delta)
+		fp := f(int(math.Round(xp)))
+		fm := f(int(math.Round(xm)))
+		evals += 2
+		g := (fp - fm) / (2 * ck * delta)
+		x = clamp(x - ak*g)
+		cand := int(math.Round(x))
+		fc := f(cand)
+		evals++
+		if fc < fbest {
+			best, fbest = cand, fc
+		}
+	}
+	return best, fbest, evals
+}

@@ -1,0 +1,166 @@
+// Package perfmodel implements StarPU-style online performance models
+// (Section II of the paper: "StarPU can schedule tasks using performance
+// models that assume a similar duration for a given task type and input
+// size. Also, outlier tasks ... are handled"). For every (kernel, unit
+// class) pair it fits an online linear model duration = a + b*flops by
+// least squares and flags observations that deviate from the prediction
+// by more than a configurable number of standard deviations.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Key identifies one calibration entry.
+type Key struct {
+	Kernel string // e.g. "gemm"
+	Unit   string // unit class, e.g. "cpu" or "gpu"
+}
+
+// entry holds the online least-squares accumulators for one key.
+type entry struct {
+	n          float64
+	sumX       float64 // flops
+	sumY       float64 // seconds
+	sumXY      float64
+	sumXX      float64
+	sumSqResid float64 // accumulated squared residuals vs current fit
+	rejected   int
+}
+
+// Model is a set of per-(kernel, unit) duration estimators.
+type Model struct {
+	entries map[Key]*entry
+	// OutlierSigma is the rejection threshold in residual standard
+	// deviations (default 4; StarPU clips comparable outliers).
+	OutlierSigma float64
+	// Warmup is the number of observations before outlier rejection
+	// activates (default 10).
+	Warmup int
+}
+
+// New returns an empty model with default settings.
+func New() *Model {
+	return &Model{entries: map[Key]*entry{}, OutlierSigma: 4, Warmup: 10}
+}
+
+// Observe feeds one measured task execution. Outliers (once calibrated)
+// are counted but do not pollute the estimator, mirroring the runtime's
+// outlier handling.
+func (m *Model) Observe(kernel, unit string, flops, seconds float64) {
+	k := Key{kernel, unit}
+	e := m.entries[k]
+	if e == nil {
+		e = &entry{}
+		m.entries[k] = e
+	}
+	if int(e.n) >= m.Warmup {
+		if est, sd, ok := m.estimateWithSD(e, flops); ok && sd > 0 {
+			if math.Abs(seconds-est) > m.OutlierSigma*sd {
+				e.rejected++
+				return
+			}
+		}
+	}
+	if est, _, ok := m.estimateWithSD(e, flops); ok {
+		d := seconds - est
+		e.sumSqResid += d * d
+	}
+	e.n++
+	e.sumX += flops
+	e.sumY += seconds
+	e.sumXY += flops * seconds
+	e.sumXX += flops * flops
+}
+
+// estimateWithSD returns the fitted duration and residual SD.
+func (m *Model) estimateWithSD(e *entry, flops float64) (est, sd float64, ok bool) {
+	if e == nil || e.n < 2 {
+		return 0, 0, false
+	}
+	det := e.n*e.sumXX - e.sumX*e.sumX
+	var a, b float64
+	if math.Abs(det) < 1e-12 {
+		// All observations share one size: fall back to the mean.
+		a = e.sumY / e.n
+		b = 0
+	} else {
+		b = (e.n*e.sumXY - e.sumX*e.sumY) / det
+		a = (e.sumY - b*e.sumX) / e.n
+	}
+	est = a + b*flops
+	if e.n > 2 {
+		sd = math.Sqrt(e.sumSqResid / (e.n - 2))
+	}
+	return est, sd, true
+}
+
+// Estimate predicts the duration of a kernel of the given size on a unit
+// class. ok is false before two observations exist.
+func (m *Model) Estimate(kernel, unit string, flops float64) (seconds float64, ok bool) {
+	est, _, ok := m.estimateWithSD(m.entries[Key{kernel, unit}], flops)
+	return est, ok
+}
+
+// IsOutlier reports whether a duration would be rejected for the key at
+// the given size (always false before calibration). For perfectly
+// calibrated entries (zero residual variance, as in deterministic
+// simulations) a relative-deviation rule applies instead.
+func (m *Model) IsOutlier(kernel, unit string, flops, seconds float64) bool {
+	e := m.entries[Key{kernel, unit}]
+	if e == nil || int(e.n) < m.Warmup {
+		return false
+	}
+	est, sd, ok := m.estimateWithSD(e, flops)
+	if !ok {
+		return false
+	}
+	if sd <= 1e-12*math.Max(est, 1e-12) {
+		return math.Abs(seconds-est) > 0.5*math.Abs(est)
+	}
+	return math.Abs(seconds-est) > m.OutlierSigma*sd
+}
+
+// Rejected returns how many observations were discarded as outliers for
+// the key.
+func (m *Model) Rejected(kernel, unit string) int {
+	if e := m.entries[Key{kernel, unit}]; e != nil {
+		return e.rejected
+	}
+	return 0
+}
+
+// Observations returns the number of accepted observations for the key.
+func (m *Model) Observations(kernel, unit string) int {
+	if e := m.entries[Key{kernel, unit}]; e != nil {
+		return int(e.n)
+	}
+	return 0
+}
+
+// Keys returns the calibrated keys in a stable order.
+func (m *Model) Keys() []Key {
+	out := make([]Key, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Kernel != out[b].Kernel {
+			return out[a].Kernel < out[b].Kernel
+		}
+		return out[a].Unit < out[b].Unit
+	})
+	return out
+}
+
+// Report renders the calibration table.
+func (m *Model) Report() string {
+	s := fmt.Sprintf("%-10s %-8s %8s %9s\n", "kernel", "unit", "obs", "rejected")
+	for _, k := range m.Keys() {
+		e := m.entries[k]
+		s += fmt.Sprintf("%-10s %-8s %8d %9d\n", k.Kernel, k.Unit, int(e.n), e.rejected)
+	}
+	return s
+}

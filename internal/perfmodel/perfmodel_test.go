@@ -1,0 +1,126 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"phasetune/internal/stats"
+)
+
+func TestLinearModelRecovery(t *testing.T) {
+	m := New()
+	rng := stats.NewRNG(1)
+	// duration = 2ms + flops / 1000 Gflop/s, with small noise.
+	for i := 0; i < 200; i++ {
+		flops := 0.5 + rng.Float64()*3
+		d := 0.002 + flops/1000 + rng.Normal(0, 1e-5)
+		m.Observe("gemm", "gpu", flops, d)
+	}
+	est, ok := m.Estimate("gemm", "gpu", 2.0)
+	if !ok {
+		t.Fatal("estimate unavailable")
+	}
+	want := 0.002 + 2.0/1000
+	if math.Abs(est-want) > 2e-4 {
+		t.Fatalf("est = %v, want ~%v", est, want)
+	}
+}
+
+func TestEstimateUnavailableBeforeData(t *testing.T) {
+	m := New()
+	if _, ok := m.Estimate("gemm", "cpu", 1); ok {
+		t.Fatal("estimate should be unavailable")
+	}
+	m.Observe("gemm", "cpu", 1, 0.1)
+	if _, ok := m.Estimate("gemm", "cpu", 1); ok {
+		t.Fatal("one observation is not enough")
+	}
+	m.Observe("gemm", "cpu", 2, 0.2)
+	if _, ok := m.Estimate("gemm", "cpu", 1.5); !ok {
+		t.Fatal("estimate should exist after two observations")
+	}
+}
+
+func TestConstantSizeFallsBackToMean(t *testing.T) {
+	m := New()
+	for i := 0; i < 20; i++ {
+		m.Observe("potrf", "gpu", 1.0, 0.01)
+	}
+	est, ok := m.Estimate("potrf", "gpu", 1.0)
+	if !ok || math.Abs(est-0.01) > 1e-12 {
+		t.Fatalf("est = %v, %v", est, ok)
+	}
+}
+
+func TestOutlierRejection(t *testing.T) {
+	m := New()
+	rng := stats.NewRNG(2)
+	for i := 0; i < 100; i++ {
+		flops := 1 + rng.Float64()
+		m.Observe("gemm", "cpu", flops, flops/10+rng.Normal(0, 1e-4))
+	}
+	// A 10x outlier must be flagged and not shift the estimate much.
+	before, _ := m.Estimate("gemm", "cpu", 1.5)
+	if !m.IsOutlier("gemm", "cpu", 1.5, 1.5) {
+		t.Fatal("blatant outlier not detected")
+	}
+	m.Observe("gemm", "cpu", 1.5, 1.5) // should be rejected
+	after, _ := m.Estimate("gemm", "cpu", 1.5)
+	if m.Rejected("gemm", "cpu") != 1 {
+		t.Fatalf("rejected = %d", m.Rejected("gemm", "cpu"))
+	}
+	if math.Abs(after-before) > 1e-6 {
+		t.Fatalf("outlier shifted estimate: %v -> %v", before, after)
+	}
+}
+
+func TestNoRejectionDuringWarmup(t *testing.T) {
+	m := New()
+	m.Observe("k", "cpu", 1, 0.1)
+	m.Observe("k", "cpu", 1, 100) // wild, but within warmup
+	if m.Rejected("k", "cpu") != 0 {
+		t.Fatal("warmup observations must not be rejected")
+	}
+	if m.IsOutlier("k", "cpu", 1, 100) {
+		t.Fatal("outlier detection should be off during warmup")
+	}
+}
+
+func TestObservationsAndKeys(t *testing.T) {
+	m := New()
+	m.Observe("gemm", "gpu", 1, 0.001)
+	m.Observe("gemm", "cpu", 1, 0.1)
+	m.Observe("potrf", "gpu", 1, 0.002)
+	keys := m.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0].Kernel != "gemm" || keys[0].Unit != "cpu" {
+		t.Fatalf("key order = %v", keys)
+	}
+	if m.Observations("gemm", "gpu") != 1 || m.Observations("nope", "x") != 0 {
+		t.Fatal("Observations wrong")
+	}
+	if !strings.Contains(m.Report(), "potrf") {
+		t.Fatal("report missing kernel")
+	}
+}
+
+func TestCalibrationFromHeterogeneousUnits(t *testing.T) {
+	// The same kernel on cpu vs gpu yields separate models; the cpu one
+	// must predict ~80x longer durations, which is the information the
+	// scheduler's steal threshold encodes.
+	m := New()
+	rng := stats.NewRNG(3)
+	for i := 0; i < 50; i++ {
+		flops := 1.7 + rng.Float64()*0.2
+		m.Observe("gemm", "gpu", flops, flops/2200)
+		m.Observe("gemm", "cpu", flops, flops/27.5)
+	}
+	gpu, _ := m.Estimate("gemm", "gpu", 1.77)
+	cpu, _ := m.Estimate("gemm", "cpu", 1.77)
+	if ratio := cpu / gpu; ratio < 60 || ratio > 100 {
+		t.Fatalf("cpu/gpu ratio = %v, want ~80", ratio)
+	}
+}

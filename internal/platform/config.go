@@ -1,0 +1,121 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"phasetune/internal/simnet"
+)
+
+// Config is the JSON description of a user platform — the no-code path
+// for applying the library to machines outside the paper's Table II
+// (see examples/customcluster for the programmatic path).
+type Config struct {
+	Name    string        `json:"name"`
+	Network NetworkConfig `json:"network"`
+	Groups  []GroupConfig `json:"groups"`
+	// Workload selects "101" or "128", or use TilesOverride.
+	Workload string `json:"workload,omitempty"`
+	MinNodes int    `json:"min_nodes,omitempty"`
+}
+
+// NetworkConfig describes the interconnect.
+type NetworkConfig struct {
+	NICGbps      float64 `json:"nic_gbps"`
+	BackboneGbps float64 `json:"backbone_gbps,omitempty"`
+	LatencyUs    float64 `json:"latency_us,omitempty"`
+}
+
+// GroupConfig describes one homogeneous machine group.
+type GroupConfig struct {
+	Name      string  `json:"name"`
+	Count     int     `json:"count"`
+	CPUGflops float64 `json:"cpu_gflops"`
+	Cores     int     `json:"cores,omitempty"`
+	GPUGflops float64 `json:"gpu_gflops,omitempty"`
+	NumGPUs   int     `json:"num_gpus,omitempty"`
+}
+
+// ParseConfig builds a scenario from a JSON document.
+func ParseConfig(data []byte) (Scenario, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Scenario{}, fmt.Errorf("platform: parse config: %w", err)
+	}
+	return cfg.Scenario()
+}
+
+// LoadConfig reads a scenario from a JSON file.
+func LoadConfig(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return ParseConfig(data)
+}
+
+// Scenario materializes the configuration.
+func (c Config) Scenario() (Scenario, error) {
+	if len(c.Groups) == 0 {
+		return Scenario{}, fmt.Errorf("platform: config %q has no groups", c.Name)
+	}
+	if c.Network.NICGbps <= 0 {
+		return Scenario{}, fmt.Errorf("platform: config %q needs network.nic_gbps", c.Name)
+	}
+	net := simnet.Topology{
+		NICBandwidth:      c.Network.NICGbps * 1e9 / 8,
+		BackboneBandwidth: c.Network.BackboneGbps * 1e9 / 8,
+		Latency:           c.Network.LatencyUs * 1e-6,
+	}
+	if net.Latency == 0 {
+		net.Latency = 2e-5
+	}
+	var specs []GroupSpec
+	for i, g := range c.Groups {
+		if g.Count <= 0 || g.CPUGflops <= 0 {
+			return Scenario{}, fmt.Errorf("platform: group %d (%q) needs count and cpu_gflops", i, g.Name)
+		}
+		cat := Small
+		switch {
+		case g.NumGPUs >= 2:
+			cat = Large
+		case g.NumGPUs == 1:
+			cat = Medium
+		}
+		cores := g.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+		specs = append(specs, GroupSpec{
+			Class: &NodeClass{
+				Site: G5K, Category: cat, Machine: g.Name,
+				CPU: g.Name, CPUSpeed: g.CPUGflops, Cores: cores,
+				GPUSpeed: g.GPUGflops, NumGPUs: g.NumGPUs,
+			},
+			Count: g.Count,
+		})
+	}
+	w := W101
+	if c.Workload == "128" {
+		w = W128
+	} else if c.Workload != "" && c.Workload != "101" {
+		return Scenario{}, fmt.Errorf("platform: unknown workload %q (use 101 or 128)", c.Workload)
+	}
+	min := c.MinNodes
+	if min < 1 {
+		min = 1
+	}
+	sc := Scenario{
+		Key:      "custom",
+		Name:     c.Name,
+		Platform: Build(c.Name, net, specs...),
+		Workload: w,
+		MinNodes: min,
+	}
+	if sc.MinNodes > sc.Platform.N() {
+		return Scenario{}, fmt.Errorf("platform: min_nodes %d exceeds %d nodes",
+			sc.MinNodes, sc.Platform.N())
+	}
+	return sc, nil
+}

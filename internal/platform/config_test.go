@@ -1,0 +1,100 @@
+package platform
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleConfig = `{
+  "name": "my-cluster",
+  "network": {"nic_gbps": 25, "backbone_gbps": 200, "latency_us": 30},
+  "groups": [
+    {"name": "gpu-box", "count": 4, "cpu_gflops": 1100, "cores": 32,
+     "gpu_gflops": 2500, "num_gpus": 2},
+    {"name": "cpu-box", "count": 12, "cpu_gflops": 1100, "cores": 32}
+  ],
+  "workload": "128",
+  "min_nodes": 2
+}`
+
+func TestParseConfig(t *testing.T) {
+	sc, err := ParseConfig([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "my-cluster" || sc.Platform.N() != 16 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	if sc.Workload.Tiles != 128 || sc.MinNodes != 2 {
+		t.Fatalf("workload/min = %v/%d", sc.Workload, sc.MinNodes)
+	}
+	// NIC 25 Gb/s = 3.125 GB/s.
+	if sc.Platform.Network.NICBandwidth != 25e9/8 {
+		t.Fatalf("NIC = %v", sc.Platform.Network.NICBandwidth)
+	}
+	// Fastest-first ordering with two groups.
+	if len(sc.Platform.Groups) != 2 || sc.Platform.Groups[0].Class.NumGPUs != 2 {
+		t.Fatalf("groups = %+v", sc.Platform.Groups)
+	}
+	if sc.Platform.Groups[0].Class.Category != Large ||
+		sc.Platform.Groups[1].Class.Category != Small {
+		t.Fatal("category inference wrong")
+	}
+}
+
+func TestLoadConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(sampleConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Platform.N() != 16 {
+		t.Fatalf("N = %d", sc.Platform.N())
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"name":"x","network":{"nic_gbps":10},"groups":[]}`,
+		`{"name":"x","groups":[{"name":"a","count":1,"cpu_gflops":100}]}`,
+		`{"name":"x","network":{"nic_gbps":10},"groups":[{"name":"a","count":0,"cpu_gflops":100}]}`,
+		`{"name":"x","network":{"nic_gbps":10},"groups":[{"name":"a","count":1,"cpu_gflops":100}],"workload":"256"}`,
+		`{"name":"x","network":{"nic_gbps":10},"groups":[{"name":"a","count":1,"cpu_gflops":100}],"min_nodes":5}`,
+	}
+	for i, c := range cases {
+		if _, err := ParseConfig([]byte(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	sc, err := ParseConfig([]byte(`{
+	  "name": "tiny",
+	  "network": {"nic_gbps": 10},
+	  "groups": [{"name": "a", "count": 2, "cpu_gflops": 500}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Workload.Tiles != 101 {
+		t.Fatal("default workload should be 101")
+	}
+	if sc.MinNodes != 1 {
+		t.Fatal("default min_nodes should be 1")
+	}
+	if sc.Platform.Network.Latency <= 0 {
+		t.Fatal("default latency missing")
+	}
+	if sc.Platform.Nodes[0].Class.Cores != 1 {
+		t.Fatal("default cores should be 1")
+	}
+}

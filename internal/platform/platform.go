@@ -1,0 +1,204 @@
+// Package platform describes the heterogeneous machines of the paper's
+// Table II and the 16 evaluation scenarios of Figure 5: node classes with
+// calibrated compute speeds, per-site network characteristics, and
+// helpers to assemble "xL-yM-zS"-style platforms sorted fastest-first.
+//
+// Absolute speeds are calibrated constants (the real hardware is not
+// available); only the relative speeds and network/compute ratios matter
+// for reproducing the paper's curve shapes (see DESIGN.md).
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"phasetune/internal/simnet"
+)
+
+// Site identifies the computing facility a node class belongs to.
+type Site int
+
+// Supported sites.
+const (
+	G5K Site = iota // Grid'5000 (10/25 Gb/s Ethernet)
+	SD              // Santos Dumont (56 Gb/s InfiniBand)
+)
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	switch s {
+	case G5K:
+		return "G5K"
+	case SD:
+		return "SD"
+	default:
+		return fmt.Sprintf("Site(%d)", int(s))
+	}
+}
+
+// Category is the paper's size class of a node.
+type Category int
+
+// Node size categories, ordered slowest to fastest.
+const (
+	Small Category = iota
+	Medium
+	Large
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Small:
+		return "S"
+	case Medium:
+		return "M"
+	case Large:
+		return "L"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// NodeClass is a homogeneous machine model (a row of Table II).
+type NodeClass struct {
+	Site     Site
+	Category Category
+	Machine  string // cluster name, e.g. "Chifflot"
+	CPU      string // descriptive CPU model
+	GPU      string // descriptive GPU model, "" for CPU-only
+
+	// CPUSpeed is the aggregate double-precision speed of the CPU cores
+	// in Gflop/s; it serves both generation and factorization kernels.
+	CPUSpeed float64
+	// Cores is the number of CPU cores; the runtime exposes one worker
+	// per core at CPUSpeed/Cores, which is what makes per-task latency on
+	// CPU-only nodes high even when node throughput is fine.
+	Cores int
+	// GPUSpeed is the speed of one GPU in Gflop/s for the factorization
+	// kernels (generation never runs on GPUs, as in the paper).
+	GPUSpeed float64
+	// NumGPUs is the number of GPUs in the node.
+	NumGPUs int
+}
+
+// FactSpeed returns the node's aggregate factorization speed in Gflop/s.
+func (c *NodeClass) FactSpeed() float64 {
+	return c.CPUSpeed + float64(c.NumGPUs)*c.GPUSpeed
+}
+
+// GenSpeed returns the node's generation speed in Gflop/s (CPU only).
+func (c *NodeClass) GenSpeed() float64 { return c.CPUSpeed }
+
+// Label renders e.g. "G5K/L".
+func (c *NodeClass) Label() string {
+	return fmt.Sprintf("%s/%s", c.Site, c.Category)
+}
+
+// Node is one machine instance in a platform.
+type Node struct {
+	ID    int // index in the platform, fastest-first
+	Class *NodeClass
+}
+
+// Group is a maximal run of nodes of the same class in the fastest-first
+// node ordering; the GP-discontinuous dummy variables and UCB-struct arms
+// are defined over these groups.
+type Group struct {
+	Class *NodeClass
+	Start int // first node index
+	Count int
+}
+
+// End returns one past the last node index of the group.
+func (g Group) End() int { return g.Start + g.Count }
+
+// Platform is a named heterogeneous machine set plus its network.
+type Platform struct {
+	Name    string
+	Nodes   []Node
+	Groups  []Group
+	Network simnet.Topology
+}
+
+// N returns the total number of nodes.
+func (p *Platform) N() int { return len(p.Nodes) }
+
+// GroupSizes returns the sizes of the homogeneous groups, fastest first.
+func (p *Platform) GroupSizes() []int {
+	out := make([]int, len(p.Groups))
+	for i, g := range p.Groups {
+		out[i] = g.Count
+	}
+	return out
+}
+
+// GroupOf returns the index of the group containing node id.
+func (p *Platform) GroupOf(id int) int {
+	for i, g := range p.Groups {
+		if id >= g.Start && id < g.End() {
+			return i
+		}
+	}
+	return -1
+}
+
+// FactSpeeds returns the factorization speed of every node, fastest first.
+func (p *Platform) FactSpeeds() []float64 {
+	out := make([]float64, len(p.Nodes))
+	for i, n := range p.Nodes {
+		out[i] = n.Class.FactSpeed()
+	}
+	return out
+}
+
+// GenSpeeds returns the generation speed of every node.
+func (p *Platform) GenSpeeds() []float64 {
+	out := make([]float64, len(p.Nodes))
+	for i, n := range p.Nodes {
+		out[i] = n.Class.GenSpeed()
+	}
+	return out
+}
+
+// Build assembles a platform from (class, count) pairs, sorting nodes by
+// decreasing factorization speed (the paper always uses the n fastest
+// nodes), and computing the homogeneous groups.
+func Build(name string, net simnet.Topology, spec ...GroupSpec) *Platform {
+	type unit struct {
+		class *NodeClass
+		order int
+	}
+	var units []unit
+	for order, gs := range spec {
+		for i := 0; i < gs.Count; i++ {
+			units = append(units, unit{gs.Class, order})
+		}
+	}
+	sort.SliceStable(units, func(a, b int) bool {
+		fa, fb := units[a].class.FactSpeed(), units[b].class.FactSpeed()
+		if fa != fb {
+			return fa > fb
+		}
+		return units[a].order < units[b].order
+	})
+	p := &Platform{Name: name, Network: net}
+	for i, u := range units {
+		p.Nodes = append(p.Nodes, Node{ID: i, Class: u.class})
+	}
+	for i := 0; i < len(units); {
+		j := i
+		for j < len(units) && units[j].class == units[i].class {
+			j++
+		}
+		p.Groups = append(p.Groups, Group{Class: units[i].class, Start: i, Count: j - i})
+		i = j
+	}
+	return p
+}
+
+// GroupSpec is a (class, count) pair for Build.
+type GroupSpec struct {
+	Class *NodeClass
+	Count int
+}

@@ -1,0 +1,149 @@
+package platform
+
+import (
+	"testing"
+
+	"phasetune/internal/simnet"
+)
+
+func TestBuildSortsFastestFirst(t *testing.T) {
+	p := Build("test", simnet.Topology{},
+		GroupSpec{G5KChetemi, 2}, GroupSpec{G5KChifflot, 1}, GroupSpec{G5KChifflet, 2})
+	speeds := p.FactSpeeds()
+	for i := 1; i < len(speeds); i++ {
+		if speeds[i] > speeds[i-1] {
+			t.Fatalf("nodes not sorted fastest-first: %v", speeds)
+		}
+	}
+	if p.Nodes[0].Class != G5KChifflot {
+		t.Fatalf("fastest node should be Chifflot, got %v", p.Nodes[0].Class.Machine)
+	}
+}
+
+func TestBuildGroups(t *testing.T) {
+	p := Build("test", simnet.Topology{},
+		GroupSpec{G5KChifflot, 2}, GroupSpec{G5KChifflet, 6}, GroupSpec{G5KChetemi, 6})
+	if len(p.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(p.Groups))
+	}
+	sizes := p.GroupSizes()
+	if sizes[0] != 2 || sizes[1] != 6 || sizes[2] != 6 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if p.Groups[1].Start != 2 || p.Groups[1].End() != 8 {
+		t.Fatalf("group 1 = %+v", p.Groups[1])
+	}
+	if p.GroupOf(0) != 0 || p.GroupOf(7) != 1 || p.GroupOf(13) != 2 {
+		t.Fatal("GroupOf wrong")
+	}
+	if p.GroupOf(99) != -1 {
+		t.Fatal("GroupOf out of range should be -1")
+	}
+}
+
+func TestNodeIDsSequential(t *testing.T) {
+	p := Build("t", simnet.Topology{}, GroupSpec{SDB715GPU, 3}, GroupSpec{SDB715, 2})
+	for i, n := range p.Nodes {
+		if n.ID != i {
+			t.Fatalf("node %d has ID %d", i, n.ID)
+		}
+	}
+	if p.N() != 5 {
+		t.Fatalf("N = %d", p.N())
+	}
+}
+
+func TestFactSpeedComposition(t *testing.T) {
+	if got := G5KChifflot.FactSpeed(); got != 900+2*2200 {
+		t.Fatalf("Chifflot FactSpeed = %v", got)
+	}
+	if got := SDB715.FactSpeed(); got != 480 {
+		t.Fatalf("B715 FactSpeed = %v", got)
+	}
+	if G5KChetemi.GenSpeed() != G5KChetemi.CPUSpeed {
+		t.Fatal("GenSpeed should equal CPUSpeed")
+	}
+}
+
+func TestCategoryOrdering(t *testing.T) {
+	// Within each site, L must be faster than M faster than S.
+	check := func(s, m, l *NodeClass) {
+		if !(l.FactSpeed() > m.FactSpeed() && m.FactSpeed() > s.FactSpeed()) {
+			t.Fatalf("category speeds not ordered for %v", s.Site)
+		}
+	}
+	check(G5KChetemi, G5KChifflet, G5KChifflot)
+	check(SDB715, SDB715GPU1, SDB715GPU)
+}
+
+func TestScenariosComplete(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) != 16 {
+		t.Fatalf("scenarios = %d, want 16", len(ss))
+	}
+	keys := "abcdefghijklmnop"
+	for i, s := range ss {
+		if s.Key != string(keys[i]) {
+			t.Fatalf("scenario %d key = %q", i, s.Key)
+		}
+		if s.Platform.N() < s.MinNodes {
+			t.Fatalf("%s: MinNodes %d exceeds platform size %d",
+				s.Name, s.MinNodes, s.Platform.N())
+		}
+		if s.Workload.Tiles <= 0 || s.Workload.TileSize <= 0 {
+			t.Fatalf("%s: bad workload %+v", s.Name, s.Workload)
+		}
+	}
+}
+
+func TestScenarioSizesMatchNames(t *testing.T) {
+	want := map[string]int{
+		"a": 10, "b": 14, "c": 20, "d": 21, "e": 23, "f": 23, "g": 26,
+		"h": 30, "i": 36, "j": 38, "k": 50, "l": 61, "m": 64, "n": 75,
+		"o": 75, "p": 128,
+	}
+	for _, s := range Scenarios() {
+		if got := s.Platform.N(); got != want[s.Key] {
+			t.Errorf("(%s) %s: N = %d, want %d", s.Key, s.Name, got, want[s.Key])
+		}
+	}
+}
+
+func TestScenarioByKey(t *testing.T) {
+	s, ok := ScenarioByKey("p")
+	if !ok || s.Name != "SD 64L-64S 128" {
+		t.Fatalf("ScenarioByKey(p) = %+v, %v", s, ok)
+	}
+	if _, ok := ScenarioByKey("z"); ok {
+		t.Fatal("unknown key should not resolve")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	rows := TableII()
+	if len(rows) != 6 {
+		t.Fatalf("TableII rows = %d", len(rows))
+	}
+	if rows[0].Label() != "G5K/S" || rows[5].Label() != "SD/L" {
+		t.Fatalf("labels: %v .. %v", rows[0].Label(), rows[5].Label())
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	if W101.Tiles != 101 || W128.Tiles != 128 {
+		t.Fatal("tile counts wrong")
+	}
+	if W128.TileBytes() != 960*960*8 {
+		t.Fatalf("TileBytes = %v", W128.TileBytes())
+	}
+}
+
+func TestRealScenarioFlags(t *testing.T) {
+	real := map[string]bool{"a": true, "b": true, "c": true, "g": true,
+		"h": true, "m": true}
+	for _, s := range Scenarios() {
+		if s.Real != real[s.Key] {
+			t.Errorf("(%s) Real = %v, want %v", s.Key, s.Real, real[s.Key])
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package platform
+
+import "testing"
+
+func TestStringers(t *testing.T) {
+	if G5K.String() != "G5K" || SD.String() != "SD" {
+		t.Fatal("Site strings")
+	}
+	if Site(9).String() != "Site(9)" {
+		t.Fatalf("unknown site = %q", Site(9).String())
+	}
+	if Small.String() != "S" || Medium.String() != "M" || Large.String() != "L" {
+		t.Fatal("Category strings")
+	}
+	if Category(7).String() != "Category(7)" {
+		t.Fatalf("unknown category = %q", Category(7).String())
+	}
+}
+
+func TestGenSpeedsVector(t *testing.T) {
+	p := Build("t", G5KNetwork,
+		GroupSpec{G5KChifflot, 1}, GroupSpec{G5KChetemi, 2})
+	gs := p.GenSpeeds()
+	if len(gs) != 3 || gs[0] != 900 || gs[1] != 550 || gs[2] != 550 {
+		t.Fatalf("GenSpeeds = %v", gs)
+	}
+	fs := p.FactSpeeds()
+	if fs[0] != 5300 {
+		t.Fatalf("FactSpeeds = %v", fs)
+	}
+}

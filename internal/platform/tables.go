@@ -1,0 +1,180 @@
+package platform
+
+import "phasetune/internal/simnet"
+
+// Node classes of the paper's Table II. Speeds are calibrated effective
+// double-precision rates in Gflop/s (see DESIGN.md: only relative speeds
+// and compute/network ratios matter for the reproduced shapes).
+var (
+	// G5KChetemi is the Grid'5000 CPU-only Small node.
+	G5KChetemi = &NodeClass{
+		Site: G5K, Category: Small, Machine: "Chetemi",
+		CPU: "2x Xeon E5-2630 v4", GPU: "",
+		CPUSpeed: 550, Cores: 20, GPUSpeed: 0, NumGPUs: 0,
+	}
+	// G5KChifflet is the Grid'5000 Medium node with two GTX 1080.
+	G5KChifflet = &NodeClass{
+		Site: G5K, Category: Medium, Machine: "Chifflet",
+		CPU: "2x Xeon E5-2680 v4", GPU: "2x GTX 1080",
+		CPUSpeed: 700, Cores: 28, GPUSpeed: 800, NumGPUs: 2,
+	}
+	// G5KChifflot is the Grid'5000 Large node with two Tesla P100.
+	G5KChifflot = &NodeClass{
+		Site: G5K, Category: Large, Machine: "Chifflot",
+		CPU: "2x Xeon Gold 6126", GPU: "2x Tesla P100",
+		CPUSpeed: 900, Cores: 24, GPUSpeed: 2200, NumGPUs: 2,
+	}
+	// SDB715 is the Santos Dumont CPU-only Small node.
+	SDB715 = &NodeClass{
+		Site: SD, Category: Small, Machine: "B715",
+		CPU: "2x Xeon E5-2695 v2", GPU: "",
+		CPUSpeed: 480, Cores: 24, GPUSpeed: 0, NumGPUs: 0,
+	}
+	// SDB715GPU1 is the artificial Medium node using a single K40
+	// (footnote 6 of the paper: built to increase heterogeneity).
+	SDB715GPU1 = &NodeClass{
+		Site: SD, Category: Medium, Machine: "B715-GPU (1 GPU)",
+		CPU: "2x Xeon E5-2695 v2", GPU: "1x K40",
+		CPUSpeed: 480, Cores: 24, GPUSpeed: 1300, NumGPUs: 1,
+	}
+	// SDB715GPU is the Santos Dumont Large node with two K40.
+	SDB715GPU = &NodeClass{
+		Site: SD, Category: Large, Machine: "B715-GPU",
+		CPU: "2x Xeon E5-2695 v2", GPU: "2x K40",
+		CPUSpeed: 480, Cores: 24, GPUSpeed: 1300, NumGPUs: 2,
+	}
+)
+
+// TableII lists the node classes in the paper's presentation order.
+func TableII() []*NodeClass {
+	return []*NodeClass{
+		G5KChetemi, G5KChifflet, G5KChifflot,
+		SDB715, SDB715GPU1, SDB715GPU,
+	}
+}
+
+// Site networks. Grid'5000 is the paper's "limited network" site
+// (10/25 Gb/s Ethernet behind a shared backbone); Santos Dumont has
+// 56 Gb/s InfiniBand FDR.
+var (
+	// G5KNetwork models the Ethernet interconnection of the Lille
+	// clusters: ~10 Gb/s per NIC with a constrained inter-cluster
+	// backbone.
+	G5KNetwork = simnet.Topology{
+		NICBandwidth:      1.25e9, // 10 Gb/s
+		BackboneBandwidth: 8.0e9,  // shared inter-cluster capacity
+		Latency:           5e-5,
+	}
+	// SDNetwork models the InfiniBand FDR fabric: 56 Gb/s NICs with an
+	// ample fat-tree backbone.
+	SDNetwork = simnet.Topology{
+		NICBandwidth:      7.0e9, // 56 Gb/s
+		BackboneBandwidth: 1.0e11,
+		Latency:           1e-5,
+	}
+)
+
+// Workload is one of the two ExaGeoStat sample matrices used throughout
+// the evaluation.
+type Workload struct {
+	Name     string
+	MatrixN  int // problem size (number of spatial locations)
+	Tiles    int // blocks per dimension
+	TileSize int // elements per tile side
+}
+
+// The two paper workloads: 96100 locations on a 101x101 block grid, and
+// 122880 locations on a 128x128 block grid.
+var (
+	W101 = Workload{Name: "101", MatrixN: 96100, Tiles: 101, TileSize: 952}
+	W128 = Workload{Name: "128", MatrixN: 122880, Tiles: 128, TileSize: 960}
+)
+
+// TileBytes returns the size of one tile in bytes (dense float64).
+func (w Workload) TileBytes() float64 {
+	return float64(w.TileSize) * float64(w.TileSize) * 8
+}
+
+// Scenario is one of the 16 evaluation setups of Figure 5.
+type Scenario struct {
+	Key      string // paper subfigure key: "a" .. "p"
+	Name     string // e.g. "G5K 2L-6M-6S 101"
+	Platform *Platform
+	Workload Workload
+	// MinNodes is the smallest feasible factorization node count (memory
+	// capacity bound; matches the left edge of the paper's x-axes).
+	MinNodes int
+	// Real marks scenarios the paper ran on the physical machines rather
+	// than through StarPU-SimGrid.
+	Real bool
+}
+
+// Scenarios returns the 16 setups of Figure 5 in paper order (a..p).
+func Scenarios() []Scenario {
+	g := func(name string, spec ...GroupSpec) *Platform {
+		return Build(name, G5KNetwork, spec...)
+	}
+	s := func(name string, spec ...GroupSpec) *Platform {
+		return Build(name, SDNetwork, spec...)
+	}
+	return []Scenario{
+		{"a", "G5K 2L-4M-4S 101", g("G5K 2L-4M-4S",
+			GroupSpec{G5KChifflot, 2}, GroupSpec{G5KChifflet, 4}, GroupSpec{G5KChetemi, 4}),
+			W101, 2, true},
+		{"b", "G5K 2L-6M-6S 101", g("G5K 2L-6M-6S",
+			GroupSpec{G5KChifflot, 2}, GroupSpec{G5KChifflet, 6}, GroupSpec{G5KChetemi, 6}),
+			W101, 2, true},
+		{"c", "SD 10L-10S 128", s("SD 10L-10S",
+			GroupSpec{SDB715GPU, 10}, GroupSpec{SDB715, 10}),
+			W128, 6, true},
+		{"d", "SD 3L-8M-10S 101", s("SD 3L-8M-10S",
+			GroupSpec{SDB715GPU, 3}, GroupSpec{SDB715GPU1, 8}, GroupSpec{SDB715, 10}),
+			W101, 2, false},
+		{"e", "G5K 2L-6M-15S 101", g("G5K 2L-6M-15S",
+			GroupSpec{G5KChifflot, 2}, GroupSpec{G5KChifflet, 6}, GroupSpec{G5KChetemi, 15}),
+			W101, 2, false},
+		{"f", "G5K 2L-6M-15S 128", g("G5K 2L-6M-15S",
+			GroupSpec{G5KChifflot, 2}, GroupSpec{G5KChifflet, 6}, GroupSpec{G5KChetemi, 15}),
+			W128, 2, false},
+		{"g", "G5K 5L-6M-15S 101", g("G5K 5L-6M-15S",
+			GroupSpec{G5KChifflot, 5}, GroupSpec{G5KChifflet, 6}, GroupSpec{G5KChetemi, 15}),
+			W101, 3, true},
+		{"h", "SD 10L-10M-10S 128", s("SD 10L-10M-10S",
+			GroupSpec{SDB715GPU, 10}, GroupSpec{SDB715GPU1, 10}, GroupSpec{SDB715, 10}),
+			W128, 5, true},
+		{"i", "G5K 6L-30S 101", g("G5K 6L-30S",
+			GroupSpec{G5KChifflot, 6}, GroupSpec{G5KChetemi, 30}),
+			W101, 2, false},
+		{"j", "G5K 2L-6M-30S 101", g("G5K 2L-6M-30S",
+			GroupSpec{G5KChifflot, 2}, GroupSpec{G5KChifflet, 6}, GroupSpec{G5KChetemi, 30}),
+			W101, 2, false},
+		{"k", "SD 10L-40S 101", s("SD 10L-40S",
+			GroupSpec{SDB715GPU, 10}, GroupSpec{SDB715, 40}),
+			W101, 2, false},
+		{"l", "SD 3L-8M-50S 128", s("SD 3L-8M-50S",
+			GroupSpec{SDB715GPU, 3}, GroupSpec{SDB715GPU1, 8}, GroupSpec{SDB715, 50}),
+			W128, 2, false},
+		{"m", "SD 64L 128", s("SD 64L",
+			GroupSpec{SDB715GPU, 64}),
+			W128, 10, true},
+		{"n", "SD 15L-60S 101", s("SD 15L-60S",
+			GroupSpec{SDB715GPU, 15}, GroupSpec{SDB715, 60}),
+			W101, 2, false},
+		{"o", "SD 15L-60S 128", s("SD 15L-60S",
+			GroupSpec{SDB715GPU, 15}, GroupSpec{SDB715, 60}),
+			W128, 2, false},
+		{"p", "SD 64L-64S 128", s("SD 64L-64S",
+			GroupSpec{SDB715GPU, 64}, GroupSpec{SDB715, 64}),
+			W128, 10, false},
+	}
+}
+
+// ScenarioByKey returns the scenario with the given subfigure key.
+func ScenarioByKey(key string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Key == key {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

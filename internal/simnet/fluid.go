@@ -1,0 +1,172 @@
+package simnet
+
+import (
+	"math"
+
+	"phasetune/internal/des"
+)
+
+// link is a capacity-constrained resource in the fluid model.
+type link struct {
+	capacity float64
+	flows    map[*flow]struct{}
+}
+
+// flow is an in-progress transfer in the fluid model.
+type flow struct {
+	remaining float64
+	rate      float64
+	updated   float64 // sim time of the last remaining/rate update
+	path      []*link
+	done      func()
+	ev        *des.Event
+}
+
+// Fluid is the exact max-min fair network model. Rates are recomputed by
+// progressive filling whenever a flow starts or finishes, and completion
+// events are rescheduled accordingly.
+type Fluid struct {
+	eng   *des.Engine
+	topo  Topology
+	up    []*link
+	down  []*link
+	bb    *link
+	flows map[*flow]struct{}
+}
+
+// NewFluid builds a fluid network over n nodes.
+func NewFluid(eng *des.Engine, n int, topo Topology) *Fluid {
+	f := &Fluid{eng: eng, topo: topo, flows: make(map[*flow]struct{})}
+	f.up = make([]*link, n)
+	f.down = make([]*link, n)
+	for i := 0; i < n; i++ {
+		f.up[i] = &link{capacity: topo.NICBandwidth, flows: map[*flow]struct{}{}}
+		f.down[i] = &link{capacity: topo.NICBandwidth, flows: map[*flow]struct{}{}}
+	}
+	if topo.BackboneBandwidth > 0 {
+		f.bb = &link{capacity: topo.BackboneBandwidth, flows: map[*flow]struct{}{}}
+	}
+	return f
+}
+
+// Transfer implements Network.
+func (f *Fluid) Transfer(src, dst int, bytes float64, done func()) {
+	if src == dst {
+		f.eng.After(localCopyLatency, done)
+		return
+	}
+	// The latency segment precedes the fluid segment.
+	f.eng.After(f.topo.Latency, func() {
+		path := []*link{f.up[src], f.down[dst]}
+		if f.bb != nil {
+			path = append(path, f.bb)
+		}
+		fl := &flow{remaining: bytes, updated: f.eng.Now(), path: path, done: done}
+		f.flows[fl] = struct{}{}
+		for _, l := range path {
+			l.flows[fl] = struct{}{}
+		}
+		f.recompute()
+	})
+}
+
+// ActiveFlows returns the number of in-progress fluid flows (excludes
+// transfers still in their latency segment).
+func (f *Fluid) ActiveFlows() int { return len(f.flows) }
+
+// finish removes the flow and fires its completion callback.
+func (f *Fluid) finish(fl *flow) {
+	delete(f.flows, fl)
+	for _, l := range fl.path {
+		delete(l.flows, fl)
+	}
+	fl.remaining = 0
+	done := fl.done
+	f.recompute()
+	done()
+}
+
+// recompute updates every flow's progress, solves the max-min share
+// problem by progressive filling, and reschedules completion events.
+func (f *Fluid) recompute() {
+	now := f.eng.Now()
+	// Progress accounting at the old rates.
+	for fl := range f.flows {
+		fl.remaining -= fl.rate * (now - fl.updated)
+		if fl.remaining < 0 {
+			fl.remaining = 0
+		}
+		fl.updated = now
+	}
+	// Progressive filling.
+	type state struct {
+		residual float64
+		active   int
+	}
+	st := map[*link]*state{}
+	collect := func(l *link) {
+		if l != nil && len(l.flows) > 0 {
+			st[l] = &state{residual: l.capacity, active: len(l.flows)}
+		}
+	}
+	for _, l := range f.up {
+		collect(l)
+	}
+	for _, l := range f.down {
+		collect(l)
+	}
+	collect(f.bb)
+
+	frozen := map[*flow]bool{}
+	for len(frozen) < len(f.flows) {
+		// Find the link with the smallest fair share among links that
+		// still carry unfrozen flows.
+		var bottleneck *link
+		share := math.Inf(1)
+		for l, s := range st {
+			if s.active == 0 {
+				continue
+			}
+			if cand := s.residual / float64(s.active); cand < share {
+				share, bottleneck = cand, l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		for fl := range bottleneck.flows {
+			if frozen[fl] {
+				continue
+			}
+			frozen[fl] = true
+			fl.rate = share
+			for _, l := range fl.path {
+				s := st[l]
+				s.residual -= share
+				if s.residual < 0 {
+					s.residual = 0
+				}
+				s.active--
+			}
+		}
+	}
+	// Reschedule completions.
+	for fl := range f.flows {
+		f.eng.Cancel(fl.ev)
+		var eta float64
+		if fl.remaining <= 1e-12 {
+			eta = 0
+		} else if fl.rate <= 0 {
+			// Starved flow: no event; a later recompute will revive it.
+			fl.ev = nil
+			continue
+		} else {
+			eta = fl.remaining / fl.rate
+		}
+		target := fl
+		fl.ev = f.eng.After(eta, func() { f.finish(target) })
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import "math"
+
+// Pool holds, for each discrete action, the set of iteration durations
+// observed for that action (from real runs or from simulation augmented
+// with noise). Strategy evaluation draws from the pool with replacement so
+// every strategy is compared against the exact same duration distribution,
+// mirroring the R resampling methodology of Section V of the paper.
+type Pool struct {
+	byAction map[int][]float64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{byAction: make(map[int][]float64)}
+}
+
+// Add appends a duration observation for the action.
+func (p *Pool) Add(action int, duration float64) {
+	p.byAction[action] = append(p.byAction[action], duration)
+}
+
+// AddAll appends several duration observations for the action.
+func (p *Pool) AddAll(action int, durations []float64) {
+	p.byAction[action] = append(p.byAction[action], durations...)
+}
+
+// Actions returns the sorted list of actions with at least one observation.
+func (p *Pool) Actions() []int {
+	out := make([]int, 0, len(p.byAction))
+	for a := range p.byAction {
+		out = append(out, a)
+	}
+	insertionSortInts(out)
+	return out
+}
+
+// Len returns the number of observations stored for the action.
+func (p *Pool) Len(action int) int { return len(p.byAction[action]) }
+
+// Draw samples one duration for the action uniformly with replacement.
+// It panics if the action has no observations: the evaluation harness must
+// populate every feasible action before replaying strategies.
+func (p *Pool) Draw(action int, rng *RNG) float64 {
+	obs := p.byAction[action]
+	if len(obs) == 0 {
+		panic("stats: Draw on action with no observations")
+	}
+	return obs[rng.Intn(len(obs))]
+}
+
+// MeanOf returns the mean duration recorded for the action.
+func (p *Pool) MeanOf(action int) float64 { return Mean(p.byAction[action]) }
+
+// Observations returns a copy of the stored durations for the action.
+func (p *Pool) Observations(action int) []float64 {
+	return append([]float64(nil), p.byAction[action]...)
+}
+
+// BestAction returns the action with the lowest mean duration and that
+// mean. It returns (-1, +Inf) for an empty pool.
+func (p *Pool) BestAction() (action int, mean float64) {
+	action = -1
+	best := 0.0
+	first := true
+	for a, obs := range p.byAction {
+		m := Mean(obs)
+		if first || m < best || (m == best && a < action) {
+			action, best, first = a, m, false
+		}
+	}
+	if first {
+		return -1, math.Inf(1)
+	}
+	return action, best
+}
+
+func insertionSortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

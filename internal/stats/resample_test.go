@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoolBasics(t *testing.T) {
+	p := NewPool()
+	p.Add(3, 1.5)
+	p.AddAll(1, []float64{2, 4})
+	p.Add(2, 9)
+
+	if got := p.Actions(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Actions = %v", got)
+	}
+	if p.Len(1) != 2 || p.Len(3) != 1 || p.Len(99) != 0 {
+		t.Fatal("Len mismatch")
+	}
+	if m := p.MeanOf(1); m != 3 {
+		t.Fatalf("MeanOf(1) = %v", m)
+	}
+}
+
+func TestPoolDrawOnlyFromAction(t *testing.T) {
+	p := NewPool()
+	p.AddAll(5, []float64{10, 11, 12})
+	p.AddAll(6, []float64{100})
+	r := NewRNG(3)
+	for i := 0; i < 50; i++ {
+		v := p.Draw(5, r)
+		if v < 10 || v > 12 {
+			t.Fatalf("Draw(5) = %v outside pool", v)
+		}
+	}
+}
+
+func TestPoolDrawEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Draw on empty action should panic")
+		}
+	}()
+	NewPool().Draw(1, NewRNG(0))
+}
+
+func TestPoolBestAction(t *testing.T) {
+	p := NewPool()
+	p.AddAll(1, []float64{5, 7})
+	p.AddAll(2, []float64{4, 4})
+	p.AddAll(3, []float64{9})
+	a, m := p.BestAction()
+	if a != 2 || m != 4 {
+		t.Fatalf("BestAction = (%d, %v), want (2, 4)", a, m)
+	}
+}
+
+func TestPoolBestActionEmpty(t *testing.T) {
+	a, m := NewPool().BestAction()
+	if a != -1 || !math.IsInf(m, 1) {
+		t.Fatalf("BestAction empty = (%d, %v)", a, m)
+	}
+}
+
+func TestPoolBestActionTieLowest(t *testing.T) {
+	p := NewPool()
+	p.Add(7, 2)
+	p.Add(4, 2)
+	a, _ := p.BestAction()
+	if a != 4 {
+		t.Fatalf("tie should resolve to lowest action, got %d", a)
+	}
+}
+
+func TestPoolObservationsCopy(t *testing.T) {
+	p := NewPool()
+	p.AddAll(1, []float64{1, 2})
+	obs := p.Observations(1)
+	obs[0] = 999
+	if p.MeanOf(1) != 1.5 {
+		t.Fatal("Observations must return a copy")
+	}
+}
+
+func TestPoolDrawDistribution(t *testing.T) {
+	// Draws should cover all stored observations eventually.
+	p := NewPool()
+	p.AddAll(1, []float64{1, 2, 3})
+	seen := map[float64]bool{}
+	r := NewRNG(11)
+	for i := 0; i < 200; i++ {
+		seen[p.Draw(1, r)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Draw only covered %d of 3 values", len(seen))
+	}
+}

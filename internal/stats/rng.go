@@ -1,0 +1,52 @@
+// Package stats provides the statistical substrate shared by the whole
+// repository: deterministic random number streams, normal sampling,
+// descriptive statistics, confidence intervals and the resampling engine
+// used by the strategy-evaluation methodology of Section V of the paper.
+package stats
+
+import "math/rand"
+
+// RNG is a deterministic random stream. Every stochastic component in the
+// repository receives its own RNG so experiments are reproducible and
+// independent components do not perturb each other's streams.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new independent stream from r. The derived stream is a
+// deterministic function of r's current state, so a fixed seed still yields
+// a fully reproducible experiment tree.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.src.Int63())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Normal returns a sample from N(mu, sigma^2).
+func (r *RNG) Normal(mu, sigma float64) float64 {
+	return mu + sigma*r.src.NormFloat64()
+}
+
+// Exponential returns a sample from an exponential distribution with the
+// given rate (mean 1/rate).
+func (r *RNG) Exponential(rate float64) float64 {
+	return r.src.ExpFloat64() / rate
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of the n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }

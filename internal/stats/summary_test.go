@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanSimple(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Fatalf("Mean(nil) = %v, want NaN", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Var of {2,4,4,4,5,5,7,9} is 4.571428... (sample, n-1).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("Variance of single element should be 0")
+	}
+	if Variance(nil) != 0 {
+		t.Fatal("Variance of empty should be 0")
+	}
+}
+
+func TestVarianceShiftInvariance(t *testing.T) {
+	// Property: Var(x + c) == Var(x).
+	f := func(raw []float64, shift float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) < 2 || math.IsNaN(shift) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		shifted := make([]float64, len(xs))
+		for i, v := range xs {
+			shifted[i] = v + shift
+		}
+		return almostEq(Variance(xs), Variance(shifted), 1e-4*(1+Variance(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	xs := []float64{3, -1, 7, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if ArgMin(xs) != 1 {
+		t.Fatalf("ArgMin = %d, want 1 (first occurrence)", ArgMin(xs))
+	}
+	if ArgMax(xs) != 2 {
+		t.Fatalf("ArgMax = %d, want 2 (first occurrence)", ArgMax(xs))
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("Arg{Min,Max} of empty should be -1")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile of empty should be NaN")
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	// Property: min <= Quantile(q) <= max for any q in [0,1].
+	f := func(raw []float64, q float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q = math.Abs(q)
+		q -= math.Floor(q) // wrap into [0,1)
+		v := Quantile(xs, q)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.025, 0.2, 0.5, 0.9, 0.975, 0.995} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); !almostEq(got, p, 1e-7) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if NormalQuantile(0.5) != 0 {
+		t.Fatalf("NormalQuantile(0.5) = %v", NormalQuantile(0.5))
+	}
+	if !almostEq(NormalQuantile(0.975), 1.959964, 1e-5) {
+		t.Fatalf("NormalQuantile(0.975) = %v", NormalQuantile(0.975))
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("NormalQuantile should be infinite at 0 and 1")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 12, 14, 16}
+	mean, half := MeanCI(xs, 0.95)
+	if mean != 13 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if half <= 0 {
+		t.Fatalf("half-width = %v, want > 0", half)
+	}
+	_, h1 := MeanCI(xs, 0.99)
+	if h1 <= half {
+		t.Fatal("99% CI should be wider than 95% CI")
+	}
+	if _, h := MeanCI([]float64{5}, 0.95); h != 0 {
+		t.Fatal("CI of a single sample should have zero width")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed streams must match")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 16; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(7)
+	s1 := root.Split()
+	s2 := root.Split()
+	equal := 0
+	for i := 0; i < 32; i++ {
+		if s1.Float64() == s2.Float64() {
+			equal++
+		}
+	}
+	if equal == 32 {
+		t.Fatal("split streams should not be identical")
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(1)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(3, 2)
+	}
+	if m := Mean(xs); !almostEq(m, 3, 0.1) {
+		t.Fatalf("sample mean = %v, want ~3", m)
+	}
+	if sd := StdDev(xs); !almostEq(sd, 2, 0.1) {
+		t.Fatalf("sample sd = %v, want ~2", sd)
+	}
+}
+
+func TestRNGExponentialMean(t *testing.T) {
+	r := NewRNG(2)
+	n := 20000
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += r.Exponential(4)
+	}
+	if m := s / float64(n); !almostEq(m, 0.25, 0.02) {
+		t.Fatalf("exp mean = %v, want ~0.25", m)
+	}
+}

@@ -1,0 +1,107 @@
+package taskrt
+
+import (
+	"testing"
+
+	"phasetune/internal/des"
+	"phasetune/internal/simnet"
+)
+
+func coreRT(spec NodeSpec) *Runtime {
+	eng := des.NewEngine()
+	rt := New(eng, []NodeSpec{spec}, simnet.NewFluid(eng, 1,
+		simnet.Topology{NICBandwidth: 1e12}))
+	rt.TaskOverhead = 0
+	return rt
+}
+
+func TestCPUCoresSplitSpeed(t *testing.T) {
+	// 4 cores sharing 8 Gflop/s: one task of 8 Gflop takes 4s (one core),
+	// four such tasks also take 4s (all cores in parallel).
+	rt := coreRT(NodeSpec{CPUSpeed: 8, CPUCores: 4})
+	rt.NewTask("a", "w", 8, 0, false, 0)
+	if mk := rt.Run(); mk != 4 {
+		t.Fatalf("single-task makespan = %v, want 4 (one core)", mk)
+	}
+	rt = coreRT(NodeSpec{CPUSpeed: 8, CPUCores: 4})
+	for i := 0; i < 4; i++ {
+		rt.NewTask("a", "w", 8, 0, false, 0)
+	}
+	if mk := rt.Run(); mk != 4 {
+		t.Fatalf("four-task makespan = %v, want 4 (parallel cores)", mk)
+	}
+}
+
+func TestCPUCoresDefaultSingleUnit(t *testing.T) {
+	// CPUCores 0 keeps the aggregated single-unit behaviour.
+	rt := coreRT(NodeSpec{CPUSpeed: 8})
+	rt.NewTask("a", "w", 8, 0, false, 0)
+	if mk := rt.Run(); mk != 1 {
+		t.Fatalf("makespan = %v, want 1 (aggregated unit)", mk)
+	}
+}
+
+func TestChainSerializesOnCores(t *testing.T) {
+	// The paper's critical-path mechanism: a dependency chain cannot use
+	// more than one core, so its length in time is chainLen * perTaskTime
+	// even though the node has ample aggregate speed.
+	rt := coreRT(NodeSpec{CPUSpeed: 24, CPUCores: 24})
+	var prev *Task
+	for i := 0; i < 10; i++ {
+		task := rt.NewTask("g", "w", 1, 0, false, 0)
+		rt.AddDep(task, prev, 0)
+		prev = task
+	}
+	// Each task: 1 Gflop on a 1 Gflop/s core = 1s; chain of 10 = 10s.
+	if mk := rt.Run(); mk != 10 {
+		t.Fatalf("chain makespan = %v, want 10", mk)
+	}
+}
+
+func TestCPUDoesNotStealBelowThreshold(t *testing.T) {
+	// GPU 100x faster than a core: with a short queue the core must NOT
+	// take GPU-capable work (it would finish long after the GPU).
+	rt := coreRT(NodeSpec{CPUSpeed: 1, CPUCores: 1, GPUSpeeds: []float64{100}})
+	rt.NewTask("a", "w", 100, 0, false, 0)
+	rt.NewTask("b", "w", 100, 0, false, 0)
+	// Queue depth 2 < threshold 100: both run on the GPU back to back.
+	if mk := rt.Run(); mk != 2 {
+		t.Fatalf("makespan = %v, want 2 (GPU serial, CPU idle)", mk)
+	}
+}
+
+func TestCPUStealsPastThreshold(t *testing.T) {
+	// GPU only 2x faster: with >= 2 queued tasks the core helps.
+	rt := coreRT(NodeSpec{CPUSpeed: 1, CPUCores: 1, GPUSpeeds: []float64{2}})
+	for i := 0; i < 3; i++ {
+		rt.NewTask("a", "w", 2, 0, false, 0)
+	}
+	// GPU: 1s per task; CPU: 2s. Optimal: GPU two tasks (2s), CPU one
+	// task (2s) -> makespan 2 rather than GPU-only 3.
+	if mk := rt.Run(); mk != 2 {
+		t.Fatalf("makespan = %v, want 2 (CPU helped)", mk)
+	}
+}
+
+func TestCPUOnlyNodeAlwaysUsesCores(t *testing.T) {
+	// No GPU: threshold is zero, cores take GPU-capable work freely.
+	rt := coreRT(NodeSpec{CPUSpeed: 4, CPUCores: 4})
+	for i := 0; i < 4; i++ {
+		rt.NewTask("a", "w", 1, 0, false, 0)
+	}
+	if mk := rt.Run(); mk != 1 {
+		t.Fatalf("makespan = %v, want 1", mk)
+	}
+}
+
+func TestGenTasksSpreadAcrossCores(t *testing.T) {
+	// CPU-only (generation) tasks use all cores regardless of GPUs.
+	rt := coreRT(NodeSpec{CPUSpeed: 4, CPUCores: 4, GPUSpeeds: []float64{100}})
+	for i := 0; i < 8; i++ {
+		rt.NewTask("gen", "gen", 1, 0, true, 0)
+	}
+	// 8 tasks x 1s per core, 4 cores -> 2s; GPUs must not take them.
+	if mk := rt.Run(); mk != 2 {
+		t.Fatalf("makespan = %v, want 2", mk)
+	}
+}

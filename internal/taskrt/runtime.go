@@ -1,0 +1,401 @@
+// Package taskrt is a sequential-task-flow runtime in the style of StarPU
+// running over simulated time: tasks form a DAG, every task executes on
+// the node that owns the data it writes (owner-computes), nodes expose
+// heterogeneous execution units (aggregated CPU cores and individual
+// GPUs), inter-node data dependencies become asynchronous network
+// transfers that overlap with computation, and per-node schedulers pick
+// ready tasks by priority — the mechanisms that give multi-phase
+// applications their makespan behaviour in the paper.
+package taskrt
+
+import (
+	"container/heap"
+	"fmt"
+
+	"phasetune/internal/des"
+	"phasetune/internal/simnet"
+)
+
+// Task is one node-assigned unit of work in the DAG.
+type Task struct {
+	ID       int
+	Label    string
+	Kind     string // kernel type, used for tracing and phase aggregation
+	Flops    float64
+	Node     int
+	CPUOnly  bool  // generation-style kernels that never run on a GPU unit
+	Priority int64 // larger runs first among ready tasks
+
+	nDeps    int
+	succs    []edge
+	started  float64
+	finished float64
+	done     bool
+	qIndex   int // position in the ready heap, -1 when not queued
+}
+
+// Started returns the simulated start time (valid after Run).
+func (t *Task) Started() float64 { return t.started }
+
+// Finished returns the simulated completion time (valid after Run).
+func (t *Task) Finished() float64 { return t.finished }
+
+// Done reports whether the task executed.
+func (t *Task) Done() bool { return t.done }
+
+// edge is a data dependency to a consumer, carrying bytes that must move
+// if the consumer lives on another node.
+type edge struct {
+	to    *Task
+	bytes float64
+}
+
+// NodeSpec describes one node's execution units.
+type NodeSpec struct {
+	// CPUSpeed is the aggregated speed of the node's CPU cores in
+	// Gflop/s.
+	CPUSpeed float64
+	// CPUCores splits CPUSpeed over that many independent CPU worker
+	// units (one task each, StarPU-style). Zero or one exposes a single
+	// aggregated CPU unit. Per-core units matter for fidelity: one tile
+	// kernel on one core is orders of magnitude slower than on a GPU,
+	// which is what creates the paper's critical-path cliffs on CPU-only
+	// nodes.
+	CPUCores int
+	// GPUSpeeds lists each GPU's speed in Gflop/s.
+	GPUSpeeds []float64
+}
+
+// Observer receives task lifecycle events (used by the trace package).
+// A nil observer costs nothing.
+type Observer interface {
+	TaskStarted(t *Task, unit string, at float64)
+	TaskFinished(t *Task, unit string, at float64)
+}
+
+// unit is one execution resource of a node.
+type unit struct {
+	name  string
+	speed float64 // Gflop/s
+	isGPU bool
+	busy  bool
+}
+
+// nodeState holds a node's units and ready queues.
+type nodeState struct {
+	units    []*unit
+	anyQ     taskHeap // tasks runnable on any unit
+	cpuOnlyQ taskHeap // tasks restricted to CPU units
+	// cpuPull is the dmda-style threshold: a CPU unit steals GPU-capable
+	// work only when more than cpuPull tasks are queued (otherwise the
+	// task is worth waiting for a GPU, which is cpuPull times faster).
+	// Zero on nodes without GPUs.
+	cpuPull int
+}
+
+// Runtime owns the DAG and drives it over the DES engine.
+type Runtime struct {
+	eng      *des.Engine
+	net      simnet.Network
+	nodes    []*nodeState
+	tasks    []*Task
+	obs      Observer
+	nPending int
+	// comms deduplicates transfers per (producer, destination node):
+	// a tile produced once and consumed by many tasks on the same remote
+	// node crosses the network once, as under StarPU's MSI cache.
+	comms map[commKey]*commState
+	// TaskOverhead is a fixed per-task runtime overhead in seconds
+	// (submission, scheduling); StarPU-scale default.
+	TaskOverhead float64
+	makespan     float64
+}
+
+type commKey struct {
+	producer int
+	dest     int
+}
+
+type commState struct {
+	arrived bool
+	waiters []*Task
+}
+
+// New creates a runtime over the engine, node specs and network.
+func New(eng *des.Engine, nodes []NodeSpec, net simnet.Network) *Runtime {
+	rt := &Runtime{
+		eng:          eng,
+		net:          net,
+		comms:        make(map[commKey]*commState),
+		TaskOverhead: 2e-5,
+	}
+	for i, spec := range nodes {
+		ns := &nodeState{}
+		coreSpeed := 0.0
+		if spec.CPUSpeed > 0 {
+			cores := spec.CPUCores
+			if cores < 1 {
+				cores = 1
+			}
+			coreSpeed = spec.CPUSpeed / float64(cores)
+			for c := 0; c < cores; c++ {
+				ns.units = append(ns.units, &unit{
+					name: fmt.Sprintf("n%d.cpu%d", i, c), speed: coreSpeed,
+				})
+			}
+		}
+		maxGPU := 0.0
+		for g, s := range spec.GPUSpeeds {
+			ns.units = append(ns.units, &unit{
+				name: fmt.Sprintf("n%d.gpu%d", i, g), speed: s, isGPU: true,
+			})
+			if s > maxGPU {
+				maxGPU = s
+			}
+		}
+		if maxGPU > 0 && coreSpeed > 0 {
+			ns.cpuPull = int(maxGPU / coreSpeed)
+		}
+		rt.nodes = append(rt.nodes, ns)
+	}
+	return rt
+}
+
+// SetObserver installs a task lifecycle observer (pass nil to remove).
+func (r *Runtime) SetObserver(o Observer) { r.obs = o }
+
+// NewTask declares a task assigned to a node. The task becomes ready when
+// all dependencies declared through AddDep are satisfied; tasks with no
+// dependencies are released when Run starts.
+func (r *Runtime) NewTask(label, kind string, flops float64, node int, cpuOnly bool, priority int64) *Task {
+	if node < 0 || node >= len(r.nodes) {
+		panic(fmt.Sprintf("taskrt: task %q on unknown node %d", label, node))
+	}
+	t := &Task{
+		ID: len(r.tasks), Label: label, Kind: kind, Flops: flops,
+		Node: node, CPUOnly: cpuOnly, Priority: priority, qIndex: -1,
+	}
+	r.tasks = append(r.tasks, t)
+	r.nPending++
+	return t
+}
+
+// AddDep declares that consumer needs producer's output of the given
+// size. If the two tasks live on different nodes the bytes are moved by
+// an asynchronous transfer once the producer completes (deduplicated per
+// destination node).
+func (r *Runtime) AddDep(consumer, producer *Task, bytes float64) {
+	if producer == nil {
+		return
+	}
+	if producer.done {
+		panic("taskrt: dependency on an already-executed task")
+	}
+	consumer.nDeps++
+	producer.succs = append(producer.succs, edge{to: consumer, bytes: bytes})
+}
+
+// Run releases root tasks, drives the engine until the DAG drains, and
+// returns the makespan. It panics if tasks remain blocked (a dependency
+// cycle or an unconnected transfer), which would indicate a builder bug.
+func (r *Runtime) Run() float64 {
+	for _, t := range r.tasks {
+		if t.nDeps == 0 {
+			r.push(t)
+		}
+	}
+	for node := range r.nodes {
+		r.dispatch(node)
+	}
+	r.eng.Run()
+	if r.nPending != 0 {
+		panic(fmt.Sprintf("taskrt: %d tasks never became ready (cycle?)", r.nPending))
+	}
+	return r.makespan
+}
+
+// Makespan returns the completion time of the last task (valid after Run).
+func (r *Runtime) Makespan() float64 { return r.makespan }
+
+// NumTasks returns the number of declared tasks.
+func (r *Runtime) NumTasks() int { return len(r.tasks) }
+
+// push puts a ready task on its node's queue (without dispatching, so
+// that same-instant batches are priority-ordered before units grab work).
+func (r *Runtime) push(t *Task) {
+	ns := r.nodes[t.Node]
+	if t.CPUOnly {
+		heap.Push(&ns.cpuOnlyQ, t)
+	} else {
+		heap.Push(&ns.anyQ, t)
+	}
+}
+
+// dispatch greedily assigns ready tasks to free units on a node. GPU
+// units (the fast ones) drain the GPU-capable queue first; the CPU unit
+// then serves whichever queue has the highest-priority ready task.
+func (r *Runtime) dispatch(node int) {
+	ns := r.nodes[node]
+	for {
+		progressed := false
+		for _, u := range ns.units {
+			if u.busy || !u.isGPU {
+				continue
+			}
+			if ns.anyQ.Len() == 0 {
+				break
+			}
+			r.execute(heap.Pop(&ns.anyQ).(*Task), u)
+			progressed = true
+		}
+		for _, u := range ns.units {
+			if u.busy || u.isGPU {
+				continue
+			}
+			// CPU units always serve CPU-only work; they steal
+			// GPU-capable work only past the dmda threshold: with a GPU
+			// cpuPull times faster, stealing pays off once the queue is
+			// at least cpuPull deep (the queue wait exceeds the slower
+			// CPU execution).
+			canSteal := ns.anyQ.Len() > 0 && ns.anyQ.Len() >= ns.cpuPull
+			var t *Task
+			switch {
+			case ns.cpuOnlyQ.Len() == 0 && !canSteal:
+			case ns.cpuOnlyQ.Len() == 0:
+				t = heap.Pop(&ns.anyQ).(*Task)
+			case !canSteal || ns.cpuOnlyQ[0].Priority >= ns.anyQ[0].Priority:
+				t = heap.Pop(&ns.cpuOnlyQ).(*Task)
+			default:
+				t = heap.Pop(&ns.anyQ).(*Task)
+			}
+			if t == nil {
+				continue
+			}
+			r.execute(t, u)
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// execute runs a task on a unit in simulated time.
+func (r *Runtime) execute(t *Task, u *unit) {
+	u.busy = true
+	t.started = r.eng.Now()
+	if r.obs != nil {
+		r.obs.TaskStarted(t, u.name, t.started)
+	}
+	dur := r.TaskOverhead
+	if u.speed > 0 {
+		dur += t.Flops / u.speed
+	}
+	r.eng.After(dur, func() {
+		now := r.eng.Now()
+		t.finished = now
+		t.done = true
+		if now > r.makespan {
+			r.makespan = now
+		}
+		if r.obs != nil {
+			r.obs.TaskFinished(t, u.name, now)
+		}
+		r.nPending--
+		u.busy = false
+		r.complete(t)
+		r.dispatch(t.Node)
+	})
+}
+
+// complete propagates a finished task to its consumers, starting network
+// transfers for remote ones. Newly ready consumers are pushed first and
+// their nodes dispatched afterwards, so priorities order same-instant
+// releases.
+func (r *Runtime) complete(t *Task) {
+	touched := map[int]bool{}
+	for _, e := range t.succs {
+		c := e.to
+		if c.Node == t.Node || e.bytes <= 0 {
+			if r.resolve(c) {
+				touched[c.Node] = true
+			}
+			continue
+		}
+		key := commKey{producer: t.ID, dest: c.Node}
+		cs, ok := r.comms[key]
+		if ok {
+			if cs.arrived {
+				if r.resolve(c) {
+					touched[c.Node] = true
+				}
+			} else {
+				cs.waiters = append(cs.waiters, c)
+			}
+			continue
+		}
+		cs = &commState{waiters: []*Task{c}}
+		r.comms[key] = cs
+		dest := c.Node
+		r.net.Transfer(t.Node, dest, e.bytes, func() {
+			cs.arrived = true
+			ws := cs.waiters
+			cs.waiters = nil
+			ready := false
+			for _, w := range ws {
+				if r.resolve(w) {
+					ready = true
+				}
+			}
+			if ready {
+				r.dispatch(dest)
+			}
+		})
+	}
+	for node := range touched {
+		r.dispatch(node)
+	}
+}
+
+// resolve decrements a consumer's dependency count, pushing it on its
+// node's ready queue when it becomes ready. It reports whether the task
+// became ready.
+func (r *Runtime) resolve(t *Task) bool {
+	t.nDeps--
+	if t.nDeps == 0 {
+		r.push(t)
+		return true
+	}
+	return false
+}
+
+// taskHeap is a max-heap on Priority (ties: lower ID first, keeping
+// submission order — StarPU's prio queue behaviour).
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].ID < h[j].ID
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].qIndex = i
+	h[j].qIndex = j
+}
+func (h *taskHeap) Push(x any) {
+	t := x.(*Task)
+	t.qIndex = len(*h)
+	*h = append(*h, t)
+}
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.qIndex = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,253 @@
+package taskrt
+
+import (
+	"math"
+	"testing"
+
+	"phasetune/internal/des"
+	"phasetune/internal/simnet"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// newRT builds a runtime with identical nodes and zero task overhead so
+// durations are exactly flops/speed in tests.
+func newRT(nodes []NodeSpec, topo simnet.Topology) (*Runtime, *des.Engine) {
+	eng := des.NewEngine()
+	net := simnet.NewFluid(eng, len(nodes), topo)
+	rt := New(eng, nodes, net)
+	rt.TaskOverhead = 0
+	return rt, eng
+}
+
+func fastTopo() simnet.Topology {
+	return simnet.Topology{NICBandwidth: 1e12, BackboneBandwidth: 0, Latency: 0}
+}
+
+func TestSingleTask(t *testing.T) {
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 10}}, fastTopo())
+	task := rt.NewTask("t", "work", 100, 0, false, 0)
+	mk := rt.Run()
+	if !approx(mk, 10, 1e-9) {
+		t.Fatalf("makespan = %v, want 10", mk)
+	}
+	if !task.Done() || task.Started() != 0 || !approx(task.Finished(), 10, 1e-9) {
+		t.Fatalf("task timing: %v..%v", task.Started(), task.Finished())
+	}
+}
+
+func TestChainDependency(t *testing.T) {
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}}, fastTopo())
+	a := rt.NewTask("a", "w", 3, 0, false, 0)
+	b := rt.NewTask("b", "w", 4, 0, false, 0)
+	rt.AddDep(b, a, 0)
+	mk := rt.Run()
+	if !approx(mk, 7, 1e-9) {
+		t.Fatalf("makespan = %v, want 7", mk)
+	}
+	if b.Started() < a.Finished() {
+		t.Fatal("dependent task started before producer finished")
+	}
+}
+
+func TestParallelUnitsOnOneNode(t *testing.T) {
+	// One CPU (speed 1) and two GPUs (speed 10): three independent tasks
+	// of 10 flops should take max(10/10, 10/10, 10/1)=10? No: the CPU
+	// unit also picks work. Tasks go to the 2 GPUs (1s each) and the CPU
+	// gets the third (10s) only if dispatch assigns it; GPU-preferred
+	// dispatch fills GPUs first, CPU takes the remaining one -> 10s.
+	// With 2 tasks only, both run on GPUs -> 1s.
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1, GPUSpeeds: []float64{10, 10}}}, fastTopo())
+	rt.NewTask("a", "w", 10, 0, false, 0)
+	rt.NewTask("b", "w", 10, 0, false, 0)
+	mk := rt.Run()
+	if !approx(mk, 1, 1e-9) {
+		t.Fatalf("makespan = %v, want 1 (both on GPUs)", mk)
+	}
+}
+
+func TestCPUOnlyTaskNeverRunsOnGPU(t *testing.T) {
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1, GPUSpeeds: []float64{100}}}, fastTopo())
+	gen := rt.NewTask("gen", "gen", 10, 0, true, 0)
+	mk := rt.Run()
+	if !approx(mk, 10, 1e-9) {
+		t.Fatalf("makespan = %v: CPU-only task appears to have used the GPU", mk)
+	}
+	_ = gen
+}
+
+func TestGPUPreferredForCapableTasks(t *testing.T) {
+	// A single GPU-capable task on a node with CPU speed 1 and GPU 100
+	// should use the GPU.
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1, GPUSpeeds: []float64{100}}}, fastTopo())
+	rt.NewTask("k", "w", 100, 0, false, 0)
+	mk := rt.Run()
+	if !approx(mk, 1, 1e-9) {
+		t.Fatalf("makespan = %v, want 1 (GPU)", mk)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// Single unit: the high-priority task must run first even if
+	// submitted second.
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}}, fastTopo())
+	low := rt.NewTask("low", "w", 5, 0, false, 1)
+	high := rt.NewTask("high", "w", 5, 0, false, 10)
+	rt.Run()
+	if high.Started() > low.Started() {
+		t.Fatalf("high prio started at %v, low at %v", high.Started(), low.Started())
+	}
+}
+
+func TestRemoteDependencyIncursTransfer(t *testing.T) {
+	// Producer on node 0, consumer on node 1, 100 bytes over 10 B/s.
+	topo := simnet.Topology{NICBandwidth: 10, BackboneBandwidth: 0, Latency: 0}
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}, {CPUSpeed: 1}}, topo)
+	a := rt.NewTask("a", "w", 2, 0, false, 0)
+	b := rt.NewTask("b", "w", 3, 1, false, 0)
+	rt.AddDep(b, a, 100)
+	mk := rt.Run()
+	// a: 2s, transfer: 10s, b: 3s -> 15.
+	if !approx(mk, 15, 1e-9) {
+		t.Fatalf("makespan = %v, want 15", mk)
+	}
+}
+
+func TestLocalDependencyNoTransfer(t *testing.T) {
+	topo := simnet.Topology{NICBandwidth: 1e-3, BackboneBandwidth: 0, Latency: 100}
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}}, topo)
+	a := rt.NewTask("a", "w", 2, 0, false, 0)
+	b := rt.NewTask("b", "w", 3, 0, false, 0)
+	rt.AddDep(b, a, 1e9) // same node: bytes never cross the network
+	mk := rt.Run()
+	if !approx(mk, 5, 1e-9) {
+		t.Fatalf("makespan = %v, want 5", mk)
+	}
+}
+
+func TestTransferDeduplicationPerDestination(t *testing.T) {
+	// One producer, two consumers on the same remote node: the tile must
+	// cross the network once (10s), not twice (20s).
+	topo := simnet.Topology{NICBandwidth: 10, BackboneBandwidth: 0, Latency: 0}
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}, {CPUSpeed: 2}}, topo)
+	a := rt.NewTask("a", "w", 1, 0, false, 0)
+	b := rt.NewTask("b", "w", 2, 1, false, 0)
+	c := rt.NewTask("c", "w", 2, 1, false, 0)
+	rt.AddDep(b, a, 100)
+	rt.AddDep(c, a, 100)
+	mk := rt.Run()
+	// a at 1s, single 10s transfer -> 11s, two 1s tasks on node 1's CPU
+	// unit run serially -> 13s. A duplicated transfer would give >= 21s.
+	if !approx(mk, 13, 1e-9) {
+		t.Fatalf("makespan = %v, want 13", mk)
+	}
+}
+
+func TestCommunicationOverlapsComputation(t *testing.T) {
+	// Node 0 produces for a remote consumer while an independent local
+	// task runs: the transfer must overlap with that local work.
+	topo := simnet.Topology{NICBandwidth: 10, BackboneBandwidth: 0, Latency: 0}
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}, {CPUSpeed: 1}}, topo)
+	a := rt.NewTask("a", "w", 1, 0, false, 10)
+	local := rt.NewTask("local", "w", 30, 0, false, 1)
+	b := rt.NewTask("b", "w", 1, 1, false, 0)
+	rt.AddDep(b, a, 100)
+	mk := rt.Run()
+	// a: 1s; transfer 10s -> b done at 12; local runs 1..31 -> makespan 31
+	// (not 31+transfer: overlap).
+	if !approx(mk, 31, 1e-9) {
+		t.Fatalf("makespan = %v, want 31", mk)
+	}
+	if !approx(b.Finished(), 12, 1e-9) {
+		t.Fatalf("b finished at %v, want 12", b.Finished())
+	}
+	_ = local
+}
+
+func TestFanOutFanIn(t *testing.T) {
+	// Diamond: a -> {b, c} -> d on one 2-unit node.
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1, GPUSpeeds: []float64{1}}}, fastTopo())
+	a := rt.NewTask("a", "w", 1, 0, false, 0)
+	b := rt.NewTask("b", "w", 5, 0, false, 0)
+	c := rt.NewTask("c", "w", 5, 0, false, 0)
+	d := rt.NewTask("d", "w", 1, 0, false, 0)
+	rt.AddDep(b, a, 0)
+	rt.AddDep(c, a, 0)
+	rt.AddDep(d, b, 0)
+	rt.AddDep(d, c, 0)
+	mk := rt.Run()
+	// a: 1s, b and c in parallel: 5s, d: 1s -> 7s.
+	if !approx(mk, 7, 1e-9) {
+		t.Fatalf("makespan = %v, want 7", mk)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}}, fastTopo())
+	a := rt.NewTask("a", "w", 1, 0, false, 0)
+	b := rt.NewTask("b", "w", 1, 0, false, 0)
+	rt.AddDep(b, a, 0)
+	rt.AddDep(a, b, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run should panic on a dependency cycle")
+		}
+	}()
+	rt.Run()
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}}, fastTopo())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTask on unknown node should panic")
+		}
+	}()
+	rt.NewTask("bad", "w", 1, 7, false, 0)
+}
+
+func TestObserverReceivesEvents(t *testing.T) {
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 1}}, fastTopo())
+	rec := &recorder{}
+	rt.SetObserver(rec)
+	rt.NewTask("a", "gen", 2, 0, false, 0)
+	rt.NewTask("b", "fact", 3, 0, false, 0)
+	rt.Run()
+	if rec.started != 2 || rec.finished != 2 {
+		t.Fatalf("observer saw %d starts, %d finishes", rec.started, rec.finished)
+	}
+}
+
+type recorder struct{ started, finished int }
+
+func (r *recorder) TaskStarted(*Task, string, float64)  { r.started++ }
+func (r *recorder) TaskFinished(*Task, string, float64) { r.finished++ }
+
+func TestTaskOverheadAccrues(t *testing.T) {
+	eng := des.NewEngine()
+	rt := New(eng, []NodeSpec{{CPUSpeed: 1}}, simnet.NewFluid(eng, 1, fastTopo()))
+	rt.TaskOverhead = 0.5
+	a := rt.NewTask("a", "w", 1, 0, false, 0)
+	b := rt.NewTask("b", "w", 1, 0, false, 0)
+	rt.AddDep(b, a, 0)
+	mk := rt.Run()
+	if !approx(mk, 3, 1e-9) {
+		t.Fatalf("makespan = %v, want 3 (two tasks with 0.5 overhead)", mk)
+	}
+}
+
+func TestHeterogeneousNodesLoadOrder(t *testing.T) {
+	// 20 independent equal tasks over a fast and a slow node, distributed
+	// proportionally (15 fast / 5 slow): makespan should be near-even.
+	rt, _ := newRT([]NodeSpec{{CPUSpeed: 3}, {CPUSpeed: 1}}, fastTopo())
+	for i := 0; i < 15; i++ {
+		rt.NewTask("f", "w", 1, 0, false, 0)
+	}
+	for i := 0; i < 5; i++ {
+		rt.NewTask("s", "w", 1, 1, false, 0)
+	}
+	mk := rt.Run()
+	if !approx(mk, 5, 1e-9) {
+		t.Fatalf("makespan = %v, want 5", mk)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NodeStats aggregates one node's activity over a run.
+type NodeStats struct {
+	Node       int
+	Units      int                // distinct execution units observed
+	BusyByKind map[string]float64 // busy seconds per phase kind
+	TotalBusy  float64
+	// Utilization is TotalBusy / (Units * Makespan) in [0, 1].
+	Utilization float64
+}
+
+// Analysis is the StarVZ-style aggregate view of a recorded execution:
+// per-node utilization split by phase, plus totals.
+type Analysis struct {
+	Makespan   float64
+	Nodes      []NodeStats
+	KindTotals map[string]float64
+}
+
+// Analyze aggregates spans into per-node statistics.
+func Analyze(spans []Span) *Analysis {
+	a := &Analysis{KindTotals: map[string]float64{}}
+	type acc struct {
+		units map[string]bool
+		kinds map[string]float64
+	}
+	byNode := map[int]*acc{}
+	maxNode := -1
+	for _, s := range spans {
+		if s.End > a.Makespan {
+			a.Makespan = s.End
+		}
+		n := byNode[s.Node]
+		if n == nil {
+			n = &acc{units: map[string]bool{}, kinds: map[string]float64{}}
+			byNode[s.Node] = n
+		}
+		d := s.End - s.Start
+		n.units[s.Unit] = true
+		n.kinds[s.Kind] += d
+		a.KindTotals[s.Kind] += d
+		if s.Node > maxNode {
+			maxNode = s.Node
+		}
+	}
+	for node := 0; node <= maxNode; node++ {
+		st := NodeStats{Node: node, BusyByKind: map[string]float64{}}
+		if n := byNode[node]; n != nil {
+			st.Units = len(n.units)
+			for k, v := range n.kinds {
+				st.BusyByKind[k] = v
+				st.TotalBusy += v
+			}
+			if a.Makespan > 0 && st.Units > 0 {
+				st.Utilization = st.TotalBusy / (float64(st.Units) * a.Makespan)
+			}
+		}
+		a.Nodes = append(a.Nodes, st)
+	}
+	return a
+}
+
+// String renders the per-node utilization table.
+func (a *Analysis) String() string {
+	kinds := make([]string, 0, len(a.KindTotals))
+	for k := range a.KindTotals {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan %.3f s\n", a.Makespan)
+	fmt.Fprintf(&sb, "%5s %6s %6s", "node", "units", "util%")
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, " %9s", k)
+	}
+	sb.WriteByte('\n')
+	for _, n := range a.Nodes {
+		fmt.Fprintf(&sb, "%5d %6d %6.1f", n.Node, n.Units, 100*n.Utilization)
+		for _, k := range kinds {
+			fmt.Fprintf(&sb, " %9.2f", n.BusyByKind[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the raw spans as CSV (label, kind, node, unit, flops,
+// start, end) for external analysis — the equivalent of the paper
+// companion's trace data files.
+func WriteCSV(w io.Writer, spans []Span) error {
+	if _, err := io.WriteString(w, "label,kind,node,unit,gflops,start,end\n"); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%g,%g,%g\n",
+			s.Label, s.Kind, s.Node, s.Unit, s.Flops, s.Start, s.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Label: "gen(0)", Kind: "gen", Node: 0, Unit: "n0.cpu0", Flops: 2, Start: 0, End: 2},
+		{Label: "gen(1)", Kind: "gen", Node: 0, Unit: "n0.cpu1", Flops: 2, Start: 0, End: 2},
+		{Label: "gemm(0)", Kind: "gemm", Node: 0, Unit: "n0.gpu0", Flops: 4, Start: 2, End: 4},
+		{Label: "gemm(1)", Kind: "gemm", Node: 1, Unit: "n1.gpu0", Flops: 4, Start: 0, End: 4},
+	}
+}
+
+func TestAnalyzeAggregates(t *testing.T) {
+	a := Analyze(sampleSpans())
+	if a.Makespan != 4 {
+		t.Fatalf("makespan = %v", a.Makespan)
+	}
+	if len(a.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(a.Nodes))
+	}
+	n0 := a.Nodes[0]
+	if n0.Units != 3 || n0.TotalBusy != 6 {
+		t.Fatalf("node 0 = %+v", n0)
+	}
+	// Utilization: 6 busy over 3 units x 4 s = 0.5.
+	if n0.Utilization != 0.5 {
+		t.Fatalf("node 0 utilization = %v", n0.Utilization)
+	}
+	if a.KindTotals["gen"] != 4 || a.KindTotals["gemm"] != 6 {
+		t.Fatalf("kind totals = %v", a.KindTotals)
+	}
+	n1 := a.Nodes[1]
+	if n1.Utilization != 1 {
+		t.Fatalf("node 1 utilization = %v", n1.Utilization)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Makespan != 0 || len(a.Nodes) != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	s := Analyze(sampleSpans()).String()
+	for _, want := range []string{"makespan", "gen", "gemm", "util%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("analysis output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "label,kind,node,unit,gflops,start,end" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "gen(0),gen,0,n0.cpu0,2,0,2") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

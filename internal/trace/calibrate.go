@@ -1,0 +1,26 @@
+package trace
+
+import "phasetune/internal/perfmodel"
+
+// CalibrateModel builds a StarPU-style performance model from recorded
+// spans: every execution becomes one (kernel, worker) observation, per
+// worker exactly as StarPU calibrates (two GPUs of different generations
+// get different models).
+func CalibrateModel(spans []Span) *perfmodel.Model {
+	m := perfmodel.New()
+	for _, s := range spans {
+		m.Observe(s.Kind, s.Unit, s.Flops, s.End-s.Start)
+	}
+	return m
+}
+
+// CalibrateModelByClass aggregates observations per unit class ("cpu",
+// "gpu") instead of per worker — coarser, useful for summary reporting on
+// homogeneous platforms.
+func CalibrateModelByClass(spans []Span) *perfmodel.Model {
+	m := perfmodel.New()
+	for _, s := range spans {
+		m.Observe(s.Kind, UnitClass(s.Unit), s.Flops, s.End-s.Start)
+	}
+	return m
+}

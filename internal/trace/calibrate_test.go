@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"phasetune/internal/des"
+	"phasetune/internal/simnet"
+	"phasetune/internal/taskrt"
+)
+
+func TestUnitClass(t *testing.T) {
+	if UnitClass("n3.gpu1") != "gpu" || UnitClass("n0.cpu12") != "cpu" {
+		t.Fatal("unit class parsing")
+	}
+	if UnitClass("weird") != "weird" {
+		t.Fatal("unknown unit class should pass through")
+	}
+}
+
+func TestCalibrateModelFromExecution(t *testing.T) {
+	// Run a workload on a hybrid node and calibrate: the model must
+	// recover the unit speeds well enough to predict durations.
+	eng := des.NewEngine()
+	rt := taskrt.New(eng, []taskrt.NodeSpec{
+		{CPUSpeed: 40, CPUCores: 4, GPUSpeeds: []float64{1000}},
+	}, simnet.NewFluid(eng, 1, simnet.Topology{NICBandwidth: 1e12}))
+	rt.TaskOverhead = 0
+	rec := NewRecorder()
+	rt.SetObserver(rec)
+	for i := 0; i < 30; i++ {
+		rt.NewTask("gen", "gen", 2, 0, true, 0)    // cpu cores: 2/10 = 0.2s
+		rt.NewTask("gemm", "gemm", 2, 0, false, 0) // gpu: 2/1000 = 2ms
+	}
+	rt.Run()
+	// Class-aggregated model: homogeneous units, exact predictions.
+	mc := CalibrateModelByClass(rec.Spans())
+	cpuEst, ok := mc.Estimate("gen", "cpu", 2)
+	if !ok || math.Abs(cpuEst-0.2) > 1e-6 {
+		t.Fatalf("cpu estimate = %v (%v)", cpuEst, ok)
+	}
+	gpuEst, ok := mc.Estimate("gemm", "gpu", 2)
+	if !ok || math.Abs(gpuEst-0.002) > 1e-6 {
+		t.Fatalf("gpu estimate = %v (%v)", gpuEst, ok)
+	}
+	// Per-worker model (StarPU style): the GPU worker has its own entry.
+	mw := CalibrateModel(rec.Spans())
+	wEst, ok := mw.Estimate("gemm", "n0.gpu0", 2)
+	if !ok || math.Abs(wEst-0.002) > 1e-6 {
+		t.Fatalf("per-worker estimate = %v (%v)", wEst, ok)
+	}
+}

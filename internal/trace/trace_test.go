@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"phasetune/internal/des"
+	"phasetune/internal/simnet"
+	"phasetune/internal/taskrt"
+)
+
+func runTraced(t *testing.T) *Recorder {
+	t.Helper()
+	eng := des.NewEngine()
+	net := simnet.NewFluid(eng, 2, simnet.Topology{NICBandwidth: 1e12})
+	rt := taskrt.New(eng, []taskrt.NodeSpec{{CPUSpeed: 1}, {CPUSpeed: 1}}, net)
+	rt.TaskOverhead = 0
+	rec := NewRecorder()
+	rt.SetObserver(rec)
+	g := rt.NewTask("gen(0)", "gen", 2, 0, true, 10)
+	f := rt.NewTask("potrf(0)", "potrf", 3, 1, false, 5)
+	rt.AddDep(f, g, 100)
+	rt.Run()
+	return rec
+}
+
+func TestRecorderCapturesSpans(t *testing.T) {
+	rec := runTraced(t)
+	if len(rec.Spans()) != 2 {
+		t.Fatalf("spans = %d", len(rec.Spans()))
+	}
+	if math.Abs(rec.Makespan()-5) > 1e-9 {
+		t.Fatalf("makespan = %v, want 5", rec.Makespan())
+	}
+}
+
+func TestPhaseSpan(t *testing.T) {
+	rec := runTraced(t)
+	s, e, ok := rec.PhaseSpan("gen")
+	if !ok || s != 0 || math.Abs(e-2) > 1e-9 {
+		t.Fatalf("gen span = %v..%v (%v)", s, e, ok)
+	}
+	if _, _, ok := rec.PhaseSpan("absent"); ok {
+		t.Fatal("absent phase should report ok=false")
+	}
+}
+
+func TestBusyTime(t *testing.T) {
+	rec := runTraced(t)
+	if got := rec.BusyTime("gen", 0); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("gen busy on node 0 = %v", got)
+	}
+	if got := rec.BusyTime("gen", 1); got != 0 {
+		t.Fatalf("gen busy on node 1 = %v", got)
+	}
+	if got := rec.BusyTime("potrf", 1); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("potrf busy on node 1 = %v", got)
+	}
+}
+
+func TestUtilizationBins(t *testing.T) {
+	rec := runTraced(t)
+	u := rec.Utilization("gen", 0, 5, 5)
+	// gen runs 0..2 of a 5s horizon: first two bins full, rest empty.
+	if math.Abs(u[0]-1) > 1e-9 || math.Abs(u[1]-1) > 1e-9 {
+		t.Fatalf("u = %v", u)
+	}
+	for _, v := range u[2:] {
+		if v != 0 {
+			t.Fatalf("u = %v", u)
+		}
+	}
+	if got := rec.Utilization("gen", 0, 0, 5); len(got) != 5 {
+		t.Fatal("zero horizon should still return bins")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	rec := runTraced(t)
+	g := rec.Gantt(2, 10)
+	if !strings.Contains(g, "node   0") || !strings.Contains(g, "node   1") {
+		t.Fatalf("gantt missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "g") {
+		t.Fatalf("gantt missing generation symbol:\n%s", g)
+	}
+	if !strings.Contains(g, "#") {
+		t.Fatalf("gantt missing factorization symbol:\n%s", g)
+	}
+	if rec.Gantt(2, 0) != "" {
+		t.Fatal("zero width should render empty")
+	}
+}

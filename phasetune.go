@@ -1,0 +1,114 @@
+// Package phasetune reproduces "Multi-Phase Task-Based HPC Applications:
+// Quickly Learning how to Run Fast" (Nesi, Schnorr, Legrand — IPDPS 2022):
+// online strategies that let an iterative multi-phase task-based
+// application learn the best number of heterogeneous nodes for its
+// dominant phase while it runs.
+//
+// The package is a thin facade over the internal implementation:
+//
+//   - Tuning strategies (DC, Right-Left, Brent, UCB, UCB-struct, GP-UCB
+//     and the proposed GP-discontinuous) via NewStrategy or the typed
+//     constructors.
+//   - The 16 evaluation scenarios of the paper via Scenarios, and the
+//     simulation/LP machinery to build duration curves via ComputeCurve.
+//   - The Section V evaluation methodology via Compare.
+//
+// See examples/ for runnable entry points and DESIGN.md for the full
+// system inventory.
+package phasetune
+
+import (
+	"phasetune/internal/core"
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+	"phasetune/internal/stats"
+)
+
+// Strategy is an online tuner: Next proposes the node count for the next
+// application iteration, Observe feeds back the measured duration.
+type Strategy = core.Strategy
+
+// Context describes a tuning problem: total nodes, the feasibility
+// minimum, homogeneous group sizes and an optional LP lower bound.
+type Context = core.Context
+
+// GPOptions tunes the Gaussian-Process strategies; the zero value gives
+// the paper's settings.
+type GPOptions = core.GPOptions
+
+// Scenario is one of the 16 evaluation setups of the paper's Figure 5.
+type Scenario = platform.Scenario
+
+// Curve is a scenario's iteration-duration profile (Figures 2 and 5).
+type Curve = harness.Curve
+
+// CurveOptions configures curve computation.
+type CurveOptions = harness.CurveOptions
+
+// SimOptions configures a single iteration simulation.
+type SimOptions = harness.SimOptions
+
+// Comparison is one scenario panel of the paper's Figure 6.
+type Comparison = harness.Comparison
+
+// Pool holds resampled iteration durations per action (Section V).
+type Pool = stats.Pool
+
+// RNG is a deterministic random stream.
+type RNG = stats.RNG
+
+// StrategyNames lists the compared strategies in the paper's order.
+var StrategyNames = harness.StrategyNames
+
+// NewRNG returns a deterministic random stream for the given seed.
+func NewRNG(seed int64) *RNG { return stats.NewRNG(seed) }
+
+// NewStrategy instantiates a strategy by its paper name ("DC",
+// "Right-Left", "Brent", "UCB", "UCB-struct", "GP-UCB",
+// "GP-discontinuous"; additionally "SANN" and "SPSA", the comparators
+// the paper evaluated and dismissed).
+func NewStrategy(name string, ctx Context) (Strategy, error) {
+	return harness.NewStrategy(name, ctx)
+}
+
+// NewGPDiscontinuous builds the paper's proposed strategy directly.
+func NewGPDiscontinuous(ctx Context, opt GPOptions) Strategy {
+	return core.NewGPDiscontinuous(ctx, opt)
+}
+
+// NewGPUCB builds the off-the-shelf GP-UCB comparator.
+func NewGPUCB(ctx Context, opt GPOptions) Strategy {
+	return core.NewGPUCB(ctx, opt)
+}
+
+// Scenarios returns the 16 evaluation scenarios in paper order (a..p).
+func Scenarios() []Scenario { return platform.Scenarios() }
+
+// ScenarioByKey returns the scenario for a subfigure key ("a".."p").
+func ScenarioByKey(key string) (Scenario, bool) {
+	return platform.ScenarioByKey(key)
+}
+
+// ComputeCurve simulates every feasible node count of a scenario and
+// attaches the LP lower bound.
+func ComputeCurve(sc Scenario, opts CurveOptions) (*Curve, error) {
+	return harness.ComputeCurve(sc, opts)
+}
+
+// SimulateIteration runs one deterministic application iteration with
+// nFact factorization nodes and returns its makespan in seconds.
+func SimulateIteration(sc Scenario, nFact int, opts SimOptions) (float64, error) {
+	return harness.SimulateIteration(sc, nFact, opts)
+}
+
+// Compare replays every strategy against a scenario's resampling pool
+// with the paper's methodology (same durations for every strategy).
+func Compare(curve *Curve, iterations, reps int, seed int64) (*Comparison, error) {
+	return harness.Compare(curve, iterations, reps, seed)
+}
+
+// Evaluate replays one strategy against a duration pool for a number of
+// iterations and returns the per-iteration durations.
+func Evaluate(s Strategy, pool *Pool, iterations int, rng *RNG) []float64 {
+	return core.Evaluate(s, pool, iterations, rng)
+}

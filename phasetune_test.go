@@ -1,0 +1,75 @@
+package phasetune_test
+
+import (
+	"testing"
+
+	"phasetune"
+)
+
+func TestFacadeScenarios(t *testing.T) {
+	if got := len(phasetune.Scenarios()); got != 16 {
+		t.Fatalf("Scenarios = %d, want 16", got)
+	}
+	sc, ok := phasetune.ScenarioByKey("b")
+	if !ok || sc.Platform.N() != 14 {
+		t.Fatalf("ScenarioByKey(b) = %+v, %v", sc, ok)
+	}
+}
+
+func TestFacadeStrategyNames(t *testing.T) {
+	if len(phasetune.StrategyNames) != 7 {
+		t.Fatalf("StrategyNames = %v", phasetune.StrategyNames)
+	}
+	ctx := phasetune.Context{N: 10, Min: 2, GroupSizes: []int{4, 6}}
+	for _, name := range phasetune.StrategyNames {
+		s, err := phasetune.NewStrategy(name, ctx)
+		if err != nil {
+			t.Fatalf("NewStrategy(%s): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("Name() = %q, want %q", s.Name(), name)
+		}
+		a := s.Next()
+		if a < 2 || a > 10 {
+			t.Fatalf("%s proposed %d", name, a)
+		}
+		s.Observe(a, 5)
+	}
+	if _, err := phasetune.NewStrategy("bogus", ctx); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sc, _ := phasetune.ScenarioByKey("b")
+	curve, err := phasetune.ComputeCurve(sc, phasetune.CurveOptions{
+		Sim: phasetune.SimOptions{Tiles: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := phasetune.SimulateIteration(sc, 6, phasetune.SimOptions{Tiles: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk <= 0 {
+		t.Fatalf("makespan = %v", mk)
+	}
+	pool := curve.Pool(0.5, 30, 1)
+	tuner := phasetune.NewGPDiscontinuous(curve.Context(), phasetune.GPOptions{})
+	ds := phasetune.Evaluate(tuner, pool, 25, phasetune.NewRNG(3))
+	if len(ds) != 25 {
+		t.Fatalf("evaluated %d iterations", len(ds))
+	}
+	cmp, err := phasetune.Compare(curve, 30, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 7 {
+		t.Fatalf("comparison rows = %d", len(cmp.Results))
+	}
+	gpucb := phasetune.NewGPUCB(curve.Context(), phasetune.GPOptions{})
+	if gpucb.Name() != "GP-UCB" {
+		t.Fatal("GP-UCB facade constructor broken")
+	}
+}
