@@ -1,0 +1,274 @@
+// Command phasetune-faults runs the online tuning loop under a fault
+// plan: node crashes, outages, compute slowdowns, network degradation
+// and observation jitter, injected at chosen iterations (or drawn at
+// random). It prints the annotated fault trace, the per-iteration
+// trajectory with platform epochs, and — with -compare — how the
+// Resilient wrapper fares against the bare strategy on the same plan.
+//
+//	phasetune-faults -scenario c -fault crash@40:n0 -iters 127
+//	phasetune-faults -scenario b -fault slowdown@10:n2:x0.5:d10 -fault jitter@30:s1:d5
+//	phasetune-faults -scenario i -random 7 -compare
+//
+// Fault syntax: kind@iter[:nNODE][:xFACTOR][:sSD][:dDURATION][:+OFFSET]
+// where kind is crash | outage | slowdown | netdegrade | jitter, nNODE
+// targets a node (fastest-first index), xFACTOR scales speed or
+// bandwidth, sSD adds observation noise, dDURATION limits the fault to
+// that many iterations (omitted = permanent) and +OFFSET strikes that
+// many simulated seconds into the iteration (mid-run injection).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phasetune/internal/core"
+	"phasetune/internal/faults"
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+func parseFault(spec string) (faults.Event, error) {
+	var e faults.Event
+	fields := strings.Split(spec, ":")
+	head := strings.SplitN(fields[0], "@", 2)
+	if len(head) != 2 {
+		return e, fmt.Errorf("%q: want kind@iter", fields[0])
+	}
+	switch head[0] {
+	case "crash":
+		e.Kind = faults.Crash
+	case "outage":
+		e.Kind = faults.Outage
+	case "slowdown":
+		e.Kind = faults.Slowdown
+	case "netdegrade":
+		e.Kind = faults.NetDegrade
+	case "jitter":
+		e.Kind = faults.Jitter
+	default:
+		return e, fmt.Errorf("unknown fault kind %q", head[0])
+	}
+	it, err := strconv.Atoi(head[1])
+	if err != nil {
+		return e, fmt.Errorf("bad iteration %q", head[1])
+	}
+	e.Iter = it
+	for _, f := range fields[1:] {
+		if f == "" {
+			return e, fmt.Errorf("empty field in %q", spec)
+		}
+		val := f[1:]
+		var err error
+		switch f[0] {
+		case 'n':
+			e.Node, err = strconv.Atoi(val)
+		case 'x':
+			e.Factor, err = strconv.ParseFloat(val, 64)
+		case 's':
+			e.SD, err = strconv.ParseFloat(val, 64)
+		case 'd':
+			e.Duration, err = strconv.Atoi(val)
+		case '+':
+			e.Offset, err = strconv.ParseFloat(val, 64)
+		default:
+			err = fmt.Errorf("unknown field %q", f)
+		}
+		if err != nil {
+			return e, fmt.Errorf("%q: %v", spec, err)
+		}
+	}
+	return e, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+func run(sc platform.Scenario, s core.Strategy, iters int,
+	opts harness.SimOptions, fopts harness.FaultyOptions, seed int64) harness.FaultyResult {
+
+	res, err := harness.RunOnlineFaulty(sc, s, iters, opts, fopts, seed)
+	if err != nil {
+		fail(err)
+	}
+	return res
+}
+
+// postFaultMean averages the durations from the last platform-affecting
+// event onward — the steady state the tuner should have adapted to.
+func postFaultMean(res harness.FaultyResult, plan *faults.Plan) (float64, int) {
+	from := 0
+	for _, e := range plan.Events {
+		if e.Kind != faults.Jitter && e.Iter >= from {
+			from = e.Iter + 1
+		}
+	}
+	// Grant a short re-convergence window after the last fault.
+	from += (len(res.Durations) - from) / 3
+	if from >= len(res.Durations) {
+		from = len(res.Durations) - 1
+	}
+	sum := 0.0
+	for _, d := range res.Durations[from:] {
+		sum += d
+	}
+	return sum / float64(len(res.Durations)-from), from
+}
+
+func main() {
+	scenario := flag.String("scenario", "", "paper scenario key (a..p)")
+	config := flag.String("config", "", "platform JSON file (see README)")
+	strategy := flag.String("strategy", "GP-discontinuous",
+		"inner strategy: DC | Right-Left | Brent | UCB | UCB-struct | GP-UCB | GP-discontinuous | SANN | SPSA")
+	iters := flag.Int("iters", 100, "tuning iterations")
+	tiles := flag.Int("tiles", 0, "tile-count override (0 = workload size)")
+	seed := flag.Int64("seed", 42, "random seed")
+	random := flag.Int64("random", 0, "draw a random fault plan with this seed (0 = use -fault)")
+	intensity := flag.Float64("intensity", 0.3, "random-plan intensity in (0, 1]")
+	bare := flag.Bool("bare", false, "run the strategy without the Resilient wrapper")
+	compare := flag.Bool("compare", false, "run both wrapped and bare and compare")
+	timeout := flag.Float64("timeout", 0, "per-iteration timeout in simulated seconds (0 = none)")
+	retries := flag.Int("retries", 2, "max retries after a timed-out iteration")
+	backoff := flag.Float64("backoff", 1, "simulated backoff seconds before a retry")
+	var specs []string
+	flag.Func("fault", "fault event, e.g. crash@40:n0 (repeatable; see doc comment)",
+		func(s string) error { specs = append(specs, s); return nil })
+	flag.Parse()
+
+	var sc platform.Scenario
+	switch {
+	case *config != "":
+		var err error
+		sc, err = platform.LoadConfig(*config)
+		if err != nil {
+			fail(err)
+		}
+	case *scenario != "":
+		var ok bool
+		sc, ok = platform.ScenarioByKey(*scenario)
+		if !ok {
+			fail(fmt.Errorf("unknown scenario %q", *scenario))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -scenario or -config")
+		os.Exit(2)
+	}
+
+	plan := &faults.Plan{}
+	if *random != 0 {
+		plan = faults.Random(*random, sc.Platform.N(), *iters, *intensity)
+	}
+	for _, spec := range specs {
+		e, err := parseFault(spec)
+		if err != nil {
+			fail(err)
+		}
+		plan.Events = append(plan.Events, e)
+	}
+	if err := plan.Validate(sc.Platform.N()); err != nil {
+		fail(err)
+	}
+
+	opts := harness.SimOptions{Tiles: *tiles}
+	fopts := harness.FaultyOptions{
+		Plan:        plan,
+		IterTimeout: *timeout,
+		MaxRetries:  *retries,
+		Backoff:     *backoff,
+	}
+	lp, err := harness.LPBound(sc, opts)
+	if err != nil {
+		fail(err)
+	}
+	ctx := core.Context{
+		N:          sc.Platform.N(),
+		Min:        sc.MinNodes,
+		GroupSizes: sc.Platform.GroupSizes(),
+		LP:         lp,
+	}
+	if _, err := harness.NewStrategy(*strategy, ctx); err != nil {
+		fail(err)
+	}
+	factory := func(c core.Context) core.Strategy {
+		s, err := harness.NewStrategy(*strategy, c)
+		if err != nil {
+			fail(err)
+		}
+		return s
+	}
+
+	fmt.Printf("fault run: %s on %s (%d nodes, groups %v), %s, %d iterations\n",
+		sc.Workload.Name, sc.Name, sc.Platform.N(), sc.Platform.GroupSizes(),
+		*strategy, *iters)
+	if plan.Empty() {
+		fmt.Println("plan: healthy platform (no faults)")
+	} else {
+		fmt.Println("plan:")
+		for _, e := range plan.Events {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	fmt.Println()
+
+	var wrapped, unwrapped *harness.FaultyResult
+	var resil *core.Resilient
+	if !*bare || *compare {
+		resil = core.NewResilient(ctx, core.ResilientOptions{}, factory)
+		r := run(sc, resil, *iters, opts, fopts, *seed)
+		wrapped = &r
+	}
+	if *bare || *compare {
+		r := run(sc, factory(ctx), *iters, opts, fopts, *seed)
+		unwrapped = &r
+	}
+
+	shown := wrapped
+	label := "Resilient(" + *strategy + ")"
+	if shown == nil {
+		shown, label = unwrapped, *strategy
+	}
+	fmt.Printf("trajectory (%s):\n", label)
+	epoch := -1
+	for i, a := range shown.Actions {
+		marker := ""
+		if shown.Epochs[i] != epoch {
+			epoch = shown.Epochs[i]
+			marker = fmt.Sprintf("   <- epoch %d, %d nodes alive", epoch, shown.AliveN[i])
+		}
+		if i < 5 || i%10 == 0 || marker != "" || i == len(shown.Actions)-1 {
+			fmt.Printf("  iter %3d: %3d nodes -> %7.2f s%s\n",
+				i+1, a, shown.Durations[i], marker)
+		}
+	}
+	if len(shown.Annotations) > 0 {
+		fmt.Println("\nfault trace:")
+		for _, a := range shown.Annotations {
+			fmt.Printf("  %s\n", a)
+		}
+	}
+	fmt.Printf("\nrecovered task executions: %d, retries: %d, timed-out attempts: %d\n",
+		shown.Recovered, shown.Retries, shown.TimedOut)
+	if resil != nil && wrapped == shown {
+		for _, r := range resil.Resets() {
+			fmt.Printf("strategy reset at observation %d (%s)\n", r.Observation, r.Reason)
+		}
+		fmt.Printf("outliers rejected: %d\n", resil.RejectedOutliers())
+	}
+	fmt.Printf("total: %.1f s over %d iterations\n", shown.Total, *iters)
+
+	if *compare && wrapped != nil && unwrapped != nil && !plan.Empty() {
+		wm, from := postFaultMean(*wrapped, plan)
+		um, _ := postFaultMean(*unwrapped, plan)
+		fmt.Printf("\npost-fault steady state (iterations %d..%d):\n", from+1, *iters)
+		fmt.Printf("  %-28s mean %7.2f s  total %8.1f s\n", label, wm, wrapped.Total)
+		fmt.Printf("  %-28s mean %7.2f s  total %8.1f s\n", *strategy, um, unwrapped.Total)
+		if um > 0 {
+			fmt.Printf("  wrapper advantage: %.1f%% per post-fault iteration\n",
+				100*(um-wm)/um)
+		}
+	}
+}

@@ -55,6 +55,23 @@ func TestCmdTuneSmoke(t *testing.T) {
 	}
 }
 
+func TestCmdFaultsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runTool(t, "./cmd/phasetune-faults",
+		"-scenario", "b", "-tiles", "8", "-iters", "12",
+		"-fault", "crash@5:n0", "-compare")
+	for _, want := range []string{
+		"node 0 crashes", "epoch 1, 13/14 nodes alive",
+		"reset at observation 5 (platform)", "post-fault steady state",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faults output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdCompareSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -184,6 +184,10 @@ func (g *GPStrategy) Next() int {
 
 // Observe implements Strategy.
 func (g *GPStrategy) Observe(action int, duration float64) {
+	duration, ok := SanitizeObservation(duration)
+	if !ok {
+		return
+	}
 	g.hist.observe(action, duration)
 	if g.pendingInit && len(g.initQueue) > 0 && action == g.initQueue[0] {
 		g.initQueue = g.initQueue[1:]
@@ -196,7 +200,11 @@ func (g *GPStrategy) Observe(action int, duration float64) {
 // builds the parsimonious initial design.
 func (g *GPStrategy) computeBoundAndInit() {
 	g.boundSet = true
-	yAll := g.hist.mean[g.ctx.N]
+	// The reference duration is the first observation — normally the
+	// all-nodes default. Under a degraded platform the first action may
+	// have been clamped below ctx.N, in which case hist.mean[ctx.N]
+	// would be a spurious zero and the bound would prune every action.
+	yAll := g.hist.ys[0]
 	useBound := g.variant == VariantDiscontinuous && !g.opt.DisableBound &&
 		g.ctx.LP != nil
 	for n := g.ctx.Min; n <= g.ctx.N; n++ {

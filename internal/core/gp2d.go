@@ -82,6 +82,10 @@ func (g *GP2D) Next2D() Action2D {
 
 // Observe2D records a measured duration.
 func (g *GP2D) Observe2D(a Action2D, duration float64) {
+	duration, ok := SanitizeObservation(duration)
+	if !ok {
+		return
+	}
 	g.xs = append(g.xs, []float64{float64(a.Gen), float64(a.Fact)})
 	g.ys = append(g.ys, duration)
 	g.seen[a]++

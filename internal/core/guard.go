@@ -1,0 +1,24 @@
+package core
+
+import "math"
+
+// SanitizeObservation guards a measured iteration duration before it
+// reaches a strategy's statistics. Real measurement pipelines produce
+// garbage under faults — a timed-out probe reported as +Inf, a NaN from
+// a dead collector, a negative duration from clock skew across a node
+// restart — and a single such value silently corrupts running means,
+// GP posteriors and bandit rewards. Non-finite values are rejected
+// (ok = false: drop the sample); finite negative values are clamped to
+// zero (the measurement happened, its magnitude is untrustworthy).
+//
+// Every Strategy.Observe in this package filters through this guard, so
+// a strategy can be fed raw, unvalidated measurements safely.
+func SanitizeObservation(d float64) (float64, bool) {
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return 0, false
+	}
+	if d < 0 {
+		return 0, true
+	}
+	return d, true
+}

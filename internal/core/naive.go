@@ -54,6 +54,10 @@ func (d *DC) Next() int {
 
 // Observe implements Strategy.
 func (d *DC) Observe(action int, duration float64) {
+	duration, ok := SanitizeObservation(duration)
+	if !ok {
+		return
+	}
 	d.hist.observe(action, duration)
 	if d.done || len(d.pending) == 0 || action != d.pending[0] {
 		return
@@ -113,6 +117,10 @@ func (r *RightLeft) histBest() int {
 
 // Observe implements Strategy.
 func (r *RightLeft) Observe(action int, duration float64) {
+	duration, ok := SanitizeObservation(duration)
+	if !ok {
+		return
+	}
 	if r.hist == nil {
 		r.hist = newHistory()
 	}

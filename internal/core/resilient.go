@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the Resilient strategy wrapper: the robustness
+// layer the paper's conclusion calls for when the platform is not the
+// stationary object the tuner assumed. It composes three mechanisms
+// around any inner Strategy:
+//
+//   - a median/MAD outlier filter, so a single pathological measurement
+//     (a retried iteration, a transient network hiccup) never corrupts
+//     the inner model;
+//   - a two-sided Page–Hinkley change-point detector on per-action
+//     residuals, so a persistent shift in the duration curve — a node
+//     crash, a lasting slowdown — is recognized and the inner strategy
+//     is rebuilt from scratch instead of averaging two incompatible
+//     platforms;
+//   - graceful shrink/grow of the action space: when the caller learns
+//     the platform changed (PlatformChanged), the inner strategy is
+//     rebuilt against the new Context, so proposals never target nodes
+//     that no longer exist.
+
+// PlatformAware is implemented by strategies that accept an explicit
+// platform-change notification with the new tuning context.
+type PlatformAware interface {
+	PlatformChanged(ctx Context)
+}
+
+// ResilientOptions tunes the wrapper; the zero value gives usable
+// defaults.
+type ResilientOptions struct {
+	// FilterWindow is how many recent residuals feed the median/MAD
+	// scale estimate (default 15).
+	FilterWindow int
+	// FilterK rejects an observation whose residual exceeds K robust
+	// standard deviations (default 6).
+	FilterK float64
+	// PHDelta is the Page–Hinkley drift tolerance in robust-sd units
+	// (default 0.3): shifts smaller than this are absorbed, not
+	// detected.
+	PHDelta float64
+	// PHLambda is the Page–Hinkley firing threshold in robust-sd units
+	// (default 12).
+	PHLambda float64
+	// MinSamples is how many residuals must accumulate before the
+	// filter or the detector may act (default 10) — the MAD scale
+	// estimate is garbage on a near-empty window.
+	MinSamples int
+	// Cooldown disables filtering and detection for this many
+	// observations after a reset, while the rebuilt strategy explores
+	// and new baselines form (default 8).
+	Cooldown int
+}
+
+func (o *ResilientOptions) setDefaults() {
+	if o.FilterWindow <= 0 {
+		o.FilterWindow = 15
+	}
+	if o.FilterK <= 0 {
+		o.FilterK = 6
+	}
+	if o.PHDelta <= 0 {
+		o.PHDelta = 0.3
+	}
+	if o.PHLambda <= 0 {
+		o.PHLambda = 12
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 10
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 8
+	}
+}
+
+// ResetEvent records one rebuild of the inner strategy.
+type ResetEvent struct {
+	// Observation is the 1-based count of accepted-or-rejected
+	// observations at which the reset happened.
+	Observation int
+	// Reason is "change-point" (the detector fired) or "platform" (the
+	// caller notified a platform change).
+	Reason string
+	// Stat is the Page–Hinkley statistic at firing (0 for platform
+	// notifications).
+	Stat float64
+}
+
+// Resilient wraps an inner Strategy built by a factory and shields it
+// from faulty measurements and platform changes.
+type Resilient struct {
+	ctx     Context
+	factory func(Context) Strategy
+	opt     ResilientOptions
+	inner   Strategy
+
+	obs      int // observations seen (accepted or rejected)
+	count    map[int]int
+	mean     map[int]float64
+	scale    float64   // running mean |duration|, floors the robust sd
+	resid    []float64 // recent residuals (FilterWindow)
+	nResid   int       // residuals seen since last reset
+	nDetect  int       // residuals the detector has consumed
+	zMean    float64   // running mean of normalized residuals
+	phPos    float64   // Page–Hinkley cumulative sums
+	phMinPos float64
+	phNeg    float64
+	phMaxNeg float64
+	cooldown int
+	rejected int
+	resets   []ResetEvent
+}
+
+// NewResilient wraps the strategies the factory builds. The factory is
+// called once immediately and once per reset, so the inner strategy
+// must be cheap to construct.
+func NewResilient(ctx Context, opt ResilientOptions, factory func(Context) Strategy) *Resilient {
+	if err := ctx.Validate(); err != nil {
+		panic(err)
+	}
+	if factory == nil {
+		panic("core: NewResilient needs a strategy factory")
+	}
+	opt.setDefaults()
+	r := &Resilient{factory: factory, opt: opt}
+	r.rebuild(ctx)
+	r.cooldown = 0 // nothing to cool down from at construction
+	return r
+}
+
+// rebuild replaces the inner strategy and clears every baseline and
+// detector accumulator — statistics of the old platform must not leak
+// into the model of the new one.
+func (r *Resilient) rebuild(ctx Context) {
+	r.ctx = ctx
+	r.inner = r.factory(ctx)
+	r.count = map[int]int{}
+	r.mean = map[int]float64{}
+	r.resid = nil
+	r.nResid = 0
+	r.nDetect = 0
+	r.zMean = 0
+	r.phPos, r.phMinPos, r.phNeg, r.phMaxNeg = 0, 0, 0, 0
+	r.cooldown = r.opt.Cooldown
+}
+
+// Name implements Strategy.
+func (r *Resilient) Name() string { return "Resilient(" + r.inner.Name() + ")" }
+
+// Next implements Strategy; the inner proposal is clamped to the
+// current action space as a last defense (a correctly rebuilt inner
+// strategy never needs it).
+func (r *Resilient) Next() int {
+	a := r.inner.Next()
+	if a < r.ctx.Min {
+		a = r.ctx.Min
+	}
+	if a > r.ctx.N {
+		a = r.ctx.N
+	}
+	return a
+}
+
+// PlatformChanged implements PlatformAware: the action space shrank or
+// grew (ctx.N, groups, LP bound changed), so the inner strategy is
+// rebuilt against the new context.
+func (r *Resilient) PlatformChanged(ctx Context) {
+	if err := ctx.Validate(); err != nil {
+		panic(err)
+	}
+	r.resets = append(r.resets, ResetEvent{Observation: r.obs, Reason: "platform"})
+	r.rebuild(ctx)
+}
+
+// Resets returns the recorded rebuild events.
+func (r *Resilient) Resets() []ResetEvent { return append([]ResetEvent(nil), r.resets...) }
+
+// RejectedOutliers returns how many observations the filter dropped.
+func (r *Resilient) RejectedOutliers() int { return r.rejected }
+
+// Inner exposes the current inner strategy (diagnostics and tests).
+func (r *Resilient) Inner() Strategy { return r.inner }
+
+// Observe implements Strategy.
+func (r *Resilient) Observe(action int, duration float64) {
+	duration, ok := SanitizeObservation(duration)
+	if !ok {
+		return
+	}
+	r.obs++
+	if r.cooldown > 0 {
+		r.cooldown--
+	}
+	r.scale += (math.Abs(duration) - r.scale) / float64(r.obs)
+
+	// First sight of an action: it only establishes a baseline; there
+	// is no residual to judge.
+	if r.count[action] == 0 {
+		r.accept(action, duration)
+		return
+	}
+
+	res := duration - r.mean[action]
+	s := r.robustSD() // from the window *before* this residual joins it
+	// The filter and the detector stay disarmed until the window holds
+	// enough residuals for the MAD scale to be trustworthy.
+	armed := r.cooldown == 0 && r.nResid >= r.opt.MinSamples
+	outlier := armed && math.Abs(res) > r.opt.FilterK*s
+	if outlier {
+		r.rejected++
+	}
+	r.pushResid(res)
+
+	// The detector consumes every armed residual, rejected ones
+	// included: a persistent platform shift looks exactly like a run of
+	// outliers, and it is the detector's job — not the filter's — to
+	// tell a glitch from a regime change.
+	if armed {
+		if stat, fired := r.detect(res, s); fired {
+			r.resets = append(r.resets, ResetEvent{
+				Observation: r.obs, Reason: "change-point", Stat: stat,
+			})
+			r.rebuild(r.ctx)
+			// The observation that revealed the new regime seeds it.
+			r.accept(action, duration)
+			return
+		}
+	}
+	if outlier {
+		return
+	}
+	r.accept(action, duration)
+}
+
+// accept records the observation in the wrapper's baselines and forwards
+// it to the inner strategy.
+func (r *Resilient) accept(action int, duration float64) {
+	n := r.count[action] + 1
+	r.count[action] = n
+	r.mean[action] += (duration - r.mean[action]) / float64(n)
+	r.inner.Observe(action, duration)
+}
+
+func (r *Resilient) pushResid(res float64) {
+	r.nResid++
+	r.resid = append(r.resid, res)
+	if len(r.resid) > r.opt.FilterWindow {
+		r.resid = r.resid[1:]
+	}
+}
+
+// robustSD estimates the residual scale as 1.4826*MAD over the recent
+// window, floored by a fraction of the typical duration so that a
+// near-deterministic stream does not turn floating-point dust into
+// detections.
+func (r *Resilient) robustSD() float64 {
+	floor := 1e-6*r.scale + 1e-12
+	if len(r.resid) < 2 {
+		return math.Max(1, floor)
+	}
+	med := median(r.resid)
+	dev := make([]float64, len(r.resid))
+	for i, v := range r.resid {
+		dev[i] = math.Abs(v - med)
+	}
+	return math.Max(1.4826*median(dev), floor)
+}
+
+// detect runs the two-sided Page–Hinkley test on the normalized
+// residual and reports (statistic, fired). The residual is winsorized
+// at ±FilterK robust sds so one wild spike cannot fire the detector by
+// itself — only a *run* of shifted observations can, which is exactly
+// what separates a glitch from a regime change.
+func (r *Resilient) detect(res, s float64) (float64, bool) {
+	z := res / s
+	if z > r.opt.FilterK {
+		z = r.opt.FilterK
+	} else if z < -r.opt.FilterK {
+		z = -r.opt.FilterK
+	}
+	r.nDetect++
+	r.zMean += (z - r.zMean) / float64(r.nDetect)
+	r.phPos += z - r.zMean - r.opt.PHDelta
+	if r.phPos < r.phMinPos {
+		r.phMinPos = r.phPos
+	}
+	r.phNeg += z - r.zMean + r.opt.PHDelta
+	if r.phNeg > r.phMaxNeg {
+		r.phMaxNeg = r.phNeg
+	}
+	stat := math.Max(r.phPos-r.phMinPos, r.phMaxNeg-r.phNeg)
+	return stat, stat > r.opt.PHLambda
+}
+
+func median(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return 0.5 * (tmp[n/2-1] + tmp[n/2])
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"phasetune/internal/stats"
+)
+
+func TestSanitizeObservation(t *testing.T) {
+	cases := []struct {
+		in  float64
+		out float64
+		ok  bool
+	}{
+		{1.5, 1.5, true},
+		{0, 0, true},
+		{-3, 0, true},
+		{math.NaN(), 0, false},
+		{math.Inf(1), 0, false},
+		{math.Inf(-1), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := SanitizeObservation(c.in)
+		if got != c.out || ok != c.ok {
+			t.Errorf("SanitizeObservation(%v) = (%v, %v), want (%v, %v)",
+				c.in, got, ok, c.out, c.ok)
+		}
+	}
+}
+
+// TestGuardShieldsEveryStrategy floods every strategy with garbage
+// measurements and checks they neither panic nor leave the action
+// space.
+func TestGuardShieldsEveryStrategy(t *testing.T) {
+	ctx := Context{N: 10, Min: 1, GroupSizes: []int{4, 6},
+		LP: func(n int) float64 { return 20 / float64(n) }}
+	builders := map[string]func() Strategy{
+		"DC":         func() Strategy { return NewDC(ctx) },
+		"Right-Left": func() Strategy { return NewRightLeft(ctx) },
+		"UCB":        func() Strategy { return NewUCB(ctx, 0) },
+		"UCB-struct": func() Strategy { return NewUCBStruct(ctx, 0) },
+		"GP-UCB":     func() Strategy { return NewGPUCB(ctx, GPOptions{}) },
+		"GP-disc":    func() Strategy { return NewGPDiscontinuous(ctx, GPOptions{}) },
+		"SANN":       func() Strategy { return NewSANN(ctx, 30, 1) },
+		"SPSA":       func() Strategy { return NewSPSA(ctx, 30, 1) },
+		"Resilient": func() Strategy {
+			return NewResilient(ctx, ResilientOptions{},
+				func(c Context) Strategy { return NewUCB(c, 0) })
+		},
+	}
+	for name, build := range builders {
+		s := build()
+		for i := 0; i < 30; i++ {
+			a := s.Next()
+			if a < ctx.Min || a > ctx.N {
+				t.Fatalf("%s: proposed %d outside [%d, %d]", name, a, ctx.Min, ctx.N)
+			}
+			switch i % 4 {
+			case 0:
+				s.Observe(a, math.NaN())
+				// A rejected observation must not advance the strategy's
+				// internal protocol: the re-proposal stays in range.
+				if b := s.Next(); b < ctx.Min || b > ctx.N {
+					t.Fatalf("%s: proposed %d after NaN", name, b)
+				}
+				s.Observe(a, 10+float64(a))
+			case 1:
+				s.Observe(a, math.Inf(1))
+				s.Observe(a, 10+float64(a))
+			case 2:
+				s.Observe(a, -5) // clamps to 0
+			default:
+				s.Observe(a, 10+float64(a))
+			}
+		}
+	}
+}
+
+// TestRightLeftIgnoresNaNStep pins the guard's behavioral contract on
+// the most fragile strategy: a NaN comparison would silently stop the
+// right-to-left walk.
+func TestRightLeftIgnoresNaNStep(t *testing.T) {
+	ctx := Context{N: 5, Min: 1}
+	r := NewRightLeft(ctx)
+	if a := r.Next(); a != 5 {
+		t.Fatalf("first action %d", a)
+	}
+	r.Observe(5, math.NaN())
+	if a := r.Next(); a != 5 {
+		t.Fatalf("NaN must not advance the walk, got %d", a)
+	}
+	r.Observe(5, 10)
+	if a := r.Next(); a != 4 {
+		t.Fatalf("walk should step to 4, got %d", a)
+	}
+}
+
+func resilientUCB(ctx Context) *Resilient {
+	return NewResilient(ctx, ResilientOptions{},
+		func(c Context) Strategy { return NewUCB(c, 0) })
+}
+
+// TestResilientDetectsShift: a persistent level shift in the duration
+// curve (what a crash or lasting slowdown does) must fire the
+// change-point detector within a handful of observations and rebuild
+// the inner strategy.
+func TestResilientDetectsShift(t *testing.T) {
+	ctx := Context{N: 10, Min: 1}
+	r := resilientUCB(ctx)
+	rng := stats.NewRNG(7)
+	f := func(a int) float64 { return 10 + math.Abs(float64(a)-6) }
+	for i := 0; i < 60; i++ {
+		a := r.Next()
+		r.Observe(a, f(a)+rng.Normal(0, 0.3))
+	}
+	if n := len(r.Resets()); n != 0 {
+		t.Fatalf("stationary phase produced %d resets", n)
+	}
+	shiftAt := r.obs
+	fired := -1
+	for i := 0; i < 15; i++ {
+		a := r.Next()
+		r.Observe(a, f(a)+8+rng.Normal(0, 0.3)) // platform degraded
+		if rs := r.Resets(); len(rs) > 0 {
+			fired = rs[0].Observation - shiftAt
+			if rs[0].Reason != "change-point" || rs[0].Stat <= 0 {
+				t.Fatalf("unexpected reset %+v", rs[0])
+			}
+			break
+		}
+	}
+	if fired < 0 || fired > 10 {
+		t.Fatalf("detector fired after %d observations, want within 10", fired)
+	}
+}
+
+// TestResilientStationaryNoFalsePositives: plain measurement noise must
+// not trigger resets.
+func TestResilientStationaryNoFalsePositives(t *testing.T) {
+	ctx := Context{N: 14, Min: 1}
+	r := resilientUCB(ctx)
+	rng := stats.NewRNG(11)
+	for i := 0; i < 400; i++ {
+		a := r.Next()
+		r.Observe(a, 20-0.5*float64(a)+rng.Normal(0, 0.5))
+	}
+	if n := len(r.Resets()); n != 0 {
+		t.Fatalf("%d false change-points on a stationary stream", n)
+	}
+}
+
+// TestResilientRejectsIsolatedSpike: one pathological measurement is
+// filtered out without declaring a regime change.
+func TestResilientRejectsIsolatedSpike(t *testing.T) {
+	ctx := Context{N: 8, Min: 1}
+	r := resilientUCB(ctx)
+	rng := stats.NewRNG(3)
+	f := func(a int) float64 { return 12 - 0.3*float64(a) }
+	for i := 0; i < 50; i++ {
+		a := r.Next()
+		r.Observe(a, f(a)+rng.Normal(0, 0.2))
+	}
+	a := r.Next()
+	r.Observe(a, f(a)*40) // a wild spike (e.g. a timed-out retry)
+	if r.RejectedOutliers() != 1 {
+		t.Fatalf("rejected = %d, want 1", r.RejectedOutliers())
+	}
+	if n := len(r.Resets()); n != 0 {
+		t.Fatalf("an isolated spike fired %d resets", n)
+	}
+	// The spike never reached the inner bandit's statistics.
+	inner := r.Inner().(*UCBStrategy)
+	for _, arm := range inner.Arms() {
+		if m := inner.ucb.MeanReward(arm); m < -f(1)-5 {
+			t.Fatalf("arm %d mean reward %v corrupted by spike", arm, m)
+		}
+	}
+}
+
+// TestResilientPlatformChange: shrink and regrow the action space; the
+// inner strategy is rebuilt and proposals respect the new bounds.
+func TestResilientPlatformChange(t *testing.T) {
+	ctx := Context{N: 14, Min: 1, GroupSizes: []int{2, 6, 6}}
+	r := NewResilient(ctx, ResilientOptions{}, func(c Context) Strategy {
+		return NewGPDiscontinuous(c, GPOptions{})
+	})
+	if !strings.Contains(r.Name(), "GP-discontinuous") {
+		t.Fatalf("name %q", r.Name())
+	}
+	rng := stats.NewRNG(5)
+	for i := 0; i < 20; i++ {
+		a := r.Next()
+		r.Observe(a, 15-0.4*float64(a)+rng.Normal(0, 0.3))
+	}
+	shrunk := Context{N: 8, Min: 1, GroupSizes: []int{2, 6}}
+	r.PlatformChanged(shrunk)
+	rs := r.Resets()
+	if len(rs) != 1 || rs[0].Reason != "platform" {
+		t.Fatalf("resets = %+v", rs)
+	}
+	for i := 0; i < 30; i++ {
+		a := r.Next()
+		if a < 1 || a > 8 {
+			t.Fatalf("proposal %d outside shrunken space", a)
+		}
+		r.Observe(a, 18-0.4*float64(a)+rng.Normal(0, 0.3))
+	}
+	r.PlatformChanged(ctx) // node came back
+	seen := map[int]bool{}
+	for i := 0; i < 40; i++ {
+		a := r.Next()
+		if a < 1 || a > 14 {
+			t.Fatalf("proposal %d outside regrown space", a)
+		}
+		seen[a] = true
+		r.Observe(a, 15-0.4*float64(a)+rng.Normal(0, 0.3))
+	}
+	grew := false
+	for a := range seen {
+		if a > 8 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("regrown space never explored beyond the shrunken bound")
+	}
+	var _ PlatformAware = r // compile-time interface check
+}

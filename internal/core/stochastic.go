@@ -69,6 +69,10 @@ func (d *funcDriven) Next() int {
 
 // Observe implements Strategy.
 func (d *funcDriven) Observe(action int, duration float64) {
+	duration, ok := SanitizeObservation(duration)
+	if !ok {
+		return // the optimizer keeps waiting; Next re-proposes the action
+	}
 	d.hist.observe(action, duration)
 	if d.waiting && action == d.pending {
 		d.waiting = false

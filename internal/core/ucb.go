@@ -60,6 +60,10 @@ func (u *UCBStrategy) Next() int { return u.ucb.Select() }
 
 // Observe implements Strategy.
 func (u *UCBStrategy) Observe(action int, duration float64) {
+	duration, ok := SanitizeObservation(duration)
+	if !ok {
+		return
+	}
 	u.ucb.Observe(action, -duration)
 }
 

@@ -1,0 +1,348 @@
+// Package faults models platform degradation for the online tuning
+// loop: a deterministic, seedable Plan of timed fault events — permanent
+// node crashes, transient outages, compute slowdowns, network bandwidth
+// degradation and observation jitter — and the time-varying view of a
+// platform.Scenario they induce. The paper's premise is that platforms
+// are never what you assume; this package makes that assumption
+// violable on purpose, so the strategies of internal/core can be tested
+// against the non-stationary conditions the paper's conclusion points
+// at.
+//
+// Events are timed on the online loop's iteration axis (the only clock
+// the tuner sees) with an optional Offset in simulated seconds for
+// faults that strike in the middle of an iteration — those are injected
+// into the task runtime (internal/taskrt) and produce the realistic
+// makespan spike of a mid-iteration failure.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"phasetune/internal/stats"
+)
+
+// Kind enumerates the fault taxonomy.
+type Kind int
+
+// Fault kinds.
+const (
+	// Crash permanently removes a node. Its unfinished work and lost
+	// data partition are re-executed on the survivors (see taskrt).
+	Crash Kind = iota
+	// Outage removes a node for Duration iterations, then restores it.
+	Outage
+	// Slowdown scales a node's compute speeds by Factor (< 1 is a
+	// degradation: thermal throttling, co-located load) for Duration
+	// iterations (0 = permanent).
+	Slowdown
+	// NetDegrade scales the fabric's NIC and backbone bandwidth by
+	// Factor for Duration iterations (0 = permanent).
+	NetDegrade
+	// Jitter adds zero-mean observation noise with standard deviation
+	// SD on top of the baseline noise for Duration iterations (0 =
+	// permanent). Jitter does not change the platform itself, so it
+	// does not advance the platform epoch.
+	Jitter
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Outage:
+		return "outage"
+	case Slowdown:
+		return "slowdown"
+	case NetDegrade:
+		return "net-degrade"
+	case Jitter:
+		return "jitter"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one timed fault.
+type Event struct {
+	// Iter is the online-loop iteration (0-based) at which the fault
+	// strikes.
+	Iter int
+	// Offset is the simulated time in seconds into iteration Iter at
+	// which the fault lands. Zero means the fault is in effect for the
+	// whole of iteration Iter; a positive offset means iteration Iter
+	// runs with a mid-iteration injection and the new platform state
+	// takes effect from iteration Iter+1.
+	Offset float64
+	// Node is the target platform node (original fastest-first index).
+	// It is ignored by NetDegrade and Jitter.
+	Node int
+	// Kind is the fault type.
+	Kind Kind
+	// Factor is the speed or bandwidth multiplier for Slowdown and
+	// NetDegrade (0 < Factor).
+	Factor float64
+	// SD is the extra observation-noise standard deviation for Jitter.
+	SD float64
+	// Duration is how many iterations the fault lasts; 0 means
+	// permanent. Outages are transient by definition: a zero Duration
+	// is treated as 1.
+	Duration int
+}
+
+// effIter returns the first iteration at which the event's state is in
+// effect (mid-iteration events change the state from the next
+// iteration).
+func (e Event) effIter() int {
+	if e.Offset > 0 {
+		return e.Iter + 1
+	}
+	return e.Iter
+}
+
+// activeAt reports whether the event's state applies at iteration it.
+func (e Event) activeAt(it int) bool {
+	start := e.effIter()
+	if it < start {
+		return false
+	}
+	dur := e.Duration
+	if e.Kind == Outage && dur <= 0 {
+		dur = 1
+	}
+	return dur <= 0 || it < start+dur
+}
+
+// String renders the event for trace annotations.
+func (e Event) String() string {
+	s := fmt.Sprintf("iter %d", e.Iter)
+	if e.Offset > 0 {
+		s += fmt.Sprintf("+%.2fs", e.Offset)
+	}
+	switch e.Kind {
+	case Crash:
+		return fmt.Sprintf("%s: node %d crashes", s, e.Node)
+	case Outage:
+		d := e.Duration
+		if d <= 0 {
+			d = 1
+		}
+		return fmt.Sprintf("%s: node %d out for %d iterations", s, e.Node, d)
+	case Slowdown:
+		return fmt.Sprintf("%s: node %d slows to %.2fx%s", s, e.Node, e.Factor, durStr(e.Duration))
+	case NetDegrade:
+		return fmt.Sprintf("%s: network degrades to %.2fx%s", s, e.Factor, durStr(e.Duration))
+	case Jitter:
+		return fmt.Sprintf("%s: observation jitter sd %.2fs%s", s, e.SD, durStr(e.Duration))
+	default:
+		return fmt.Sprintf("%s: %v", s, e.Kind)
+	}
+}
+
+func durStr(d int) string {
+	if d <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" for %d iterations", d)
+}
+
+// Plan is an ordered set of fault events. The zero value (or nil) is the
+// healthy platform.
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Validate checks the plan against a platform of n nodes.
+func (p *Plan) Validate(n int) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if e.Iter < 0 || e.Offset < 0 {
+			return fmt.Errorf("faults: event %d scheduled in the past", i)
+		}
+		switch e.Kind {
+		case Crash, Outage, Slowdown:
+			if e.Node < 0 || e.Node >= n {
+				return fmt.Errorf("faults: event %d targets unknown node %d", i, e.Node)
+			}
+		}
+		switch e.Kind {
+		case Slowdown, NetDegrade:
+			if e.Factor <= 0 {
+				return fmt.Errorf("faults: event %d needs a positive factor", i)
+			}
+		case Jitter:
+			if e.SD < 0 {
+				return fmt.Errorf("faults: event %d has negative jitter sd", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Strikes returns the events that land during iteration it with a
+// positive offset — the ones injected mid-run into the task runtime.
+func (p *Plan) Strikes(it int) []Event {
+	if p == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range p.Events {
+		if e.Iter == it && e.Offset > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// State is the platform view in effect at one iteration.
+type State struct {
+	// Epoch counts platform-state transitions so far (0 = pristine).
+	// Two iterations with equal epochs see the identical platform, so
+	// deterministic per-action memoization is sound within an epoch —
+	// and only within one.
+	Epoch int
+	// Alive flags each original node.
+	Alive []bool
+	// Speed is the compute speed factor of each original node (1 =
+	// nominal).
+	Speed []float64
+	// Bandwidth is the fabric bandwidth factor (1 = nominal).
+	Bandwidth float64
+	// JitterSD is the extra observation noise standard deviation.
+	JitterSD float64
+}
+
+// NumAlive returns the surviving node count.
+func (s State) NumAlive() int {
+	n := 0
+	for _, a := range s.Alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// StateAt folds the plan into the platform state in effect at iteration
+// it on an n-node platform. It is a pure function of (plan, it, n), so
+// every call with the same arguments yields the same view — the
+// determinism the epoch-keyed memoization and the regression tests rely
+// on.
+func (p *Plan) StateAt(it, n int) State {
+	st := State{
+		Alive:     make([]bool, n),
+		Speed:     make([]float64, n),
+		Bandwidth: 1,
+	}
+	for i := range st.Alive {
+		st.Alive[i] = true
+		st.Speed[i] = 1
+	}
+	if p == nil {
+		return st
+	}
+	// Epoch: count distinct platform-transition boundaries <= it. Each
+	// platform-affecting event opens a boundary at effIter and, when
+	// transient, closes one at effIter+Duration.
+	bounds := map[int]bool{}
+	for _, e := range p.Events {
+		if e.Kind == Jitter {
+			if e.activeAt(it) {
+				st.JitterSD += e.SD
+			}
+			continue
+		}
+		start := e.effIter()
+		if start <= it {
+			bounds[start] = true
+		}
+		dur := e.Duration
+		if e.Kind == Outage && dur <= 0 {
+			dur = 1
+		}
+		if dur > 0 && start+dur <= it {
+			bounds[start+dur] = true
+		}
+		if !e.activeAt(it) {
+			continue
+		}
+		switch e.Kind {
+		case Crash, Outage:
+			st.Alive[e.Node] = false
+		case Slowdown:
+			st.Speed[e.Node] *= e.Factor
+		case NetDegrade:
+			st.Bandwidth *= e.Factor
+		}
+	}
+	st.Epoch = len(bounds)
+	return st
+}
+
+// Random draws a seedable random plan over n nodes and iters
+// iterations. Intensity in (0, 1] scales how much goes wrong; the
+// generator never kills every node. Useful for property tests and
+// stress runs.
+func Random(seed int64, n, iters int, intensity float64) *Plan {
+	if intensity <= 0 {
+		intensity = 0.3
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	rng := stats.NewRNG(seed)
+	p := &Plan{}
+	// down counts every node-removal event (crash or outage); keeping
+	// it below n guarantees at least one survivor at every instant.
+	down := 0
+	nEvents := 1 + rng.Intn(1+int(float64(n)*intensity))
+	for i := 0; i < nEvents; i++ {
+		it := rng.Intn(iters)
+		node := rng.Intn(n)
+		switch rng.Intn(5) {
+		case 0:
+			if down >= n-1 {
+				continue
+			}
+			down++
+			p.Events = append(p.Events, Event{Iter: it, Node: node, Kind: Crash})
+		case 1:
+			if down >= n-1 {
+				continue
+			}
+			down++
+			p.Events = append(p.Events, Event{
+				Iter: it, Node: node, Kind: Outage,
+				Duration: 1 + rng.Intn(5),
+			})
+		case 2:
+			p.Events = append(p.Events, Event{
+				Iter: it, Node: node, Kind: Slowdown,
+				Factor:   0.2 + 0.7*rng.Float64(),
+				Duration: rng.Intn(2) * (1 + rng.Intn(10)),
+			})
+		case 3:
+			p.Events = append(p.Events, Event{
+				Iter: it, Kind: NetDegrade,
+				Factor:   0.3 + 0.6*rng.Float64(),
+				Duration: rng.Intn(2) * (1 + rng.Intn(10)),
+			})
+		default:
+			p.Events = append(p.Events, Event{
+				Iter: it, Kind: Jitter,
+				SD:       0.2 + rng.Float64(),
+				Duration: 1 + rng.Intn(10),
+			})
+		}
+	}
+	sort.SliceStable(p.Events, func(a, b int) bool {
+		return p.Events[a].Iter < p.Events[b].Iter
+	})
+	return p
+}

@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"phasetune/internal/platform"
+)
+
+func TestEmptyPlanIsPristine(t *testing.T) {
+	var p *Plan
+	st := p.StateAt(5, 3)
+	if st.Epoch != 0 || st.NumAlive() != 3 || st.Bandwidth != 1 || st.JitterSD != 0 {
+		t.Fatalf("pristine state = %+v", st)
+	}
+	for i, s := range st.Speed {
+		if s != 1 {
+			t.Fatalf("speed[%d] = %v", i, s)
+		}
+	}
+	if !p.Empty() {
+		t.Fatal("nil plan not empty")
+	}
+}
+
+func TestStateAtFoldsEvents(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Iter: 10, Node: 0, Kind: Crash},
+		{Iter: 20, Node: 1, Kind: Outage, Duration: 5},
+		{Iter: 30, Node: 2, Kind: Slowdown, Factor: 0.5, Duration: 11},
+		{Iter: 40, Kind: NetDegrade, Factor: 0.25},
+		{Iter: 50, Kind: Jitter, SD: 1.5, Duration: 3},
+	}}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		it       int
+		epoch    int
+		alive    []bool
+		speed2   float64
+		bw       float64
+		jitter   float64
+		numAlive int
+	}{
+		{0, 0, []bool{true, true, true, true}, 1, 1, 0, 4},
+		{10, 1, []bool{false, true, true, true}, 1, 1, 0, 3},
+		{22, 2, []bool{false, false, true, true}, 1, 1, 0, 2},
+		{25, 3, []bool{false, true, true, true}, 1, 1, 0, 3}, // outage over
+		{35, 4, []bool{false, true, true, true}, 0.5, 1, 0, 3},
+		{40, 5, []bool{false, true, true, true}, 0.5, 0.25, 0, 3},
+		{41, 6, []bool{false, true, true, true}, 1, 0.25, 0, 3}, // slowdown over
+		{51, 6, []bool{false, true, true, true}, 1, 0.25, 1.5, 3},
+		{53, 6, []bool{false, true, true, true}, 1, 0.25, 0, 3}, // jitter over, no epoch bump
+	}
+	for _, c := range cases {
+		st := p.StateAt(c.it, 4)
+		if st.Epoch != c.epoch {
+			t.Errorf("iter %d: epoch = %d, want %d", c.it, st.Epoch, c.epoch)
+		}
+		if !reflect.DeepEqual(st.Alive, c.alive) {
+			t.Errorf("iter %d: alive = %v, want %v", c.it, st.Alive, c.alive)
+		}
+		if st.Speed[2] != c.speed2 {
+			t.Errorf("iter %d: speed[2] = %v, want %v", c.it, st.Speed[2], c.speed2)
+		}
+		if st.Bandwidth != c.bw {
+			t.Errorf("iter %d: bandwidth = %v, want %v", c.it, st.Bandwidth, c.bw)
+		}
+		if st.JitterSD != c.jitter {
+			t.Errorf("iter %d: jitter = %v, want %v", c.it, st.JitterSD, c.jitter)
+		}
+		if st.NumAlive() != c.numAlive {
+			t.Errorf("iter %d: alive count = %d, want %d", c.it, st.NumAlive(), c.numAlive)
+		}
+	}
+}
+
+func TestMidIterationOffsetDelaysState(t *testing.T) {
+	p := &Plan{Events: []Event{{Iter: 7, Offset: 3.5, Node: 0, Kind: Crash}}}
+	if got := p.StateAt(7, 2); !got.Alive[0] {
+		t.Fatal("offset crash should not change the state of its own iteration")
+	}
+	if got := p.StateAt(8, 2); got.Alive[0] {
+		t.Fatal("offset crash must be in effect from the next iteration")
+	}
+	strikes := p.Strikes(7)
+	if len(strikes) != 1 || strikes[0].Node != 0 {
+		t.Fatalf("strikes = %v", strikes)
+	}
+	if len(p.Strikes(8)) != 0 {
+		t.Fatal("no strike expected at iteration 8")
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	bad := []*Plan{
+		{Events: []Event{{Iter: -1, Node: 0, Kind: Crash}}},
+		{Events: []Event{{Iter: 0, Node: 9, Kind: Crash}}},
+		{Events: []Event{{Iter: 0, Node: 0, Kind: Slowdown, Factor: 0}}},
+		{Events: []Event{{Iter: 0, Kind: NetDegrade, Factor: -2}}},
+		{Events: []Event{{Iter: 0, Kind: Jitter, SD: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("plan %d validated", i)
+		}
+	}
+}
+
+func TestRandomPlanIsDeterministicAndSurvivable(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		a := Random(seed, 5, 50, 0.8)
+		b := Random(seed, 5, 50, 0.8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+		if err := a.Validate(5); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for it := 0; it < 60; it++ {
+			if a.StateAt(it, 5).NumAlive() == 0 {
+				t.Fatalf("seed %d: no survivors at iter %d", seed, it)
+			}
+		}
+	}
+}
+
+func TestApplyStateDerivesScenario(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b") // G5K 2L-6M-6S, N=14
+	n := sc.Platform.N()
+
+	// Crash the two fastest nodes and halve the speed of the Mediums.
+	p := &Plan{Events: []Event{
+		{Iter: 0, Node: 0, Kind: Crash},
+		{Iter: 0, Node: 1, Kind: Crash},
+		{Iter: 2, Node: 2, Kind: Slowdown, Factor: 0.5},
+		{Iter: 2, Kind: NetDegrade, Factor: 0.5},
+	}}
+	st := p.StateAt(2, n)
+	v, err := ApplyState(sc, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := v.Scenario.Platform
+	if eff.N() != n-2 {
+		t.Fatalf("effective N = %d, want %d", eff.N(), n-2)
+	}
+	if len(v.EffToOrig) != n-2 {
+		t.Fatalf("mapping length %d", len(v.EffToOrig))
+	}
+	if v.OrigToEff[0] != -1 || v.OrigToEff[1] != -1 {
+		t.Fatal("dead nodes still mapped")
+	}
+	for e, o := range v.EffToOrig {
+		if v.OrigToEff[o] != e {
+			t.Fatalf("mapping mismatch at eff %d", e)
+		}
+	}
+	// Fastest-first must hold in the view.
+	speeds := eff.FactSpeeds()
+	for i := 1; i < len(speeds); i++ {
+		if speeds[i] > speeds[i-1] {
+			t.Fatalf("view not fastest-first: %v", speeds)
+		}
+	}
+	// Node 2 was a Medium (Chifflet, fact 2300); halved it is slower
+	// than the untouched Mediums but its class clone must not corrupt
+	// the shared Table II classes.
+	if platform.G5KChifflet.FactSpeed() != 700+2*800 {
+		t.Fatal("shared node class mutated")
+	}
+	if eff.Network.NICBandwidth != sc.Platform.Network.NICBandwidth*0.5 {
+		t.Fatal("bandwidth factor not applied")
+	}
+	// Groups still partition the nodes.
+	total := 0
+	for _, g := range eff.Groups {
+		total += g.Count
+	}
+	if total != eff.N() {
+		t.Fatalf("groups cover %d of %d nodes", total, eff.N())
+	}
+
+	// Killing everything fails cleanly.
+	all := &Plan{}
+	for i := 0; i < n; i++ {
+		all.Events = append(all.Events, Event{Iter: 0, Node: i, Kind: Crash})
+	}
+	if _, err := ApplyState(sc, all.StateAt(0, n)); err == nil {
+		t.Fatal("expected error with no survivors")
+	}
+}

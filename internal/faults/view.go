@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"phasetune/internal/platform"
+	"phasetune/internal/simnet"
+)
+
+// View is a platform.Scenario derived from a fault State: only the
+// surviving nodes, compute speeds scaled by the per-node factors, the
+// network scaled by the bandwidth factor, re-sorted fastest-first and
+// re-grouped — the platform the online loop actually runs on during the
+// state's epoch.
+type View struct {
+	Scenario platform.Scenario
+	// EffToOrig maps each effective node index (fastest-first among the
+	// survivors) to the original platform node index.
+	EffToOrig []int
+	// OrigToEff is the inverse mapping; -1 for dead nodes.
+	OrigToEff []int
+}
+
+// ApplyState derives the effective scenario a state induces on sc. It
+// fails when no node survives. Node classes are cloned before scaling so
+// the original scenario (and the shared Table II classes) are never
+// mutated.
+func ApplyState(sc platform.Scenario, st State) (View, error) {
+	p := sc.Platform
+	n := p.N()
+	if len(st.Alive) != n || len(st.Speed) != n {
+		return View{}, fmt.Errorf("faults: state over %d nodes applied to %d-node platform",
+			len(st.Alive), n)
+	}
+	var alive []int
+	for i := 0; i < n; i++ {
+		if st.Alive[i] {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return View{}, fmt.Errorf("faults: no surviving nodes")
+	}
+
+	scaled := func(i int) *platform.NodeClass {
+		c := *p.Nodes[i].Class
+		c.CPUSpeed *= st.Speed[i]
+		c.GPUSpeed *= st.Speed[i]
+		return &c
+	}
+	// Fastest-first among the survivors, stable on the original order
+	// (which is itself fastest-first), mirroring platform.Build.
+	sort.SliceStable(alive, func(a, b int) bool {
+		return scaled(alive[a]).FactSpeed() > scaled(alive[b]).FactSpeed()
+	})
+
+	bw := st.Bandwidth
+	if bw <= 0 {
+		bw = 1
+	}
+	net := simnet.Topology{
+		NICBandwidth:      p.Network.NICBandwidth * bw,
+		BackboneBandwidth: p.Network.BackboneBandwidth * bw,
+		Latency:           p.Network.Latency,
+	}
+
+	eff := &platform.Platform{
+		Name:    fmt.Sprintf("%s [epoch %d, %d/%d nodes]", p.Name, st.Epoch, len(alive), n),
+		Network: net,
+	}
+	// Group maximal runs of survivors sharing class and speed factor so
+	// the homogeneous-group structure (GP dummies, UCB-struct arms)
+	// survives the view.
+	for i := 0; i < len(alive); {
+		j := i
+		for j < len(alive) &&
+			p.Nodes[alive[j]].Class == p.Nodes[alive[i]].Class &&
+			st.Speed[alive[j]] == st.Speed[alive[i]] {
+			j++
+		}
+		cls := scaled(alive[i])
+		for k := i; k < j; k++ {
+			eff.Nodes = append(eff.Nodes, platform.Node{ID: k, Class: cls})
+		}
+		eff.Groups = append(eff.Groups, platform.Group{Class: cls, Start: i, Count: j - i})
+		i = j
+	}
+
+	minNodes := sc.MinNodes
+	if minNodes > len(alive) {
+		minNodes = len(alive)
+	}
+	if minNodes < 1 {
+		minNodes = 1
+	}
+	v := View{
+		Scenario: platform.Scenario{
+			Key:      sc.Key,
+			Name:     eff.Name,
+			Platform: eff,
+			Workload: sc.Workload,
+			MinNodes: minNodes,
+		},
+		EffToOrig: alive,
+		OrigToEff: make([]int, n),
+	}
+	for i := range v.OrigToEff {
+		v.OrigToEff[i] = -1
+	}
+	for e, o := range alive {
+		v.OrigToEff[o] = e
+	}
+	return v, nil
+}

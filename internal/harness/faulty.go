@@ -1,0 +1,290 @@
+package harness
+
+import (
+	"fmt"
+
+	"phasetune/internal/core"
+	"phasetune/internal/faults"
+	"phasetune/internal/platform"
+	"phasetune/internal/stats"
+	"phasetune/internal/taskrt"
+)
+
+// jitterSeedSalt decorrelates the jitter noise stream from the baseline
+// observation noise. The jitter RNG is only ever consumed while a
+// Jitter fault is active, so an empty plan leaves the baseline stream —
+// and therefore every observed duration — bit-for-bit identical to
+// RunOnline's.
+const jitterSeedSalt = 0x6A177E5
+
+// FaultyOptions configures the resilient online loop.
+type FaultyOptions struct {
+	// Plan is the fault schedule (nil or empty = healthy platform).
+	Plan *faults.Plan
+	// IterTimeout, when positive, caps one iteration attempt in
+	// simulated seconds: an attempt whose makespan exceeds it is
+	// aborted at the cap and retried.
+	IterTimeout float64
+	// MaxRetries bounds the retries after a timed-out attempt
+	// (default 2; only meaningful with IterTimeout set).
+	MaxRetries int
+	// Backoff is the simulated wait in seconds charged before each
+	// retry (default 1).
+	Backoff float64
+}
+
+func (o *FaultyOptions) setDefaults() {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 1
+	}
+}
+
+// FaultyResult extends OnlineResult with the fault bookkeeping.
+type FaultyResult struct {
+	OnlineResult
+	// Epochs is the platform epoch each iteration ran under.
+	Epochs []int
+	// AliveN is the surviving node count each iteration saw.
+	AliveN []int
+	// Recovered is the total number of task executions the runtime
+	// re-ran because of mid-iteration crashes.
+	Recovered int
+	// Retries counts iteration attempts beyond the first.
+	Retries int
+	// TimedOut counts attempts that hit IterTimeout.
+	TimedOut int
+	// Annotations is the human-readable fault trace, in order.
+	Annotations []string
+}
+
+// identityView wraps the unmodified scenario as an epoch-0 view.
+func identityView(sc platform.Scenario) faults.View {
+	n := sc.Platform.N()
+	v := faults.View{
+		Scenario:  sc,
+		EffToOrig: make([]int, n),
+		OrigToEff: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		v.EffToOrig[i] = i
+		v.OrigToEff[i] = i
+	}
+	return v
+}
+
+// RunOnlineFaulty executes the closed online-tuning loop of RunOnline
+// under a fault plan. Each iteration runs on the platform view of its
+// epoch; makespans are memoized per (epoch, action) — never across a
+// platform transition, which is the stale-memo bug this function fixes.
+// Mid-iteration strikes bypass the memo entirely and are injected into
+// the task runtime, which recovers by re-executing lost work on the
+// survivors. Iterations exceeding IterTimeout are retried with backoff,
+// the wasted time charged to the observed duration. When the platform
+// epoch changes, PlatformAware strategies are notified with a fresh
+// context (surviving node count, regrouped machine groups, recomputed
+// LP bound).
+//
+// With an empty plan the loop is bit-for-bit identical to RunOnline for
+// the same seed.
+func RunOnlineFaulty(sc platform.Scenario, s core.Strategy, iterations int,
+	opts SimOptions, fopts FaultyOptions, seed int64) (FaultyResult, error) {
+
+	n0 := sc.Platform.N()
+	plan := fopts.Plan
+	if err := plan.Validate(n0); err != nil {
+		return FaultyResult{}, err
+	}
+	fopts.setDefaults()
+
+	rng := stats.NewRNG(seed)
+	jrng := stats.NewRNG(seed ^ jitterSeedSalt)
+	type memoKey struct{ epoch, action int }
+	memo := map[memoKey]float64{}
+
+	var res FaultyResult
+	view := identityView(sc)
+	curEpoch := -1
+	for it := 0; it < iterations; it++ {
+		st := plan.StateAt(it, n0)
+		if st.Epoch != curEpoch {
+			if st.Epoch == 0 {
+				view = identityView(sc)
+			} else {
+				v, err := faults.ApplyState(sc, st)
+				if err != nil {
+					return res, err
+				}
+				view = v
+			}
+			// The strategy was constructed against the initial platform;
+			// notify it of every later transition (including a degraded
+			// state already in force at iteration 0).
+			if curEpoch >= 0 || st.Epoch != 0 {
+				if pa, ok := s.(core.PlatformAware); ok {
+					lpf, err := LPBound(view.Scenario, opts)
+					if err != nil {
+						return res, err
+					}
+					pa.PlatformChanged(core.Context{
+						N:          view.Scenario.Platform.N(),
+						Min:        view.Scenario.MinNodes,
+						GroupSizes: view.Scenario.Platform.GroupSizes(),
+						LP:         lpf,
+					})
+					res.Annotations = append(res.Annotations, fmt.Sprintf(
+						"iter %d: strategy notified of platform change", it))
+				}
+				res.Annotations = append(res.Annotations, fmt.Sprintf(
+					"iter %d: epoch %d, %d/%d nodes alive, bandwidth %.2fx",
+					it, st.Epoch, st.NumAlive(), n0, st.Bandwidth))
+			}
+			curEpoch = st.Epoch
+		}
+		if plan != nil {
+			for _, e := range plan.Events {
+				if e.Iter == it {
+					res.Annotations = append(res.Annotations, e.String())
+				}
+			}
+		}
+
+		effN := view.Scenario.Platform.N()
+		n := s.Next()
+		if n > effN && n <= n0 {
+			// The strategy believes in nodes that no longer exist; run —
+			// and observe — at the clamped action instead. Proposals that
+			// were invalid even on the healthy platform keep surfacing an
+			// error below, as RunOnline always did.
+			n = effN
+		}
+
+		strikes := plan.Strikes(it)
+		var mk float64
+		if len(strikes) == 0 {
+			key := memoKey{curEpoch, n}
+			v, ok := memo[key]
+			if !ok {
+				var err error
+				v, err = SimulateIteration(view.Scenario, n, opts)
+				if err != nil {
+					return res, err
+				}
+				memo[key] = v
+			}
+			mk = v
+		} else {
+			// A fault lands mid-iteration: inject it into the runtime and
+			// pay the recovery spike. Never memoized — this makespan
+			// belongs to no epoch.
+			var rec int
+			var err error
+			mk, rec, err = simulateIteration(view.Scenario, n, opts,
+				func(rt *taskrt.Runtime) { injectStrikes(rt, strikes, view) })
+			if err != nil {
+				return res, err
+			}
+			res.Recovered += rec
+		}
+
+		// Timeout/retry: a timed-out attempt costs the cap plus backoff;
+		// the retry runs on the post-strike platform (the fault already
+		// happened) without re-injecting it.
+		total := mk
+		if fopts.IterTimeout > 0 && mk > fopts.IterTimeout {
+			total = 0
+			attempt := mk
+			for k := 0; ; k++ {
+				if attempt <= fopts.IterTimeout {
+					total += attempt
+					break
+				}
+				res.TimedOut++
+				total += fopts.IterTimeout + fopts.Backoff
+				if k >= fopts.MaxRetries {
+					// Out of retries: let the final attempt run to
+					// completion, however slow.
+					total += attempt
+					break
+				}
+				res.Retries++
+				var err error
+				attempt, err = retryAttempt(sc, plan, it, n, opts, len(strikes) > 0, view)
+				if err != nil {
+					return res, err
+				}
+			}
+		}
+
+		d := total + rng.Normal(0, NoiseSD)
+		if st.JitterSD > 0 {
+			d += jrng.Normal(0, st.JitterSD)
+		}
+		if d < 0.01 {
+			d = 0.01
+		}
+		s.Observe(n, d)
+		res.Actions = append(res.Actions, n)
+		res.Durations = append(res.Durations, d)
+		res.Total += d
+		res.Epochs = append(res.Epochs, curEpoch)
+		res.AliveN = append(res.AliveN, effN)
+	}
+	return res, nil
+}
+
+// injectStrikes schedules the mid-iteration events on the runtime,
+// translating original node indices to the current view. Node faults on
+// already-dead nodes are dropped; a crash is only injected while it
+// leaves at least one simulated node alive (the iteration must still
+// complete — the next epoch's view handles total loss as an error).
+// NetDegrade and Jitter have no mid-run effect on the runtime: they take
+// hold from the next iteration's state.
+func injectStrikes(rt *taskrt.Runtime, strikes []faults.Event, view faults.View) {
+	alive := view.Scenario.Platform.N()
+	for _, e := range strikes {
+		eff := -1
+		if e.Node >= 0 && e.Node < len(view.OrigToEff) {
+			eff = view.OrigToEff[e.Node]
+		}
+		switch e.Kind {
+		case faults.Crash, faults.Outage:
+			if eff >= 0 && alive > 1 {
+				rt.InjectCrash(eff, e.Offset)
+				alive--
+			}
+		case faults.Slowdown:
+			if eff >= 0 {
+				rt.InjectSpeedFactor(eff, e.Offset, e.Factor)
+			}
+		}
+	}
+}
+
+// retryAttempt re-runs a timed-out iteration. When the timeout was
+// caused by a mid-iteration strike, the retry runs on the post-strike
+// platform — the fault already happened and is not re-injected.
+func retryAttempt(sc platform.Scenario, plan *faults.Plan, it, n int,
+	opts SimOptions, struck bool, view faults.View) (float64, error) {
+
+	rv := view
+	if struck {
+		st := plan.StateAt(it+1, sc.Platform.N())
+		if st.Epoch == 0 {
+			rv = identityView(sc)
+		} else {
+			v, err := faults.ApplyState(sc, st)
+			if err != nil {
+				return 0, err
+			}
+			rv = v
+		}
+	}
+	if effN := rv.Scenario.Platform.N(); n > effN {
+		n = effN
+	}
+	mk, _, err := simulateIteration(rv.Scenario, n, opts, nil)
+	return mk, err
+}

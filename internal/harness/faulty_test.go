@@ -1,0 +1,412 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"phasetune/internal/core"
+	"phasetune/internal/faults"
+	"phasetune/internal/platform"
+	"phasetune/internal/stats"
+)
+
+// constStrategy always proposes the same action — it isolates the
+// harness mechanics from strategy behavior.
+type constStrategy int
+
+func (constStrategy) Name() string         { return "const" }
+func (c constStrategy) Next() int          { return int(c) }
+func (constStrategy) Observe(int, float64) {}
+
+// hideAware masks PlatformAware, leaving only the change-point detector
+// to react to faults.
+type hideAware struct{ s core.Strategy }
+
+func (h hideAware) Name() string             { return h.s.Name() }
+func (h hideAware) Next() int                { return h.s.Next() }
+func (h hideAware) Observe(a int, d float64) { h.s.Observe(a, d) }
+
+// TestFaultyEmptyPlanBitForBit is the satellite regression test: with an
+// empty plan, RunOnlineFaulty must be bit-for-bit identical to the
+// original RunOnline loop — same RNG consumption, same memoization
+// effect, same floor — reproduced inline here as the reference.
+func TestFaultyEmptyPlanBitForBit(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	opts := SimOptions{Tiles: 16}
+	const iters, seed = 25, 42
+
+	curve, err := ComputeCurve(sc, CurveOptions{Sim: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewGPDiscontinuous(curve.Context(), core.GPOptions{})
+	rng := stats.NewRNG(seed)
+	memo := map[int]float64{}
+	var wantA []int
+	var wantD []float64
+	for i := 0; i < iters; i++ {
+		n := ref.Next()
+		mk, ok := memo[n]
+		if !ok {
+			var err error
+			mk, err = SimulateIteration(sc, n, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memo[n] = mk
+		}
+		d := mk + rng.Normal(0, NoiseSD)
+		if d < 0.01 {
+			d = 0.01
+		}
+		ref.Observe(n, d)
+		wantA = append(wantA, n)
+		wantD = append(wantD, d)
+	}
+
+	s := core.NewGPDiscontinuous(curve.Context(), core.GPOptions{})
+	got, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantD {
+		if got.Actions[i] != wantA[i] || got.Durations[i] != wantD[i] {
+			t.Fatalf("iter %d: (%d, %v) != reference (%d, %v)",
+				i, got.Actions[i], got.Durations[i], wantA[i], wantD[i])
+		}
+	}
+	if got.Recovered != 0 || got.Retries != 0 || len(got.Annotations) != 0 {
+		t.Fatalf("empty plan left traces: %+v", got)
+	}
+	for i, e := range got.Epochs {
+		if e != 0 {
+			t.Fatalf("iter %d: epoch %d under empty plan", i, e)
+		}
+	}
+
+	// And RunOnline itself returns exactly that result.
+	s2 := core.NewGPDiscontinuous(curve.Context(), core.GPOptions{})
+	on, err := RunOnline(sc, s2, iters, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantD {
+		if on.Actions[i] != wantA[i] || on.Durations[i] != wantD[i] {
+			t.Fatalf("RunOnline diverged at iter %d", i)
+		}
+	}
+}
+
+// TestFaultyEpochMemoInvalidation pins the stale-memo fix: a transient
+// slowdown must change the observed durations while active and — the
+// part the per-action memo used to get wrong — restore the original
+// durations bit-for-bit once it ends.
+func TestFaultyEpochMemoInvalidation(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	opts := SimOptions{Tiles: 16}
+	const iters, seed = 30, 7
+	s := constStrategy(12)
+
+	clean, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: 10, Node: 2, Kind: faults.Slowdown, Factor: 0.5, Duration: 10},
+	}}
+	faulty, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{Plan: plan}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		// Inside the window the makespan must change; strict "slower" would
+		// be unsound — list scheduling can speed up when a node slows down
+		// (Graham anomalies, see taskrt/recovery_test.go).
+		in := i >= 10 && i < 20
+		if in && faulty.Durations[i] == clean.Durations[i] {
+			t.Fatalf("iter %d: slowdown had no effect", i)
+		}
+		if !in && faulty.Durations[i] != clean.Durations[i] {
+			t.Fatalf("iter %d: durations diverge outside the fault window: %v != %v",
+				i, faulty.Durations[i], clean.Durations[i])
+		}
+		wantEpoch := 0
+		if i >= 10 {
+			wantEpoch = 1
+		}
+		if i >= 20 {
+			wantEpoch = 2
+		}
+		if faulty.Epochs[i] != wantEpoch {
+			t.Fatalf("iter %d: epoch %d, want %d", i, faulty.Epochs[i], wantEpoch)
+		}
+	}
+}
+
+// TestFaultyOutageRestoresNode: a transient outage removes a node for a
+// few iterations and gives it back.
+func TestFaultyOutageRestoresNode(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	n0 := sc.Platform.N()
+	opts := SimOptions{Tiles: 16}
+	const iters, seed = 20, 3
+	s := constStrategy(12)
+
+	clean, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: 8, Node: 0, Kind: faults.Outage, Duration: 5},
+	}}
+	faulty, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{Plan: plan}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		wantAlive := n0
+		if i >= 8 && i < 13 {
+			wantAlive = n0 - 1
+		}
+		if faulty.AliveN[i] != wantAlive {
+			t.Fatalf("iter %d: alive %d, want %d", i, faulty.AliveN[i], wantAlive)
+		}
+		in := i >= 8 && i < 13
+		if in && faulty.Durations[i] == clean.Durations[i] {
+			t.Fatalf("iter %d: outage had no effect", i)
+		}
+		if !in && faulty.Durations[i] != clean.Durations[i] {
+			t.Fatalf("iter %d: durations diverge outside the outage: %v != %v",
+				i, faulty.Durations[i], clean.Durations[i])
+		}
+	}
+}
+
+// TestFaultyMidRunStrike: a crash landing inside an iteration produces a
+// recovery spike in that iteration and the shrunken platform afterwards.
+func TestFaultyMidRunStrike(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	n0 := sc.Platform.N()
+	opts := SimOptions{Tiles: 16}
+	const iters, seed = 12, 5
+	s := constStrategy(n0)
+
+	mk, err := SimulateIteration(sc, n0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: 5, Offset: mk / 2, Node: 1, Kind: faults.Crash},
+	}}
+	faulty, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{Plan: plan}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Recovered == 0 {
+		t.Fatal("mid-run crash recovered no tasks")
+	}
+	if faulty.Durations[5] <= clean.Durations[5] {
+		t.Fatalf("no recovery spike: %v <= %v", faulty.Durations[5], clean.Durations[5])
+	}
+	for i := 0; i < 5; i++ {
+		if faulty.Durations[i] != clean.Durations[i] {
+			t.Fatalf("iter %d: pre-strike durations diverge", i)
+		}
+		if faulty.AliveN[i] != n0 {
+			t.Fatalf("iter %d: alive %d pre-strike", i, faulty.AliveN[i])
+		}
+	}
+	// The strike iteration still ran on the full platform view; the node
+	// is gone from the next iteration on, and the proposal is clamped.
+	if faulty.AliveN[5] != n0 || faulty.Epochs[5] != 0 {
+		t.Fatalf("strike iteration: alive %d epoch %d", faulty.AliveN[5], faulty.Epochs[5])
+	}
+	for i := 6; i < iters; i++ {
+		if faulty.AliveN[i] != n0-1 || faulty.Epochs[i] != 1 {
+			t.Fatalf("iter %d: alive %d epoch %d", i, faulty.AliveN[i], faulty.Epochs[i])
+		}
+		if faulty.Actions[i] != n0-1 {
+			t.Fatalf("iter %d: action %d not clamped to %d", i, faulty.Actions[i], n0-1)
+		}
+	}
+	found := false
+	for _, a := range faulty.Annotations {
+		if strings.Contains(a, "crashes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no crash annotation in %v", faulty.Annotations)
+	}
+}
+
+// TestFaultyTimeoutRetry: iterations exceeding the timeout are retried
+// with backoff and the wasted attempts are charged to the observation.
+func TestFaultyTimeoutRetry(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	opts := SimOptions{Tiles: 16}
+	const iters, seed = 6, 11
+	s := constStrategy(10)
+
+	mk, err := SimulateIteration(sc, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := FaultyOptions{IterTimeout: mk / 2, MaxRetries: 1, Backoff: 0.5}
+	faulty, err := RunOnlineFaulty(sc, s, iters, opts, fo, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic sim: the retry fails too, so each iteration pays
+	// 2*(timeout+backoff) on top of the final full attempt — and the
+	// noise draws are shared with the clean run.
+	penalty := 2 * (fo.IterTimeout + fo.Backoff)
+	if faulty.TimedOut != 2*iters || faulty.Retries != iters {
+		t.Fatalf("timedOut %d retries %d", faulty.TimedOut, faulty.Retries)
+	}
+	for i := 0; i < iters; i++ {
+		if diff := faulty.Durations[i] - clean.Durations[i]; math.Abs(diff-penalty) > 1e-9 {
+			t.Fatalf("iter %d: penalty %v, want %v", i, diff, penalty)
+		}
+	}
+}
+
+// TestFaultyJitterLeavesPlatformAlone: observation jitter perturbs the
+// measurements without advancing the platform epoch (the memo stays
+// valid) and without touching the baseline noise stream.
+func TestFaultyJitterLeavesPlatformAlone(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	opts := SimOptions{Tiles: 16}
+	const iters, seed = 15, 9
+	s := constStrategy(12)
+
+	clean, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: 5, Kind: faults.Jitter, SD: 2, Duration: 5},
+	}}
+	faulty, err := RunOnlineFaulty(sc, s, iters, opts, FaultyOptions{Plan: plan}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		if faulty.Epochs[i] != 0 {
+			t.Fatalf("iter %d: jitter advanced the epoch", i)
+		}
+		in := i >= 5 && i < 10
+		if in && faulty.Durations[i] == clean.Durations[i] {
+			t.Fatalf("iter %d: jitter had no effect", i)
+		}
+		if !in && faulty.Durations[i] != clean.Durations[i] {
+			t.Fatalf("iter %d: durations diverge outside the jitter window", i)
+		}
+	}
+}
+
+// TestResilientCrashRecoveryEndToEnd is the acceptance scenario: on the
+// two-group SD 10L-10S platform (N=20), the fastest node crashes
+// permanently at iteration 40 of 127 while Resilient(GP-discontinuous)
+// tunes online. The change-point detector fires within 10 iterations of
+// the crash, the action space shrinks to the surviving node count, the
+// post-crash mean duration lands within 5% of the post-crash oracle
+// optimum, and the same strategy without the wrapper stays at least 10%
+// worse than the oracle.
+func TestResilientCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end resilience run")
+	}
+	sc, _ := platform.ScenarioByKey("c")
+	n0 := sc.Platform.N()
+	opts := SimOptions{Tiles: 48}
+	const iters, crashAt, seed = 127, 40, 3
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: crashAt, Node: 0, Kind: faults.Crash},
+	}}
+
+	// Post-crash oracle: the best steady-state duration on the
+	// 19-node platform.
+	view, err := faults.ApplyState(sc, plan.StateAt(crashAt+1, n0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := ComputeCurve(view.Scenario, CurveOptions{Sim: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oracle := post.Best()
+
+	curve, err := ComputeCurve(sc, CurveOptions{Sim: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(c core.Context) core.Strategy {
+		return core.NewGPDiscontinuous(c, core.GPOptions{})
+	}
+	postMean := func(d []float64) float64 {
+		sum := 0.0
+		for _, v := range d[67:] {
+			sum += v
+		}
+		return sum / float64(len(d)-67)
+	}
+
+	// 1. Notified wrapper: shrinks the action space and re-converges.
+	r := core.NewResilient(curve.Context(), core.ResilientOptions{}, factory)
+	fr, err := RunOnlineFaulty(sc, r, iters, opts, FaultyOptions{Plan: plan}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := r.Resets()
+	if len(rs) == 0 || rs[0].Reason != "platform" || rs[0].Observation != crashAt {
+		t.Fatalf("wrapper resets = %+v", rs)
+	}
+	for i := crashAt + 1; i < iters; i++ {
+		if fr.Actions[i] > n0-1 {
+			t.Fatalf("iter %d: action %d beyond the surviving %d nodes",
+				i, fr.Actions[i], n0-1)
+		}
+		if fr.AliveN[i] != n0-1 {
+			t.Fatalf("iter %d: alive %d", i, fr.AliveN[i])
+		}
+	}
+	if m := postMean(fr.Durations); m > oracle*1.05 {
+		t.Fatalf("resilient post-crash mean %.3f > oracle %.3f +5%%", m, oracle)
+	}
+
+	// 2. Detector-only wrapper (platform notification hidden): the
+	// Page–Hinkley change-point fires within 10 iterations of the crash.
+	rd := core.NewResilient(curve.Context(), core.ResilientOptions{}, factory)
+	if _, err := RunOnlineFaulty(sc, hideAware{rd}, iters, opts,
+		FaultyOptions{Plan: plan}, seed); err != nil {
+		t.Fatal(err)
+	}
+	det := rd.Resets()
+	if len(det) == 0 || det[0].Reason != "change-point" {
+		t.Fatalf("detector resets = %+v", det)
+	}
+	if fired := det[0].Observation - crashAt; fired < 0 || fired > 10 {
+		t.Fatalf("detector fired %d iterations after the crash", fired)
+	}
+
+	// 3. The unwrapped strategy keeps averaging two incompatible
+	// platforms and stays >= 10% off the oracle.
+	g := factory(curve.Context())
+	fu, err := RunOnlineFaulty(sc, g, iters, opts, FaultyOptions{Plan: plan}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := postMean(fu.Durations); m < oracle*1.10 {
+		t.Fatalf("unwrapped post-crash mean %.3f unexpectedly close to oracle %.3f", m, oracle)
+	}
+}

@@ -3,7 +3,6 @@ package harness
 import (
 	"phasetune/internal/core"
 	"phasetune/internal/platform"
-	"phasetune/internal/stats"
 )
 
 // OnlineResult is the outcome of a closed-loop run where the strategy
@@ -18,34 +17,17 @@ type OnlineResult struct {
 // RunOnline executes iterations application-style: each iteration asks
 // the strategy for a node count, simulates a full iteration at that
 // configuration, perturbs it with observation noise and feeds it back.
-// Simulated makespans are memoized per action (the simulation is
-// deterministic), so the cost matches a pre-computed curve while the
-// control flow matches a real deployment.
+// Simulated makespans are memoized per (epoch, action) — the simulation
+// is deterministic only while the platform is, so the memo never
+// survives a platform transition. RunOnline is the healthy-platform
+// special case of RunOnlineFaulty (a single epoch, where per-action
+// memoization is sound for the whole run).
 func RunOnline(sc platform.Scenario, s core.Strategy, iterations int,
 	opts SimOptions, seed int64) (OnlineResult, error) {
 
-	rng := stats.NewRNG(seed)
-	memo := map[int]float64{}
-	var res OnlineResult
-	for i := 0; i < iterations; i++ {
-		n := s.Next()
-		mk, ok := memo[n]
-		if !ok {
-			var err error
-			mk, err = SimulateIteration(sc, n, opts)
-			if err != nil {
-				return OnlineResult{}, err
-			}
-			memo[n] = mk
-		}
-		d := mk + rng.Normal(0, NoiseSD)
-		if d < 0.01 {
-			d = 0.01
-		}
-		s.Observe(n, d)
-		res.Actions = append(res.Actions, n)
-		res.Durations = append(res.Durations, d)
-		res.Total += d
+	fr, err := RunOnlineFaulty(sc, s, iterations, opts, FaultyOptions{}, seed)
+	if err != nil {
+		return OnlineResult{}, err
 	}
-	return res, nil
+	return fr.OnlineResult, nil
 }

@@ -64,9 +64,20 @@ func NodeSpecs(p *platform.Platform) []taskrt.NodeSpec {
 // in seconds. The generation phase uses all nodes unless opts.GenNodes
 // restricts it.
 func SimulateIteration(sc platform.Scenario, nFact int, opts SimOptions) (float64, error) {
+	mk, _, err := simulateIteration(sc, nFact, opts, nil)
+	return mk, err
+}
+
+// simulateIteration is SimulateIteration with an optional injection hook
+// called on the built runtime before it runs — the seam through which
+// the fault harness schedules mid-iteration crashes and slowdowns. It
+// additionally reports how many task executions the runtime recovered.
+func simulateIteration(sc platform.Scenario, nFact int, opts SimOptions,
+	inject func(*taskrt.Runtime)) (float64, int, error) {
+
 	p := sc.Platform
 	if nFact < 1 || nFact > p.N() {
-		return 0, fmt.Errorf("harness: nFact %d outside [1, %d]", nFact, p.N())
+		return 0, 0, fmt.Errorf("harness: nFact %d outside [1, %d]", nFact, p.N())
 	}
 	nGen := opts.GenNodes
 	if nGen <= 0 || nGen > p.N() {
@@ -93,9 +104,12 @@ func SimulateIteration(sc platform.Scenario, nFact int, opts SimOptions) (float6
 		FactSpeeds: p.FactSpeeds()[:nFact],
 	}
 	if err := geostat.BuildIterationGraph(rt, spec); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return rt.Run(), nil
+	if inject != nil {
+		inject(rt)
+	}
+	return rt.Run(), rt.RecoveredTasks(), nil
 }
 
 // LPBound computes the paper's optimistic makespan lower bound for every

@@ -26,12 +26,20 @@ type Task struct {
 	CPUOnly  bool  // generation-style kernels that never run on a GPU unit
 	Priority int64 // larger runs first among ready tasks
 
-	nDeps    int
-	succs    []edge
-	started  float64
-	finished float64
-	done     bool
-	qIndex   int // position in the ready heap, -1 when not queued
+	nDeps int
+	succs []edge
+	prods []pedge // reverse edges, walked during fault recovery
+	// pendingDeps tracks, per producer ID, how many of this task's
+	// dependencies are still outstanding. It is nil on healthy runs (the
+	// plain nDeps counter suffices) and materialized by a fault rebuild,
+	// where a producer may complete a second time for consumers whose
+	// dependency was already satisfied by a cached data copy.
+	pendingDeps map[int]int
+	started     float64
+	finished    float64
+	done        bool
+	running     bool
+	qIndex      int // position in the ready heap, -1 when not queued
 }
 
 // Started returns the simulated start time (valid after Run).
@@ -47,6 +55,12 @@ func (t *Task) Done() bool { return t.done }
 // if the consumer lives on another node.
 type edge struct {
 	to    *Task
+	bytes float64
+}
+
+// pedge is a reverse data dependency (consumer side).
+type pedge struct {
+	from  *Task
 	bytes float64
 }
 
@@ -76,14 +90,19 @@ type Observer interface {
 // unit is one execution resource of a node.
 type unit struct {
 	name  string
-	speed float64 // Gflop/s
+	speed float64 // nominal Gflop/s (scaled by the node's fault factor)
 	isGPU bool
 	busy  bool
+	cur   *Task      // task in flight, for fault abort/rescale
+	ev    *des.Event // its completion event
 }
 
 // nodeState holds a node's units and ready queues.
 type nodeState struct {
 	units    []*unit
+	dead     bool    // the node crashed (fault injection)
+	factor   float64 // compute speed factor (1 = nominal)
+	hasCPU   bool
 	anyQ     taskHeap // tasks runnable on any unit
 	cpuOnlyQ taskHeap // tasks restricted to CPU units
 	// cpuPull is the dmda-style threshold: a CPU unit steals GPU-capable
@@ -109,6 +128,9 @@ type Runtime struct {
 	// (submission, scheduling); StarPU-scale default.
 	TaskOverhead float64
 	makespan     float64
+	// fault-injection state (see faults.go).
+	injections []injection
+	recovered  int
 }
 
 type commKey struct {
@@ -118,6 +140,7 @@ type commKey struct {
 
 type commState struct {
 	arrived bool
+	void    bool // invalidated by a fault (dead destination or rolled-back producer)
 	waiters []*Task
 }
 
@@ -130,7 +153,7 @@ func New(eng *des.Engine, nodes []NodeSpec, net simnet.Network) *Runtime {
 		TaskOverhead: 2e-5,
 	}
 	for i, spec := range nodes {
-		ns := &nodeState{}
+		ns := &nodeState{factor: 1}
 		coreSpeed := 0.0
 		if spec.CPUSpeed > 0 {
 			cores := spec.CPUCores
@@ -156,6 +179,7 @@ func New(eng *des.Engine, nodes []NodeSpec, net simnet.Network) *Runtime {
 		if maxGPU > 0 && coreSpeed > 0 {
 			ns.cpuPull = int(maxGPU / coreSpeed)
 		}
+		ns.hasCPU = coreSpeed > 0
 		rt.nodes = append(rt.nodes, ns)
 	}
 	return rt
@@ -193,12 +217,17 @@ func (r *Runtime) AddDep(consumer, producer *Task, bytes float64) {
 	}
 	consumer.nDeps++
 	producer.succs = append(producer.succs, edge{to: consumer, bytes: bytes})
+	consumer.prods = append(consumer.prods, pedge{from: producer, bytes: bytes})
 }
 
 // Run releases root tasks, drives the engine until the DAG drains, and
 // returns the makespan. It panics if tasks remain blocked (a dependency
 // cycle or an unconnected transfer), which would indicate a builder bug.
 func (r *Runtime) Run() float64 {
+	for _, inj := range r.injections {
+		inj := inj
+		r.eng.Schedule(inj.at, func() { r.apply(inj) })
+	}
 	for _, t := range r.tasks {
 		if t.nDeps == 0 {
 			r.push(t)
@@ -236,6 +265,9 @@ func (r *Runtime) push(t *Task) {
 // then serves whichever queue has the highest-priority ready task.
 func (r *Runtime) dispatch(node int) {
 	ns := r.nodes[node]
+	if ns.dead {
+		return
+	}
 	for {
 		progressed := false
 		for _, u := range ns.units {
@@ -283,29 +315,38 @@ func (r *Runtime) dispatch(node int) {
 // execute runs a task on a unit in simulated time.
 func (r *Runtime) execute(t *Task, u *unit) {
 	u.busy = true
+	u.cur = t
+	t.running = true
 	t.started = r.eng.Now()
 	if r.obs != nil {
 		r.obs.TaskStarted(t, u.name, t.started)
 	}
 	dur := r.TaskOverhead
 	if u.speed > 0 {
-		dur += t.Flops / u.speed
+		dur += t.Flops / (u.speed * r.nodes[t.Node].factor)
 	}
-	r.eng.After(dur, func() {
-		now := r.eng.Now()
-		t.finished = now
-		t.done = true
-		if now > r.makespan {
-			r.makespan = now
-		}
-		if r.obs != nil {
-			r.obs.TaskFinished(t, u.name, now)
-		}
-		r.nPending--
-		u.busy = false
-		r.complete(t)
-		r.dispatch(t.Node)
-	})
+	u.ev = r.eng.After(dur, func() { r.finish(t, u) })
+}
+
+// finish completes a task on its unit (also the rescheduling target when
+// a fault rescales in-flight work).
+func (r *Runtime) finish(t *Task, u *unit) {
+	now := r.eng.Now()
+	t.finished = now
+	t.done = true
+	t.running = false
+	t.pendingDeps = nil
+	u.cur, u.ev = nil, nil
+	if now > r.makespan {
+		r.makespan = now
+	}
+	if r.obs != nil {
+		r.obs.TaskFinished(t, u.name, now)
+	}
+	r.nPending--
+	u.busy = false
+	r.complete(t)
+	r.dispatch(t.Node)
 }
 
 // complete propagates a finished task to its consumers, starting network
@@ -316,8 +357,13 @@ func (r *Runtime) complete(t *Task) {
 	touched := map[int]bool{}
 	for _, e := range t.succs {
 		c := e.to
+		if c.done {
+			// Only possible after fault recovery: the producer re-ran
+			// for another consumer's sake.
+			continue
+		}
 		if c.Node == t.Node || e.bytes <= 0 {
-			if r.resolve(c) {
+			if r.resolve(c, t.ID) {
 				touched[c.Node] = true
 			}
 			continue
@@ -326,7 +372,7 @@ func (r *Runtime) complete(t *Task) {
 		cs, ok := r.comms[key]
 		if ok {
 			if cs.arrived {
-				if r.resolve(c) {
+				if r.resolve(c, t.ID) {
 					touched[c.Node] = true
 				}
 			} else {
@@ -336,31 +382,51 @@ func (r *Runtime) complete(t *Task) {
 		}
 		cs = &commState{waiters: []*Task{c}}
 		r.comms[key] = cs
-		dest := c.Node
-		r.net.Transfer(t.Node, dest, e.bytes, func() {
-			cs.arrived = true
-			ws := cs.waiters
-			cs.waiters = nil
-			ready := false
-			for _, w := range ws {
-				if r.resolve(w) {
-					ready = true
-				}
-			}
-			if ready {
-				r.dispatch(dest)
-			}
-		})
+		r.net.Transfer(t.Node, c.Node, e.bytes, r.arrivalFn(cs, c.Node, t.ID))
 	}
 	for node := range touched {
 		r.dispatch(node)
 	}
 }
 
+// arrivalFn builds the completion callback of a transfer from producer
+// to dest: it releases the waiting consumers unless a fault voided the
+// transfer in the meantime.
+func (r *Runtime) arrivalFn(cs *commState, dest, producer int) func() {
+	return func() {
+		if cs.void {
+			return
+		}
+		cs.arrived = true
+		ws := cs.waiters
+		cs.waiters = nil
+		ready := false
+		for _, w := range ws {
+			if r.resolve(w, producer) {
+				ready = true
+			}
+		}
+		if ready {
+			r.dispatch(dest)
+		}
+	}
+}
+
 // resolve decrements a consumer's dependency count, pushing it on its
 // node's ready queue when it becomes ready. It reports whether the task
-// became ready.
-func (r *Runtime) resolve(t *Task) bool {
+// became ready. After a fault rebuild the per-producer pending map
+// guards against double-resolving a dependency a cached data copy
+// already satisfied.
+func (r *Runtime) resolve(t *Task, producer int) bool {
+	if t.done || t.running {
+		return false
+	}
+	if t.pendingDeps != nil {
+		if t.pendingDeps[producer] == 0 {
+			return false
+		}
+		t.pendingDeps[producer]--
+	}
 	t.nDeps--
 	if t.nDeps == 0 {
 		r.push(t)
