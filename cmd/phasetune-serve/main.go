@@ -1,0 +1,137 @@
+// Command phasetune-serve exposes the concurrent tuning engine as an
+// HTTP/JSON service: remote clients create tuning sessions, step them
+// (sequentially or in speculative batches), run parallel f(n) sweeps
+// and scrape /metrics — while a shared evaluation cache makes every
+// session tuning the same system pay for each simulation once.
+//
+//	phasetune-serve -addr :8080 -workers 8
+//
+//	# create a session and run a step
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	     -d '{"scenario":"b","strategy":"GP-discontinuous","seed":42}'
+//	curl -s -X POST localhost:8080/v1/sessions/s1/step -d '{}'
+//	curl -s localhost:8080/metrics
+//
+// -selfcheck starts the server on a loopback port, drives one session
+// through the real HTTP stack and exits — a deployment smoke test.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"phasetune/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent evaluation bound (0 = GOMAXPROCS)")
+	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, run one session end-to-end, exit")
+	flag.Parse()
+
+	eng := engine.New(*workers)
+	handler := engine.NewServer(eng)
+
+	if *selfcheck {
+		if err := runSelfcheck(handler); err != nil {
+			fmt.Fprintln(os.Stderr, "selfcheck failed:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("phasetune-serve listening on %s (%d evaluation workers)\n",
+		*addr, eng.Workers())
+	fmt.Println("  POST /v1/sessions {scenario, strategy, seed, tiles}")
+	fmt.Println("  POST /v1/sessions/{id}/step | /batch-step {k} | /advance-epoch")
+	fmt.Println("  GET  /v1/sessions/{id}   GET /metrics   POST /v1/sweep")
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// runSelfcheck exercises the full service path — listener, router,
+// session lifecycle, metrics — on an ephemeral loopback port.
+func runSelfcheck(handler http.Handler) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	body, _ := json.Marshal(map[string]any{
+		"scenario": "b", "strategy": "DC", "seed": 42, "tiles": 6,
+	})
+	var created struct {
+		ID    string `json:"id"`
+		Nodes int    `json:"nodes"`
+	}
+	if err := postJSON(base+"/v1/sessions", body, &created); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	for i := 0; i < 6; i++ {
+		var step struct {
+			Action   int     `json:"action"`
+			Duration float64 `json:"duration"`
+		}
+		if err := postJSON(base+"/v1/sessions/"+created.ID+"/step", []byte("{}"), &step); err != nil {
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+		fmt.Printf("iter %d: n=%-3d duration %.2f s\n", i, step.Action, step.Duration)
+	}
+	var metrics struct {
+		Cache struct {
+			Hits     int64   `json:"hits"`
+			Misses   int64   `json:"misses"`
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"cache"`
+		Sessions []struct {
+			BestAction int     `json:"best_action"`
+			Regret     float64 `json:"regret"`
+		} `json:"sessions"`
+	}
+	if err := getJSON(base+"/metrics", &metrics); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if len(metrics.Sessions) != 1 {
+		return fmt.Errorf("metrics report %d sessions, want 1", len(metrics.Sessions))
+	}
+	fmt.Printf("selfcheck ok: %d nodes, best n=%d, regret %.2f s, cache %d/%d (ratio %.2f)\n",
+		created.Nodes, metrics.Sessions[0].BestAction, metrics.Sessions[0].Regret,
+		metrics.Cache.Hits, metrics.Cache.Hits+metrics.Cache.Misses, metrics.Cache.HitRatio)
+	return nil
+}
+
+func postJSON(url string, body []byte, out any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

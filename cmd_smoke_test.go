@@ -72,6 +72,16 @@ func TestCmdFaultsSmoke(t *testing.T) {
 	}
 }
 
+func TestCmdServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runTool(t, "./cmd/phasetune-serve", "-selfcheck", "-workers", "4")
+	if !strings.Contains(out, "selfcheck ok") || !strings.Contains(out, "best n=") {
+		t.Fatalf("serve selfcheck output:\n%s", out)
+	}
+}
+
 func TestCmdCompareSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

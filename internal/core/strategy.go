@@ -101,6 +101,14 @@ func (c *Context) GroupIndexOf(n int) int {
 // Strategy is an online tuner: Next proposes the node count for the
 // coming iteration and Observe feeds back its measured duration.
 // Implementations never propose actions outside [ctx.Min, ctx.N].
+//
+// Concurrency contract: a Strategy is a single-client state machine and
+// implementations are NOT safe for concurrent use — Next and Observe
+// mutate unguarded internal state (histories, GP posteriors, search
+// intervals). Callers that share one strategy across goroutines must
+// serialize every call: wrap it with Synchronized for plain mutual
+// exclusion, or use the async driver in internal/engine, which also
+// adds speculative batching on top of the same serialization.
 type Strategy interface {
 	Name() string
 	Next() int

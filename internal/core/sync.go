@@ -1,0 +1,53 @@
+package core
+
+import "sync"
+
+// synchronizedStrategy enforces the Strategy concurrency contract with
+// a mutex: every Next/Observe runs under mutual exclusion, so a single
+// strategy instance can be shared by concurrent callers (each call is
+// still atomic — callers needing a Next+Observe transaction must hold
+// their own lock across both, as the engine's async driver does).
+type synchronizedStrategy struct {
+	mu sync.Mutex
+	s  Strategy
+}
+
+// Synchronized wraps s so concurrent Next/Observe calls are serialized.
+// It returns s unchanged when it is already a Synchronized wrapper.
+func Synchronized(s Strategy) Strategy {
+	if _, ok := s.(*synchronizedStrategy); ok {
+		return s
+	}
+	return &synchronizedStrategy{s: s}
+}
+
+// Name implements Strategy.
+func (w *synchronizedStrategy) Name() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Name()
+}
+
+// Next implements Strategy.
+func (w *synchronizedStrategy) Next() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Next()
+}
+
+// Observe implements Strategy.
+func (w *synchronizedStrategy) Observe(action int, duration float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.s.Observe(action, duration)
+}
+
+// PlatformChanged forwards the PlatformAware notification when the
+// wrapped strategy supports it, under the same lock.
+func (w *synchronizedStrategy) PlatformChanged(ctx Context) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if pa, ok := w.s.(PlatformAware); ok {
+		pa.PlatformChanged(ctx)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSynchronizedConcurrentUse hammers one wrapped strategy from many
+// goroutines; under -race this pins the concurrency contract the
+// wrapper exists to enforce (an unwrapped UCB here is a guaranteed
+// detector hit).
+func TestSynchronizedConcurrentUse(t *testing.T) {
+	ctx := Context{N: 10, Min: 1}
+	s := Synchronized(NewUCB(ctx, 0))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a := s.Next()
+				if a < 1 || a > 10 {
+					t.Errorf("action %d outside [1, 10]", a)
+					return
+				}
+				s.Observe(a, float64(a))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Name() != "UCB" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestSynchronizedIdempotentAndPlatformAware(t *testing.T) {
+	ctx := Context{N: 6, Min: 1}
+	inner := NewResilient(ctx, ResilientOptions{}, func(c Context) Strategy {
+		return NewUCB(c, 0)
+	})
+	w := Synchronized(inner)
+	if Synchronized(w) != w {
+		t.Fatal("double-wrapping should be a no-op")
+	}
+	pa, ok := w.(PlatformAware)
+	if !ok {
+		t.Fatal("wrapper must forward PlatformAware")
+	}
+	pa.PlatformChanged(Context{N: 4, Min: 1})
+	if a := w.Next(); a < 1 || a > 4 {
+		t.Fatalf("post-shrink action %d outside [1, 4]", a)
+	}
+}

@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"phasetune/internal/core"
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+	"phasetune/internal/stats"
+)
+
+// Engine is the concurrent tuning service: it owns the evaluation pool,
+// the shared cross-session cache and the session registry. One engine
+// serves any number of concurrent sessions and sweeps.
+type Engine struct {
+	pool  *Pool
+	cache *Cache
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+}
+
+// New returns an engine admitting workers concurrent evaluations
+// (workers <= 0 selects GOMAXPROCS).
+func New(workers int) *Engine {
+	return &Engine{
+		pool:     NewPool(workers),
+		cache:    NewCache(),
+		sessions: map[string]*Session{},
+	}
+}
+
+// Cache exposes the shared evaluation cache (tests, metrics).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Workers returns the evaluation concurrency bound.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// resolveScenario picks the scenario a config names.
+func resolveScenario(cfg SessionConfig) (platform.Scenario, error) {
+	if cfg.Scenario != nil {
+		return *cfg.Scenario, nil
+	}
+	sc, ok := platform.ScenarioByKey(cfg.ScenarioKey)
+	if !ok {
+		return platform.Scenario{}, fmt.Errorf("engine: unknown scenario %q", cfg.ScenarioKey)
+	}
+	return sc, nil
+}
+
+// CreateSession builds a session: scenario, LP bound, strategy, driver,
+// evaluator and noise stream. The returned ID addresses the session in
+// every other call.
+func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
+	sc, err := resolveScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := harness.SimOptions{Tiles: cfg.Tiles, Exact: cfg.Exact, GenNodes: cfg.GenNodes}
+	lpf, err := harness.LPBound(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	name := cfg.Strategy
+	if name == "" {
+		name = "GP-discontinuous"
+	}
+	strat, err := harness.NewStrategy(name, core.Context{
+		N:          sc.Platform.N(),
+		Min:        sc.MinNodes,
+		GroupSizes: sc.Platform.GroupSizes(),
+		LP:         lpf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	e.nextID++
+	s := &Session{
+		id:     fmt.Sprintf("s%d", e.nextID),
+		driver: NewDriver(strat),
+		ev:     harness.NewEvaluator(sc, opts),
+		seed:   cfg.Seed,
+		noise:  stats.NewRNG(cfg.Seed),
+	}
+	e.sessions[s.id] = s
+	e.mu.Unlock()
+	return s, nil
+}
+
+// Session returns a session by ID.
+func (e *Engine) Session(id string) (*Session, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[id]
+	return s, ok
+}
+
+// Result returns the session's summary.
+func (e *Engine) Result(id string) (SessionResult, error) {
+	s, ok := e.Session(id)
+	if !ok {
+		return SessionResult{}, fmt.Errorf("engine: no session %q", id)
+	}
+	return s.result(), nil
+}
+
+// eval fetches the deterministic makespan for (session scenario, epoch,
+// action) through the shared cache; a cold miss runs the DES simulation
+// under a pool slot, while waiters and hits pay nothing.
+func (e *Engine) eval(s *Session, epoch, action int) (float64, bool, error) {
+	key := CacheKey{Fingerprint: s.ev.Fingerprint(), Epoch: epoch, Action: action}
+	return e.cache.Eval(key, func() (float64, error) {
+		var v float64
+		var err error
+		e.pool.Do(func() { v, err = s.ev.Evaluate(action) })
+		return v, err
+	})
+}
+
+// Step advances a session by one sequential tuning iteration:
+// Next -> evaluate (cache/pool) -> noisy observation -> Observe. With
+// the same seed and strategy, a stepped session reproduces
+// harness.RunOnline bit-for-bit regardless of the engine's worker count
+// or what other sessions are doing.
+func (e *Engine) Step(id string) (StepResult, error) {
+	s, ok := e.Session(id)
+	if !ok {
+		return StepResult{}, fmt.Errorf("engine: no session %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	action := s.driver.Next()
+	sim, hit, err := e.eval(s, s.epoch, action)
+	if err != nil {
+		return StepResult{}, err
+	}
+	d := s.observe(sim)
+	s.driver.Observe(action, d)
+	res := s.record(action, d, sim)
+	res.CacheHit = hit
+	return res, nil
+}
+
+// BatchStep advances a session by up to k speculative iterations: the
+// driver proposes a constant-liar batch, all proposals are evaluated in
+// parallel, and the results are committed — noise drawn, strategy
+// informed, history appended — in batch order. Committing in proposal
+// order (not completion order) is what keeps batch results a pure
+// function of (seed, strategy, k): identical at 1 worker and at 8.
+func (e *Engine) BatchStep(id string, k int) ([]StepResult, error) {
+	s, ok := e.Session(id)
+	if !ok {
+		return nil, fmt.Errorf("engine: no session %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := s.epoch
+	fp := s.ev.Fingerprint()
+	actions := s.driver.NextBatch(k, func(a int) (float64, bool) {
+		return e.cache.Peek(CacheKey{Fingerprint: fp, Epoch: epoch, Action: a})
+	})
+
+	sims := make([]float64, len(actions))
+	hits := make([]bool, len(actions))
+	var errs errCollector
+	e.pool.ForEach(len(actions), func(i int) {
+		v, hit, err := e.eval(s, epoch, actions[i])
+		if err != nil {
+			errs.record(err)
+			return
+		}
+		sims[i], hits[i] = v, hit
+	})
+	if err := errs.first(); err != nil {
+		return nil, err
+	}
+
+	out := make([]StepResult, 0, len(actions))
+	for i, a := range actions {
+		d := s.observe(sims[i])
+		s.driver.Observe(a, d)
+		res := s.record(a, d, sims[i])
+		res.CacheHit = hits[i]
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AdvanceEpoch bumps the session's platform epoch and evicts the
+// fingerprint's now-stale cache entries. This is the hook the fault
+// layer drives when the platform underneath a served session changes:
+// values from different epochs never mix (the key separates them) and
+// the old epoch's memory is reclaimed.
+func (e *Engine) AdvanceEpoch(id string) (int, error) {
+	s, ok := e.Session(id)
+	if !ok {
+		return 0, fmt.Errorf("engine: no session %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	e.cache.DropEpochsBelow(s.ev.Fingerprint(), s.epoch)
+	return s.epoch, nil
+}
+
+// errCollector mirrors the harness's parallel first-error funnel.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (c *errCollector) record(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *errCollector) first() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// SweepOptions configures a parallel evaluation sweep.
+type SweepOptions struct {
+	// NoiseSD > 0 additionally draws Reps noisy observations per action
+	// (a parallel stand-in for Curve.Pool); the noise stream of action a
+	// is derived with DeriveSeed(Seed, a), so the sweep is bit-for-bit
+	// reproducible at any worker count.
+	NoiseSD float64
+	Reps    int
+	Seed    int64
+	// Epoch keys the cache entries (default 0).
+	Epoch int
+}
+
+// SweepPoint is one action's sweep outcome.
+type SweepPoint struct {
+	Action   int       `json:"action"`
+	Makespan float64   `json:"makespan"`
+	CacheHit bool      `json:"cache_hit"`
+	Noisy    []float64 `json:"noisy,omitempty"`
+}
+
+// SweepResult is a full f(n) evaluation sweep.
+type SweepResult struct {
+	Scenario     string       `json:"scenario"`
+	Fingerprint  string       `json:"fingerprint"`
+	Points       []SweepPoint `json:"points"`
+	BestAction   int          `json:"best_action"`
+	BestMakespan float64      `json:"best_makespan"`
+}
+
+// Sweep evaluates every feasible action of the scenario in parallel
+// through the shared cache and returns the per-action makespans and the
+// argmin. Deterministic: the same inputs give the same result at any
+// worker count, and the best action matches a sequential
+// SimulateIteration loop exactly.
+func (e *Engine) Sweep(sc platform.Scenario, opts harness.SimOptions, so SweepOptions) (*SweepResult, error) {
+	ev := harness.NewEvaluator(sc, opts)
+	actions := ev.Actions()
+	res := &SweepResult{
+		Scenario:    sc.Name,
+		Fingerprint: ev.Fingerprint(),
+		Points:      make([]SweepPoint, len(actions)),
+	}
+	var errs errCollector
+	e.pool.ForEach(len(actions), func(i int) {
+		a := actions[i]
+		key := CacheKey{Fingerprint: ev.Fingerprint(), Epoch: so.Epoch, Action: a}
+		mk, hit, err := e.cache.Eval(key, func() (float64, error) {
+			var v float64
+			var verr error
+			e.pool.Do(func() { v, verr = ev.Evaluate(a) })
+			return v, verr
+		})
+		if err != nil {
+			errs.record(err)
+			return
+		}
+		p := SweepPoint{Action: a, Makespan: mk, CacheHit: hit}
+		if so.NoiseSD > 0 && so.Reps > 0 {
+			rng := stats.NewRNG(DeriveSeed(so.Seed, uint64(a)))
+			p.Noisy = make([]float64, so.Reps)
+			for r := range p.Noisy {
+				d := mk + rng.Normal(0, so.NoiseSD)
+				if d < 0.01 {
+					d = 0.01
+				}
+				p.Noisy[r] = d
+			}
+		}
+		res.Points[i] = p
+	})
+	if err := errs.first(); err != nil {
+		return nil, err
+	}
+	res.BestAction = res.Points[0].Action
+	res.BestMakespan = res.Points[0].Makespan
+	for _, p := range res.Points[1:] {
+		if p.Makespan < res.BestMakespan {
+			res.BestAction, res.BestMakespan = p.Action, p.Makespan
+		}
+	}
+	return res, nil
+}
+
+// Metrics is the engine-wide observability snapshot served at /metrics.
+type Metrics struct {
+	Workers         int             `json:"workers"`
+	InFlightEvals   int64           `json:"in_flight_evals"`
+	Cache           CacheStats      `json:"cache"`
+	Sessions        []SessionResult `json:"sessions"`
+	SessionsTotal   int             `json:"sessions_total"`
+	IterationsTotal int             `json:"iterations_total"`
+}
+
+// Metrics snapshots the engine: pool occupancy, cache accounting and
+// every session's summary (including its exact cumulative regret).
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	sessions := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+
+	m := Metrics{
+		Workers:       e.pool.Workers(),
+		InFlightEvals: e.pool.InFlight(),
+		Cache:         e.cache.Stats(),
+		SessionsTotal: len(sessions),
+	}
+	for _, s := range sessions {
+		r := s.result()
+		// Trim the bulky trajectories out of the metrics view; the
+		// per-session result endpoint serves them.
+		r.Actions, r.Durations = nil, nil
+		m.Sessions = append(m.Sessions, r)
+		m.IterationsTotal += r.Iterations
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+// NewServer returns the engine's HTTP/JSON API:
+//
+//	POST /v1/sessions                     create a session
+//	GET  /v1/sessions/{id}                session result (trajectory, best, regret)
+//	POST /v1/sessions/{id}/step           one sequential tuning step
+//	POST /v1/sessions/{id}/batch-step     k speculative steps (constant liar)
+//	POST /v1/sessions/{id}/advance-epoch  platform changed: new epoch, evict stale cache
+//	POST /v1/sweep                        parallel f(n) sweep over a scenario
+//	GET  /metrics                         cache hit ratio, in-flight evals, per-session regret
+//
+// Every body is JSON; errors come back as {"error": "..."} with a 4xx/5xx
+// status. The handler is safe for concurrent use — sessions serialize
+// their own steps, everything else is engine state behind locks.
+func NewServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req createSessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		s, err := e.CreateSession(SessionConfig{
+			ScenarioKey: req.Scenario,
+			Strategy:    req.Strategy,
+			Seed:        req.Seed,
+			Tiles:       req.Tiles,
+			Exact:       req.Exact,
+			GenNodes:    req.GenNodes,
+		})
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, createSessionResponse{
+			ID:       s.id,
+			Scenario: s.ev.Scenario.Name,
+			Strategy: s.driver.Name(),
+			Nodes:    s.ev.Scenario.Platform.N(),
+			MinNodes: s.ev.Scenario.MinNodes,
+			Groups:   s.ev.Scenario.Platform.GroupSizes(),
+			Seed:     s.seed,
+		})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		res, err := e.Result(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
+		res, err := e.Step(r.PathValue("id"))
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/batch-step", func(w http.ResponseWriter, r *http.Request) {
+		var req batchStepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if req.K < 1 {
+			req.K = 1
+		}
+		res, err := e.BatchStep(r.PathValue("id"), req.K)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, batchStepResponse{Steps: res})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/advance-epoch", func(w http.ResponseWriter, r *http.Request) {
+		epoch, err := e.AdvanceEpoch(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req sweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		sc, ok := platform.ScenarioByKey(req.Scenario)
+		if !ok {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown scenario %q", req.Scenario))
+			return
+		}
+		res, err := e.Sweep(sc,
+			harness.SimOptions{Tiles: req.Tiles, Exact: req.Exact},
+			SweepOptions{NoiseSD: req.NoiseSD, Reps: req.Reps, Seed: req.Seed})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Metrics())
+	})
+	return mux
+}
+
+type createSessionRequest struct {
+	Scenario string `json:"scenario"` // paper key a..p
+	Strategy string `json:"strategy"` // harness.NewStrategy name
+	Seed     int64  `json:"seed"`
+	Tiles    int    `json:"tiles"`
+	Exact    bool   `json:"exact"`
+	GenNodes int    `json:"gen_nodes"`
+}
+
+type createSessionResponse struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Strategy string `json:"strategy"`
+	Nodes    int    `json:"nodes"`
+	MinNodes int    `json:"min_nodes"`
+	Groups   []int  `json:"groups"`
+	Seed     int64  `json:"seed"`
+}
+
+type batchStepRequest struct {
+	K int `json:"k"`
+}
+
+type batchStepResponse struct {
+	Steps []StepResult `json:"steps"`
+}
+
+type sweepRequest struct {
+	Scenario string  `json:"scenario"`
+	Tiles    int     `json:"tiles"`
+	Exact    bool    `json:"exact"`
+	NoiseSD  float64 `json:"noise_sd"`
+	Reps     int     `json:"reps"`
+	Seed     int64   `json:"seed"`
+}
+
+// statusFor maps engine errors onto HTTP statuses: unknown names are
+// client errors, everything else is a server-side evaluation failure.
+func statusFor(err error) int {
+	msg := err.Error()
+	if strings.Contains(msg, "no session") ||
+		strings.Contains(msg, "unknown scenario") ||
+		strings.Contains(msg, "unknown strategy") {
+		return http.StatusNotFound
+	}
+	if strings.Contains(msg, "outside [") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds how many DES evaluations run at once. It is a semaphore,
+// not a goroutine farm: callers bring their own goroutines (sessions,
+// sweeps, HTTP handlers) and Do gates the expensive region, so waiting
+// on a cache singleflight never occupies a slot — only actual
+// simulation work does.
+type Pool struct {
+	sem    chan struct{}
+	flying atomic.Int64
+}
+
+// NewPool returns a pool admitting workers concurrent evaluations
+// (workers <= 0 selects GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// InFlight returns how many evaluations hold a slot right now.
+func (p *Pool) InFlight() int64 { return p.flying.Load() }
+
+// Do runs fn holding one pool slot, blocking until a slot frees up.
+func (p *Pool) Do(fn func()) {
+	p.sem <- struct{}{}
+	p.flying.Add(1)
+	defer func() {
+		p.flying.Add(-1)
+		<-p.sem
+	}()
+	fn()
+}
+
+// ForEach runs fn(i) for every i in [0, n) on its own goroutine, each
+// gated by the pool, and waits for all of them. The per-index fan-out
+// (rather than a fixed worker loop) is what lets the cache singleflight
+// collapse duplicate work without idling a pool slot.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,36 @@
+// Package engine turns the sequential tuning harness into a concurrent
+// evaluation and tuning service: a bounded worker pool runs DES
+// evaluations in parallel, a shared singleflight cache keyed on
+// (scenario fingerprint, platform epoch, action) lets every session
+// tuning the same system pay for each simulation once, an async driver
+// serializes any core.Strategy and adds constant-liar speculative
+// batching so K evaluations stay in flight, and an HTTP/JSON API
+// (cmd/phasetune-serve) exposes sessions, sweeps and metrics to remote
+// tuning clients. See DESIGN.md ("Concurrent tuning engine").
+package engine
+
+// splitmix64 is the SplitMix64 mixing function (Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators", OOPSLA'14): a
+// bijective avalanche over 64 bits, the standard way to derive
+// decorrelated seed streams from a base seed plus an index.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed derives an independent, reproducible RNG seed from a base
+// seed and a salt path (e.g. action index, repetition index). The
+// result depends only on (base, salts), never on evaluation order or
+// which worker runs the job — the property that makes the engine's
+// parallel noisy sweeps bit-for-bit identical at any worker count. The
+// returned seed is non-negative so it round-trips through callers that
+// treat negative seeds as "pick one".
+func DeriveSeed(base int64, salts ...uint64) int64 {
+	x := splitmix64(uint64(base))
+	for _, s := range salts {
+		x = splitmix64(x ^ splitmix64(s))
+	}
+	return int64(x &^ (1 << 63))
+}

@@ -56,18 +56,18 @@ func ComputeCurve(sc platform.Scenario, opts CurveOptions) (*Curve, error) {
 		return nil, err
 	}
 	c.lpFunc = lpf
-	var firstErr error
+	var errs errCollector
 	parallelFor(len(actions), opts.Workers, func(i int) {
 		mk, err := SimulateIteration(sc, actions[i], opts.Sim)
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if err != nil {
+			errs.record(err)
 			return
 		}
 		c.Sim[i] = mk
 		c.LP[i] = lpf(actions[i])
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := errs.first(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }

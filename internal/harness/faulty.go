@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"phasetune/internal/core"
 	"phasetune/internal/faults"
@@ -40,6 +41,37 @@ func (o *FaultyOptions) setDefaults() {
 	if o.Backoff <= 0 {
 		o.Backoff = 1
 	}
+}
+
+// epochMemo memoizes deterministic makespans per (platform epoch,
+// action). Keying on the epoch is what makes memoization sound under
+// faults: two iterations share a value only when they saw the identical
+// platform. Access is mutex-guarded so one memo can be shared by
+// concurrent goroutines — RunOnlineFaulty itself is a sequential loop,
+// but the engine reuses the same keying for its cross-session cache and
+// callers may hand one loop's memo to parallel probes.
+type epochMemo struct {
+	mu sync.RWMutex
+	m  map[memoKey]float64
+}
+
+type memoKey struct{ epoch, action int }
+
+func newEpochMemo() *epochMemo {
+	return &epochMemo{m: map[memoKey]float64{}}
+}
+
+func (em *epochMemo) get(epoch, action int) (float64, bool) {
+	em.mu.RLock()
+	v, ok := em.m[memoKey{epoch, action}]
+	em.mu.RUnlock()
+	return v, ok
+}
+
+func (em *epochMemo) put(epoch, action int, v float64) {
+	em.mu.Lock()
+	em.m[memoKey{epoch, action}] = v
+	em.mu.Unlock()
 }
 
 // FaultyResult extends OnlineResult with the fault bookkeeping.
@@ -101,8 +133,7 @@ func RunOnlineFaulty(sc platform.Scenario, s core.Strategy, iterations int,
 
 	rng := stats.NewRNG(seed)
 	jrng := stats.NewRNG(seed ^ jitterSeedSalt)
-	type memoKey struct{ epoch, action int }
-	memo := map[memoKey]float64{}
+	memo := newEpochMemo()
 
 	var res FaultyResult
 	view := identityView(sc)
@@ -164,15 +195,14 @@ func RunOnlineFaulty(sc platform.Scenario, s core.Strategy, iterations int,
 		strikes := plan.Strikes(it)
 		var mk float64
 		if len(strikes) == 0 {
-			key := memoKey{curEpoch, n}
-			v, ok := memo[key]
+			v, ok := memo.get(curEpoch, n)
 			if !ok {
 				var err error
 				v, err = SimulateIteration(view.Scenario, n, opts)
 				if err != nil {
 					return res, err
 				}
-				memo[key] = v
+				memo.put(curEpoch, n, v)
 			}
 			mk = v
 		} else {

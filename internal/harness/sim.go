@@ -63,6 +63,12 @@ func NodeSpecs(p *platform.Platform) []taskrt.NodeSpec {
 // nFact factorization nodes (the fastest ones) and returns its makespan
 // in seconds. The generation phase uses all nodes unless opts.GenNodes
 // restricts it.
+//
+// SimulateIteration is reentrant: every call builds a fresh DES engine,
+// network and runtime and shares no mutable state, so concurrent calls
+// from different goroutines are safe as long as opts.Observer is nil or
+// itself safe for concurrent use. The engine's worker pool relies on
+// this (see Evaluator).
 func SimulateIteration(sc platform.Scenario, nFact int, opts SimOptions) (float64, error) {
 	mk, _, err := simulateIteration(sc, nFact, opts, nil)
 	return mk, err
@@ -159,6 +165,34 @@ func LPBound(sc platform.Scenario, opts SimOptions) (func(n int) float64, error)
 		}
 		return cache[n]
 	}, nil
+}
+
+// errCollector records the first error seen across parallel workers.
+// parallelFor callbacks run on several goroutines, so a bare
+// `if err != nil && firstErr == nil { firstErr = err }` is a data race;
+// every parallel loop in this package funnels errors through here.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+// record stores err if it is the first non-nil error observed.
+func (c *errCollector) record(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// first returns the first recorded error, or nil.
+func (c *errCollector) first() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // parallelFor runs fn(i) for i in [0, n) over a worker pool.

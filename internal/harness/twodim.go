@@ -67,20 +67,20 @@ func ComputeGrid2D(sc platform.Scenario, opts Grid2DOptions) (*Grid2D, error) {
 			cells = append(cells, cell{gi, fi})
 		}
 	}
-	var firstErr error
+	var errs errCollector
 	parallelFor(len(cells), opts.Workers, func(i int) {
 		c := cells[i]
 		so := opts.Sim
 		so.GenNodes = g.GenActions[c.gi]
 		mk, err := SimulateIteration(sc, g.FactActions[c.fi], so)
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if err != nil {
+			errs.record(err)
 			return
 		}
 		g.Makespan[c.gi][c.fi] = mk
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := errs.first(); err != nil {
+		return nil, err
 	}
 	return g, nil
 }
