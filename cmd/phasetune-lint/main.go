@@ -1,0 +1,106 @@
+// Command phasetune-lint is the project's multichecker: it runs the
+// four phasetune analyzers (determinism, floatsafe, strategylock,
+// errdrop) over the given package patterns and exits non-zero when any
+// finding survives //lint:allow suppression. CI runs exactly this
+// binary, and lint.sh runs it locally, so the blocking check is the
+// same everywhere:
+//
+//	go run ./cmd/phasetune-lint ./...
+//
+// Flags:
+//
+//	-run  comma-separated analyzer subset (default: all)
+//	-json machine-readable findings, one JSON array, for CI annotation
+//	-list print the registered analyzers and their contracts, then exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phasetune/internal/lint"
+	"phasetune/internal/lint/analysis"
+	"phasetune/internal/lint/load"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON for CI line annotation")
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*runFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasetune-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	l := load.NewLoader("")
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasetune-lint:", err)
+		os.Exit(2)
+	}
+
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasetune-lint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "phasetune-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "phasetune-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(csv string) ([]*analysis.Analyzer, error) {
+	all := lint.Analyzers()
+	if csv == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, floatsafe, strategylock, errdrop)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

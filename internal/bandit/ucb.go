@@ -57,7 +57,12 @@ func (u *UCB) Select() int {
 }
 
 // Observe records a reward for the arm (for durations pass -duration).
+// Non-finite rewards are dropped: a NaN or ±Inf from a failed probe
+// would otherwise poison the running mean for the arm's whole lifetime.
 func (u *UCB) Observe(arm int, reward float64) {
+	if math.IsNaN(reward) || math.IsInf(reward, 0) {
+		return
+	}
 	u.t++
 	n := u.count[arm] + 1
 	u.count[arm] = n

@@ -164,7 +164,7 @@ func (g *GPStrategy) Hyperparameters() (alpha, theta float64) {
 
 // Next implements Strategy.
 func (g *GPStrategy) Next() int {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism lastFit is overhead diagnostics (LastFitDuration), never feeds proposals or observations
 	defer func() { g.lastFit = time.Since(start) }()
 
 	// Iteration 1: the application default — all nodes.

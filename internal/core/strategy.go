@@ -141,6 +141,7 @@ func (h *history) best(fallback int) int {
 	best := fallback
 	bv := math.Inf(1)
 	for a, m := range h.mean {
+		//lint:allow floatsafe exact tie-break: equal means come from identical deterministic sims, lowest action wins
 		if m < bv || (m == bv && a < best) {
 			best, bv = a, m
 		}

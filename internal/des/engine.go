@@ -103,6 +103,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:allow floatsafe lexicographic (time, seq) order needs exact equality; a tolerance would break the strict weak ordering
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

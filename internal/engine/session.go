@@ -93,6 +93,7 @@ func (s *Session) result() SessionResult {
 		best, bestSim, sum := s.actions[0], s.sims[0], 0.0
 		for i, v := range s.sims {
 			sum += v
+			//lint:allow floatsafe exact tie-break between identical cached sim values; lowest action wins deterministically
 			if v < bestSim || (v == bestSim && s.actions[i] < best) {
 				best, bestSim = s.actions[i], v
 			}

@@ -76,6 +76,7 @@ func ApplyState(sc platform.Scenario, st State) (View, error) {
 		j := i
 		for j < len(alive) &&
 			p.Nodes[alive[j]].Class == p.Nodes[alive[i]].Class &&
+			//lint:allow floatsafe speed factors are exact plan constants; same group iff bitwise-equal factor
 			st.Speed[alive[j]] == st.Speed[alive[i]] {
 			j++
 		}

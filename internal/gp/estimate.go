@@ -50,6 +50,7 @@ func keyOf(x []float64) string {
 
 func appendFloat(b []byte, v float64) []byte {
 	// Exact for the integers used as actions; fall back to bits otherwise.
+	//lint:allow floatsafe v == Trunc(v) is the canonical exact is-integer test; both sides share one rounding
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		n := int64(v)
 		if n < 0 {

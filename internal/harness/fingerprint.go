@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -18,20 +19,23 @@ import (
 // shared evaluation cache keys on it so distinct sessions tuning the
 // same system share one memo.
 func ScenarioFingerprint(sc platform.Scenario, opts SimOptions) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "wl=%s/%d/%d;tiles=%d;min=%d;",
+	// Accumulate in a never-fail buffer and hash once: fmt.Fprintf to a
+	// hash.Hash would silently discard the (unreachable) write error.
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "wl=%s/%d/%d;tiles=%d;min=%d;",
 		sc.Workload.Name, sc.Workload.MatrixN, sc.Workload.TileSize,
 		opts.tiles(sc), sc.MinNodes)
-	fmt.Fprintf(h, "exact=%t;gen=%d;", opts.Exact, opts.GenNodes)
+	fmt.Fprintf(&b, "exact=%t;gen=%d;", opts.Exact, opts.GenNodes)
 	net := sc.Platform.Network
-	fmt.Fprintf(h, "net=%g/%g/%g;",
+	fmt.Fprintf(&b, "net=%g/%g/%g;",
 		net.NICBandwidth, net.BackboneBandwidth, net.Latency)
 	for _, n := range sc.Platform.Nodes {
 		c := n.Class
-		fmt.Fprintf(h, "node=%s/%g/%d/%g/%d;",
+		fmt.Fprintf(&b, "node=%s/%g/%d/%g/%d;",
 			c.Machine, c.CPUSpeed, c.Cores, c.GPUSpeed, c.NumGPUs)
 	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	sum := sha256.Sum256(b.Bytes())
+	return hex.EncodeToString(sum[:])[:16]
 }
 
 // Evaluator is the reentrant simulation entry point used by concurrent

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"phasetune/internal/lint/load"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+//
+// Grammar: `//lint:allow <analyzer> <reason...>` — the analyzer name
+// must be one of the registered analyzers and the reason is mandatory
+// (an allow without a justification is itself a finding). A directive
+// suppresses diagnostics from the named analyzer on its own source line
+// (trailing comment) or on the line directly below (standalone comment
+// above the offending statement). A directive that suppresses nothing
+// is reported as stale so allows cannot outlive the code they excused.
+type allowDirective struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+	line     int
+	used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows extracts the allow directives of one file. Malformed
+// directives (missing analyzer, unknown analyzer, missing reason) are
+// reported immediately via report and not returned.
+func parseAllows(pkg *load.Package, file *ast.File, known map[string]bool,
+	report func(pos token.Pos, msg string)) []*allowDirective {
+
+	var out []*allowDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:allowed — not ours
+			}
+			// A nested `//` ends the directive (reasons cannot contain
+			// one); this keeps fixture `// want` markers out of reasons.
+			if idx := strings.Index(rest, "//"); idx >= 0 {
+				rest = rest[:idx]
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report(c.Pos(), "lint:allow needs an analyzer name and a reason")
+				continue
+			}
+			name := fields[0]
+			if !known[name] {
+				report(c.Pos(), "lint:allow names unknown analyzer "+quote(name))
+				continue
+			}
+			if len(fields) < 2 {
+				report(c.Pos(), "lint:allow "+name+" is missing a reason")
+				continue
+			}
+			out = append(out, &allowDirective{
+				pos:      c.Pos(),
+				analyzer: name,
+				reason:   strings.Join(fields[1:], " "),
+				line:     pkg.Fset.Position(c.Pos()).Line,
+			})
+		}
+	}
+	return out
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// suppresses reports whether the directive covers a diagnostic from
+// analyzer at the given line.
+func (a *allowDirective) suppresses(analyzer string, line int) bool {
+	return a.analyzer == analyzer && (line == a.line || line == a.line+1)
+}

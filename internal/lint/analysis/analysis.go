@@ -1,0 +1,101 @@
+// Package analysis is a self-contained, stdlib-only re-implementation
+// of the subset of golang.org/x/tools/go/analysis that phasetune's
+// analyzers need. The container building this repository has no module
+// network access, so the canonical x/tools framework cannot be pulled
+// in; the API here mirrors it closely enough that the analyzers would
+// port to upstream go/analysis with mechanical changes only (Analyzer,
+// Pass, Diagnostic, Reportf keep their upstream shapes).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// //lint:allow annotations and -run filters; Doc is the one-paragraph
+// contract shown by `phasetune-lint -help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run executes the check over one package and reports findings via
+	// pass.Report. The returned value is ignored by this driver (kept in
+	// the signature for upstream compatibility).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass hands one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Preorder walks every node of every file in the pass in depth-first
+// preorder, calling fn for each node whose dynamic type matches one of
+// the example node types (all nodes when types is empty). It stands in
+// for x/tools' inspect.Analyzer + inspector.Preorder.
+func (p *Pass) Preorder(nodeTypes []ast.Node, fn func(ast.Node)) {
+	match := func(n ast.Node) bool {
+		if len(nodeTypes) == 0 {
+			return true
+		}
+		for _, t := range nodeTypes {
+			if sameNodeType(t, n) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil && match(n) {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+func sameNodeType(a, b ast.Node) bool {
+	return fmt.Sprintf("%T", a) == fmt.Sprintf("%T", b)
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// containing pos in file, or nil.
+func EnclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var found ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false // does not span pos; skip subtree
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			found = n // innermost spanning func wins (visited last)
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"phasetune/internal/lint/determinism"
+	"phasetune/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer, "testdata/src/a")
+}

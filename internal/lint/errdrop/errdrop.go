@@ -1,0 +1,291 @@
+// Package errdrop implements the phasetune-lint analyzer for silently
+// discarded errors — stricter than `go vet`, which does not check
+// unassigned error results at all. A tuning service that drops a write
+// error emits a truncated report that parses as a complete one; that
+// failure mode is worse than crashing, so inside internal/ and cmd/
+// every error must be handled or visibly discarded.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"phasetune/internal/lint/analysis"
+)
+
+// Name is the analyzer's registry and //lint:allow identifier.
+const Name = "errdrop"
+
+// Analyzer flags:
+//
+//   - expression-statement calls whose result set includes an error,
+//     silently dropped. Exempt: fmt.Print/Printf/Println (stdout
+//     convention), fmt.Fprint* into a *bytes.Buffer, *strings.Builder
+//     or *tabwriter.Writer (documented never-fail or error surfaces at
+//     Flush), and methods on those same never-fail writers.
+//     `_ = f()` stays legal — it is a visible decision a reviewer can
+//     veto, which is the entire point.
+//   - `defer f.Close()` on a writable *os.File (opened in the same
+//     function via os.Create, or os.OpenFile with a writing flag): on
+//     many filesystems the write error only surfaces at Close, so the
+//     deferred discard loses it. Close explicitly and check, or funnel
+//     through a named-return error.
+//   - a select with a default case that silently drops an error send:
+//     `case ch <- err: default:` makes error delivery best-effort with
+//     no trace; at minimum the default arm must do something.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "forbid silently dropped errors: unassigned error results, deferred Close on writable files, error sends dropped by select-default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		writable := writableFiles(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, n)
+			case *ast.DeferStmt:
+				checkDeferClose(pass, n, writable)
+			case *ast.SelectStmt:
+				checkSelectDrop(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+	default:
+		return types.Identical(t, errType)
+	}
+	return false
+}
+
+func checkDroppedCall(pass *analysis.Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok || !returnsError(pass, call) {
+		return
+	}
+	if exemptCall(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"result of %s includes an error that is silently dropped; handle it or discard visibly with `_ =`", calleeName(call))
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if base, ok := flatName(f.X); ok {
+			return base + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}
+
+func flatName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		if base, ok := flatName(e.X); ok {
+			return base + "." + e.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// neverFailWriter matches the types whose Write errors are documented
+// unreachable (or deferred to an explicit Flush that is still checked).
+func neverFailWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder", "text/tabwriter.Writer":
+		return true
+	}
+	return false
+}
+
+// exemptCall implements the documented exemptions.
+func exemptCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Methods on never-fail writers (buf.WriteString, w.Write, ...).
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return neverFailWriter(s.Recv())
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true // stdout convention
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) > 0 {
+			if t := pass.TypesInfo.Types[call.Args[0]].Type; t != nil {
+				return neverFailWriter(t) || isStdStream(pass, call.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func isStdStream(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}
+
+// writableFiles collects objects assigned from os.Create or a writing
+// os.OpenFile anywhere in the file (per-function precision is not
+// needed: a *os.File variable is either a writer or it is not).
+func writableFiles(pass *analysis.Pass, file *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !opensForWrite(pass, call) {
+				continue
+			}
+			// The *os.File result is the first LHS.
+			idx := 0
+			if len(as.Rhs) != len(as.Lhs) {
+				idx = 0
+			} else {
+				idx = i
+			}
+			if idx < len(as.Lhs) {
+				if id, ok := as.Lhs[idx].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						out[obj] = true
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// opensForWrite recognizes os.Create and os.OpenFile with O_WRONLY,
+// O_RDWR or O_APPEND in its (usually constant-folded) flag argument.
+func opensForWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	switch fn.Name() {
+	case "Create":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		// Textual scan of the flag expression: the os flag names appear
+		// as selectors even through | compositions.
+		found := false
+		ast.Inspect(call.Args[1], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				switch id.Name {
+				case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// checkDeferClose flags `defer f.Close()` when f is a writable file.
+func checkDeferClose(pass *analysis.Pass, d *ast.DeferStmt, writable map[types.Object]bool) {
+	sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !writable[obj] {
+		return
+	}
+	pass.Reportf(d.Pos(),
+		"defer %s.Close() on a writable file discards the flush error — the only signal a full disk gives; close explicitly and check, or route through a named-return error", id.Name)
+}
+
+// checkSelectDrop flags a select that sends an error but falls through
+// an empty default, silently losing the delivery.
+func checkSelectDrop(pass *analysis.Pass, sel *ast.SelectStmt) {
+	var errSend *ast.SendStmt
+	var emptyDefault *ast.CommClause
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			if len(cc.Body) == 0 {
+				emptyDefault = cc
+			}
+			continue
+		}
+		if send, ok := cc.Comm.(*ast.SendStmt); ok {
+			if t := pass.TypesInfo.Types[send.Value].Type; t != nil && types.Identical(t, errType) {
+				errSend = send
+			}
+		}
+	}
+	if errSend != nil && emptyDefault != nil {
+		pass.Reportf(emptyDefault.Pos(),
+			"select drops an error send on the floor when the channel is full; buffer the channel, log, or count the loss in the default arm")
+	}
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"phasetune/internal/lint/errdrop"
+	"phasetune/internal/lint/linttest"
+)
+
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, errdrop.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,88 @@
+// Package a is the errdrop analyzer fixture.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error                { return nil }
+func valAndErr() (int, error)       { return 0, nil }
+func noError() int                  { return 0 }
+
+func dropped() {
+	mayFail()           // want `result of mayFail includes an error that is silently dropped`
+	valAndErr()         // want `result of valAndErr includes an error that is silently dropped`
+	noError()           // no error in the results: fine
+	_ = mayFail()       // visible discard: a reviewer can veto it
+	_, _ = valAndErr()  // same
+	if err := mayFail(); err != nil {
+		panic(err)
+	}
+}
+
+func allowedDrop() {
+	mayFail() //lint:allow errdrop best-effort cache warmup, failure is benign
+}
+
+func printing(w io.Writer, f *os.File) {
+	fmt.Println("hello")            // stdout convention: exempt
+	fmt.Printf("%d", 1)             // exempt
+	fmt.Fprintln(os.Stderr, "oops") // std stream: exempt
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "x")          // never-fail writer: exempt
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x")           // never-fail writer: exempt
+	buf.WriteString("x")            // method on never-fail writer: exempt
+	fmt.Fprintf(w, "x")  // want `result of fmt\.Fprintf includes an error that is silently dropped`
+	fmt.Fprintln(f, "x") // want `result of fmt\.Fprintln includes an error that is silently dropped`
+}
+
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f\.Close\(\) on a writable file discards the flush error`
+	_, err = f.WriteString("data")
+	return err
+}
+
+func deferredCloseReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // read side: Close cannot lose a write
+	return io.ReadAll(f)
+}
+
+func explicitClose(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("data"); err != nil {
+		f.Close() // want `result of f\.Close includes an error that is silently dropped`
+		return err
+	}
+	return f.Close()
+}
+
+func selectDrop(errs chan error, err error) {
+	select {
+	case errs <- err: // the finding lands on the default arm below
+	default: // want `select drops an error send on the floor`
+	}
+}
+
+func selectCounted(errs chan error, err error, lost *int) {
+	select {
+	case errs <- err:
+	default:
+		*lost++
+	}
+}

@@ -1,0 +1,292 @@
+// Package floatsafe implements the phasetune-lint analyzer guarding
+// the numeric pipeline. The paper's GP-discontinuous results are only
+// as trustworthy as the floating-point plumbing beneath them: one
+// bitwise float comparison that "works on my machine", one NaN slipping
+// into a running mean, or one float→int truncation in seed derivation
+// silently changes every downstream number.
+package floatsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"phasetune/internal/lint/analysis"
+)
+
+// Name is the analyzer's registry and //lint:allow identifier.
+const Name = "floatsafe"
+
+// Analyzer flags, inside the simulation/strategy packages:
+//
+//   - `==` / `!=` between floating-point operands. Exact float equality
+//     is almost always a rounding-sensitivity bug; compare against a
+//     tolerance, or restructure so the sentinel is an int/bool. The two
+//     sanctioned idioms stay silent: `x != x` (NaN test) and comparison
+//     against an infinity expression (math.Inf sentinel, exactly
+//     representable and propagated unchanged).
+//   - float→integer conversions inside seed / fingerprint / hash
+//     derivation functions without an explicit math.Floor/Round/Trunc:
+//     truncation of a negative or out-of-range float is
+//     implementation-defined noise in the one place bits must be
+//     stable.
+//   - Strategy Observe implementations (method Observe(int, float64))
+//     that use the duration without first screening it through
+//     core.SanitizeObservation or math.IsNaN/IsInf: a single +Inf probe
+//     or NaN from a dead collector otherwise corrupts every running
+//     mean and GP posterior behind it.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "flag bitwise float comparison, unguarded float→int seed derivation, and unscreened Observe feeds",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatEq(pass, n)
+			case *ast.FuncDecl:
+				if isSeedDerivation(n) {
+					checkFloatToInt(pass, n)
+				}
+				checkObserveGuard(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func checkFloatEq(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	xt := pass.TypesInfo.Types[e.X].Type
+	yt := pass.TypesInfo.Types[e.Y].Type
+	if !isFloat(xt) && !isFloat(yt) {
+		return
+	}
+	if sameExpr(e.X, e.Y) {
+		return // x != x — the portable NaN test
+	}
+	if isInfExpr(pass, e.X) || isInfExpr(pass, e.Y) {
+		return // ±Inf sentinel comparison is exact by construction
+	}
+	pass.Reportf(e.OpPos,
+		"bitwise %s on floating-point operands: compare with a tolerance or restructure the sentinel (NaN check: x != x; Inf sentinels are exempt)", e.Op)
+}
+
+// sameExpr reports whether a and b are the same identifier or selector
+// chain (textual structural equality for the x != x NaN idiom).
+func sameExpr(a, b ast.Expr) bool {
+	ai, aok := flatName(a)
+	bi, bok := flatName(b)
+	return aok && bok && ai == bi
+}
+
+func flatName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := flatName(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return flatName(e.X)
+	}
+	return "", false
+}
+
+// isInfExpr reports whether e is math.Inf(...), a negation of one, or a
+// named value whose initializer we cannot see but whose name says Inf.
+func isInfExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return isInfExpr(pass, e.X)
+	case *ast.UnaryExpr:
+		return isInfExpr(pass, e.X)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Inf" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSeedDerivation reports whether the function's name marks it as part
+// of seed / fingerprint / hash derivation, where bit-stability rules.
+func isSeedDerivation(fn *ast.FuncDecl) bool {
+	name := strings.ToLower(fn.Name.Name)
+	for _, kw := range []string{"seed", "fingerprint", "hash"} {
+		if strings.Contains(name, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+var intKinds = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true, "uintptr": true,
+}
+
+// checkFloatToInt flags T(floatExpr) conversions in seed-derivation
+// functions unless the operand is already pinned by math.Floor/Round/
+// Trunc/Ceil.
+func checkFloatToInt(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true // ordinary call, not a conversion
+		}
+		dst, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || !intKinds[dst.Name()] {
+			return true
+		}
+		if !isFloat(pass.TypesInfo.Types[call.Args[0]].Type) {
+			return true
+		}
+		if pinned(pass, call.Args[0]) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"float→%s conversion in seed/fingerprint derivation truncates implementation-defined bits; pin with math.Round/Floor/Trunc or derive from integer state", dst.Name())
+		return true
+	})
+}
+
+func pinned(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+		return false
+	}
+	switch fn.Name() {
+	case "Floor", "Ceil", "Round", "RoundToEven", "Trunc":
+		return true
+	}
+	return false
+}
+
+// checkObserveGuard enforces the observation-guard convention on
+// Strategy implementations: a method Observe(action int, duration
+// float64) must screen the duration before using it — by calling
+// core.SanitizeObservation, math.IsNaN/math.IsInf on it, or delegating
+// it verbatim to exactly one inner Observe/observe (wrapper chains end
+// at a screening implementation).
+func checkObserveGuard(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Name.Name != "Observe" || fn.Recv == nil || fn.Body == nil {
+		return
+	}
+	params := fn.Type.Params
+	if params == nil || params.NumFields() != 2 {
+		return
+	}
+	// Second parameter must be a float64 (the duration).
+	durField := params.List[len(params.List)-1]
+	if len(durField.Names) == 0 {
+		return // unused duration cannot corrupt anything
+	}
+	durName := durField.Names[len(durField.Names)-1]
+	durObj := pass.TypesInfo.Defs[durName]
+	if durObj == nil || !isFloat(durObj.Type()) {
+		return
+	}
+
+	guarded := false
+	delegated := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var calleeIdent *ast.Ident
+		switch f := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			calleeIdent = f.Sel
+		case *ast.Ident:
+			calleeIdent = f
+		default:
+			return true
+		}
+		if f, ok := pass.TypesInfo.Uses[calleeIdent].(*types.Func); ok {
+			isMath := f.Pkg() != nil && f.Pkg().Path() == "math"
+			switch {
+			case isMath && (f.Name() == "IsNaN" || f.Name() == "IsInf"):
+				if usesObj(pass, call, durObj) {
+					guarded = true
+				}
+			case f.Name() == "SanitizeObservation":
+				if usesObj(pass, call, durObj) {
+					guarded = true
+				}
+			}
+		}
+		// Verbatim delegation to an inner Observe/observe keeps the
+		// screening obligation with the callee.
+		if calleeIdent.Name == "Observe" || calleeIdent.Name == "observe" {
+			if len(call.Args) >= 1 && usesObj(pass, call, durObj) {
+				delegated = true
+			}
+		}
+		return true
+	})
+	if guarded || delegated {
+		return
+	}
+	// Is the duration used at all beyond the signature?
+	if !usesObjIn(pass, fn.Body, durObj) {
+		return
+	}
+	pass.Reportf(fn.Pos(),
+		"Observe uses the measured duration without screening: filter through core.SanitizeObservation (or math.IsNaN/IsInf) before it reaches running statistics")
+}
+
+func usesObj(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	for _, a := range call.Args {
+		if usesObjIn(pass, a, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func usesObjIn(pass *analysis.Pass, root ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package floatsafe_test
+
+import (
+	"testing"
+
+	"phasetune/internal/lint/floatsafe"
+	"phasetune/internal/lint/linttest"
+)
+
+func TestFloatsafe(t *testing.T) {
+	linttest.Run(t, floatsafe.Analyzer, "testdata/src/a")
+}

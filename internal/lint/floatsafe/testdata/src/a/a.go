@@ -1,0 +1,84 @@
+// Package a is the floatsafe analyzer fixture.
+package a
+
+import (
+	"math"
+
+	"phasetune/internal/core"
+)
+
+func comparisons(a, b float64, f32 float32, i, j int, s string) bool {
+	if a == b { // want `bitwise == on floating-point operands`
+		return true
+	}
+	if a != b { // want `bitwise != on floating-point operands`
+		return true
+	}
+	if float64(f32) == a { // want `bitwise == on floating-point operands`
+		return true
+	}
+	if a != a { // NaN test idiom: exempt
+		return true
+	}
+	if a == math.Inf(1) || b == -math.Inf(1) { // Inf sentinels: exempt
+		return true
+	}
+	if i == j || s != "x" { // non-float comparisons: exempt
+		return true
+	}
+	ok := a == 0.0 //lint:allow floatsafe zero is an exact sentinel set by us, never computed
+	return ok
+}
+
+// DeriveSeed is seed derivation by name: float truncation here is
+// implementation-defined bit noise.
+func DeriveSeed(base int64, x float64) int64 {
+	s := base + int64(x) // want `float→int64 conversion in seed/fingerprint derivation`
+	s ^= int64(math.Round(x * 1e6)) // pinned: exempt
+	return s
+}
+
+// fingerprintOf is matched case-insensitively on "fingerprint".
+func fingerprintOf(x float64) uint64 {
+	return uint64(x) // want `float→uint64 conversion in seed/fingerprint derivation`
+}
+
+// scale is not seed derivation; numeric conversion is everyday code.
+func scale(x float64) int { return int(x * 10) }
+
+type unguarded struct{ sum float64 }
+
+func (u *unguarded) Observe(action int, duration float64) { // want `Observe uses the measured duration without screening`
+	u.sum += duration
+}
+
+type guarded struct{ sum float64 }
+
+func (g *guarded) Observe(action int, duration float64) {
+	d, ok := core.SanitizeObservation(duration)
+	if !ok {
+		return
+	}
+	g.sum += d
+}
+
+type mathGuarded struct{ sum float64 }
+
+func (m *mathGuarded) Observe(action int, duration float64) {
+	if math.IsNaN(duration) || math.IsInf(duration, 0) {
+		return
+	}
+	m.sum += duration
+}
+
+type delegating struct{ inner *guarded }
+
+func (d *delegating) Observe(action int, duration float64) {
+	d.inner.Observe(action, duration) // screening obligation moves inward
+}
+
+type ignoring struct{ n int }
+
+func (i *ignoring) Observe(action int, duration float64) {
+	i.n++ // duration never used: nothing to corrupt
+}

@@ -1,0 +1,178 @@
+// Package lint is the driver for phasetune's static analyzers. It
+// couples the stdlib-only analysis framework (internal/lint/analysis)
+// and loader (internal/lint/load) with the four project analyzers, the
+// per-analyzer package scopes, and the //lint:allow suppression
+// mechanism shared by cmd/phasetune-lint, lint.sh and CI.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"phasetune/internal/lint/analysis"
+	"phasetune/internal/lint/determinism"
+	"phasetune/internal/lint/errdrop"
+	"phasetune/internal/lint/floatsafe"
+	"phasetune/internal/lint/strategylock"
+	"phasetune/internal/lint/load"
+)
+
+// Analyzers returns the full registry, in report order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		floatsafe.Analyzer,
+		strategylock.Analyzer,
+		errdrop.Analyzer,
+	}
+}
+
+// simPackages are the packages whose behaviour must be a pure function
+// of their inputs: the simulator stack and every strategy that the
+// engine replays. The determinism / floatsafe / strategylock invariants
+// apply here; packages outside this list (CLI frontends, examples, the
+// linter itself) may read clocks and print freely.
+var simPackages = map[string]bool{
+	"phasetune/internal/des":     true,
+	"phasetune/internal/simnet":  true,
+	"phasetune/internal/taskrt":  true,
+	"phasetune/internal/harness": true,
+	"phasetune/internal/core":    true,
+	"phasetune/internal/gp":      true,
+	"phasetune/internal/bandit":  true,
+	"phasetune/internal/engine":  true,
+	"phasetune/internal/faults":  true,
+	"phasetune/internal/stats":   true,
+}
+
+// inScope reports whether analyzer a runs over package path. Packages
+// outside the module (analyzer test fixtures) are always in scope so
+// the testdata suites exercise every rule.
+func inScope(a *analysis.Analyzer, path string) bool {
+	if !strings.HasPrefix(path, "phasetune") {
+		return true
+	}
+	switch a.Name {
+	case determinism.Name, floatsafe.Name, strategylock.Name:
+		return simPackages[path]
+	case errdrop.Name:
+		// Everything we ship: the library internals and the CLIs, minus
+		// the linter's own packages (they report through returned errors
+		// and their fixtures intentionally drop values).
+		if strings.HasPrefix(path, "phasetune/internal/lint") {
+			return false
+		}
+		return strings.HasPrefix(path, "phasetune/internal/") ||
+			strings.HasPrefix(path, "phasetune/cmd/")
+	}
+	return true
+}
+
+// Finding is one reported diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Run executes the analyzers over the packages, applies //lint:allow
+// suppression, validates the directives themselves, and returns the
+// surviving findings sorted by position. The pseudo-analyzer name
+// "allow" tags directive-hygiene findings (unknown analyzer, missing
+// reason, stale directive).
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		f, err := runPackage(pkg, analyzers, known)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer, known map[string]bool) ([]Finding, error) {
+	var out []Finding
+	emit := func(analyzer string, pos token.Pos, msg string) {
+		p := pkg.Fset.Position(pos)
+		out = append(out, Finding{
+			Analyzer: analyzer, Pos: p, File: p.Filename, Line: p.Line, Col: p.Column, Message: msg,
+		})
+	}
+
+	// Allow directives, parsed once per file; malformed ones surface as
+	// "allow" findings straight away.
+	var allows []*allowDirective
+	for _, file := range pkg.Files {
+		allows = append(allows, parseAllows(pkg, file, known, func(pos token.Pos, msg string) {
+			emit("allow", pos, msg)
+		})...)
+	}
+
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		if !inScope(a, pkg.Path) {
+			continue
+		}
+		ran[a.Name] = true
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			line := pkg.Fset.Position(d.Pos).Line
+			for _, al := range allows {
+				if al.suppresses(name, line) {
+					al.used = true
+					return
+				}
+			}
+			emit(name, d.Pos, d.Message)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	// A directive for an analyzer that ran but suppressed nothing is
+	// stale: the offending line was fixed or moved, so the excuse must
+	// be deleted rather than silently shadow future regressions.
+	for _, al := range allows {
+		if ran[al.analyzer] && !al.used {
+			emit("allow", al.pos, "stale lint:allow "+al.analyzer+": no diagnostic on this or the next line")
+		}
+	}
+	return out, nil
+}

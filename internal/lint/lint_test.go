@@ -1,0 +1,85 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phasetune/internal/lint"
+	"phasetune/internal/lint/load"
+)
+
+// TestAllowDirectives drives the //lint:allow machinery end to end via
+// the fixture package: unknown analyzer names and missing reasons are
+// findings, working suppressions (trailing and standalone) are silent,
+// and stale directives are reported.
+func TestAllowDirectives(t *testing.T) {
+	l := load.NewLoader("")
+	abs, err := filepath.Abs("testdata/src/allowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantSubstrings := []string{
+		`unknown analyzer "clockcheck"`,
+		"missing a reason",
+		"stale lint:allow determinism",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q; got %v", want, findings)
+		}
+	}
+
+	// The two working suppressions must not leak wall-clock findings,
+	// and the malformed directives must NOT suppress theirs (the two
+	// expected wall-clock findings are on the malformed lines).
+	wallClock := 0
+	for _, f := range findings {
+		if strings.Contains(f.Message, "wall-clock") {
+			wallClock++
+		}
+	}
+	if wallClock != 2 {
+		t.Errorf("want exactly 2 unsuppressed wall-clock findings (malformed directives), got %d: %v", wallClock, findings)
+	}
+}
+
+// TestRunIsOrdered asserts findings come back sorted by position so CI
+// annotation output is stable.
+func TestRunIsOrdered(t *testing.T) {
+	l := load.NewLoader("")
+	abs, err := filepath.Abs("testdata/src/allowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("findings out of order: %v before %v", a, b)
+		}
+	}
+}

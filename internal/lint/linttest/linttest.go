@@ -1,0 +1,132 @@
+// Package linttest is the fixture harness for phasetune's analyzers,
+// modeled on x/tools' analysistest: a testdata package annotated with
+// `// want "regexp"` comments is loaded, the analyzer (plus the
+// //lint:allow machinery) runs over it, and the produced findings must
+// match the annotations exactly — every want matched by a finding on
+// its line, every finding claimed by a want.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"phasetune/internal/lint"
+	"phasetune/internal/lint/analysis"
+	"phasetune/internal/lint/load"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+// Patterns are written either "quoted" (Go string escaping applies) or
+// `backticked` (taken verbatim, the analysistest convention).
+var wantArgRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+	raw     string
+}
+
+// Run loads the fixture package in dir (relative to the calling test's
+// package directory, conventionally "testdata/src/<name>"), runs the
+// analyzer through the lint driver, and reports mismatches on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := load.NewLoader("")
+	pkg, err := l.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	findings, err := lint.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f.File, f.Line, f.Message) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %s", w.file, w.line, strconv.Quote(w.raw))
+		}
+	}
+}
+
+// collectWants extracts the want annotations from every fixture file.
+func collectWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWant(t, pkg.Fset, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+	if len(args) == 0 {
+		t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+	}
+	var out []*want
+	for _, a := range args {
+		pat := a[2] // backticked: verbatim
+		if a[1] != "" || a[2] == "" {
+			var err error
+			pat, err = strconv.Unquote(`"` + a[1] + `"`)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: want pattern does not compile: %v", pos.Filename, pos.Line, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+	}
+	return out
+}
+
+// claim marks the first unmatched want on (file, line) whose regexp
+// matches msg.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != line {
+			continue
+		}
+		if !sameFile(w.file, file) {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(a, b string) bool {
+	return a == b || filepath.Base(a) == filepath.Base(b) && strings.HasSuffix(a, filepath.Base(b))
+}

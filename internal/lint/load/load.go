@@ -1,0 +1,254 @@
+// Package load type-checks phasetune packages for static analysis
+// without golang.org/x/tools/go/packages (unavailable offline). Package
+// metadata comes from `go list -json -deps`, which emits packages in
+// dependency order; module packages are parsed and type-checked with
+// go/types in that order, while standard-library imports are resolved
+// by the compiler's source importer. The module has no third-party
+// dependencies, so this closure is complete.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string // import path, e.g. phasetune/internal/core
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and caches module packages. It is not safe for
+// concurrent use.
+type Loader struct {
+	// ModuleDir is the directory `go list` runs in; empty means the
+	// current working directory.
+	ModuleDir string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a Loader with a fresh FileSet.
+func NewLoader(moduleDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir: moduleDir,
+		fset:      fset,
+		std:       importer.ForCompiler(fset, "source", nil),
+		pkgs:      map[string]*Package{},
+	}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listPkg is the subset of `go list -json` output the loader uses.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...", "phasetune/internal/core") to
+// module packages and type-checks them plus their module dependencies.
+// It returns only the packages matched by the patterns, sorted by
+// import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// -deps emits dependencies before dependents, so a single in-order
+	// sweep can type-check every module package against already-checked
+	// imports.
+	matched := map[string]bool{}
+	for _, m := range metas {
+		if m.DepOnly {
+			continue
+		}
+		matched[m.ImportPath] = true
+	}
+	var out []*Package
+	for _, m := range metas {
+		if m.Standard {
+			continue
+		}
+		p, err := l.check(m.listPkg)
+		if err != nil {
+			return nil, err
+		}
+		if matched[m.ImportPath] {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Package loads a single package (and its module dependencies) by
+// import path.
+func (l *Loader) Package(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	pkgs, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("load: pattern %q matched %d packages", path, len(pkgs))
+	}
+	return pkgs[0], nil
+}
+
+type depPkg struct {
+	listPkg
+	DepOnly bool
+}
+
+// goList runs `go list -json -deps` and decodes the JSON stream.
+func (l *Loader) goList(patterns []string) ([]depPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("load: go list: %w", err)
+	}
+	dec := json.NewDecoder(stdout)
+	var metas []depPkg
+	for {
+		var raw struct {
+			listPkg
+			DepOnly bool
+		}
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if raw.Error != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("load: %s: %s", raw.ImportPath, raw.Error.Err)
+		}
+		metas = append(metas, depPkg{listPkg: raw.listPkg, DepOnly: raw.DepOnly})
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return metas, nil
+}
+
+// check parses and type-checks one module package, caching the result.
+func (l *Loader) check(m listPkg) (*Package, error) {
+	if p, ok := l.pkgs[m.ImportPath]; ok {
+		return p, nil
+	}
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", m.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	p, err := l.typeCheck(m.ImportPath, m.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[m.ImportPath] = p
+	return p, nil
+}
+
+// typeCheck runs go/types over already-parsed files. Imports of module
+// packages resolve to the loader's cache (they were checked earlier in
+// dependency order); everything else goes to the source importer.
+func (l *Loader) typeCheck(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: chainImporter{l}}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadDir parses and type-checks every .go file in dir as one package
+// outside the module's package graph (analyzer fixtures live under
+// testdata/, which go list wildcards skip). The synthetic import path
+// is the directory base name; imports of phasetune packages resolve
+// through the loader.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.typeCheck(filepath.Base(dir), dir, files)
+}
+
+// chainImporter resolves module import paths from the loader cache and
+// loads them on demand, delegating the rest to the source importer.
+type chainImporter struct{ l *Loader }
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if strings.HasPrefix(path, "phasetune/") || path == "phasetune" {
+		p, err := c.l.Package(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return c.l.std.Import(path)
+}

@@ -1,0 +1,62 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadModulePackage type-checks a real module package, pulling its
+// module dependencies through the chain importer.
+func TestLoadModulePackage(t *testing.T) {
+	l := NewLoader("")
+	pkgs, err := l.Load("phasetune/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Types.Name() != "core" {
+		t.Fatalf("bad types package: %+v", p.Types)
+	}
+	if len(p.Files) == 0 || len(p.Info.Uses) == 0 {
+		t.Fatal("no syntax or no resolved uses")
+	}
+	if p.Types.Scope().Lookup("Strategy") == nil {
+		t.Fatal("core.Strategy not in package scope")
+	}
+	// Cached: a second load hands back the same package object.
+	again, err := l.Package("phasetune/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != p {
+		t.Fatal("loader did not cache the package")
+	}
+}
+
+// TestLoadWildcard loads a multi-package pattern and keeps only matched
+// packages in the result (dependencies are checked but not returned).
+func TestLoadWildcard(t *testing.T) {
+	l := NewLoader("")
+	pkgs, err := l.Load("phasetune/internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("expected the lint package family, got %d packages", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if !strings.HasPrefix(p.Path, "phasetune/internal/lint") {
+			t.Fatalf("pattern leaked unmatched package %s", p.Path)
+		}
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	l := NewLoader("")
+	if _, err := l.LoadDir("testdata/does-not-exist"); err == nil {
+		t.Fatal("expected an error for a directory with no Go files")
+	}
+}

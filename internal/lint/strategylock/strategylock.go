@@ -1,0 +1,350 @@
+// Package strategylock implements the phasetune-lint analyzer that
+// enforces the core.Strategy concurrency contract introduced in PR 2:
+// a Strategy is a single-client state machine, so any Next/Observe call
+// issued from engine goroutines must be serialized — through
+// core.Synchronized, the engine Driver, or a mutex held on every path.
+// It also generalizes the `firstErr` lesson: two data races of exactly
+// that shape (an unsynchronized shared write inside a parallelFor
+// callback) had to be fixed by hand in PR 2; this analyzer makes the
+// shape unwritable.
+package strategylock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"phasetune/internal/lint/analysis"
+)
+
+// Name is the analyzer's registry and //lint:allow identifier.
+const Name = "strategylock"
+
+// Analyzer flags:
+//
+//   - in internal/engine: calls to Next/Observe on a value whose static
+//     type is the core.Strategy interface, unless the enclosing
+//     function holds a mutex at the call (a sync.Mutex/RWMutex .Lock()
+//     textually precedes the call in the same function) or the value
+//     was produced by core.Synchronized in that function. The engine is
+//     where strategies meet goroutines; raw interface calls there are
+//     exactly the race the Driver exists to prevent.
+//   - in every simulation package: writes to captured variables inside
+//     parallel callbacks — function literals passed to parallelFor (or
+//     any callee whose name contains "parallel") and function literals
+//     launched by `go` — unless the write targets an index derived from
+//     the callback's own parameters or range variables, or the literal
+//     locks a mutex before writing. `if err != nil && firstErr == nil
+//     { firstErr = err }` is the canonical instance; funnel errors
+//     through errCollector instead.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "enforce the core.Strategy concurrency contract and forbid firstErr-style shared writes in parallel callbacks",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	engineScoped := pass.Pkg.Path() == "phasetune/internal/engine" ||
+		!strings.HasPrefix(pass.Pkg.Path(), "phasetune")
+	for _, file := range pass.Files {
+		if engineScoped {
+			checkStrategyCalls(pass, file)
+		}
+		checkParallelWrites(pass, file)
+	}
+	return nil, nil
+}
+
+// isCoreStrategy reports whether t is the core.Strategy interface type.
+func isCoreStrategy(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Strategy" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+func checkStrategyCalls(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Next" && sel.Sel.Name != "Observe" {
+			return true
+		}
+		recvT := pass.TypesInfo.Types[sel.X].Type
+		if recvT == nil || !isCoreStrategy(recvT) {
+			return true
+		}
+		fn := analysis.EnclosingFunc(file, call.Pos())
+		if fn == nil {
+			return true
+		}
+		if lockHeldBefore(pass, fn, call.Pos()) {
+			return true
+		}
+		if fromSynchronized(pass, fn, sel.X) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"raw core.Strategy.%s call in the engine: wrap the strategy with core.Synchronized or the Driver, or hold a mutex on every path (single-client contract)", sel.Sel.Name)
+		return true
+	})
+}
+
+// lockHeldBefore reports whether fn's body contains a sync.Mutex or
+// sync.RWMutex Lock() call textually before pos.
+func lockHeldBefore(pass *analysis.Pass, fn ast.Node, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fnBody(fn), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if isMutexLock(pass, call) {
+			held = true
+			return false
+		}
+		return !held
+	})
+	return held
+}
+
+func fnBody(fn ast.Node) ast.Node {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		if fn.Body != nil {
+			return fn.Body
+		}
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return fn
+}
+
+// isMutexLock reports whether call is (*sync.Mutex).Lock,
+// (*sync.RWMutex).Lock or (*sync.RWMutex).RLock.
+func isMutexLock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == "sync"
+}
+
+// fromSynchronized reports whether recv resolves to a variable that is
+// assigned from core.Synchronized(...) somewhere in fn.
+func fromSynchronized(pass *analysis.Pass, fn ast.Node, recv ast.Expr) bool {
+	id, ok := recv.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody(fn), func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := pass.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = pass.TypesInfo.Uses[lid]
+			}
+			if lobj != obj || i >= len(as.Rhs) {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Synchronized" {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkParallelWrites walks function literals that run concurrently —
+// arguments to parallel helpers and `go` statement callees — and flags
+// unsynchronized writes to captured variables.
+func checkParallelWrites(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !calleeNamedParallel(n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkCallbackWrites(pass, lit, "parallel callback")
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkCallbackWrites(pass, lit, "goroutine")
+			}
+		}
+		return true
+	})
+}
+
+func calleeNamedParallel(call *ast.CallExpr) bool {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "parallel")
+}
+
+// checkCallbackWrites flags assignments and ++/-- whose target is
+// declared outside lit, unless indexed by the literal's own locals or
+// performed after a mutex Lock inside the literal.
+func checkCallbackWrites(pass *analysis.Pass, lit *ast.FuncLit, what string) {
+	report := func(pos token.Pos, name string) {
+		pass.Reportf(pos,
+			"write to captured %q inside a %s races with its siblings (the firstErr bug class); use errCollector, a mutex, or per-index slots", name, what)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return true // nested literals get their own visit if launched concurrently
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name, pos, bad := capturedWrite(pass, lit, lhs, n.Pos()); bad {
+					report(pos, name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, pos, bad := capturedWrite(pass, lit, n.X, n.Pos()); bad {
+				report(pos, name)
+			}
+		}
+		return true
+	})
+}
+
+// capturedWrite decides whether writing lhs races: the base object must
+// be declared outside the literal, the write must not be slot-indexed
+// by a literal-local value, and no mutex may be held.
+func capturedWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr, at token.Pos) (string, token.Pos, bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil || !declaredOutside(obj, lit) {
+			return "", 0, false
+		}
+		if lockHeldBefore(pass, lit, at) {
+			return "", 0, false
+		}
+		return lhs.Name, lhs.Pos(), true
+	case *ast.IndexExpr:
+		// out[i] = ... is the sanctioned per-slot pattern when i is a
+		// local of the callback; a captured index races like a scalar.
+		base, ok := lhs.X.(*ast.Ident)
+		if !ok {
+			return "", 0, false
+		}
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil || !declaredOutside(obj, lit) {
+			return "", 0, false
+		}
+		if indexIsLocal(pass, lit, lhs.Index) {
+			return "", 0, false
+		}
+		if lockHeldBefore(pass, lit, at) {
+			return "", 0, false
+		}
+		return base.Name + "[...]", lhs.Pos(), true
+	case *ast.SelectorExpr:
+		// field writes on captured values: s.x = ...
+		base := rootIdent(lhs)
+		if base == nil {
+			return "", 0, false
+		}
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil || !declaredOutside(obj, lit) {
+			return "", 0, false
+		}
+		if lockHeldBefore(pass, lit, at) {
+			return "", 0, false
+		}
+		return base.Name + "." + lhs.Sel.Name, lhs.Pos(), true
+	}
+	return "", 0, false
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}
+
+// indexIsLocal reports whether every identifier in the index expression
+// is declared inside the literal (parameters or body locals).
+func indexIsLocal(pass *analysis.Pass, lit *ast.FuncLit, index ast.Expr) bool {
+	local := true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true // funcs, consts: order-independent
+		}
+		if declaredOutside(obj, lit) {
+			local = false
+			return false
+		}
+		return true
+	})
+	return local
+}

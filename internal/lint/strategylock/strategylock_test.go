@@ -1,0 +1,12 @@
+package strategylock_test
+
+import (
+	"testing"
+
+	"phasetune/internal/lint/linttest"
+	"phasetune/internal/lint/strategylock"
+)
+
+func TestStrategylock(t *testing.T) {
+	linttest.Run(t, strategylock.Analyzer, "testdata/src/a")
+}

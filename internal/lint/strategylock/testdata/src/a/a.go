@@ -1,0 +1,119 @@
+// Package a is the strategylock analyzer fixture. Fixture packages are
+// treated as engine-scoped, so raw core.Strategy calls are checked here
+// exactly as they are inside phasetune/internal/engine.
+package a
+
+import (
+	"sync"
+
+	"phasetune/internal/core"
+)
+
+type holder struct {
+	mu sync.Mutex
+	s  core.Strategy
+}
+
+func raw(s core.Strategy) int {
+	s.Observe(1, 2.0) // want `raw core\.Strategy\.Observe call in the engine`
+	return s.Next()   // want `raw core\.Strategy\.Next call in the engine`
+}
+
+func locked(h *holder) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.s.Observe(1, 2.0)
+	return h.s.Next()
+}
+
+func viaSynchronized(s core.Strategy) int {
+	s2 := core.Synchronized(s)
+	s2.Observe(1, 2.0)
+	return s2.Next()
+}
+
+func allowedRaw(s core.Strategy) int {
+	// Sequential single-owner replay: the contract permits it, the
+	// analyzer cannot see it, so the excuse is written down.
+	return s.Next() //lint:allow strategylock sequential replay owns the strategy exclusively
+}
+
+// parallelFor mimics the harness helper; any callee whose name
+// contains "parallel" marks its function-literal arguments as
+// concurrently executed.
+func parallelFor(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func work(i int) error { return nil }
+
+func firstErrRace(n int) error {
+	var firstErr error
+	parallelFor(n, func(i int) {
+		if err := work(i); err != nil && firstErr == nil {
+			firstErr = err // want `write to captured "firstErr" inside a parallel callback`
+		}
+	})
+	return firstErr
+}
+
+func perSlot(n int) []error {
+	out := make([]error, n)
+	parallelFor(n, func(i int) {
+		out[i] = work(i) // slot indexed by the callback's own parameter
+	})
+	return out
+}
+
+func capturedIndex(n int) []error {
+	out := make([]error, n)
+	j := 0
+	parallelFor(n, func(i int) {
+		out[j] = work(i) // want `write to captured "out\[\.\.\.\]" inside a parallel callback`
+	})
+	return out
+}
+
+func mutexProtected(n int) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	parallelFor(n, func(i int) {
+		mu.Lock()
+		sum += float64(i)
+		mu.Unlock()
+	})
+	return sum
+}
+
+func goStmtRace() int {
+	counter := 0
+	done := make(chan struct{})
+	go func() {
+		counter++ // want `write to captured "counter" inside a goroutine`
+		close(done)
+	}()
+	<-done
+	return counter
+}
+
+type shared struct{ n int }
+
+func fieldWrite(n int) shared {
+	var s shared
+	parallelFor(n, func(i int) {
+		s.n = i // want `write to captured "s\.n" inside a parallel callback`
+	})
+	return s
+}
+
+func localOnly(n int) {
+	parallelFor(n, func(i int) {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j
+		}
+		_ = acc
+	})
+}

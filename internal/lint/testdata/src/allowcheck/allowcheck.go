@@ -1,0 +1,29 @@
+// Package allowcheck exercises the //lint:allow directive machinery:
+// malformed directives are findings themselves, working suppressions
+// stay silent, and suppressions that no longer suppress anything are
+// reported as stale.
+package allowcheck
+
+import "time"
+
+func unknownName() time.Time {
+	return time.Now() //lint:allow clockcheck not a real analyzer // want `lint:allow names unknown analyzer "clockcheck"` `wall-clock time\.Now`
+}
+
+func missingReason() time.Time {
+	return time.Now() //lint:allow determinism // want `lint:allow determinism is missing a reason` `wall-clock time\.Now`
+}
+
+func properSuppression() time.Time {
+	return time.Now() //lint:allow determinism CLI progress output, never reaches simulation state
+}
+
+func standaloneSuppression() time.Time {
+	//lint:allow determinism a standalone directive covers the next line
+	return time.Now()
+}
+
+func staleAllow() int {
+	x := 1 //lint:allow determinism nothing on this line triggers anymore // want `stale lint:allow determinism`
+	return x
+}

@@ -66,6 +66,7 @@ func (p *Pool) BestAction() (action int, mean float64) {
 	first := true
 	for a, obs := range p.byAction {
 		m := Mean(obs)
+		//lint:allow floatsafe exact tie-break: equal means over identical observation sets, lowest action wins
 		if first || m < best || (m == best && a < action) {
 			action, best, first = a, m, false
 		}

@@ -80,6 +80,7 @@ func (r *Runtime) apply(inj injection) {
 // rescaled by the speed ratio.
 func (r *Runtime) setSpeedFactor(node int, factor float64) {
 	ns := r.nodes[node]
+	//lint:allow floatsafe factors are exact fault-plan constants; the early-out wants bitwise sameness, not closeness
 	if ns.dead || factor == ns.factor {
 		return
 	}

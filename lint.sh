@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# lint.sh — run the identical static checks CI runs, locally.
+#
+#   ./lint.sh            # vet + phasetune-lint (always available)
+#   STRICT=1 ./lint.sh   # additionally require staticcheck + govulncheck
+#
+# phasetune-lint is the project multichecker (determinism, floatsafe,
+# strategylock, errdrop — see DESIGN.md "Static guarantees"). It needs
+# no network and no third-party modules. staticcheck and govulncheck
+# run when installed (CI installs them; locally they are optional
+# unless STRICT=1).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> phasetune-lint ./..."
+go run ./cmd/phasetune-lint ./...
+
+for tool in staticcheck govulncheck; do
+    if command -v "$tool" >/dev/null 2>&1; then
+        echo "==> $tool ./..."
+        "$tool" ./...
+    elif [ "${STRICT:-0}" = "1" ]; then
+        echo "lint.sh: STRICT=1 but $tool is not installed" >&2
+        echo "  go install honnef.co/go/tools/cmd/staticcheck@latest" >&2
+        echo "  go install golang.org/x/vuln/cmd/govulncheck@latest" >&2
+        exit 1
+    else
+        echo "==> $tool not installed, skipping (STRICT=1 to require)"
+    fi
+done
+
+echo "lint.sh: all checks passed"
