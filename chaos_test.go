@@ -1,0 +1,450 @@
+package phasetune_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"phasetune/internal/engine"
+)
+
+// The chaos acceptance test: run journaled tuning sessions against a
+// real phasetune-serve process, SIGKILL it mid-batch-step, restart with
+// -recover, and require every resumed trajectory — and the final best-n
+// answers — to be bit-for-bit identical to an uninterrupted in-process
+// reference run. This is the durability contract of the write-ahead
+// journal verified end to end, at more than one worker count.
+
+// chaosSession is one client's scripted session.
+type chaosSession struct {
+	strategy string
+	seed     int64
+	tiles    int
+}
+
+var chaosSessions = []chaosSession{
+	{strategy: "GP-discontinuous", seed: 7, tiles: 4},
+	{strategy: "UCB", seed: 8, tiles: 5},
+	{strategy: "DC", seed: 9, tiles: 6},
+}
+
+// chaosScript is the per-session op sequence: a sequential step, a
+// platform epoch change, and speculative batches. 13 iterations total.
+var chaosScript = []string{"step", "batch3", "epoch", "batch3", "batch3", "batch3"}
+
+// scriptStates returns the (iterations, epoch) state after each op
+// prefix; recovery lands exactly on one of these boundaries.
+func scriptStates() [][2]int {
+	states := [][2]int{{0, 0}}
+	it, ep := 0, 0
+	for _, op := range chaosScript {
+		switch op {
+		case "step":
+			it++
+		case "batch3":
+			it += 3
+		case "epoch":
+			ep++
+		}
+		states = append(states, [2]int{it, ep})
+	}
+	return states
+}
+
+// referenceResults runs every chaos session's full script on an
+// in-process engine and returns the uninterrupted results by session
+// index. The sessions use distinct tile counts, hence distinct cache
+// fingerprints, so per-session trajectories do not depend on how the
+// sessions interleave.
+func referenceResults(t *testing.T) []engine.SessionResult {
+	t.Helper()
+	e := engine.New(4)
+	out := make([]engine.SessionResult, len(chaosSessions))
+	for i, cs := range chaosSessions {
+		if _, err := e.CreateSession(engine.SessionConfig{
+			ScenarioKey: "b", Strategy: cs.strategy, Seed: cs.seed, Tiles: cs.tiles,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("s%d", i+1)
+		for _, op := range chaosScript {
+			switch op {
+			case "step":
+				if _, err := e.Step(id); err != nil {
+					t.Fatal(err)
+				}
+			case "batch3":
+				if _, err := e.BatchStep(id, 3); err != nil {
+					t.Fatal(err)
+				}
+			case "epoch":
+				if _, err := e.AdvanceEpoch(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		res, err := e.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// serveProc is a running phasetune-serve process.
+type serveProc struct {
+	cmd     *exec.Cmd
+	base    string
+	out     *bytes.Buffer // guarded by mu
+	mu      sync.Mutex
+	scanned chan struct{} // closed once the stdout scanner drained the pipe
+}
+
+func (p *serveProc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
+}
+
+// startServe launches bin and parses the resolved listen address from
+// its first output line.
+func startServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, out: &bytes.Buffer{}, scanned: make(chan struct{})}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(20 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(p.scanned)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.out.WriteString(line + "\n")
+			p.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "phasetune-serve listening on "); ok {
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p.base = "http://" + addr
+	case <-deadline:
+		_ = cmd.Process.Kill()
+		t.Fatalf("server did not report a listen address; output:\n%s", p.output())
+	}
+	return p
+}
+
+func chaosPost(base, path string, body []byte, out any) (int, error) {
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func chaosResult(t *testing.T, base, id string) engine.SessionResult {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET session %s: status %d", id, resp.StatusCode)
+	}
+	var res engine.SessionResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runOp executes one script op over HTTP, returning the iterations it
+// committed. Any transport error means the server is gone.
+func runOp(base, id, op string) (int, error) {
+	switch op {
+	case "step":
+		status, err := chaosPost(base, "/v1/sessions/"+id+"/step", []byte("{}"), nil)
+		if err != nil {
+			return 0, err
+		}
+		// Backpressure is a legitimate answer under chaos load: retry.
+		if status == http.StatusTooManyRequests {
+			return 0, nil
+		}
+		if status != http.StatusOK {
+			return 0, fmt.Errorf("step status %d", status)
+		}
+		return 1, nil
+	case "batch3":
+		var out struct {
+			Steps []json.RawMessage `json:"steps"`
+		}
+		status, err := chaosPost(base, "/v1/sessions/"+id+"/batch-step", []byte(`{"k":3}`), &out)
+		if err != nil {
+			return 0, err
+		}
+		if status == http.StatusTooManyRequests {
+			return 0, nil
+		}
+		if status != http.StatusOK {
+			return 0, fmt.Errorf("batch-step status %d", status)
+		}
+		return len(out.Steps), nil
+	case "epoch":
+		status, err := chaosPost(base, "/v1/sessions/"+id+"/advance-epoch", nil, nil)
+		if err != nil {
+			return 0, err
+		}
+		if status != http.StatusOK {
+			return 0, fmt.Errorf("advance-epoch status %d", status)
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("unknown op %q", op)
+}
+
+// sameTrajectoryPrefix asserts got is bit-for-bit the first
+// got.Iterations entries of the reference trajectory.
+func sameTrajectoryPrefix(t *testing.T, tag string, got, ref engine.SessionResult) {
+	t.Helper()
+	if got.Iterations > ref.Iterations {
+		t.Fatalf("%s: %d iterations exceed the reference's %d", tag, got.Iterations, ref.Iterations)
+	}
+	for i := 0; i < got.Iterations; i++ {
+		if got.Actions[i] != ref.Actions[i] {
+			t.Fatalf("%s iter %d: action %d, reference %d", tag, i, got.Actions[i], ref.Actions[i])
+		}
+		if math.Float64bits(got.Durations[i]) != math.Float64bits(ref.Durations[i]) {
+			t.Fatalf("%s iter %d: duration %v, reference %v (not bit-identical)",
+				tag, i, got.Durations[i], ref.Durations[i])
+		}
+	}
+}
+
+func sameFinal(t *testing.T, tag string, got, ref engine.SessionResult) {
+	t.Helper()
+	if got.Iterations != ref.Iterations || got.Epoch != ref.Epoch {
+		t.Fatalf("%s: (%d iters, epoch %d), reference (%d, %d)",
+			tag, got.Iterations, got.Epoch, ref.Iterations, ref.Epoch)
+	}
+	sameTrajectoryPrefix(t, tag, got, ref)
+	if got.BestAction != ref.BestAction ||
+		math.Float64bits(got.BestSim) != math.Float64bits(ref.BestSim) ||
+		math.Float64bits(got.Total) != math.Float64bits(ref.Total) ||
+		math.Float64bits(got.Regret) != math.Float64bits(ref.Regret) {
+		t.Fatalf("%s: summary (best %d @ %v, total %v, regret %v), reference (best %d @ %v, total %v, regret %v)",
+			tag, got.BestAction, got.BestSim, got.Total, got.Regret,
+			ref.BestAction, ref.BestSim, ref.Total, ref.Regret)
+	}
+}
+
+func TestChaosKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "phasetune-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/phasetune-serve")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building server: %v\n%s", err, out)
+	}
+	ref := referenceResults(t)
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			chaosRound(t, bin, workers, ref)
+		})
+	}
+}
+
+func chaosRound(t *testing.T, bin string, workers int, ref []engine.SessionResult) {
+	dir := t.TempDir()
+	args := []string{"-workers", fmt.Sprint(workers), "-journal-dir", dir, "-snapshot-every", "4"}
+	p1 := startServe(t, bin, args...)
+
+	// Create the sessions sequentially so IDs map deterministically.
+	ids := make([]string, len(chaosSessions))
+	for i, cs := range chaosSessions {
+		body, err := json.Marshal(map[string]any{
+			"scenario": "b", "strategy": cs.strategy, "seed": cs.seed, "tiles": cs.tiles,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		status, err := chaosPost(p1.base, "/v1/sessions", body, &created)
+		if err != nil || status != http.StatusCreated {
+			t.Fatalf("create session %d: status %d, err %v", i, status, err)
+		}
+		ids[i] = created.ID
+	}
+
+	// Drive all sessions concurrently; SIGKILL the server once enough
+	// ops are acknowledged that the kill lands mid-script, with requests
+	// in flight.
+	var acked atomic.Int64 // total acknowledged ops across clients
+	ackedIters := make([]atomic.Int64, len(ids))
+	killAt := int64(len(ids) * len(chaosScript) / 3)
+	killed := make(chan struct{})
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			_ = p1.cmd.Process.Kill()
+			close(killed)
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			for _, op := range chaosScript {
+				for {
+					n, err := runOp(p1.base, id, op)
+					if err != nil {
+						return // server is gone
+					}
+					if op != "epoch" && n == 0 {
+						continue // backpressure: retry the op
+					}
+					ackedIters[i].Add(int64(n))
+					if acked.Add(1) >= killAt {
+						kill()
+					}
+					break
+				}
+			}
+		}(i, id)
+	}
+	<-killed
+	wg.Wait()
+	<-p1.scanned // drain the pipe before Wait may close it
+	_ = p1.cmd.Wait()
+
+	// Restart with -recover: every session resumes at an op boundary,
+	// covering at least everything a client saw acknowledged, and its
+	// trajectory prefix is bit-identical to the uninterrupted reference.
+	p2 := startServe(t, bin, append(args, "-recover")...)
+	if !strings.Contains(p2.output(), fmt.Sprintf("recovered %d session(s)", len(ids))) {
+		t.Fatalf("restart did not report recovery; output:\n%s", p2.output())
+	}
+	states := scriptStates()
+	resume := make([]int, len(ids)) // ops already durable, per session
+	for i, id := range ids {
+		res := chaosResult(t, p2.base, id)
+		pos := -1
+		for j, st := range states {
+			if res.Iterations == st[0] && res.Epoch == st[1] {
+				pos = j
+				break
+			}
+		}
+		if pos < 0 {
+			t.Fatalf("session %s recovered to (%d iters, epoch %d): not an op boundary",
+				id, res.Iterations, res.Epoch)
+		}
+		if int64(res.Iterations) < ackedIters[i].Load() {
+			t.Fatalf("session %s lost acknowledged work: recovered %d iters, %d were acked",
+				id, res.Iterations, ackedIters[i].Load())
+		}
+		sameTrajectoryPrefix(t, "recovered "+id, res, ref[i])
+		resume[i] = pos
+	}
+
+	// Finish every script against the restarted server and require the
+	// final answers to match the uninterrupted run exactly.
+	for i, id := range ids {
+		for _, op := range chaosScript[resume[i]:] {
+			for {
+				n, err := runOp(p2.base, id, op)
+				if err != nil {
+					t.Fatalf("completing %s after recovery: %v", id, err)
+				}
+				if op != "epoch" && n == 0 {
+					continue
+				}
+				break
+			}
+		}
+		sameFinal(t, "final "+id, chaosResult(t, p2.base, id), ref[i])
+	}
+
+	// Graceful shutdown: SIGTERM drains and flushes snapshots, so a
+	// third recovery replays empty journal tails and still agrees.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The scanner hits EOF when the process exits; waiting on it first
+	// both bounds the shutdown and drains the pipe before Wait.
+	select {
+	case <-p2.scanned:
+	case <-time.After(30 * time.Second):
+		_ = p2.cmd.Process.Kill()
+		t.Fatalf("server did not exit on SIGTERM; output:\n%s", p2.output())
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exit: %v\n%s", err, p2.output())
+	}
+	if !strings.Contains(p2.output(), "shutdown complete") {
+		t.Fatalf("no shutdown message; output:\n%s", p2.output())
+	}
+
+	p3 := startServe(t, bin, append(args, "-recover")...)
+	defer func() {
+		_ = p3.cmd.Process.Kill()
+		_ = p3.cmd.Wait()
+	}()
+	for i, id := range ids {
+		sameFinal(t, "post-drain "+id, chaosResult(t, p3.base, id), ref[i])
+	}
+
+	// The journal directory holds exactly the per-session files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".journal") && !strings.HasSuffix(e.Name(), ".snap.json") {
+			t.Fatalf("unexpected file in journal dir: %s", e.Name())
+		}
+	}
+}

@@ -4,7 +4,7 @@
 // and scrape /metrics — while a shared evaluation cache makes every
 // session tuning the same system pay for each simulation once.
 //
-//	phasetune-serve -addr :8080 -workers 8
+//	phasetune-serve -addr :8080 -workers 8 -journal-dir /var/lib/phasetune
 //
 //	# create a session and run a step
 //	curl -s -X POST localhost:8080/v1/sessions \
@@ -12,66 +12,187 @@
 //	curl -s -X POST localhost:8080/v1/sessions/s1/step -d '{}'
 //	curl -s localhost:8080/metrics
 //
-// -selfcheck starts the server on a loopback port, drives one session
-// through the real HTTP stack and exits — a deployment smoke test.
+// With -journal-dir every committed step is fsync'd to a per-session
+// write-ahead journal before the client sees its result; after a crash,
+// restarting with -recover replays the journals and every session
+// continues bit-for-bit where it left off. SIGTERM/SIGINT trigger a
+// graceful shutdown: /readyz flips to 503, in-flight requests drain
+// (bounded by -drain-timeout), journals are snapshotted and closed.
+//
+// -selfcheck starts the server on a loopback port and drives the whole
+// lifecycle — health endpoints, a session, graceful shutdown, recovery
+// from the journal — then exits; a deployment smoke test.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"phasetune/internal/engine"
 )
 
+type config struct {
+	addr         string
+	workers      int
+	journalDir   string
+	snapEvery    int
+	recover      bool
+	maxInFlight  int
+	maxBody      int64
+	evalTimeout  time.Duration
+	drainTimeout time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "concurrent evaluation bound (0 = GOMAXPROCS)")
-	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, run one session end-to-end, exit")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 0, "concurrent evaluation bound (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.journalDir, "journal-dir", "", "directory for per-session write-ahead journals (empty = no durability)")
+	flag.IntVar(&cfg.snapEvery, "snapshot-every", 0, "journal ops between snapshot rotations (0 = default)")
+	flag.BoolVar(&cfg.recover, "recover", false, "replay journals in -journal-dir and resume every session before serving")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "admission high-water mark for evaluation requests; beyond it the server answers 429 (0 = 4x workers)")
+	flag.Int64Var(&cfg.maxBody, "max-body", 0, "request body size limit in bytes (0 = 1 MiB)")
+	flag.DurationVar(&cfg.evalTimeout, "eval-timeout", 0, "per-request evaluation timeout (0 = none)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
+	selfcheck := flag.Bool("selfcheck", false, "run the full lifecycle (serve, session, shutdown, recover) on a loopback port, exit")
 	flag.Parse()
 
-	eng := engine.New(*workers)
-	handler := engine.NewServer(eng)
-
 	if *selfcheck {
-		if err := runSelfcheck(handler); err != nil {
+		if err := runSelfcheck(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "selfcheck failed:", err)
 			os.Exit(1)
 		}
 		return
 	}
-
-	fmt.Printf("phasetune-serve listening on %s (%d evaluation workers)\n",
-		*addr, eng.Workers())
-	fmt.Println("  POST /v1/sessions {scenario, strategy, seed, tiles}")
-	fmt.Println("  POST /v1/sessions/{id}/step | /batch-step {k} | /advance-epoch")
-	fmt.Println("  GET  /v1/sessions/{id}   GET /metrics   POST /v1/sweep")
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-// runSelfcheck exercises the full service path — listener, router,
-// session lifecycle, metrics — on an ephemeral loopback port.
-func runSelfcheck(handler http.Handler) error {
+// run serves until SIGTERM/SIGINT, then drains and closes the engine.
+func run(cfg config) error {
+	if cfg.recover && cfg.journalDir == "" {
+		return errors.New("-recover requires -journal-dir")
+	}
+	eng := engine.NewWithOptions(engine.Options{
+		Workers:       cfg.workers,
+		JournalDir:    cfg.journalDir,
+		SnapshotEvery: cfg.snapEvery,
+	})
+	if cfg.recover {
+		infos, err := eng.Recover()
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		for _, info := range infos {
+			fmt.Printf("recovered session %s: %d iterations, epoch %d (%d journal ops replayed)\n",
+				info.ID, info.Iterations, info.Epoch, info.ReplayedTail)
+		}
+		fmt.Printf("recovered %d session(s) from %s\n", len(infos), cfg.journalDir)
+	}
+	srv := engine.NewServerWithOptions(eng, engine.ServerOptions{
+		MaxInFlight:  cfg.maxInFlight,
+		MaxBodyBytes: cfg.maxBody,
+		EvalTimeout:  cfg.evalTimeout,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address (not the flag) so ":0" deployments — tests,
+	// chaos harnesses — can parse the port from the first output line.
+	fmt.Printf("phasetune-serve listening on %s (%d evaluation workers)\n",
+		ln.Addr(), eng.Workers())
+	if cfg.journalDir != "" {
+		fmt.Printf("  journaling sessions to %s\n", cfg.journalDir)
+	}
+	fmt.Println("  POST /v1/sessions {scenario, strategy, seed, tiles}")
+	fmt.Println("  POST /v1/sessions/{id}/step | /batch-step {k} | /advance-epoch")
+	fmt.Println("  GET  /v1/sessions/{id}   GET /metrics   POST /v1/sweep")
+	fmt.Println("  GET  /healthz   GET /readyz")
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful shutdown: stop advertising readiness, drain in-flight
+	// requests (each commits or aborts in its journal), then close the
+	// engine so every journal ends on a fresh snapshot.
+	fmt.Println("phasetune-serve: draining...")
+	srv.SetDraining(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain incomplete:", err)
+	}
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("closing engine: %w", err)
+	}
+	fmt.Println("phasetune-serve: shutdown complete")
+	return nil
+}
+
+// runSelfcheck exercises the full service lifecycle on an ephemeral
+// loopback port: health endpoints, a journaled session driven through
+// the real HTTP stack, draining readiness, graceful shutdown, and a
+// recovery that must reproduce the session's state exactly.
+func runSelfcheck(cfg config) error {
+	dir := cfg.journalDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "phasetune-selfcheck-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	eng := engine.NewWithOptions(engine.Options{Workers: cfg.workers, JournalDir: dir})
+	srv := engine.NewServerWithOptions(eng, engine.ServerOptions{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
-	srv := &http.Server{Handler: handler}
-	go srv.Serve(ln)
-	defer srv.Close()
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 
-	body, _ := json.Marshal(map[string]any{
+	if err := expectStatus(base+"/healthz", http.StatusOK); err != nil {
+		return err
+	}
+	if err := expectStatus(base+"/readyz", http.StatusOK); err != nil {
+		return err
+	}
+
+	body, err := json.Marshal(map[string]any{
 		"scenario": "b", "strategy": "DC", "seed": 42, "tiles": 6,
 	})
+	if err != nil {
+		return err
+	}
 	var created struct {
 		ID    string `json:"id"`
 		Nodes int    `json:"nodes"`
@@ -79,7 +200,7 @@ func runSelfcheck(handler http.Handler) error {
 	if err := postJSON(base+"/v1/sessions", body, &created); err != nil {
 		return fmt.Errorf("create session: %w", err)
 	}
-	for i := 0; i < 6; i++ {
+	for i := 0; i < 4; i++ {
 		var step struct {
 			Action   int     `json:"action"`
 			Duration float64 `json:"duration"`
@@ -89,26 +210,81 @@ func runSelfcheck(handler http.Handler) error {
 		}
 		fmt.Printf("iter %d: n=%-3d duration %.2f s\n", i, step.Action, step.Duration)
 	}
-	var metrics struct {
-		Cache struct {
-			Hits     int64   `json:"hits"`
-			Misses   int64   `json:"misses"`
-			HitRatio float64 `json:"hit_ratio"`
-		} `json:"cache"`
-		Sessions []struct {
-			BestAction int     `json:"best_action"`
-			Regret     float64 `json:"regret"`
-		} `json:"sessions"`
+	var batch struct {
+		Steps []struct {
+			Action int `json:"action"`
+		} `json:"steps"`
 	}
-	if err := getJSON(base+"/metrics", &metrics); err != nil {
-		return fmt.Errorf("metrics: %w", err)
+	if err := postJSON(base+"/v1/sessions/"+created.ID+"/batch-step", []byte(`{"k":2}`), &batch); err != nil {
+		return fmt.Errorf("batch-step: %w", err)
 	}
-	if len(metrics.Sessions) != 1 {
-		return fmt.Errorf("metrics report %d sessions, want 1", len(metrics.Sessions))
+	fmt.Printf("batch-step: %d speculative steps\n", len(batch.Steps))
+
+	var before engine.SessionResult
+	if err := getJSON(base+"/v1/sessions/"+created.ID, &before); err != nil {
+		return fmt.Errorf("result: %w", err)
 	}
-	fmt.Printf("selfcheck ok: %d nodes, best n=%d, regret %.2f s, cache %d/%d (ratio %.2f)\n",
-		created.Nodes, metrics.Sessions[0].BestAction, metrics.Sessions[0].Regret,
-		metrics.Cache.Hits, metrics.Cache.Hits+metrics.Cache.Misses, metrics.Cache.HitRatio)
+
+	// Graceful shutdown: readiness must flip before the listener stops.
+	srv.SetDraining(true)
+	if err := expectStatus(base+"/readyz", http.StatusServiceUnavailable); err != nil {
+		return fmt.Errorf("draining readiness: %w", err)
+	}
+	if err := expectStatus(base+"/healthz", http.StatusOK); err != nil {
+		return fmt.Errorf("liveness while draining: %w", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("close engine: %w", err)
+	}
+
+	// Recovery: a fresh engine on the same journal dir must reproduce
+	// the session bit-for-bit and keep stepping.
+	eng2 := engine.NewWithOptions(engine.Options{Workers: cfg.workers, JournalDir: dir})
+	infos, err := eng2.Recover()
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	if len(infos) != 1 || infos[0].ReplayedTail != 0 {
+		return fmt.Errorf("recover after graceful shutdown: %+v (want 1 session, empty tail)", infos)
+	}
+	after, err := eng2.Result(created.ID)
+	if err != nil {
+		return fmt.Errorf("recovered result: %w", err)
+	}
+	if after.Iterations != before.Iterations ||
+		math.Float64bits(after.Total) != math.Float64bits(before.Total) ||
+		after.BestAction != before.BestAction {
+		return fmt.Errorf("recovered session diverged: %+v vs %+v", after, before)
+	}
+	if _, err := eng2.Step(created.ID); err != nil {
+		return fmt.Errorf("step after recovery: %w", err)
+	}
+	if err := eng2.Close(); err != nil {
+		return fmt.Errorf("close recovered engine: %w", err)
+	}
+
+	fmt.Printf("selfcheck ok: %d nodes, %d iterations, best n=%d, recovered and resumed from journal\n",
+		created.Nodes, before.Iterations, before.BestAction)
+	return nil
+}
+
+func expectStatus(url string, want int) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+	}
 	return nil
 }
 

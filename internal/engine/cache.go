@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // CacheKey identifies one deterministic evaluation: a scenario
 // fingerprint (harness.ScenarioFingerprint — everything the DES makespan
@@ -46,12 +49,26 @@ func NewCache() *Cache {
 // per key across all concurrent callers. hit reports whether the value
 // came from an existing entry rather than this call's computation.
 func (c *Cache) Eval(key CacheKey, compute func() (float64, error)) (val float64, hit bool, err error) {
+	return c.EvalCtx(context.Background(), key, compute)
+}
+
+// EvalCtx is Eval with cancellation: a caller waiting on another
+// goroutine's in-flight computation stops waiting when its context is
+// done (the computation itself continues and lands in the cache for
+// later callers — cancellation abandons the wait, not the work). The
+// abandoned wait still counts as a hit: the request was served by an
+// existing entry, it just declined to stay for the answer.
+func (c *Cache) EvalCtx(ctx context.Context, key CacheKey, compute func() (float64, error)) (val float64, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		<-e.done
-		return e.val, true, e.err
+		select {
+		case <-e.done:
+			return e.val, true, e.err
+		case <-ctx.Done():
+			return 0, true, ctx.Err()
+		}
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
@@ -69,6 +86,23 @@ func (c *Cache) Eval(key CacheKey, compute func() (float64, error)) (val float64
 	c.mu.Unlock()
 	close(e.done)
 	return e.val, false, e.err
+}
+
+// Prime inserts a completed value for key without touching the hit/miss
+// accounting. Recovery uses it to rewarm the cache from journaled
+// makespans: an uninterrupted run would hold these entries, and batch
+// speculation peeks at them for constant-liar hints, so a recovered
+// engine must expose the same view. An existing entry (completed or
+// in-flight) wins — values for one key are identical by construction.
+func (c *Cache) Prime(key CacheKey, val float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &cacheEntry{done: make(chan struct{}), val: val}
+	close(e.done)
+	c.entries[key] = e
 }
 
 // Peek returns the completed value for key without blocking and without

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 
 	"phasetune/internal/core"
@@ -63,17 +64,21 @@ func (d *Driver) Observe(action int, duration float64) {
 // Peek). The batch stops early when the strategy has produced a
 // proposal but no credible lie exists yet (no hint and no real
 // observation to average) — speculating on fabricated values would
-// poison the surrogate.
-func (d *Driver) NextBatch(k int, hint func(action int) (float64, bool)) []int {
+// poison the surrogate. The lies actually fed (one after every
+// proposal but the last) are returned alongside the proposals so the
+// journal can capture them: lie values depend on cache timing, so a
+// deterministic replay must re-feed the recorded values rather than
+// recompute them.
+func (d *Driver) NextBatch(k int, hint func(action int) (float64, bool)) (actions []int, lies []float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if k < 1 {
 		k = 1
 	}
-	out := make([]int, 0, k)
+	actions = make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		a := d.s.Next()
-		out = append(out, a)
+		actions = append(actions, a)
 		if i == k-1 {
 			break
 		}
@@ -88,6 +93,29 @@ func (d *Driver) NextBatch(k int, hint func(action int) (float64, bool)) []int {
 			break
 		}
 		d.s.Observe(a, lie)
+		lies = append(lies, lie)
 	}
-	return out
+	return actions, lies
+}
+
+// Replay re-issues a journaled proposal sequence during recovery: for
+// each recorded action the strategy is asked for its next proposal
+// (which determinism obliges to match the record — a mismatch is
+// corruption), and after proposal i the recorded lie i, if any, is fed
+// back exactly as the live NextBatch did. Real observations are not
+// fed here; the recovery loop feeds them through Observe so the
+// CL-mean accounting is rebuilt identically.
+func (d *Driver) Replay(actions []int, lies []float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, want := range actions {
+		a := d.s.Next()
+		if a != want {
+			return fmt.Errorf("engine: replay diverged: strategy proposed %d, journal recorded %d", a, want)
+		}
+		if i < len(lies) {
+			d.s.Observe(a, lies[i])
+		}
+	}
+	return nil
 }

@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"phasetune/internal/core"
 	"phasetune/internal/harness"
@@ -12,25 +15,84 @@ import (
 )
 
 // Engine is the concurrent tuning service: it owns the evaluation pool,
-// the shared cross-session cache and the session registry. One engine
-// serves any number of concurrent sessions and sweeps.
+// the shared cross-session cache, the session registry and (when
+// configured) the per-session write-ahead journals that make sessions
+// survive a process crash.
 type Engine struct {
 	pool  *Pool
 	cache *Cache
+
+	journalDir string // "" disables durability
+	snapEvery  int
+	closed     atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[string]*Session
 	nextID   int
 }
 
+// Options configures an engine.
+type Options struct {
+	// Workers bounds concurrent evaluations (<= 0 selects GOMAXPROCS).
+	Workers int
+	// JournalDir, when non-empty, enables session durability: every
+	// committed operation is fsync'd to <dir>/<id>.journal before the
+	// caller sees its result, and snapshots rotate atomically.
+	JournalDir string
+	// SnapshotEvery is the number of journaled operations between
+	// snapshot rotations (<= 0 selects the default, 32).
+	SnapshotEvery int
+}
+
 // New returns an engine admitting workers concurrent evaluations
-// (workers <= 0 selects GOMAXPROCS).
+// (workers <= 0 selects GOMAXPROCS), without durability.
 func New(workers int) *Engine {
+	return NewWithOptions(Options{Workers: workers})
+}
+
+// NewWithOptions returns an engine configured by opts.
+func NewWithOptions(opts Options) *Engine {
 	return &Engine{
-		pool:     NewPool(workers),
-		cache:    NewCache(),
-		sessions: map[string]*Session{},
+		pool:       NewPool(opts.Workers),
+		cache:      NewCache(),
+		journalDir: opts.JournalDir,
+		snapEvery:  opts.SnapshotEvery,
+		sessions:   map[string]*Session{},
 	}
+}
+
+// ErrClosed is returned by every operation after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Close flushes and closes every session journal (final snapshot
+// rotation included) and rejects all further operations. It is the
+// second half of graceful shutdown: the HTTP server drains in-flight
+// requests first, then Close makes the on-disk state recover with an
+// empty journal tail.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.mu.Lock()
+	sessions := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+
+	var errs []error
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.jl != nil && !s.broken {
+			if err := s.jl.close(); err != nil {
+				errs = append(errs, err)
+			}
+			s.jl = nil
+		}
+		s.mu.Unlock()
+	}
+	return errors.Join(errs...)
 }
 
 // Cache exposes the shared evaluation cache (tests, metrics).
@@ -51,10 +113,10 @@ func resolveScenario(cfg SessionConfig) (platform.Scenario, error) {
 	return sc, nil
 }
 
-// CreateSession builds a session: scenario, LP bound, strategy, driver,
-// evaluator and noise stream. The returned ID addresses the session in
-// every other call.
-func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
+// buildSession constructs a session's machinery — scenario, LP bound,
+// strategy, driver, evaluator, noise stream — without registering it or
+// touching the journal. CreateSession and Recover share it.
+func (e *Engine) buildSession(cfg SessionConfig) (*Session, error) {
 	sc, err := resolveScenario(cfg)
 	if err != nil {
 		return nil, err
@@ -77,18 +139,59 @@ func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	e.mu.Lock()
-	e.nextID++
-	s := &Session{
-		id:     fmt.Sprintf("s%d", e.nextID),
+	return &Session{
 		driver: NewDriver(strat),
 		ev:     harness.NewEvaluator(sc, opts),
 		seed:   cfg.Seed,
 		noise:  stats.NewRNG(cfg.Seed),
+	}, nil
+}
+
+// CreateSession builds a session: scenario, LP bound, strategy, driver,
+// evaluator and noise stream. With journaling enabled the session's
+// create record is durable before CreateSession returns. The returned
+// ID addresses the session in every other call.
+func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
 	}
+	if e.journalDir != "" && cfg.Scenario != nil {
+		return nil, fmt.Errorf("engine: explicit scenarios are not journalable; use a scenario key")
+	}
+	s, err := e.buildSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	e.nextID++
+	s.id = fmt.Sprintf("s%d", e.nextID)
 	e.sessions[s.id] = s
 	e.mu.Unlock()
+
+	if e.journalDir != "" {
+		name := cfg.Strategy
+		if name == "" {
+			name = "GP-discontinuous"
+		}
+		jl, err := newJournal(e.journalDir, s.id, journalConfig{
+			ScenarioKey: cfg.ScenarioKey,
+			Strategy:    name,
+			Seed:        cfg.Seed,
+			Tiles:       cfg.Tiles,
+			Exact:       cfg.Exact,
+			GenNodes:    cfg.GenNodes,
+		}, e.snapEvery)
+		if err != nil {
+			e.mu.Lock()
+			delete(e.sessions, s.id)
+			e.mu.Unlock()
+			return nil, err
+		}
+		s.mu.Lock()
+		s.jl = jl
+		s.mu.Unlock()
+	}
 	return s, nil
 }
 
@@ -111,57 +214,122 @@ func (e *Engine) Result(id string) (SessionResult, error) {
 
 // eval fetches the deterministic makespan for (session scenario, epoch,
 // action) through the shared cache; a cold miss runs the DES simulation
-// under a pool slot, while waiters and hits pay nothing.
-func (e *Engine) eval(s *Session, epoch, action int) (float64, bool, error) {
+// under a pool slot, while waiters and hits pay nothing. ctx bounds the
+// wait for a pool slot or an in-flight computation, never a running
+// simulation.
+func (e *Engine) eval(ctx context.Context, s *Session, epoch, action int) (float64, bool, error) {
 	key := CacheKey{Fingerprint: s.ev.Fingerprint(), Epoch: epoch, Action: action}
-	return e.cache.Eval(key, func() (float64, error) {
+	return e.cache.EvalCtx(ctx, key, func() (float64, error) {
 		var v float64
 		var err error
-		e.pool.Do(func() { v, err = s.ev.Evaluate(action) })
+		if derr := e.pool.DoCtx(ctx, func() { v, err = s.ev.Evaluate(action) }); derr != nil {
+			return 0, derr
+		}
 		return v, err
 	})
 }
 
-// Step advances a session by one sequential tuning iteration:
+// checkout fetches an operable session: it must exist, the engine must
+// be open, and the session must not have failed closed on a journal
+// error.
+func (e *Engine) checkout(id string) (*Session, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	s, ok := e.Session(id)
+	if !ok {
+		return nil, fmt.Errorf("engine: no session %q", id)
+	}
+	return s, nil
+}
+
+// commitOp journals one committed (or aborted) operation under the
+// session lock. On append failure the session fails closed: its
+// in-memory state is ahead of disk and the journal is the source of
+// truth, so continuing to serve would let the divergence compound.
+func (e *Engine) commitOp(s *Session, rec journalRecord) error {
+	if s.jl == nil {
+		return nil
+	}
+	if err := s.jl.append(rec); err != nil {
+		s.broken = true
+		return fmt.Errorf("engine: session %s fails closed (journal unwritable, restart with recovery): %w", s.id, err)
+	}
+	return nil
+}
+
+// Step advances a session by one sequential tuning iteration. See
+// StepCtx.
+func (e *Engine) Step(id string) (StepResult, error) {
+	return e.StepCtx(context.Background(), id)
+}
+
+// StepCtx advances a session by one sequential tuning iteration:
 // Next -> evaluate (cache/pool) -> noisy observation -> Observe. With
 // the same seed and strategy, a stepped session reproduces
 // harness.RunOnline bit-for-bit regardless of the engine's worker count
-// or what other sessions are doing.
-func (e *Engine) Step(id string) (StepResult, error) {
-	s, ok := e.Session(id)
-	if !ok {
-		return StepResult{}, fmt.Errorf("engine: no session %q", id)
+// or what other sessions are doing. The committed step is journaled
+// (fsync'd) before StepCtx returns.
+func (e *Engine) StepCtx(ctx context.Context, id string) (StepResult, error) {
+	s, err := e.checkout(id)
+	if err != nil {
+		return StepResult{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken {
+		return StepResult{}, fmt.Errorf("engine: session %q failed closed on a journal error", id)
+	}
 	action := s.driver.Next()
-	sim, hit, err := e.eval(s, s.epoch, action)
+	sim, hit, err := e.eval(ctx, s, s.epoch, action)
 	if err != nil {
+		// The strategy consumed a proposal that produced no observation;
+		// journal the abort so recovery replays the same Next call.
+		if jerr := e.commitOp(s, journalRecord{T: "abort", Epoch: s.epoch, Actions: []int{action}}); jerr != nil {
+			return StepResult{}, errors.Join(err, jerr)
+		}
 		return StepResult{}, err
 	}
 	d := s.observe(sim)
 	s.driver.Observe(action, d)
 	res := s.record(action, d, sim)
 	res.CacheHit = hit
+	if err := e.commitOp(s, journalRecord{
+		T: "step", Epoch: s.epoch, Iter: res.Iter,
+		Actions: []int{action}, Sims: []float64{sim}, Obs: []float64{d},
+	}); err != nil {
+		return StepResult{}, err
+	}
 	return res, nil
 }
 
-// BatchStep advances a session by up to k speculative iterations: the
-// driver proposes a constant-liar batch, all proposals are evaluated in
-// parallel, and the results are committed — noise drawn, strategy
-// informed, history appended — in batch order. Committing in proposal
-// order (not completion order) is what keeps batch results a pure
-// function of (seed, strategy, k): identical at 1 worker and at 8.
+// BatchStep advances a session by up to k speculative iterations. See
+// BatchStepCtx.
 func (e *Engine) BatchStep(id string, k int) ([]StepResult, error) {
-	s, ok := e.Session(id)
-	if !ok {
-		return nil, fmt.Errorf("engine: no session %q", id)
+	return e.BatchStepCtx(context.Background(), id, k)
+}
+
+// BatchStepCtx advances a session by up to k speculative iterations:
+// the driver proposes a constant-liar batch, all proposals are
+// evaluated in parallel, and the results are committed — noise drawn,
+// strategy informed, history appended — in batch order. Committing in
+// proposal order (not completion order) is what keeps batch results a
+// pure function of (seed, strategy, k): identical at 1 worker and at 8.
+// The whole batch is journaled as one record, so a crash either keeps
+// the complete batch or none of it.
+func (e *Engine) BatchStepCtx(ctx context.Context, id string, k int) ([]StepResult, error) {
+	s, err := e.checkout(id)
+	if err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken {
+		return nil, fmt.Errorf("engine: session %q failed closed on a journal error", id)
+	}
 	epoch := s.epoch
 	fp := s.ev.Fingerprint()
-	actions := s.driver.NextBatch(k, func(a int) (float64, bool) {
+	actions, lies := s.driver.NextBatch(k, func(a int) (float64, bool) {
 		return e.cache.Peek(CacheKey{Fingerprint: fp, Epoch: epoch, Action: a})
 	})
 
@@ -169,7 +337,7 @@ func (e *Engine) BatchStep(id string, k int) ([]StepResult, error) {
 	hits := make([]bool, len(actions))
 	var errs errCollector
 	e.pool.ForEach(len(actions), func(i int) {
-		v, hit, err := e.eval(s, epoch, actions[i])
+		v, hit, err := e.eval(ctx, s, epoch, actions[i])
 		if err != nil {
 			errs.record(err)
 			return
@@ -177,9 +345,15 @@ func (e *Engine) BatchStep(id string, k int) ([]StepResult, error) {
 		sims[i], hits[i] = v, hit
 	})
 	if err := errs.first(); err != nil {
+		// Proposals and lies already reached the strategy; journal the
+		// abort so recovery reconstructs the identical strategy state.
+		if jerr := e.commitOp(s, journalRecord{T: "abort", Epoch: epoch, Actions: actions, Lies: lies}); jerr != nil {
+			return nil, errors.Join(err, jerr)
+		}
 		return nil, err
 	}
 
+	firstIter := len(s.actions)
 	out := make([]StepResult, 0, len(actions))
 	for i, a := range actions {
 		d := s.observe(sims[i])
@@ -188,6 +362,17 @@ func (e *Engine) BatchStep(id string, k int) ([]StepResult, error) {
 		res.CacheHit = hits[i]
 		out = append(out, res)
 	}
+	obs := make([]float64, len(out))
+	allSims := make([]float64, len(out))
+	for i, r := range out {
+		obs[i], allSims[i] = r.Duration, r.Sim
+	}
+	if err := e.commitOp(s, journalRecord{
+		T: "batch", Epoch: epoch, Iter: firstIter,
+		Actions: actions, Lies: lies, Sims: allSims, Obs: obs,
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -195,16 +380,23 @@ func (e *Engine) BatchStep(id string, k int) ([]StepResult, error) {
 // fingerprint's now-stale cache entries. This is the hook the fault
 // layer drives when the platform underneath a served session changes:
 // values from different epochs never mix (the key separates them) and
-// the old epoch's memory is reclaimed.
+// the old epoch's memory is reclaimed. The transition is journaled so a
+// recovered session resumes in the correct epoch.
 func (e *Engine) AdvanceEpoch(id string) (int, error) {
-	s, ok := e.Session(id)
-	if !ok {
-		return 0, fmt.Errorf("engine: no session %q", id)
+	s, err := e.checkout(id)
+	if err != nil {
+		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken {
+		return 0, fmt.Errorf("engine: session %q failed closed on a journal error", id)
+	}
 	s.epoch++
 	e.cache.DropEpochsBelow(s.ev.Fingerprint(), s.epoch)
+	if err := e.commitOp(s, journalRecord{T: "epoch", Epoch: s.epoch}); err != nil {
+		return 0, err
+	}
 	return s.epoch, nil
 }
 
@@ -261,12 +453,22 @@ type SweepResult struct {
 	BestMakespan float64      `json:"best_makespan"`
 }
 
-// Sweep evaluates every feasible action of the scenario in parallel
+// Sweep evaluates every feasible action of the scenario in parallel.
+// See SweepCtx.
+func (e *Engine) Sweep(sc platform.Scenario, opts harness.SimOptions, so SweepOptions) (*SweepResult, error) {
+	return e.SweepCtx(context.Background(), sc, opts, so)
+}
+
+// SweepCtx evaluates every feasible action of the scenario in parallel
 // through the shared cache and returns the per-action makespans and the
 // argmin. Deterministic: the same inputs give the same result at any
 // worker count, and the best action matches a sequential
-// SimulateIteration loop exactly.
-func (e *Engine) Sweep(sc platform.Scenario, opts harness.SimOptions, so SweepOptions) (*SweepResult, error) {
+// SimulateIteration loop exactly. ctx bounds slot and singleflight
+// waits, not running simulations.
+func (e *Engine) SweepCtx(ctx context.Context, sc platform.Scenario, opts harness.SimOptions, so SweepOptions) (*SweepResult, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	ev := harness.NewEvaluator(sc, opts)
 	actions := ev.Actions()
 	res := &SweepResult{
@@ -278,10 +480,12 @@ func (e *Engine) Sweep(sc platform.Scenario, opts harness.SimOptions, so SweepOp
 	e.pool.ForEach(len(actions), func(i int) {
 		a := actions[i]
 		key := CacheKey{Fingerprint: ev.Fingerprint(), Epoch: so.Epoch, Action: a}
-		mk, hit, err := e.cache.Eval(key, func() (float64, error) {
+		mk, hit, err := e.cache.EvalCtx(ctx, key, func() (float64, error) {
 			var v float64
 			var verr error
-			e.pool.Do(func() { v, verr = ev.Evaluate(a) })
+			if derr := e.pool.DoCtx(ctx, func() { v, verr = ev.Evaluate(a) }); derr != nil {
+				return 0, derr
+			}
 			return v, verr
 		})
 		if err != nil {
@@ -319,6 +523,8 @@ func (e *Engine) Sweep(sc platform.Scenario, opts harness.SimOptions, so SweepOp
 type Metrics struct {
 	Workers         int             `json:"workers"`
 	InFlightEvals   int64           `json:"in_flight_evals"`
+	WaitingEvals    int64           `json:"waiting_evals"`
+	JournalDir      string          `json:"journal_dir,omitempty"`
 	Cache           CacheStats      `json:"cache"`
 	Sessions        []SessionResult `json:"sessions"`
 	SessionsTotal   int             `json:"sessions_total"`
@@ -339,6 +545,8 @@ func (e *Engine) Metrics() Metrics {
 	m := Metrics{
 		Workers:       e.pool.Workers(),
 		InFlightEvals: e.pool.InFlight(),
+		WaitingEvals:  e.pool.Waiting(),
+		JournalDir:    e.journalDir,
 		Cache:         e.cache.Stats(),
 		SessionsTotal: len(sessions),
 	}

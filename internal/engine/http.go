@@ -1,16 +1,41 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"strings"
-
-	"phasetune/internal/harness"
-	"phasetune/internal/platform"
+	"sync/atomic"
+	"time"
 )
 
-// NewServer returns the engine's HTTP/JSON API:
+// ServerOptions configures the service hardening around the engine API.
+type ServerOptions struct {
+	// MaxInFlight is the admission high-water mark for evaluation-bearing
+	// requests (step, batch-step, sweep): beyond it the server answers
+	// 429 with Retry-After instead of queueing without bound (<= 0
+	// selects 4x the engine's worker count).
+	MaxInFlight int
+	// MaxBodyBytes bounds every request body (<= 0 selects 1 MiB).
+	MaxBodyBytes int64
+	// EvalTimeout, when > 0, bounds each evaluation-bearing request:
+	// the request context is cancelled after this long, and waiting for
+	// pool slots or in-flight computations stops with 504.
+	EvalTimeout time.Duration
+}
+
+const (
+	defaultMaxBodyBytes      = int64(1 << 20)
+	defaultInFlightPerWorker = 4
+)
+
+// Server is the engine's HTTP/JSON API with the service hardening the
+// bare mux never had: bounded and strictly-decoded request bodies,
+// admission control with backpressure, per-request evaluation timeouts,
+// health and readiness endpoints, and a draining mode for graceful
+// shutdown.
 //
 //	POST /v1/sessions                     create a session
 //	GET  /v1/sessions/{id}                session result (trajectory, best, regret)
@@ -19,19 +44,121 @@ import (
 //	POST /v1/sessions/{id}/advance-epoch  platform changed: new epoch, evict stale cache
 //	POST /v1/sweep                        parallel f(n) sweep over a scenario
 //	GET  /metrics                         cache hit ratio, in-flight evals, per-session regret
+//	GET  /healthz                         process liveness (always 200 while serving)
+//	GET  /readyz                          readiness: 503 while draining or closed
 //
-// Every body is JSON; errors come back as {"error": "..."} with a 4xx/5xx
-// status. The handler is safe for concurrent use — sessions serialize
-// their own steps, everything else is engine state behind locks.
+// Every body is JSON; errors come back as {"error": "..."} with a
+// 4xx/5xx status. The handler is safe for concurrent use — sessions
+// serialize their own steps, everything else is engine state behind
+// locks.
+type Server struct {
+	e        *Engine
+	mux      *http.ServeMux
+	opts     ServerOptions
+	gate     chan struct{}
+	draining atomic.Bool
+}
+
+// NewServer returns the engine's HTTP API with default hardening.
 func NewServer(e *Engine) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	return NewServerWithOptions(e, ServerOptions{})
+}
+
+// NewServerWithOptions returns the engine's HTTP API hardened per opts.
+func NewServerWithOptions(e *Engine, opts ServerOptions) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = defaultInFlightPerWorker * e.Workers()
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Server{
+		e:    e,
+		mux:  http.NewServeMux(),
+		opts: opts,
+		gate: make(chan struct{}, opts.MaxInFlight),
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the readiness signal: a draining server answers
+// /readyz with 503 so load balancers stop routing new work to it while
+// in-flight requests finish. The other endpoints keep serving — the
+// point of the drain is to finish what was admitted.
+func (s *Server) SetDraining(v bool) {
+	s.draining.Store(v)
+}
+
+// admit implements the backpressure policy for evaluation-bearing
+// requests: past the high-water mark the caller gets an immediate 429
+// with Retry-After instead of a place in an unbounded queue. release
+// must be called iff admitted.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.gate <- struct{}{}:
+		return func() { <-s.gate }, true
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("evaluation pool saturated (%d requests in flight); retry later", cap(s.gate)))
+		return nil, false
+	}
+}
+
+// evalContext derives the request context used for evaluation waits,
+// applying the per-request timeout when configured.
+func (s *Server) evalContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.EvalTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.EvalTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// decodeJSON hardens request-body decoding: the body is bounded by
+// MaxBytesReader (oversized payloads answer 413), unknown fields are
+// rejected, trailing garbage is rejected, and an empty body decodes as
+// the zero value (every request type has usable defaults).
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // empty body: defaults
+		}
+		return err
+	}
+	// A second value (or trailing garbage) is a malformed request, not
+	// something to silently ignore.
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("request body holds more than one JSON value")
+	}
+	return nil
+}
+
+// bodyStatus maps a decode failure onto its HTTP status: over-limit
+// bodies are 413, everything else a plain 400.
+func bodyStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req createSessionRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		if err := s.decodeJSON(w, r, &req); err != nil {
+			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		s, err := e.CreateSession(SessionConfig{
+		sess, err := s.e.CreateSession(SessionConfig{
 			ScenarioKey: req.Scenario,
 			Strategy:    req.Strategy,
 			Seed:        req.Seed,
@@ -44,140 +171,111 @@ func NewServer(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusCreated, createSessionResponse{
-			ID:       s.id,
-			Scenario: s.ev.Scenario.Name,
-			Strategy: s.driver.Name(),
-			Nodes:    s.ev.Scenario.Platform.N(),
-			MinNodes: s.ev.Scenario.MinNodes,
-			Groups:   s.ev.Scenario.Platform.GroupSizes(),
-			Seed:     s.seed,
+			ID:       sess.id,
+			Scenario: sess.ev.Scenario.Name,
+			Strategy: sess.driver.Name(),
+			Nodes:    sess.ev.Scenario.Platform.N(),
+			MinNodes: sess.ev.Scenario.MinNodes,
+			Groups:   sess.ev.Scenario.Platform.GroupSizes(),
+			Seed:     sess.seed,
 		})
 	})
-	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		res, err := e.Result(r.PathValue("id"))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		res, err := s.e.Result(r.PathValue("id"))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	mux.HandleFunc("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
-		res, err := e.Step(r.PathValue("id"))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.admit(w)
+		if !ok {
+			return
+		}
+		defer release()
+		ctx, cancel := s.evalContext(r)
+		defer cancel()
+		res, err := s.e.StepCtx(ctx, r.PathValue("id"))
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	mux.HandleFunc("POST /v1/sessions/{id}/batch-step", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("POST /v1/sessions/{id}/batch-step", func(w http.ResponseWriter, r *http.Request) {
 		var req batchStepRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		if err := s.decodeJSON(w, r, &req); err != nil {
+			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
 			return
 		}
 		if req.K < 1 {
 			req.K = 1
 		}
-		res, err := e.BatchStep(r.PathValue("id"), req.K)
+		release, ok := s.admit(w)
+		if !ok {
+			return
+		}
+		defer release()
+		ctx, cancel := s.evalContext(r)
+		defer cancel()
+		res, err := s.e.BatchStepCtx(ctx, r.PathValue("id"), req.K)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, batchStepResponse{Steps: res})
 	})
-	mux.HandleFunc("POST /v1/sessions/{id}/advance-epoch", func(w http.ResponseWriter, r *http.Request) {
-		epoch, err := e.AdvanceEpoch(r.PathValue("id"))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/advance-epoch", func(w http.ResponseWriter, r *http.Request) {
+		epoch, err := s.e.AdvanceEpoch(r.PathValue("id"))
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
 	})
-	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		var req sweepRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		if err := s.decodeJSON(w, r, &req); err != nil {
+			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		sc, ok := platform.ScenarioByKey(req.Scenario)
+		sc, ok := platformScenario(req.Scenario)
 		if !ok {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown scenario %q", req.Scenario))
 			return
 		}
-		res, err := e.Sweep(sc,
-			harness.SimOptions{Tiles: req.Tiles, Exact: req.Exact},
+		release, ok := s.admit(w)
+		if !ok {
+			return
+		}
+		defer release()
+		ctx, cancel := s.evalContext(r)
+		defer cancel()
+		res, err := s.e.SweepCtx(ctx, sc,
+			simOptions(req),
 			SweepOptions{NoiseSD: req.NoiseSD, Reps: req.Reps, Seed: req.Seed})
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Metrics())
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.e.Metrics())
 	})
-	return mux
-}
-
-type createSessionRequest struct {
-	Scenario string `json:"scenario"` // paper key a..p
-	Strategy string `json:"strategy"` // harness.NewStrategy name
-	Seed     int64  `json:"seed"`
-	Tiles    int    `json:"tiles"`
-	Exact    bool   `json:"exact"`
-	GenNodes int    `json:"gen_nodes"`
-}
-
-type createSessionResponse struct {
-	ID       string `json:"id"`
-	Scenario string `json:"scenario"`
-	Strategy string `json:"strategy"`
-	Nodes    int    `json:"nodes"`
-	MinNodes int    `json:"min_nodes"`
-	Groups   []int  `json:"groups"`
-	Seed     int64  `json:"seed"`
-}
-
-type batchStepRequest struct {
-	K int `json:"k"`
-}
-
-type batchStepResponse struct {
-	Steps []StepResult `json:"steps"`
-}
-
-type sweepRequest struct {
-	Scenario string  `json:"scenario"`
-	Tiles    int     `json:"tiles"`
-	Exact    bool    `json:"exact"`
-	NoiseSD  float64 `json:"noise_sd"`
-	Reps     int     `json:"reps"`
-	Seed     int64   `json:"seed"`
-}
-
-// statusFor maps engine errors onto HTTP statuses: unknown names are
-// client errors, everything else is a server-side evaluation failure.
-func statusFor(err error) int {
-	msg := err.Error()
-	if strings.Contains(msg, "no session") ||
-		strings.Contains(msg, "unknown scenario") ||
-		strings.Contains(msg, "unknown strategy") {
-		return http.StatusNotFound
-	}
-	if strings.Contains(msg, "outside [") {
-		return http.StatusBadRequest
-	}
-	return http.StatusInternalServerError
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() || s.e.closed.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ready",
+			"workers":  s.e.Workers(),
+			"inflight": len(s.gate),
+		})
+	})
 }

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/platform"
+)
+
+type createSessionRequest struct {
+	Scenario string `json:"scenario"` // paper key a..p
+	Strategy string `json:"strategy"` // harness.NewStrategy name
+	Seed     int64  `json:"seed"`
+	Tiles    int    `json:"tiles"`
+	Exact    bool   `json:"exact"`
+	GenNodes int    `json:"gen_nodes"`
+}
+
+type createSessionResponse struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Strategy string `json:"strategy"`
+	Nodes    int    `json:"nodes"`
+	MinNodes int    `json:"min_nodes"`
+	Groups   []int  `json:"groups"`
+	Seed     int64  `json:"seed"`
+}
+
+type batchStepRequest struct {
+	K int `json:"k"`
+}
+
+type batchStepResponse struct {
+	Steps []StepResult `json:"steps"`
+}
+
+type sweepRequest struct {
+	Scenario string  `json:"scenario"`
+	Tiles    int     `json:"tiles"`
+	Exact    bool    `json:"exact"`
+	NoiseSD  float64 `json:"noise_sd"`
+	Reps     int     `json:"reps"`
+	Seed     int64   `json:"seed"`
+}
+
+func platformScenario(key string) (platform.Scenario, bool) {
+	return platform.ScenarioByKey(key)
+}
+
+func simOptions(req sweepRequest) harness.SimOptions {
+	return harness.SimOptions{Tiles: req.Tiles, Exact: req.Exact}
+}
+
+// statusFor maps engine errors onto HTTP statuses: unknown names are
+// client errors, timeouts and shutdown surface as gateway/availability
+// statuses, everything else is a server-side evaluation failure.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "no session") ||
+		strings.Contains(msg, "unknown scenario") ||
+		strings.Contains(msg, "unknown strategy") {
+		return http.StatusNotFound
+	}
+	if strings.Contains(msg, "outside [") ||
+		strings.Contains(msg, "not journalable") {
+		return http.StatusBadRequest
+	}
+	if strings.Contains(msg, "failed closed") {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,8 +13,9 @@ import (
 // on a cache singleflight never occupies a slot — only actual
 // simulation work does.
 type Pool struct {
-	sem    chan struct{}
-	flying atomic.Int64
+	sem     chan struct{}
+	flying  atomic.Int64
+	waiting atomic.Int64
 }
 
 // NewPool returns a pool admitting workers concurrent evaluations
@@ -31,15 +33,37 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 // InFlight returns how many evaluations hold a slot right now.
 func (p *Pool) InFlight() int64 { return p.flying.Load() }
 
+// Waiting returns how many callers are blocked on a slot right now —
+// the service layer's saturation signal.
+func (p *Pool) Waiting() int64 { return p.waiting.Load() }
+
 // Do runs fn holding one pool slot, blocking until a slot frees up.
 func (p *Pool) Do(fn func()) {
-	p.sem <- struct{}{}
+	// A background context never cancels, so the error is unreachable.
+	_ = p.DoCtx(context.Background(), fn)
+}
+
+// DoCtx runs fn holding one pool slot, or gives up with ctx.Err() if
+// the context is done before a slot frees up. Once fn starts it runs to
+// completion — cancellation abandons the wait for admission, never an
+// in-progress simulation (a half-cancelled DES run has no meaningful
+// result to cache).
+func (p *Pool) DoCtx(ctx context.Context, fn func()) error {
+	p.waiting.Add(1)
+	select {
+	case p.sem <- struct{}{}:
+		p.waiting.Add(-1)
+	case <-ctx.Done():
+		p.waiting.Add(-1)
+		return ctx.Err()
+	}
 	p.flying.Add(1)
 	defer func() {
 		p.flying.Add(-1)
 		<-p.sem
 	}()
 	fn()
+	return nil
 }
 
 // ForEach runs fn(i) for every i in [0, n) on its own goroutine, each

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// RecoveredSession reports one session restored by Recover.
+type RecoveredSession struct {
+	ID         string `json:"id"`
+	Iterations int    `json:"iterations"`
+	Epoch      int    `json:"epoch"`
+	// ReplayedTail is the number of journal-tail operations replayed
+	// beyond the snapshot — the work the last crash left un-compacted.
+	ReplayedTail int `json:"replayed_tail"`
+}
+
+// Recover restores every session found in the engine's journal
+// directory: for each ID it loads the snapshot, replays the journal
+// tail through a fresh strategy (snapshot ops first, then tail ops),
+// re-primes the shared evaluation cache with the journaled
+// deterministic makespans, and reattaches the journal for continued
+// appends. A recovered session continues bit-identically with a session
+// that was never interrupted — the replay re-issues the exact recorded
+// Next/lie/Observe sequence, and each replayed observation is checked
+// bit-for-bit against the journal (a mismatch means the journal and the
+// running binary disagree and the session is not restored).
+//
+// Recover must run on a fresh engine (journaling enabled, no sessions
+// yet), before the HTTP server starts admitting requests.
+func (e *Engine) Recover() ([]RecoveredSession, error) {
+	if e.journalDir == "" {
+		return nil, fmt.Errorf("engine: recovery needs a journal directory")
+	}
+	e.mu.Lock()
+	if len(e.sessions) > 0 {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: recovery requires an empty engine (have %d sessions)", len(e.sessions))
+	}
+	e.mu.Unlock()
+
+	ids, err := listSessionIDs(e.journalDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []RecoveredSession
+	for _, id := range ids {
+		st, err := loadSessionState(e.journalDir, id)
+		if err != nil {
+			return nil, err
+		}
+		s, err := e.buildSession(st.cfg.sessionConfig())
+		if err != nil {
+			return nil, fmt.Errorf("engine: rebuild session %s: %w", id, err)
+		}
+		s.id = id
+		if err := e.replaySession(s, st.ops); err != nil {
+			return nil, fmt.Errorf("engine: replay session %s: %w", id, err)
+		}
+		jl, err := reopenJournal(e.journalDir, st, e.snapEvery)
+		if err != nil {
+			return nil, err
+		}
+		s.jl = jl
+
+		e.mu.Lock()
+		e.sessions[id] = s
+		if n, ok := sessionNum(id); ok && n > e.nextID {
+			e.nextID = n
+		}
+		e.mu.Unlock()
+		out = append(out, RecoveredSession{
+			ID:           id,
+			Iterations:   len(s.actions),
+			Epoch:        s.epoch,
+			ReplayedTail: st.tail,
+		})
+	}
+	return out, nil
+}
+
+// replaySession re-applies a session's journaled operation history.
+// Holding no locks is fine: the session is not yet registered, so
+// nothing else can reach it.
+func (e *Engine) replaySession(s *Session, ops []journalRecord) error {
+	fp := s.ev.Fingerprint()
+	for _, rec := range ops {
+		switch rec.T {
+		case "step", "batch":
+			if rec.Epoch != s.epoch {
+				return fmt.Errorf("op %d: journaled epoch %d, replay at epoch %d",
+					rec.Seq, rec.Epoch, s.epoch)
+			}
+			if len(rec.Sims) != len(rec.Actions) || len(rec.Obs) != len(rec.Actions) {
+				return fmt.Errorf("op %d: %d actions with %d sims / %d obs",
+					rec.Seq, len(rec.Actions), len(rec.Sims), len(rec.Obs))
+			}
+			if err := s.driver.Replay(rec.Actions, rec.Lies); err != nil {
+				return fmt.Errorf("op %d: %w", rec.Seq, err)
+			}
+			for i, a := range rec.Actions {
+				d := s.observe(rec.Sims[i])
+				if math.Float64bits(d) != math.Float64bits(rec.Obs[i]) {
+					return fmt.Errorf("op %d action %d: replayed observation %v, journal says %v (journal and binary disagree)",
+						rec.Seq, a, d, rec.Obs[i])
+				}
+				s.driver.Observe(a, d)
+				s.record(a, d, rec.Sims[i])
+				// Rewarm the shared cache: the uninterrupted run would
+				// hold this entry, and batch lies peek at it.
+				e.cache.Prime(CacheKey{Fingerprint: fp, Epoch: rec.Epoch, Action: a}, rec.Sims[i])
+			}
+		case "abort":
+			// The strategy consumed proposals (and lies) whose
+			// evaluations then failed; no observation committed.
+			if err := s.driver.Replay(rec.Actions, rec.Lies); err != nil {
+				return fmt.Errorf("op %d (abort): %w", rec.Seq, err)
+			}
+		case "epoch":
+			s.epoch = rec.Epoch
+			e.cache.DropEpochsBelow(fp, rec.Epoch)
+		default:
+			return fmt.Errorf("op %d: unknown record type %q", rec.Seq, rec.T)
+		}
+	}
+	return nil
+}

@@ -27,6 +27,14 @@ type Session struct {
 	durations []float64
 	sims      []float64 // deterministic makespans underlying each step
 	total     float64
+
+	// jl is the session's write-ahead journal (nil when the engine runs
+	// without durability). broken marks a session whose journal append
+	// failed: its in-memory state may be ahead of disk, so it fails
+	// closed — further operations are rejected and the authoritative
+	// state is whatever a restart recovers from the journal.
+	jl     *journal
+	broken bool
 }
 
 // SessionConfig describes a session to create.

@@ -1,0 +1,73 @@
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("content %q", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("perm %v, want 0644", info.Mode().Perm())
+	}
+
+	// Overwrite: the previous content is replaced wholesale.
+	if err := WriteFileAtomic(path, []byte("second, longer than before"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second, longer than before" {
+		t.Fatalf("content after overwrite %q", got)
+	}
+
+	// No temp litter either way.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries in dir, want 1", len(entries))
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "out.json")
+	if err := WriteFileAtomic(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory must fail")
+	}
+}
+
+func TestSyncDirErrors(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("syncing a missing directory must fail")
+	}
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncing a real directory: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"phasetune/internal/fsutil"
 	"phasetune/internal/platform"
 )
 
@@ -21,7 +22,10 @@ type curveFile struct {
 	LP          []float64 `json:"lp_seconds"`
 }
 
-// SaveCurve writes the curve to path as JSON.
+// SaveCurve writes the curve to path as JSON. The write is atomic
+// (temp file + fsync + rename): a crash mid-save leaves either the
+// previous curve or the new one, never a torn file — curves take
+// minutes to simulate, so a half-written file is an expensive loss.
 func SaveCurve(c *Curve, path string) error {
 	payload := curveFile{
 		ScenarioKey: c.Scenario.Key,
@@ -35,7 +39,7 @@ func SaveCurve(c *Curve, path string) error {
 	if err != nil {
 		return fmt.Errorf("harness: encode curve: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return fsutil.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // LoadCurve reads a curve saved by SaveCurve. The scenario is resolved by
@@ -83,7 +87,8 @@ func LoadCurve(path string) (*Curve, error) {
 	return c, nil
 }
 
-// SaveGrid2D writes a 2-D sweep to path as JSON.
+// SaveGrid2D writes a 2-D sweep to path as JSON, atomically like
+// SaveCurve.
 func SaveGrid2D(g *Grid2D, path string) error {
 	payload := struct {
 		ScenarioKey string      `json:"scenario_key"`
@@ -96,5 +101,5 @@ func SaveGrid2D(g *Grid2D, path string) error {
 	if err != nil {
 		return fmt.Errorf("harness: encode grid: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return fsutil.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

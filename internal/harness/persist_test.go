@@ -67,6 +67,60 @@ func TestLoadCurveErrors(t *testing.T) {
 	if _, err := LoadCurve(malformed); err == nil {
 		t.Fatal("length mismatch should error")
 	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, nil, 0o644)
+	if _, err := LoadCurve(empty); err == nil {
+		t.Fatal("empty file should error")
+	}
+	noActions := filepath.Join(dir, "no-actions.json")
+	os.WriteFile(noActions, []byte(`{"scenario_key":"b","actions":[],"sim_seconds":[],"lp_seconds":[]}`), 0o644)
+	if _, err := LoadCurve(noActions); err == nil {
+		t.Fatal("zero-length curve should error")
+	}
+	truncated := filepath.Join(dir, "truncated.json")
+	os.WriteFile(truncated, []byte(`{"scenario_key":"b","actions":[1,2],"sim_`), 0o644)
+	if _, err := LoadCurve(truncated); err == nil {
+		t.Fatal("truncated json should error")
+	}
+	wrongType := filepath.Join(dir, "wrong-type.json")
+	os.WriteFile(wrongType, []byte(`{"scenario_key":"b","actions":"2","sim_seconds":[1],"lp_seconds":[1]}`), 0o644)
+	if _, err := LoadCurve(wrongType); err == nil {
+		t.Fatal("wrong field type should error")
+	}
+}
+
+// TestSaveCurveAtomic: saving over an existing curve leaves no temp
+// litter and replaces the content wholesale — the durability contract
+// the engine's snapshots rely on, exercised through the harness path.
+func TestSaveCurveAtomic(t *testing.T) {
+	c := testCurve(t, "b")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "curve.json")
+	if err := os.WriteFile(path, []byte("stale garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCurve(c, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCurve(path); err != nil {
+		t.Fatalf("overwritten curve does not load: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory holds %v, want just curve.json", names)
+	}
+	// Saving into a missing directory fails cleanly instead of leaving
+	// partial state elsewhere.
+	if err := SaveCurve(c, filepath.Join(dir, "nope", "curve.json")); err == nil {
+		t.Fatal("save into missing directory should error")
+	}
 }
 
 func TestSaveGrid2D(t *testing.T) {
