@@ -10,7 +10,19 @@
 //	curl -s -X POST localhost:8080/v1/sessions \
 //	     -d '{"scenario":"b","strategy":"GP-discontinuous","seed":42}'
 //	curl -s -X POST localhost:8080/v1/sessions/s1/step -d '{}'
+//
+//	# Prometheus text exposition (default); JSON view via Accept header
 //	curl -s localhost:8080/metrics
+//	curl -s -H 'Accept: application/json' localhost:8080/metrics
+//
+//	# one session's Chrome trace-event JSON (Perfetto-loadable)
+//	curl -s localhost:8080/v1/sessions/s1/trace
+//
+// Telemetry is always on in the server (metrics and per-session span
+// recording); -trace-dir additionally writes every session's trace to
+// <dir>/<id>.trace.json at shutdown, and -pprof-addr serves
+// net/http/pprof on its own mux and listener (default off; an empty
+// host or bare port binds loopback only).
 //
 // With -journal-dir every committed step is fsync'd to a per-session
 // write-ahead journal before the client sees its result; after a crash,
@@ -31,15 +43,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"phasetune/internal/engine"
+	"phasetune/internal/obsv/wallclock"
 )
 
 type config struct {
@@ -52,6 +69,8 @@ type config struct {
 	maxBody      int64
 	evalTimeout  time.Duration
 	drainTimeout time.Duration
+	traceDir     string
+	pprofAddr    string
 }
 
 func main() {
@@ -65,6 +84,8 @@ func main() {
 	flag.Int64Var(&cfg.maxBody, "max-body", 0, "request body size limit in bytes (0 = 1 MiB)")
 	flag.DurationVar(&cfg.evalTimeout, "eval-timeout", 0, "per-request evaluation timeout (0 = none)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
+	flag.StringVar(&cfg.traceDir, "trace-dir", "", "directory for per-session Chrome trace-event JSON files, written on shutdown (empty = tracing still served at GET /v1/sessions/{id}/trace, no files)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "net/http/pprof listen address on its own mux, never the API listener (empty = off; a bare port binds loopback only)")
 	selfcheck := flag.Bool("selfcheck", false, "run the full lifecycle (serve, session, shutdown, recover) on a loopback port, exit")
 	flag.Parse()
 
@@ -86,10 +107,12 @@ func run(cfg config) error {
 	if cfg.recover && cfg.journalDir == "" {
 		return errors.New("-recover requires -journal-dir")
 	}
+	tel := wallclock.NewTelemetry()
 	eng := engine.NewWithOptions(engine.Options{
 		Workers:       cfg.workers,
 		JournalDir:    cfg.journalDir,
 		SnapshotEvery: cfg.snapEvery,
+		Telemetry:     tel,
 	})
 	if cfg.recover {
 		infos, err := eng.Recover()
@@ -122,7 +145,18 @@ func run(cfg config) error {
 	fmt.Println("  POST /v1/sessions {scenario, strategy, seed, tiles}")
 	fmt.Println("  POST /v1/sessions/{id}/step | /batch-step {k} | /advance-epoch")
 	fmt.Println("  GET  /v1/sessions/{id}   GET /metrics   POST /v1/sweep")
-	fmt.Println("  GET  /healthz   GET /readyz")
+	fmt.Println("  GET  /v1/sessions/{id}/trace   GET /healthz   GET /readyz")
+
+	var pprofLn net.Listener
+	if cfg.pprofAddr != "" {
+		var err error
+		pprofLn, err = startPprof(cfg.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer pprofLn.Close()
+		fmt.Printf("  pprof on http://%s/debug/pprof/ (separate mux)\n", pprofLn.Addr())
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
@@ -150,7 +184,64 @@ func run(cfg config) error {
 	if err := eng.Close(); err != nil {
 		return fmt.Errorf("closing engine: %w", err)
 	}
+	if cfg.traceDir != "" {
+		if err := writeSessionTraces(eng, cfg.traceDir); err != nil {
+			return fmt.Errorf("writing traces: %w", err)
+		}
+	}
 	fmt.Println("phasetune-serve: shutdown complete")
+	return nil
+}
+
+// startPprof serves net/http/pprof on its own mux and listener — never
+// the API mux, so profiling exposure stays separable from the service
+// surface. An address without a host (":6060" or a bare "6060") binds
+// loopback only; exposing pprof beyond localhost takes an explicit
+// host.
+func startPprof(addr string) (net.Listener, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		host, port = "", addr // a bare port number
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
+// writeSessionTraces exports every recorded session trace to
+// <dir>/<id>.trace.json (Perfetto-loadable Chrome trace-event JSON).
+func writeSessionTraces(eng *engine.Engine, dir string) error {
+	tel := eng.Telemetry()
+	if tel == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, id := range tel.Trace.Sessions() {
+		data, ok := tel.Trace.Export(id)
+		if !ok {
+			continue
+		}
+		path := filepath.Join(dir, id+".trace.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote trace %s\n", path)
+	}
 	return nil
 }
 
@@ -169,12 +260,25 @@ func runSelfcheck(cfg config) error {
 		defer os.RemoveAll(dir)
 	}
 
-	eng := engine.NewWithOptions(engine.Options{Workers: cfg.workers, JournalDir: dir})
+	tel := wallclock.NewTelemetry()
+	eng := engine.NewWithOptions(engine.Options{Workers: cfg.workers, JournalDir: dir, Telemetry: tel})
 	srv := engine.NewServerWithOptions(eng, engine.ServerOptions{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
+
+	// pprof always runs during selfcheck (loopback, ephemeral port) so
+	// the separate-mux wiring is exercised on every deployment check.
+	pprofAddr := cfg.pprofAddr
+	if pprofAddr == "" {
+		pprofAddr = "127.0.0.1:0"
+	}
+	pprofLn, err := startPprof(pprofAddr)
+	if err != nil {
+		return err
+	}
+	defer pprofLn.Close()
 	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -225,6 +329,42 @@ func runSelfcheck(cfg config) error {
 		return fmt.Errorf("result: %w", err)
 	}
 
+	// Telemetry surfaces: Prometheus text is the /metrics default, the
+	// JSON view is preserved under Accept: application/json, the session
+	// trace endpoint serves Chrome trace-event JSON, and pprof answers
+	// on its own listener.
+	status, text, err := fetch(base+"/metrics", "")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("metrics text: status %d, err %v", status, err)
+	}
+	if !strings.HasPrefix(string(text), "# HELP") || !strings.Contains(string(text), "phasetune_") {
+		return fmt.Errorf("metrics text does not look like Prometheus exposition: %.80s", text)
+	}
+	var metricsJSON struct {
+		Workers int `json:"workers"`
+	}
+	status, jsonBody, err := fetch(base+"/metrics", "application/json")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("metrics JSON view: status %d, err %v", status, err)
+	}
+	if err := json.Unmarshal(jsonBody, &metricsJSON); err != nil || metricsJSON.Workers != eng.Workers() {
+		return fmt.Errorf("metrics JSON view: workers %d, err %v", metricsJSON.Workers, err)
+	}
+	status, traceData, err := fetch(base+"/v1/sessions/"+created.ID+"/trace", "")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("session trace: status %d, err %v", status, err)
+	}
+	if !bytes.Contains(traceData, []byte("traceEvents")) || !bytes.Contains(traceData, []byte("des.eval")) {
+		return fmt.Errorf("session trace missing expected spans: %.120s", traceData)
+	}
+	fmt.Printf("telemetry ok: %d bytes of Prometheus text, %d bytes of session trace\n",
+		len(text), len(traceData))
+	status, _, err = fetch("http://"+pprofLn.Addr().String()+"/debug/pprof/cmdline", "")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("pprof cmdline: status %d, err %v", status, err)
+	}
+	fmt.Printf("pprof ok on %s (separate mux)\n", pprofLn.Addr())
+
 	// Graceful shutdown: readiness must flip before the listener stops.
 	srv.SetDraining(true)
 	if err := expectStatus(base+"/readyz", http.StatusServiceUnavailable); err != nil {
@@ -243,6 +383,16 @@ func runSelfcheck(cfg config) error {
 	}
 	if err := eng.Close(); err != nil {
 		return fmt.Errorf("close engine: %w", err)
+	}
+	if cfg.traceDir != "" {
+		if err := writeSessionTraces(eng, cfg.traceDir); err != nil {
+			return fmt.Errorf("writing traces: %w", err)
+		}
+		p := filepath.Join(cfg.traceDir, created.ID+".trace.json")
+		if _, err := os.Stat(p); err != nil {
+			return fmt.Errorf("trace file missing after shutdown: %w", err)
+		}
+		fmt.Printf("trace file ok: %s\n", p)
 	}
 
 	// Recovery: a fresh engine on the same journal dir must reproduce
@@ -274,6 +424,28 @@ func runSelfcheck(cfg config) error {
 	fmt.Printf("selfcheck ok: %d nodes, %d iterations, best n=%d, recovered and resumed from journal\n",
 		created.Nodes, before.Iterations, before.BestAction)
 	return nil
+}
+
+// fetch GETs url with an optional Accept header and returns the status
+// and full body.
+func fetch(url, accept string) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
 }
 
 func expectStatus(url string, want int) error {

@@ -76,9 +76,19 @@ func TestCmdServeSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	out := runTool(t, "./cmd/phasetune-serve", "-selfcheck", "-workers", "4")
+	traceDir := t.TempDir()
+	out := runTool(t, "./cmd/phasetune-serve", "-selfcheck", "-workers", "4",
+		"-pprof-addr", "127.0.0.1:0", "-trace-dir", traceDir)
 	if !strings.Contains(out, "selfcheck ok") || !strings.Contains(out, "best n=") {
 		t.Fatalf("serve selfcheck output:\n%s", out)
+	}
+	// The selfcheck probes the whole telemetry surface: Prometheus text
+	// and JSON /metrics, the session trace endpoint, the pprof mux and
+	// the -trace-dir file written at shutdown.
+	for _, want := range []string{"telemetry ok", "pprof ok", "trace file ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve selfcheck missing %q:\n%s", want, out)
+		}
 	}
 }
 

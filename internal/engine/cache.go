@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"sync"
+
+	"phasetune/internal/obsv"
 )
 
 // CacheKey identifies one deterministic evaluation: a scenario
@@ -38,6 +40,7 @@ type Cache struct {
 	hits    int64
 	misses  int64
 	flying  int64
+	tel     *obsv.Telemetry // nil disables the request counters
 }
 
 // NewCache returns an empty cache.
@@ -62,6 +65,14 @@ func (c *Cache) EvalCtx(ctx context.Context, key CacheKey, compute func() (float
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		if c.tel != nil {
+			c.tel.CacheHits.Inc()
+			select {
+			case <-e.done:
+			default:
+				c.tel.CacheShares.Inc()
+			}
+		}
 		c.mu.Unlock()
 		select {
 		case <-e.done:
@@ -74,6 +85,9 @@ func (c *Cache) EvalCtx(ctx context.Context, key CacheKey, compute func() (float
 	c.entries[key] = e
 	c.misses++
 	c.flying++
+	if c.tel != nil {
+		c.tel.CacheMisses.Inc()
+	}
 	c.mu.Unlock()
 
 	e.val, e.err = compute()

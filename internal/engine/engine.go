@@ -10,8 +10,10 @@ import (
 
 	"phasetune/internal/core"
 	"phasetune/internal/harness"
+	"phasetune/internal/obsv"
 	"phasetune/internal/platform"
 	"phasetune/internal/stats"
+	"phasetune/internal/trace"
 )
 
 // Engine is the concurrent tuning service: it owns the evaluation pool,
@@ -24,6 +26,7 @@ type Engine struct {
 
 	journalDir string // "" disables durability
 	snapEvery  int
+	tel        *obsv.Telemetry // nil disables metrics and tracing
 	closed     atomic.Bool
 
 	mu       sync.Mutex
@@ -42,6 +45,10 @@ type Options struct {
 	// SnapshotEvery is the number of journaled operations between
 	// snapshot rotations (<= 0 selects the default, 32).
 	SnapshotEvery int
+	// Telemetry, when non-nil, turns on metrics and span recording
+	// across the pool, cache, journals and sessions. Nil is the
+	// zero-cost disabled path.
+	Telemetry *obsv.Telemetry
 }
 
 // New returns an engine admitting workers concurrent evaluations
@@ -52,14 +59,21 @@ func New(workers int) *Engine {
 
 // NewWithOptions returns an engine configured by opts.
 func NewWithOptions(opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		pool:       NewPool(opts.Workers),
 		cache:      NewCache(),
 		journalDir: opts.JournalDir,
 		snapEvery:  opts.SnapshotEvery,
+		tel:        opts.Telemetry,
 		sessions:   map[string]*Session{},
 	}
+	e.pool.tel = opts.Telemetry
+	e.cache.tel = opts.Telemetry
+	return e
 }
+
+// Telemetry returns the engine's telemetry bundle (nil when disabled).
+func (e *Engine) Telemetry() *obsv.Telemetry { return e.tel }
 
 // ErrClosed is returned by every operation after Close.
 var ErrClosed = errors.New("engine: closed")
@@ -139,12 +153,17 @@ func (e *Engine) buildSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		driver: NewDriver(strat),
 		ev:     harness.NewEvaluator(sc, opts),
 		seed:   cfg.Seed,
 		noise:  stats.NewRNG(cfg.Seed),
-	}, nil
+	}
+	if e.tel != nil {
+		s.props = e.tel.Reg.Counter("phasetune_strategy_proposals_total",
+			"actions proposed by tuning strategies", obsv.Labels{"strategy": name})
+	}
+	return s, nil
 }
 
 // CreateSession builds a session: scenario, LP bound, strategy, driver,
@@ -181,7 +200,7 @@ func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
 			Tiles:       cfg.Tiles,
 			Exact:       cfg.Exact,
 			GenNodes:    cfg.GenNodes,
-		}, e.snapEvery)
+		}, e.snapEvery, e.tel)
 		if err != nil {
 			e.mu.Lock()
 			delete(e.sessions, s.id)
@@ -218,15 +237,41 @@ func (e *Engine) Result(id string) (SessionResult, error) {
 // wait for a pool slot or an in-flight computation, never a running
 // simulation.
 func (e *Engine) eval(ctx context.Context, s *Session, epoch, action int) (float64, bool, error) {
+	sc := obsv.FromContext(ctx)
+	endLookup := sc.Span("cache", "cache.lookup")
 	key := CacheKey{Fingerprint: s.ev.Fingerprint(), Epoch: epoch, Action: action}
-	return e.cache.EvalCtx(ctx, key, func() (float64, error) {
+	v, hit, err := e.cache.EvalCtx(ctx, key, func() (float64, error) {
+		endAdmit := sc.Span("pool", "pool.admit")
 		var v float64
-		var err error
-		if derr := e.pool.DoCtx(ctx, func() { v, err = s.ev.Evaluate(action) }); derr != nil {
+		var verr error
+		derr := e.pool.DoCtx(ctx, func() {
+			endAdmit(nil)
+			endEval := sc.Span("des", "des.eval")
+			if sc.Tracing() {
+				rec := trace.NewRecorder()
+				v, verr = s.ev.EvaluateObserved(action, rec)
+				endEval(map[string]any{"action": action, "epoch": epoch, "makespan": v})
+				sc.SimEval(fmt.Sprintf("eval n=%d epoch=%d", action, epoch), rec.Spans())
+			} else {
+				v, verr = s.ev.Evaluate(action)
+				endEval(nil)
+			}
+		})
+		if derr != nil {
+			// DoCtx gave up before fn ran; close the admission span here.
+			if sc != nil {
+				endAdmit(map[string]any{"error": derr.Error()})
+			}
 			return 0, derr
 		}
-		return v, err
+		return v, verr
 	})
+	if sc != nil {
+		endLookup(map[string]any{"action": action, "epoch": epoch, "hit": hit})
+	} else {
+		endLookup(nil)
+	}
+	return v, hit, err
 }
 
 // checkout fetches an operable session: it must exist, the engine must
@@ -280,7 +325,18 @@ func (e *Engine) StepCtx(ctx context.Context, id string) (StepResult, error) {
 	if s.broken {
 		return StepResult{}, fmt.Errorf("engine: session %q failed closed on a journal error", id)
 	}
+	sc := obsv.FromContext(ctx)
+	var stepArgs map[string]any
+	endStep := sc.Span("session", "session.step")
+	defer func() { endStep(stepArgs) }()
+	endPropose := sc.Span("strategy", "strategy.propose")
 	action := s.driver.Next()
+	s.props.Inc()
+	if sc != nil {
+		endPropose(map[string]any{"action": action})
+	} else {
+		endPropose(nil)
+	}
 	sim, hit, err := e.eval(ctx, s, s.epoch, action)
 	if err != nil {
 		// The strategy consumed a proposal that produced no observation;
@@ -299,6 +355,9 @@ func (e *Engine) StepCtx(ctx context.Context, id string) (StepResult, error) {
 		Actions: []int{action}, Sims: []float64{sim}, Obs: []float64{d},
 	}); err != nil {
 		return StepResult{}, err
+	}
+	if sc != nil {
+		stepArgs = map[string]any{"iter": res.Iter, "action": action, "sim": sim, "cache_hit": hit}
 	}
 	return res, nil
 }
@@ -327,11 +386,22 @@ func (e *Engine) BatchStepCtx(ctx context.Context, id string, k int) ([]StepResu
 	if s.broken {
 		return nil, fmt.Errorf("engine: session %q failed closed on a journal error", id)
 	}
+	sc := obsv.FromContext(ctx)
+	var batchArgs map[string]any
+	endBatch := sc.Span("session", "session.batch-step")
+	defer func() { endBatch(batchArgs) }()
 	epoch := s.epoch
 	fp := s.ev.Fingerprint()
+	endPropose := sc.Span("strategy", "strategy.propose-batch")
 	actions, lies := s.driver.NextBatch(k, func(a int) (float64, bool) {
 		return e.cache.Peek(CacheKey{Fingerprint: fp, Epoch: epoch, Action: a})
 	})
+	s.props.Add(float64(len(actions)))
+	if sc != nil {
+		endPropose(map[string]any{"k": k, "proposed": len(actions)})
+	} else {
+		endPropose(nil)
+	}
 
 	sims := make([]float64, len(actions))
 	hits := make([]bool, len(actions))
@@ -372,6 +442,9 @@ func (e *Engine) BatchStepCtx(ctx context.Context, id string, k int) ([]StepResu
 		Actions: actions, Lies: lies, Sims: allSims, Obs: obs,
 	}); err != nil {
 		return nil, err
+	}
+	if sc != nil {
+		batchArgs = map[string]any{"k": k, "steps": len(out), "first_iter": firstIter}
 	}
 	return out, nil
 }

@@ -1,14 +1,19 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"phasetune/internal/obsv"
 )
 
 // ServerOptions configures the service hardening around the engine API.
@@ -43,7 +48,8 @@ const (
 //	POST /v1/sessions/{id}/batch-step     k speculative steps (constant liar)
 //	POST /v1/sessions/{id}/advance-epoch  platform changed: new epoch, evict stale cache
 //	POST /v1/sweep                        parallel f(n) sweep over a scenario
-//	GET  /metrics                         cache hit ratio, in-flight evals, per-session regret
+//	GET  /metrics                         Prometheus text by default; the JSON view at Accept: application/json
+//	GET  /v1/sessions/{id}/trace          Chrome trace-event JSON of the session's recorded spans
 //	GET  /healthz                         process liveness (always 200 while serving)
 //	GET  /readyz                          readiness: 503 while draining or closed
 //
@@ -151,8 +157,128 @@ func bodyStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// statusWriter captures the response status for the route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers a route, wrapping it with per-route telemetry when
+// the engine carries it: request latency by route, status-code counters
+// and the 429/413/504 rejection tally. With telemetry off the handler
+// is registered bare — no wrapper on the disabled path.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	tel := s.e.tel
+	if tel == nil {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	lat := tel.Reg.Histogram("phasetune_http_request_seconds",
+		"wall-clock seconds per HTTP request", obsv.DurationBuckets,
+		obsv.Labels{"route": pattern})
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := tel.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		lat.Observe(tel.Seconds(t0))
+		code := strconv.Itoa(sw.code)
+		tel.Reg.Counter("phasetune_http_requests_total",
+			"HTTP requests by route and status code",
+			obsv.Labels{"route": pattern, "code": code}).Inc()
+		switch sw.code {
+		case http.StatusTooManyRequests, http.StatusRequestEntityTooLarge, http.StatusGatewayTimeout:
+			tel.Reg.Counter("phasetune_http_rejections_total",
+				"requests rejected by admission control, body limits or eval timeouts",
+				obsv.Labels{"code": code}).Inc()
+		}
+	})
+}
+
+// startTrace opens the root wall-clock span for a session-addressed
+// request. The returned SpanCtx (nil when telemetry is off) threads
+// through the request context into the engine's spans.
+func (s *Server) startTrace(session, name string) (*obsv.SpanCtx, func()) {
+	if s.e.tel == nil {
+		return nil, func() {}
+	}
+	return s.e.tel.Trace.StartRequest(session, name)
+}
+
+// wantsJSON implements /metrics content negotiation: the first
+// recognized media type in the Accept header decides, and the
+// pre-existing JSON view is served only on an explicit
+// application/json ask — Prometheus text is the default.
+func wantsJSON(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.Index(mt, ";"); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case "application/json":
+			return true
+		case "text/plain", "text/*":
+			return false
+		}
+	}
+	return false
+}
+
+// writePrometheus renders the engine snapshot (the same numbers the
+// JSON view reports) as Prometheus text, then appends the live
+// telemetry registry when the engine carries one. Rendering into a
+// buffer lets errors surface as a 500 before any header is written.
+func (s *Server) writePrometheus(buf *bytes.Buffer) error {
+	m := s.e.Metrics()
+	reg := obsv.NewRegistry()
+	reg.Gauge("phasetune_workers",
+		"evaluation concurrency bound", nil).Set(float64(m.Workers))
+	reg.Gauge("phasetune_pool_in_flight_evals",
+		"evaluations holding a pool slot right now", nil).Set(float64(m.InFlightEvals))
+	reg.Gauge("phasetune_pool_waiting_evals",
+		"callers blocked on a pool slot right now", nil).Set(float64(m.WaitingEvals))
+	reg.Counter("phasetune_cache_hits_total",
+		"evaluation-cache hits since start", nil).Add(float64(m.Cache.Hits))
+	reg.Counter("phasetune_cache_misses_total",
+		"evaluation-cache misses since start", nil).Add(float64(m.Cache.Misses))
+	reg.Gauge("phasetune_cache_in_flight",
+		"cache computations in flight", nil).Set(float64(m.Cache.InFlight))
+	reg.Gauge("phasetune_cache_entries",
+		"memoized evaluations resident in the cache", nil).Set(float64(m.Cache.Entries))
+	reg.Gauge("phasetune_cache_hit_ratio",
+		"hits / (hits + misses)", nil).Set(m.Cache.HitRatio)
+	reg.Gauge("phasetune_sessions",
+		"live tuning sessions", nil).Set(float64(m.SessionsTotal))
+	reg.Counter("phasetune_iterations_total",
+		"committed tuning iterations across all sessions", nil).Add(float64(m.IterationsTotal))
+	for _, sr := range m.Sessions {
+		labels := obsv.Labels{"session": sr.ID, "strategy": sr.Strategy}
+		reg.Gauge("phasetune_session_regret_seconds",
+			"cumulative deterministic regret, simulated seconds", labels).Set(sr.Regret)
+		reg.Gauge("phasetune_session_iterations",
+			"committed iterations of the session", labels).Set(float64(sr.Iterations))
+		reg.Gauge("phasetune_session_epoch",
+			"platform epoch the session runs under", labels).Set(float64(sr.Epoch))
+	}
+	if err := reg.WritePrometheus(buf); err != nil {
+		return err
+	}
+	if tel := s.e.tel; tel != nil {
+		return tel.Reg.WritePrometheus(buf)
+	}
+	return nil
+}
+
+// prometheusContentType is the text exposition format version header.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req createSessionRequest
 		if err := s.decodeJSON(w, r, &req); err != nil {
 			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
@@ -180,7 +306,7 @@ func (s *Server) routes() {
 			Seed:     sess.seed,
 		})
 	})
-	s.mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		res, err := s.e.Result(r.PathValue("id"))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
@@ -188,7 +314,27 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	s.mux.HandleFunc("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("GET /v1/sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if s.e.tel == nil {
+			httpError(w, http.StatusNotFound,
+				fmt.Errorf("tracing disabled (engine runs without telemetry)"))
+			return
+		}
+		if _, ok := s.e.Session(id); !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("engine: no session %q", id))
+			return
+		}
+		data, ok := s.e.tel.Trace.Export(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no trace recorded for session %q", id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	})
+	s.handle("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
 		release, ok := s.admit(w)
 		if !ok {
 			return
@@ -196,14 +342,17 @@ func (s *Server) routes() {
 		defer release()
 		ctx, cancel := s.evalContext(r)
 		defer cancel()
-		res, err := s.e.StepCtx(ctx, r.PathValue("id"))
+		id := r.PathValue("id")
+		sc, endReq := s.startTrace(id, "POST /v1/sessions/{id}/step")
+		defer endReq()
+		res, err := s.e.StepCtx(obsv.ContextWith(ctx, sc), id)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	s.mux.HandleFunc("POST /v1/sessions/{id}/batch-step", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /v1/sessions/{id}/batch-step", func(w http.ResponseWriter, r *http.Request) {
 		var req batchStepRequest
 		if err := s.decodeJSON(w, r, &req); err != nil {
 			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
@@ -219,14 +368,17 @@ func (s *Server) routes() {
 		defer release()
 		ctx, cancel := s.evalContext(r)
 		defer cancel()
-		res, err := s.e.BatchStepCtx(ctx, r.PathValue("id"), req.K)
+		id := r.PathValue("id")
+		sc, endReq := s.startTrace(id, "POST /v1/sessions/{id}/batch-step")
+		defer endReq()
+		res, err := s.e.BatchStepCtx(obsv.ContextWith(ctx, sc), id, req.K)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, batchStepResponse{Steps: res})
 	})
-	s.mux.HandleFunc("POST /v1/sessions/{id}/advance-epoch", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /v1/sessions/{id}/advance-epoch", func(w http.ResponseWriter, r *http.Request) {
 		epoch, err := s.e.AdvanceEpoch(r.PathValue("id"))
 		if err != nil {
 			httpError(w, statusFor(err), err)
@@ -234,7 +386,7 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
 	})
-	s.mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		var req sweepRequest
 		if err := s.decodeJSON(w, r, &req); err != nil {
 			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
@@ -261,13 +413,24 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.e.Metrics())
+	s.handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsJSON(r.Header.Get("Accept")) {
+			writeJSON(w, http.StatusOK, s.e.Metrics())
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.writePrometheus(&buf); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", prometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = buf.WriteTo(w)
 	})
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() || s.e.closed.Load() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return

@@ -31,7 +31,13 @@ func postJSON(t *testing.T, url string, body any, out any) *http.Response {
 
 func getJSON(t *testing.T, url string, out any) *http.Response {
 	t.Helper()
-	resp, err := http.Get(url)
+	// /metrics content-negotiates: ask for the JSON view explicitly.
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"phasetune/internal/fsutil"
+	"phasetune/internal/obsv"
 )
 
 // The durability layer: every committed session operation is appended
@@ -103,6 +104,7 @@ type journal struct {
 	seq       int64
 	ops       []journalRecord // full op history, snapshot source
 	sinceSnap int
+	tel       *obsv.Telemetry // nil disables append/rotation accounting
 }
 
 const defaultSnapshotEvery = 32
@@ -114,7 +116,7 @@ func snapshotPath(dir, id string) string { return filepath.Join(dir, id+".snap.j
 // created (truncating any stale leftover under the same ID), the create
 // record is appended and both the file and its directory are synced
 // before the session is considered durable.
-func newJournal(dir, id string, cfg journalConfig, every int) (*journal, error) {
+func newJournal(dir, id string, cfg journalConfig, every int, tel *obsv.Telemetry) (*journal, error) {
 	if every <= 0 {
 		every = defaultSnapshotEvery
 	}
@@ -125,7 +127,7 @@ func newJournal(dir, id string, cfg journalConfig, every int) (*journal, error) 
 	if err != nil {
 		return nil, fmt.Errorf("engine: open journal: %w", err)
 	}
-	j := &journal{dir: dir, id: id, every: every, cfg: cfg, f: f}
+	j := &journal{dir: dir, id: id, every: every, cfg: cfg, f: f, tel: tel}
 	if err := j.writeRecord(journalRecord{T: "create", Config: &cfg}); err != nil {
 		_ = f.Close()
 		return nil, err
@@ -156,8 +158,15 @@ func (j *journal) writeRecord(rec journalRecord) error {
 // sequence number, and rotates the snapshot when due.
 func (j *journal) append(rec journalRecord) error {
 	rec.Seq = j.seq + 1
+	var t0 int64
+	if j.tel != nil {
+		t0 = j.tel.Now()
+	}
 	if err := j.writeRecord(rec); err != nil {
 		return err
+	}
+	if j.tel != nil {
+		j.tel.JournalAppend.Observe(j.tel.Seconds(t0))
 	}
 	j.seq++
 	j.ops = append(j.ops, rec)
@@ -188,6 +197,9 @@ func (j *journal) rotate() error {
 		return fmt.Errorf("engine: fsync journal %s: %w", j.id, err)
 	}
 	j.sinceSnap = 0
+	if j.tel != nil {
+		j.tel.SnapshotRotations.Inc()
+	}
 	return nil
 }
 
@@ -297,7 +309,7 @@ func loadSessionState(dir, id string) (*sessionState, error) {
 
 // reopenJournal attaches a recovered session back to its on-disk
 // journal for continued appends.
-func reopenJournal(dir string, st *sessionState, every int) (*journal, error) {
+func reopenJournal(dir string, st *sessionState, every int, tel *obsv.Telemetry) (*journal, error) {
 	if every <= 0 {
 		every = defaultSnapshotEvery
 	}
@@ -307,7 +319,7 @@ func reopenJournal(dir string, st *sessionState, every int) (*journal, error) {
 	}
 	return &journal{
 		dir: dir, id: st.id, every: every, cfg: st.cfg, f: f,
-		seq: st.seq, ops: st.ops, sinceSnap: st.tail,
+		seq: st.seq, ops: st.ops, sinceSnap: st.tail, tel: tel,
 	}, nil
 }
 

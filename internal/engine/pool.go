@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"phasetune/internal/obsv"
 )
 
 // Pool bounds how many DES evaluations run at once. It is a semaphore,
@@ -16,6 +18,7 @@ type Pool struct {
 	sem     chan struct{}
 	flying  atomic.Int64
 	waiting atomic.Int64
+	tel     *obsv.Telemetry // nil disables admission/latency histograms
 }
 
 // NewPool returns a pool admitting workers concurrent evaluations
@@ -49,6 +52,10 @@ func (p *Pool) Do(fn func()) {
 // in-progress simulation (a half-cancelled DES run has no meaningful
 // result to cache).
 func (p *Pool) DoCtx(ctx context.Context, fn func()) error {
+	var t0 int64
+	if p.tel != nil {
+		t0 = p.tel.Now()
+	}
 	p.waiting.Add(1)
 	select {
 	case p.sem <- struct{}{}:
@@ -62,7 +69,14 @@ func (p *Pool) DoCtx(ctx context.Context, fn func()) error {
 		p.flying.Add(-1)
 		<-p.sem
 	}()
+	if p.tel == nil {
+		fn()
+		return nil
+	}
+	p.tel.PoolWait.Observe(p.tel.Seconds(t0))
+	t1 := p.tel.Now()
 	fn()
+	p.tel.EvalLatency.Observe(p.tel.Seconds(t1))
 	return nil
 }
 

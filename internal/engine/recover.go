@@ -57,11 +57,15 @@ func (e *Engine) Recover() ([]RecoveredSession, error) {
 		if err := e.replaySession(s, st.ops); err != nil {
 			return nil, fmt.Errorf("engine: replay session %s: %w", id, err)
 		}
-		jl, err := reopenJournal(e.journalDir, st, e.snapEvery)
+		jl, err := reopenJournal(e.journalDir, st, e.snapEvery, e.tel)
 		if err != nil {
 			return nil, err
 		}
 		s.jl = jl
+		if e.tel != nil {
+			e.tel.RecoverySessions.Inc()
+			e.tel.RecoveryReplayedOps.Add(float64(len(st.ops)))
+		}
 
 		e.mu.Lock()
 		e.sessions[id] = s

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"phasetune/internal/harness"
+	"phasetune/internal/obsv"
 	"phasetune/internal/platform"
 	"phasetune/internal/stats"
 )
@@ -19,6 +20,9 @@ type Session struct {
 	driver *Driver
 	ev     *harness.Evaluator
 	seed   int64
+	// props counts this session's strategy proposals (nil-safe counter;
+	// nil when the engine runs without telemetry).
+	props *obsv.Counter
 
 	mu        sync.Mutex
 	noise     *stats.RNG

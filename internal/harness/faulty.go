@@ -6,6 +6,7 @@ import (
 
 	"phasetune/internal/core"
 	"phasetune/internal/faults"
+	"phasetune/internal/obsv"
 	"phasetune/internal/platform"
 	"phasetune/internal/stats"
 	"phasetune/internal/taskrt"
@@ -32,6 +33,11 @@ type FaultyOptions struct {
 	// Backoff is the simulated wait in seconds charged before each
 	// retry (default 1).
 	Backoff float64
+	// Telemetry, when non-nil, records per-iteration makespans, the
+	// running regret and strategy proposal counts. It never touches the
+	// tuning state: observed durations and strategy decisions are
+	// bit-identical with and without it.
+	Telemetry *obsv.Telemetry
 }
 
 func (o *FaultyOptions) setDefaults() {
@@ -134,6 +140,15 @@ func RunOnlineFaulty(sc platform.Scenario, s core.Strategy, iterations int,
 	rng := stats.NewRNG(seed)
 	jrng := stats.NewRNG(seed ^ jitterSeedSalt)
 	memo := newEpochMemo()
+
+	// Telemetry bookkeeping (off the tuning state; simBest/simSum only
+	// exist to feed the gauge).
+	var props *obsv.Counter
+	simSum, simBest := 0.0, 0.0
+	if fopts.Telemetry != nil {
+		props = fopts.Telemetry.Reg.Counter("phasetune_strategy_proposals_total",
+			"actions proposed by tuning strategies", obsv.Labels{"strategy": s.Name()})
+	}
 
 	var res FaultyResult
 	view := identityView(sc)
@@ -261,6 +276,16 @@ func RunOnlineFaulty(sc platform.Scenario, s core.Strategy, iterations int,
 		res.Total += d
 		res.Epochs = append(res.Epochs, curEpoch)
 		res.AliveN = append(res.AliveN, effN)
+
+		if fopts.Telemetry != nil {
+			props.Inc()
+			fopts.Telemetry.IterMakespan.Observe(total)
+			simSum += total
+			if it == 0 || total < simBest {
+				simBest = total
+			}
+			fopts.Telemetry.Regret.Set(simSum - float64(it+1)*simBest)
+		}
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"phasetune/internal/platform"
+	"phasetune/internal/taskrt"
 )
 
 // ScenarioFingerprint returns a short, stable identifier of the
@@ -44,7 +45,9 @@ func ScenarioFingerprint(sc platform.Scenario, opts SimOptions) string {
 // number of goroutines at once — SimulateIteration builds a fresh DES
 // engine, network and runtime per call and shares no mutable state —
 // provided Opts.Observer is nil (an observer would be shared across
-// concurrent runs; the engine never sets one).
+// concurrent runs). Callers that want per-run spans use
+// EvaluateObserved, which attaches a private observer to a copy of the
+// options.
 type Evaluator struct {
 	Scenario platform.Scenario
 	Opts     SimOptions
@@ -63,6 +66,16 @@ func (e *Evaluator) Fingerprint() string { return e.fp }
 // nodes. Safe for concurrent use.
 func (e *Evaluator) Evaluate(nFact int) (float64, error) {
 	return SimulateIteration(e.Scenario, nFact, e.Opts)
+}
+
+// EvaluateObserved is Evaluate with a per-call task observer (span
+// recording). The evaluator's own options are copied, so concurrent
+// calls stay reentrant — each run has its private observer and the
+// makespan is bit-identical to Evaluate's (observers only record).
+func (e *Evaluator) EvaluateObserved(nFact int, obs taskrt.Observer) (float64, error) {
+	opts := e.Opts
+	opts.Observer = obs
+	return SimulateIteration(e.Scenario, nFact, opts)
 }
 
 // Actions returns the feasible action range [MinNodes, N] of the

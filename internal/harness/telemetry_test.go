@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"phasetune/internal/faults"
+	"phasetune/internal/obsv"
+	"phasetune/internal/platform"
+)
+
+// TestFaultyTelemetryBitIdentical pins FaultyOptions.Telemetry's
+// contract: attaching the instruments records every iteration without
+// perturbing a single observed bit, even across a fault transition.
+func TestFaultyTelemetryBitIdentical(t *testing.T) {
+	sc, _ := platform.ScenarioByKey("b")
+	opts := SimOptions{Tiles: 8}
+	const iters, seed = 12, 42
+	plan := &faults.Plan{Events: []faults.Event{
+		{Kind: faults.Crash, Iter: 5, Node: 0},
+	}}
+
+	run := func(tel *obsv.Telemetry) FaultyResult {
+		res, err := RunOnlineFaulty(sc, constStrategy(5), iters, opts,
+			FaultyOptions{Plan: plan, Telemetry: tel}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	ref := run(nil)
+	tel := obsv.NewTelemetry(nil) // frozen clock: harness metrics are sim-time only
+	got := run(tel)
+
+	if len(ref.Actions) != len(got.Actions) || len(ref.Durations) != len(got.Durations) {
+		t.Fatalf("trajectory lengths differ: %d/%d vs %d/%d",
+			len(ref.Actions), len(ref.Durations), len(got.Actions), len(got.Durations))
+	}
+	for i := range ref.Actions {
+		if ref.Actions[i] != got.Actions[i] ||
+			math.Float64bits(ref.Durations[i]) != math.Float64bits(got.Durations[i]) {
+			t.Fatalf("iteration %d differs with telemetry: (%d, %x) vs (%d, %x)",
+				i, ref.Actions[i], math.Float64bits(ref.Durations[i]),
+				got.Actions[i], math.Float64bits(got.Durations[i]))
+		}
+	}
+	if math.Float64bits(ref.Total) != math.Float64bits(got.Total) {
+		t.Fatal("total differs with telemetry")
+	}
+
+	// And the instruments actually recorded the loop.
+	if n := tel.IterMakespan.Count(); n != iters {
+		t.Fatalf("iteration-makespan histogram holds %d observations, want %d", n, iters)
+	}
+	props := tel.Reg.Counter("phasetune_strategy_proposals_total",
+		"actions proposed by tuning strategies", obsv.Labels{"strategy": "const"})
+	if props.Value() != iters {
+		t.Fatalf("proposal counter = %v, want %d", props.Value(), iters)
+	}
+	if r := tel.Regret.Value(); r < 0 {
+		t.Fatalf("regret gauge negative: %v", r)
+	}
+}

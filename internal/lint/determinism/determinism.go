@@ -10,6 +10,7 @@ package determinism
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 	"strings"
 
 	"phasetune/internal/lint/analysis"
@@ -33,7 +34,11 @@ const Name = "determinism"
 //     into an order-sensitive sink (append to an outer slice with no
 //     subsequent sort, a channel send, or a Write/Push/Schedule/
 //     Observe/Record/print call) — Go randomizes map order per
-//     iteration, so the output differs run to run.
+//     iteration, so the output differs run to run;
+//   - importing phasetune/internal/obsv/wallclock, the module's only
+//     sanctioned wall-clock read: simulation packages take telemetry as
+//     an injected *obsv.Telemetry and must never construct the
+//     wall-clocked bundle themselves.
 //
 // Legitimate wall-clock sites (HTTP server timeouts, CLI progress)
 // carry a //lint:allow determinism <reason> annotation instead.
@@ -61,6 +66,7 @@ var orderSinks = map[string]bool{
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	for _, file := range pass.Files {
+		checkImports(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -72,6 +78,23 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		})
 	}
 	return nil, nil
+}
+
+// checkImports flags imports of the wall-clock telemetry constructor:
+// the one place the module reads time.Now for metrics must stay at the
+// service layer, outside every simulation package.
+func checkImports(pass *analysis.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "phasetune/internal/obsv/wallclock" ||
+			strings.HasSuffix(path, "/internal/obsv/wallclock") {
+			pass.Reportf(imp.Pos(),
+				"import of the wall-clock telemetry package %s in a simulation package: accept an injected *obsv.Telemetry instead (wallclock.NewTelemetry is service-layer only)", path)
+		}
+	}
 }
 
 // pkgFunc resolves a call to a package-level function, returning its

@@ -1,0 +1,8 @@
+package a
+
+// The wall-clock telemetry constructor is service-layer only: a
+// simulation package importing it would smuggle a time.Now read past
+// the injection discipline even if it never calls anything.
+import (
+	_ "phasetune/internal/obsv/wallclock" // want `import of the wall-clock telemetry package`
+)

@@ -45,6 +45,10 @@ var simPackages = map[string]bool{
 	"phasetune/internal/engine":  true,
 	"phasetune/internal/faults":  true,
 	"phasetune/internal/stats":   true,
+	// The telemetry core is clockless by contract (the injected-clock
+	// rule); only internal/obsv/wallclock and internal/obsv/obsvtest
+	// stay outside sim scope.
+	"phasetune/internal/obsv": true,
 }
 
 // inScope reports whether analyzer a runs over package path. Packages

@@ -1,0 +1,159 @@
+package obsv
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeMath(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // counters never go down
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %v, want 6", got)
+	}
+
+	// Nil instruments are silent no-ops.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	nc.Add(1)
+	ng.Set(1)
+	ng.Add(1)
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 || nh.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+100; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// le semantics: bucket counts v <= bound.
+	wantCounts := []uint64{2, 2, 1, 1} // (<=1)=2, (1,2]=2, (2,5]=1, +Inf=1
+	for i, w := range wantCounts {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndTypeChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Labels{"k": "v"})
+	b := r.Counter("x_total", "help", Labels{"k": "v"})
+	if a != b {
+		t.Fatal("same (name, labels) must return the same instrument")
+	}
+	c := r.Counter("x_total", "help", Labels{"k": "w"})
+	if a == c {
+		t.Fatal("different label values must be distinct children")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "help", nil)
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "requests served", Labels{"route": "/v1/x"}).Add(3)
+	r.Counter("t_requests_total", "requests served", Labels{"route": "/v1/y"}).Add(1)
+	r.Gauge("t_depth", "queue depth", nil).Set(2.5)
+	h := r.Histogram("t_latency_seconds", "latency", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+	r.GaugeFunc("t_dynamic", "computed at exposition", nil, func() float64 { return 7 })
+	// A label value with every character that needs escaping.
+	r.Gauge("t_escaped", "odd labels", Labels{"v": "a\\b\"c\nd{e}"}).Set(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP t_requests_total requests served\n# TYPE t_requests_total counter\n",
+		`t_requests_total{route="/v1/x"} 3`,
+		`t_requests_total{route="/v1/y"} 1`,
+		"# TYPE t_depth gauge",
+		"t_depth 2.5",
+		`t_latency_seconds_bucket{le="0.1"} 1`,
+		`t_latency_seconds_bucket{le="1"} 2`,
+		`t_latency_seconds_bucket{le="+Inf"} 3`,
+		"t_latency_seconds_sum 10.55",
+		"t_latency_seconds_count 3",
+		"t_dynamic 7",
+		`t_escaped{v="a\\b\"c\nd{e}"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output: same registry, same bytes.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("WritePrometheus output is not deterministic")
+	}
+}
+
+func TestFormatValueInfinities(t *testing.T) {
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("+Inf renders %q", got)
+	}
+	if got := formatValue(math.Inf(-1)); got != "-Inf" {
+		t.Fatalf("-Inf renders %q", got)
+	}
+	if got := formatValue(0.25); got != "0.25" {
+		t.Fatalf("0.25 renders %q", got)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "h", nil)
+	h := r.Histogram("hh_seconds", "h", DurationBuckets, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

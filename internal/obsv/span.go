@@ -1,0 +1,267 @@
+package obsv
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"phasetune/internal/trace"
+)
+
+// Chrome trace-event process tracks. The service's wall-clock spans
+// live on pid 1; each traced DES evaluation gets its own sim-time
+// process starting at simPIDBase so the two time bases never share an
+// axis in Perfetto.
+const (
+	servicePID = 1
+	simPIDBase = 100
+)
+
+// defaultMaxEvents bounds the per-session event buffer; past it new
+// events are counted as dropped rather than recorded.
+const defaultMaxEvents = 20000
+
+// TraceRecorder accumulates Chrome trace events per session. All
+// methods are safe for concurrent use and nil-receiver-safe.
+type TraceRecorder struct {
+	now  func() int64
+	base int64 // clock reading at construction; exported ts are relative
+
+	mu       sync.Mutex
+	maxPer   int
+	sessions map[string]*sessionTrace
+}
+
+type sessionTrace struct {
+	events  []trace.ChromeEvent
+	dropped int
+	nextTID int // wall-clock request tracks on servicePID
+	nextPID int // sim-time eval processes above simPIDBase
+}
+
+// NewTraceRecorder builds a recorder around an injected nanosecond
+// clock. A nil clock freezes timestamps at zero.
+func NewTraceRecorder(nowNanos func() int64) *TraceRecorder {
+	if nowNanos == nil {
+		nowNanos = func() int64 { return 0 }
+	}
+	return &TraceRecorder{
+		now:      nowNanos,
+		base:     nowNanos(),
+		maxPer:   defaultMaxEvents,
+		sessions: map[string]*sessionTrace{},
+	}
+}
+
+func (r *TraceRecorder) session(id string) *sessionTrace {
+	st, ok := r.sessions[id]
+	if !ok {
+		st = &sessionTrace{}
+		r.sessions[id] = st
+	}
+	return st
+}
+
+func (r *TraceRecorder) add(id string, evs ...trace.ChromeEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.session(id)
+	for _, ev := range evs {
+		if len(st.events) >= r.maxPer {
+			st.dropped++
+			continue
+		}
+		st.events = append(st.events, ev)
+	}
+}
+
+// micros converts an absolute clock reading to microseconds since the
+// recorder's base, the unit Chrome trace events use.
+func (r *TraceRecorder) micros(nanos int64) float64 {
+	return float64(nanos-r.base) / 1e3
+}
+
+// StartRequest opens the root wall-clock span for one HTTP request
+// against a session, on a fresh thread track, and returns the span
+// context to thread through the request plus the func that closes the
+// root span. On a nil recorder both returns are safe no-ops (the
+// SpanCtx is nil).
+func (r *TraceRecorder) StartRequest(session, name string) (*SpanCtx, func()) {
+	if r == nil {
+		return nil, func() {}
+	}
+	r.mu.Lock()
+	st := r.session(session)
+	tid := st.nextTID
+	st.nextTID++
+	r.mu.Unlock()
+	sc := &SpanCtx{rec: r, session: session, tid: tid}
+	end := sc.Span("http", name)
+	return sc, func() { end(nil) }
+}
+
+// SpanCtx identifies one request's wall-clock track within a session
+// trace. A nil *SpanCtx is a valid no-op.
+type SpanCtx struct {
+	rec     *TraceRecorder
+	session string
+	tid     int
+}
+
+// Tracing reports whether spans recorded through this context are kept.
+// Instrumented code uses it to skip building span arguments when
+// telemetry is off.
+func (sc *SpanCtx) Tracing() bool { return sc != nil }
+
+// noopEnd is the shared end func returned from nil span contexts so the
+// disabled path allocates nothing.
+var noopEnd = func(map[string]any) {}
+
+// Span opens a wall-clock span on this request's track and returns the
+// func that closes it; args passed at close are attached to the event.
+// Callers must only build the args map when Tracing() is true.
+func (sc *SpanCtx) Span(cat, name string) func(args map[string]any) {
+	if sc == nil {
+		return noopEnd
+	}
+	start := sc.rec.now()
+	return func(args map[string]any) {
+		end := sc.rec.now()
+		sc.rec.add(sc.session, trace.ChromeEvent{
+			Name: name,
+			Cat:  cat,
+			Ph:   "X",
+			TS:   sc.rec.micros(start),
+			Dur:  float64(end-start) / 1e3,
+			PID:  servicePID,
+			TID:  sc.tid,
+			Args: args,
+		})
+	}
+}
+
+// SimEval attaches one DES evaluation's sim-time task spans to the
+// session trace as its own process track, named after the evaluation.
+// Timestamps inside are simulated seconds (rendered as trace-event
+// microseconds), deliberately on a different pid than the wall-clock
+// spans.
+func (sc *SpanCtx) SimEval(name string, spans []trace.Span) {
+	if sc == nil || len(spans) == 0 {
+		return
+	}
+	sc.rec.mu.Lock()
+	st := sc.rec.session(sc.session)
+	pid := simPIDBase + st.nextPID
+	st.nextPID++
+	sc.rec.mu.Unlock()
+	evs := make([]trace.ChromeEvent, 0, len(spans)+4)
+	evs = append(evs, trace.ChromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		PID:  pid,
+		Args: map[string]any{"name": "sim: " + name},
+	})
+	evs = append(evs, trace.ChromeEvents(spans, pid)...)
+	sc.rec.add(sc.session, evs...)
+}
+
+// ctxKey is the context key for a *SpanCtx.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc. A nil sc returns ctx unchanged,
+// keeping FromContext's nil fast path.
+func ContextWith(ctx context.Context, sc *SpanCtx) context.Context {
+	if sc == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the request's span context, or nil when the
+// request is untraced — the zero-cost disabled path.
+func FromContext(ctx context.Context) *SpanCtx {
+	sc, _ := ctx.Value(ctxKey{}).(*SpanCtx)
+	return sc
+}
+
+// chromeDoc is the Chrome trace-event JSON object form.
+type chromeDoc struct {
+	TraceEvents     []trace.ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string              `json:"displayTimeUnit"`
+	OtherData       map[string]any      `json:"otherData,omitempty"`
+}
+
+// Export renders one session's trace as a Chrome trace-event JSON
+// document. ok is false when the session has no recorded events.
+func (r *TraceRecorder) Export(session string) ([]byte, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	st, found := r.sessions[session]
+	var evs []trace.ChromeEvent
+	var dropped int
+	if found {
+		evs = append(evs, st.events...)
+		dropped = st.dropped
+	}
+	r.mu.Unlock()
+	if !found {
+		return nil, false
+	}
+	// Metadata events first, then events in timestamp order; stable
+	// secondary keys keep the export deterministic.
+	sort.SliceStable(evs, func(i, j int) bool {
+		im, jm := evs[i].Ph == "M", evs[j].Ph == "M"
+		if im != jm {
+			return im
+		}
+		if evs[i].TS < evs[j].TS {
+			return true
+		}
+		if evs[j].TS < evs[i].TS {
+			return false
+		}
+		if evs[i].PID != evs[j].PID {
+			return evs[i].PID < evs[j].PID
+		}
+		if evs[i].TID != evs[j].TID {
+			return evs[i].TID < evs[j].TID
+		}
+		return evs[i].Name < evs[j].Name
+	})
+	doc := chromeDoc{
+		TraceEvents: append([]trace.ChromeEvent{{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  servicePID,
+			Args: map[string]any{"name": "phasetune service (wall clock)"},
+		}}, evs...),
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"session": session},
+	}
+	if dropped > 0 {
+		doc.OtherData["droppedEvents"] = dropped
+	}
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// Sessions lists the session ids with recorded events, sorted.
+func (r *TraceRecorder) Sessions() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.sessions))
+	for id := range r.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

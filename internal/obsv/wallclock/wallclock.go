@@ -1,0 +1,18 @@
+// Package wallclock is the module's single wall-clock read. Service
+// binaries construct telemetry through it; simulation packages must
+// not import it — the determinism analyzer flags any import from a
+// package in sim scope, keeping wall time confined to the service
+// layer (sim time flows through internal/trace instead).
+package wallclock
+
+import (
+	"time"
+
+	"phasetune/internal/obsv"
+)
+
+// Nanos returns the wall clock in nanoseconds.
+func Nanos() int64 { return time.Now().UnixNano() }
+
+// NewTelemetry builds a telemetry bundle on the wall clock.
+func NewTelemetry() *obsv.Telemetry { return obsv.NewTelemetry(Nanos) }

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one Chrome trace-event (the JSON shape Perfetto and
+// chrome://tracing load). Timestamps and durations are microseconds;
+// for sim-time tracks we render simulated seconds as microseconds so a
+// 1.5 s kernel shows as a 1.5 ms-wide slice under displayTimeUnit "ms".
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeEvents converts recorded spans to complete ("X") trace events
+// on the given process id: one thread track per execution unit (sorted
+// unit name → tid), a thread_name metadata event per track, and events
+// ordered by (ts, tid, name) so the export is deterministic.
+func ChromeEvents(spans []Span, pid int) []ChromeEvent {
+	units := make([]string, 0, 8)
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if !seen[s.Unit] {
+			seen[s.Unit] = true
+			units = append(units, s.Unit)
+		}
+	}
+	sort.Strings(units)
+	tids := make(map[string]int, len(units))
+	evs := make([]ChromeEvent, 0, len(spans)+len(units))
+	for i, u := range units {
+		tids[u] = i
+		evs = append(evs, ChromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  pid,
+			TID:  i,
+			Args: map[string]any{"name": u},
+		})
+	}
+	body := make([]ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		body = append(body, ChromeEvent{
+			Name: s.Label,
+			Cat:  s.Kind,
+			Ph:   "X",
+			TS:   s.Start * 1e6,
+			Dur:  (s.End - s.Start) * 1e6,
+			PID:  pid,
+			TID:  tids[s.Unit],
+			Args: map[string]any{"node": s.Node, "unit": s.Unit, "flops": s.Flops},
+		})
+	}
+	sort.SliceStable(body, func(i, j int) bool {
+		if body[i].TS < body[j].TS {
+			return true
+		}
+		if body[j].TS < body[i].TS {
+			return false
+		}
+		if body[i].TID != body[j].TID {
+			return body[i].TID < body[j].TID
+		}
+		return body[i].Name < body[j].Name
+	})
+	return append(evs, body...)
+}
+
+// WriteChromeTrace writes the spans as a standalone Chrome trace-event
+// JSON document (object form, loadable by Perfetto).
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	doc := struct {
+		TraceEvents     []ChromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{
+		TraceEvents:     ChromeEvents(spans, 1),
+		DisplayTimeUnit: "ms",
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,148 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"phasetune/internal/harness"
+	"phasetune/internal/obsv/obsvtest"
+	"phasetune/internal/platform"
+	"phasetune/internal/trace"
+)
+
+// fixedSpans is a hand-built span set with two units on two nodes and
+// overlapping phases — small enough to assert exact event placement.
+func fixedSpans() []trace.Span {
+	return []trace.Span{
+		{Label: "gen(1)", Kind: "gen", Node: 1, Unit: "cpu", Flops: 10, Start: 0.5, End: 1.5},
+		{Label: "gen(0)", Kind: "gen", Node: 0, Unit: "cpu", Flops: 10, Start: 0, End: 1},
+		{Label: "potrf(0)", Kind: "potrf", Node: 0, Unit: "gpu0", Flops: 50, Start: 1, End: 3},
+	}
+}
+
+func TestChromeEventsGolden(t *testing.T) {
+	evs := trace.ChromeEvents(fixedSpans(), 7)
+	// Two units → two thread_name metadata events, then three X events.
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	var meta, body []trace.ChromeEvent
+	for _, ev := range evs {
+		if ev.Ph == "M" {
+			meta = append(meta, ev)
+		} else {
+			body = append(body, ev)
+		}
+	}
+	if len(meta) != 2 {
+		t.Fatalf("metadata events = %d, want 2", len(meta))
+	}
+	for _, m := range meta {
+		if m.Name != "thread_name" || m.PID != 7 {
+			t.Fatalf("bad metadata event %+v", m)
+		}
+	}
+	// Body sorted by timestamp: gen(0) @0, gen(1) @0.5s, potrf(0) @1s —
+	// sim seconds rendered as trace microseconds.
+	wantTS := []float64{0, 0.5e6, 1e6}
+	wantName := []string{"gen(0)", "gen(1)", "potrf(0)"}
+	for i, ev := range body {
+		if ev.Ph != "X" || ev.PID != 7 {
+			t.Fatalf("body[%d] = %+v", i, ev)
+		}
+		if ev.TS != wantTS[i] || ev.Name != wantName[i] {
+			t.Fatalf("body[%d] = %q @%v, want %q @%v", i, ev.Name, ev.TS, wantName[i], wantTS[i])
+		}
+	}
+	if body[2].Dur != 2e6 || body[2].Cat != "potrf" {
+		t.Fatalf("potrf event %+v", body[2])
+	}
+	if body[2].Args["node"] != 0 || body[2].Args["unit"] != "gpu0" {
+		t.Fatalf("potrf args %+v", body[2].Args)
+	}
+}
+
+func TestWriteChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, fixedSpans()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obsvtest.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("invalid Chrome trace: %v\n%s", err, buf.String())
+	}
+	if n != 5 {
+		t.Fatalf("validated %d events, want 5", n)
+	}
+	// Deterministic bytes for identical spans.
+	var buf2 bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf2, fixedSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteChromeTrace output is not deterministic")
+	}
+}
+
+// TestChromeTraceFromSimulation runs a real DES iteration on the
+// paper's scenario (b), records per-task spans, and checks both that
+// the Chrome export is structurally valid and that it carries the
+// Figure-1 phase structure: a generation phase that starts at t=0 and a
+// factorization phase that starts after generation begins and ends at
+// the makespan.
+func TestChromeTraceFromSimulation(t *testing.T) {
+	sc, ok := platform.ScenarioByKey("b")
+	if !ok {
+		t.Fatal("scenario b missing")
+	}
+	rec := trace.NewRecorder()
+	mk, err := harness.SimulateIteration(sc, 6, harness.SimOptions{Tiles: 6, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Spans()) == 0 {
+		t.Fatal("simulation recorded no spans")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obsvtest.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("sim trace invalid: %v", err)
+	}
+	if n < len(rec.Spans()) {
+		t.Fatalf("validated %d events for %d spans", n, len(rec.Spans()))
+	}
+
+	// Phase split: generation from t=0, factorization finishing the run.
+	gs, ge, ok := rec.PhaseSpan("gen")
+	if !ok || gs != 0 || ge <= gs {
+		t.Fatalf("gen phase = %v..%v (%v)", gs, ge, ok)
+	}
+	fs, fe, ok := rec.PhaseSpan("potrf")
+	if !ok || fs < gs || fe <= fs {
+		t.Fatalf("potrf phase = %v..%v (%v)", fs, fe, ok)
+	}
+	if fe > mk+1e-9 || rec.Makespan() > mk+1e-9 {
+		t.Fatalf("phase end %v exceeds makespan %v", fe, mk)
+	}
+
+	// Every task event must carry a phase category from the workload.
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "" {
+			t.Fatal("task event without phase category")
+		}
+	}
+}
