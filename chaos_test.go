@@ -3,6 +3,7 @@ package phasetune_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,7 +19,10 @@ import (
 	"testing"
 	"time"
 
+	"phasetune/internal/chaosnet"
+	"phasetune/internal/client"
 	"phasetune/internal/engine"
+	"phasetune/internal/faults"
 )
 
 // The chaos acceptance test: run journaled tuning sessions against a
@@ -156,7 +160,40 @@ func startServe(t *testing.T, bin string, args ...string) *serveProc {
 		_ = cmd.Process.Kill()
 		t.Fatalf("server did not report a listen address; output:\n%s", p.output())
 	}
+	// The listener comes up before journal recovery finishes: under
+	// -recover the server answers 503 "starting" until every session is
+	// replayed. Hand the process over only once /readyz says 200.
+	ready := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(p.base + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(ready) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("server never became ready; output:\n%s", p.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	return p
+}
+
+// waitOutput polls the process output for substr. Recovery progress is
+// printed after the listen line, so assertions on it must poll rather
+// than read once.
+func waitOutput(t *testing.T, p *serveProc, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(p.output(), substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("output never contained %q:\n%s", substr, p.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func chaosPost(base, path string, body []byte, out any) (int, error) {
@@ -364,9 +401,7 @@ func chaosRound(t *testing.T, bin string, workers int, ref []engine.SessionResul
 	// covering at least everything a client saw acknowledged, and its
 	// trajectory prefix is bit-identical to the uninterrupted reference.
 	p2 := startServe(t, bin, append(args, "-recover")...)
-	if !strings.Contains(p2.output(), fmt.Sprintf("recovered %d session(s)", len(ids))) {
-		t.Fatalf("restart did not report recovery; output:\n%s", p2.output())
-	}
+	waitOutput(t, p2, fmt.Sprintf("recovered %d session(s)", len(ids)))
 	states := scriptStates()
 	resume := make([]int, len(ids)) // ops already durable, per session
 	for i, id := range ids {
@@ -446,5 +481,262 @@ func chaosRound(t *testing.T, bin string, workers int, ref []engine.SessionResul
 		if !strings.HasSuffix(e.Name(), ".journal") && !strings.HasSuffix(e.Name(), ".snap.json") {
 			t.Fatalf("unexpected file in journal dir: %s", e.Name())
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Resilient-client acceptance: the retrying internal/client drives the
+// same scripts through a fault-injecting chaosnet proxy while the
+// server is SIGKILLed mid-run and restarted with -recover on a new
+// port. The client's idempotency keys make every retry safe, so every
+// session must complete with final results bit-identical to the
+// fault-free reference — nothing lost, nothing double-applied — and a
+// key sent before the crash must replay its journaled bytes after it.
+
+// chaosIdemPlan lays a deterministic fault mix on the connection axis:
+// outage windows, mid-stream reset strikes, jitter and slowdown
+// shaping. It starts past the session-create connections, which carry
+// no idempotency key and therefore must not be torn mid-request.
+func chaosIdemPlan() *faults.Plan {
+	p := &faults.Plan{}
+	for i, at := 0, 5; at < 4096; i, at = i+1, at+8 {
+		switch i % 4 {
+		case 0:
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Node: 0, Kind: faults.Outage, Duration: 1})
+		case 1:
+			// A strike ~300 bytes in: the RST often lands after the server
+			// committed the op but before the client read the response —
+			// exactly the ambiguity idempotency keys resolve.
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Offset: 0.3, Node: 0, Kind: faults.Slowdown, Factor: 0.9, Duration: 1})
+		case 2:
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Kind: faults.Jitter, SD: 0.3, Duration: 3})
+		case 3:
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Node: 0, Kind: faults.Slowdown, Factor: 0.5, Duration: 2})
+		}
+	}
+	return p
+}
+
+// postKeyedBatch sends one batch-step with an explicit Idempotency-Key
+// over raw HTTP, returning the status, body bytes and replay marker.
+func postKeyedBatch(base, id, key string) (int, []byte, bool, error) {
+	req, err := http.NewRequest(http.MethodPost,
+		base+"/v1/sessions/"+id+"/batch-step", strings.NewReader(`{"k":3}`))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return resp.StatusCode, body, resp.Header.Get("Idempotency-Replayed") == "true", nil
+}
+
+func TestChaosClientIdempotentReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "phasetune-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/phasetune-serve")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building server: %v\n%s", err, out)
+	}
+	ref := referenceResults(t)
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			chaosClientRound(t, bin, workers, ref)
+		})
+	}
+}
+
+func chaosClientRound(t *testing.T, bin string, workers int, ref []engine.SessionResult) {
+	dir := t.TempDir()
+	args := []string{"-workers", fmt.Sprint(workers), "-journal-dir", dir, "-snapshot-every", "4"}
+	p1 := startServe(t, bin, args...)
+
+	proxy, err := chaosnet.New(chaosnet.Config{
+		Listen: "127.0.0.1:0",
+		Target: strings.TrimPrefix(p1.base, "http://"),
+		Plan:   chaosIdemPlan(),
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Keep-alive would funnel every request through one proxied TCP
+	// connection; per-request connections keep the fault plan's
+	// connection axis advancing.
+	cl, err := client.New(client.Config{
+		BaseURL:          "http://" + proxy.Addr(),
+		HTTPClient:       &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		Seed:             2026,
+		MaxAttempts:      30,
+		BaseDelay:        20 * time.Millisecond,
+		MaxDelay:         400 * time.Millisecond,
+		AttemptTimeout:   15 * time.Second,
+		RetryBudget:      200,
+		BudgetRefill:     1,
+		BreakerThreshold: 8,
+		BreakerCooldown:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Create the script sessions plus a probe session, sequentially so
+	// IDs map deterministically and the creates stay on clean
+	// connections.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sessions := make([]*client.Session, len(chaosSessions))
+	for i, cs := range chaosSessions {
+		s, err := cl.CreateSession(ctx, client.CreateSessionRequest{
+			Scenario: "b", Strategy: cs.strategy, Seed: cs.seed, Tiles: cs.tiles,
+		})
+		if err != nil {
+			t.Fatalf("create session %d: %v", i, err)
+		}
+		sessions[i] = s
+	}
+	probe, err := cl.CreateSession(ctx, client.CreateSessionRequest{
+		Scenario: "b", Strategy: "DC", Seed: 21, Tiles: 7,
+	})
+	if err != nil {
+		t.Fatalf("create probe session: %v", err)
+	}
+
+	// The probe commits a keyed batch before the crash, straight at the
+	// server; after recovery the same key must replay the same bytes.
+	const probeKey = "chaos-replay-probe"
+	st, body1, replayed, err := postKeyedBatch(p1.base, probe.Info.ID, probeKey)
+	if err != nil || st != http.StatusOK {
+		t.Fatalf("probe keyed batch: status %d, err %v", st, err)
+	}
+	if replayed {
+		t.Fatal("first send of the probe key reported a replay")
+	}
+
+	// Drive all scripts concurrently through the chaos proxy; SIGKILL
+	// the server once enough ops are acknowledged that the kill lands
+	// mid-script with requests in flight. The goroutines never see the
+	// restart: the client retries across it.
+	var acked atomic.Int64
+	killAt := int64(len(sessions) * len(chaosScript) / 3)
+	killed := make(chan struct{})
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			_ = p1.cmd.Process.Kill()
+			close(killed)
+		})
+	}
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var opErrs []error
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *client.Session) {
+			defer wg.Done()
+			for _, op := range chaosScript {
+				opCtx, opCancel := context.WithTimeout(context.Background(), 2*time.Minute)
+				var err error
+				switch op {
+				case "step":
+					_, err = s.Step(opCtx)
+				case "batch3":
+					_, err = s.BatchStep(opCtx, 3)
+				case "epoch":
+					_, err = s.AdvanceEpoch(opCtx)
+				}
+				opCancel()
+				if err != nil {
+					errMu.Lock()
+					opErrs = append(opErrs, fmt.Errorf("session %s op %s: %w", s.Info.ID, op, err))
+					errMu.Unlock()
+					return
+				}
+				if acked.Add(1) >= killAt {
+					kill()
+				}
+			}
+		}(i, s)
+	}
+
+	<-killed
+	<-p1.scanned
+	_ = p1.cmd.Wait()
+
+	// Restart with recovery on a fresh port and repoint the proxy; the
+	// clients' in-flight retries converge on the recovered server.
+	p2 := startServe(t, bin, append(args, "-recover")...)
+	defer func() {
+		_ = p2.cmd.Process.Kill()
+		_ = p2.cmd.Wait()
+	}()
+	waitOutput(t, p2, fmt.Sprintf("recovered %d session(s)", len(sessions)+1))
+	proxy.SetTarget(strings.TrimPrefix(p2.base, "http://"))
+
+	wg.Wait()
+	for _, err := range opErrs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.Fatalf("sessions did not survive chaos; client stats %+v, proxy stats %+v",
+			cl.Snapshot(), proxy.Snapshot())
+	}
+
+	// Every script completed across faults and a crash: final results
+	// must be bit-identical to the fault-free reference.
+	for i, s := range sessions {
+		res, err := s.Result(ctx)
+		if err != nil {
+			t.Fatalf("result %s: %v", s.Info.ID, err)
+		}
+		sameFinal(t, "chaos-client final "+s.Info.ID, res, ref[i])
+	}
+
+	// The crash forced retries: the resilience machinery actually ran.
+	if st := cl.Snapshot(); st.Retries == 0 {
+		t.Errorf("no client retries recorded across a SIGKILL window: %+v", st)
+	}
+
+	// Same key, same bytes, across the crash: the journaled result is
+	// replayed bit-for-bit and the batch is not applied twice.
+	st2, body2, replayed2, err := postKeyedBatch(p2.base, probe.Info.ID, probeKey)
+	if err != nil || st2 != http.StatusOK {
+		t.Fatalf("probe keyed batch after recovery: status %d, err %v", st2, err)
+	}
+	if !replayed2 {
+		t.Fatal("re-sent probe key was not served as a replay after recovery")
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("replayed body differs across crash:\npre:  %s\npost: %s", body1, body2)
+	}
+	var probeBatch struct {
+		Steps []json.RawMessage `json:"steps"`
+	}
+	if err := json.Unmarshal(body1, &probeBatch); err != nil {
+		t.Fatalf("decoding probe batch body: %v", err)
+	}
+	probeRes := chaosResult(t, p2.base, probe.Info.ID)
+	if probeRes.Iterations != len(probeBatch.Steps) || probeRes.Epoch != 0 {
+		t.Fatalf("probe session at (%d iters, epoch %d) after a %d-step keyed batch: double-applied",
+			probeRes.Iterations, probeRes.Epoch, len(probeBatch.Steps))
 	}
 }

@@ -1,0 +1,679 @@
+// Command phasetune-load is the SLO-driven load harness for
+// phasetune-serve: an open-loop Poisson session generator that drives a
+// real server process (optionally through the chaosnet fault-injecting
+// proxy), measures client-observed latency and error rates, scrapes the
+// server's Prometheus /metrics, and appends a machine-readable record
+// to BENCH_service.json. With SLO gates set, a violated budget fails
+// the process — which is how CI turns "the service got slower or
+// flakier under faults" into a red build.
+//
+//	# 10 seconds of load against a spawned server, clean network
+//	phasetune-load -serve-bin ./phasetune-serve -duration 10s -rate 8
+//
+//	# the same through a seeded chaos proxy, gated for CI
+//	phasetune-load -serve-bin ./phasetune-serve -chaos -chaos-seed 7 \
+//	    -slo-p99 1500ms -max-error-rate 0.02 -out BENCH_service.json
+//
+// Open loop means arrivals do not wait for completions: sessions start
+// on a Poisson clock regardless of how slow the server is, so latency
+// degradation shows up as latency, not as politely reduced load
+// (avoiding coordinated omission). Every mutating request goes through
+// internal/client, so chaos-induced retries are idempotent and the
+// error rate reflects genuinely lost work, not transport noise.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"phasetune/internal/chaosnet"
+	"phasetune/internal/client"
+	"phasetune/internal/faults"
+	"phasetune/internal/fsutil"
+	"phasetune/internal/obsv/obsvtest"
+	"phasetune/internal/stats"
+)
+
+type config struct {
+	addr     string
+	serveBin string
+	workers  int
+
+	duration   time.Duration
+	rate       float64
+	steps      int
+	batchK     int
+	sweepEvery int
+	epochEvery int
+	scenario   string
+	strategy   string
+	tiles      int
+	seed       int64
+	opTimeout  time.Duration
+	settle     time.Duration
+
+	chaos          bool
+	chaosSeed      int64
+	chaosIntensity float64
+
+	out   string
+	label string
+
+	sloP50       time.Duration
+	sloP99       time.Duration
+	sloP999      time.Duration
+	maxErrorRate float64
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "target phasetune-serve base address (host:port); empty spawns -serve-bin")
+	flag.StringVar(&cfg.serveBin, "serve-bin", "", "phasetune-serve binary to spawn on a loopback port when -addr is empty")
+	flag.IntVar(&cfg.workers, "workers", 4, "evaluation workers for a spawned server")
+	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "load window: how long new sessions keep arriving")
+	flag.Float64Var(&cfg.rate, "rate", 8, "mean session arrivals per second (Poisson, open loop)")
+	flag.IntVar(&cfg.steps, "session-steps", 5, "tuning operations per session script")
+	flag.IntVar(&cfg.batchK, "batch-k", 2, "speculative width of batch-step operations")
+	flag.IntVar(&cfg.sweepEvery, "sweep-every", 5, "every Nth session also runs a full sweep (0 = never)")
+	flag.IntVar(&cfg.epochEvery, "epoch-every", 4, "every Nth session advances its epoch mid-script (0 = never)")
+	flag.StringVar(&cfg.scenario, "scenario", "b", "paper scenario key for sessions and sweeps")
+	flag.StringVar(&cfg.strategy, "strategy", "DC", "tuning strategy for sessions")
+	flag.IntVar(&cfg.tiles, "tiles", 6, "application tiles (smaller = faster simulations)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for arrivals, session seeds, client jitter and chaos")
+	flag.DurationVar(&cfg.opTimeout, "op-timeout", 30*time.Second, "deadline per client operation, retries included")
+	flag.DurationVar(&cfg.settle, "settle", 60*time.Second, "how long to wait for in-flight sessions after the load window")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "route traffic through a seeded chaosnet proxy")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 0, "chaos plan seed (0 = -seed)")
+	flag.Float64Var(&cfg.chaosIntensity, "chaos-intensity", 0.3, "fraction of connections disturbed by the chaos plan")
+	flag.StringVar(&cfg.out, "out", "BENCH_service.json", "benchmark record file to append to (empty = stdout only)")
+	flag.StringVar(&cfg.label, "label", "", "record label (defaults to a config summary)")
+	flag.DurationVar(&cfg.sloP50, "slo-p50", 0, "fail if p50 op latency exceeds this (0 = no gate)")
+	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "fail if p99 op latency exceeds this (0 = no gate)")
+	flag.DurationVar(&cfg.sloP999, "slo-p999", 0, "fail if p99.9 op latency exceeds this (0 = no gate)")
+	flag.Float64Var(&cfg.maxErrorRate, "max-error-rate", -1, "fail if the op error rate exceeds this fraction (negative = no gate)")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "phasetune-load:", err)
+		os.Exit(1)
+	}
+}
+
+// serveProc is a spawned phasetune-serve child.
+type serveProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// spawnServe starts the server binary on an ephemeral loopback port and
+// parses the resolved address from its first output line.
+func spawnServe(bin string, workers int) (*serveProc, error) {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", fmt.Sprint(workers))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "phasetune-serve listening on "); ok {
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					addrCh <- fields[0]
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &serveProc{cmd: cmd, addr: addr}, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("server never announced its address")
+	}
+}
+
+func (p *serveProc) stop() {
+	_ = p.cmd.Process.Kill()
+	_ = p.cmd.Wait()
+}
+
+// chaosPlan builds a transient-only fault schedule on the connection
+// axis: outage windows, slowdown windows, bandwidth squeezes, jitter
+// bursts and mid-stream reset strikes, each recurring while conns
+// last. Everything heals — a load test needs faults the retry stack
+// can actually survive, not a permanently dead link.
+func chaosPlan(seed int64, conns int, intensity float64) *faults.Plan {
+	if intensity <= 0 {
+		return &faults.Plan{}
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	rng := stats.NewRNG(seed)
+	p := &faults.Plan{}
+	// One fault window roughly every window connections, sized so that
+	// `intensity` of all connections fall inside some window.
+	window := 20
+	// Half the windows inject hard faults (partitions, mid-stream
+	// resets) that force the retry stack to do real work; the other
+	// half shape traffic (latency, bandwidth, jitter) to stress the
+	// latency SLOs.
+	for at := rng.Intn(window); at < conns; at += window + rng.Intn(window) {
+		dur := 1 + int(float64(window)*intensity*rng.Float64())
+		switch rng.Intn(6) {
+		case 0, 1:
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Node: 0, Kind: faults.Outage, Duration: dur,
+			})
+		case 2:
+			// A reset strike a few KiB into the connection.
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Offset: 1 + 7*rng.Float64(), Node: 0,
+				Kind: faults.Slowdown, Factor: 0.9, Duration: 1,
+			})
+		case 3:
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Node: 0, Kind: faults.Slowdown,
+				Factor: 0.25 + 0.5*rng.Float64(), Duration: dur,
+			})
+		case 4:
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Kind: faults.NetDegrade,
+				Factor: 0.2 + 0.5*rng.Float64(), Duration: dur,
+			})
+		default:
+			p.Events = append(p.Events, faults.Event{
+				Iter: at, Kind: faults.Jitter,
+				SD: 0.5 + rng.Float64(), Duration: dur,
+			})
+		}
+	}
+	return p
+}
+
+// opRecord is one timed client operation.
+type opRecord struct {
+	kind    string
+	latency time.Duration
+	err     error
+}
+
+// collector gathers op records across session goroutines.
+type collector struct {
+	mu  sync.Mutex
+	ops []opRecord
+}
+
+func (c *collector) add(kind string, latency time.Duration, err error) {
+	c.mu.Lock()
+	c.ops = append(c.ops, opRecord{kind: kind, latency: latency, err: err})
+	c.mu.Unlock()
+}
+
+func run(cfg config) error {
+	// Resolve the target: attach to a running server or spawn one.
+	serverAddr := cfg.addr
+	if serverAddr == "" {
+		if cfg.serveBin == "" {
+			return fmt.Errorf("need -addr or -serve-bin")
+		}
+		proc, err := spawnServe(cfg.serveBin, cfg.workers)
+		if err != nil {
+			return err
+		}
+		defer proc.stop()
+		serverAddr = proc.addr
+		fmt.Printf("spawned %s on %s\n", cfg.serveBin, serverAddr)
+	}
+
+	// Optionally interpose the chaos proxy. Sessions and sweeps each
+	// cost a handful of HTTP connections; over-provision the plan
+	// horizon so late connections still see faults.
+	clientAddr := serverAddr
+	var proxy *chaosnet.Proxy
+	if cfg.chaos {
+		chaosSeed := cfg.chaosSeed
+		if chaosSeed == 0 {
+			chaosSeed = cfg.seed
+		}
+		horizon := int(cfg.rate*cfg.duration.Seconds())*(cfg.steps+4)*2 + 256
+		plan := chaosPlan(chaosSeed, horizon, cfg.chaosIntensity)
+		var err error
+		proxy, err = chaosnet.New(chaosnet.Config{
+			Listen: "127.0.0.1:0", Target: serverAddr,
+			Plan: plan, Seed: uint64(chaosSeed),
+		})
+		if err != nil {
+			return err
+		}
+		defer proxy.Close()
+		clientAddr = proxy.Addr()
+		fmt.Printf("chaos proxy %s -> %s (%d fault events, seed %d)\n",
+			clientAddr, serverAddr, len(plan.Events), chaosSeed)
+	}
+
+	// Under chaos, keep-alive would funnel every request down one or
+	// two long-lived TCP connections and the connection-indexed fault
+	// plan would never advance. Fresh connections per request give the
+	// proxy a real axis to schedule faults on.
+	var hc *http.Client
+	if cfg.chaos {
+		hc = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	}
+	cl, err := client.New(client.Config{
+		BaseURL:    "http://" + clientAddr,
+		HTTPClient: hc,
+		Seed:       uint64(cfg.seed) | 1,
+		// Chaos runs ride on retries; keep the budget roomy and let the
+		// SLO gates judge the outcome.
+		MaxAttempts: 10,
+		RetryBudget: 64,
+		// Don't let one black-holed connection eat a whole op deadline.
+		AttemptTimeout: cfg.opTimeout / 3,
+	})
+	if err != nil {
+		return err
+	}
+	if err := waitReady(cl, 30*time.Second); err != nil {
+		return fmt.Errorf("server never became ready: %w", err)
+	}
+
+	// The open loop: Poisson arrivals for cfg.duration, each session an
+	// independent goroutine running its script.
+	col := &collector{}
+	arrivals := stats.NewRNG(cfg.seed)
+	var wg sync.WaitGroup
+	var launched, completed, abandoned int
+	var mu sync.Mutex
+	start := time.Now()
+	for i := 0; time.Since(start) < cfg.duration; i++ {
+		wg.Add(1)
+		launched++
+		go func(idx int) {
+			defer wg.Done()
+			ok := runSession(cfg, cl, col, idx)
+			mu.Lock()
+			if ok {
+				completed++
+			} else {
+				abandoned++
+			}
+			mu.Unlock()
+		}(i)
+		time.Sleep(time.Duration(arrivals.Exponential(cfg.rate) * float64(time.Second)))
+	}
+	loadWindow := time.Since(start)
+
+	// Drain: the window is over, in-flight sessions get cfg.settle to
+	// finish. A hung session counts against the error budget.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.settle):
+		return fmt.Errorf("sessions still running %v after the load window", cfg.settle)
+	}
+	wall := time.Since(start)
+
+	// Scrape the server's own view (directly, not through the proxy).
+	metrics, merr := scrapeMetrics("http://" + serverAddr + "/metrics")
+	if merr != nil {
+		fmt.Fprintln(os.Stderr, "metrics scrape failed:", merr)
+	}
+
+	rec := buildRecord(cfg, col, cl, proxy, metrics, loadWindow, wall, launched, completed, abandoned)
+	applyGates(cfg, rec)
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if cfg.out != "" {
+		if err := appendRecord(cfg.out, rec); err != nil {
+			return fmt.Errorf("append %s: %w", cfg.out, err)
+		}
+		fmt.Printf("appended record to %s\n", cfg.out)
+	}
+	return checkGates(cfg, rec)
+}
+
+// waitReady polls /readyz until the server serves or the deadline
+// passes.
+func waitReady(cl *client.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		last = cl.Ready(ctx)
+		cancel()
+		if last == nil {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return last
+}
+
+// runSession runs one session script: create, a step/batch mix, an
+// optional epoch advance, an optional sweep, and a final result fetch.
+// Returns false if any operation failed beyond what retries could fix.
+func runSession(cfg config, cl *client.Client, col *collector, idx int) bool {
+	ok := true
+	timed := func(kind string, f func(ctx context.Context) error) {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.opTimeout)
+		defer cancel()
+		t0 := time.Now()
+		err := f(ctx)
+		col.add(kind, time.Since(t0), err)
+		if err != nil {
+			ok = false
+		}
+	}
+
+	var sess *client.Session
+	timed("create", func(ctx context.Context) error {
+		var err error
+		sess, err = cl.CreateSession(ctx, client.CreateSessionRequest{
+			Scenario: cfg.scenario,
+			Strategy: cfg.strategy,
+			Seed:     cfg.seed + int64(idx),
+			Tiles:    cfg.tiles,
+		})
+		return err
+	})
+	if sess == nil {
+		return false
+	}
+	for j := 0; j < cfg.steps; j++ {
+		if j%3 == 2 {
+			timed("batch-step", func(ctx context.Context) error {
+				_, err := sess.BatchStep(ctx, cfg.batchK)
+				return err
+			})
+		} else {
+			timed("step", func(ctx context.Context) error {
+				_, err := sess.Step(ctx)
+				return err
+			})
+		}
+		if cfg.epochEvery > 0 && idx%cfg.epochEvery == cfg.epochEvery-1 && j == cfg.steps/2 {
+			timed("advance-epoch", func(ctx context.Context) error {
+				_, err := sess.AdvanceEpoch(ctx)
+				return err
+			})
+		}
+	}
+	if cfg.sweepEvery > 0 && idx%cfg.sweepEvery == cfg.sweepEvery-1 {
+		timed("sweep", func(ctx context.Context) error {
+			_, err := cl.Sweep(ctx, client.SweepRequest{
+				Scenario: cfg.scenario, Tiles: cfg.tiles, Seed: cfg.seed,
+			})
+			return err
+		})
+	}
+	timed("result", func(ctx context.Context) error {
+		res, err := sess.Result(ctx)
+		if err != nil {
+			return err
+		}
+		if res.Iterations == 0 {
+			return fmt.Errorf("session %s finished with zero iterations", sess.Info.ID)
+		}
+		return nil
+	})
+	return ok
+}
+
+// scrapeMetrics pulls the interesting server-side numbers out of the
+// Prometheus exposition.
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	fams, err := obsvtest.ParsePrometheus(data)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	sum := func(name string) float64 {
+		fam, ok := fams[name]
+		if !ok {
+			return 0
+		}
+		var s float64
+		for _, smp := range fam.Samples {
+			if smp.Name == name {
+				s += smp.Value
+			}
+		}
+		return s
+	}
+	out["http_requests_total"] = sum("phasetune_http_requests_total")
+	out["http_rejections_total"] = sum("phasetune_http_rejections_total")
+	out["iterations_total"] = sum("phasetune_iterations_total")
+	out["cache_hits_total"] = sum("phasetune_cache_hits_total")
+	out["cache_misses_total"] = sum("phasetune_cache_misses_total")
+	out["sessions"] = sum("phasetune_sessions")
+	return out, nil
+}
+
+// latencyMillis are the reported client-observed percentiles.
+type latencyMillis struct {
+	P50  float64 `json:"p50_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// record is one BENCH_service.json entry.
+type record struct {
+	Label     string  `json:"label"`
+	Timestamp string  `json:"timestamp"`
+	Chaos     bool    `json:"chaos"`
+	Seed      int64   `json:"seed"`
+	RatePerS  float64 `json:"rate_per_s"`
+	DurationS float64 `json:"duration_s"`
+	WallS     float64 `json:"wall_s"`
+
+	Sessions struct {
+		Launched  int `json:"launched"`
+		Completed int `json:"completed"`
+		Failed    int `json:"failed"`
+	} `json:"sessions"`
+
+	Ops struct {
+		Total      int            `json:"total"`
+		Errors     int            `json:"errors"`
+		ErrorRate  float64        `json:"error_rate"`
+		PerSecond  float64        `json:"per_second"`
+		ByKind     map[string]int `json:"by_kind"`
+		KindErrors map[string]int `json:"kind_errors,omitempty"`
+	} `json:"ops"`
+
+	Latency latencyMillis `json:"latency"`
+
+	Client struct {
+		Attempts     uint64 `json:"attempts"`
+		Retries      uint64 `json:"retries"`
+		Replays      uint64 `json:"replays"`
+		BreakerTrips uint64 `json:"breaker_trips"`
+		BudgetDenied uint64 `json:"budget_denied"`
+	} `json:"client"`
+
+	ChaosStats *chaosnet.Stats    `json:"chaos_stats,omitempty"`
+	Server     map[string]float64 `json:"server_metrics,omitempty"`
+
+	SLO struct {
+		P50MsLimit   float64 `json:"p50_ms_limit,omitempty"`
+		P99MsLimit   float64 `json:"p99_ms_limit,omitempty"`
+		P999MsLimit  float64 `json:"p999_ms_limit,omitempty"`
+		MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+		Pass         bool    `json:"pass"`
+		Violations   []string `json:"violations,omitempty"`
+	} `json:"slo"`
+}
+
+func buildRecord(cfg config, col *collector, cl *client.Client, proxy *chaosnet.Proxy,
+	metrics map[string]float64, loadWindow, wall time.Duration, launched, completed, abandoned int) *record {
+
+	col.mu.Lock()
+	ops := append([]opRecord(nil), col.ops...)
+	col.mu.Unlock()
+
+	rec := &record{
+		Label:     cfg.label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Chaos:     cfg.chaos,
+		Seed:      cfg.seed,
+		RatePerS:  cfg.rate,
+		DurationS: loadWindow.Seconds(),
+		WallS:     wall.Seconds(),
+	}
+	if rec.Label == "" {
+		mode := "clean"
+		if cfg.chaos {
+			mode = "chaos"
+		}
+		rec.Label = fmt.Sprintf("%s rate=%.3g steps=%d %s", mode, cfg.rate, cfg.steps, cfg.scenario)
+	}
+	rec.Sessions.Launched = launched
+	rec.Sessions.Completed = completed
+	rec.Sessions.Failed = abandoned
+
+	rec.Ops.ByKind = map[string]int{}
+	rec.Ops.KindErrors = map[string]int{}
+	lats := make([]time.Duration, 0, len(ops))
+	for _, op := range ops {
+		rec.Ops.Total++
+		rec.Ops.ByKind[op.kind]++
+		if op.err != nil {
+			rec.Ops.Errors++
+			rec.Ops.KindErrors[op.kind]++
+		} else {
+			lats = append(lats, op.latency)
+		}
+	}
+	if rec.Ops.Total > 0 {
+		rec.Ops.ErrorRate = float64(rec.Ops.Errors) / float64(rec.Ops.Total)
+	}
+	if wall > 0 {
+		rec.Ops.PerSecond = float64(rec.Ops.Total) / wall.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rec.Latency = latencyMillis{
+		P50:  millis(percentile(lats, 0.50)),
+		P99:  millis(percentile(lats, 0.99)),
+		P999: millis(percentile(lats, 0.999)),
+		Max:  millis(percentile(lats, 1)),
+	}
+
+	st := cl.Snapshot()
+	rec.Client.Attempts = st.Attempts
+	rec.Client.Retries = st.Retries
+	rec.Client.Replays = st.Replays
+	rec.Client.BreakerTrips = st.BreakerTrips
+	rec.Client.BudgetDenied = st.BudgetDenied
+	if proxy != nil {
+		cs := proxy.Snapshot()
+		rec.ChaosStats = &cs
+	}
+	rec.Server = metrics
+	return rec
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// percentile returns the q-quantile of sorted latencies
+// (nearest-rank); q=1 is the max.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// checkGates fills the record's SLO section (already persisted by the
+// caller) and returns an error when a budget is violated.
+func checkGates(cfg config, rec *record) error {
+	if len(rec.SLO.Violations) > 0 {
+		return fmt.Errorf("SLO violated: %s", strings.Join(rec.SLO.Violations, "; "))
+	}
+	return nil
+}
+
+// applyGates evaluates the configured SLOs against the measured run.
+func applyGates(cfg config, rec *record) {
+	gate := func(limitMs, gotMs float64, name string) {
+		if limitMs > 0 && gotMs > limitMs {
+			rec.SLO.Violations = append(rec.SLO.Violations,
+				fmt.Sprintf("%s %.1fms > limit %.1fms", name, gotMs, limitMs))
+		}
+	}
+	rec.SLO.P50MsLimit = millis(cfg.sloP50)
+	rec.SLO.P99MsLimit = millis(cfg.sloP99)
+	rec.SLO.P999MsLimit = millis(cfg.sloP999)
+	gate(rec.SLO.P50MsLimit, rec.Latency.P50, "p50")
+	gate(rec.SLO.P99MsLimit, rec.Latency.P99, "p99")
+	gate(rec.SLO.P999MsLimit, rec.Latency.P999, "p99.9")
+	if cfg.maxErrorRate >= 0 {
+		rec.SLO.MaxErrorRate = cfg.maxErrorRate
+		if rec.Ops.ErrorRate > cfg.maxErrorRate {
+			rec.SLO.Violations = append(rec.SLO.Violations,
+				fmt.Sprintf("error rate %.4f > budget %.4f", rec.Ops.ErrorRate, cfg.maxErrorRate))
+		}
+	}
+	rec.SLO.Pass = len(rec.SLO.Violations) == 0
+}
+
+// appendRecord appends rec to the JSON array in path (creating it if
+// missing), written atomically.
+func appendRecord(path string, rec *record) error {
+	var records []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &records); err != nil {
+			// A non-array file (older single-object format): wrap it.
+			records = []json.RawMessage{json.RawMessage(data)}
+		}
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	records = append(records, raw)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsutil.WriteFileAtomic(path, append(out, '\n'), 0o644)
+}

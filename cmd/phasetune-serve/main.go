@@ -114,22 +114,18 @@ func run(cfg config) error {
 		SnapshotEvery: cfg.snapEvery,
 		Telemetry:     tel,
 	})
-	if cfg.recover {
-		infos, err := eng.Recover()
-		if err != nil {
-			return fmt.Errorf("recover: %w", err)
-		}
-		for _, info := range infos {
-			fmt.Printf("recovered session %s: %d iterations, epoch %d (%d journal ops replayed)\n",
-				info.ID, info.Iterations, info.Epoch, info.ReplayedTail)
-		}
-		fmt.Printf("recovered %d session(s) from %s\n", len(infos), cfg.journalDir)
-	}
 	srv := engine.NewServerWithOptions(eng, engine.ServerOptions{
 		MaxInFlight:  cfg.maxInFlight,
 		MaxBodyBytes: cfg.maxBody,
 		EvalTimeout:  cfg.evalTimeout,
 	})
+	// The listener comes up before journal replay, so orchestrators and
+	// chaos harnesses see liveness plus an honest /readyz "starting"
+	// answer (503, recovery in progress) instead of connection refused;
+	// every /v1 route rejects until recovery finishes and SetReady runs.
+	if cfg.recover {
+		srv.SetStarting()
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -161,6 +157,19 @@ func run(cfg config) error {
 	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if cfg.recover {
+		infos, err := eng.Recover()
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		for _, info := range infos {
+			fmt.Printf("recovered session %s: %d iterations, epoch %d (%d journal ops replayed)\n",
+				info.ID, info.Iterations, info.Epoch, info.ReplayedTail)
+		}
+		fmt.Printf("recovered %d session(s) from %s\n", len(infos), cfg.journalDir)
+		srv.SetReady()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -365,10 +374,58 @@ func runSelfcheck(cfg config) error {
 	}
 	fmt.Printf("pprof ok on %s (separate mux)\n", pprofLn.Addr())
 
-	// Graceful shutdown: readiness must flip before the listener stops.
+	// Idempotent replay through the real HTTP stack: the same key must
+	// return the journaled response byte-for-byte, marked as a replay,
+	// without committing a second step.
+	beforeIdem := before.Iterations
+	status, first, _, err := postKeyed(base+"/v1/sessions/"+created.ID+"/step", "selfcheck-idem-1")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("keyed step: status %d, err %v", status, err)
+	}
+	status, again, replayed, err := postKeyed(base+"/v1/sessions/"+created.ID+"/step", "selfcheck-idem-1")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("replayed step: status %d, err %v", status, err)
+	}
+	if !replayed || !bytes.Equal(first, again) {
+		return fmt.Errorf("idempotent replay broken: replayed=%t, bodies equal=%t", replayed, bytes.Equal(first, again))
+	}
+	var idemCheck engine.SessionResult
+	if err := getJSON(base+"/v1/sessions/"+created.ID, &idemCheck); err != nil {
+		return err
+	}
+	if idemCheck.Iterations != beforeIdem+1 {
+		return fmt.Errorf("retried key double-applied: %d iterations, want %d", idemCheck.Iterations, beforeIdem+1)
+	}
+	before = idemCheck
+	fmt.Println("idempotent replay ok: retried key served the journaled result")
+
+	// The readiness lifecycle tells "not yet recovered" apart from
+	// "draining", each with a machine-readable reason, and the starting
+	// state blocks the API surface.
+	srv.SetStarting()
+	st, reason, err := readyzState(base)
+	if err != nil || st != "starting" || !strings.Contains(reason, "recovery") {
+		return fmt.Errorf("starting readyz: status %q reason %q, err %v", st, reason, err)
+	}
+	if err := expectStatus(base+"/v1/sessions/"+created.ID, http.StatusServiceUnavailable); err != nil {
+		return fmt.Errorf("API surface while starting: %w", err)
+	}
+	srv.SetReady()
+	if err := expectStatus(base+"/readyz", http.StatusOK); err != nil {
+		return fmt.Errorf("readiness after SetReady: %w", err)
+	}
+	fmt.Println("readyz lifecycle ok: starting blocks the API and names recovery")
+
+	// Graceful shutdown: readiness must flip before the listener stops,
+	// with the draining reason — while the API keeps serving admitted
+	// work.
 	srv.SetDraining(true)
-	if err := expectStatus(base+"/readyz", http.StatusServiceUnavailable); err != nil {
-		return fmt.Errorf("draining readiness: %w", err)
+	st, reason, err = readyzState(base)
+	if err != nil || st != "draining" || !strings.Contains(reason, "shutdown") {
+		return fmt.Errorf("draining readyz: status %q reason %q, err %v", st, reason, err)
+	}
+	if err := expectStatus(base+"/v1/sessions/"+created.ID, http.StatusOK); err != nil {
+		return fmt.Errorf("API surface while draining: %w", err)
 	}
 	if err := expectStatus(base+"/healthz", http.StatusOK); err != nil {
 		return fmt.Errorf("liveness while draining: %w", err)
@@ -470,6 +527,45 @@ func postJSON(url string, body []byte, out any) error {
 		return fmt.Errorf("status %s", resp.Status)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postKeyed POSTs an empty JSON body under an Idempotency-Key and
+// returns the status, raw body, and whether the server marked the
+// response as a journal replay.
+func postKeyed(url, key string) (int, []byte, bool, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte("{}")))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, false, err
+	}
+	return resp.StatusCode, body, resp.Header.Get("Idempotency-Replayed") == "true", nil
+}
+
+// readyzState fetches /readyz and returns its JSON status and reason.
+func readyzState(base string) (status, reason string, err error) {
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Status string `json:"status"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return "", "", err
+	}
+	return m.Status, m.Reason, nil
 }
 
 func getJSON(url string, out any) error {

@@ -1,0 +1,385 @@
+// Package chaosnet is a deterministic, fault-injecting TCP proxy for
+// testing the client/server stack under network chaos: injected
+// latency, bandwidth caps, partial writes, connection resets and
+// partitions.
+//
+// Faults are scheduled by the same internal/faults plan type the
+// simulator uses, reinterpreted on the connection axis: the i-th
+// accepted connection plays the role of iteration i, and node 0 is the
+// link itself. Concretely, with st = plan.StateAt(i, 1):
+//
+//   - Crash / Outage (st.Alive[0] == false) — partition: connection i
+//     is reset (RST, not FIN) the moment it is accepted. A Crash
+//     partitions every connection from its start onward, an Outage a
+//     window of Duration connections.
+//   - Slowdown (st.Speed[0] = f < 1) — latency: every forwarded chunk
+//     of connection i is delayed by Latency/f.
+//   - NetDegrade (st.Bandwidth = f < 1) — bandwidth cap: connection i
+//     is throttled to Rate*f bytes/second.
+//   - Jitter (st.JitterSD = sd > 0) — partial writes: forwarding is
+//     broken into short chunks of seeded-random size, each delayed by
+//     a seeded-random slice of sd milliseconds.
+//   - Any mid-iteration strike (Offset > 0, plan.Strikes(i)) — reset
+//     mid-stream: connection i is RST after Offset KiB have been
+//     forwarded, the TCP analogue of a fault landing in the middle of
+//     an iteration.
+//
+// Everything nondeterministic is derived from Config.Seed via
+// SplitMix64 streams keyed by connection index, so a given (plan,
+// seed, traffic) triple shapes traffic the same way on every run.
+// Real time enters only through the injected sleeper; tests pass a
+// fake and assert on the recorded waits.
+//
+// SetTarget re-points the upstream between connections, which is how
+// crash/restart tests keep one proxy (and one client address) across a
+// server restart on a fresh port.
+package chaosnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phasetune/internal/faults"
+)
+
+// Config describes one proxy instance.
+type Config struct {
+	// Listen is the address to accept clients on (e.g. "127.0.0.1:0").
+	Listen string
+	// Target is the upstream server address.
+	Target string
+	// Plan schedules faults on the connection-index axis; nil or empty
+	// proxies cleanly.
+	Plan *faults.Plan
+	// Seed fixes every random draw (chunk sizes, jitter delays).
+	Seed uint64
+	// Latency is the base per-chunk delay injected under Slowdown,
+	// scaled by 1/factor (default 200µs).
+	Latency time.Duration
+	// Rate is the base bandwidth in bytes/second that NetDegrade
+	// factors scale down (default 1 MiB/s).
+	Rate float64
+	// ChunkBytes bounds a shaped chunk (default 32 KiB; jittered
+	// connections draw much smaller chunks).
+	ChunkBytes int
+	// Sleep injects the delay implementation; nil selects the wall
+	// clock.
+	Sleep func(d time.Duration)
+}
+
+// Stats counts what the proxy did to the traffic.
+type Stats struct {
+	Accepted    uint64 // connections accepted
+	Partitioned uint64 // connections reset at accept (Crash/Outage)
+	Resets      uint64 // connections reset mid-stream (strikes)
+	DialErrors  uint64 // upstream dial failures (target down)
+	BytesIn     uint64 // client -> server bytes forwarded
+	BytesOut    uint64 // server -> client bytes forwarded
+}
+
+// Proxy is a running chaos proxy. Safe for concurrent use.
+type Proxy struct {
+	cfg    Config
+	ln     net.Listener
+	target atomic.Value // string
+	sleep  func(time.Duration)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	accepted    atomic.Uint64
+	partitioned atomic.Uint64
+	resets      atomic.Uint64
+	dialErrors  atomic.Uint64
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+}
+
+func defaultSleep(d time.Duration) {
+	time.Sleep(d) //lint:allow determinism wall-clock traffic shaping; deterministic tests inject a fake sleeper
+}
+
+// New starts a proxy listening on cfg.Listen, forwarding to
+// cfg.Target through the configured fault plan.
+func New(cfg Config) (*Proxy, error) {
+	if err := cfg.Plan.Validate(1); err != nil {
+		return nil, fmt.Errorf("chaosnet: %w", err)
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 200 * time.Microsecond
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1 << 20
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 32 << 10
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = defaultSleep
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaosnet: listen: %w", err)
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		ln:    ln,
+		sleep: sleep,
+		conns: map[net.Conn]struct{}{},
+	}
+	p.target.Store(cfg.Target)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's client-facing address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget re-points the upstream for connections accepted from now
+// on. Existing connections keep their established upstream.
+func (p *Proxy) SetTarget(addr string) { p.target.Store(addr) }
+
+// Snapshot returns the proxy's traffic counters.
+func (p *Proxy) Snapshot() Stats {
+	return Stats{
+		Accepted:    p.accepted.Load(),
+		Partitioned: p.partitioned.Load(),
+		Resets:      p.resets.Load(),
+		DialErrors:  p.dialErrors.Load(),
+		BytesIn:     p.bytesIn.Load(),
+		BytesOut:    p.bytesOut.Load(),
+	}
+}
+
+// Close stops accepting and resets every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c) //lint:allow determinism teardown order of live connections is irrelevant
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		abort(c)
+	}
+	return err
+}
+
+// track registers a connection for Close; false means the proxy is
+// already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.conns, c)
+}
+
+// abort resets a connection: linger 0 turns the close into an RST, the
+// hard failure mode clients must survive.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		idx := int(p.accepted.Add(1)) - 1
+		go p.serve(conn, idx)
+	}
+}
+
+// connShape is the per-connection fault recipe folded out of the plan.
+type connShape struct {
+	partitioned bool
+	chunkDelay  time.Duration // latency per forwarded chunk
+	rate        float64       // bytes/second cap (0 = uncapped)
+	jitterSD    float64       // partial-write + jitter intensity
+	resetAfter  int64         // bytes until a mid-stream RST (0 = never)
+}
+
+// shapeFor folds the plan into connection idx's recipe. Pure function
+// of (plan, idx, config) — the determinism contract.
+func (p *Proxy) shapeFor(idx int) connShape {
+	var sh connShape
+	if p.cfg.Plan.Empty() {
+		return sh
+	}
+	st := p.cfg.Plan.StateAt(idx, 1)
+	sh.partitioned = !st.Alive[0]
+	if st.Speed[0] < 1 {
+		sh.chunkDelay = time.Duration(float64(p.cfg.Latency) / st.Speed[0])
+	}
+	if st.Bandwidth < 1 {
+		sh.rate = p.cfg.Rate * st.Bandwidth
+	}
+	sh.jitterSD = st.JitterSD
+	for _, e := range p.cfg.Plan.Strikes(idx) {
+		sh.resetAfter = int64(e.Offset * 1024)
+		if sh.resetAfter < 1 {
+			sh.resetAfter = 1
+		}
+		break
+	}
+	return sh
+}
+
+func (p *Proxy) serve(client net.Conn, idx int) {
+	sh := p.shapeFor(idx)
+	if sh.partitioned {
+		p.partitioned.Add(1)
+		abort(client)
+		return
+	}
+	if !p.track(client) {
+		abort(client)
+		return
+	}
+	defer p.untrack(client)
+	target, _ := p.target.Load().(string)
+	upstream, err := net.Dial("tcp", target)
+	if err != nil {
+		p.dialErrors.Add(1)
+		abort(client)
+		return
+	}
+	if !p.track(upstream) {
+		abort(upstream)
+		abort(client)
+		return
+	}
+	defer p.untrack(upstream)
+
+	// One shared forwarded-byte account arms the mid-stream reset; the
+	// side that crosses the threshold resets both legs.
+	var total atomic.Int64
+	reset := func() {
+		p.resets.Add(1)
+		abort(client)
+		abort(upstream)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n := p.pipe(upstream, client, newRNG(p.cfg.Seed, uint64(idx)*2), sh, &total, reset)
+		p.bytesIn.Add(uint64(n))
+		// Client went quiet: half-close toward the server so its
+		// response path can finish.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		n := p.pipe(client, upstream, newRNG(p.cfg.Seed, uint64(idx)*2+1), sh, &total, reset)
+		p.bytesOut.Add(uint64(n))
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	wg.Wait()
+	_ = client.Close()
+	_ = upstream.Close()
+}
+
+// pipe forwards src to dst through the connection's fault shape:
+// seeded partial writes, per-chunk latency, bandwidth-cap sleeps and
+// the armed mid-stream reset. Returns bytes forwarded.
+func (p *Proxy) pipe(dst, src net.Conn, rng *rng, sh connShape, total *atomic.Int64, reset func()) int64 {
+	buf := make([]byte, p.cfg.ChunkBytes)
+	var done int64
+	for {
+		limit := len(buf)
+		if sh.jitterSD > 0 {
+			// Partial writes: tiny, seeded chunk sizes scaled by the
+			// jitter intensity.
+			limit = 1 + int(rng.next()%uint64(64+int(sh.jitterSD*512)))
+			if limit > len(buf) {
+				limit = len(buf)
+			}
+		}
+		n, rerr := src.Read(buf[:limit])
+		if n > 0 {
+			if d := p.delayFor(n, sh, rng); d > 0 {
+				p.sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return done
+			}
+			done += int64(n)
+			if sh.resetAfter > 0 && total.Add(int64(n)) >= sh.resetAfter {
+				reset()
+				return done
+			}
+		}
+		if rerr != nil {
+			return done
+		}
+	}
+}
+
+// delayFor computes the shaped delay charged before forwarding an
+// n-byte chunk: slowdown latency, plus the bandwidth-cap drain time,
+// plus seeded jitter.
+func (p *Proxy) delayFor(n int, sh connShape, rng *rng) time.Duration {
+	d := sh.chunkDelay
+	if sh.rate > 0 {
+		d += time.Duration(float64(n) / sh.rate * float64(time.Second))
+	}
+	if sh.jitterSD > 0 {
+		// A seeded slice of sd milliseconds per chunk.
+		d += time.Duration(rng.float() * sh.jitterSD * float64(time.Millisecond))
+	}
+	return d
+}
+
+// rng is a SplitMix64 stream: deterministic, lock-free, one per pipe
+// direction.
+type rng struct{ state uint64 }
+
+func newRNG(seed, stream uint64) *rng {
+	return &rng{state: splitmix64(seed ^ splitmix64(stream))}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

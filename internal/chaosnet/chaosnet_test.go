@@ -1,0 +1,261 @@
+package chaosnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"phasetune/internal/faults"
+)
+
+// echoServer accepts connections and echoes everything back.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { _ = ln.Close() }
+}
+
+// roundTrip sends msg through the proxy and reads it back.
+func roundTrip(t *testing.T, addr string, msg []byte) error {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(msg); err != nil {
+		return err
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		return err
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("echo mismatch through clean proxy")
+	}
+	return nil
+}
+
+func TestCleanProxyPassesTraffic(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Config{Listen: "127.0.0.1:0", Target: addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	msg := bytes.Repeat([]byte("phasetune"), 1000)
+	if err := roundTrip(t, p.Addr(), msg); err != nil {
+		t.Fatalf("clean round trip: %v", err)
+	}
+	st := p.Snapshot()
+	if st.Accepted != 1 || st.Partitioned != 0 || st.Resets != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Byte counters land when the pipes drain; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st = p.Snapshot()
+		if st.BytesIn >= uint64(len(msg)) && st.BytesOut >= uint64(len(msg)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("byte accounting %+v, sent %d", st, len(msg))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	// Connections 1 and 2 fall inside the outage window; 0 and 3 pass.
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: 1, Node: 0, Kind: faults.Outage, Duration: 2},
+	}}
+	p, err := New(Config{Listen: "127.0.0.1:0", Target: addr, Plan: plan, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	msg := []byte("hello chaos")
+	for i, wantOK := range []bool{true, false, false, true} {
+		err := roundTrip(t, p.Addr(), msg)
+		if wantOK && err != nil {
+			t.Fatalf("conn %d: %v, want clean pass", i, err)
+		}
+		if !wantOK && err == nil {
+			t.Fatalf("conn %d survived the partition window", i)
+		}
+	}
+	if st := p.Snapshot(); st.Partitioned != 2 {
+		t.Fatalf("partitioned %d, want 2", st.Partitioned)
+	}
+}
+
+func TestMidStreamReset(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	// A strike 2 KiB into connection 0: the transfer starts, then the
+	// link resets under it.
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: 0, Offset: 2, Node: 0, Kind: faults.Slowdown, Factor: 0.9, Duration: 1},
+	}}
+	p, err := New(Config{Listen: "127.0.0.1:0", Target: addr, Plan: plan, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if err := roundTrip(t, p.Addr(), bytes.Repeat([]byte("x"), 64<<10)); err == nil {
+		t.Fatal("64 KiB round trip survived a 2 KiB reset strike")
+	}
+	if st := p.Snapshot(); st.Resets != 1 {
+		t.Fatalf("resets %d, want 1", st.Resets)
+	}
+	// The next connection is past the strike: traffic flows again.
+	if err := roundTrip(t, p.Addr(), []byte("recovered")); err != nil {
+		t.Fatalf("conn after reset strike: %v", err)
+	}
+}
+
+// TestShapeFor pins the plan -> per-connection recipe mapping as a
+// pure function.
+func TestShapeFor(t *testing.T) {
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: 0, Node: 0, Kind: faults.Slowdown, Factor: 0.5, Duration: 1},
+		{Iter: 1, Kind: faults.NetDegrade, Factor: 0.25, Duration: 1},
+		{Iter: 2, Kind: faults.Jitter, SD: 1.5, Duration: 1},
+		{Iter: 3, Node: 0, Kind: faults.Crash},
+	}}
+	p := &Proxy{cfg: Config{Plan: plan, Latency: time.Millisecond, Rate: 1000}}
+
+	if sh := p.shapeFor(0); sh.chunkDelay != 2*time.Millisecond || sh.rate > 0 || sh.partitioned {
+		t.Fatalf("conn 0 (slowdown 0.5): %+v", sh)
+	}
+	if sh := p.shapeFor(1); sh.rate != 250 || sh.chunkDelay != 0 {
+		t.Fatalf("conn 1 (net-degrade 0.25): %+v", sh)
+	}
+	if sh := p.shapeFor(2); sh.jitterSD != 1.5 {
+		t.Fatalf("conn 2 (jitter 1.5): %+v", sh)
+	}
+	for idx := 3; idx < 6; idx++ {
+		if sh := p.shapeFor(idx); !sh.partitioned {
+			t.Fatalf("conn %d after crash not partitioned", idx)
+		}
+	}
+}
+
+func TestShapingSleepsDeterministicDelays(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	var mu sync.Mutex
+	var slept time.Duration
+	plan := &faults.Plan{Events: []faults.Event{
+		{Iter: 0, Kind: faults.NetDegrade, Factor: 0.5},
+		{Iter: 0, Kind: faults.Jitter, SD: 2},
+	}}
+	p, err := New(Config{
+		Listen: "127.0.0.1:0", Target: addr, Plan: plan, Seed: 4,
+		Rate: 1 << 30, // fast drain so the test stays quick
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept += d
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if err := roundTrip(t, p.Addr(), bytes.Repeat([]byte("y"), 8<<10)); err != nil {
+		t.Fatalf("shaped round trip: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if slept == 0 {
+		t.Fatal("degraded+jittered connection charged no delay")
+	}
+}
+
+func TestSetTargetAcrossRestart(t *testing.T) {
+	addrA, stopA := echoServer(t)
+	p, err := New(Config{Listen: "127.0.0.1:0", Target: addrA, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := roundTrip(t, p.Addr(), []byte("to A")); err != nil {
+		t.Fatal(err)
+	}
+	stopA() // "server crashed"
+	if err := roundTrip(t, p.Addr(), []byte("down")); err == nil {
+		t.Fatal("round trip to a dead upstream succeeded")
+	}
+	addrB, stopB := echoServer(t)
+	defer stopB()
+	p.SetTarget(addrB) // "server restarted on a new port"
+	if err := roundTrip(t, p.Addr(), []byte("to B")); err != nil {
+		t.Fatalf("after SetTarget: %v", err)
+	}
+	if st := p.Snapshot(); st.DialErrors == 0 {
+		t.Fatalf("dead-upstream dial not counted: %+v", st)
+	}
+}
+
+func TestCloseResetsLiveConnections(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Config{Listen: "127.0.0.1:0", Target: addr, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on a closed proxy's connection succeeded")
+	}
+	if _, err := net.Dial("tcp", p.Addr()); err == nil {
+		t.Fatal("dial to a closed proxy succeeded")
+	}
+}

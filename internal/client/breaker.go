@@ -1,0 +1,91 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a half-open circuit breaker. Closed, it passes every
+// call and counts consecutive eligible failures; at the threshold it
+// opens and fails calls fast for a cooldown; after the cooldown one
+// probe is let through half-open — its success closes the circuit,
+// its failure buys another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state    int // breakerClosed | breakerOpen | breakerHalfOpen
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow decides whether a call may proceed at time now. A (wait,
+// ErrBreakerOpen) answer means the circuit is open: come back after
+// wait. A nil error admits the call — possibly as the half-open
+// probe.
+func (b *breaker) allow(now time.Time) (time.Duration, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return 0, nil
+	case breakerOpen:
+		if rem := b.cooldown - now.Sub(b.openedAt); rem > 0 {
+			return rem, ErrBreakerOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return 0, nil
+	default: // half-open: one probe in flight at a time
+		if b.probing {
+			return b.cooldown, ErrBreakerOpen
+		}
+		b.probing = true
+		return 0, nil
+	}
+}
+
+// report records a call outcome. counts is false for outcomes the
+// breaker ignores (success, 4xx, backpressure); onTrip fires on each
+// closed->open transition.
+func (b *breaker) report(now time.Time, counts bool, onTrip func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !counts {
+		// Success or a failure class that says nothing about peer
+		// health: reset.
+		b.state = breakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.fails = 0
+			if onTrip != nil {
+				onTrip()
+			}
+		}
+	}
+}

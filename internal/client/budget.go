@@ -1,0 +1,40 @@
+package client
+
+import "sync"
+
+// budget is a token bucket bounding retries: each retry spends one
+// token, each success earns refill back (capped at the initial size).
+// An empty bucket fails calls fast — under a real outage the client
+// stops amplifying load instead of multiplying every request by
+// MaxAttempts.
+type budget struct {
+	mu     sync.Mutex
+	tokens float64
+	size   float64
+	refill float64
+}
+
+func newBudget(size, refill float64) *budget {
+	return &budget{tokens: size, size: size, refill: refill}
+}
+
+// take spends one retry token; false means the budget is dry.
+func (b *budget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// earn credits a success back into the bucket.
+func (b *budget) earn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.refill
+	if b.tokens > b.size {
+		b.tokens = b.size
+	}
+}

@@ -1,0 +1,594 @@
+// Package client is the resilient Go client for the phasetune-serve
+// HTTP API. It wraps the raw JSON surface with the retry discipline the
+// engine's idempotency contract makes safe:
+//
+//   - every mutating call (step, batch-step, advance-epoch, sweep)
+//     carries a client-generated Idempotency-Key, so retries replay the
+//     journaled result instead of double-applying the operation;
+//   - transient failures (connection resets, 429/502/503/504) back off
+//     exponentially with full jitter and honor the server's Retry-After
+//     hint;
+//   - a per-session retry budget bounds the extra load a misbehaving
+//     backend can extract from one client;
+//   - a half-open circuit breaker stops hammering a peer that is
+//     failing hard, probing it once per cooldown until it recovers;
+//   - context deadlines propagate: the client never sleeps past the
+//     caller's deadline, and gives the verdict it has instead.
+//
+// Operations without an idempotency key (session creation) are retried
+// only when the request provably never reached the server (dial errors)
+// or the server refused it before doing work (429, 503).
+//
+// The zero Config is usable; tests inject Now/Sleep for a fake clock.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"phasetune/internal/engine"
+)
+
+// Config tunes the client's resilience machinery. Zero values select
+// the documented defaults.
+type Config struct {
+	// BaseURL roots every request, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient, when nil, selects a dedicated http.Client (no global
+	// shared state with other clients).
+	HTTPClient *http.Client
+
+	// MaxAttempts bounds tries per call, first attempt included
+	// (default 8).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 2s). A larger server
+	// Retry-After hint still wins: honoring the hint is the point.
+	MaxDelay time.Duration
+	// AttemptTimeout, when > 0, bounds each individual attempt, so one
+	// black-holed connection costs one attempt, not the whole deadline.
+	AttemptTimeout time.Duration
+
+	// RetryBudget is the per-session (and client-wide, for sessionless
+	// calls) token bucket: each retry spends one token, each success
+	// earns back BudgetRefill, and an empty bucket fails fast instead
+	// of amplifying an outage (default 16 tokens, 0.5 refill).
+	RetryBudget  float64
+	BudgetRefill float64
+
+	// BreakerThreshold consecutive eligible failures open the circuit
+	// breaker (default 5); while open, calls fail fast for
+	// BreakerCooldown (default 1s), then a single half-open probe
+	// decides between closing it and another cooldown.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Seed fixes the jitter stream and the idempotency-key prefix for
+	// reproducible runs; 0 draws a random instance identity.
+	Seed uint64
+
+	// Now and Sleep inject the clock. Sleep must return early with the
+	// context's error when it is cancelled. Nil selects the wall clock.
+	Now   func() time.Time
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Sentinel errors surfaced (wrapped) by the retry loop.
+var (
+	// ErrBreakerOpen marks calls refused locally while the circuit
+	// breaker cools down.
+	ErrBreakerOpen = errors.New("client: circuit breaker open")
+	// ErrBudgetExhausted marks calls abandoned because the retry
+	// budget ran dry.
+	ErrBudgetExhausted = errors.New("client: retry budget exhausted")
+)
+
+// APIError is a non-2xx response decoded from the server's
+// {"error": ...} body.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter int // seconds, 0 when the header was absent
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server answered %d: %s", e.Status, e.Message)
+}
+
+// Stats counts what the resilience machinery did, for load harnesses
+// and tests. Read them through Snapshot.
+type Stats struct {
+	Calls        uint64 // top-level API calls
+	Attempts     uint64 // HTTP attempts, first tries included
+	Retries      uint64 // attempts beyond the first
+	Replays      uint64 // responses served from the idempotency journal
+	BreakerTrips uint64 // closed->open transitions
+	BudgetDenied uint64 // calls abandoned on an empty retry budget
+}
+
+// Client is a resilient phasetune-serve API client. Safe for
+// concurrent use.
+type Client struct {
+	cfg      Config
+	hc       *http.Client
+	base     string
+	breaker  *breaker
+	budget   *budget // sessionless calls (create, sweep)
+	instance string
+	seq      atomic.Uint64 // idempotency-key counter
+	jitter   atomic.Uint64 // jitter stream counter
+	jseed    uint64
+
+	calls        atomic.Uint64
+	attempts     atomic.Uint64
+	retries      atomic.Uint64
+	replays      atomic.Uint64
+	breakerTrips atomic.Uint64
+	budgetDenied atomic.Uint64
+}
+
+// New returns a client for the phasetune-serve instance at
+// cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if strings.TrimSpace(cfg.BaseURL) == "" {
+		return nil, fmt.Errorf("client: BaseURL is required")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 50 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Second
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 16
+	}
+	if cfg.BudgetRefill <= 0 {
+		cfg.BudgetRefill = 0.5
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() time.Time {
+			return time.Now() //lint:allow determinism wall-clock default; deterministic tests inject a fake clock
+		}
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = defaultSleep
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, fmt.Errorf("client: derive instance identity: %w", err)
+		}
+		seed = binary.LittleEndian.Uint64(b[:])
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{
+		cfg:      cfg,
+		hc:       hc,
+		base:     strings.TrimRight(cfg.BaseURL, "/"),
+		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		budget:   newBudget(cfg.RetryBudget, cfg.BudgetRefill),
+		instance: fmt.Sprintf("%016x", splitmix64(seed)),
+		jseed:    splitmix64(seed + 1),
+	}, nil
+}
+
+// defaultSleep waits d on the wall clock, returning early with the
+// context's error when cancelled — that is how caller deadlines cut
+// backoff waits short.
+func defaultSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d) //lint:allow determinism wall-clock backoff sleeper; deterministic tests inject a fake
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Snapshot returns the client's resilience counters.
+func (c *Client) Snapshot() Stats {
+	return Stats{
+		Calls:        c.calls.Load(),
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		Replays:      c.replays.Load(),
+		BreakerTrips: c.breakerTrips.Load(),
+		BudgetDenied: c.budgetDenied.Load(),
+	}
+}
+
+// nextKey mints a fresh idempotency key: unique per client instance
+// and operation, stable across retries of the same call because it is
+// drawn once before the retry loop.
+func (c *Client) nextKey() string {
+	return fmt.Sprintf("%s-%d", c.instance, c.seq.Add(1))
+}
+
+// jitterFloat draws the next value in [0, 1) from the client's
+// deterministic jitter stream.
+func (c *Client) jitterFloat() float64 {
+	n := splitmix64(c.jseed + c.jitter.Add(1))
+	return float64(n>>11) / (1 << 53)
+}
+
+// backoffDelay computes the wait before retry attempt (1-based):
+// full-jitter exponential backoff, floored by the server's Retry-After
+// hint when one arrived. Honoring the hint means never coming back
+// sooner than asked.
+func (c *Client) backoffDelay(attempt, retryAfterSecs int) time.Duration {
+	ceil := c.cfg.BaseDelay << uint(attempt-1)
+	if ceil > c.cfg.MaxDelay || ceil <= 0 {
+		ceil = c.cfg.MaxDelay
+	}
+	d := time.Duration(c.jitterFloat() * float64(ceil))
+	if ra := time.Duration(retryAfterSecs) * time.Second; ra > d {
+		d = ra
+	}
+	return d
+}
+
+// Session is a handle on one server-side tuning session, carrying its
+// own retry budget.
+type Session struct {
+	c      *Client
+	budget *budget
+	Info   SessionInfo
+}
+
+// SessionInfo mirrors the create-session response.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Strategy string `json:"strategy"`
+	Nodes    int    `json:"nodes"`
+	MinNodes int    `json:"min_nodes"`
+	Groups   []int  `json:"groups"`
+	Seed     int64  `json:"seed"`
+}
+
+// CreateSessionRequest mirrors POST /v1/sessions.
+type CreateSessionRequest struct {
+	Scenario string `json:"scenario"`
+	Strategy string `json:"strategy,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Tiles    int    `json:"tiles,omitempty"`
+	Exact    bool   `json:"exact,omitempty"`
+	GenNodes int    `json:"gen_nodes,omitempty"`
+}
+
+// SweepRequest mirrors POST /v1/sweep.
+type SweepRequest struct {
+	Scenario string  `json:"scenario"`
+	Tiles    int     `json:"tiles,omitempty"`
+	Exact    bool    `json:"exact,omitempty"`
+	NoiseSD  float64 `json:"noise_sd,omitempty"`
+	Reps     int     `json:"reps,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+// CreateSession creates a tuning session. Creation has no idempotency
+// key (the server mints the session identity), so it is retried only
+// when the request provably never committed: dial failures, or a 429 /
+// 503 turn-away.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (*Session, error) {
+	var info SessionInfo
+	_, err := c.do(ctx, call{
+		method: http.MethodPost, path: "/v1/sessions",
+		body: req, out: &info, budget: c.budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		c:      c,
+		budget: newBudget(c.cfg.RetryBudget, c.cfg.BudgetRefill),
+		Info:   info,
+	}, nil
+}
+
+// Attach returns a handle on an existing session (for example one that
+// survived a server restart) without a create round-trip.
+func (c *Client) Attach(id string) *Session {
+	return &Session{
+		c:      c,
+		budget: newBudget(c.cfg.RetryBudget, c.cfg.BudgetRefill),
+		Info:   SessionInfo{ID: id},
+	}
+}
+
+// Step runs one tuning step. Retried freely under a fresh idempotency
+// key: a retry that lands after a crash replays the journaled result.
+func (s *Session) Step(ctx context.Context) (engine.StepResult, error) {
+	var res engine.StepResult
+	_, err := s.c.do(ctx, call{
+		method: http.MethodPost, path: "/v1/sessions/" + s.Info.ID + "/step",
+		out: &res, key: s.c.nextKey(), budget: s.budget,
+	})
+	return res, err
+}
+
+// BatchStep runs k speculative steps under one idempotency key.
+func (s *Session) BatchStep(ctx context.Context, k int) ([]engine.StepResult, error) {
+	var res struct {
+		Steps []engine.StepResult `json:"steps"`
+	}
+	_, err := s.c.do(ctx, call{
+		method: http.MethodPost, path: "/v1/sessions/" + s.Info.ID + "/batch-step",
+		body: map[string]int{"k": k}, out: &res, key: s.c.nextKey(), budget: s.budget,
+	})
+	return res.Steps, err
+}
+
+// AdvanceEpoch declares a platform change, idempotently.
+func (s *Session) AdvanceEpoch(ctx context.Context) (int, error) {
+	var res struct {
+		Epoch int `json:"epoch"`
+	}
+	_, err := s.c.do(ctx, call{
+		method: http.MethodPost, path: "/v1/sessions/" + s.Info.ID + "/advance-epoch",
+		out: &res, key: s.c.nextKey(), budget: s.budget,
+	})
+	return res.Epoch, err
+}
+
+// Result fetches the session summary. A read: retried freely.
+func (s *Session) Result(ctx context.Context) (engine.SessionResult, error) {
+	var res engine.SessionResult
+	_, err := s.c.do(ctx, call{
+		method: http.MethodGet, path: "/v1/sessions/" + s.Info.ID,
+		out: &res, read: true, budget: s.budget,
+	})
+	return res, err
+}
+
+// Sweep runs a parallel f(n) sweep under an idempotency key, so a
+// retried sweep joins the original computation instead of launching a
+// second one.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (engine.SweepResult, error) {
+	var res engine.SweepResult
+	_, err := c.do(ctx, call{
+		method: http.MethodPost, path: "/v1/sweep",
+		body: req, out: &res, key: c.nextKey(), budget: c.budget,
+	})
+	return res, err
+}
+
+// Ready reports whether the server answers /readyz with 200, without
+// retries — readiness polling is the caller's loop.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return nil
+}
+
+// call describes one API operation for the retry loop.
+type call struct {
+	method string
+	path   string
+	body   any
+	out    any
+	// key is the idempotency key; non-empty makes the call safe to
+	// retry across ambiguous failures.
+	key string
+	// read marks side-effect-free calls, retried as freely as keyed
+	// ones.
+	read   bool
+	budget *budget
+}
+
+// do runs the retry loop around one API call and reports whether the
+// final response was an idempotent replay.
+func (c *Client) do(ctx context.Context, op call) (replayed bool, err error) {
+	c.calls.Add(1)
+	var enc []byte
+	if op.body != nil {
+		if enc, err = json.Marshal(op.body); err != nil {
+			return false, fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		// A breaker rejection already waited out the cooldown and never
+		// touched the server: no budget spent, no extra backoff.
+		if attempt > 1 && !errors.Is(lastErr, ErrBreakerOpen) {
+			// Paying for a retry: spend budget, back off (honoring any
+			// Retry-After), and never sleep past the caller's deadline.
+			if !op.budget.take() {
+				c.budgetDenied.Add(1)
+				return false, fmt.Errorf("%w after %d attempts: %w", ErrBudgetExhausted, attempt-1, lastErr)
+			}
+			c.retries.Add(1)
+			if err := c.cfg.Sleep(ctx, c.backoffDelay(attempt-1, retryAfterOf(lastErr))); err != nil {
+				return false, fmt.Errorf("client: giving up during backoff: %w (last attempt: %w)", err, lastErr)
+			}
+		}
+		if wait, berr := c.breaker.allow(c.cfg.Now()); berr != nil {
+			// Open breaker: this attempt is refused locally. Wait out
+			// the cooldown (bounded by MaxDelay) and loop; no budget
+			// spent, the server saw nothing.
+			lastErr = berr
+			if wait > c.cfg.MaxDelay {
+				wait = c.cfg.MaxDelay
+			}
+			if err := c.cfg.Sleep(ctx, wait); err != nil {
+				return false, fmt.Errorf("client: giving up while breaker open: %w", err)
+			}
+			continue
+		}
+		c.attempts.Add(1)
+		replayed, err := c.attempt(ctx, op, enc)
+		eligible, breakerCounts := classify(err, op.key != "" || op.read)
+		c.breaker.report(c.cfg.Now(), breakerCounts, c.onTrip)
+		if err == nil {
+			op.budget.earn()
+			if replayed {
+				c.replays.Add(1)
+			}
+			return replayed, nil
+		}
+		lastErr = err
+		if !eligible {
+			return false, err
+		}
+	}
+	return false, fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+func (c *Client) onTrip() { c.breakerTrips.Add(1) }
+
+// attempt performs one HTTP exchange.
+func (c *Client) attempt(ctx context.Context, op call, body []byte) (replayed bool, err error) {
+	actx, cancel := ctx, context.CancelFunc(func() {})
+	if c.cfg.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	}
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, op.method, c.base+op.path, rd)
+	if err != nil {
+		return false, fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if op.key != "" {
+		req.Header.Set("Idempotency-Key", op.key)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return false, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		var m struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &m) == nil && m.Error != "" {
+			apiErr.Message = m.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			apiErr.RetryAfter = ra
+		}
+		return false, apiErr
+	}
+	if op.out != nil {
+		if err := json.Unmarshal(data, op.out); err != nil {
+			return false, fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return resp.Header.Get("Idempotency-Replayed") == "true", nil
+}
+
+// classify sorts an attempt error into (retry-eligible,
+// counts-toward-breaker).
+//
+// Safe (keyed or read-only) calls retry on every transport error and
+// on 429/502/503/504. Unsafe calls (no key: session creation) retry
+// only when the request provably never committed: dial failures and
+// 429/503 turn-aways. Ambiguous failures — a reset after the bytes
+// left, a gateway timeout — are returned to the caller, who holds no
+// key to make the retry safe.
+//
+// The breaker counts transport errors and 5xx: those say the peer is
+// in trouble. 429 is healthy backpressure and 4xx is our own fault;
+// neither opens the circuit.
+func classify(err error, safe bool) (eligible, breakerCounts bool) {
+	if err == nil {
+		return false, false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return true, apiErr.Status != http.StatusTooManyRequests
+		case http.StatusBadGateway, http.StatusGatewayTimeout:
+			return safe, true
+		}
+		return false, apiErr.Status >= 500
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// The caller's deadline (not the per-attempt one) is checked by
+		// the sleep on the next loop; an expired parent context ends
+		// the call there.
+		return safe, true
+	}
+	// Transport-level failure. Dial errors never reached the server, so
+	// even unsafe calls may retry them.
+	return safe || requestNeverSent(err), true
+}
+
+// requestNeverSent reports whether the error happened before any byte
+// reached the server, making a retry safe even without an idempotency
+// key.
+func requestNeverSent(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// retryAfterOf extracts the server's Retry-After hint from the last
+// error, if any.
+func retryAfterOf(err error) int {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// splitmix64 is Steele et al.'s SplitMix64 finalizer — the same mixer
+// the engine uses for seed derivation — giving the client a
+// deterministic, allocation-free jitter stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

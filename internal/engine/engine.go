@@ -28,6 +28,7 @@ type Engine struct {
 	snapEvery  int
 	tel        *obsv.Telemetry // nil disables metrics and tracing
 	closed     atomic.Bool
+	sweepIdem  sweepIdemStore // engine-wide idempotency registry for sweeps
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -316,14 +317,28 @@ func (e *Engine) Step(id string) (StepResult, error) {
 // or what other sessions are doing. The committed step is journaled
 // (fsync'd) before StepCtx returns.
 func (e *Engine) StepCtx(ctx context.Context, id string) (StepResult, error) {
+	res, _, err := e.StepIdem(ctx, id, "")
+	return res, err
+}
+
+// StepIdem is StepCtx under an idempotency key: a key that already
+// committed a step replays the journaled result (byte-identical fields,
+// no second application) and reports replayed=true. An empty key
+// disables idempotency.
+func (e *Engine) StepIdem(ctx context.Context, id, key string) (StepResult, bool, error) {
 	s, err := e.checkout(id)
 	if err != nil {
-		return StepResult{}, err
+		return StepResult{}, false, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ent, found, err := s.lookupIdem(key, "step", 0); err != nil {
+		return StepResult{}, false, err
+	} else if found {
+		return s.replaySteps(ent)[0], true, nil
+	}
 	if s.broken {
-		return StepResult{}, fmt.Errorf("engine: session %q failed closed on a journal error", id)
+		return StepResult{}, false, fmt.Errorf("engine: session %q failed closed on a journal error", id)
 	}
 	sc := obsv.FromContext(ctx)
 	var stepArgs map[string]any
@@ -340,26 +355,28 @@ func (e *Engine) StepCtx(ctx context.Context, id string) (StepResult, error) {
 	sim, hit, err := e.eval(ctx, s, s.epoch, action)
 	if err != nil {
 		// The strategy consumed a proposal that produced no observation;
-		// journal the abort so recovery replays the same Next call.
+		// journal the abort so recovery replays the same Next call. The
+		// abort carries no key: a retry must re-attempt, not replay.
 		if jerr := e.commitOp(s, journalRecord{T: "abort", Epoch: s.epoch, Actions: []int{action}}); jerr != nil {
-			return StepResult{}, errors.Join(err, jerr)
+			return StepResult{}, false, errors.Join(err, jerr)
 		}
-		return StepResult{}, err
+		return StepResult{}, false, err
 	}
 	d := s.observe(sim)
 	s.driver.Observe(action, d)
 	res := s.record(action, d, sim)
 	res.CacheHit = hit
 	if err := e.commitOp(s, journalRecord{
-		T: "step", Epoch: s.epoch, Iter: res.Iter,
-		Actions: []int{action}, Sims: []float64{sim}, Obs: []float64{d},
+		T: "step", Epoch: s.epoch, Iter: res.Iter, Key: key,
+		Actions: []int{action}, Sims: []float64{sim}, Obs: []float64{d}, Hits: []bool{hit},
 	}); err != nil {
-		return StepResult{}, err
+		return StepResult{}, false, err
 	}
+	s.registerIdem(key, idemEntry{op: "step", first: res.Iter, n: 1, hits: []bool{hit}})
 	if sc != nil {
 		stepArgs = map[string]any{"iter": res.Iter, "action": action, "sim": sim, "cache_hit": hit}
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // BatchStep advances a session by up to k speculative iterations. See
@@ -377,14 +394,32 @@ func (e *Engine) BatchStep(id string, k int) ([]StepResult, error) {
 // The whole batch is journaled as one record, so a crash either keeps
 // the complete batch or none of it.
 func (e *Engine) BatchStepCtx(ctx context.Context, id string, k int) ([]StepResult, error) {
+	res, _, err := e.BatchStepIdem(ctx, id, k, "")
+	return res, err
+}
+
+// BatchStepIdem is BatchStepCtx under an idempotency key: a key that
+// already committed a batch replays the journaled steps instead of
+// proposing and evaluating again, and reports replayed=true. The batch
+// width k is part of the request shape — reusing a key with a
+// different k is an ErrIdemConflict.
+func (e *Engine) BatchStepIdem(ctx context.Context, id string, k int, key string) ([]StepResult, bool, error) {
 	s, err := e.checkout(id)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	if k < 1 {
+		k = 1
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ent, found, err := s.lookupIdem(key, "batch", k); err != nil {
+		return nil, false, err
+	} else if found {
+		return s.replaySteps(ent), true, nil
+	}
 	if s.broken {
-		return nil, fmt.Errorf("engine: session %q failed closed on a journal error", id)
+		return nil, false, fmt.Errorf("engine: session %q failed closed on a journal error", id)
 	}
 	sc := obsv.FromContext(ctx)
 	var batchArgs map[string]any
@@ -418,9 +453,9 @@ func (e *Engine) BatchStepCtx(ctx context.Context, id string, k int) ([]StepResu
 		// Proposals and lies already reached the strategy; journal the
 		// abort so recovery reconstructs the identical strategy state.
 		if jerr := e.commitOp(s, journalRecord{T: "abort", Epoch: epoch, Actions: actions, Lies: lies}); jerr != nil {
-			return nil, errors.Join(err, jerr)
+			return nil, false, errors.Join(err, jerr)
 		}
-		return nil, err
+		return nil, false, err
 	}
 
 	firstIter := len(s.actions)
@@ -438,15 +473,16 @@ func (e *Engine) BatchStepCtx(ctx context.Context, id string, k int) ([]StepResu
 		obs[i], allSims[i] = r.Duration, r.Sim
 	}
 	if err := e.commitOp(s, journalRecord{
-		T: "batch", Epoch: epoch, Iter: firstIter,
-		Actions: actions, Lies: lies, Sims: allSims, Obs: obs,
+		T: "batch", Epoch: epoch, Iter: firstIter, K: k, Key: key,
+		Actions: actions, Lies: lies, Sims: allSims, Obs: obs, Hits: hits,
 	}); err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	s.registerIdem(key, idemEntry{op: "batch", first: firstIter, n: len(out), k: k, hits: hits})
 	if sc != nil {
 		batchArgs = map[string]any{"k": k, "steps": len(out), "first_iter": firstIter}
 	}
-	return out, nil
+	return out, false, nil
 }
 
 // AdvanceEpoch bumps the session's platform epoch and evicts the
@@ -456,21 +492,36 @@ func (e *Engine) BatchStepCtx(ctx context.Context, id string, k int) ([]StepResu
 // the old epoch's memory is reclaimed. The transition is journaled so a
 // recovered session resumes in the correct epoch.
 func (e *Engine) AdvanceEpoch(id string) (int, error) {
+	epoch, _, err := e.AdvanceEpochIdem(id, "")
+	return epoch, err
+}
+
+// AdvanceEpochIdem is AdvanceEpoch under an idempotency key: a key
+// that already committed an epoch advance replays the resulting epoch
+// instead of advancing again — the difference between a retried
+// request costing nothing and a platform silently skipping an epoch.
+func (e *Engine) AdvanceEpochIdem(id, key string) (int, bool, error) {
 	s, err := e.checkout(id)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ent, found, err := s.lookupIdem(key, "epoch", 0); err != nil {
+		return 0, false, err
+	} else if found {
+		return ent.epoch, true, nil
+	}
 	if s.broken {
-		return 0, fmt.Errorf("engine: session %q failed closed on a journal error", id)
+		return 0, false, fmt.Errorf("engine: session %q failed closed on a journal error", id)
 	}
 	s.epoch++
 	e.cache.DropEpochsBelow(s.ev.Fingerprint(), s.epoch)
-	if err := e.commitOp(s, journalRecord{T: "epoch", Epoch: s.epoch}); err != nil {
-		return 0, err
+	if err := e.commitOp(s, journalRecord{T: "epoch", Epoch: s.epoch, Key: key}); err != nil {
+		return 0, false, err
 	}
-	return s.epoch, nil
+	s.registerIdem(key, idemEntry{op: "epoch", epoch: s.epoch})
+	return s.epoch, false, nil
 }
 
 // errCollector mirrors the harness's parallel first-error funnel.

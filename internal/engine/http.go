@@ -58,12 +58,25 @@ const (
 // serialize their own steps, everything else is engine state behind
 // locks.
 type Server struct {
-	e        *Engine
-	mux      *http.ServeMux
-	opts     ServerOptions
-	gate     chan struct{}
-	draining atomic.Bool
+	e    *Engine
+	mux  *http.ServeMux
+	opts ServerOptions
+	gate chan struct{}
+	// state is the /readyz lifecycle: starting (journal recovery in
+	// progress, /v1 routes reject), ready, draining (graceful shutdown;
+	// /v1 keeps serving so admitted work finishes).
+	state atomic.Int32
+	// retrySeq drives the jittered Retry-After values (see
+	// retryAfterSeconds).
+	retrySeq atomic.Uint64
 }
+
+// Server lifecycle states reported by /readyz.
+const (
+	stateReady int32 = iota
+	stateStarting
+	stateDraining
+)
 
 // NewServer returns the engine's HTTP API with default hardening.
 func NewServer(e *Engine) http.Handler {
@@ -95,24 +108,104 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // SetDraining flips the readiness signal: a draining server answers
 // /readyz with 503 so load balancers stop routing new work to it while
 // in-flight requests finish. The other endpoints keep serving — the
-// point of the drain is to finish what was admitted.
+// point of the drain is to finish what was admitted. SetDraining(false)
+// returns the server to ready.
 func (s *Server) SetDraining(v bool) {
-	s.draining.Store(v)
+	if v {
+		s.state.Store(stateDraining)
+	} else {
+		s.state.Store(stateReady)
+	}
+}
+
+// SetStarting marks the server as not yet recovered: /readyz answers
+// 503 with a "starting" reason and every /v1 route rejects with 503
+// until SetReady. This lets the listener come up (so orchestrators see
+// liveness and an honest readiness reason) while journal recovery
+// replays sessions underneath.
+func (s *Server) SetStarting() { s.state.Store(stateStarting) }
+
+// SetReady marks recovery complete: /readyz answers 200 and the /v1
+// routes serve.
+func (s *Server) SetReady() { s.state.Store(stateReady) }
+
+// Jittered Retry-After bounds, in seconds. Backpressure and
+// unavailability answers spread their retry hints uniformly over
+// [retryAfterMin, retryAfterMax] so a synchronized client fleet —
+// every client rejected in the same overload instant — does not come
+// back in lockstep and recreate the spike it was turned away from.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 5
+)
+
+// retryAfterSeconds returns the next jittered Retry-After value. The
+// jitter source is a SplitMix64 stream over a per-response counter:
+// deterministic for the lint contract (no global rand), unique per
+// response, and uniformly spread across the bounds.
+func (s *Server) retryAfterSeconds() int {
+	n := splitmix64(s.retrySeq.Add(1))
+	return retryAfterMin + int(n%uint64(retryAfterMax-retryAfterMin+1))
+}
+
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+}
+
+// error writes an error response, attaching a jittered Retry-After on
+// the statuses that invite a retry (429 and 503).
+func (s *Server) error(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		s.setRetryAfter(w)
+	}
+	httpError(w, status, err)
+}
+
+// serving gates every /v1 route on the lifecycle state: while starting
+// (journal recovery in progress) the API is not safe to serve —
+// sessions are mid-replay — so requests are rejected with 503 and a
+// retry hint rather than answered from half-recovered state.
+func (s *Server) serving(w http.ResponseWriter) bool {
+	if s.state.Load() == stateStarting {
+		s.error(w, http.StatusServiceUnavailable,
+			fmt.Errorf("not ready: journal recovery in progress"))
+		return false
+	}
+	return true
 }
 
 // admit implements the backpressure policy for evaluation-bearing
 // requests: past the high-water mark the caller gets an immediate 429
-// with Retry-After instead of a place in an unbounded queue. release
-// must be called iff admitted.
+// with a jittered Retry-After instead of a place in an unbounded
+// queue. release must be called iff admitted.
 func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 	select {
 	case s.gate <- struct{}{}:
 		return func() { <-s.gate }, true
 	default:
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests,
+		s.error(w, http.StatusTooManyRequests,
 			fmt.Errorf("evaluation pool saturated (%d requests in flight); retry later", cap(s.gate)))
 		return nil, false
+	}
+}
+
+// idemKey extracts and validates the request's Idempotency-Key header.
+// An invalid key is answered with 400 and ok=false; an absent key is
+// valid (ok=true, empty string).
+func (s *Server) idemKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key := r.Header.Get("Idempotency-Key")
+	if err := ValidateIdemKey(key); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return "", false
+	}
+	return key, true
+}
+
+// markReplayed tags a response served from the idempotency registry,
+// so clients and tests can distinguish a replay from a fresh commit.
+func markReplayed(w http.ResponseWriter, replayed bool) {
+	if replayed {
+		w.Header().Set("Idempotency-Replayed", "true")
 	}
 }
 
@@ -279,9 +372,12 @@ const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 func (s *Server) routes() {
 	s.handle("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		if !s.serving(w) {
+			return
+		}
 		var req createSessionRequest
 		if err := s.decodeJSON(w, r, &req); err != nil {
-			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
+			s.error(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
 			return
 		}
 		sess, err := s.e.CreateSession(SessionConfig{
@@ -293,7 +389,7 @@ func (s *Server) routes() {
 			GenNodes:    req.GenNodes,
 		})
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			s.error(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, createSessionResponse{
@@ -307,27 +403,33 @@ func (s *Server) routes() {
 		})
 	})
 	s.handle("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.serving(w) {
+			return
+		}
 		res, err := s.e.Result(r.PathValue("id"))
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			s.error(w, http.StatusNotFound, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
 	s.handle("GET /v1/sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !s.serving(w) {
+			return
+		}
 		id := r.PathValue("id")
 		if s.e.tel == nil {
-			httpError(w, http.StatusNotFound,
+			s.error(w, http.StatusNotFound,
 				fmt.Errorf("tracing disabled (engine runs without telemetry)"))
 			return
 		}
 		if _, ok := s.e.Session(id); !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("engine: no session %q", id))
+			s.error(w, http.StatusNotFound, fmt.Errorf("engine: no session %q", id))
 			return
 		}
 		data, ok := s.e.tel.Trace.Export(id)
 		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("no trace recorded for session %q", id))
+			s.error(w, http.StatusNotFound, fmt.Errorf("no trace recorded for session %q", id))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -335,6 +437,13 @@ func (s *Server) routes() {
 		_, _ = w.Write(data)
 	})
 	s.handle("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
+		if !s.serving(w) {
+			return
+		}
+		key, ok := s.idemKey(w, r)
+		if !ok {
+			return
+		}
 		release, ok := s.admit(w)
 		if !ok {
 			return
@@ -345,21 +454,29 @@ func (s *Server) routes() {
 		id := r.PathValue("id")
 		sc, endReq := s.startTrace(id, "POST /v1/sessions/{id}/step")
 		defer endReq()
-		res, err := s.e.StepCtx(obsv.ContextWith(ctx, sc), id)
+		res, replayed, err := s.e.StepIdem(obsv.ContextWith(ctx, sc), id, key)
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			s.error(w, statusFor(err), err)
 			return
 		}
+		markReplayed(w, replayed)
 		writeJSON(w, http.StatusOK, res)
 	})
 	s.handle("POST /v1/sessions/{id}/batch-step", func(w http.ResponseWriter, r *http.Request) {
+		if !s.serving(w) {
+			return
+		}
 		var req batchStepRequest
 		if err := s.decodeJSON(w, r, &req); err != nil {
-			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
+			s.error(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
 			return
 		}
 		if req.K < 1 {
 			req.K = 1
+		}
+		key, ok := s.idemKey(w, r)
+		if !ok {
+			return
 		}
 		release, ok := s.admit(w)
 		if !ok {
@@ -371,30 +488,46 @@ func (s *Server) routes() {
 		id := r.PathValue("id")
 		sc, endReq := s.startTrace(id, "POST /v1/sessions/{id}/batch-step")
 		defer endReq()
-		res, err := s.e.BatchStepCtx(obsv.ContextWith(ctx, sc), id, req.K)
+		res, replayed, err := s.e.BatchStepIdem(obsv.ContextWith(ctx, sc), id, req.K, key)
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			s.error(w, statusFor(err), err)
 			return
 		}
+		markReplayed(w, replayed)
 		writeJSON(w, http.StatusOK, batchStepResponse{Steps: res})
 	})
 	s.handle("POST /v1/sessions/{id}/advance-epoch", func(w http.ResponseWriter, r *http.Request) {
-		epoch, err := s.e.AdvanceEpoch(r.PathValue("id"))
-		if err != nil {
-			httpError(w, statusFor(err), err)
+		if !s.serving(w) {
 			return
 		}
+		key, ok := s.idemKey(w, r)
+		if !ok {
+			return
+		}
+		epoch, replayed, err := s.e.AdvanceEpochIdem(r.PathValue("id"), key)
+		if err != nil {
+			s.error(w, statusFor(err), err)
+			return
+		}
+		markReplayed(w, replayed)
 		writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
 	})
 	s.handle("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if !s.serving(w) {
+			return
+		}
 		var req sweepRequest
 		if err := s.decodeJSON(w, r, &req); err != nil {
-			httpError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
+			s.error(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
 			return
 		}
 		sc, ok := platformScenario(req.Scenario)
 		if !ok {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown scenario %q", req.Scenario))
+			s.error(w, http.StatusBadRequest, fmt.Errorf("unknown scenario %q", req.Scenario))
+			return
+		}
+		key, ok := s.idemKey(w, r)
+		if !ok {
 			return
 		}
 		release, ok := s.admit(w)
@@ -404,13 +537,16 @@ func (s *Server) routes() {
 		defer release()
 		ctx, cancel := s.evalContext(r)
 		defer cancel()
-		res, err := s.e.SweepCtx(ctx, sc,
-			simOptions(req),
-			SweepOptions{NoiseSD: req.NoiseSD, Reps: req.Reps, Seed: req.Seed})
+		res, replayed, err := s.e.SweepKeyed(ctx, key, req.fingerprint(), SweepArgs{
+			Scenario:  sc,
+			Opts:      simOptions(req),
+			SweepOpts: SweepOptions{NoiseSD: req.NoiseSD, Reps: req.Reps, Seed: req.Seed},
+		})
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			s.error(w, statusFor(err), err)
 			return
 		}
+		markReplayed(w, replayed)
 		writeJSON(w, http.StatusOK, res)
 	})
 	s.handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -420,7 +556,7 @@ func (s *Server) routes() {
 		}
 		var buf bytes.Buffer
 		if err := s.writePrometheus(&buf); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			s.error(w, http.StatusInternalServerError, err)
 			return
 		}
 		w.Header().Set("Content-Type", prometheusContentType)
@@ -431,14 +567,31 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.handle("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() || s.e.closed.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
+		// The three unready answers carry distinct machine-readable
+		// reasons: "starting" means recovery has not finished (retry the
+		// same instance), "draining" means a graceful shutdown is
+		// finishing admitted work (route elsewhere). Both are 503 with a
+		// jittered Retry-After.
+		notReady := func(status, reason string) {
+			s.setRetryAfter(w)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": status,
+				"reason": reason,
+			})
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ready",
-			"workers":  s.e.Workers(),
-			"inflight": len(s.gate),
-		})
+		switch {
+		case s.e.closed.Load():
+			notReady("draining", "engine closed; journals flushed, process exiting")
+		case s.state.Load() == stateDraining:
+			notReady("draining", "graceful shutdown in progress; in-flight requests are finishing")
+		case s.state.Load() == stateStarting:
+			notReady("starting", "journal recovery in progress; sessions not yet restored")
+		default:
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status":   "ready",
+				"workers":  s.e.Workers(),
+				"inflight": len(s.gate),
+			})
+		}
 	})
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"net/http"
 	"strings"
 
@@ -47,6 +49,13 @@ type sweepRequest struct {
 	Seed     int64   `json:"seed"`
 }
 
+// fingerprint is the sweep request's idempotency shape: reusing a key
+// with a different fingerprint is a conflict, not a replay.
+func (r sweepRequest) fingerprint() string {
+	return fmt.Sprintf("%s|%d|%t|%x|%d|%d",
+		r.Scenario, r.Tiles, r.Exact, math.Float64bits(r.NoiseSD), r.Reps, r.Seed)
+}
+
 func platformScenario(key string) (platform.Scenario, bool) {
 	return platform.ScenarioByKey(key)
 }
@@ -66,6 +75,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrIdemConflict):
+		return http.StatusConflict
 	}
 	msg := err.Error()
 	if strings.Contains(msg, "no session") ||

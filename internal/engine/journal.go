@@ -31,15 +31,23 @@ import (
 //
 //	{"t":"create","config":{...}}                     first record of a fresh journal
 //	{"t":"step","seq":N,"epoch":E,"iter":I,
-//	 "actions":[a],"sims":[x],"obs":[d]}              one committed sequential step
-//	{"t":"batch","seq":N,"epoch":E,"iter":I,
+//	 "actions":[a],"sims":[x],"obs":[d],
+//	 "hits":[b],"key":"..."}                          one committed sequential step
+//	{"t":"batch","seq":N,"epoch":E,"iter":I,"k":K,
 //	 "actions":[...],"lies":[...],"sims":[...],
-//	 "obs":[...]}                                     one committed speculative batch
+//	 "obs":[...],"hits":[...],"key":"..."}            one committed speculative batch
 //	{"t":"abort","seq":N,"epoch":E,
 //	 "actions":[...],"lies":[...]}                    proposals whose evaluation failed:
 //	                                                  the strategy consumed Next/lie calls
 //	                                                  but no observation was committed
-//	{"t":"epoch","seq":N,"epoch":E}                   platform epoch advance
+//	{"t":"epoch","seq":N,"epoch":E,"key":"..."}       platform epoch advance
+//
+// key is the client's idempotency key when the committing request
+// carried one (absent otherwise); hits are the per-step cache-hit
+// flags and k the requested batch width, both journaled so a replayed
+// response reproduces the original byte-for-byte — including across a
+// crash and recovery. Aborts never carry keys: a failed operation
+// commits nothing, so a retry under the same key re-attempts.
 //
 // Torn tails are expected: a crash mid-append leaves a partial final
 // line, which recovery drops (the operation never committed). A
@@ -50,10 +58,13 @@ type journalRecord struct {
 	Config  *journalConfig `json:"config,omitempty"`
 	Epoch   int            `json:"epoch,omitempty"`
 	Iter    int            `json:"iter,omitempty"`
+	K       int            `json:"k,omitempty"`
 	Actions []int          `json:"actions,omitempty"`
 	Lies    []float64      `json:"lies,omitempty"`
 	Sims    []float64      `json:"sims,omitempty"`
 	Obs     []float64      `json:"obs,omitempty"`
+	Hits    []bool         `json:"hits,omitempty"`
+	Key     string         `json:"key,omitempty"`
 }
 
 // journalConfig is the durable form of a SessionConfig. Only

@@ -102,6 +102,7 @@ func (e *Engine) replaySession(s *Session, ops []journalRecord) error {
 			if err := s.driver.Replay(rec.Actions, rec.Lies); err != nil {
 				return fmt.Errorf("op %d: %w", rec.Seq, err)
 			}
+			first := len(s.actions)
 			for i, a := range rec.Actions {
 				d := s.observe(rec.Sims[i])
 				if math.Float64bits(d) != math.Float64bits(rec.Obs[i]) {
@@ -114,6 +115,18 @@ func (e *Engine) replaySession(s *Session, ops []journalRecord) error {
 				// hold this entry, and batch lies peek at it.
 				e.cache.Prime(CacheKey{Fingerprint: fp, Epoch: rec.Epoch, Action: a}, rec.Sims[i])
 			}
+			// Rebuild the idempotency registry: a client retrying the
+			// committed request after the crash replays this exact
+			// result instead of double-applying it.
+			if rec.Key != "" {
+				hits := rec.Hits
+				if len(hits) != len(rec.Actions) {
+					hits = make([]bool, len(rec.Actions))
+				}
+				s.registerIdem(rec.Key, idemEntry{
+					op: rec.T, first: first, n: len(rec.Actions), k: rec.K, hits: hits,
+				})
+			}
 		case "abort":
 			// The strategy consumed proposals (and lies) whose
 			// evaluations then failed; no observation committed.
@@ -123,6 +136,9 @@ func (e *Engine) replaySession(s *Session, ops []journalRecord) error {
 		case "epoch":
 			s.epoch = rec.Epoch
 			e.cache.DropEpochsBelow(fp, rec.Epoch)
+			if rec.Key != "" {
+				s.registerIdem(rec.Key, idemEntry{op: "epoch", epoch: rec.Epoch})
+			}
 		default:
 			return fmt.Errorf("op %d: unknown record type %q", rec.Seq, rec.T)
 		}

@@ -39,6 +39,12 @@ type Session struct {
 	// state is whatever a restart recovers from the journal.
 	jl     *journal
 	broken bool
+
+	// idem maps client idempotency keys to the operations they
+	// committed (see idempotency.go). Keys ride in the journal records,
+	// so recovery rebuilds this map and replayed responses survive a
+	// crash. Guarded by mu; lazily allocated.
+	idem map[string]idemEntry
 }
 
 // SessionConfig describes a session to create.

@@ -49,6 +49,12 @@ var simPackages = map[string]bool{
 	// rule); only internal/obsv/wallclock and internal/obsv/obsvtest
 	// stay outside sim scope.
 	"phasetune/internal/obsv": true,
+	// The resilience layer is deterministic by contract too: seeded
+	// jitter/fault streams, injected Now/Sleep. Their only wall-clock
+	// reads are the documented production defaults, each carrying a
+	// //lint:allow determinism directive at the call site.
+	"phasetune/internal/client":   true,
+	"phasetune/internal/chaosnet": true,
 }
 
 // inScope reports whether analyzer a runs over package path. Packages
