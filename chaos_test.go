@@ -124,9 +124,18 @@ func (p *serveProc) output() string {
 	return p.out.String()
 }
 
-// startServe launches bin and parses the resolved listen address from
-// its first output line.
+// startServe launches a phasetune-serve binary and parses the resolved
+// listen address from its banner line.
 func startServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	return startProc(t, bin, "phasetune-serve listening on ", args...)
+}
+
+// startProc launches a phasetune server binary — worker or shard
+// router — on a kernel-assigned port, parses the resolved address from
+// the given banner prefix, and hands the process over only once
+// /readyz answers 200.
+func startProc(t *testing.T, bin, banner string, args ...string) *serveProc {
 	t.Helper()
 	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
 	stdout, err := cmd.StdoutPipe()
@@ -148,7 +157,7 @@ func startServe(t *testing.T, bin string, args ...string) *serveProc {
 			p.mu.Lock()
 			p.out.WriteString(line + "\n")
 			p.mu.Unlock()
-			if rest, ok := strings.CutPrefix(line, "phasetune-serve listening on "); ok {
+			if rest, ok := strings.CutPrefix(line, banner); ok {
 				addrCh <- strings.Fields(rest)[0]
 			}
 		}

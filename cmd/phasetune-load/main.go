@@ -17,43 +17,96 @@
 // Open loop means arrivals do not wait for completions: sessions start
 // on a Poisson clock regardless of how slow the server is, so latency
 // degradation shows up as latency, not as politely reduced load
-// (avoiding coordinated omission). Every mutating request goes through
-// internal/client, so chaos-induced retries are idempotent and the
-// error rate reflects genuinely lost work, not transport noise.
+// (avoiding coordinated omission). `-closed C` switches to a closed
+// loop of C concurrent clients running sessions back to back — the
+// right shape for throughput comparisons, where the question is "how
+// many sessions per second does this deployment sustain", not "how
+// does latency degrade under a fixed arrival rate".
+//
+// Sharded fleets are driven three ways:
+//
+//   - `-targets a:1,b:2` load-balances sessions across explicit
+//     addresses, sticky per session (session idx -> target idx%len);
+//   - `-spawn-shards N -serve-bin ... -shard-bin ...` spawns N worker
+//     processes (each with its own journal dir, evaluation caches
+//     peer-wired) behind a phasetune-shard router and drives the
+//     router; `-kill-after` SIGKILLs one worker mid-run and restarts
+//     it with -recover to exercise failover;
+//   - `-verify-sessions n` replays the first n session scripts on an
+//     in-process reference engine after the run and compares the
+//     trajectories bit for bit (math.Float64bits), proving the fleet
+//     returned exactly what a single deterministic engine would have.
+//
+// Two knobs shape throughput measurements for the paper's regime,
+// where an observation is a run of the application and runs take real
+// time on real nodes. `-eval-cost d` makes every spawned worker hold a
+// pool slot for an extra d per session-step evaluation — wall-clock
+// only, observed values untouched, so trajectories and journals are
+// identical with the knob on or off. `-warmup w` reports steady-state
+// sessions/s: only observations committed between w and -duration
+// count, divided by the measurement window and the script's
+// observations per session. Without it, completions over total wall
+// time structurally undercount sharded fleets, whose drain tapers
+// shard by shard while a single saturated server drains at full pool
+// utilization.
+//
+// Every mutating request goes through internal/client, so chaos- or
+// failover-induced retries are idempotent and the error rate reflects
+// genuinely lost work, not transport noise.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phasetune/internal/chaosnet"
 	"phasetune/internal/client"
+	"phasetune/internal/engine"
 	"phasetune/internal/faults"
 	"phasetune/internal/fsutil"
+	"phasetune/internal/harness"
 	"phasetune/internal/obsv/obsvtest"
+	"phasetune/internal/platform"
+	"phasetune/internal/shard"
 	"phasetune/internal/stats"
 )
 
 type config struct {
 	addr     string
+	targets  string
 	serveBin string
 	workers  int
 
+	spawnShards  int
+	shardBin     string
+	maxInflight  int
+	evalCost     time.Duration
+	killAfter    time.Duration
+	killShard    int
+	restartAfter time.Duration
+
 	duration   time.Duration
+	warmup     time.Duration
 	rate       float64
+	closed     int
 	steps      int
 	batchK     int
+	streamK    int
 	sweepEvery int
 	epochEvery int
 	scenario   string
@@ -67,8 +120,12 @@ type config struct {
 	chaosSeed      int64
 	chaosIntensity float64
 
-	out   string
-	label string
+	verifySessions int
+
+	out           string
+	label         string
+	baselineLabel string
+	minSpeedup    float64
 
 	sloP50       time.Duration
 	sloP99       time.Duration
@@ -79,12 +136,23 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", "", "target phasetune-serve base address (host:port); empty spawns -serve-bin")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated server addresses; sessions route to targets sticky by session index (overrides -addr)")
 	flag.StringVar(&cfg.serveBin, "serve-bin", "", "phasetune-serve binary to spawn on a loopback port when -addr is empty")
-	flag.IntVar(&cfg.workers, "workers", 4, "evaluation workers for a spawned server")
+	flag.IntVar(&cfg.workers, "workers", 4, "evaluation workers for a spawned server (per shard in fleet mode)")
+	flag.IntVar(&cfg.spawnShards, "spawn-shards", 0, "spawn this many peer-wired workers behind a -shard-bin router and drive the router (0 = off)")
+	flag.StringVar(&cfg.shardBin, "shard-bin", "", "phasetune-shard binary for -spawn-shards fleet mode")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "per-shard admission high-water mark passed to spawned workers (0 = server default)")
+	flag.DurationVar(&cfg.evalCost, "eval-cost", 0, "emulated per-evaluation application run time passed to spawned workers; wall-clock only, observations unchanged (0 = off)")
+	flag.DurationVar(&cfg.killAfter, "kill-after", 0, "fleet mode: SIGKILL worker -kill-shard this long into the load window (0 = never)")
+	flag.IntVar(&cfg.killShard, "kill-shard", 0, "fleet mode: index of the worker -kill-after kills")
+	flag.DurationVar(&cfg.restartAfter, "restart-after", time.Second, "fleet mode: delay before the killed worker restarts with -recover")
 	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "load window: how long new sessions keep arriving")
+	flag.DurationVar(&cfg.warmup, "warmup", 0, "steady-state measurement: sessions/s counts only observations committed between -warmup and -duration, converted via the script's observations per session (0 = whole-run completions over wall time)")
 	flag.Float64Var(&cfg.rate, "rate", 8, "mean session arrivals per second (Poisson, open loop)")
+	flag.IntVar(&cfg.closed, "closed", 0, "closed-loop concurrency: this many clients run sessions back to back for -duration (0 = open loop)")
 	flag.IntVar(&cfg.steps, "session-steps", 5, "tuning operations per session script")
 	flag.IntVar(&cfg.batchK, "batch-k", 2, "speculative width of batch-step operations")
+	flag.IntVar(&cfg.streamK, "stream-k", 0, "when >0, session scripts use streaming-commit batches of this width after one warm-up step")
 	flag.IntVar(&cfg.sweepEvery, "sweep-every", 5, "every Nth session also runs a full sweep (0 = never)")
 	flag.IntVar(&cfg.epochEvery, "epoch-every", 4, "every Nth session advances its epoch mid-script (0 = never)")
 	flag.StringVar(&cfg.scenario, "scenario", "b", "paper scenario key for sessions and sweeps")
@@ -96,8 +164,11 @@ func main() {
 	flag.BoolVar(&cfg.chaos, "chaos", false, "route traffic through a seeded chaosnet proxy")
 	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 0, "chaos plan seed (0 = -seed)")
 	flag.Float64Var(&cfg.chaosIntensity, "chaos-intensity", 0.3, "fraction of connections disturbed by the chaos plan")
+	flag.IntVar(&cfg.verifySessions, "verify-sessions", 0, "replay the first N session scripts on an in-process reference engine and require bit-identical trajectories")
 	flag.StringVar(&cfg.out, "out", "BENCH_service.json", "benchmark record file to append to (empty = stdout only)")
 	flag.StringVar(&cfg.label, "label", "", "record label (defaults to a config summary)")
+	flag.StringVar(&cfg.baselineLabel, "baseline-label", "", "compare sessions/s against the latest record in -out with this label")
+	flag.Float64Var(&cfg.minSpeedup, "min-speedup", 0, "fail if sessions/s divided by the -baseline-label record's is below this (0 = no gate)")
 	flag.DurationVar(&cfg.sloP50, "slo-p50", 0, "fail if p50 op latency exceeds this (0 = no gate)")
 	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "fail if p99 op latency exceeds this (0 = no gate)")
 	flag.DurationVar(&cfg.sloP999, "slo-p999", 0, "fail if p99.9 op latency exceeds this (0 = no gate)")
@@ -110,16 +181,16 @@ func main() {
 	}
 }
 
-// serveProc is a spawned phasetune-serve child.
+// serveProc is a spawned child server (worker or router).
 type serveProc struct {
 	cmd  *exec.Cmd
 	addr string
 }
 
-// spawnServe starts the server binary on an ephemeral loopback port and
-// parses the resolved address from its first output line.
-func spawnServe(bin string, workers int) (*serveProc, error) {
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", fmt.Sprint(workers))
+// spawnProc starts a server binary and parses the resolved listen
+// address from the banner line starting with the given prefix.
+func spawnProc(bin, banner string, args ...string) (*serveProc, error) {
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		return nil, err
@@ -133,10 +204,13 @@ func spawnServe(bin string, workers int) (*serveProc, error) {
 	go func() {
 		for sc.Scan() {
 			line := sc.Text()
-			if rest, ok := strings.CutPrefix(line, "phasetune-serve listening on "); ok {
+			if rest, ok := strings.CutPrefix(line, banner); ok {
 				fields := strings.Fields(rest)
 				if len(fields) > 0 {
-					addrCh <- fields[0]
+					select {
+					case addrCh <- fields[0]:
+					default:
+					}
 				}
 			}
 		}
@@ -146,13 +220,162 @@ func spawnServe(bin string, workers int) (*serveProc, error) {
 		return &serveProc{cmd: cmd, addr: addr}, nil
 	case <-time.After(30 * time.Second):
 		_ = cmd.Process.Kill()
-		return nil, fmt.Errorf("server never announced its address")
+		return nil, fmt.Errorf("%s never announced its address", bin)
 	}
+}
+
+// spawnWorker starts one phasetune-serve with the run's provisioning
+// flags; dir, when non-empty, is its private journal directory.
+func spawnWorker(cfg config, dir string, recoverJournals bool) (*serveProc, error) {
+	args := []string{"-addr", "127.0.0.1:0", "-workers", fmt.Sprint(cfg.workers)}
+	if cfg.maxInflight > 0 {
+		args = append(args, "-max-inflight", fmt.Sprint(cfg.maxInflight))
+	}
+	if cfg.evalCost > 0 {
+		args = append(args, "-eval-cost", cfg.evalCost.String())
+	}
+	if dir != "" {
+		args = append(args, "-journal-dir", dir)
+	}
+	if recoverJournals {
+		args = append(args, "-recover")
+	}
+	return spawnProc(cfg.serveBin, "phasetune-serve listening on ", args...)
 }
 
 func (p *serveProc) stop() {
 	_ = p.cmd.Process.Kill()
 	_ = p.cmd.Wait()
+}
+
+// fleet is a spawned shard deployment: N journaled workers with their
+// evaluation caches peer-wired, behind one phasetune-shard router.
+type fleet struct {
+	mu      sync.Mutex
+	workers []*serveProc
+	dirs    []string
+	names   []string
+	router  *serveProc
+}
+
+func spawnFleet(cfg config) (*fleet, error) {
+	fl := &fleet{}
+	ok := false
+	defer func() {
+		if !ok {
+			fl.stop()
+		}
+	}()
+	for i := 0; i < cfg.spawnShards; i++ {
+		dir, err := os.MkdirTemp("", "phasetune-load-shard-")
+		if err != nil {
+			return nil, err
+		}
+		fl.dirs = append(fl.dirs, dir)
+		w, err := spawnWorker(cfg, dir, false)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		fl.workers = append(fl.workers, w)
+		fl.names = append(fl.names, fmt.Sprintf("w%d", i))
+	}
+	if err := fl.wirePeers(); err != nil {
+		return nil, err
+	}
+	specs := make([]string, len(fl.workers))
+	for i, w := range fl.workers {
+		specs[i] = fl.names[i] + "=http://" + w.addr
+	}
+	r, err := spawnProc(cfg.shardBin, "phasetune-shard listening on ",
+		"-addr", "127.0.0.1:0", "-shards", strings.Join(specs, ","), "-seed", fmt.Sprint(cfg.seed))
+	if err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	fl.router = r
+	ok = true
+	return fl, nil
+}
+
+func (f *fleet) stop() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.router != nil {
+		f.router.stop()
+	}
+	for _, w := range f.workers {
+		w.stop()
+	}
+	for _, d := range f.dirs {
+		_ = os.RemoveAll(d)
+	}
+}
+
+// wirePeers points every worker's evaluation cache at all the others,
+// so a sweep evaluated on one shard is a cache hit fleet-wide.
+func (f *fleet) wirePeers() error {
+	for i, w := range f.workers {
+		peers := make([]string, 0, len(f.workers)-1)
+		for j, o := range f.workers {
+			if j != i {
+				peers = append(peers, "http://"+o.addr)
+			}
+		}
+		if err := postJSON("http://"+w.addr+"/v1/cache/peers", map[string][]string{"peers": peers}); err != nil {
+			return fmt.Errorf("wire peers on %s: %w", f.names[i], err)
+		}
+	}
+	return nil
+}
+
+// killAndRestart SIGKILLs worker idx, waits cfg.restartAfter, restarts
+// it with -recover over the same journal directory on a fresh port,
+// re-wires every worker's peer list, and repoints the router. In-flight
+// requests to the victim ride through on client retries: the router
+// answers 502/503 with Retry-After until the repoint lands.
+func (f *fleet) killAndRestart(cfg config, idx int) error {
+	f.mu.Lock()
+	if idx < 0 || idx >= len(f.workers) {
+		f.mu.Unlock()
+		return fmt.Errorf("kill-shard %d out of range (fleet of %d)", idx, len(f.workers))
+	}
+	victim := f.workers[idx]
+	f.mu.Unlock()
+	victim.stop()
+	fmt.Printf("chaos: killed shard %s (%s)\n", f.names[idx], victim.addr)
+	time.Sleep(cfg.restartAfter)
+	w, err := spawnWorker(cfg, f.dirs[idx], true)
+	if err != nil {
+		return fmt.Errorf("restart %s: %w", f.names[idx], err)
+	}
+	f.mu.Lock()
+	f.workers[idx] = w
+	f.mu.Unlock()
+	if err := f.wirePeers(); err != nil {
+		return err
+	}
+	if err := postJSON("http://"+f.router.addr+"/admin/shards",
+		shard.Shard{Name: f.names[idx], Addr: "http://" + w.addr}); err != nil {
+		return fmt.Errorf("repoint %s: %w", f.names[idx], err)
+	}
+	fmt.Printf("chaos: restarted %s on %s (journal recovery), router repointed\n", f.names[idx], w.addr)
+	return nil
+}
+
+func postJSON(url string, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return nil
 }
 
 // chaosPlan builds a transient-only fault schedule on the connection
@@ -229,45 +452,90 @@ func (c *collector) add(kind string, latency time.Duration, err error) {
 }
 
 func run(cfg config) error {
-	// Resolve the target: attach to a running server or spawn one.
-	serverAddr := cfg.addr
-	if serverAddr == "" {
-		if cfg.serveBin == "" {
-			return fmt.Errorf("need -addr or -serve-bin")
-		}
-		proc, err := spawnServe(cfg.serveBin, cfg.workers)
-		if err != nil {
-			return err
-		}
-		defer proc.stop()
-		serverAddr = proc.addr
-		fmt.Printf("spawned %s on %s\n", cfg.serveBin, serverAddr)
-	}
-
-	// Optionally interpose the chaos proxy. Sessions and sweeps each
-	// cost a handful of HTTP connections; over-provision the plan
-	// horizon so late connections still see faults.
-	clientAddr := serverAddr
+	// Resolve the target set: a spawned fleet behind a router, explicit
+	// -targets, or a single server (attached or spawned), in that order
+	// of precedence.
+	var bases []string
+	var metricsURL string
+	var fl *fleet
 	var proxy *chaosnet.Proxy
-	if cfg.chaos {
-		chaosSeed := cfg.chaosSeed
-		if chaosSeed == 0 {
-			chaosSeed = cfg.seed
+	switch {
+	case cfg.spawnShards > 0:
+		if cfg.serveBin == "" || cfg.shardBin == "" {
+			return fmt.Errorf("-spawn-shards needs both -serve-bin and -shard-bin")
 		}
-		horizon := int(cfg.rate*cfg.duration.Seconds())*(cfg.steps+4)*2 + 256
-		plan := chaosPlan(chaosSeed, horizon, cfg.chaosIntensity)
+		if cfg.chaos {
+			return fmt.Errorf("-chaos drives a single -addr target, not a spawned fleet (use -kill-after for fleet chaos)")
+		}
 		var err error
-		proxy, err = chaosnet.New(chaosnet.Config{
-			Listen: "127.0.0.1:0", Target: serverAddr,
-			Plan: plan, Seed: uint64(chaosSeed),
-		})
+		fl, err = spawnFleet(cfg)
 		if err != nil {
 			return err
 		}
-		defer proxy.Close()
-		clientAddr = proxy.Addr()
-		fmt.Printf("chaos proxy %s -> %s (%d fault events, seed %d)\n",
-			clientAddr, serverAddr, len(plan.Events), chaosSeed)
+		defer fl.stop()
+		bases = []string{"http://" + fl.router.addr}
+		metricsURL = bases[0] + "/metrics"
+		fmt.Printf("fleet: %d workers behind router %s\n", len(fl.workers), fl.router.addr)
+	case cfg.targets != "":
+		if cfg.chaos {
+			return fmt.Errorf("-chaos drives a single -addr target, not -targets")
+		}
+		for _, t := range strings.Split(cfg.targets, ",") {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				continue
+			}
+			if !strings.Contains(t, "://") {
+				t = "http://" + t
+			}
+			bases = append(bases, strings.TrimRight(t, "/"))
+		}
+		if len(bases) == 0 {
+			return fmt.Errorf("-targets held no addresses")
+		}
+		metricsURL = bases[0] + "/metrics"
+	default:
+		serverAddr := cfg.addr
+		if serverAddr == "" {
+			if cfg.serveBin == "" {
+				return fmt.Errorf("need -addr, -targets, -spawn-shards or -serve-bin")
+			}
+			proc, err := spawnWorker(cfg, "", false)
+			if err != nil {
+				return err
+			}
+			defer proc.stop()
+			serverAddr = proc.addr
+			fmt.Printf("spawned %s on %s\n", cfg.serveBin, serverAddr)
+		}
+
+		// Optionally interpose the chaos proxy. Sessions and sweeps each
+		// cost a handful of HTTP connections; over-provision the plan
+		// horizon so late connections still see faults.
+		clientAddr := serverAddr
+		if cfg.chaos {
+			chaosSeed := cfg.chaosSeed
+			if chaosSeed == 0 {
+				chaosSeed = cfg.seed
+			}
+			horizon := int(cfg.rate*cfg.duration.Seconds())*(cfg.steps+4)*2 + 256
+			plan := chaosPlan(chaosSeed, horizon, cfg.chaosIntensity)
+			var err error
+			proxy, err = chaosnet.New(chaosnet.Config{
+				Listen: "127.0.0.1:0", Target: serverAddr,
+				Plan: plan, Seed: uint64(chaosSeed),
+			})
+			if err != nil {
+				return err
+			}
+			defer proxy.Close()
+			clientAddr = proxy.Addr()
+			fmt.Printf("chaos proxy %s -> %s (%d fault events, seed %d)\n",
+				clientAddr, serverAddr, len(plan.Events), chaosSeed)
+		}
+		bases = []string{"http://" + clientAddr}
+		// Scrape the server directly, not through the proxy.
+		metricsURL = "http://" + serverAddr + "/metrics"
 	}
 
 	// Under chaos, keep-alive would funnel every request down one or
@@ -278,47 +546,99 @@ func run(cfg config) error {
 	if cfg.chaos {
 		hc = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
 	}
-	cl, err := client.New(client.Config{
-		BaseURL:    "http://" + clientAddr,
-		HTTPClient: hc,
-		Seed:       uint64(cfg.seed) | 1,
-		// Chaos runs ride on retries; keep the budget roomy and let the
-		// SLO gates judge the outcome.
-		MaxAttempts: 10,
-		RetryBudget: 64,
-		// Don't let one black-holed connection eat a whole op deadline.
-		AttemptTimeout: cfg.opTimeout / 3,
-	})
-	if err != nil {
-		return err
+	// One resilient client per target; sessions stick to
+	// clients[idx%len] so a session's whole script lands on one server.
+	clients := make([]*client.Client, len(bases))
+	for i, base := range bases {
+		var err error
+		clients[i], err = client.New(client.Config{
+			BaseURL:    base,
+			HTTPClient: hc,
+			Seed:       (uint64(cfg.seed) + uint64(i)) | 1,
+			// Chaos and failover runs ride on retries; keep the budget
+			// roomy and let the SLO gates judge the outcome.
+			MaxAttempts: 10,
+			RetryBudget: 64,
+			// Don't let one black-holed connection eat a whole op deadline.
+			AttemptTimeout: cfg.opTimeout / 3,
+		})
+		if err != nil {
+			return err
+		}
+		if err := waitReady(clients[i], 30*time.Second); err != nil {
+			return fmt.Errorf("%s never became ready: %w", base, err)
+		}
 	}
-	if err := waitReady(cl, 30*time.Second); err != nil {
-		return fmt.Errorf("server never became ready: %w", err)
-	}
+	pick := func(idx int) *client.Client { return clients[idx%len(clients)] }
 
-	// The open loop: Poisson arrivals for cfg.duration, each session an
-	// independent goroutine running its script.
 	col := &collector{}
-	arrivals := stats.NewRNG(cfg.seed)
+	ver := newVerifier(cfg.verifySessions)
 	var wg sync.WaitGroup
 	var launched, completed, abandoned int
 	var mu sync.Mutex
+	if cfg.warmup != 0 && (cfg.warmup < 0 || cfg.warmup >= cfg.duration) {
+		return fmt.Errorf("-warmup %v must fall inside -duration %v", cfg.warmup, cfg.duration)
+	}
 	start := time.Now()
-	for i := 0; time.Since(start) < cfg.duration; i++ {
-		wg.Add(1)
-		launched++
-		go func(idx int) {
-			defer wg.Done()
-			ok := runSession(cfg, cl, col, idx)
-			mu.Lock()
-			if ok {
-				completed++
-			} else {
-				abandoned++
+	var met *meter
+	if cfg.warmup > 0 {
+		met = &meter{warmupEnd: start.Add(cfg.warmup), windowEnd: start.Add(cfg.duration)}
+	}
+	finish := func(ok bool) {
+		mu.Lock()
+		if ok {
+			completed++
+		} else {
+			abandoned++
+		}
+		mu.Unlock()
+	}
+
+	// Fleet chaos: one worker dies mid-window and comes back via
+	// journal recovery; the load keeps flowing the whole time.
+	if fl != nil && cfg.killAfter > 0 {
+		go func() {
+			time.Sleep(cfg.killAfter)
+			if err := fl.killAndRestart(cfg, cfg.killShard); err != nil {
+				fmt.Fprintln(os.Stderr, "phasetune-load: kill/restart:", err)
 			}
-			mu.Unlock()
-		}(i)
-		time.Sleep(time.Duration(arrivals.Exponential(cfg.rate) * float64(time.Second)))
+		}()
+	}
+
+	mode := "open"
+	if cfg.closed > 0 {
+		// Closed loop: C clients run sessions back to back. Throughput
+		// is capacity-limited, not arrival-limited — the shape for
+		// comparing deployments.
+		mode = "closed"
+		var next atomic.Int64
+		deadline := start.Add(cfg.duration)
+		for c := 0; c < cfg.closed; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					idx := int(next.Add(1)) - 1
+					mu.Lock()
+					launched++
+					mu.Unlock()
+					finish(runSession(cfg, pick(idx), col, ver, met, idx))
+				}
+			}()
+		}
+	} else {
+		// The open loop: Poisson arrivals for cfg.duration, each
+		// session an independent goroutine running its script.
+		arrivals := stats.NewRNG(cfg.seed)
+		for i := 0; time.Since(start) < cfg.duration; i++ {
+			wg.Add(1)
+			launched++
+			go func(idx int) {
+				defer wg.Done()
+				finish(runSession(cfg, pick(idx), col, ver, met, idx))
+			}(i)
+			time.Sleep(time.Duration(arrivals.Exponential(cfg.rate) * float64(time.Second)))
+		}
 	}
 	loadWindow := time.Since(start)
 
@@ -333,13 +653,45 @@ func run(cfg config) error {
 	}
 	wall := time.Since(start)
 
-	// Scrape the server's own view (directly, not through the proxy).
-	metrics, merr := scrapeMetrics("http://" + serverAddr + "/metrics")
+	metrics, merr := scrapeMetrics(metricsURL)
 	if merr != nil {
 		fmt.Fprintln(os.Stderr, "metrics scrape failed:", merr)
 	}
 
-	rec := buildRecord(cfg, col, cl, proxy, metrics, loadWindow, wall, launched, completed, abandoned)
+	rec := buildRecord(cfg, col, clients, proxy, metrics, loadWindow, wall, launched, completed, abandoned)
+	rec.Mode = mode
+	rec.Shards = len(bases)
+	if fl != nil {
+		rec.Shards = len(fl.workers)
+		rec.WorkersPerShard = cfg.workers
+		rec.MaxInflightPerShard = cfg.maxInflight
+	}
+	rec.EvalCostMs = float64(cfg.evalCost) / float64(time.Millisecond)
+	rec.Cores = runtime.NumCPU()
+	if wall > 0 {
+		rec.SessionsPerS = float64(completed) / wall.Seconds()
+	}
+	if met != nil {
+		span := (cfg.duration - cfg.warmup).Seconds()
+		rec.WarmupS = cfg.warmup.Seconds()
+		rec.MeasuredWindowS = span
+		rec.SessionsPerS = float64(met.evals.Load()) / span / float64(evalsPerSession(cfg))
+	}
+	if ver != nil {
+		rec.Determinism = ver.verify(cfg)
+		fmt.Printf("determinism: %d observation logs recomputed bit-for-bit, ok=%v\n",
+			rec.Determinism.Checked, rec.Determinism.OK)
+	}
+	if cfg.baselineLabel != "" {
+		base, err := latestRecord(cfg.out, cfg.baselineLabel)
+		if err != nil {
+			return fmt.Errorf("baseline %q: %w", cfg.baselineLabel, err)
+		}
+		rec.BaselineLabel = cfg.baselineLabel
+		if base.SessionsPerS > 0 {
+			rec.Speedup = rec.SessionsPerS / base.SessionsPerS
+		}
+	}
 	applyGates(cfg, rec)
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -372,10 +724,52 @@ func waitReady(cl *client.Client, timeout time.Duration) error {
 	return last
 }
 
-// runSession runs one session script: create, a step/batch mix, an
-// optional epoch advance, an optional sweep, and a final result fetch.
-// Returns false if any operation failed beyond what retries could fix.
-func runSession(cfg config, cl *client.Client, col *collector, idx int) bool {
+// meter counts committed observations finishing inside the steady-state
+// measurement interval — after -warmup, before the load window closes.
+// Completions-over-wall-time undercounts a sharded fleet: its drain
+// tapers shard by shard while a single saturated server drains at full
+// rate, so the wall-clock average punishes exactly the deployment being
+// measured. Step completions reach steady state within one op duration,
+// making a short warmup sufficient where session completions would need
+// one full session latency.
+type meter struct {
+	warmupEnd time.Time
+	windowEnd time.Time
+	evals     atomic.Int64
+}
+
+func (m *meter) add(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	if now := time.Now(); now.After(m.warmupEnd) && !now.After(m.windowEnd) {
+		m.evals.Add(int64(n))
+	}
+}
+
+// evalsPerSession is how many observations one session script commits —
+// the conversion between the steady-state observation rate and session
+// throughput when -warmup trims ramp-up and drain out of the measure.
+func evalsPerSession(cfg config) int {
+	n := 0
+	for j := 0; j < cfg.steps; j++ {
+		switch {
+		case cfg.streamK > 0 && j > 0:
+			n += cfg.streamK
+		case j%3 == 2 && cfg.streamK == 0:
+			n += cfg.batchK
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// runSession runs one session script: create, a step/batch mix (or a
+// warm-up step plus streaming batches with -stream-k), an optional
+// epoch advance, an optional sweep, and a final result fetch. Returns
+// false if any operation failed beyond what retries could fix.
+func runSession(cfg config, cl *client.Client, col *collector, ver *verifier, met *meter, idx int) bool {
 	ok := true
 	timed := func(kind string, f func(ctx context.Context) error) {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.opTimeout)
@@ -403,14 +797,27 @@ func runSession(cfg config, cl *client.Client, col *collector, idx int) bool {
 		return false
 	}
 	for j := 0; j < cfg.steps; j++ {
-		if j%3 == 2 {
-			timed("batch-step", func(ctx context.Context) error {
-				_, err := sess.BatchStep(ctx, cfg.batchK)
+		switch {
+		case cfg.streamK > 0 && j > 0:
+			timed("stream-step", func(ctx context.Context) error {
+				res, err := sess.StreamStep(ctx, cfg.streamK)
+				met.add(len(res))
 				return err
 			})
-		} else {
+		case j%3 == 2 && cfg.streamK == 0:
+			timed("batch-step", func(ctx context.Context) error {
+				res, err := sess.BatchStep(ctx, cfg.batchK)
+				met.add(len(res))
+				return err
+			})
+		default:
+			// Stream scripts lead with one sequential step so the
+			// constant-liar driver proposes full-width batches after it.
 			timed("step", func(ctx context.Context) error {
 				_, err := sess.Step(ctx)
+				if err == nil {
+					met.add(1)
+				}
 				return err
 			})
 		}
@@ -437,9 +844,111 @@ func runSession(cfg config, cl *client.Client, col *collector, idx int) bool {
 		if res.Iterations == 0 {
 			return fmt.Errorf("session %s finished with zero iterations", sess.Info.ID)
 		}
+		if ver.want(idx) {
+			ver.record(idx, res)
+		}
 		return nil
 	})
 	return ok
+}
+
+// verifier collects the fleet-reported trajectories of the first
+// `limit` sessions for post-run replay against a reference engine.
+type verifier struct {
+	mu    sync.Mutex
+	limit int
+	got   map[int]engine.SessionResult
+}
+
+func newVerifier(limit int) *verifier {
+	if limit <= 0 {
+		return nil
+	}
+	return &verifier{limit: limit, got: map[int]engine.SessionResult{}}
+}
+
+func (v *verifier) want(idx int) bool { return v != nil && idx < v.limit }
+
+func (v *verifier) record(idx int, res engine.SessionResult) {
+	v.mu.Lock()
+	v.got[idx] = res
+	v.mu.Unlock()
+}
+
+// determinismReport is the record's proof section: how many session
+// trajectories were replayed on an in-process engine and whether every
+// one came back bit-identical.
+type determinismReport struct {
+	Checked    int      `json:"checked"`
+	OK         bool     `json:"ok"`
+	Mismatches []string `json:"mismatches,omitempty"`
+}
+
+// verify recomputes every observation of each collected session on an
+// in-process evaluator and compares bit for bit. The invariant a fleet
+// must preserve is the engine's observation contract: whatever actions
+// the constant-liar driver proposed (proposals legitimately depend on
+// cache warmth — a cached makespan is a "perfect lie" that steers the
+// next proposal), every committed observation must be exactly
+//
+//	duration[i] = Evaluate(actions[i]) + noise[i]
+//
+// with noise drawn sequentially from the session's seed. A shard that
+// served a corrupted cache value, a peer that round-tripped a float
+// inexactly, or a stream commit that skipped or reordered an
+// observation all fail here, on any deployment shape.
+func (v *verifier) verify(cfg config) *determinismReport {
+	rep := &determinismReport{OK: true}
+	idxs := make([]int, 0, len(v.got))
+	for idx := range v.got {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		rep.Checked++
+		if diff := checkObservations(cfg, idx, v.got[idx]); diff != "" {
+			rep.OK = false
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("session %d: %s", idx, diff))
+		}
+	}
+	return rep
+}
+
+// checkObservations verifies one session's observation log against the
+// deterministic simulator and the seeded noise stream; "" means every
+// bit matched.
+func checkObservations(cfg config, idx int, got engine.SessionResult) string {
+	sc, ok := platform.ScenarioByKey(cfg.scenario)
+	if !ok {
+		return fmt.Sprintf("unknown scenario %q", cfg.scenario)
+	}
+	ev := harness.NewEvaluator(sc, harness.SimOptions{Tiles: cfg.tiles})
+	noise := stats.NewRNG(cfg.seed + int64(idx))
+	if got.Iterations == 0 || got.Iterations != len(got.Actions) || got.Iterations != len(got.Durations) {
+		return fmt.Sprintf("inconsistent trajectory: %d iterations, %d actions, %d durations",
+			got.Iterations, len(got.Actions), len(got.Durations))
+	}
+	var total float64
+	for i, a := range got.Actions {
+		sim, err := ev.Evaluate(a)
+		if err != nil {
+			return fmt.Sprintf("evaluate action[%d]=%d: %v", i, a, err)
+		}
+		// The engine's observe(): one sequential noise draw per
+		// committed observation, clamped below at 0.01.
+		want := sim + noise.Normal(0, harness.NoiseSD)
+		if want < 0.01 {
+			want = 0.01
+		}
+		if math.Float64bits(got.Durations[i]) != math.Float64bits(want) {
+			return fmt.Sprintf("duration[%d] %v != reference %v (bits differ)", i, got.Durations[i], want)
+		}
+		total += got.Durations[i]
+	}
+	if math.Float64bits(got.Total) != math.Float64bits(total) {
+		return fmt.Sprintf("total %v != recomputed %v (bits differ)", got.Total, total)
+	}
+	return ""
 }
 
 // scrapeMetrics pulls the interesting server-side numbers out of the
@@ -477,6 +986,9 @@ func scrapeMetrics(url string) (map[string]float64, error) {
 	out["iterations_total"] = sum("phasetune_iterations_total")
 	out["cache_hits_total"] = sum("phasetune_cache_hits_total")
 	out["cache_misses_total"] = sum("phasetune_cache_misses_total")
+	out["peer_cache_hits_total"] = sum("phasetune_peer_cache_hits_total")
+	out["peer_cache_misses_total"] = sum("phasetune_peer_cache_misses_total")
+	out["peer_cache_shares_total"] = sum("phasetune_peer_cache_shares_total")
 	out["sessions"] = sum("phasetune_sessions")
 	return out, nil
 }
@@ -489,15 +1001,33 @@ type latencyMillis struct {
 	Max  float64 `json:"max_ms"`
 }
 
-// record is one BENCH_service.json entry.
+// record is one BENCH_service.json / BENCH_shard.json entry.
 type record struct {
 	Label     string  `json:"label"`
 	Timestamp string  `json:"timestamp"`
+	Mode      string  `json:"mode"`
 	Chaos     bool    `json:"chaos"`
 	Seed      int64   `json:"seed"`
 	RatePerS  float64 `json:"rate_per_s"`
 	DurationS float64 `json:"duration_s"`
 	WallS     float64 `json:"wall_s"`
+
+	// Deployment shape: shard count, the provisioning each spawned
+	// shard ran with, and the cores of the box the whole fleet shared —
+	// the context a throughput ratio is meaningless without.
+	Shards              int     `json:"shards"`
+	WorkersPerShard     int     `json:"workers_per_shard,omitempty"`
+	MaxInflightPerShard int     `json:"max_inflight_per_shard,omitempty"`
+	EvalCostMs          float64 `json:"eval_cost_ms,omitempty"`
+	WarmupS             float64 `json:"warmup_s,omitempty"`
+	MeasuredWindowS     float64 `json:"measured_window_s,omitempty"`
+	Cores               int     `json:"cores"`
+
+	SessionsPerS float64 `json:"sessions_per_s"`
+
+	Determinism   *determinismReport `json:"determinism,omitempty"`
+	BaselineLabel string             `json:"baseline_label,omitempty"`
+	Speedup       float64            `json:"speedup,omitempty"`
 
 	Sessions struct {
 		Launched  int `json:"launched"`
@@ -528,16 +1058,16 @@ type record struct {
 	Server     map[string]float64 `json:"server_metrics,omitempty"`
 
 	SLO struct {
-		P50MsLimit   float64 `json:"p50_ms_limit,omitempty"`
-		P99MsLimit   float64 `json:"p99_ms_limit,omitempty"`
-		P999MsLimit  float64 `json:"p999_ms_limit,omitempty"`
-		MaxErrorRate float64 `json:"max_error_rate,omitempty"`
-		Pass         bool    `json:"pass"`
+		P50MsLimit   float64  `json:"p50_ms_limit,omitempty"`
+		P99MsLimit   float64  `json:"p99_ms_limit,omitempty"`
+		P999MsLimit  float64  `json:"p999_ms_limit,omitempty"`
+		MaxErrorRate float64  `json:"max_error_rate,omitempty"`
+		Pass         bool     `json:"pass"`
 		Violations   []string `json:"violations,omitempty"`
 	} `json:"slo"`
 }
 
-func buildRecord(cfg config, col *collector, cl *client.Client, proxy *chaosnet.Proxy,
+func buildRecord(cfg config, col *collector, clients []*client.Client, proxy *chaosnet.Proxy,
 	metrics map[string]float64, loadWindow, wall time.Duration, launched, completed, abandoned int) *record {
 
 	col.mu.Lock()
@@ -591,12 +1121,14 @@ func buildRecord(cfg config, col *collector, cl *client.Client, proxy *chaosnet.
 		Max:  millis(percentile(lats, 1)),
 	}
 
-	st := cl.Snapshot()
-	rec.Client.Attempts = st.Attempts
-	rec.Client.Retries = st.Retries
-	rec.Client.Replays = st.Replays
-	rec.Client.BreakerTrips = st.BreakerTrips
-	rec.Client.BudgetDenied = st.BudgetDenied
+	for _, cl := range clients {
+		st := cl.Snapshot()
+		rec.Client.Attempts += st.Attempts
+		rec.Client.Retries += st.Retries
+		rec.Client.Replays += st.Replays
+		rec.Client.BreakerTrips += st.BreakerTrips
+		rec.Client.BudgetDenied += st.BudgetDenied
+	}
 	if proxy != nil {
 		cs := proxy.Snapshot()
 		rec.ChaosStats = &cs
@@ -653,7 +1185,38 @@ func applyGates(cfg config, rec *record) {
 				fmt.Sprintf("error rate %.4f > budget %.4f", rec.Ops.ErrorRate, cfg.maxErrorRate))
 		}
 	}
+	if rec.Determinism != nil && !rec.Determinism.OK {
+		rec.SLO.Violations = append(rec.SLO.Violations,
+			fmt.Sprintf("determinism: %s", strings.Join(rec.Determinism.Mismatches, "; ")))
+	}
+	if cfg.minSpeedup > 0 && rec.Speedup < cfg.minSpeedup {
+		rec.SLO.Violations = append(rec.SLO.Violations,
+			fmt.Sprintf("speedup %.2fx vs %q < required %.2fx", rec.Speedup, cfg.baselineLabel, cfg.minSpeedup))
+	}
 	rec.SLO.Pass = len(rec.SLO.Violations) == 0
+}
+
+// latestRecord returns the newest record labeled `label` in the JSON
+// array at path — the baseline a speedup gate divides by.
+func latestRecord(path, label string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []json.RawMessage
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, err
+	}
+	for i := len(records) - 1; i >= 0; i-- {
+		var rec record
+		if err := json.Unmarshal(records[i], &rec); err != nil {
+			continue
+		}
+		if rec.Label == label {
+			return &rec, nil
+		}
+	}
+	return nil, fmt.Errorf("no record labeled %q in %s", label, path)
 }
 
 // appendRecord appends rec to the JSON array in path (creating it if

@@ -57,6 +57,7 @@ import (
 
 	"phasetune/internal/engine"
 	"phasetune/internal/obsv/wallclock"
+	"phasetune/internal/shard"
 )
 
 type config struct {
@@ -71,6 +72,9 @@ type config struct {
 	drainTimeout time.Duration
 	traceDir     string
 	pprofAddr    string
+	peers        string
+	peerTimeout  time.Duration
+	evalCost     time.Duration
 }
 
 func main() {
@@ -86,6 +90,9 @@ func main() {
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
 	flag.StringVar(&cfg.traceDir, "trace-dir", "", "directory for per-session Chrome trace-event JSON files, written on shutdown (empty = tracing still served at GET /v1/sessions/{id}/trace, no files)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "net/http/pprof listen address on its own mux, never the API listener (empty = off; a bare port binds loopback only)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated base URLs of shard peers whose evaluation caches answer local misses (empty = no peer lookups; repointable at POST /v1/cache/peers)")
+	flag.DurationVar(&cfg.peerTimeout, "peer-timeout", 0, "per-peer cache probe timeout (0 = 75ms); past it the worker simulates locally")
+	flag.DurationVar(&cfg.evalCost, "eval-cost", 0, "emulated per-evaluation application run time, held under a worker slot; wall-clock only, observed values are unchanged (0 = off)")
 	selfcheck := flag.Bool("selfcheck", false, "run the full lifecycle (serve, session, shutdown, recover) on a loopback port, exit")
 	flag.Parse()
 
@@ -114,11 +121,15 @@ func run(cfg config) error {
 		SnapshotEvery: cfg.snapEvery,
 		Telemetry:     tel,
 	})
+	if cfg.evalCost > 0 {
+		eng.SetEvalCost(cfg.evalCost)
+	}
 	srv := engine.NewServerWithOptions(eng, engine.ServerOptions{
 		MaxInFlight:  cfg.maxInFlight,
 		MaxBodyBytes: cfg.maxBody,
 		EvalTimeout:  cfg.evalTimeout,
 	})
+	wirePeers(cfg, eng, srv)
 	// The listener comes up before journal replay, so orchestrators and
 	// chaos harnesses see liveness plus an honest /readyz "starting"
 	// answer (503, recovery in progress) instead of connection refused;
@@ -139,9 +150,10 @@ func run(cfg config) error {
 		fmt.Printf("  journaling sessions to %s\n", cfg.journalDir)
 	}
 	fmt.Println("  POST /v1/sessions {scenario, strategy, seed, tiles}")
-	fmt.Println("  POST /v1/sessions/{id}/step | /batch-step {k} | /advance-epoch")
+	fmt.Println("  POST /v1/sessions/{id}/step | /batch-step {k} | /stream-step {k} | /advance-epoch")
 	fmt.Println("  GET  /v1/sessions/{id}   GET /metrics   POST /v1/sweep")
 	fmt.Println("  GET  /v1/sessions/{id}/trace   GET /healthz   GET /readyz")
+	fmt.Println("  GET  /v1/cache/peek   GET|POST /v1/cache/peers")
 
 	var pprofLn net.Listener
 	if cfg.pprofAddr != "" {
@@ -200,6 +212,47 @@ func run(cfg config) error {
 	}
 	fmt.Println("phasetune-serve: shutdown complete")
 	return nil
+}
+
+// wirePeers mounts the cross-shard cache layer: a PeerSet answering
+// the engine's cache misses (fail-open, bounded probes) plus the admin
+// routes that let a fleet operator repoint the peer list as workers
+// move. Wired even with no initial peers so a worker can join a fleet
+// after the fact.
+func wirePeers(cfg config, eng *engine.Engine, srv *engine.Server) *shard.PeerSet {
+	ps := shard.NewPeerSet(cfg.peerTimeout)
+	if list := splitPeers(cfg.peers); len(list) > 0 {
+		ps.SetPeers(list)
+		fmt.Printf("  cache peers: %s\n", strings.Join(list, ", "))
+	}
+	eng.SetPeerLookup(ps.Lookup)
+	srv.Handle("GET /v1/cache/peers", func(w http.ResponseWriter, r *http.Request) {
+		srv.WriteJSON(w, http.StatusOK, map[string]any{"peers": ps.Peers()})
+	})
+	srv.Handle("POST /v1/cache/peers", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Peers []string `json:"peers"`
+		}
+		if err := srv.DecodeJSON(w, r, &req); err != nil {
+			srv.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		ps.SetPeers(req.Peers)
+		srv.WriteJSON(w, http.StatusOK, map[string]any{"peers": ps.Peers()})
+	})
+	return ps
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
 }
 
 // startPprof serves net/http/pprof on its own mux and listener — never

@@ -1,0 +1,338 @@
+// Command phasetune-shard fronts a fleet of phasetune-serve workers
+// with one address: a consistent-hash router that pins every session
+// to one worker by hashing its id, health-checks the fleet, and
+// aggregates /metrics with a per-shard label.
+//
+//	# two workers, then the router
+//	phasetune-serve -addr :9101 -journal-dir /var/lib/pt/w0 -peers http://127.0.0.1:9102 &
+//	phasetune-serve -addr :9102 -journal-dir /var/lib/pt/w1 -peers http://127.0.0.1:9101 &
+//	phasetune-shard -addr :9100 -shards w0=http://127.0.0.1:9101,w1=http://127.0.0.1:9102
+//
+//	# clients talk to the router exactly like a single worker
+//	curl -s -X POST localhost:9100/v1/sessions \
+//	     -d '{"scenario":"b","strategy":"GP-discontinuous","seed":42}'
+//
+// Session creation without an "id" mints one at the router so the
+// create already lands on the owning shard; Idempotency-Key headers
+// and Retry-After answers pass through untouched, and stream-step
+// responses flush line by line through the proxy.
+//
+// Failover: when a worker dies, restart it with -recover (same journal
+// dir, any port) and repoint its name:
+//
+//	curl -s -X POST localhost:9100/admin/shards \
+//	     -d '{"name":"w0","addr":"http://127.0.0.1:9201"}'
+//
+// The ring hashes names, not addresses, so every session the dead
+// process owned routes to its recovered replacement.
+//
+// -selfcheck spins two in-process workers plus the router on loopback
+// ports and drives routing, idempotent replay through the proxy,
+// metrics aggregation and a failover repoint, then exits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"phasetune/internal/engine"
+	"phasetune/internal/shard"
+)
+
+type config struct {
+	addr           string
+	shards         string
+	replicas       int
+	seed           int64
+	healthInterval time.Duration
+	healthTimeout  time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":9100", "listen address")
+	flag.StringVar(&cfg.shards, "shards", "", "comma-separated name=addr worker list, e.g. w0=http://127.0.0.1:9101,w1=http://127.0.0.1:9102")
+	flag.IntVar(&cfg.replicas, "replicas", 0, "virtual nodes per shard on the hash ring (0 = 64)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for minted session ids and Retry-After jitter")
+	flag.DurationVar(&cfg.healthInterval, "health-interval", 0, "background health-check cadence (0 = 500ms)")
+	flag.DurationVar(&cfg.healthTimeout, "health-timeout", 0, "per-probe timeout for health checks and metrics scrapes (0 = 1s)")
+	selfcheck := flag.Bool("selfcheck", false, "spin two in-process workers plus the router on loopback, drive routing/replay/failover, exit")
+	flag.Parse()
+
+	if *selfcheck {
+		if err := runSelfcheck(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "selfcheck failed:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// parseShards parses the -shards flag: name=addr pairs, comma
+// separated.
+func parseShards(s string) ([]shard.Shard, error) {
+	var out []shard.Shard
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -shards entry %q (want name=addr)", part)
+		}
+		out = append(out, shard.Shard{Name: name, Addr: strings.TrimRight(addr, "/")})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-shards is required (name=addr,...)")
+	}
+	return out, nil
+}
+
+func run(cfg config) error {
+	shards, err := parseShards(cfg.shards)
+	if err != nil {
+		return err
+	}
+	rt, err := shard.New(shard.Options{
+		Shards:         shards,
+		Replicas:       cfg.replicas,
+		Seed:           cfg.seed,
+		HealthInterval: cfg.healthInterval,
+		HealthTimeout:  cfg.healthTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	// Resolved address first, like phasetune-serve, so ":0" runs are
+	// scriptable.
+	fmt.Printf("phasetune-shard listening on %s (%d shards)\n", ln.Addr(), len(shards))
+	for _, s := range shards {
+		fmt.Printf("  shard %s -> %s\n", s.Name, s.Addr)
+	}
+	fmt.Println("  GET /readyz   GET /metrics   GET|POST /admin/shards")
+
+	httpSrv := &http.Server{Handler: rt}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("phasetune-shard: shutting down")
+	return httpSrv.Close()
+}
+
+// runSelfcheck drives the router against two in-process workers:
+// session routing, follow-up stickiness, idempotent replay through the
+// proxy hop, aggregated metrics, and a failover repoint.
+func runSelfcheck(cfg config) error {
+	worker := func() (*engine.Engine, *http.Server, string, error) {
+		eng := engine.New(1)
+		srv := &http.Server{Handler: engine.NewServer(eng)}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, "", err
+		}
+		go func() { _ = srv.Serve(ln) }()
+		return eng, srv, "http://" + ln.Addr().String(), nil
+	}
+	engA, srvA, addrA, err := worker()
+	if err != nil {
+		return err
+	}
+	defer srvA.Close()
+	_, srvB, addrB, err := worker()
+	if err != nil {
+		return err
+	}
+	defer srvB.Close()
+
+	rt, err := shard.New(shard.Options{
+		Shards: []shard.Shard{{Name: "w0", Addr: addrA}, {Name: "w1", Addr: addrB}},
+		Seed:   cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	front := &http.Server{Handler: rt}
+	go func() { _ = front.Serve(ln) }()
+	defer front.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("selfcheck fleet: router %s, workers %s %s\n", base, addrA, addrB)
+
+	// Route a handful of sessions; every id must be router-minted and
+	// every follow-up must land on the shard that created it.
+	idOn := map[string]string{} // one session id per shard, for the failover check
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(base+"/v1/sessions", "application/json",
+			strings.NewReader(`{"scenario":"b","strategy":"DC","seed":7,"tiles":6}`))
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("create %d: %d %s", i, resp.StatusCode, body)
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &created); err != nil {
+			return err
+		}
+		if !strings.HasPrefix(created.ID, "r") {
+			return fmt.Errorf("id %q not router-minted", created.ID)
+		}
+		shardName := resp.Header.Get("X-Phasetune-Shard")
+		idOn[shardName] = created.ID
+
+		sresp, err := http.Post(base+"/v1/sessions/"+created.ID+"/step", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		sbody, _ := io.ReadAll(sresp.Body)
+		_ = sresp.Body.Close()
+		if sresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("step: %d %s", sresp.StatusCode, sbody)
+		}
+		if got := sresp.Header.Get("X-Phasetune-Shard"); got != shardName {
+			return fmt.Errorf("session %s created on %s, stepped on %s", created.ID, shardName, got)
+		}
+	}
+	if len(idOn) != 2 {
+		return fmt.Errorf("8 sessions all landed on one shard: %v", idOn)
+	}
+	fmt.Println("routing ok: 8 sessions spread across both shards, follow-ups sticky")
+	oneID := idOn["w0"] // the failover below kills and repoints w0
+
+	// Idempotent replay must survive the proxy hop.
+	keyed := func() (bool, []byte, error) {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+oneID+"/step", nil)
+		if err != nil {
+			return false, nil, err
+		}
+		req.Header.Set("Idempotency-Key", "shard-selfcheck-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return false, nil, err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return false, nil, fmt.Errorf("keyed step: %d %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("Idempotency-Replayed") == "true", body, nil
+	}
+	replayed1, body1, err := keyed()
+	if err != nil {
+		return err
+	}
+	replayed2, body2, err := keyed()
+	if err != nil {
+		return err
+	}
+	if replayed1 || !replayed2 || !bytes.Equal(body1, body2) {
+		return fmt.Errorf("idempotent replay through proxy broken: first=%v second=%v equal=%v",
+			replayed1, replayed2, bytes.Equal(body1, body2))
+	}
+	fmt.Println("idempotency ok: retried key replayed byte-identically through the proxy")
+
+	// Aggregated metrics carry both shard labels.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	_ = mresp.Body.Close()
+	for _, want := range []string{`shard="w0"`, `shard="w1"`, "phasetune_router_proxied_total"} {
+		if !strings.Contains(string(mbody), want) {
+			return fmt.Errorf("aggregated metrics missing %q", want)
+		}
+	}
+	fmt.Printf("metrics ok: %d bytes aggregated with shard labels\n", len(mbody))
+
+	// Failover: kill w0, repoint its name at a replacement serving the
+	// same engine (standing in for journal recovery), and the sessions
+	// it owned continue.
+	_ = srvA.Close()
+	rt.CheckNow()
+	if resp, err := http.Get(base + "/readyz"); err != nil {
+		return err
+	} else {
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("readyz with a dead shard: %d", resp.StatusCode)
+		}
+	}
+	lnR, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	replacement := &http.Server{Handler: engine.NewServer(engA)}
+	go func() { _ = replacement.Serve(lnR) }()
+	defer replacement.Close()
+	repoint, _ := json.Marshal(shard.Shard{Name: "w0", Addr: "http://" + lnR.Addr().String()})
+	resp, err := http.Post(base+"/admin/shards", "application/json", bytes.NewReader(repoint))
+	if err != nil {
+		return err
+	}
+	rbody, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("repoint: %d %s", resp.StatusCode, rbody)
+	}
+	if resp, err := http.Get(base + "/readyz"); err != nil {
+		return err
+	} else {
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("readyz after repoint: %d", resp.StatusCode)
+		}
+	}
+	if oneID != "" {
+		sresp, err := http.Post(base+"/v1/sessions/"+oneID+"/step", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		sbody, _ := io.ReadAll(sresp.Body)
+		_ = sresp.Body.Close()
+		if sresp.StatusCode != http.StatusOK {
+			return fmt.Errorf("step after failover: %d %s", sresp.StatusCode, sbody)
+		}
+	}
+	fmt.Println("failover ok: dead shard repointed, fleet ready, session resumed")
+	fmt.Println("selfcheck ok")
+	return nil
+}

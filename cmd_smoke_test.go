@@ -102,3 +102,17 @@ func TestCmdCompareSmoke(t *testing.T) {
 		t.Fatalf("compare output:\n%s", out)
 	}
 }
+
+func TestCmdShardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runTool(t, "./cmd/phasetune-shard", "-selfcheck")
+	for _, want := range []string{
+		"routing ok", "idempotency ok", "metrics ok", "failover ok", "selfcheck ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("shard selfcheck output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -33,27 +33,28 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 
 // allow decides whether a call may proceed at time now. A (wait,
 // ErrBreakerOpen) answer means the circuit is open: come back after
-// wait. A nil error admits the call — possibly as the half-open
-// probe.
-func (b *breaker) allow(now time.Time) (time.Duration, error) {
+// wait. A nil error admits the call; probe marks the admission as the
+// half-open probe — the one call testing whether the peer recovered,
+// which is also the moment to re-resolve where the peer lives now.
+func (b *breaker) allow(now time.Time) (wait time.Duration, probe bool, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return 0, nil
+		return 0, false, nil
 	case breakerOpen:
 		if rem := b.cooldown - now.Sub(b.openedAt); rem > 0 {
-			return rem, ErrBreakerOpen
+			return rem, false, ErrBreakerOpen
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
-		return 0, nil
+		return 0, true, nil
 	default: // half-open: one probe in flight at a time
 		if b.probing {
-			return b.cooldown, ErrBreakerOpen
+			return b.cooldown, false, ErrBreakerOpen
 		}
 		b.probing = true
-		return 0, nil
+		return 0, true, nil
 	}
 }
 

@@ -80,6 +80,15 @@ type Config struct {
 	// reproducible runs; 0 draws a random instance identity.
 	Seed uint64
 
+	// Resolve, when set, re-resolves the base URL at every half-open
+	// circuit-breaker probe: by the time the breaker lets a probe
+	// through, the backend may have restarted on a different address
+	// (journal recovery behind a shard router repoints exactly this
+	// way). Returning "" keeps the current target. Calls between probes
+	// keep using the last resolved target — resolution is an
+	// on-failure path, not a per-request lookup.
+	Resolve func() string
+
 	// Now and Sleep inject the clock. Sleep must return early with the
 	// context's error when it is cancelled. Nil selects the wall clock.
 	Now   func() time.Time
@@ -124,7 +133,7 @@ type Stats struct {
 type Client struct {
 	cfg      Config
 	hc       *http.Client
-	base     string
+	base     atomic.Value // string; repointable via SetTarget/Resolve
 	breaker  *breaker
 	budget   *budget // sessionless calls (create, sweep)
 	instance string
@@ -187,16 +196,29 @@ func New(cfg Config) (*Client, error) {
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	return &Client{
+	c := &Client{
 		cfg:      cfg,
 		hc:       hc,
-		base:     strings.TrimRight(cfg.BaseURL, "/"),
 		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		budget:   newBudget(cfg.RetryBudget, cfg.BudgetRefill),
 		instance: fmt.Sprintf("%016x", splitmix64(seed)),
 		jseed:    splitmix64(seed + 1),
-	}, nil
+	}
+	c.SetTarget(cfg.BaseURL)
+	return c, nil
 }
+
+// SetTarget repoints the client at a new base URL. Safe under
+// concurrent calls; requests already in flight finish against the old
+// target. This is the failover hook: when the server restarts on a new
+// address, repoint the handle instead of rebuilding it (sessions,
+// breaker state and budgets carry over).
+func (c *Client) SetTarget(base string) {
+	c.base.Store(strings.TrimRight(base, "/"))
+}
+
+// Target returns the base URL requests currently go to.
+func (c *Client) Target() string { return c.base.Load().(string) }
 
 // defaultSleep waits d on the wall clock, returning early with the
 // context's error when cancelled — that is how caller deadlines cut
@@ -346,6 +368,60 @@ func (s *Session) BatchStep(ctx context.Context, k int) ([]engine.StepResult, er
 	return res.Steps, err
 }
 
+// StreamStep runs k speculative steps through the server's streaming
+// commit path (ndjson, one line per committed step) under one
+// idempotency key. The full stream is read before returning; a
+// mid-stream failure surfaces as an *APIError carrying the in-band
+// status, with the committed prefix returned alongside it — those
+// steps are durable on the server whatever the error says.
+func (s *Session) StreamStep(ctx context.Context, k int) ([]engine.StepResult, error) {
+	var raw []byte
+	_, err := s.c.do(ctx, call{
+		method: http.MethodPost, path: "/v1/sessions/" + s.Info.ID + "/stream-step",
+		body: map[string]int{"k": k}, rawOut: &raw, key: s.c.nextKey(), budget: s.budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parseStream(raw)
+}
+
+// parseStream decodes a stream-step ndjson body: step lines, then one
+// terminal done or in-band error line.
+func parseStream(raw []byte) ([]engine.StepResult, error) {
+	var steps []engine.StepResult
+	sawEnd := false
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var probe struct {
+			Done   *bool   `json:"done"`
+			Error  *string `json:"error"`
+			Status int     `json:"status"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return steps, fmt.Errorf("client: bad stream line %q: %w", line, err)
+		}
+		switch {
+		case probe.Error != nil:
+			return steps, &APIError{Status: probe.Status, Message: *probe.Error}
+		case probe.Done != nil:
+			sawEnd = true
+		default:
+			var r engine.StepResult
+			if err := json.Unmarshal(line, &r); err != nil {
+				return steps, fmt.Errorf("client: decode stream step: %w", err)
+			}
+			steps = append(steps, r)
+		}
+	}
+	if !sawEnd {
+		return steps, fmt.Errorf("client: stream ended without a terminal line (%d steps read)", len(steps))
+	}
+	return steps, nil
+}
+
 // AdvanceEpoch declares a platform change, idempotently.
 func (s *Session) AdvanceEpoch(ctx context.Context) (int, error) {
 	var res struct {
@@ -383,7 +459,7 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest) (engine.SweepResul
 // Ready reports whether the server answers /readyz with 200, without
 // retries — readiness polling is the caller's loop.
 func (c *Client) Ready(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Target()+"/readyz", nil)
 	if err != nil {
 		return err
 	}
@@ -405,6 +481,9 @@ type call struct {
 	path   string
 	body   any
 	out    any
+	// rawOut, when non-nil, receives the response body verbatim
+	// instead of a JSON decode into out (streaming responses).
+	rawOut *[]byte
 	// key is the idempotency key; non-empty makes the call safe to
 	// retry across ambiguous failures.
 	key string
@@ -440,7 +519,8 @@ func (c *Client) do(ctx context.Context, op call) (replayed bool, err error) {
 				return false, fmt.Errorf("client: giving up during backoff: %w (last attempt: %w)", err, lastErr)
 			}
 		}
-		if wait, berr := c.breaker.allow(c.cfg.Now()); berr != nil {
+		wait, probe, berr := c.breaker.allow(c.cfg.Now())
+		if berr != nil {
 			// Open breaker: this attempt is refused locally. Wait out
 			// the cooldown (bounded by MaxDelay) and loop; no budget
 			// spent, the server saw nothing.
@@ -452,6 +532,13 @@ func (c *Client) do(ctx context.Context, op call) (replayed bool, err error) {
 				return false, fmt.Errorf("client: giving up while breaker open: %w", err)
 			}
 			continue
+		}
+		if probe && c.cfg.Resolve != nil {
+			// Half-open probe: the peer failed hard enough to open the
+			// circuit, so ask where it lives now before testing it.
+			if t := c.cfg.Resolve(); t != "" {
+				c.SetTarget(t)
+			}
 		}
 		c.attempts.Add(1)
 		replayed, err := c.attempt(ctx, op, enc)
@@ -485,7 +572,7 @@ func (c *Client) attempt(ctx context.Context, op call, body []byte) (replayed bo
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, op.method, c.base+op.path, rd)
+	req, err := http.NewRequestWithContext(actx, op.method, c.Target()+op.path, rd)
 	if err != nil {
 		return false, fmt.Errorf("client: build request: %w", err)
 	}
@@ -519,7 +606,9 @@ func (c *Client) attempt(ctx context.Context, op call, body []byte) (replayed bo
 		}
 		return false, apiErr
 	}
-	if op.out != nil {
+	if op.rawOut != nil {
+		*op.rawOut = data
+	} else if op.out != nil {
 		if err := json.Unmarshal(data, op.out); err != nil {
 			return false, fmt.Errorf("client: decode response: %w", err)
 		}

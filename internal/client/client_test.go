@@ -343,3 +343,66 @@ func TestKeysUniqueAcrossCalls(t *testing.T) {
 		seen[k] = true
 	}
 }
+
+// TestResolveOnHalfOpenProbe mirrors chaosnet's SetTarget-across-
+// restart test at the client layer: the backend dies hard enough to
+// open the breaker, comes back on a different address (journal
+// recovery behind a router repoints exactly this way), and the
+// half-open probe re-resolves the target — so the same handle, with
+// its breaker state and session intact, rides through the failover.
+func TestResolveOnHalfOpenProbe(t *testing.T) {
+	replacement := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{"iter": 0, "action": 9})
+	}))
+	defer replacement.Close()
+
+	dead := httptest.NewServer(nil)
+	dead.Close() // every dial refuses: the original backend is gone
+
+	var mu sync.Mutex
+	resolves := 0
+	c, _ := testClient(t, dead.URL, func(cfg *Config) {
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = time.Second
+		cfg.MaxAttempts = 12
+		cfg.Resolve = func() string {
+			mu.Lock()
+			defer mu.Unlock()
+			resolves++
+			return replacement.URL
+		}
+	})
+
+	// One call is enough: dial failures are retry-eligible, two of them
+	// trip the breaker, the cooldown elapses on the fake clock, and the
+	// half-open probe resolves the new address and succeeds.
+	res, err := c.Attach("s-1").Step(context.Background())
+	if err != nil {
+		t.Fatalf("step across failover: %v", err)
+	}
+	if res.Action != 9 {
+		t.Fatalf("step action %d, want 9 (the replacement's answer)", res.Action)
+	}
+	mu.Lock()
+	if resolves == 0 {
+		t.Fatal("Resolve never called on the half-open probe")
+	}
+	mu.Unlock()
+	if c.Target() != replacement.URL {
+		t.Fatalf("target %q, want %q", c.Target(), replacement.URL)
+	}
+	if got := c.Snapshot().BreakerTrips; got != 1 {
+		t.Fatalf("breaker trips %d, want 1", got)
+	}
+
+	// A Resolve that returns "" keeps the current target.
+	c.cfg.Resolve = func() string { return "" }
+	c.breaker.report(c.cfg.Now(), true, nil)
+	c.breaker.report(c.cfg.Now(), true, nil) // re-open
+	if _, err := c.Attach("s-1").Step(context.Background()); err != nil {
+		t.Fatalf("step after empty resolve: %v", err)
+	}
+	if c.Target() != replacement.URL {
+		t.Fatalf("empty Resolve moved the target to %q", c.Target())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"phasetune/internal/core"
 	"phasetune/internal/harness"
@@ -29,6 +30,8 @@ type Engine struct {
 	tel        *obsv.Telemetry // nil disables metrics and tracing
 	closed     atomic.Bool
 	sweepIdem  sweepIdemStore // engine-wide idempotency registry for sweeps
+	peer       atomic.Pointer[PeerLookup]
+	evalCost   atomic.Int64 // emulated per-evaluation application run time, ns
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -76,6 +79,17 @@ func NewWithOptions(opts Options) *Engine {
 // Telemetry returns the engine's telemetry bundle (nil when disabled).
 func (e *Engine) Telemetry() *obsv.Telemetry { return e.tel }
 
+// SetEvalCost makes every session-step evaluation occupy a worker slot
+// for an extra d of wall time, emulating the regime the paper's tuning
+// loop lives in: an observation is a run of the application, and runs
+// take real time on real nodes while the tuner's own bookkeeping is
+// nearly free. The sleep happens under the pool's concurrency bound —
+// exactly like a simulation would — and never touches observed values,
+// so trajectories and journals are byte-identical with the cost on or
+// off. Zero (the default) disables the emulation; sweeps and journal
+// recovery never pay it.
+func (e *Engine) SetEvalCost(d time.Duration) { e.evalCost.Store(int64(d)) }
+
 // ErrClosed is returned by every operation after Close.
 var ErrClosed = errors.New("engine: closed")
 
@@ -112,6 +126,46 @@ func (e *Engine) Close() error {
 
 // Cache exposes the shared evaluation cache (tests, metrics).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// PeerLookup asks shard peers whether one of them already holds a
+// completed evaluation for key. It runs inside the cache singleflight on
+// a local miss, before the pool slot is requested, so a peer answer
+// saves both the slot wait and the simulation. Implementations must be
+// safe for concurrent use and should fail fast (short timeouts): a
+// (0, false) return simply falls back to local computation.
+type PeerLookup func(ctx context.Context, key CacheKey) (float64, bool)
+
+// SetPeerLookup installs (or, with nil, clears) the cross-shard cache
+// lookup hook. Safe to call concurrently with serving.
+func (e *Engine) SetPeerLookup(fn PeerLookup) { e.peer.Store(&fn) }
+
+// peerFetch consults the installed peer lookup, counting hits/misses.
+func (e *Engine) peerFetch(ctx context.Context, key CacheKey) (float64, bool) {
+	p := e.peer.Load()
+	if p == nil || *p == nil {
+		return 0, false
+	}
+	v, ok := (*p)(ctx, key)
+	if e.tel != nil {
+		if ok {
+			e.tel.PeerHits.Inc()
+		} else {
+			e.tel.PeerMisses.Inc()
+		}
+	}
+	return v, ok
+}
+
+// PeekShared serves a shard peer's cache probe: a completed local value
+// for key, counting the share when found. Read-only and safe at any
+// lifecycle point, including during recovery replay.
+func (e *Engine) PeekShared(key CacheKey) (float64, bool) {
+	v, ok := e.cache.Peek(key)
+	if ok && e.tel != nil {
+		e.tel.PeerShares.Inc()
+	}
+	return v, ok
+}
 
 // Workers returns the evaluation concurrency bound.
 func (e *Engine) Workers() int { return e.pool.Workers() }
@@ -178,14 +232,33 @@ func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
 	if e.journalDir != "" && cfg.Scenario != nil {
 		return nil, fmt.Errorf("engine: explicit scenarios are not journalable; use a scenario key")
 	}
+	if cfg.ID != "" {
+		if err := ValidateSessionID(cfg.ID); err != nil {
+			return nil, err
+		}
+	}
 	s, err := e.buildSession(cfg)
 	if err != nil {
 		return nil, err
 	}
 
 	e.mu.Lock()
-	e.nextID++
-	s.id = fmt.Sprintf("s%d", e.nextID)
+	if cfg.ID != "" {
+		if _, taken := e.sessions[cfg.ID]; taken {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("engine: session %q already exists", cfg.ID)
+		}
+		s.id = cfg.ID
+	} else {
+		// Mint "s<n>", skipping ids a client already claimed.
+		for {
+			e.nextID++
+			s.id = fmt.Sprintf("s%d", e.nextID)
+			if _, taken := e.sessions[s.id]; !taken {
+				break
+			}
+		}
+	}
 	e.sessions[s.id] = s
 	e.mu.Unlock()
 
@@ -242,6 +315,14 @@ func (e *Engine) eval(ctx context.Context, s *Session, epoch, action int) (float
 	endLookup := sc.Span("cache", "cache.lookup")
 	key := CacheKey{Fingerprint: s.ev.Fingerprint(), Epoch: epoch, Action: action}
 	v, hit, err := e.cache.EvalCtx(ctx, key, func() (float64, error) {
+		// A local miss first asks shard peers (when configured): a value
+		// another shard already computed skips the pool entirely. Peer
+		// values round-trip through JSON bit-exactly (Go emits the
+		// shortest representation that parses back to the same float64),
+		// so observation logs stay byte-identical either way.
+		if pv, ok := e.peerFetch(ctx, key); ok {
+			return pv, nil
+		}
 		endAdmit := sc.Span("pool", "pool.admit")
 		var v float64
 		var verr error
@@ -271,6 +352,17 @@ func (e *Engine) eval(ctx context.Context, s *Session, epoch, action int) (float
 		endLookup(map[string]any{"action": action, "epoch": epoch, "hit": hit})
 	} else {
 		endLookup(nil)
+	}
+	if d := time.Duration(e.evalCost.Load()); d > 0 && err == nil {
+		// The emulated application run occupies a pool slot whether the
+		// makespan came from the cache or a fresh simulation: the paper's
+		// observation is the run itself, and the cache only spares the
+		// deterministic reference computation.
+		if derr := e.pool.DoCtx(ctx, func() {
+			time.Sleep(d) //lint:allow determinism emulated application run time is wall-clock only and never reaches observed values
+		}); derr != nil {
+			return 0, hit, derr
+		}
 	}
 	return v, hit, err
 }
@@ -605,6 +697,9 @@ func (e *Engine) SweepCtx(ctx context.Context, sc platform.Scenario, opts harnes
 		a := actions[i]
 		key := CacheKey{Fingerprint: ev.Fingerprint(), Epoch: so.Epoch, Action: a}
 		mk, hit, err := e.cache.EvalCtx(ctx, key, func() (float64, error) {
+			if pv, ok := e.peerFetch(ctx, key); ok {
+				return pv, nil
+			}
 			var v float64
 			var verr error
 			if derr := e.pool.DoCtx(ctx, func() { v, verr = ev.Evaluate(a) }); derr != nil {

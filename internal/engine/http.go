@@ -42,12 +42,16 @@ const (
 // health and readiness endpoints, and a draining mode for graceful
 // shutdown.
 //
-//	POST /v1/sessions                     create a session
+//	POST /v1/sessions                     create a session (optional client-assigned "id")
 //	GET  /v1/sessions/{id}                session result (trajectory, best, regret)
 //	POST /v1/sessions/{id}/step           one sequential tuning step
 //	POST /v1/sessions/{id}/batch-step     k speculative steps (constant liar)
+//	POST /v1/sessions/{id}/stream-step    k speculative steps, streamed as ndjson lines
+//	                                      as each one commits (no batch barrier)
 //	POST /v1/sessions/{id}/advance-epoch  platform changed: new epoch, evict stale cache
 //	POST /v1/sweep                        parallel f(n) sweep over a scenario
+//	GET  /v1/cache/peek                   shard peers probe the evaluation cache
+//	                                      (?fp=&epoch=&action= -> {"found","value"})
 //	GET  /metrics                         Prometheus text by default; the JSON view at Accept: application/json
 //	GET  /v1/sessions/{id}/trace          Chrome trace-event JSON of the session's recorded spans
 //	GET  /healthz                         process liveness (always 200 while serving)
@@ -103,6 +107,26 @@ func NewServerWithOptions(e *Engine, opts ServerOptions) *Server {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Handle registers an extra route on the server's mux, wrapped with the
+// same per-route telemetry as the built-in routes. The service binary
+// uses this to mount deployment-specific endpoints (peer-set
+// administration) without the engine package importing them.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) { s.handle(pattern, h) }
+
+// WriteError writes the server's standard JSON error envelope, with the
+// jittered Retry-After on retryable statuses (429/503).
+func (s *Server) WriteError(w http.ResponseWriter, status int, err error) { s.error(w, status, err) }
+
+// WriteJSON writes the server's standard 2-space-indented JSON response.
+func (s *Server) WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// DecodeJSON exposes the hardened request decoding (bounded body,
+// unknown fields and trailing garbage rejected) to extra routes
+// registered via Handle. The returned status is usable with WriteError.
+func (s *Server) DecodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	return s.decodeJSON(w, r, v)
 }
 
 // SetDraining flips the readiness signal: a draining server answers
@@ -381,6 +405,7 @@ func (s *Server) routes() {
 			return
 		}
 		sess, err := s.e.CreateSession(SessionConfig{
+			ID:          req.ID,
 			ScenarioKey: req.Scenario,
 			Strategy:    req.Strategy,
 			Seed:        req.Seed,
@@ -495,6 +520,96 @@ func (s *Server) routes() {
 		}
 		markReplayed(w, replayed)
 		writeJSON(w, http.StatusOK, batchStepResponse{Steps: res})
+	})
+	s.handle("POST /v1/sessions/{id}/stream-step", func(w http.ResponseWriter, r *http.Request) {
+		if !s.serving(w) {
+			return
+		}
+		var req batchStepRequest
+		if err := s.decodeJSON(w, r, &req); err != nil {
+			s.error(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if req.K < 1 {
+			req.K = 1
+		}
+		key, ok := s.idemKey(w, r)
+		if !ok {
+			return
+		}
+		release, ok := s.admit(w)
+		if !ok {
+			return
+		}
+		defer release()
+		ctx, cancel := s.evalContext(r)
+		defer cancel()
+		id := r.PathValue("id")
+		sc, endReq := s.startTrace(id, "POST /v1/sessions/{id}/stream-step")
+		defer endReq()
+
+		// The response is ndjson: one line per committed step, flushed
+		// immediately, then a terminal {"done":true,"steps":N} line. The
+		// 200 header goes out when the operation is admitted (after the
+		// proposals are durable), so errors before that point use the
+		// normal JSON statuses while a mid-stream failure arrives
+		// in-band as {"error":...,"status":...} after the committed
+		// prefix — the prefix stays committed either way.
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		started := false
+		writeLine := func(v any) {
+			_ = enc.Encode(v)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		n, _, err := s.e.StreamBatchStepIdem(obsv.ContextWith(ctx, sc), id, req.K, key,
+			func(replayed bool) {
+				markReplayed(w, replayed)
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				started = true
+			},
+			func(res StepResult) { writeLine(res) },
+		)
+		if err != nil {
+			if !started {
+				s.error(w, statusFor(err), err)
+				return
+			}
+			writeLine(map[string]any{"error": err.Error(), "status": statusFor(err), "steps": n})
+			return
+		}
+		writeLine(map[string]any{"done": true, "steps": n})
+	})
+	s.handle("GET /v1/cache/peek", func(w http.ResponseWriter, r *http.Request) {
+		// Shard peers probe the evaluation cache here on their own local
+		// misses. Read-only and deterministic, so it stays open at every
+		// lifecycle stage (a recovering shard's primed cache is already
+		// valuable to its peers) and bypasses the admission gate.
+		q := r.URL.Query()
+		fp := q.Get("fp")
+		if fp == "" {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("missing fp parameter"))
+			return
+		}
+		epoch, err := strconv.Atoi(q.Get("epoch"))
+		if err != nil {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("bad epoch parameter: %w", err))
+			return
+		}
+		action, err := strconv.Atoi(q.Get("action"))
+		if err != nil {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("bad action parameter: %w", err))
+			return
+		}
+		v, found := s.e.PeekShared(CacheKey{Fingerprint: fp, Epoch: epoch, Action: action})
+		resp := cachePeekResponse{Found: found}
+		if found {
+			resp.Value = &v
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	s.handle("POST /v1/sessions/{id}/advance-epoch", func(w http.ResponseWriter, r *http.Request) {
 		if !s.serving(w) {

@@ -14,6 +14,7 @@ import (
 )
 
 type createSessionRequest struct {
+	ID       string `json:"id"`       // optional client-assigned id (the shard router mints these)
 	Scenario string `json:"scenario"` // paper key a..p
 	Strategy string `json:"strategy"` // harness.NewStrategy name
 	Seed     int64  `json:"seed"`
@@ -34,6 +35,16 @@ type createSessionResponse struct {
 
 type batchStepRequest struct {
 	K int `json:"k"`
+}
+
+// cachePeekResponse answers a shard peer's cache probe. Value is a
+// pointer so a miss omits the field entirely and a hit serializes the
+// float64 with Go's shortest round-trip representation — the peer
+// parses back the exact same bits, which is what lets a peer-served
+// evaluation keep observation logs byte-identical.
+type cachePeekResponse struct {
+	Found bool     `json:"found"`
+	Value *float64 `json:"value,omitempty"`
 }
 
 type batchStepResponse struct {
@@ -85,8 +96,12 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	}
 	if strings.Contains(msg, "outside [") ||
-		strings.Contains(msg, "not journalable") {
+		strings.Contains(msg, "not journalable") ||
+		strings.Contains(msg, "session id") {
 		return http.StatusBadRequest
+	}
+	if strings.Contains(msg, "already exists") {
+		return http.StatusConflict
 	}
 	if strings.Contains(msg, "failed closed") {
 		return http.StatusServiceUnavailable

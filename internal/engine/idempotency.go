@@ -62,12 +62,14 @@ func ValidateIdemKey(key string) error {
 // idemEntry is one committed operation addressable by its key. The
 // entry stores indices into the session's history plus the journaled
 // cache-hit flags — everything needed to rebuild the original response
-// exactly.
+// exactly. Stream entries are registered progressively: the entry's n
+// grows as each streamed step commits, so a retried key replays exactly
+// the prefix the original request durably committed.
 type idemEntry struct {
-	op    string // "step" | "batch" | "epoch"
-	first int    // index of the first committed step (step/batch)
+	op    string // "step" | "batch" | "stream" | "epoch"
+	first int    // index of the first committed step (step/batch/stream)
 	n     int    // committed step count (step: 1)
-	k     int    // requested batch width (batch; part of the request shape)
+	k     int    // requested batch width (batch/stream; part of the request shape)
 	epoch int    // resulting epoch (epoch op)
 	hits  []bool // journaled per-step cache-hit flags
 }
@@ -83,7 +85,7 @@ func (s *Session) lookupIdem(key, op string, k int) (idemEntry, bool, error) {
 	if !ok {
 		return idemEntry{}, false, nil
 	}
-	if ent.op != op || (op == "batch" && ent.k != k) {
+	if ent.op != op || ((op == "batch" || op == "stream") && ent.k != k) {
 		return idemEntry{}, false, fmt.Errorf("%w: key %q committed a %q operation", ErrIdemConflict, key, ent.op)
 	}
 	return ent, true, nil

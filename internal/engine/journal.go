@@ -40,6 +40,16 @@ import (
 //	 "actions":[...],"lies":[...]}                    proposals whose evaluation failed:
 //	                                                  the strategy consumed Next/lie calls
 //	                                                  but no observation was committed
+//	{"t":"spropose","seq":N,"epoch":E,"k":K,
+//	 "actions":[...],"lies":[...],"key":"..."}        a streaming batch's proposals, durable
+//	                                                  before any evaluation runs; followed by
+//	                                                  0..len(actions) scommit records (fewer
+//	                                                  than len(actions) means the stream
+//	                                                  failed or crashed mid-flight — the
+//	                                                  uncommitted suffix aborts implicitly)
+//	{"t":"scommit","seq":N,"epoch":E,"iter":I,
+//	 "actions":[a],"sims":[x],"obs":[d],"hits":[b]}   one streamed step, committed in
+//	                                                  proposal order as its evaluation landed
 //	{"t":"epoch","seq":N,"epoch":E,"key":"..."}       platform epoch advance
 //
 // key is the client's idempotency key when the committing request

@@ -5,6 +5,16 @@ import (
 	"math"
 )
 
+// streamReplayState carries one streaming batch across its journal
+// records during replay.
+type streamReplayState struct {
+	key     string
+	k       int
+	first   int   // history index of the stream's first committed step
+	pending []int // proposed actions not yet consumed by an scommit
+	hits    []bool
+}
+
 // RecoveredSession reports one session restored by Recover.
 type RecoveredSession struct {
 	ID         string `json:"id"`
@@ -88,7 +98,15 @@ func (e *Engine) Recover() ([]RecoveredSession, error) {
 // nothing else can reach it.
 func (e *Engine) replaySession(s *Session, ops []journalRecord) error {
 	fp := s.ev.Fingerprint()
+	// stream tracks the in-progress streaming batch during replay: the
+	// spropose record opens it, each scommit consumes its oldest pending
+	// proposal, and any other record (or the end of the journal)
+	// abandons the uncommitted suffix — exactly the live semantics.
+	var stream *streamReplayState
 	for _, rec := range ops {
+		if rec.T != "scommit" {
+			stream = nil
+		}
 		switch rec.T {
 		case "step", "batch":
 			if rec.Epoch != s.epoch {
@@ -132,6 +150,52 @@ func (e *Engine) replaySession(s *Session, ops []journalRecord) error {
 			// evaluations then failed; no observation committed.
 			if err := s.driver.Replay(rec.Actions, rec.Lies); err != nil {
 				return fmt.Errorf("op %d (abort): %w", rec.Seq, err)
+			}
+		case "spropose":
+			if rec.Epoch != s.epoch {
+				return fmt.Errorf("op %d: journaled epoch %d, replay at epoch %d",
+					rec.Seq, rec.Epoch, s.epoch)
+			}
+			if err := s.driver.Replay(rec.Actions, rec.Lies); err != nil {
+				return fmt.Errorf("op %d (spropose): %w", rec.Seq, err)
+			}
+			stream = &streamReplayState{
+				key: rec.Key, k: rec.K, first: len(s.actions),
+				pending: rec.Actions,
+			}
+		case "scommit":
+			if stream == nil || len(stream.pending) == 0 {
+				return fmt.Errorf("op %d: scommit without a pending stream proposal", rec.Seq)
+			}
+			if rec.Epoch != s.epoch {
+				return fmt.Errorf("op %d: journaled epoch %d, replay at epoch %d",
+					rec.Seq, rec.Epoch, s.epoch)
+			}
+			if len(rec.Actions) != 1 || len(rec.Sims) != 1 || len(rec.Obs) != 1 {
+				return fmt.Errorf("op %d: scommit carries %d actions / %d sims / %d obs",
+					rec.Seq, len(rec.Actions), len(rec.Sims), len(rec.Obs))
+			}
+			a := stream.pending[0]
+			if rec.Actions[0] != a {
+				return fmt.Errorf("op %d: scommit action %d, stream proposed %d",
+					rec.Seq, rec.Actions[0], a)
+			}
+			d := s.observe(rec.Sims[0])
+			if math.Float64bits(d) != math.Float64bits(rec.Obs[0]) {
+				return fmt.Errorf("op %d action %d: replayed observation %v, journal says %v (journal and binary disagree)",
+					rec.Seq, a, d, rec.Obs[0])
+			}
+			s.driver.Observe(a, d)
+			s.record(a, d, rec.Sims[0])
+			e.cache.Prime(CacheKey{Fingerprint: fp, Epoch: rec.Epoch, Action: a}, rec.Sims[0])
+			stream.pending = stream.pending[1:]
+			hit := len(rec.Hits) == 1 && rec.Hits[0]
+			stream.hits = append(stream.hits, hit)
+			if stream.key != "" {
+				s.registerIdem(stream.key, idemEntry{
+					op: "stream", first: stream.first, n: len(stream.hits), k: stream.k,
+					hits: append([]bool(nil), stream.hits...),
+				})
 			}
 		case "epoch":
 			s.epoch = rec.Epoch

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 
 	"phasetune/internal/harness"
@@ -49,6 +50,11 @@ type Session struct {
 
 // SessionConfig describes a session to create.
 type SessionConfig struct {
+	// ID, when non-empty, is the client-assigned session id (the shard
+	// router mints these so a session's placement is a pure function of
+	// its id). Must satisfy ValidateSessionID; creating a second session
+	// with a live id fails. Empty lets the engine mint "s<n>".
+	ID string
 	// ScenarioKey selects a paper scenario (a..p); Scenario overrides it
 	// with an explicit platform description.
 	ScenarioKey string
@@ -62,6 +68,35 @@ type SessionConfig struct {
 	Tiles    int
 	Exact    bool
 	GenNodes int
+}
+
+// maxSessionIDLen bounds client-assigned session ids (ids become
+// journal file names and ride in every URL).
+const maxSessionIDLen = 64
+
+// ValidateSessionID checks a client-assigned session id: non-empty,
+// bounded, restricted to [A-Za-z0-9._-], and not starting with a dot
+// (ids name journal files, so no path separators or dotfiles).
+func ValidateSessionID(id string) error {
+	if id == "" {
+		return fmt.Errorf("engine: session id outside [1, %d] bytes", maxSessionIDLen)
+	}
+	if len(id) > maxSessionIDLen {
+		return fmt.Errorf("engine: session id outside [1, %d] bytes", maxSessionIDLen)
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("engine: session id must not start with '.'")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("engine: session id holds invalid byte 0x%02x at %d", c, i)
+		}
+	}
+	return nil
 }
 
 // StepResult is one completed tuning step.

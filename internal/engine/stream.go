@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"phasetune/internal/obsv"
+)
+
+// Streaming commit: the constant-liar driver already decouples proposing
+// from observing (NextBatch hands out k proposals with recorded lies),
+// but BatchStep commits at a batch barrier — the slowest evaluation
+// gates every result. StreamBatchStepIdem removes the barrier: all
+// proposals are journaled up front (one "spropose" record carrying the
+// actions and lies, so a crash at any point replays the identical
+// strategy state), evaluations fan out in parallel, and each step
+// commits — noise drawn, strategy informed, history appended, "scommit"
+// record fsync'd — the moment it becomes the oldest uncommitted
+// proposal. Committing strictly in proposal order is what preserves the
+// byte-identical observation-log guarantee: the noise stream is
+// consumed in the same order as a sequential or batch run, so a
+// streamed session reproduces a batch-stepped one bit-for-bit at any
+// worker count.
+
+// StreamBatchStepIdem advances a session by up to k speculative
+// iterations, delivering each step through onStep as it commits instead
+// of waiting for the whole batch. onStart (optional) fires once after
+// the operation is admitted, before the first onStep, with
+// replayed=true when an idempotency key replays previously committed
+// steps. The returned count is the number of steps delivered.
+//
+// On a mid-stream evaluation failure the committed prefix stays
+// committed (each step was already durable and delivered) and the
+// error is returned after the last good step; the journaled "spropose"
+// record makes recovery replay the consumed proposals exactly, like a
+// batch abort. An idempotency key registers progressively: a retried
+// key replays exactly the prefix that durably committed, while a stream
+// that failed before its first commit re-attempts from scratch.
+func (e *Engine) StreamBatchStepIdem(ctx context.Context, id string, k int, key string, onStart func(replayed bool), onStep func(StepResult)) (int, bool, error) {
+	s, err := e.checkout(id)
+	if err != nil {
+		return 0, false, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent, found, err := s.lookupIdem(key, "stream", k); err != nil {
+		return 0, false, err
+	} else if found {
+		if onStart != nil {
+			onStart(true)
+		}
+		steps := s.replaySteps(ent)
+		for _, r := range steps {
+			onStep(r)
+		}
+		return len(steps), true, nil
+	}
+	if s.broken {
+		return 0, false, fmt.Errorf("engine: session %q failed closed on a journal error", id)
+	}
+	sc := obsv.FromContext(ctx)
+	var streamArgs map[string]any
+	endStream := sc.Span("session", "session.stream-step")
+	defer func() { endStream(streamArgs) }()
+	epoch := s.epoch
+	fp := s.ev.Fingerprint()
+	endPropose := sc.Span("strategy", "strategy.propose-batch")
+	actions, lies := s.driver.NextBatch(k, func(a int) (float64, bool) {
+		return e.cache.Peek(CacheKey{Fingerprint: fp, Epoch: epoch, Action: a})
+	})
+	s.props.Add(float64(len(actions)))
+	if sc != nil {
+		endPropose(map[string]any{"k": k, "proposed": len(actions)})
+	} else {
+		endPropose(nil)
+	}
+
+	// The proposals and their lies become durable before any evaluation
+	// runs: whatever happens next, recovery replays this exact
+	// Next/lie sequence, and committed steps stack on top via their own
+	// scommit records.
+	if err := e.commitOp(s, journalRecord{
+		T: "spropose", Epoch: epoch, K: k, Actions: actions, Lies: lies, Key: key,
+	}); err != nil {
+		return 0, false, err
+	}
+	if onStart != nil {
+		onStart(false)
+	}
+
+	type evalOut struct {
+		v   float64
+		hit bool
+		err error
+	}
+	results := make([]chan evalOut, len(actions))
+	for i := range results {
+		results[i] = make(chan evalOut, 1)
+	}
+	for i := range actions {
+		go func(i int) {
+			v, hit, err := e.eval(ctx, s, epoch, actions[i])
+			results[i] <- evalOut{v: v, hit: hit, err: err}
+		}(i)
+	}
+
+	firstIter := len(s.actions)
+	hits := make([]bool, 0, len(actions))
+	committed := 0
+	for i, a := range actions {
+		out := <-results[i]
+		if out.err != nil {
+			// The committed prefix is durable and already delivered;
+			// later evaluations (if any succeed) only warm the cache.
+			// No abort record: spropose already captured the consumed
+			// proposals, so recovery state is exact.
+			return committed, false, out.err
+		}
+		d := s.observe(out.v)
+		s.driver.Observe(a, d)
+		res := s.record(a, d, out.v)
+		res.CacheHit = out.hit
+		if err := e.commitOp(s, journalRecord{
+			T: "scommit", Epoch: epoch, Iter: res.Iter,
+			Actions: []int{a}, Sims: []float64{out.v}, Obs: []float64{d}, Hits: []bool{out.hit},
+		}); err != nil {
+			return committed, false, err
+		}
+		committed++
+		hits = append(hits, out.hit)
+		// Progressive registration: after each durable step the key
+		// replays exactly this prefix.
+		s.registerIdem(key, idemEntry{
+			op: "stream", first: firstIter, n: committed, k: k,
+			hits: append([]bool(nil), hits...),
+		})
+		onStep(res)
+	}
+	if sc != nil {
+		streamArgs = map[string]any{"k": k, "steps": committed, "first_iter": firstIter}
+	}
+	return committed, false, nil
+}

@@ -15,8 +15,8 @@ import (
 	"phasetune/internal/lint/determinism"
 	"phasetune/internal/lint/errdrop"
 	"phasetune/internal/lint/floatsafe"
-	"phasetune/internal/lint/strategylock"
 	"phasetune/internal/lint/load"
+	"phasetune/internal/lint/strategylock"
 )
 
 // Analyzers returns the full registry, in report order.
@@ -55,6 +55,11 @@ var simPackages = map[string]bool{
 	// //lint:allow determinism directive at the call site.
 	"phasetune/internal/client":   true,
 	"phasetune/internal/chaosnet": true,
+	// The sharding layer routes by a pure hash ring and replays by
+	// idempotency key, so two routers over the same fleet must behave
+	// identically. Its health loop and peer probes are the only timed
+	// code, each behind an injected clock or a //lint:allow directive.
+	"phasetune/internal/shard": true,
 }
 
 // inScope reports whether analyzer a runs over package path. Packages

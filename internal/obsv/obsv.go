@@ -34,6 +34,9 @@ type Telemetry struct {
 	CacheHits           *Counter
 	CacheMisses         *Counter
 	CacheShares         *Counter // hits served by an in-flight singleflight
+	PeerHits            *Counter // local misses answered by a shard peer's cache
+	PeerMisses          *Counter // peer lookups that found nothing (computed locally)
+	PeerShares          *Counter // completed values served to shard peers via /v1/cache/peek
 	JournalAppend       *Histogram // seconds per fsync'd journal append
 	SnapshotRotations   *Counter
 	RecoverySessions    *Counter
@@ -68,6 +71,12 @@ func NewTelemetry(nowNanos func() int64) *Telemetry {
 			"evaluation-cache requests that triggered a computation", nil),
 		CacheShares: reg.Counter("phasetune_cache_singleflight_shares_total",
 			"cache hits that joined an in-flight computation instead of a completed value", nil),
+		PeerHits: reg.Counter("phasetune_peer_cache_hits_total",
+			"local cache misses answered by a shard peer's completed evaluation", nil),
+		PeerMisses: reg.Counter("phasetune_peer_cache_misses_total",
+			"peer lookups that found nothing, falling back to local computation", nil),
+		PeerShares: reg.Counter("phasetune_peer_cache_shares_total",
+			"completed evaluations served to shard peers via /v1/cache/peek", nil),
 		JournalAppend: reg.Histogram("phasetune_journal_append_seconds",
 			"wall-clock seconds per journal append including the fsync", DurationBuckets, nil),
 		SnapshotRotations: reg.Counter("phasetune_journal_snapshot_rotations_total",

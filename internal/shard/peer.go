@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"phasetune/internal/engine"
+)
+
+// PeerSet answers a worker's evaluation-cache misses from its peers.
+// Lookup implements engine.PeerLookup: on a local miss the engine asks
+// here before simulating, and a peer that already evaluated the same
+// (fingerprint, epoch, action) hands the bit-exact makespan over HTTP.
+//
+// The set is fail-open by construction — a slow, dead or empty peer is
+// a miss, never an error: the worst a broken fleet can do is make a
+// worker compute what it would have computed anyway. Peers are
+// re-pointable at runtime (SetPeers) so failover repointing reaches the
+// cache layer too.
+type PeerSet struct {
+	client *http.Client
+	peers  atomic.Pointer[[]string]
+}
+
+// DefaultPeerTimeout bounds each peer probe. A probe races a local
+// simulation, so the budget is small: past this, computing locally is
+// the better spend.
+const DefaultPeerTimeout = 75 * time.Millisecond
+
+// NewPeerSet returns an empty set whose probes time out after timeout
+// (<= 0 selects DefaultPeerTimeout).
+func NewPeerSet(timeout time.Duration) *PeerSet {
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	p := &PeerSet{client: &http.Client{Timeout: timeout}}
+	p.SetPeers(nil)
+	return p
+}
+
+// SetPeers replaces the peer base URLs (e.g. "http://127.0.0.1:9101").
+// Safe under concurrent Lookups; in-flight probes finish against the
+// old list.
+func (p *PeerSet) SetPeers(addrs []string) {
+	cp := append([]string(nil), addrs...)
+	p.peers.Store(&cp)
+}
+
+// Peers returns a copy of the current peer list.
+func (p *PeerSet) Peers() []string {
+	return append([]string(nil), (*p.peers.Load())...)
+}
+
+// peekAnswer mirrors the engine's /v1/cache/peek response shape.
+type peekAnswer struct {
+	Found bool     `json:"found"`
+	Value *float64 `json:"value"`
+}
+
+// Lookup probes every peer concurrently and returns the first hit.
+// JSON carries the float64 in Go's shortest round-trip representation,
+// so the returned value is bit-identical to the peer's cache entry —
+// which is what keeps observation logs byte-identical whether a value
+// was computed locally or served by a peer.
+func (p *PeerSet) Lookup(ctx context.Context, key engine.CacheKey) (float64, bool) {
+	peers := *p.peers.Load()
+	if len(peers) == 0 {
+		return 0, false
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // a hit abandons the slower probes
+
+	type answer struct {
+		v  float64
+		ok bool
+	}
+	ch := make(chan answer, len(peers))
+	for _, base := range peers {
+		go func(base string) {
+			v, ok := p.probe(ctx, base, key)
+			ch <- answer{v, ok}
+		}(base)
+	}
+	for range peers {
+		if a := <-ch; a.ok {
+			return a.v, true
+		}
+	}
+	return 0, false
+}
+
+// probe asks one peer; every failure mode is a miss.
+func (p *PeerSet) probe(ctx context.Context, base string, key engine.CacheKey) (float64, bool) {
+	u := fmt.Sprintf("%s/v1/cache/peek?fp=%s&epoch=%d&action=%d",
+		base, url.QueryEscape(key.Fingerprint), key.Epoch, key.Action)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var out peekAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || !out.Found || out.Value == nil {
+		return 0, false
+	}
+	return *out.Value, true
+}

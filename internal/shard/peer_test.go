@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"phasetune/internal/engine"
+)
+
+func TestPeerSetLookup(t *testing.T) {
+	e := engine.New(1)
+	key := engine.CacheKey{Fingerprint: "fp|x", Epoch: 3, Action: 11}
+	want := 42.000000000000517 // a value whose bits round-trip matters for
+	e.Cache().Prime(key, want)
+	srv := httptest.NewServer(engine.NewServer(e))
+	defer srv.Close()
+
+	ps := NewPeerSet(time.Second)
+	ctx := context.Background()
+
+	// Empty set: trivially a miss.
+	if _, ok := ps.Lookup(ctx, key); ok {
+		t.Fatal("hit with no peers")
+	}
+
+	ps.SetPeers([]string{srv.URL})
+	v, ok := ps.Lookup(ctx, key)
+	if !ok {
+		t.Fatal("miss on a primed peer")
+	}
+	if math.Float64bits(v) != math.Float64bits(want) {
+		t.Fatalf("peer value %v not bit-identical to %v", v, want)
+	}
+
+	// A key nobody holds is a miss.
+	if _, ok := ps.Lookup(ctx, engine.CacheKey{Fingerprint: "fp|x", Epoch: 3, Action: 99}); ok {
+		t.Fatal("hit on an unprimed key")
+	}
+
+	// A dead peer in the set must not poison the probe: the live peer
+	// still answers, and a set of only dead peers fails open to a miss.
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	ps.SetPeers([]string{dead.URL, srv.URL})
+	if _, ok := ps.Lookup(ctx, key); !ok {
+		t.Fatal("dead peer masked the live peer's answer")
+	}
+	ps.SetPeers([]string{dead.URL})
+	if _, ok := ps.Lookup(ctx, key); ok {
+		t.Fatal("hit from a dead peer")
+	}
+
+	if got := ps.Peers(); len(got) != 1 || got[0] != dead.URL {
+		t.Fatalf("Peers() = %v", got)
+	}
+}

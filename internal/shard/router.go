@@ -1,0 +1,563 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phasetune/internal/obsv"
+)
+
+// Shard names one worker process. Name is the routing identity (hashed
+// onto the ring, stable for the fleet's lifetime); Addr is the current
+// base URL and may be repointed at a replacement process without moving
+// any session.
+type Shard struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// Options configures a Router.
+type Options struct {
+	// Shards is the fleet. Names must be unique; the set is fixed for
+	// the router's lifetime (repoint addresses via POST /admin/shards).
+	Shards []Shard
+	// Replicas is the ring's virtual-node count per shard (<= 0 selects
+	// DefaultReplicas).
+	Replicas int
+	// Seed drives minted session ids and Retry-After jitter.
+	Seed int64
+	// HealthInterval is the background health-check cadence (<= 0
+	// selects 500ms; set very large to effectively disable the loop —
+	// CheckNow still probes on demand).
+	HealthInterval time.Duration
+	// HealthTimeout bounds each health probe and each /metrics scrape
+	// (<= 0 selects 1s).
+	HealthTimeout time.Duration
+	// Client performs the proxied requests. Nil selects a client with
+	// no overall timeout: proxied evaluations and ndjson streams run as
+	// long as the worker allows.
+	Client *http.Client
+}
+
+// shardState is one shard's mutable runtime state. The ring owns the
+// name; everything here is swappable while requests are in flight.
+type shardState struct {
+	name   string
+	addr   atomic.Value // string
+	up     atomic.Bool
+	reason atomic.Value // string; why the shard is down
+}
+
+func (st *shardState) addrStr() string   { return st.addr.Load().(string) }
+func (st *shardState) reasonStr() string { return st.reason.Load().(string) }
+
+func (st *shardState) view() Shard { return Shard{Name: st.name, Addr: st.addrStr()} }
+
+// Router fronts a fleet of tuning workers with one address. Session-
+// addressed requests consistent-hash the session id onto a shard;
+// session creation mints an id first (or honors a client-assigned one)
+// so the create lands on the shard that will own every later request.
+// Sweeps hash their Idempotency-Key so a retry replays on the shard
+// holding the committed result. /metrics aggregates the fleet with a
+// shard label; /readyz is ready only when every shard is.
+//
+// The router holds no tuning state: killing it loses nothing, and two
+// routers over the same fleet route identically (the ring is a pure
+// function of the shard names).
+type Router struct {
+	mux    *http.ServeMux
+	ring   *Ring
+	shards map[string]*shardState
+	client *http.Client
+	probe  *http.Client // health checks + metrics scrapes, short timeout
+
+	seed     uint64
+	idSeq    atomic.Uint64
+	retrySeq atomic.Uint64
+	rrSeq    atomic.Uint64 // round-robin for unkeyed sweeps
+
+	reg      *obsv.Registry
+	proxied  func(shard string) *obsv.Counter
+	errors   *obsv.Counter
+	failover *obsv.Counter
+
+	interval  time.Duration
+	stop      chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a Router over the fleet and starts its health loop. Close
+// stops the loop. All shards start as up — the first health pass (or
+// the first failed proxy) corrects that within HealthInterval.
+func New(opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one shard")
+	}
+	names := make([]string, 0, len(opts.Shards))
+	for _, s := range opts.Shards {
+		if s.Addr == "" {
+			return nil, fmt.Errorf("shard: shard %q has no address", s.Name)
+		}
+		names = append(names, s.Name)
+	}
+	ring, err := NewRing(names, opts.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = 500 * time.Millisecond
+	}
+	if opts.HealthTimeout <= 0 {
+		opts.HealthTimeout = time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	rt := &Router{
+		mux:      http.NewServeMux(),
+		ring:     ring,
+		shards:   make(map[string]*shardState, len(opts.Shards)),
+		client:   client,
+		probe:    &http.Client{Timeout: opts.HealthTimeout},
+		seed:     uint64(opts.Seed),
+		reg:      obsv.NewRegistry(),
+		interval: opts.HealthInterval,
+		stop:     make(chan struct{}),
+	}
+	for _, s := range opts.Shards {
+		st := &shardState{name: s.Name}
+		st.addr.Store(s.Addr)
+		st.reason.Store("")
+		st.up.Store(true)
+		rt.shards[s.Name] = st
+	}
+	rt.proxied = func(shard string) *obsv.Counter {
+		return rt.reg.Counter("phasetune_router_proxied_total",
+			"requests proxied to each shard", obsv.Labels{"shard": shard})
+	}
+	rt.errors = rt.reg.Counter("phasetune_router_errors_total",
+		"proxy attempts that failed to reach their shard", nil)
+	rt.failover = rt.reg.Counter("phasetune_router_repoints_total",
+		"shard address repoints via /admin/shards", nil)
+	rt.routes()
+
+	go func() {
+		ticker := time.NewTicker(rt.interval) //lint:allow determinism health checks are wall-clock by nature; tests drive CheckNow directly
+		defer ticker.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-ticker.C:
+				rt.CheckNow()
+			}
+		}
+	}()
+	return rt, nil
+}
+
+// Close stops the health loop. Idempotent.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.stop) })
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// sortedStates returns the shard states in name order — every
+// fleet-wide iteration goes through here so output and probe order are
+// deterministic.
+func (rt *Router) sortedStates() []*shardState {
+	out := make([]*shardState, 0, len(rt.shards))
+	for _, name := range rt.ring.Names() {
+		out = append(out, rt.shards[name])
+	}
+	return out
+}
+
+// CheckNow probes every shard's /readyz once, concurrently, and
+// updates the up/down state. Safe to call from anywhere; the health
+// loop calls it on its ticker.
+func (rt *Router) CheckNow() {
+	states := rt.sortedStates()
+	var wg sync.WaitGroup
+	for _, st := range states {
+		wg.Add(1)
+		go func(st *shardState) {
+			defer wg.Done()
+			rt.checkOne(st)
+		}(st)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) checkOne(st *shardState) {
+	resp, err := rt.probe.Get(st.addrStr() + "/readyz")
+	if err != nil {
+		st.up.Store(false)
+		st.reason.Store("readyz: " + err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		st.up.Store(false)
+		st.reason.Store(fmt.Sprintf("readyz: status %d", resp.StatusCode))
+		return
+	}
+	st.up.Store(true)
+	st.reason.Store("")
+}
+
+// shardFor maps a routing key onto its shard's state.
+func (rt *Router) shardFor(key string) *shardState {
+	return rt.shards[rt.ring.Lookup(key)]
+}
+
+// Jittered Retry-After, same policy and bounds as the worker: spread
+// rejected clients over [1, 5] seconds so they do not return in
+// lockstep.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 5
+)
+
+func (rt *Router) setRetryAfter(w http.ResponseWriter) {
+	n := splitmix64(rt.seed + rt.retrySeq.Add(1))
+	w.Header().Set("Retry-After",
+		strconv.Itoa(retryAfterMin+int(n%uint64(retryAfterMax-retryAfterMin+1))))
+}
+
+func (rt *Router) errJSON(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable || status == http.StatusBadGateway ||
+		status == http.StatusTooManyRequests {
+		rt.setRetryAfter(w)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// hopHeaders are stripped in both directions: they describe one TCP
+// hop, not the end-to-end exchange.
+var hopHeaders = []string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	for _, h := range hopHeaders {
+		dst.Del(h)
+	}
+}
+
+// proxy forwards the request to st, streaming the response through
+// with a flush per chunk (the worker's stream-step emits ndjson lines
+// that must not sit in a proxy buffer until the stream ends).
+// Idempotency-Key and every other end-to-end header pass through
+// untouched in both directions.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, st *shardState) {
+	if st == nil {
+		rt.errJSON(w, http.StatusServiceUnavailable, fmt.Errorf("no shard for request"))
+		return
+	}
+	if !st.up.Load() {
+		rt.errJSON(w, http.StatusServiceUnavailable,
+			fmt.Errorf("shard %s down (%s); retry later", st.name, st.reasonStr()))
+		return
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method,
+		st.addrStr()+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		rt.errJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	copyHeaders(out.Header, r.Header)
+	out.ContentLength = r.ContentLength
+
+	resp, err := rt.client.Do(out)
+	if err != nil {
+		// The shard was marked up but is not answering: record the
+		// failure so routing stops sending work there before the next
+		// health tick, and hand the client a retryable 502.
+		st.up.Store(false)
+		st.reason.Store("proxy: " + err.Error())
+		rt.errors.Inc()
+		rt.errJSON(w, http.StatusBadGateway,
+			fmt.Errorf("shard %s unreachable: %v", st.name, err))
+		return
+	}
+	defer resp.Body.Close()
+	rt.proxied(st.name).Inc()
+
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Phasetune-Shard", st.name)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client went away; nothing to clean up
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// mintID returns a fresh router-minted session id: 16 hex digits under
+// an "r" prefix, valid under the engine's session-id rules and
+// collision-free per router (seeded counter stream).
+func (rt *Router) mintID() string {
+	return fmt.Sprintf("r%016x", splitmix64(rt.seed^rt.idSeq.Add(1)))
+}
+
+// maxCreateBody bounds the create-session body the router is willing
+// to decode for id injection; the worker enforces its own limit too.
+const maxCreateBody = 1 << 20
+
+func (rt *Router) routes() {
+	// Session creation: the router must know the id before it can pick
+	// the shard, so a missing id is minted here and injected into the
+	// forwarded body. A client-assigned id passes through and routes by
+	// its own hash.
+	rt.mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCreateBody))
+		if err != nil {
+			rt.errJSON(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %w", err))
+			return
+		}
+		fields := map[string]any{}
+		if len(bytes.TrimSpace(body)) > 0 {
+			if err := json.Unmarshal(body, &fields); err != nil {
+				rt.errJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+				return
+			}
+		}
+		id, _ := fields["id"].(string)
+		if id == "" {
+			id = rt.mintID()
+			fields["id"] = id
+		}
+		forward, err := json.Marshal(fields)
+		if err != nil {
+			rt.errJSON(w, http.StatusInternalServerError, err)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(forward))
+		r2.ContentLength = int64(len(forward))
+		rt.proxy(w, r2, rt.shardFor(id))
+	})
+
+	// Everything addressed to a session routes by the id's hash — the
+	// single pattern covers GET /v1/sessions/{id} and every method on
+	// its sub-resources (step, batch-step, stream-step, advance-epoch,
+	// trace).
+	bySession := func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, rt.shardFor(r.PathValue("id")))
+	}
+	rt.mux.HandleFunc("/v1/sessions/{id}", bySession)
+	rt.mux.HandleFunc("/v1/sessions/{id}/{op}", bySession)
+
+	// Sweeps are sessionless: a keyed sweep hashes its Idempotency-Key
+	// so the retry lands on the shard holding the committed result; an
+	// unkeyed one round-robins.
+	rt.mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var st *shardState
+		if key := r.Header.Get("Idempotency-Key"); key != "" {
+			st = rt.shardFor("sweep|" + key)
+		} else {
+			names := rt.ring.Names()
+			st = rt.shards[names[rt.rrSeq.Add(1)%uint64(len(names))]]
+		}
+		rt.proxy(w, r, st)
+	})
+
+	rt.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		rt.serveMetrics(w)
+	})
+
+	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		rt.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	// Ready iff every shard is ready: a partially-up fleet would
+	// blackhole the sessions hashed onto the dead shards, so the router
+	// only advertises readiness it can back for every key.
+	rt.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		var down []map[string]string
+		for _, st := range rt.sortedStates() {
+			if !st.up.Load() {
+				down = append(down, map[string]string{
+					"name": st.name, "addr": st.addrStr(), "reason": st.reasonStr(),
+				})
+			}
+		}
+		if len(down) > 0 {
+			rt.setRetryAfter(w)
+			rt.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded", "down": down,
+			})
+			return
+		}
+		rt.writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "shards": len(rt.shards),
+		})
+	})
+
+	rt.mux.HandleFunc("GET /admin/shards", func(w http.ResponseWriter, r *http.Request) {
+		type view struct {
+			Shard
+			Up     bool   `json:"up"`
+			Reason string `json:"reason,omitempty"`
+		}
+		out := make([]view, 0, len(rt.shards))
+		for _, st := range rt.sortedStates() {
+			out = append(out, view{Shard: st.view(), Up: st.up.Load(), Reason: st.reasonStr()})
+		}
+		rt.writeJSON(w, http.StatusOK, out)
+	})
+
+	// Repoint a shard name at a replacement address — the failover
+	// second half: restart the worker with -recover on a new port, then
+	// POST the new address here. The name's ring position is untouched,
+	// so every session the dead process owned routes to the recovered
+	// one. The response reflects a synchronous health probe of the new
+	// address.
+	rt.mux.HandleFunc("POST /admin/shards", func(w http.ResponseWriter, r *http.Request) {
+		var req Shard
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCreateBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			rt.errJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		st, ok := rt.shards[req.Name]
+		if !ok {
+			rt.errJSON(w, http.StatusNotFound,
+				fmt.Errorf("unknown shard %q (membership is fixed; only addresses repoint)", req.Name))
+			return
+		}
+		if req.Addr == "" {
+			rt.errJSON(w, http.StatusBadRequest, fmt.Errorf("shard %q: empty address", req.Name))
+			return
+		}
+		st.addr.Store(req.Addr)
+		rt.failover.Inc()
+		rt.checkOne(st) // synchronous: the response reports the new address's real state
+		rt.writeJSON(w, http.StatusOK, map[string]any{
+			"name": st.name, "addr": st.addrStr(), "up": st.up.Load(), "reason": st.reasonStr(),
+		})
+	})
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// prometheusContentType matches the worker's exposition version.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// serveMetrics aggregates the fleet: each shard's Prometheus text is
+// scraped and re-emitted with a shard="<name>" label spliced into
+// every sample (HELP/TYPE lines deduplicated across shards), then the
+// router's own counters follow. One scrape gives fleet-wide totals
+// without a separate aggregation service.
+func (rt *Router) serveMetrics(w http.ResponseWriter) {
+	var buf bytes.Buffer
+	seenMeta := map[string]bool{}
+	for _, st := range rt.sortedStates() {
+		resp, err := rt.probe.Get(st.addrStr() + "/metrics")
+		if err != nil {
+			rt.errors.Inc()
+			fmt.Fprintf(&buf, "# shard %s: scrape failed: %s\n", st.name, err)
+			continue
+		}
+		rewriteMetrics(&buf, resp.Body, st.name, seenMeta)
+		_ = resp.Body.Close()
+	}
+	if err := rt.reg.WritePrometheus(&buf); err != nil {
+		rt.errJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", prometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}
+
+// rewriteMetrics copies one shard's exposition text into buf, tagging
+// every sample line with shard="<name>" and passing HELP/TYPE comments
+// through once per metric across the whole aggregation.
+func rewriteMetrics(buf *bytes.Buffer, r io.Reader, shard string, seenMeta map[string]bool) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			// "# HELP <name> ..." / "# TYPE <name> ..." — keep the first
+			// shard's copy, drop repeats.
+			f := strings.Fields(line)
+			if len(f) >= 3 && (f[1] == "HELP" || f[1] == "TYPE") {
+				metaKey := f[1] + " " + f[2]
+				if seenMeta[metaKey] {
+					continue
+				}
+				seenMeta[metaKey] = true
+			}
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+		default:
+			buf.WriteString(injectShardLabel(line, shard))
+			buf.WriteByte('\n')
+		}
+	}
+}
+
+// injectShardLabel splices shard="<name>" into one sample line,
+// handling both the bare (`metric value`) and labeled
+// (`metric{a="b"} value`) forms.
+func injectShardLabel(line, shard string) string {
+	label := `shard="` + shard + `"`
+	if i := strings.IndexByte(line, '{'); i >= 0 && i < strings.IndexByte(line, ' ') {
+		if line[i+1] == '}' { // metric{} value
+			return line[:i+1] + label + line[i+1:]
+		}
+		return line[:i+1] + label + "," + line[i+1:]
+	}
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return line // not a sample line; pass through untouched
+	}
+	return line[:i] + "{" + label + "}" + line[i:]
+}

@@ -1,0 +1,526 @@
+package phasetune_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phasetune/internal/engine"
+	"phasetune/internal/shard"
+)
+
+// The sharded chaos acceptance test: a phasetune-shard router fronts a
+// fleet of journaled workers with peer-wired evaluation caches; clients
+// drive the chaos scripts through the router with idempotency keys
+// while the worker owning session s1 is SIGKILLed mid-run, restarted
+// with -recover on a fresh port, and repointed via POST /admin/shards.
+// Clients never see the failover — the router answers 502/503 while the
+// shard is down and retries with the same key replay committed ops —
+// and every final best-n answer must be bit-identical to the
+// uninterrupted single-process reference. Keyed sweeps that hash onto
+// the victim must return bit-identical tuning results before, during,
+// and after the failover, and (at shards>1) twin sessions on different
+// shards must agree bit-for-bit while the second one's evaluations are
+// answered by the first shard's cache over the peer protocol.
+
+// startShardRouter launches a phasetune-shard binary; its /readyz turns
+// 200 only once every worker behind it is ready.
+func startShardRouter(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	return startProc(t, bin, "phasetune-shard listening on ", args...)
+}
+
+// shardReq performs one HTTP request, optionally carrying an
+// Idempotency-Key, and returns the status, the X-Phasetune-Shard
+// routing header, and the raw body.
+func shardReq(method, url, key string, body []byte) (int, string, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Phasetune-Shard"), data, nil
+}
+
+// shardRetry repeats the request across the fault window: transport
+// errors, 429 backpressure, and the 502/503 the router serves while a
+// shard is down or being repointed all retry with the same idempotency
+// key, so a commit that lost its response is replayed, not re-applied.
+// Safe from non-test goroutines: failures come back as errors.
+func shardRetry(tag, method, url, key string, body []byte) (string, []byte, error) {
+	deadline := time.Now().Add(2 * time.Minute)
+	var lastStatus int
+	var lastErr error
+	var lastBody []byte
+	for time.Now().Before(deadline) {
+		status, sh, data, err := shardReq(method, url, key, body)
+		if err == nil && status < 300 {
+			return sh, data, nil
+		}
+		if err == nil && status != http.StatusTooManyRequests &&
+			status != http.StatusBadGateway && status != http.StatusServiceUnavailable {
+			return "", nil, fmt.Errorf("%s: status %d: %s", tag, status, data)
+		}
+		lastStatus, lastErr, lastBody = status, err, data
+		time.Sleep(25 * time.Millisecond)
+	}
+	return "", nil, fmt.Errorf("%s: retry deadline exceeded (last status %d, err %v, body %s)",
+		tag, lastStatus, lastErr, lastBody)
+}
+
+// shardOpBody maps a chaos-script op to its request path and body.
+func shardOpBody(op string) (path string, body []byte) {
+	switch op {
+	case "step":
+		return "/step", []byte("{}")
+	case "batch3":
+		return "/batch-step", []byte(`{"k":3}`)
+	case "epoch":
+		return "/advance-epoch", nil
+	}
+	panic("unknown op " + op)
+}
+
+// sweepKeyOn finds an idempotency key the router will hash onto the
+// named shard (sweeps route by "sweep|"+key on the same ring).
+func sweepKeyOn(ring *shard.Ring, name, prefix string) string {
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("%s-%d", prefix, i)
+		if ring.Lookup("sweep|"+key) == name {
+			return key
+		}
+	}
+}
+
+// sweepPayload is the deterministic shape of a sweep response. The
+// per-point cache_hit flag is warmth-dependent observability — a sweep
+// recomputed after a failover hits entries its predecessor populated —
+// so comparisons decode the body and ignore it.
+type sweepPayload struct {
+	Scenario    string `json:"scenario"`
+	Fingerprint string `json:"fingerprint"`
+	Points      []struct {
+		Action   int     `json:"action"`
+		Makespan float64 `json:"makespan"`
+		CacheHit bool    `json:"cache_hit"`
+	} `json:"points"`
+	BestAction   int     `json:"best_action"`
+	BestMakespan float64 `json:"best_makespan"`
+}
+
+// sameSweep asserts two sweep response bodies carry bit-identical
+// tuning content: scenario, fingerprint, every (action, makespan)
+// point, and the best pick. Only cache_hit may differ.
+func sameSweep(t *testing.T, tag string, a, b []byte) {
+	t.Helper()
+	var pa, pb sweepPayload
+	if err := json.Unmarshal(a, &pa); err != nil {
+		t.Fatalf("%s: decoding first sweep: %v\n%s", tag, err, a)
+	}
+	if err := json.Unmarshal(b, &pb); err != nil {
+		t.Fatalf("%s: decoding second sweep: %v\n%s", tag, err, b)
+	}
+	if pa.Scenario != pb.Scenario || pa.Fingerprint != pb.Fingerprint ||
+		len(pa.Points) != len(pb.Points) ||
+		pa.BestAction != pb.BestAction ||
+		math.Float64bits(pa.BestMakespan) != math.Float64bits(pb.BestMakespan) {
+		t.Fatalf("%s: sweep results differ:\n%s\nvs\n%s", tag, a, b)
+	}
+	for i := range pa.Points {
+		if pa.Points[i].Action != pb.Points[i].Action ||
+			math.Float64bits(pa.Points[i].Makespan) != math.Float64bits(pb.Points[i].Makespan) {
+			t.Fatalf("%s: sweep point %d differs: (%d, %v) vs (%d, %v)", tag, i,
+				pa.Points[i].Action, pa.Points[i].Makespan,
+				pb.Points[i].Action, pb.Points[i].Makespan)
+		}
+	}
+}
+
+// scrapeCounter sums every sample of the named counter in a worker's
+// Prometheus /metrics exposition.
+func scrapeCounter(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	total := 0.0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok || (!strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{")) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+			total += v
+		}
+	}
+	return total
+}
+
+func TestShardChaosKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	binDir := t.TempDir()
+	serveBin := filepath.Join(binDir, "phasetune-serve")
+	routerBin := filepath.Join(binDir, "phasetune-shard")
+	for bin, pkg := range map[string]string{
+		serveBin:  "./cmd/phasetune-serve",
+		routerBin: "./cmd/phasetune-shard",
+	} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Dir = "."
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	ref := referenceResults(t)
+
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			shardChaosRound(t, serveBin, routerBin, shards, ref)
+		})
+	}
+}
+
+func shardChaosRound(t *testing.T, serveBin, routerBin string, shards int, ref []engine.SessionResult) {
+	var procs []*serveProc
+	t.Cleanup(func() {
+		for _, p := range procs {
+			_ = p.cmd.Process.Kill()
+		}
+		for _, p := range procs {
+			<-p.scanned
+			_ = p.cmd.Wait()
+		}
+	})
+
+	// The fleet: every worker journals to its own directory, so a kill
+	// loses a process but never committed state.
+	workerArgs := []string{"-workers", "2", "-snapshot-every", "4"}
+	names := make([]string, shards)
+	dirs := make([]string, shards)
+	workers := make([]*serveProc, shards)
+	for i := range workers {
+		names[i] = fmt.Sprintf("w%d", i)
+		dirs[i] = t.TempDir()
+		workers[i] = startServe(t, serveBin,
+			append([]string{"-journal-dir", dirs[i]}, workerArgs...)...)
+		procs = append(procs, workers[i])
+	}
+
+	// Peer-wire the caches in both directions; re-run after a failover
+	// so the restarted worker rejoins the mesh at its new address.
+	wirePeers := func() error {
+		if shards == 1 {
+			return nil
+		}
+		for i, w := range workers {
+			var peers []string
+			for j, o := range workers {
+				if j != i {
+					peers = append(peers, o.base)
+				}
+			}
+			body, err := json.Marshal(map[string][]string{"peers": peers})
+			if err != nil {
+				return err
+			}
+			if status, err := chaosPost(w.base, "/v1/cache/peers", body, nil); err != nil || status != http.StatusOK {
+				return fmt.Errorf("wiring peers on %s: status %d, err %w", names[i], status, err)
+			}
+		}
+		return nil
+	}
+	if err := wirePeers(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The router, plus a client-side mirror of its hash ring: the test
+	// predicts every placement and the X-Phasetune-Shard headers must
+	// agree with the prediction.
+	parts := make([]string, shards)
+	for i := range names {
+		parts[i] = names[i] + "=" + workers[i].base
+	}
+	rt := startShardRouter(t, routerBin, "-shards", strings.Join(parts, ","), "-seed", "5")
+	procs = append(procs, rt)
+	ring, err := shard.NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client-assigned ids keep the session->reference mapping fixed; the
+	// distinct tile counts keep trajectories interleaving-independent.
+	ids := make([]string, len(chaosSessions))
+	for i, cs := range chaosSessions {
+		id := fmt.Sprintf("s%d", i+1)
+		body, err := json.Marshal(map[string]any{
+			"id": id, "scenario": "b", "strategy": cs.strategy, "seed": cs.seed, "tiles": cs.tiles,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, owner, data, err := shardReq(http.MethodPost, rt.base+"/v1/sessions", "", body)
+		if err != nil || status != http.StatusCreated {
+			t.Fatalf("create %s: status %d, err %v: %s", id, status, err, data)
+		}
+		if want := ring.Lookup(id); owner != want {
+			t.Fatalf("create %s landed on shard %q, ring says %q", id, owner, want)
+		}
+		ids[i] = id
+	}
+
+	victimName := ring.Lookup(ids[0])
+	victimIdx := -1
+	for i, n := range names {
+		if n == victimName {
+			victimIdx = i
+		}
+	}
+
+	// A keyed sweep committed on the victim before the crash. Sweep
+	// tiles stay distinct from every session's so no cache fingerprint
+	// is shared and batch proposals keep matching the reference.
+	sweepBody := []byte(`{"scenario":"b","tiles":3,"seed":5}`)
+	keyPre := sweepKeyOn(ring, victimName, "sweep-pre")
+	owner, sweepPre, err := shardRetry("pre-kill sweep", http.MethodPost, rt.base+"/v1/sweep", keyPre, sweepBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != victimName {
+		t.Fatalf("keyed sweep landed on shard %q, ring says %q", owner, victimName)
+	}
+
+	// Drive all scripts concurrently; SIGKILL the victim once enough
+	// ops are acknowledged that the kill lands mid-script.
+	var acked atomic.Int64
+	killAt := int64(len(ids) * len(chaosScript) / 3)
+	killed := make(chan struct{})
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			_ = workers[victimIdx].cmd.Process.Kill()
+			close(killed)
+		})
+	}
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var opErrs []error
+	addErr := func(err error) {
+		errMu.Lock()
+		opErrs = append(opErrs, err)
+		errMu.Unlock()
+	}
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for opIdx, op := range chaosScript {
+				path, body := shardOpBody(op)
+				key := fmt.Sprintf("shard-chaos:%s:%d", id, opIdx)
+				if _, _, err := shardRetry(op+" "+id, http.MethodPost,
+					rt.base+"/v1/sessions/"+id+path, key, body); err != nil {
+					addErr(err)
+					return
+				}
+				if acked.Add(1) >= killAt {
+					kill()
+				}
+			}
+		}(id)
+	}
+
+	// A second victim-keyed sweep fired into the kill window: it must
+	// block on 502s until the failover completes, then commit the same
+	// bytes the fleet computed before the crash.
+	keyMid := sweepKeyOn(ring, victimName, "sweep-mid")
+	var sweepMid []byte
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-killed
+		_, data, err := shardRetry("mid-kill sweep", http.MethodPost, rt.base+"/v1/sweep", keyMid, sweepBody)
+		if err != nil {
+			addErr(err)
+			return
+		}
+		errMu.Lock()
+		sweepMid = data
+		errMu.Unlock()
+	}()
+
+	select {
+	case <-killed:
+	case <-time.After(3 * time.Minute):
+		t.Fatal("kill threshold never reached")
+	}
+
+	// Failover: restart the victim with -recover on its journal
+	// directory (fresh port), rejoin the peer mesh, and repoint the
+	// router. Drivers keep retrying throughout.
+	victim := workers[victimIdx]
+	<-victim.scanned
+	_ = victim.cmd.Wait()
+	restarted := startServe(t, serveBin,
+		append([]string{"-journal-dir", dirs[victimIdx]}, append(workerArgs, "-recover")...)...)
+	procs = append(procs, restarted)
+	workers[victimIdx] = restarted
+	waitOutput(t, restarted, "recovered ")
+	if err := wirePeers(); err != nil {
+		t.Fatal(err)
+	}
+	adminBody, err := json.Marshal(shard.Shard{Name: victimName, Addr: restarted.base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, adminResp, err := shardReq(http.MethodPost, rt.base+"/admin/shards", "", adminBody)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("repointing %s: status %d, err %v: %s", victimName, status, err, adminResp)
+	}
+	var repointed struct {
+		Up bool `json:"up"`
+	}
+	if err := json.Unmarshal(adminResp, &repointed); err != nil || !repointed.Up {
+		t.Fatalf("repointed shard not up: %s (err %v)", adminResp, err)
+	}
+
+	wg.Wait()
+	for _, err := range opErrs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every script ran to completion across the failover: finals via the
+	// router must be bit-identical to the uninterrupted reference.
+	for i, id := range ids {
+		sameFinal(t, fmt.Sprintf("shards=%d final %s", shards, id), chaosResult(t, rt.base, id), ref[i])
+	}
+
+	// Sweep continuity: re-sending the pre-kill key routes back to the
+	// recovered victim, the mid-kill sweep committed across the
+	// failover, and (at shards>1) a fresh key on another shard computes
+	// the same answer — every tuning result identical, because sweeps
+	// are a deterministic function of their request.
+	owner, sweepPost, err := shardRetry("post-recovery sweep replay", http.MethodPost,
+		rt.base+"/v1/sweep", keyPre, sweepBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != victimName {
+		t.Fatalf("replayed sweep landed on shard %q, ring says %q", owner, victimName)
+	}
+	sameSweep(t, "sweep across failover", sweepPre, sweepPost)
+	sameSweep(t, "mid-kill sweep", sweepPre, sweepMid)
+	if shards > 1 {
+		var otherName string
+		for _, n := range names {
+			if n != victimName {
+				otherName = n
+				break
+			}
+		}
+		keyOther := sweepKeyOn(ring, otherName, "sweep-other")
+		if _, sweepOther, err := shardRetry("cross-shard sweep", http.MethodPost,
+			rt.base+"/v1/sweep", keyOther, sweepBody); err != nil {
+			t.Fatal(err)
+		} else {
+			sameSweep(t, "sweep across shards", sweepPre, sweepOther)
+		}
+
+		shardPeerTwinPhase(t, rt.base, ring, names, workers)
+	}
+}
+
+// shardPeerTwinPhase proves the cross-shard cache is load-bearing: two
+// identically-configured sessions placed on different shards, driven
+// with sequential single steps (whose proposals do not depend on cache
+// warmth), must produce bit-identical results — and the second one's
+// evaluations must be answered out of the first shard's cache, visible
+// as peer-cache hits in the fleet's metrics.
+func shardPeerTwinPhase(t *testing.T, routerBase string, ring *shard.Ring, names []string, workers []*serveProc) {
+	t.Helper()
+	var twins []string
+	for i := 0; len(twins) < 2; i++ {
+		id := fmt.Sprintf("pair-%d", i)
+		if len(twins) == 0 || ring.Lookup(id) != ring.Lookup(twins[0]) {
+			twins = append(twins, id)
+		}
+	}
+	before := 0.0
+	for _, w := range workers {
+		before += scrapeCounter(t, w.base, "phasetune_peer_cache_hits_total")
+	}
+	for _, id := range twins {
+		body, err := json.Marshal(map[string]any{
+			"id": id, "scenario": "b", "strategy": "UCB", "seed": 33, "tiles": 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, owner, data, err := shardReq(http.MethodPost, routerBase+"/v1/sessions", "", body)
+		if err != nil || status != http.StatusCreated {
+			t.Fatalf("create twin %s: status %d, err %v: %s", id, status, err, data)
+		}
+		if want := ring.Lookup(id); owner != want {
+			t.Fatalf("twin %s landed on shard %q, ring says %q", id, owner, want)
+		}
+		for j := 0; j < 6; j++ {
+			if _, _, err := shardRetry("twin step "+id, http.MethodPost,
+				routerBase+"/v1/sessions/"+id+"/step",
+				fmt.Sprintf("twin:%s:%d", id, j), []byte("{}")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	resA := chaosResult(t, routerBase, twins[0])
+	resB := chaosResult(t, routerBase, twins[1])
+	if resA.Iterations != 6 {
+		t.Fatalf("twin %s ran %d iterations, want 6", twins[0], resA.Iterations)
+	}
+	sameFinal(t, "peer twin "+twins[1], resB, resA)
+	after := 0.0
+	for _, w := range workers {
+		after += scrapeCounter(t, w.base, "phasetune_peer_cache_hits_total")
+	}
+	if after <= before {
+		t.Fatalf("no peer-cache hits recorded for twin sessions on shards %q and %q (before %v, after %v)",
+			ring.Lookup(twins[0]), ring.Lookup(twins[1]), before, after)
+	}
+}
