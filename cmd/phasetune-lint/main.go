@@ -1,9 +1,11 @@
 // Command phasetune-lint is the project's multichecker: it runs the
-// four phasetune analyzers (determinism, floatsafe, strategylock,
-// errdrop) over the given package patterns and exits non-zero when any
-// finding survives //lint:allow suppression. CI runs exactly this
-// binary, and lint.sh runs it locally, so the blocking check is the
-// same everywhere:
+// eight phasetune analyzers (determinism, floatsafe, strategylock,
+// errdrop, ctxflow, goleak, atomicwrite, lockorder) over the given
+// package patterns and exits non-zero when any finding survives
+// //lint:allow suppression. The last four share one whole-program call
+// graph built once per run (see internal/lint/callgraph). CI runs
+// exactly this binary, and lint.sh runs it locally, so the blocking
+// check is the same everywhere:
 //
 //	go run ./cmd/phasetune-lint ./...
 //
@@ -93,12 +95,16 @@ func selectAnalyzers(csv string) ([]*analysis.Analyzer, error) {
 	for _, a := range all {
 		byName[a.Name] = a
 	}
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		names = append(names, a.Name)
+	}
 	var out []*analysis.Analyzer
 	for _, name := range strings.Split(csv, ",") {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, floatsafe, strategylock, errdrop)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(names, ", "))
 		}
 		out = append(out, a)
 	}

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"phasetune/internal/engine"
+	"phasetune/internal/fsutil"
 	"phasetune/internal/obsv/wallclock"
 	"phasetune/internal/shard"
 )
@@ -299,7 +300,7 @@ func writeSessionTraces(eng *engine.Engine, dir string) error {
 			continue
 		}
 		path := filepath.Join(dir, id+".trace.json")
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		if err := fsutil.WriteFileAtomic(path, data, 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("  wrote trace %s\n", path)

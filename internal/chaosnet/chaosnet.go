@@ -133,6 +133,7 @@ func New(cfg Config) (*Proxy, error) {
 		conns: map[net.Conn]struct{}{},
 	}
 	p.target.Store(cfg.Target)
+	//lint:allow goleak accept loop exits when Close() closes the listener and Accept returns
 	go p.acceptLoop()
 	return p, nil
 }

@@ -52,6 +52,7 @@ func NewCache() *Cache {
 // per key across all concurrent callers. hit reports whether the value
 // came from an existing entry rather than this call's computation.
 func (c *Cache) Eval(key CacheKey, compute func() (float64, error)) (val float64, hit bool, err error) {
+	//lint:allow ctxflow compat wrapper for pre-context callers; never on a request path (handlers use EvalCtx)
 	return c.EvalCtx(context.Background(), key, compute)
 }
 

@@ -399,6 +399,7 @@ func (e *Engine) commitOp(s *Session, rec journalRecord) error {
 // Step advances a session by one sequential tuning iteration. See
 // StepCtx.
 func (e *Engine) Step(id string) (StepResult, error) {
+	//lint:allow ctxflow compat wrapper for pre-context callers; handlers go through StepCtx/StepIdem
 	return e.StepCtx(context.Background(), id)
 }
 
@@ -474,6 +475,7 @@ func (e *Engine) StepIdem(ctx context.Context, id, key string) (StepResult, bool
 // BatchStep advances a session by up to k speculative iterations. See
 // BatchStepCtx.
 func (e *Engine) BatchStep(id string, k int) ([]StepResult, error) {
+	//lint:allow ctxflow compat wrapper for pre-context callers; handlers go through BatchStepCtx/BatchStepIdem
 	return e.BatchStepCtx(context.Background(), id, k)
 }
 
@@ -672,6 +674,7 @@ type SweepResult struct {
 // Sweep evaluates every feasible action of the scenario in parallel.
 // See SweepCtx.
 func (e *Engine) Sweep(sc platform.Scenario, opts harness.SimOptions, so SweepOptions) (*SweepResult, error) {
+	//lint:allow ctxflow compat wrapper for pre-context callers; handlers go through SweepCtx/SweepKeyed
 	return e.SweepCtx(context.Background(), sc, opts, so)
 }
 

@@ -43,6 +43,7 @@ func (p *Pool) Waiting() int64 { return p.waiting.Load() }
 // Do runs fn holding one pool slot, blocking until a slot frees up.
 func (p *Pool) Do(fn func()) {
 	// A background context never cancels, so the error is unreachable.
+	//lint:allow ctxflow compat wrapper for pre-context callers; never on a request path (handlers use DoCtx)
 	_ = p.DoCtx(context.Background(), fn)
 }
 

@@ -1,0 +1,53 @@
+// Black-box detection tests: the planted goroutines live in the
+// external test package, so leaktest's own-package frame filter does
+// not hide them.
+package leaktest_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"phasetune/internal/leaktest"
+)
+
+func TestDetectsLeak(t *testing.T) {
+	snap := leaktest.Take()
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+
+	leaked := snap.Leaked(50 * time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("planted goroutine not detected")
+	}
+	found := false
+	for _, stack := range leaked {
+		if strings.Contains(stack, "TestDetectsLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the planted goroutine: %v", leaked)
+	}
+
+	close(stop)
+	if leaked := snap.Leaked(leaktest.Grace); len(leaked) != 0 {
+		t.Errorf("goroutine exited but still reported: %v", leaked)
+	}
+}
+
+func TestGraceForgivesStragglers(t *testing.T) {
+	snap := leaktest.Take()
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+	}()
+	// The goroutine is alive now but exits within the grace budget.
+	if leaked := snap.Leaked(leaktest.Grace); len(leaked) != 0 {
+		t.Errorf("straggler within grace reported as leak: %v", leaked)
+	}
+}

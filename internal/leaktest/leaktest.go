@@ -1,0 +1,179 @@
+// Package leaktest is the runtime counterpart of the goleak static
+// analyzer: it snapshots the live goroutines before a test suite runs
+// and fails the suite if new ones are still alive afterwards. The
+// static check proves each spawn has a termination path; this check
+// proves the paths were actually taken — a Close that forgets to
+// cancel the health loop, a session whose journal goroutine outlives
+// Shutdown, an HTTP keep-alive left open by a forgotten response body.
+//
+// Wire it into a suite with a TestMain:
+//
+//	func TestMain(m *testing.M) { os.Exit(leaktest.Main(m)) }
+//
+// or guard a single test:
+//
+//	defer leaktest.Check(t)()
+//
+// Goroutine identity is the stack's call chain with argument values and
+// code offsets stripped, so the same loop parked in a different state
+// (or at a different address) still matches its snapshot entry. The
+// comparison retries with a grace period: goroutine exit is
+// asynchronous (Close returns before the loop observes the closed
+// channel), so a leak is only a goroutine that persists through every
+// retry.
+package leaktest
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Grace is how long a suspected leak has to exit before it is
+// reported. Retries poll at increasing intervals within this budget.
+const Grace = 5 * time.Second
+
+// Snapshot is a multiset of live goroutines keyed by normalized stack.
+type Snapshot struct {
+	counts map[string]int
+}
+
+// Take snapshots the currently live goroutines.
+func Take() *Snapshot {
+	return &Snapshot{counts: stacks()}
+}
+
+// Leaked returns one formatted stack per goroutine alive now that was
+// not alive at snapshot time, retrying within grace so shutdown
+// stragglers can finish. Idle HTTP keep-alive connections are closed
+// before each comparison — a parked readLoop is transport plumbing,
+// not an application leak, until it survives that too.
+func (s *Snapshot) Leaked(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	wait := time.Millisecond
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		leaked := diff(stacks(), s.counts)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(wait)
+		if wait < 100*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+// Check snapshots now and returns a function that reports any leak to
+// t; defer the result at the top of a test.
+func Check(t testing.TB) func() {
+	snap := Take()
+	return func() {
+		t.Helper()
+		for _, stack := range snap.Leaked(Grace) {
+			t.Errorf("leaked goroutine:\n%s", stack)
+		}
+	}
+}
+
+// Main runs a suite under the leak check and returns the process exit
+// code: the suite's own failure code if it fails, 1 if it passes but
+// leaks. Call it from TestMain and pass the result to os.Exit.
+func Main(m *testing.M) int {
+	snap := Take()
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	leaked := snap.Leaked(Grace)
+	if len(leaked) == 0 {
+		return 0
+	}
+	fmt.Printf("leaktest: %d goroutine(s) leaked by this suite:\n", len(leaked))
+	for _, stack := range leaked {
+		fmt.Printf("%s\n", stack)
+	}
+	return 1
+}
+
+// stacks returns the normalized-stack multiset of live goroutines,
+// excluding runtime and test-harness plumbing.
+func stacks() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := map[string]int{}
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		key, ok := normalize(stanza)
+		if ok {
+			out[key]++
+		}
+	}
+	return out
+}
+
+// normalize reduces one "goroutine N [state]:" stanza to its call
+// chain: function names only, no argument values, addresses, or line
+// offsets. Reports ok=false for stanzas that are never leaks — the
+// runtime's own workers, the testing harness, this checker.
+func normalize(stanza string) (string, bool) {
+	lines := strings.Split(strings.TrimSpace(stanza), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return "", false
+	}
+	var frames []string
+	for _, line := range lines[1:] {
+		if strings.HasPrefix(line, "\t") || strings.HasPrefix(line, "created by ") {
+			continue
+		}
+		// "pkg.(*T).method(0xc000.., 0x1)" -> "pkg.(*T).method": the
+		// argument list is the trailing parenthesized group, and a
+		// method's "(*T)" receiver is never the last '('.
+		if strings.HasSuffix(line, ")") {
+			if j := strings.LastIndex(line, "("); j > 0 {
+				line = line[:j]
+			}
+		}
+		frames = append(frames, line)
+	}
+	if len(frames) == 0 {
+		return "", false
+	}
+	for _, f := range frames {
+		switch {
+		case strings.HasPrefix(f, "testing."),
+			strings.HasPrefix(f, "runtime."),
+			strings.HasPrefix(f, "os/signal."),
+			strings.HasPrefix(f, "phasetune/internal/leaktest."):
+			return "", false
+		}
+	}
+	return strings.Join(frames, "\n"), true
+}
+
+// diff returns formatted stacks for every identity whose live count
+// exceeds its snapshot count, sorted for stable output.
+func diff(now, before map[string]int) []string {
+	var out []string
+	for key, n := range now {
+		if extra := n - before[key]; extra > 0 {
+			out = append(out, fmt.Sprintf("%d extra of:\n%s", extra, indent(key)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(s, "\n", "\n    ")
+}

@@ -1,0 +1,48 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	stanza := "goroutine 7 [chan receive]:\n" +
+		"phasetune/internal/shard.(*Router).healthLoop(0xc000123400)\n" +
+		"\t/root/repo/internal/shard/router.go:120 +0x5a\n" +
+		"created by phasetune/internal/shard.New in goroutine 1\n" +
+		"\t/root/repo/internal/shard/router.go:80 +0x1c2\n"
+	key, ok := normalize(stanza)
+	if !ok {
+		t.Fatal("application stanza rejected")
+	}
+	if key != "phasetune/internal/shard.(*Router).healthLoop" {
+		t.Errorf("normalize = %q", key)
+	}
+
+	harness := "goroutine 1 [running]:\n" +
+		"testing.(*M).Run(0xc0001c2140)\n" +
+		"\t/usr/local/go/src/testing/testing.go:1 +0x1\n"
+	if _, ok := normalize(harness); ok {
+		t.Error("testing harness stanza not filtered")
+	}
+
+	if _, ok := normalize(""); ok {
+		t.Error("empty stanza accepted")
+	}
+}
+
+func TestDiffCounts(t *testing.T) {
+	before := map[string]int{"a": 1, "b": 2}
+	now := map[string]int{"a": 3, "b": 2, "c": 1}
+	got := diff(now, before)
+	if len(got) != 2 {
+		t.Fatalf("diff reported %d identities, want 2: %v", len(got), got)
+	}
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "2 extra of:\n    a") {
+		t.Errorf("missing the count-2 entry for a: %v", got)
+	}
+	if !strings.Contains(joined, "1 extra of:\n    c") {
+		t.Errorf("missing the new entry for c: %v", got)
+	}
+}

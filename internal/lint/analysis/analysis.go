@@ -35,6 +35,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// ResultOf carries shared facts the driver computed before the
+	// passes ran, keyed by fact name (mirrors upstream's ResultOf, which
+	// keys by required analyzer). The lint driver stores the whole-run
+	// call graph under "callgraph" (*callgraph.Graph).
+	ResultOf map[string]interface{}
+
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 }

@@ -1,0 +1,119 @@
+// Package atomicwrite implements the phasetune-lint analyzer guarding
+// the durability contract: a file the engine persists (journal
+// snapshots, recovery state, trace exports) must never be observable
+// half-written. A crash between truncate and write — the os.WriteFile
+// and os.Create shapes — leaves a torn file that recovery then parses
+// as corruption; a rename whose source was never fsynced can surface as
+// an empty file after power loss even though the rename itself is
+// atomic. internal/fsutil.WriteFileAtomic encodes the full safe
+// sequence (CreateTemp, Write, Sync, Rename, SyncDir), so inside the
+// durability packages everything else is banned.
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"phasetune/internal/lint/analysis"
+)
+
+// Name is the analyzer's registry and //lint:allow identifier.
+const Name = "atomicwrite"
+
+// Analyzer flags, in the durability packages (fsutil, engine, shard,
+// and the cmd/ frontends):
+//
+//   - os.WriteFile: truncates in place, torn on crash — use
+//     fsutil.WriteFileAtomic;
+//   - os.Create: same truncate-in-place failure mode — use
+//     fsutil.WriteFileAtomic, or os.CreateTemp + Sync + Rename when
+//     streaming;
+//   - os.Rename with no (*os.File).Sync call earlier in the same
+//     function: rename publishes the file name atomically but says
+//     nothing about the data; fsync the source first.
+//
+// os.CreateTemp and os.OpenFile are exempt: the temp file is invisible
+// until renamed, and OpenFile is the journal's append-with-fsync path,
+// whose durability is per-record, not per-file.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "require fsutil.WriteFileAtomic (or CreateTemp+Sync+Rename) for persisted files in durability packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// syncsBefore records, per file, the positions of (*os.File).Sync
+	// calls so the Rename rule can check fsync-before-rename ordering
+	// within the enclosing function.
+	for _, file := range pass.Files {
+		var syncPos []token.Pos
+		ast.Inspect(file, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Sync" {
+					syncPos = append(syncPos, call.Pos())
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(file, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := osFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "WriteFile":
+				pass.Reportf(call.Pos(), "os.WriteFile truncates in place and tears on crash; use fsutil.WriteFileAtomic")
+			case "Create":
+				pass.Reportf(call.Pos(), "os.Create truncates in place; use fsutil.WriteFileAtomic, or os.CreateTemp + Sync + Rename")
+			case "Rename":
+				if !syncedBefore(pass, file, call, syncPos) {
+					pass.Reportf(call.Pos(), "os.Rename without a preceding fsync in this function: the name flips atomically but the data may not be on disk; Sync the source file first")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// osFunc resolves a call to a package-level os function, or nil.
+func osFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil // method on os.File etc., not the package function
+	}
+	return fn
+}
+
+// syncedBefore reports whether some (*os.File).Sync call precedes the
+// rename inside the same enclosing function.
+func syncedBefore(pass *analysis.Pass, file *ast.File, rename *ast.CallExpr, syncPos []token.Pos) bool {
+	enc := analysis.EnclosingFunc(file, rename.Pos())
+	if enc == nil {
+		return false
+	}
+	for _, p := range syncPos {
+		if p >= enc.Pos() && p < rename.Pos() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"phasetune/internal/lint/atomicwrite"
+	"phasetune/internal/lint/linttest"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/src/a")
+}

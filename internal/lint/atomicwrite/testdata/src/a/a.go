@@ -1,0 +1,74 @@
+// Package a is the atomicwrite analyzer fixture.
+package a
+
+import "os"
+
+// Truncate-in-place: torn on crash.
+func torn(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile truncates in place and tears on crash; use fsutil\.WriteFileAtomic`
+}
+
+// Same failure mode through Create.
+func createTruncates(path string) error {
+	f, err := os.Create(path) // want `os\.Create truncates in place; use fsutil\.WriteFileAtomic, or os\.CreateTemp \+ Sync \+ Rename`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Rename publishes the name atomically but says nothing about the
+// data: without a preceding fsync the file can surface empty.
+func renameNoSync(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `os\.Rename without a preceding fsync in this function: the name flips atomically but the data may not be on disk; Sync the source file first`
+}
+
+// The full safe sequence: temp file, write, fsync, then rename.
+func renameAfterSync(tmp, dst string, data []byte) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// CreateTemp is exempt: the temp name is invisible until renamed.
+// OpenFile is exempt: the journal's append-with-fsync path.
+func exemptShapes(dir string) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	f.Close()
+	g, err := os.OpenFile(dir+"/wal", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	return g.Close()
+}
+
+// A sync in one function does not bless a rename in another.
+func syncElsewhere(f *os.File) error {
+	return f.Sync()
+}
+
+func renameStillNaked(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `os\.Rename without a preceding fsync`
+}
+
+// A scratch file that is never persisted state carries an allow.
+func scratch(path string, data []byte) {
+	//lint:allow atomicwrite scratch file for a subprocess, not persisted state
+	_ = os.WriteFile(path, data, 0o600)
+}

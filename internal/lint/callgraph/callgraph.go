@@ -1,0 +1,441 @@
+// Package callgraph builds a package-level static call graph over the
+// packages type-checked by internal/lint/load, for the interprocedural
+// analyzers (ctxflow, goleak, lockorder). The construction is RTA-lite:
+// direct calls resolve through go/types object identity, and calls
+// through an interface method resolve to that method on every named
+// type in the loaded package set that implements the interface —
+// feasible-type narrowing (what full RTA adds) is skipped, which
+// over-approximates the edge set and therefore never hides a path.
+//
+// Function literals are first-class nodes: the enclosing function holds
+// a KindRef edge to each literal it contains, and a `go f(...)` or
+// `go func(){...}()` statement produces a KindGo edge, so reachability
+// flows into goroutine bodies and closures exactly like plain calls.
+// Calls to functions whose bodies are outside the loaded set (the
+// standard library) become edges with a nil Callee but a non-nil Fn, so
+// analyzers can still pattern-match the callee object.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"phasetune/internal/lint/load"
+)
+
+// EdgeKind classifies how control reaches the callee.
+type EdgeKind int
+
+const (
+	// KindCall is an ordinary call: direct, method, or one resolved
+	// implementation of an interface-method call.
+	KindCall EdgeKind = iota
+	// KindGo is a call spawned by a go statement.
+	KindGo
+	// KindDefer is a deferred call.
+	KindDefer
+	// KindRef links an enclosing function to a literal defined in its
+	// body; the literal may run wherever the value flows, so for
+	// reachability a reference is treated like a call.
+	KindRef
+)
+
+// Node is one function body: a declared function or method, or a
+// function literal.
+type Node struct {
+	// Fn is the declared function or method; nil for literals.
+	Fn *types.Func
+	// Lit is the literal; nil for declared functions.
+	Lit *ast.FuncLit
+	// Decl is the declaration syntax; nil for literals.
+	Decl *ast.FuncDecl
+	// Pkg is the loaded package holding the body.
+	Pkg *load.Package
+	// Parent is the node whose body lexically contains this literal;
+	// nil for declared functions.
+	Parent *Node
+
+	Out []*Edge // calls made by this body (excluding nested literals')
+	In  []*Edge // calls reaching this body
+}
+
+// Pos returns the position of the function's declaration or literal.
+func (n *Node) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Body returns the function body, which may be nil for a bodyless
+// declaration (assembly stubs).
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Name returns a human-readable identifier for diagnostics:
+// "pkg.Func", "pkg.(T).Method", or "pkg.Func$literal".
+func (n *Node) Name() string {
+	if n.Fn != nil {
+		if recv := n.Fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return n.Fn.Pkg().Name() + ".(" + named.Obj().Name() + ")." + n.Fn.Name()
+			}
+		}
+		return n.Fn.Pkg().Name() + "." + n.Fn.Name()
+	}
+	if n.Parent != nil {
+		return n.Parent.Name() + "$literal"
+	}
+	return "$literal"
+}
+
+// Signature returns the node's function signature.
+func (n *Node) Signature() *types.Signature {
+	if n.Fn != nil {
+		return n.Fn.Type().(*types.Signature)
+	}
+	if t, ok := n.Pkg.Info.Types[n.Lit].Type.(*types.Signature); ok {
+		return t
+	}
+	return nil
+}
+
+// Edge is one call site (or literal reference) in a caller's body.
+type Edge struct {
+	Caller *Node
+	// Callee is the resolved target; nil when the target's body is not
+	// in the loaded set (stdlib) or the call is dynamic.
+	Callee *Node
+	// Fn is the static callee object when known: the declared function,
+	// the interface method (for each resolved implementation edge, the
+	// concrete method), or the stdlib function. Nil for literal refs and
+	// unresolvable dynamic calls.
+	Fn *types.Func
+	// Site is the call expression (nil for KindRef edges).
+	Site *ast.CallExpr
+	Pos  token.Pos
+	Kind EdgeKind
+	// Dynamic marks an edge produced by interface-method resolution:
+	// the callee is one POSSIBLE target, not a certain one. Analyzers
+	// whose findings assert certainty (self-deadlock) must skip these.
+	Dynamic bool
+}
+
+// Graph is the call graph over a set of loaded packages.
+type Graph struct {
+	Nodes []*Node
+
+	funcs map[*types.Func]*Node
+	lits  map[*ast.FuncLit]*Node
+	// impls maps an interface method to its resolved concrete methods.
+	impls map[*types.Func][]*types.Func
+}
+
+// NodeOf returns the node for a declared function or method, or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.funcs[fn] }
+
+// LitNode returns the node for a function literal, or nil.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.lits[lit] }
+
+// Build constructs the call graph for the given packages. Only bodies
+// in pkgs become nodes; everything else is reachable only as an
+// external Fn on edges. The node and edge order is deterministic (it
+// follows package, file, and source order).
+func Build(pkgs []*load.Package) *Graph {
+	g := &Graph{
+		funcs: map[*types.Func]*Node{},
+		lits:  map[*ast.FuncLit]*Node{},
+		impls: map[*types.Func][]*types.Func{},
+	}
+
+	// Pass 1: a node per declared function/method.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Decl: fd, Pkg: pkg}
+				g.funcs[fn] = n
+				g.Nodes = append(g.Nodes, n)
+			}
+		}
+	}
+
+	g.resolveInterfaces(pkgs)
+
+	// Pass 2: walk each body, creating literal nodes and edges.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.walkBody(g.funcs[fn], fd.Body)
+			}
+		}
+	}
+	return g
+}
+
+// resolveInterfaces computes, for every interface method declared or
+// used by the loaded packages, the concrete methods implementing it on
+// named types of the loaded packages (checking both T and *T method
+// sets). This is the RTA-lite dispatch table.
+func (g *Graph) resolveInterfaces(pkgs []*load.Package) {
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok && !types.IsInterface(n) {
+				named = append(named, n)
+			}
+		}
+	}
+	// Collect every interface type mentioned in the packages' type info
+	// and map each of its methods to implementations.
+	seen := map[*types.Interface]bool{}
+	addIface := func(iface *types.Interface) {
+		if iface == nil || seen[iface] || iface.NumMethods() == 0 {
+			return
+		}
+		seen[iface] = true
+		for _, n := range named {
+			ptr := types.NewPointer(n)
+			if !types.Implements(n, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				m := iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, n.Obj().Pkg(), m.Name())
+				if impl, ok := obj.(*types.Func); ok && g.funcs[impl] != nil {
+					g.impls[m] = append(g.impls[m], impl)
+				}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, tv := range pkg.Info.Types {
+			if tv.Type != nil {
+				if iface, ok := tv.Type.Underlying().(*types.Interface); ok {
+					addIface(iface)
+				}
+			}
+		}
+		for _, sel := range pkg.Info.Selections {
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				addIface(iface)
+			}
+		}
+	}
+	for _, impls := range g.impls {
+		sort.Slice(impls, func(i, j int) bool { return impls[i].Pos() < impls[j].Pos() })
+	}
+}
+
+// walkBody records the edges of one node's body. Nested literals get
+// their own nodes (with a KindRef edge from n) and their bodies are
+// walked under the literal node, not n.
+func (g *Graph) walkBody(n *Node, body ast.Node) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			lit := &Node{Lit: x, Pkg: n.Pkg, Parent: n}
+			g.lits[x] = lit
+			g.Nodes = append(g.Nodes, lit)
+			g.addEdge(&Edge{Caller: n, Callee: lit, Pos: x.Pos(), Kind: KindRef})
+			g.walkBody(lit, x.Body)
+			return false // literal's calls belong to the literal node
+		case *ast.GoStmt:
+			g.addCall(n, x.Call, KindGo)
+			// The call's argument expressions still belong to n; the
+			// callee literal (if any) is handled by the FuncLit case when
+			// Inspect descends into x.Call.
+		case *ast.DeferStmt:
+			g.addCall(n, x.Call, KindDefer)
+		case *ast.CallExpr:
+			// go/defer statements already recorded their call.
+			g.addCall(n, x, KindCall)
+		}
+		return true
+	})
+}
+
+// addCall resolves one call expression and records its edges.
+func (g *Graph) addCall(n *Node, call *ast.CallExpr, kind EdgeKind) {
+	if kind == KindCall {
+		// Skip if this CallExpr is the direct call of a go/defer
+		// statement (those were recorded with their own kind). The walk
+		// visits GoStmt/DeferStmt before descending into the call, so we
+		// mark them; simplest is to detect via parent tracking — instead,
+		// the Inspect above returns true and revisits the call. Dedup:
+		if g.isStmtCall(n, call) {
+			return
+		}
+	}
+	fun := ast.Unparen(call.Fun)
+	info := n.Pkg.Info
+
+	// Conversions are not calls.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+
+	switch x := fun.(type) {
+	case *ast.FuncLit:
+		// Immediately-invoked literal: the walk's descent into the call
+		// creates the literal node and its KindRef edge, which already
+		// carries reachability; no extra call edge needed.
+		return
+	case *ast.Ident:
+		if fn, ok := info.Uses[x].(*types.Func); ok {
+			g.addResolved(n, call, fn, kind)
+		}
+		return
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return // field of function type: dynamic, unresolved
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv != nil && types.IsInterface(recv.Type()) {
+				// Interface-method call: an edge per resolved impl, plus
+				// an external-style edge carrying the interface method so
+				// pattern matchers still see the name.
+				for _, impl := range g.impls[fn] {
+					g.addEdge(&Edge{Caller: n, Callee: g.funcs[impl], Fn: impl, Pos: call.Lparen, Site: call, Kind: kind, Dynamic: true})
+				}
+				g.addEdge(&Edge{Caller: n, Fn: fn, Pos: call.Lparen, Site: call, Kind: kind, Dynamic: true})
+				return
+			}
+			g.addResolved(n, call, fn, kind)
+			return
+		}
+		// Qualified identifier (pkg.Fn) or method expression.
+		if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+			g.addResolved(n, call, fn, kind)
+		}
+		return
+	}
+	// Anything else (call of a call's result, indexed function values):
+	// dynamic and unresolved; no edge.
+}
+
+// addResolved records an edge to a known function object, linking to
+// its node when the body is in the loaded set.
+func (g *Graph) addResolved(n *Node, call *ast.CallExpr, fn *types.Func, kind EdgeKind) {
+	g.addEdge(&Edge{Caller: n, Callee: g.funcs[fn], Fn: fn, Pos: call.Lparen, Site: call, Kind: kind})
+}
+
+func (g *Graph) addEdge(e *Edge) {
+	e.Caller.Out = append(e.Caller.Out, e)
+	if e.Callee != nil {
+		e.Callee.In = append(e.Callee.In, e)
+	}
+}
+
+// isStmtCall reports whether call was already recorded as the immediate
+// call of a go or defer statement in n.
+func (g *Graph) isStmtCall(n *Node, call *ast.CallExpr) bool {
+	for _, e := range n.Out {
+		if e.Site == call && (e.Kind == KindGo || e.Kind == KindDefer) {
+			return true
+		}
+	}
+	return false
+}
+
+// Forward returns every node reachable from roots, following Out edges
+// (including literal refs and go spawns). Roots are included.
+func (g *Graph) Forward(roots []*Node) map[*Node]bool {
+	seen := map[*Node]bool{}
+	var stack []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if e.Callee != nil && !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// Backward returns every node from which some target is reachable,
+// following In edges. Targets are included.
+func (g *Graph) Backward(targets []*Node) map[*Node]bool {
+	seen := map[*Node]bool{}
+	var stack []*Node
+	for _, t := range targets {
+		if t != nil && !seen[t] {
+			seen[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.In {
+			if !seen[e.Caller] {
+				seen[e.Caller] = true
+				stack = append(stack, e.Caller)
+			}
+		}
+	}
+	return seen
+}
+
+// ShallowInspect walks a node's own body in source order, skipping
+// nested function literals (they are separate nodes). fn's return value
+// controls descent as in ast.Inspect.
+func ShallowInspect(n *Node, fn func(ast.Node) bool) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x == nil {
+			return true
+		}
+		return fn(x)
+	})
+}

@@ -1,0 +1,160 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phasetune/internal/lint/callgraph"
+	"phasetune/internal/lint/load"
+)
+
+// loadFixture builds the graph over the cg fixture package.
+func loadFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	abs, err := filepath.Abs("testdata/src/cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := load.NewLoader("")
+	pkg, err := l.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Build([]*load.Package{pkg})
+}
+
+// nodeNamed finds the unique node whose Name() matches.
+func nodeNamed(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	var found *callgraph.Node
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			if found != nil {
+				t.Fatalf("two nodes named %s", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return found
+}
+
+func TestInterfaceDispatch(t *testing.T) {
+	g := loadFixture(t)
+	dispatch := nodeNamed(t, g, "cg.dispatch")
+
+	callees := map[string]bool{}
+	for _, e := range dispatch.Out {
+		if e.Callee != nil {
+			if !e.Dynamic {
+				t.Errorf("interface-resolved edge to %s not marked Dynamic", e.Callee.Name())
+			}
+			callees[e.Callee.Name()] = true
+		}
+	}
+	for _, want := range []string{"cg.(Fast).Run", "cg.(Slow).Run"} {
+		if !callees[want] {
+			t.Errorf("dispatch is missing the resolved edge to %s; has %v", want, callees)
+		}
+	}
+
+	// Reachability flows through the resolved implementations.
+	reach := g.Forward([]*callgraph.Node{dispatch})
+	if !reach[nodeNamed(t, g, "cg.helper")] {
+		t.Error("helper not reachable from dispatch via Fast.Run")
+	}
+	back := g.Backward([]*callgraph.Node{nodeNamed(t, g, "cg.helper")})
+	if !back[dispatch] {
+		t.Error("dispatch does not reach back from helper")
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	g := loadFixture(t)
+	rec := nodeNamed(t, g, "cg.recurse")
+
+	self := false
+	for _, e := range rec.Out {
+		if e.Callee == rec {
+			self = true
+		}
+	}
+	if !self {
+		t.Error("recurse has no self edge")
+	}
+	// A self-loop must not hang or duplicate traversal.
+	if reach := g.Forward([]*callgraph.Node{rec}); !reach[rec] {
+		t.Error("recurse not in its own forward closure")
+	}
+}
+
+func TestEdgeKinds(t *testing.T) {
+	g := loadFixture(t)
+	n := nodeNamed(t, g, "cg.spawnAndDefer")
+
+	kinds := map[string]callgraph.EdgeKind{}
+	for _, e := range n.Out {
+		if e.Callee != nil {
+			kinds[e.Callee.Name()] = e.Kind
+		}
+	}
+	if kinds["cg.helper"] != callgraph.KindDefer {
+		t.Errorf("defer helper() recorded as kind %v", kinds["cg.helper"])
+	}
+	if kinds["cg.worker"] != callgraph.KindGo {
+		t.Errorf("go worker() recorded as kind %v", kinds["cg.worker"])
+	}
+}
+
+func TestFuncLitReachability(t *testing.T) {
+	g := loadFixture(t)
+	n := nodeNamed(t, g, "cg.litUser")
+
+	var ref *callgraph.Node
+	for _, e := range n.Out {
+		if e.Kind == callgraph.KindRef {
+			ref = e.Callee
+		}
+	}
+	if ref == nil {
+		t.Fatal("litUser has no ref edge to its literal")
+	}
+	if ref.Parent != n {
+		t.Error("literal node's Parent is not litUser")
+	}
+	if reach := g.Forward([]*callgraph.Node{n}); !reach[nodeNamed(t, g, "cg.helper")] {
+		t.Error("helper not reachable from litUser through the literal")
+	}
+}
+
+// TestCrossPackageEdges builds the graph over two real module packages
+// and checks that an engine body resolves its call into fsutil: the
+// whole-run graph the driver shares across analyzers is cross-package.
+func TestCrossPackageEdges(t *testing.T) {
+	l := load.NewLoader("")
+	pkgs, err := l.Load("phasetune/internal/engine", "phasetune/internal/fsutil")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("expected 2 packages, got %d", len(pkgs))
+	}
+	g := callgraph.Build(pkgs)
+
+	found := false
+	for _, n := range g.Nodes {
+		if n.Pkg.Path != "phasetune/internal/engine" {
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Callee != nil && e.Callee.Pkg.Path == "phasetune/internal/fsutil" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no engine -> fsutil call edge; cross-package resolution is broken")
+	}
+}

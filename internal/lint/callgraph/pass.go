@@ -1,0 +1,15 @@
+package callgraph
+
+import "phasetune/internal/lint/analysis"
+
+// Key is the Pass.ResultOf key under which the lint driver stores the
+// whole-run call graph.
+const Key = "callgraph"
+
+// FromPass returns the call graph the driver attached to the pass, or
+// nil when the pass runs without one (an analyzer invoked outside the
+// lint driver must tolerate that by reporting nothing).
+func FromPass(p *analysis.Pass) *Graph {
+	g, _ := p.ResultOf[Key].(*Graph)
+	return g
+}

@@ -1,0 +1,39 @@
+// Package cg is the call-graph fixture: interface dispatch, recursion,
+// go/defer edges, and function literals.
+package cg
+
+type Runner interface{ Run() }
+
+type Fast struct{}
+
+func (Fast) Run() { helper() }
+
+type Slow struct{}
+
+func (*Slow) Run() {}
+
+func helper() {}
+
+// dispatch calls through the interface: RTA resolves the edge to every
+// in-scope implementation.
+func dispatch(r Runner) { r.Run() }
+
+func recurse(n int) {
+	if n > 0 {
+		recurse(n - 1)
+	}
+}
+
+func spawnAndDefer() {
+	defer helper()
+	go worker()
+}
+
+func worker() {}
+
+// litUser binds a literal and invokes it; reachability flows through
+// the literal's ref edge.
+func litUser() {
+	f := func() { helper() }
+	f()
+}

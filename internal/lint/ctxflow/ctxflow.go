@@ -1,0 +1,291 @@
+// Package ctxflow implements the phasetune-lint analyzer that keeps
+// cancellation wired through the service's request paths. The engine
+// and shard router host long-lived HTTP sessions whose every step can
+// block — pool admission, cache singleflight waits, journal fsync,
+// outbound shard probes — and a blocking operation that ignores the
+// request context outlives its client: the handler returns on
+// disconnect, the work keeps running, and under load the leaked work
+// compounds into the exact tail-latency collapse the SLO harness
+// measures. The analyzer walks the call graph from every HTTP handler
+// and flags the places where a fresh root context is spliced onto a
+// request path.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"phasetune/internal/lint/analysis"
+	"phasetune/internal/lint/callgraph"
+)
+
+// Name is the analyzer's registry and //lint:allow identifier.
+const Name = "ctxflow"
+
+// Analyzer flags, in the service packages (engine, shard, client):
+//
+//   - context.Background()/context.TODO() inside any function reachable
+//     from an HTTP handler, when that function also reaches a blocking
+//     operation: the fresh root detaches the work from the request's
+//     cancellation;
+//   - a function without a context.Context parameter that bridges
+//     context.Background() into a callee that blocks — the compat-shim
+//     shape (Step -> StepCtx). Intentional shims carry a
+//     //lint:allow ctxflow <reason> directive;
+//   - a function that has a context.Context parameter but passes a
+//     fresh root to a blocking callee anyway — an always-wrong bug;
+//   - context-less HTTP helpers (http.Get, Client.Post, ...) on a
+//     handler-reachable path: use http.NewRequestWithContext so the
+//     probe dies with the request.
+//
+// "Blocking" is a select without a default, a channel send/receive, or
+// a call whose static target is a known blocking stdlib function
+// (time.Sleep, WaitGroup.Wait, File.Sync, net.Dial*, the net/http
+// client entry points), propagated backwards over the call graph.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "thread request contexts through blocking operations on HTTP handler paths",
+	Run:  run,
+}
+
+// noCtxHTTP are the net/http entry points that cannot carry a context.
+// Client.Do is absent: its request carries the context.
+var noCtxHTTP = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+// isHTTPClientCall reports whether fn is a package-level net/http
+// helper or a *http.Client method — not an unrelated net/http method
+// that happens to share a name (http.Header.Get).
+func isHTTPClientCall(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return true
+	}
+	return isNamed(sig.Recv().Type(), "net/http", "Client")
+}
+
+// isBlockingExternal reports whether fn, a function whose body is not
+// in the loaded set, is a known blocking stdlib call.
+func isBlockingExternal(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		return fn.Name() == "Wait"
+	case "os":
+		return fn.Name() == "Sync"
+	case "net/http":
+		return (fn.Name() == "Do" || noCtxHTTP[fn.Name()]) && isHTTPClientCall(fn)
+	case "net":
+		return len(fn.Name()) >= 4 && fn.Name()[:4] == "Dial"
+	case "os/exec":
+		switch fn.Name() {
+		case "Run", "Wait", "Output", "CombinedOutput":
+			return true
+		}
+	}
+	return false
+}
+
+// directlyBlocks reports whether the node's own body (excluding nested
+// literals) contains a blocking construct.
+func directlyBlocks(n *callgraph.Node) bool {
+	blocking := false
+	callgraph.ShallowInspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocking = true
+			}
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				blocking = true
+			}
+		}
+		return !blocking
+	})
+	if blocking {
+		return true
+	}
+	for _, e := range n.Out {
+		if e.Callee == nil && e.Fn != nil && isBlockingExternal(e.Fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamed reports whether t is the named type path.name (after
+// stripping one pointer).
+func isNamed(t types.Type, path, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// isHandler reports whether the node has the http.HandlerFunc shape
+// (w http.ResponseWriter, r *http.Request).
+func isHandler(n *callgraph.Node) bool {
+	sig := n.Signature()
+	if sig == nil || sig.Params().Len() != 2 {
+		return false
+	}
+	return isNamed(sig.Params().At(0).Type(), "net/http", "ResponseWriter") &&
+		isNamed(sig.Params().At(1).Type(), "net/http", "Request")
+}
+
+// hasCtxParam reports whether the node's signature includes a
+// context.Context parameter.
+func hasCtxParam(n *callgraph.Node) bool {
+	sig := n.Signature()
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isNamed(sig.Params().At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := callgraph.FromPass(pass)
+	if g == nil {
+		return nil, nil
+	}
+
+	// Global facts: which nodes block (transitively), which are on a
+	// request path.
+	var blockingNodes, handlers []*callgraph.Node
+	for _, n := range g.Nodes {
+		if directlyBlocks(n) {
+			blockingNodes = append(blockingNodes, n)
+		}
+		if isHandler(n) {
+			handlers = append(handlers, n)
+		}
+	}
+	blockReach := g.Backward(blockingNodes)
+	onRequestPath := g.Forward(handlers)
+
+	// calleeBlocks reports whether the call behind edge e can block.
+	calleeBlocks := func(e *callgraph.Edge) bool {
+		if e.Callee != nil && blockReach[e.Callee] {
+			return true
+		}
+		return e.Callee == nil && e.Fn != nil && isBlockingExternal(e.Fn)
+	}
+
+	type report struct {
+		pos token.Pos
+		msg string
+	}
+	var reports []report
+	seen := map[token.Pos]bool{}
+	add := func(pos token.Pos, msg string) {
+		if !seen[pos] {
+			seen[pos] = true
+			reports = append(reports, report{pos, msg})
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if n.Pkg.Types != pass.Pkg {
+			continue
+		}
+
+		// Map each context.Background()/TODO() call in this body to the
+		// call expression it is an argument of (if any).
+		rootCalls := map[*ast.CallExpr]string{} // bg call -> "Background"/"TODO"
+		bridged := map[*ast.CallExpr]*ast.CallExpr{}
+		callgraph.ShallowInspect(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					rootCalls[call] = fn.Name()
+				}
+			}
+			for _, arg := range call.Args {
+				if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					bridged[inner] = call
+				}
+			}
+			return true
+		})
+
+		edgeBySite := map[*ast.CallExpr]*callgraph.Edge{}
+		edgeCanBlock := map[*ast.CallExpr]bool{}
+		for _, e := range n.Out {
+			if e.Site != nil {
+				edgeBySite[e.Site] = e
+				if calleeBlocks(e) {
+					edgeCanBlock[e.Site] = true
+				}
+			}
+		}
+
+		for bg, fname := range rootCalls {
+			outer := bridged[bg]
+			outerBlocks := outer != nil && edgeCanBlock[outer]
+			switch {
+			case onRequestPath[n] && (blockReach[n] || outerBlocks):
+				add(bg.Pos(), "context."+fname+"() on an HTTP request path that reaches blocking operations; thread the request context instead")
+			case outerBlocks && !hasCtxParam(n):
+				callee := "the callee"
+				if e := edgeBySite[outer]; e != nil && e.Fn != nil {
+					callee = e.Fn.Name()
+				}
+				add(bg.Pos(), n.Name()+" bridges context."+fname+"() into "+callee+", which blocks; accept and thread a context.Context")
+			case outerBlocks:
+				add(bg.Pos(), n.Name()+" has a context.Context parameter but passes context."+fname+"() to a blocking callee; pass the caller's context")
+			}
+		}
+
+		if onRequestPath[n] {
+			for _, e := range n.Out {
+				if e.Callee == nil && e.Fn != nil && noCtxHTTP[e.Fn.Name()] &&
+					isHTTPClientCall(e.Fn) {
+					add(e.Pos, "http."+e.Fn.Name()+" cannot carry the request context on this handler-reachable path; use http.NewRequestWithContext")
+				}
+			}
+		}
+	}
+
+	sort.Slice(reports, func(i, j int) bool { return reports[i].pos < reports[j].pos })
+	for _, r := range reports {
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+	return nil, nil
+}

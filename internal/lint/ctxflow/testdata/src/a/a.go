@@ -1,0 +1,77 @@
+// Package a is the ctxflow analyzer fixture.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// blockingWork parks on a select with no default: the canonical
+// blocking shape the analyzer propagates backwards.
+func blockingWork(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// Rule 1: a fresh root on a request path that reaches blocking.
+func rootOnRequestPath(w http.ResponseWriter, r *http.Request) {
+	blockingWork(context.Background()) // want `context\.Background\(\) on an HTTP request path that reaches blocking operations; thread the request context instead`
+}
+
+// Rule 2: the compat-shim shape — no context parameter, bridging a
+// fresh root into a callee that blocks.
+func StepCompat() {
+	stepCtx(context.Background()) // want `bridges context\.Background\(\) into stepCtx, which blocks; accept and thread a context\.Context`
+}
+
+func stepCtx(ctx context.Context) {
+	blockingWork(ctx)
+}
+
+// Rule 2b: has the context, throws it away — always wrong.
+func ignoresOwnCtx(ctx context.Context) {
+	blockingWork(context.Background()) // want `has a context\.Context parameter but passes context\.Background\(\) to a blocking callee; pass the caller's context`
+}
+
+// Rule 3: a context-less HTTP helper on a handler-reachable path.
+func probeHandler(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.Get("http://upstream/healthz") // want `http\.Get cannot carry the request context on this handler-reachable path; use http\.NewRequestWithContext`
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+// context.TODO is a root too.
+func todoHandler(w http.ResponseWriter, r *http.Request) {
+	blockingWork(context.TODO()) // want `context\.TODO\(\) on an HTTP request path that reaches blocking operations`
+}
+
+// Threading the request context is the sanctioned shape.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	blockingWork(r.Context())
+}
+
+// http.Header.Get shares a name with the client helper but is a plain
+// map lookup — must not be flagged.
+func headerHandler(w http.ResponseWriter, r *http.Request) {
+	_ = r.Header.Get("X-Request-ID")
+	blockingWork(r.Context())
+}
+
+// A root context feeding a non-blocking callee is fine: only paths
+// that can park matter.
+func rootIntoPure() {
+	describe(context.Background())
+}
+
+func describe(ctx context.Context) string { return "ok" }
+
+// An acknowledged shim carries an allow directive.
+func AllowedCompat() {
+	//lint:allow ctxflow compat shim for pre-context callers; not on a request path
+	stepCtx(context.Background())
+}

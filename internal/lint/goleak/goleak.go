@@ -1,0 +1,201 @@
+// Package goleak implements the phasetune-lint analyzer that demands a
+// provable termination path for every spawned goroutine. The tuning
+// service runs for days: a health loop that misses its stop channel, a
+// worker that ranges over a channel nobody closes, a probe goroutine in
+// an unbounded retry loop — each leaks a goroutine per request or per
+// reconfiguration until the scheduler drowns. The static check is the
+// compile-time counterpart of internal/leaktest, which diffs live
+// goroutine stacks around each test suite.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"phasetune/internal/lint/analysis"
+	"phasetune/internal/lint/callgraph"
+)
+
+// Name is the analyzer's registry and //lint:allow identifier.
+const Name = "goleak"
+
+// Analyzer inspects every `go` statement whose target body is in the
+// package (a function literal, or a named function the call graph can
+// resolve) and accepts the goroutine only if each loop in the body has
+// a termination path:
+//
+//   - a loop condition or a range over a non-channel value (bounded);
+//   - for a range over a channel: a close() of that same channel
+//     somewhere in the package (the producer ends the consumer);
+//   - for an unconditional `for`: a receive (ctx.Done(), a stop/done
+//     channel) together with a return or break that exits the loop —
+//     the select-on-done shape;
+//   - as a fallback, a `defer wg.Done()` in the body paired with a
+//     WaitGroup Wait() in the package: the spawner provably joins the
+//     goroutine before shutdown completes.
+//
+// The check is shallow by design: it inspects the spawned body itself,
+// not its callees (a helper that loops forever is the helper's
+// responsibility where it is spawned directly). Intentional
+// process-lifetime goroutines carry //lint:allow goleak <reason>.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "require a provable termination path (done-select, bounded loop, closed range channel, or joined WaitGroup) for every spawned goroutine",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := callgraph.FromPass(pass)
+
+	// closedObjs are the channel objects the package closes, plus the
+	// WaitGroup-join fact, collected once per package.
+	closedObjs := map[types.Object]bool{}
+	wgJoined := false
+	pass.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(x ast.Node) {
+		call := x.(*ast.CallExpr)
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "close" && len(call.Args) == 1 {
+				if obj := chanObj(pass.TypesInfo, call.Args[0]); obj != nil {
+					closedObjs[obj] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+				wgJoined = true
+			}
+		}
+	})
+
+	pass.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(x ast.Node) {
+		stmt := x.(*ast.GoStmt)
+		body := spawnedBody(pass, g, stmt.Call)
+		if body == nil {
+			return // dynamic target: nothing to prove statically
+		}
+		checkBody(pass, stmt.Go, body, closedObjs, wgJoined)
+	})
+	return nil, nil
+}
+
+// spawnedBody resolves the body a go statement runs: the literal's, or
+// the declared function's via the call graph.
+func spawnedBody(pass *analysis.Pass, g *callgraph.Graph, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok && g != nil {
+			if n := g.NodeOf(fn); n != nil {
+				return n.Body()
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && g != nil {
+			if n := g.NodeOf(fn); n != nil {
+				return n.Body()
+			}
+		}
+	}
+	return nil
+}
+
+// chanObj resolves a channel expression to its variable or field
+// object, or nil when the expression is not resolvable (a call result,
+// an index expression).
+func chanObj(info *types.Info, expr ast.Expr) types.Object {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// checkBody validates every loop of a spawned body.
+func checkBody(pass *analysis.Pass, goPos token.Pos, body *ast.BlockStmt, closedObjs map[types.Object]bool, wgJoined bool) {
+	wgDone := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := x.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(d.Call.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+				wgDone = true
+			}
+		}
+		return true
+	})
+	joined := wgDone && wgJoined
+
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		switch loop := x.(type) {
+		case *ast.ForStmt:
+			if loop.Cond != nil {
+				return true // bounded by its condition
+			}
+			if hasExitReceive(loop.Body) {
+				return true
+			}
+			if joined {
+				return true
+			}
+			pass.Reportf(goPos, "goroutine loops forever with no exit: select on a ctx.Done()/stop channel and return, bound the loop, or join it via a WaitGroup the owner Waits on")
+			return false
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.Types[loop.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true // bounded: slice/map/int range
+			}
+			if obj := chanObj(pass.TypesInfo, loop.X); obj != nil && closedObjs[obj] {
+				return true // producer closes the channel
+			}
+			if joined {
+				return true
+			}
+			pass.Reportf(goPos, "goroutine ranges over a channel this package never closes; close it when the producer finishes or select on a done channel")
+			return false
+		}
+		return true
+	})
+}
+
+// hasExitReceive reports whether an unconditional loop body contains
+// both a channel receive (a done/stop/ticker signal) and a statement
+// that exits the loop (return, or break) — the select-on-done shape.
+func hasExitReceive(body *ast.BlockStmt) bool {
+	recv, exit := false, false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := x.(type) {
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				recv = true
+			}
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				exit = true
+			}
+		}
+		return !(recv && exit)
+	})
+	return recv && exit
+}

@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"phasetune/internal/lint/goleak"
+	"phasetune/internal/lint/linttest"
+)
+
+func TestGoleak(t *testing.T) {
+	linttest.Run(t, goleak.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,100 @@
+// Package a is the goleak analyzer fixture.
+package a
+
+import "sync"
+
+func work() {}
+
+// An unconditional loop with no receive and no join: the classic leak.
+func spinForever() {
+	for {
+		work()
+	}
+}
+
+func spawnLeaks() {
+	go spinForever() // want `goroutine loops forever with no exit: select on a ctx\.Done\(\)/stop channel and return, bound the loop, or join it via a WaitGroup the owner Waits on`
+
+	go func() { // want `goroutine loops forever with no exit`
+		for {
+			work()
+		}
+	}()
+}
+
+// Ranging over a channel nobody closes leaks the consumer.
+func consumeUnclosed(ch chan int) {
+	go func() { // want `goroutine ranges over a channel this package never closes; close it when the producer finishes or select on a done channel`
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// The select-on-done shape: a receive plus a statement that exits.
+func watched(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick():
+				work()
+			}
+		}
+	}()
+}
+
+func tick() chan struct{} { return nil }
+
+// The producer closes the channel the consumer ranges over.
+func producerConsumer() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// Bounded loops terminate by construction.
+func bounded(items []int) {
+	go func() {
+		for i := 0; i < 3; i++ {
+			work()
+		}
+	}()
+	go func() {
+		for range items {
+			work()
+		}
+	}()
+}
+
+// A deferred wg.Done paired with a Wait in the package: the owner
+// provably joins the goroutine.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+	wg.Wait()
+}
+
+// A process-lifetime goroutine carries an allow directive.
+func acceptLoop() {
+	for {
+		work()
+	}
+}
+
+func serve() {
+	//lint:allow goleak accept loop runs for the process lifetime by design
+	go acceptLoop()
+}

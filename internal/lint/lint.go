@@ -12,20 +12,31 @@ import (
 	"strings"
 
 	"phasetune/internal/lint/analysis"
+	"phasetune/internal/lint/atomicwrite"
+	"phasetune/internal/lint/callgraph"
+	"phasetune/internal/lint/ctxflow"
 	"phasetune/internal/lint/determinism"
 	"phasetune/internal/lint/errdrop"
 	"phasetune/internal/lint/floatsafe"
+	"phasetune/internal/lint/goleak"
 	"phasetune/internal/lint/load"
+	"phasetune/internal/lint/lockorder"
 	"phasetune/internal/lint/strategylock"
 )
 
-// Analyzers returns the full registry, in report order.
+// Analyzers returns the full registry, in report order. The first four
+// are the intra-procedural PR-3 suite; the last four are the
+// interprocedural suite built on the internal/lint/callgraph graph.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
 		floatsafe.Analyzer,
 		strategylock.Analyzer,
 		errdrop.Analyzer,
+		ctxflow.Analyzer,
+		goleak.Analyzer,
+		atomicwrite.Analyzer,
+		lockorder.Analyzer,
 	}
 }
 
@@ -72,17 +83,41 @@ func inScope(a *analysis.Analyzer, path string) bool {
 	switch a.Name {
 	case determinism.Name, floatsafe.Name, strategylock.Name:
 		return simPackages[path]
-	case errdrop.Name:
+	case errdrop.Name, goleak.Name:
 		// Everything we ship: the library internals and the CLIs, minus
 		// the linter's own packages (they report through returned errors
-		// and their fixtures intentionally drop values).
+		// and their fixtures intentionally drop values / spawn loops).
 		if strings.HasPrefix(path, "phasetune/internal/lint") {
 			return false
 		}
 		return strings.HasPrefix(path, "phasetune/internal/") ||
 			strings.HasPrefix(path, "phasetune/cmd/")
+	case ctxflow.Name:
+		// The service layer: packages that host or call HTTP handlers.
+		return servicePackages[path]
+	case lockorder.Name:
+		// The two packages with cross-cutting mutexes worth an ordering
+		// discipline (engine sessions/cache, shard router state).
+		return path == "phasetune/internal/engine" ||
+			path == "phasetune/internal/shard"
+	case atomicwrite.Name:
+		// The durability surface: everything that persists state a
+		// recovery or a report depends on.
+		return path == "phasetune/internal/fsutil" ||
+			path == "phasetune/internal/engine" ||
+			path == "phasetune/internal/shard" ||
+			strings.HasPrefix(path, "phasetune/cmd/")
 	}
 	return true
+}
+
+// servicePackages host the request/response paths the ctxflow analyzer
+// guards: the engine's HTTP surface, the shard router, and the
+// resilient client.
+var servicePackages = map[string]bool{
+	"phasetune/internal/engine": true,
+	"phasetune/internal/shard":  true,
+	"phasetune/internal/client": true,
 }
 
 // Finding is one reported diagnostic, resolved to a file position.
@@ -110,9 +145,14 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 		known[a.Name] = true
 	}
 
+	// One call graph over the whole run: cross-package reachability (a
+	// handler in engine reaching a blocking helper in another package)
+	// only exists when every loaded body is in the same graph.
+	shared := map[string]interface{}{callgraph.Key: callgraph.Build(pkgs)}
+
 	var out []Finding
 	for _, pkg := range pkgs {
-		f, err := runPackage(pkg, analyzers, known)
+		f, err := runPackage(pkg, analyzers, known, shared)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +174,7 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 	return out, nil
 }
 
-func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer, known map[string]bool) ([]Finding, error) {
+func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer, known map[string]bool, shared map[string]interface{}) ([]Finding, error) {
 	var out []Finding
 	emit := func(analyzer string, pos token.Pos, msg string) {
 		p := pkg.Fset.Position(pos)
@@ -164,6 +204,7 @@ func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer, known map[str
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			ResultOf:  shared,
 		}
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {

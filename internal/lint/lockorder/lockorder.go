@@ -1,0 +1,516 @@
+// Package lockorder implements the phasetune-lint analyzer over the
+// static mutex-acquisition graph of the engine and shard packages. Two
+// failure classes motivate it. First, ordering: sessions, the shared
+// cache, and the shard router each have a mutex, and two code paths
+// that nest them in opposite orders deadlock only under the exact
+// interleaving the chaos suite may never hit. Second, hold time: a
+// lock held across a blocking call (fsync, an outbound probe, a pool
+// admission wait) serializes every other holder behind an I/O latency,
+// which is how a p50 turns into the p99 the SLO harness flags.
+//
+// The engine's write-ahead journal is the sanctioned exception: a
+// session's journal append MUST happen under Session.mu (results become
+// visible only after they are durable — the durable-before-visible
+// protocol), so Session.mu is whitelisted via CommitLocks rather than
+// annotated at each of its commit sites.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"phasetune/internal/lint/analysis"
+	"phasetune/internal/lint/callgraph"
+)
+
+// Name is the analyzer's registry and //lint:allow identifier.
+const Name = "lockorder"
+
+// Analyzer builds, per analyzed package, the set of ordered lock
+// acquisitions — lock B taken while A is held, directly or through any
+// call-graph path — and reports:
+//
+//   - acquisition-order cycles (A before B on one path, B before A on
+//     another): a latent deadlock;
+//   - a lock re-acquired while already held (sync.Mutex self-deadlock);
+//   - a lock held across a blocking operation: a call that reaches
+//     fsync, network I/O, time.Sleep, or a blocking channel wait,
+//     unless the lock is listed in CommitLocks.
+//
+// Locks are identified by package-qualified field or variable names
+// ("engine.Session.mu"); function-local mutexes are not tracked.
+// Deferred unlocks hold to function end; goroutine spawns and literal
+// definitions do not extend the holder's critical section.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "report mutex acquisition-order cycles and locks held across blocking calls in engine and shard",
+	Run:  run,
+}
+
+// CommitLocks are locks allowed to be held across blocking calls, each
+// because a documented protocol requires exactly that:
+//
+//   - Session.mu: the commit protocol appends (and fsyncs) the journal
+//     under the session lock — results become visible only after they
+//     are durable. Durable-before-visible is the recovery invariant, so
+//     the blocking append is the point, not an accident.
+//   - Driver.mu: the strategy concurrency contract serializes the whole
+//     Next/lie/Observe conversation under one mutex; async strategy
+//     wrappers park on their proposal channels inside that conversation
+//     by design.
+//
+// Central whitelist rather than scattered //lint:allow directives: the
+// exemption is a property of the lock's protocol, not of any one call
+// site, and the analyzer's own tests exercise the mechanism by mutating
+// a copy of this map.
+var CommitLocks = map[string]bool{
+	"phasetune/internal/engine.Session.mu": true,
+	"phasetune/internal/engine.Driver.mu":  true,
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evCall
+)
+
+type event struct {
+	pos  token.Pos
+	kind int
+	lock string          // acquire/release
+	rw   bool            // RLock/RUnlock
+	edge *callgraph.Edge // call
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := callgraph.FromPass(pass)
+	if g == nil {
+		return nil, nil
+	}
+
+	// Per-node event streams over the whole graph (summaries need every
+	// package's bodies, not just this pass's).
+	events := map[*callgraph.Node][]event{}
+	for _, n := range g.Nodes {
+		events[n] = nodeEvents(n)
+	}
+
+	acquires, directAcq, blocks := summarize(g, events)
+
+	type lockEdge struct {
+		from, to string
+		pos      token.Pos
+	}
+	var edges []lockEdge
+	edgeSeen := map[[2]string]bool{}
+	addEdge := func(from, to string, pos token.Pos) {
+		k := [2]string{from, to}
+		if !edgeSeen[k] {
+			edgeSeen[k] = true
+			edges = append(edges, lockEdge{from, to, pos})
+		}
+	}
+
+	type report struct {
+		pos token.Pos
+		msg string
+	}
+	var reports []report
+	repSeen := map[report]bool{}
+	add := func(pos token.Pos, msg string) {
+		r := report{pos, msg}
+		if !repSeen[r] {
+			repSeen[r] = true
+			reports = append(reports, r)
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if n.Pkg.Types != pass.Pkg {
+			continue
+		}
+		var held []event
+		heldHas := func(id string) bool {
+			for _, h := range held {
+				if h.lock == id {
+					return true
+				}
+			}
+			return false
+		}
+		for _, ev := range events[n] {
+			switch ev.kind {
+			case evAcquire:
+				if heldHas(ev.lock) && !ev.rw {
+					add(ev.pos, ev.lock+" acquired while already held (sync.Mutex self-deadlock)")
+				}
+				for _, h := range held {
+					if h.lock != ev.lock {
+						addEdge(h.lock, ev.lock, ev.pos)
+					}
+				}
+				held = append(held, ev)
+			case evRelease:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].lock == ev.lock {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case evCall:
+				if len(held) == 0 {
+					continue
+				}
+				e := ev.edge
+				calleeBlocks := false
+				calleeName := ""
+				if e.Callee != nil {
+					calleeBlocks = blocks[e.Callee]
+					calleeName = e.Callee.Name()
+					for _, h := range held {
+						for _, l := range sortedKeys(acquires[e.Callee]) {
+							if l != h.lock {
+								addEdge(h.lock, l, ev.pos)
+							} else if !e.Dynamic && directAcq[e.Callee][l] {
+								// Certain only on a statically-resolved
+								// path: interface dispatch would accuse
+								// every possible implementation.
+								add(ev.pos, h.lock+" held across call to "+calleeName+", which re-acquires it (self-deadlock)")
+							}
+						}
+					}
+				} else if e.Fn != nil && isBlockingSink(e.Fn) {
+					calleeBlocks = true
+					calleeName = e.Fn.Pkg().Name() + "." + e.Fn.Name()
+				}
+				if calleeBlocks {
+					for _, h := range held {
+						if !CommitLocks[h.lock] {
+							add(ev.pos, h.lock+" held across blocking call to "+calleeName+"; release it before blocking or shrink the critical section")
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the directed lock graph: report every edge
+	// whose reverse ordering is also reachable.
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if x == to {
+				return true
+			}
+			for _, y := range adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range edges {
+		if reaches(e.to, e.from) {
+			add(e.pos, "lock order cycle: "+e.to+" is acquired while "+e.from+" is held here, and "+e.from+" while "+e.to+" on another path")
+		}
+	}
+
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].pos != reports[j].pos {
+			return reports[i].pos < reports[j].pos
+		}
+		return reports[i].msg < reports[j].msg
+	})
+	for _, r := range reports {
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+	return nil, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nodeEvents extracts the ordered lock/call events of one body.
+// Deferred unlocks produce no release (the lock holds to return);
+// deferred and spawned calls do not run inside the critical section at
+// their textual position, so only plain calls become evCall.
+func nodeEvents(n *callgraph.Node) []event {
+	var out []event
+	deferred := map[*ast.CallExpr]bool{}
+	callgraph.ShallowInspect(n, func(x ast.Node) bool {
+		if d, ok := x.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+			return true
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, op, rw, ok := lockOp(n.Pkg.Info, call); ok {
+			if op == evRelease && deferred[call] {
+				return true
+			}
+			out = append(out, event{pos: call.Pos(), kind: op, lock: id, rw: rw})
+			return true
+		}
+		return true
+	})
+	for _, e := range n.Out {
+		if e.Kind == callgraph.KindCall && e.Site != nil {
+			out = append(out, event{pos: e.Pos, kind: evCall, edge: e})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// summarize computes, for every node: the set of locks it (or any
+// callee) acquires, the same set restricted to statically-certain
+// (non-interface) paths, and whether it can block. Literal references
+// and deferred calls propagate (the literal runs synchronously
+// somewhere downstream; the defer runs in-function); goroutine spawns
+// do not — the spawned work runs outside the caller's critical
+// sections.
+func summarize(g *callgraph.Graph, events map[*callgraph.Node][]event) (acquires, directAcq map[*callgraph.Node]map[string]bool, blocks map[*callgraph.Node]bool) {
+	acquires = map[*callgraph.Node]map[string]bool{}
+	directAcq = map[*callgraph.Node]map[string]bool{}
+	blocks = map[*callgraph.Node]bool{}
+	for _, n := range g.Nodes {
+		set := map[string]bool{}
+		for _, ev := range events[n] {
+			if ev.kind == evAcquire {
+				set[ev.lock] = true
+			}
+		}
+		if len(set) > 0 {
+			acquires[n] = set
+			d := map[string]bool{}
+			for l := range set {
+				d[l] = true
+			}
+			directAcq[n] = d
+		}
+		if directlyBlocks(n) {
+			blocks[n] = true
+		}
+	}
+	propagate := func(dst map[*callgraph.Node]map[string]bool, n *callgraph.Node, l string) bool {
+		if dst[n] == nil {
+			dst[n] = map[string]bool{}
+		}
+		if dst[n][l] {
+			return false
+		}
+		dst[n][l] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			for _, e := range n.Out {
+				if e.Callee == nil || e.Kind == callgraph.KindGo {
+					continue
+				}
+				if blocks[e.Callee] && !blocks[n] {
+					blocks[n] = true
+					changed = true
+				}
+				for l := range acquires[e.Callee] {
+					if propagate(acquires, n, l) {
+						changed = true
+					}
+				}
+				if !e.Dynamic {
+					for l := range directAcq[e.Callee] {
+						if propagate(directAcq, n, l) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return acquires, directAcq, blocks
+}
+
+// directlyBlocks mirrors ctxflow's notion: a select without default, a
+// channel send/receive, or a known blocking stdlib call.
+func directlyBlocks(n *callgraph.Node) bool {
+	blocking := false
+	callgraph.ShallowInspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocking = true
+			}
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				blocking = true
+			}
+		}
+		return !blocking
+	})
+	if blocking {
+		return true
+	}
+	for _, e := range n.Out {
+		if e.Callee == nil && e.Fn != nil && isBlockingSink(e.Fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBlockingSink reports whether an external function is a blocking
+// I/O or wait primitive worth flagging under a lock.
+func isBlockingSink(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return fn.Name() == "Sleep"
+	case "os":
+		return fn.Name() == "Sync"
+	case "net/http":
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			// Only the package-level helpers and *http.Client methods —
+			// not http.Header.Get and friends.
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return false
+			}
+			if sig.Recv() == nil {
+				return true
+			}
+			recv := namedOf(sig.Recv().Type())
+			return recv != nil && recv.Obj().Name() == "Client"
+		}
+	case "net":
+		return strings.HasPrefix(fn.Name(), "Dial")
+	case "sync":
+		return fn.Name() == "Wait"
+	case "os/exec":
+		switch fn.Name() {
+		case "Run", "Wait", "Output", "CombinedOutput":
+			return true
+		}
+	}
+	return false
+}
+
+var lockMethods = map[string]int{
+	"Lock": evAcquire, "RLock": evAcquire, "TryLock": evAcquire, "TryRLock": evAcquire,
+	"Unlock": evRelease, "RUnlock": evRelease,
+}
+
+// lockOp resolves a call to a sync.Mutex/RWMutex method on a nameable
+// lock. Returns the lock's package-qualified identity, the operation,
+// and whether it is a read-side op.
+func lockOp(info *types.Info, call *ast.CallExpr) (id string, op int, rw bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false, false
+	}
+	kind, isLock := lockMethods[sel.Sel.Name]
+	if !isLock {
+		return "", 0, false, false
+	}
+	s, hasSel := info.Selections[sel]
+	if !hasSel {
+		return "", 0, false, false
+	}
+	fn, isFn := s.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "RLock", "RUnlock", "TryRLock":
+		rw = true
+	}
+	id, ok = mutexID(info, sel.X, s)
+	return id, kind, rw, ok
+}
+
+// mutexID names the mutex a lock method is invoked on:
+//
+//	s.mu.Lock()      -> "pkg.S.mu"      (field on a named struct)
+//	pkgMu.Lock()     -> "pkg.pkgMu"     (package-level var)
+//	t.Lock()         -> "pkg.T.Mutex"   (embedded mutex, promoted)
+//
+// Function-local mutexes (and anything else) return ok=false: they
+// cannot participate in cross-function ordering under a nameable
+// identity.
+func mutexID(info *types.Info, recv ast.Expr, s *types.Selection) (string, bool) {
+	if len(s.Index()) > 1 {
+		// Promoted method: the receiver type embeds the mutex.
+		if named := namedOf(info.Types[recv].Type); named != nil {
+			return qualify(named) + ".Mutex", true
+		}
+		return "", false
+	}
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		// s.mu — a field; name it by the owning named type.
+		if fs, ok := info.Selections[x]; ok {
+			if named := namedOf(fs.Recv()); named != nil {
+				return qualify(named) + "." + x.Sel.Name, true
+			}
+		}
+		return "", false
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name(), true
+			}
+		}
+		return "", false
+	}
+	return "", false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func qualify(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

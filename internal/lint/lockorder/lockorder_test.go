@@ -1,0 +1,21 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"phasetune/internal/lint/linttest"
+	"phasetune/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/src/a")
+}
+
+// TestCommitLocksWhitelist exercises the whitelist mechanism on a copy
+// of the map: with commit.S.mu registered, the blocking call under the
+// lock produces no finding (the fixture has no want annotations).
+func TestCommitLocksWhitelist(t *testing.T) {
+	lockorder.CommitLocks["commit.S.mu"] = true
+	defer delete(lockorder.CommitLocks, "commit.S.mu")
+	linttest.Run(t, lockorder.Analyzer, "testdata/src/commit")
+}

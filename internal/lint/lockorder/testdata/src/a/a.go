@@ -1,0 +1,107 @@
+// Package a is the lockorder analyzer fixture.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// abOrder and baOrder nest the same two locks in opposite orders: a
+// latent deadlock the analyzer reports on both edges.
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock order cycle: a\.B\.mu is acquired while a\.A\.mu is held here, and a\.A\.mu while a\.B\.mu on another path`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock order cycle: a\.A\.mu is acquired while a\.B\.mu is held here, and a\.B\.mu while a\.A\.mu on another path`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Re-acquiring a plain Mutex in the same body.
+func doubleLock(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `a\.A\.mu acquired while already held \(sync\.Mutex self-deadlock\)`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Re-acquiring through a callee the call graph resolves statically.
+func outerLocks(a *A) {
+	a.mu.Lock()
+	innerLocks(a) // want `a\.A\.mu held across call to a\.innerLocks, which re-acquires it \(self-deadlock\)`
+	a.mu.Unlock()
+}
+
+func innerLocks(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// A lock held across a blocking call serializes every other holder
+// behind an I/O latency.
+func holdAcrossSleep(a *A) {
+	a.mu.Lock()
+	time.Sleep(time.Millisecond) // want `a\.A\.mu held across blocking call to time\.Sleep; release it before blocking or shrink the critical section`
+	a.mu.Unlock()
+}
+
+// Deferred unlocks hold to function end: the package-level registry
+// lock is still held at the Sleep.
+var regMu sync.Mutex
+
+func pkgVarHold() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	time.Sleep(time.Millisecond) // want `a\.regMu held across blocking call to time\.Sleep`
+}
+
+// An embedded mutex is named by the embedding type.
+type E struct{ sync.Mutex }
+
+func embeddedHold(e *E) {
+	e.Lock()
+	time.Sleep(time.Millisecond) // want `a\.E\.Mutex held across blocking call to time\.Sleep`
+	e.Unlock()
+}
+
+// Read locks may nest: no self-deadlock for RLock.
+type R struct{ mu sync.RWMutex }
+
+func nestedRead(r *R) {
+	r.mu.RLock()
+	r.mu.RLock()
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+}
+
+// Blocking after the release is fine: the critical section is shrunk.
+func releaseThenBlock(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// Spawned work runs outside the caller's critical section.
+func spawnUnderLock(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// An acknowledged hold carries an allow directive.
+func allowedHold(a *A) {
+	a.mu.Lock()
+	//lint:allow lockorder throttling sleep is the point of this critical section
+	time.Sleep(time.Millisecond)
+	a.mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Package commit is the lockorder fixture for the CommitLocks
+// whitelist: its test registers commit.S.mu as a commit lock, so the
+// blocking fsync-shaped call under the lock must NOT be reported —
+// durable-before-visible protocols hold their lock across the append
+// by design.
+package commit
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) commit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // whitelisted via CommitLocks: clean
+}

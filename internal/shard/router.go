@@ -3,6 +3,7 @@ package shard
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -90,9 +91,13 @@ type Router struct {
 	errors   *obsv.Counter
 	failover *obsv.Counter
 
-	interval  time.Duration
-	stop      chan struct{}
-	closeOnce sync.Once
+	interval time.Duration
+	// baseCtx bounds the router's own background work (the health loop
+	// and its on-ticker probes); cancel is Close. Request-triggered
+	// probes use the request's context instead, so a disconnected admin
+	// or scrape call abandons its probe immediately.
+	baseCtx context.Context
+	cancel  context.CancelFunc
 }
 
 // New builds a Router over the fleet and starts its health loop. Close
@@ -124,6 +129,7 @@ func New(opts Options) (*Router, error) {
 		client = &http.Client{}
 	}
 
+	baseCtx, cancel := context.WithCancel(context.Background())
 	rt := &Router{
 		mux:      http.NewServeMux(),
 		ring:     ring,
@@ -133,7 +139,8 @@ func New(opts Options) (*Router, error) {
 		seed:     uint64(opts.Seed),
 		reg:      obsv.NewRegistry(),
 		interval: opts.HealthInterval,
-		stop:     make(chan struct{}),
+		baseCtx:  baseCtx,
+		cancel:   cancel,
 	}
 	for _, s := range opts.Shards {
 		st := &shardState{name: s.Name}
@@ -157,7 +164,7 @@ func New(opts Options) (*Router, error) {
 		defer ticker.Stop()
 		for {
 			select {
-			case <-rt.stop:
+			case <-rt.baseCtx.Done():
 				return
 			case <-ticker.C:
 				rt.CheckNow()
@@ -167,9 +174,10 @@ func New(opts Options) (*Router, error) {
 	return rt, nil
 }
 
-// Close stops the health loop. Idempotent.
+// Close stops the health loop and cancels any in-flight background
+// probes. Idempotent.
 func (rt *Router) Close() {
-	rt.closeOnce.Do(func() { close(rt.stop) })
+	rt.cancel()
 }
 
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -189,7 +197,8 @@ func (rt *Router) sortedStates() []*shardState {
 
 // CheckNow probes every shard's /readyz once, concurrently, and
 // updates the up/down state. Safe to call from anywhere; the health
-// loop calls it on its ticker.
+// loop calls it on its ticker. Probes run under the router's base
+// context, so Close abandons them.
 func (rt *Router) CheckNow() {
 	states := rt.sortedStates()
 	var wg sync.WaitGroup
@@ -197,14 +206,14 @@ func (rt *Router) CheckNow() {
 		wg.Add(1)
 		go func(st *shardState) {
 			defer wg.Done()
-			rt.checkOne(st)
+			rt.checkOne(rt.baseCtx, st)
 		}(st)
 	}
 	wg.Wait()
 }
 
-func (rt *Router) checkOne(st *shardState) {
-	resp, err := rt.probe.Get(st.addrStr() + "/readyz")
+func (rt *Router) checkOne(ctx context.Context, st *shardState) {
+	resp, err := rt.get(ctx, st.addrStr()+"/readyz")
 	if err != nil {
 		st.up.Store(false)
 		st.reason.Store("readyz: " + err.Error())
@@ -219,6 +228,15 @@ func (rt *Router) checkOne(st *shardState) {
 	}
 	st.up.Store(true)
 	st.reason.Store("")
+}
+
+// get issues one context-bound probe through the short-timeout client.
+func (rt *Router) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rt.probe.Do(req)
 }
 
 // shardFor maps a routing key onto its shard's state.
@@ -398,7 +416,7 @@ func (rt *Router) routes() {
 	})
 
 	rt.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		rt.serveMetrics(w)
+		rt.serveMetrics(r.Context(), w)
 	})
 
 	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -468,7 +486,7 @@ func (rt *Router) routes() {
 		}
 		st.addr.Store(req.Addr)
 		rt.failover.Inc()
-		rt.checkOne(st) // synchronous: the response reports the new address's real state
+		rt.checkOne(r.Context(), st) // synchronous: the response reports the new address's real state
 		rt.writeJSON(w, http.StatusOK, map[string]any{
 			"name": st.name, "addr": st.addrStr(), "up": st.up.Load(), "reason": st.reasonStr(),
 		})
@@ -491,11 +509,11 @@ const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 // every sample (HELP/TYPE lines deduplicated across shards), then the
 // router's own counters follow. One scrape gives fleet-wide totals
 // without a separate aggregation service.
-func (rt *Router) serveMetrics(w http.ResponseWriter) {
+func (rt *Router) serveMetrics(ctx context.Context, w http.ResponseWriter) {
 	var buf bytes.Buffer
 	seenMeta := map[string]bool{}
 	for _, st := range rt.sortedStates() {
-		resp, err := rt.probe.Get(st.addrStr() + "/metrics")
+		resp, err := rt.get(ctx, st.addrStr()+"/metrics")
 		if err != nil {
 			rt.errors.Inc()
 			fmt.Fprintf(&buf, "# shard %s: scrape failed: %s\n", st.name, err)

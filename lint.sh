@@ -5,8 +5,9 @@
 #   STRICT=1 ./lint.sh   # additionally require staticcheck + govulncheck
 #
 # phasetune-lint is the project multichecker (determinism, floatsafe,
-# strategylock, errdrop — see DESIGN.md "Static guarantees"). It needs
-# no network and no third-party modules. staticcheck and govulncheck
+# strategylock, errdrop, ctxflow, goleak, atomicwrite, lockorder — see
+# DESIGN.md "Static guarantees", or `go run ./cmd/phasetune-lint -list`).
+# It needs no network and no third-party modules. staticcheck and govulncheck
 # run when installed (CI installs them; locally they are optional
 # unless STRICT=1).
 set -eu
