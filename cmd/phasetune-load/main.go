@@ -31,7 +31,12 @@
 //     processes (each with its own journal dir, evaluation caches
 //     peer-wired) behind a phasetune-shard router and drives the
 //     router; `-kill-after` SIGKILLs one worker mid-run and restarts
-//     it with -recover to exercise failover;
+//     it with -recover to exercise failover. Workers replicate every
+//     committed journal record to their ring follower, and adding
+//     `-kill-no-restart` leaves the victim dead: the router's
+//     supervisor must promote the orphaned sessions onto their
+//     replicas unattended, and the record's failover section reports
+//     the measured client-visible outage;
 //   - `-verify-sessions n` replays the first n session scripts on an
 //     in-process reference engine after the run and compares the
 //     trajectories bit for bit (math.Float64bits), proving the fleet
@@ -92,13 +97,14 @@ type config struct {
 	serveBin string
 	workers  int
 
-	spawnShards  int
-	shardBin     string
-	maxInflight  int
-	evalCost     time.Duration
-	killAfter    time.Duration
-	killShard    int
-	restartAfter time.Duration
+	spawnShards   int
+	shardBin      string
+	maxInflight   int
+	evalCost      time.Duration
+	killAfter     time.Duration
+	killShard     int
+	restartAfter  time.Duration
+	killNoRestart bool
 
 	duration   time.Duration
 	warmup     time.Duration
@@ -146,6 +152,7 @@ func main() {
 	flag.DurationVar(&cfg.killAfter, "kill-after", 0, "fleet mode: SIGKILL worker -kill-shard this long into the load window (0 = never)")
 	flag.IntVar(&cfg.killShard, "kill-shard", 0, "fleet mode: index of the worker -kill-after kills")
 	flag.DurationVar(&cfg.restartAfter, "restart-after", time.Second, "fleet mode: delay before the killed worker restarts with -recover")
+	flag.BoolVar(&cfg.killNoRestart, "kill-no-restart", false, "fleet mode: the -kill-after victim stays dead — the router's supervisor must auto-promote its sessions onto their replicas; measures failover time into the record")
 	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "load window: how long new sessions keep arriving")
 	flag.DurationVar(&cfg.warmup, "warmup", 0, "steady-state measurement: sessions/s counts only observations committed between -warmup and -duration, converted via the script's observations per session (0 = whole-run completions over wall time)")
 	flag.Float64Var(&cfg.rate, "rate", 8, "mean session arrivals per second (Poisson, open loop)")
@@ -282,6 +289,9 @@ func spawnFleet(cfg config) (*fleet, error) {
 	if err := fl.wirePeers(); err != nil {
 		return nil, err
 	}
+	if err := fl.wireReplicas(); err != nil {
+		return nil, err
+	}
 	specs := make([]string, len(fl.workers))
 	for i, w := range fl.workers {
 		specs[i] = fl.names[i] + "=http://" + w.addr
@@ -327,6 +337,46 @@ func (f *fleet) wirePeers() error {
 	return nil
 }
 
+// wireReplicas POSTs the replication topology to every worker: the
+// same named membership the router hashes over, each worker told which
+// member it is. From then on every committed journal record ships to
+// the session's ring follower before the client sees its result.
+func (f *fleet) wireReplicas() error {
+	type member struct {
+		Name string `json:"name"`
+		Addr string `json:"addr"`
+	}
+	members := make([]member, len(f.workers))
+	for i, w := range f.workers {
+		members[i] = member{Name: f.names[i], Addr: "http://" + w.addr}
+	}
+	for i, w := range f.workers {
+		if err := postJSON("http://"+w.addr+"/v1/replica/fleet", map[string]any{
+			"self": f.names[i], "members": members,
+		}); err != nil {
+			return fmt.Errorf("wire replicas on %s: %w", f.names[i], err)
+		}
+	}
+	return nil
+}
+
+// kill SIGKILLs worker idx and leaves it dead; the name comes back for
+// reporting. Spawned processes die by Process.Kill — the no-warning
+// failure mode journal replication exists for.
+func (f *fleet) kill(idx int) (string, error) {
+	f.mu.Lock()
+	if idx < 0 || idx >= len(f.workers) {
+		f.mu.Unlock()
+		return "", fmt.Errorf("kill-shard %d out of range (fleet of %d)", idx, len(f.workers))
+	}
+	victim := f.workers[idx]
+	name := f.names[idx]
+	f.mu.Unlock()
+	victim.stop()
+	fmt.Printf("chaos: killed shard %s (%s) — no restart, supervisor must promote\n", name, victim.addr)
+	return name, nil
+}
+
 // killAndRestart SIGKILLs worker idx, waits cfg.restartAfter, restarts
 // it with -recover over the same journal directory on a fresh port,
 // re-wires every worker's peer list, and repoints the router. In-flight
@@ -353,6 +403,9 @@ func (f *fleet) killAndRestart(cfg config, idx int) error {
 	if err := f.wirePeers(); err != nil {
 		return err
 	}
+	if err := f.wireReplicas(); err != nil {
+		return err
+	}
 	if err := postJSON("http://"+f.router.addr+"/admin/shards",
 		shard.Shard{Name: f.names[idx], Addr: "http://" + w.addr}); err != nil {
 		return fmt.Errorf("repoint %s: %w", f.names[idx], err)
@@ -372,10 +425,90 @@ func postJSON(url string, body any) error {
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
 	}
 	return nil
+}
+
+// canarySession creates a session through the router whose id hashes to
+// the given ring member — the probe target a kill-no-restart run times
+// failover with. The load harness builds the same default ring the
+// router does (names only, default virtual nodes), so it can pick an id
+// the victim owns without asking anyone.
+func canarySession(cfg config, routerBase string, names []string, victim string) (string, error) {
+	ring, err := shard.NewRing(names, 0)
+	if err != nil {
+		return "", err
+	}
+	id := ""
+	for i := 0; i < 1<<16; i++ {
+		cand := fmt.Sprintf("canary%d", i)
+		if ring.Lookup(cand) == victim {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		return "", fmt.Errorf("no canary id hashed to %s", victim)
+	}
+	if err := postJSON(routerBase+"/v1/sessions", map[string]any{
+		"id": id, "scenario": cfg.scenario, "strategy": cfg.strategy,
+		"seed": cfg.seed, "tiles": cfg.tiles,
+	}); err != nil {
+		return "", fmt.Errorf("create canary %s: %w", id, err)
+	}
+	// One committed step establishes replication (the first commit plans
+	// the follower), so the victim's death finds the history already on
+	// its replica.
+	if err := postJSON(routerBase+"/v1/sessions/"+id+"/step", struct{}{}); err != nil {
+		return "", fmt.Errorf("step canary %s: %w", id, err)
+	}
+	return id, nil
+}
+
+// failoverReport times an unattended failover: SIGKILL to the first
+// successful operation on a session the dead shard owned, with zero
+// operator involvement.
+type failoverReport struct {
+	KilledShard  string  `json:"killed_shard"`
+	Restarted    bool    `json:"restarted"`
+	Recovered    bool    `json:"recovered"`
+	RecoveredMs  float64 `json:"recovered_ms,omitempty"`
+	Probes       int     `json:"probes"`
+	FailedProbes int     `json:"failed_probes"`
+}
+
+// runKillNoRestart waits out -kill-after, kills the victim for good,
+// and probes a session it owned until the supervisor's promotion makes
+// it answer again. The probe is an undisguised client op — recovered_ms
+// is the real client-visible outage, detection plus promotion plus
+// repoint.
+func runKillNoRestart(cfg config, fl *fleet, routerBase, canaryID string) *failoverReport {
+	time.Sleep(cfg.killAfter)
+	rep := &failoverReport{}
+	name, err := fl.kill(cfg.killShard)
+	rep.KilledShard = name
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasetune-load: kill:", err)
+		return rep
+	}
+	killT := time.Now()
+	deadline := killT.Add(cfg.settle)
+	for time.Now().Before(deadline) {
+		rep.Probes++
+		if err := postJSON(routerBase+"/v1/sessions/"+canaryID+"/step", struct{}{}); err == nil {
+			rep.Recovered = true
+			rep.RecoveredMs = millis(time.Since(killT))
+			fmt.Printf("failover: %s's session %s answered %.0fms after SIGKILL (%d failed probes)\n",
+				name, canaryID, rep.RecoveredMs, rep.FailedProbes)
+			return rep
+		}
+		rep.FailedProbes++
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "phasetune-load: failover: session %s never recovered within %v\n", canaryID, cfg.settle)
+	return rep
 }
 
 // chaosPlan builds a transient-only fault schedule on the connection
@@ -594,9 +727,23 @@ func run(cfg config) error {
 		mu.Unlock()
 	}
 
-	// Fleet chaos: one worker dies mid-window and comes back via
-	// journal recovery; the load keeps flowing the whole time.
-	if fl != nil && cfg.killAfter > 0 {
+	// Fleet chaos: one worker dies mid-window. With -kill-no-restart it
+	// stays dead — the router's supervisor must promote its sessions
+	// onto their replicas, and a canary session it owned times the
+	// client-visible outage. Otherwise it comes back via journal
+	// recovery and a manual repoint. The load keeps flowing either way.
+	var foCh chan *failoverReport
+	if cfg.killNoRestart {
+		if fl == nil || cfg.killAfter <= 0 {
+			return fmt.Errorf("-kill-no-restart needs -spawn-shards and -kill-after")
+		}
+		canaryID, err := canarySession(cfg, bases[0], fl.names, fl.names[cfg.killShard])
+		if err != nil {
+			return err
+		}
+		foCh = make(chan *failoverReport, 1)
+		go func(base string) { foCh <- runKillNoRestart(cfg, fl, base, canaryID) }(bases[0])
+	} else if fl != nil && cfg.killAfter > 0 {
 		go func() {
 			time.Sleep(cfg.killAfter)
 			if err := fl.killAndRestart(cfg, cfg.killShard); err != nil {
@@ -653,6 +800,11 @@ func run(cfg config) error {
 	}
 	wall := time.Since(start)
 
+	var failover *failoverReport
+	if foCh != nil {
+		failover = <-foCh // bounded: the probe loop gives up after cfg.settle
+	}
+
 	metrics, merr := scrapeMetrics(metricsURL)
 	if merr != nil {
 		fmt.Fprintln(os.Stderr, "metrics scrape failed:", merr)
@@ -668,6 +820,12 @@ func run(cfg config) error {
 	}
 	rec.EvalCostMs = float64(cfg.evalCost) / float64(time.Millisecond)
 	rec.Cores = runtime.NumCPU()
+	if failover != nil {
+		failover.Restarted = false
+		rec.Failover = failover
+	} else if fl != nil && cfg.killAfter > 0 {
+		rec.Failover = &failoverReport{KilledShard: fmt.Sprintf("w%d", cfg.killShard), Restarted: true, Recovered: true}
+	}
 	if wall > 0 {
 		rec.SessionsPerS = float64(completed) / wall.Seconds()
 	}
@@ -784,13 +942,36 @@ func runSession(cfg config, cl *client.Client, col *collector, ver *verifier, me
 
 	var sess *client.Session
 	timed("create", func(ctx context.Context) error {
-		var err error
-		sess, err = cl.CreateSession(ctx, client.CreateSessionRequest{
+		req := client.CreateSessionRequest{
 			Scenario: cfg.scenario,
 			Strategy: cfg.strategy,
 			Seed:     cfg.seed + int64(idx),
 			Tiles:    cfg.tiles,
-		})
+		}
+		var err error
+		sess, err = cl.CreateSession(ctx, req)
+		if cfg.spawnShards == 0 {
+			return err
+		}
+		// Fleet mode drives kills: a create torn mid-request by the
+		// victim's SIGKILL has no idempotency key the client could
+		// replay, so the harness retries as a brand-new session — the
+		// router mints a fresh id each attempt, and a first attempt
+		// that committed before the kill is just an idle orphan on the
+		// dead shard. Only genuine unavailability should spend the
+		// error budget.
+		backoff := 100 * time.Millisecond
+		for err != nil && ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+				return err
+			case <-time.After(backoff):
+			}
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			sess, err = cl.CreateSession(ctx, req)
+		}
 		return err
 	})
 	if sess == nil {
@@ -990,6 +1171,11 @@ func scrapeMetrics(url string) (map[string]float64, error) {
 	out["peer_cache_misses_total"] = sum("phasetune_peer_cache_misses_total")
 	out["peer_cache_shares_total"] = sum("phasetune_peer_cache_shares_total")
 	out["sessions"] = sum("phasetune_sessions")
+	out["router_promotions_total"] = sum("phasetune_router_promotions_total")
+	out["replica_ships_total"] = sum("phasetune_replica_ships_total")
+	out["replica_promotions_total"] = sum("phasetune_replica_promotions_total")
+	out["replica_degraded_total"] = sum("phasetune_replica_degraded_total")
+	out["replica_rejects_total"] = sum("phasetune_replica_rejects_total")
 	return out, nil
 }
 
@@ -1026,6 +1212,7 @@ type record struct {
 	SessionsPerS float64 `json:"sessions_per_s"`
 
 	Determinism   *determinismReport `json:"determinism,omitempty"`
+	Failover      *failoverReport    `json:"failover,omitempty"`
 	BaselineLabel string             `json:"baseline_label,omitempty"`
 	Speedup       float64            `json:"speedup,omitempty"`
 
@@ -1036,12 +1223,13 @@ type record struct {
 	} `json:"sessions"`
 
 	Ops struct {
-		Total      int            `json:"total"`
-		Errors     int            `json:"errors"`
-		ErrorRate  float64        `json:"error_rate"`
-		PerSecond  float64        `json:"per_second"`
-		ByKind     map[string]int `json:"by_kind"`
-		KindErrors map[string]int `json:"kind_errors,omitempty"`
+		Total        int            `json:"total"`
+		Errors       int            `json:"errors"`
+		ErrorRate    float64        `json:"error_rate"`
+		PerSecond    float64        `json:"per_second"`
+		ByKind       map[string]int `json:"by_kind"`
+		KindErrors   map[string]int `json:"kind_errors,omitempty"`
+		ErrorSamples []string       `json:"error_samples,omitempty"`
 	} `json:"ops"`
 
 	Latency latencyMillis `json:"latency"`
@@ -1096,6 +1284,7 @@ func buildRecord(cfg config, col *collector, clients []*client.Client, proxy *ch
 
 	rec.Ops.ByKind = map[string]int{}
 	rec.Ops.KindErrors = map[string]int{}
+	seenErrs := map[string]bool{}
 	lats := make([]time.Duration, 0, len(ops))
 	for _, op := range ops {
 		rec.Ops.Total++
@@ -1103,6 +1292,13 @@ func buildRecord(cfg config, col *collector, clients []*client.Client, proxy *ch
 		if op.err != nil {
 			rec.Ops.Errors++
 			rec.Ops.KindErrors[op.kind]++
+			// Keep a few distinct messages so a budget breach in CI is
+			// diagnosable from the uploaded record alone.
+			msg := op.kind + ": " + op.err.Error()
+			if !seenErrs[msg] && len(rec.Ops.ErrorSamples) < 8 {
+				seenErrs[msg] = true
+				rec.Ops.ErrorSamples = append(rec.Ops.ErrorSamples, msg)
+			}
 		} else {
 			lats = append(lats, op.latency)
 		}
@@ -1188,6 +1384,10 @@ func applyGates(cfg config, rec *record) {
 	if rec.Determinism != nil && !rec.Determinism.OK {
 		rec.SLO.Violations = append(rec.SLO.Violations,
 			fmt.Sprintf("determinism: %s", strings.Join(rec.Determinism.Mismatches, "; ")))
+	}
+	if rec.Failover != nil && !rec.Failover.Recovered {
+		rec.SLO.Violations = append(rec.SLO.Violations,
+			fmt.Sprintf("failover: sessions of killed shard %s never recovered", rec.Failover.KilledShard))
 	}
 	if cfg.minSpeedup > 0 && rec.Speedup < cfg.minSpeedup {
 		rec.SLO.Violations = append(rec.SLO.Violations,

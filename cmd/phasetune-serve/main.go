@@ -52,6 +52,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -131,6 +132,7 @@ func run(cfg config) error {
 		EvalTimeout:  cfg.evalTimeout,
 	})
 	wirePeers(cfg, eng, srv)
+	wireReplicaFleet(eng, srv)
 	// The listener comes up before journal replay, so orchestrators and
 	// chaos harnesses see liveness plus an honest /readyz "starting"
 	// answer (503, recovery in progress) instead of connection refused;
@@ -155,6 +157,7 @@ func run(cfg config) error {
 	fmt.Println("  GET  /v1/sessions/{id}   GET /metrics   POST /v1/sweep")
 	fmt.Println("  GET  /v1/sessions/{id}/trace   GET /healthz   GET /readyz")
 	fmt.Println("  GET  /v1/cache/peek   GET|POST /v1/cache/peers")
+	fmt.Println("  GET|POST /v1/replica/fleet   GET /v1/replica/status")
 
 	var pprofLn net.Listener
 	if cfg.pprofAddr != "" {
@@ -242,6 +245,106 @@ func wirePeers(cfg config, eng *engine.Engine, srv *engine.Server) *shard.PeerSe
 		srv.WriteJSON(w, http.StatusOK, map[string]any{"peers": ps.Peers()})
 	})
 	return ps
+}
+
+// fleetMember names one worker of the replicated fleet: the name is
+// the routing identity on the consistent-hash ring, the addr is where
+// journal records ship.
+type fleetMember struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// fleetConfig is the replication topology POSTed to /v1/replica/fleet:
+// which ring member this process is, and the full membership. Every
+// member must receive the same membership (with its own self) for
+// owner/follower chains to agree fleet-wide.
+type fleetConfig struct {
+	Self     string        `json:"self"`
+	Replicas int           `json:"replicas"` // virtual nodes per member (0 = ring default)
+	Members  []fleetMember `json:"members"`
+}
+
+// wireReplicaFleet mounts the replication topology routes. The fleet
+// config names the same membership the shard router hashes over, so
+// this worker derives each session's follower — the next distinct ring
+// member clockwise after itself — without any coordination with the
+// router: both sides compute the identical chain from (membership,
+// session id). Repointing the fleet rewires live sessions; their next
+// commit performs a full resync to the new follower.
+func wireReplicaFleet(eng *engine.Engine, srv *engine.Server) {
+	var mu sync.Mutex
+	var cur fleetConfig
+	srv.Handle("GET /v1/replica/fleet", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		cfg := cur
+		mu.Unlock()
+		srv.WriteJSON(w, http.StatusOK, cfg)
+	})
+	srv.Handle("POST /v1/replica/fleet", func(w http.ResponseWriter, r *http.Request) {
+		var req fleetConfig
+		if err := srv.DecodeJSON(w, r, &req); err != nil {
+			srv.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if len(req.Members) == 0 {
+			// An empty membership disbands the fleet: sessions stop
+			// replicating on their next commit.
+			eng.SetReplicaPlanner(nil)
+			mu.Lock()
+			cur = req
+			mu.Unlock()
+			srv.WriteJSON(w, http.StatusOK, req)
+			return
+		}
+		self := req.Self
+		names := make([]string, 0, len(req.Members))
+		addrOf := make(map[string]string, len(req.Members))
+		selfKnown := false
+		for _, m := range req.Members {
+			if m.Name == "" || m.Addr == "" {
+				srv.WriteError(w, http.StatusBadRequest, fmt.Errorf("member needs both name and addr: %+v", m))
+				return
+			}
+			names = append(names, m.Name)
+			addrOf[m.Name] = strings.TrimRight(m.Addr, "/")
+			if m.Name == self {
+				selfKnown = true
+			}
+		}
+		if !selfKnown {
+			srv.WriteError(w, http.StatusBadRequest, fmt.Errorf("self %q is not in members", self))
+			return
+		}
+		ring, err := shard.NewRing(names, req.Replicas)
+		if err != nil {
+			srv.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		n := len(names)
+		eng.SetReplicaPlanner(func(id string) (string, bool) {
+			// The full chain for the session: owner first, then the
+			// distinct members clockwise. The follower is the member after
+			// *this process's* position — correct both when it is the
+			// owner and when it was promoted partway down the chain.
+			chain := ring.LookupN(id, n)
+			for i, name := range chain {
+				if name == self {
+					next := chain[(i+1)%len(chain)]
+					if next == self {
+						return "", false // single-member fleet: nowhere to replicate
+					}
+					return addrOf[next], true
+				}
+			}
+			return "", false
+		})
+		mu.Lock()
+		cur = req
+		mu.Unlock()
+		fmt.Printf("  replica fleet: self=%s members=%d\n", self, n)
+		srv.WriteJSON(w, http.StatusOK, req)
+	})
 }
 
 // splitPeers parses the -peers flag: comma-separated base URLs, blanks

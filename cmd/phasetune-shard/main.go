@@ -17,8 +17,14 @@
 // and Retry-After answers pass through untouched, and stream-step
 // responses flush line by line through the proxy.
 //
-// Failover: when a worker dies, restart it with -recover (same journal
-// dir, any port) and repoint its name:
+// Failover is automatic when the workers replicate (-supervise, the
+// default): the router's health loop doubles as a supervisor that, on
+// a dead owner, promotes each affected session's replica on the next
+// live ring member, bumps its generation (fencing out the old owner),
+// and repoints routing — no operator action, no restart of the dead
+// process required. Manual failover remains available: restart the
+// worker with -recover (same journal dir, any port) and repoint its
+// name:
 //
 //	curl -s -X POST localhost:9100/admin/shards \
 //	     -d '{"name":"w0","addr":"http://127.0.0.1:9201"}'
@@ -58,6 +64,7 @@ type config struct {
 	seed           int64
 	healthInterval time.Duration
 	healthTimeout  time.Duration
+	supervise      bool
 }
 
 func main() {
@@ -68,6 +75,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for minted session ids and Retry-After jitter")
 	flag.DurationVar(&cfg.healthInterval, "health-interval", 0, "background health-check cadence (0 = 500ms)")
 	flag.DurationVar(&cfg.healthTimeout, "health-timeout", 0, "per-probe timeout for health checks and metrics scrapes (0 = 1s)")
+	flag.BoolVar(&cfg.supervise, "supervise", true, "promote sessions' replicas automatically when their owner shard goes down (requires workers wired with /v1/replica/fleet)")
 	selfcheck := flag.Bool("selfcheck", false, "spin two in-process workers plus the router on loopback, drive routing/replay/failover, exit")
 	flag.Parse()
 
@@ -116,6 +124,7 @@ func run(cfg config) error {
 		Seed:           cfg.seed,
 		HealthInterval: cfg.healthInterval,
 		HealthTimeout:  cfg.healthTimeout,
+		Supervise:      cfg.supervise,
 	})
 	if err != nil {
 		return err
@@ -132,7 +141,10 @@ func run(cfg config) error {
 	for _, s := range shards {
 		fmt.Printf("  shard %s -> %s\n", s.Name, s.Addr)
 	}
-	fmt.Println("  GET /readyz   GET /metrics   GET|POST /admin/shards")
+	fmt.Println("  GET /readyz   GET /metrics   GET|POST /admin/shards   GET /admin/sessions")
+	if cfg.supervise {
+		fmt.Println("  supervising: dead owners' sessions auto-promote to their ring follower")
+	}
 
 	httpSrv := &http.Server{Handler: rt}
 	serveErr := make(chan error, 1)

@@ -68,6 +68,10 @@ type Config struct {
 	// Sleep injects the delay implementation; nil selects the wall
 	// clock.
 	Sleep func(d time.Duration)
+	// DialTimeout bounds each upstream dial (default 1s). A blackholed
+	// target — the asymmetric-partition scenario — must fail the dial
+	// rather than wedge the connection forever.
+	DialTimeout time.Duration
 }
 
 // Stats counts what the proxy did to the traffic.
@@ -86,6 +90,10 @@ type Proxy struct {
 	ln     net.Listener
 	target atomic.Value // string
 	sleep  func(time.Duration)
+	// wg joins the accept loop and every per-connection goroutine:
+	// Close closes the listener, aborts live connections, then waits,
+	// so a returned Close proves no proxy goroutine is left running.
+	wg sync.WaitGroup
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -122,6 +130,9 @@ func New(cfg Config) (*Proxy, error) {
 	if sleep == nil {
 		sleep = defaultSleep
 	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("chaosnet: listen: %w", err)
@@ -133,7 +144,7 @@ func New(cfg Config) (*Proxy, error) {
 		conns: map[net.Conn]struct{}{},
 	}
 	p.target.Store(cfg.Target)
-	//lint:allow goleak accept loop exits when Close() closes the listener and Accept returns
+	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
 }
@@ -142,8 +153,27 @@ func New(cfg Config) (*Proxy, error) {
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 
 // SetTarget re-points the upstream for connections accepted from now
-// on. Existing connections keep their established upstream.
+// on. Existing connections keep their established upstream; combine
+// with DropConns to model a link that goes dark mid-flight.
 func (p *Proxy) SetTarget(addr string) { p.target.Store(addr) }
+
+// DropConns resets every live connection while keeping the listener
+// open: established tunnels die with an RST, and new connections dial
+// whatever SetTarget currently names. SetTarget to a dead address plus
+// DropConns is a full partition of the proxied path — keep-alive
+// clients lose their pooled connections instead of riding them past
+// the fault.
+func (p *Proxy) DropConns() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c) //lint:allow determinism teardown order of live connections is irrelevant
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		abort(c)
+	}
+}
 
 // Snapshot returns the proxy's traffic counters.
 func (p *Proxy) Snapshot() Stats {
@@ -157,11 +187,14 @@ func (p *Proxy) Snapshot() Stats {
 	}
 }
 
-// Close stops accepting and resets every live connection.
+// Close stops accepting, resets every live connection, and waits for
+// the accept loop and every connection goroutine to finish — when it
+// returns, the proxy provably holds no running goroutines.
 func (p *Proxy) Close() error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.wg.Wait()
 		return nil
 	}
 	p.closed = true
@@ -174,6 +207,7 @@ func (p *Proxy) Close() error {
 	for _, c := range conns {
 		abort(c)
 	}
+	p.wg.Wait()
 	return err
 }
 
@@ -205,12 +239,14 @@ func abort(c net.Conn) {
 }
 
 func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
 	for {
 		conn, err := p.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
 		idx := int(p.accepted.Add(1)) - 1
+		p.wg.Add(1)
 		go p.serve(conn, idx)
 	}
 }
@@ -251,6 +287,7 @@ func (p *Proxy) shapeFor(idx int) connShape {
 }
 
 func (p *Proxy) serve(client net.Conn, idx int) {
+	defer p.wg.Done()
 	sh := p.shapeFor(idx)
 	if sh.partitioned {
 		p.partitioned.Add(1)
@@ -263,7 +300,7 @@ func (p *Proxy) serve(client net.Conn, idx int) {
 	}
 	defer p.untrack(client)
 	target, _ := p.target.Load().(string)
-	upstream, err := net.Dial("tcp", target)
+	upstream, err := net.DialTimeout("tcp", target, p.cfg.DialTimeout)
 	if err != nil {
 		p.dialErrors.Add(1)
 		abort(client)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,22 @@ type Engine struct {
 	sweepIdem  sweepIdemStore // engine-wide idempotency registry for sweeps
 	peer       atomic.Pointer[PeerLookup]
 	evalCost   atomic.Int64 // emulated per-evaluation application run time, ns
+
+	// Replication (see replica.go): the planner names each session's
+	// follower, replClient ships journal records to it, and replicas
+	// stores the records this node holds for sessions owned elsewhere
+	// (nil without a journal directory).
+	replPlanner atomic.Pointer[ReplicaPlanner]
+	replClient  *http.Client
+	replicas    *replicaStore
+
+	// Replication counters (nil-safe; nil without telemetry).
+	replShips      *obsv.Counter
+	replAccepts    *obsv.Counter
+	replDegraded   *obsv.Counter
+	replFenced     *obsv.Counter
+	replRejects    *obsv.Counter
+	replPromotions *obsv.Counter
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -70,11 +87,35 @@ func NewWithOptions(opts Options) *Engine {
 		snapEvery:  opts.SnapshotEvery,
 		tel:        opts.Telemetry,
 		sessions:   map[string]*Session{},
+		replClient: &http.Client{Timeout: replicaShipTimeout},
 	}
 	e.pool.tel = opts.Telemetry
 	e.cache.tel = opts.Telemetry
+	if opts.JournalDir != "" {
+		e.replicas = newReplicaStore(opts.JournalDir)
+	}
+	if tel := opts.Telemetry; tel != nil {
+		e.replShips = tel.Reg.Counter("phasetune_replica_ships_total",
+			"journal batches acked by a session's follower", nil)
+		e.replAccepts = tel.Reg.Counter("phasetune_replica_accepts_total",
+			"replica batches accepted and fsync'd on behalf of remote owners", nil)
+		e.replDegraded = tel.Reg.Counter("phasetune_replica_degraded_total",
+			"commits acked with replication lagging (follower unreachable)", nil)
+		e.replFenced = tel.Reg.Counter("phasetune_replica_fenced_total",
+			"local sessions failed closed because a newer generation is live elsewhere", nil)
+		e.replRejects = tel.Reg.Counter("phasetune_replica_rejects_total",
+			"replica batches refused (stale generation or sequence gap)", nil)
+		e.replPromotions = tel.Reg.Counter("phasetune_replica_promotions_total",
+			"replica journals promoted into live sessions", nil)
+	}
 	return e
 }
+
+// replicaShipTimeout bounds one replication round-trip. Short: the
+// follower's work is an fsync'd append, and a slow follower must not
+// stall the owner's commit path indefinitely — past the timeout the
+// owner degrades to lagging replication instead.
+const replicaShipTimeout = 2 * time.Second
 
 // Telemetry returns the engine's telemetry bundle (nil when disabled).
 func (e *Engine) Telemetry() *obsv.Telemetry { return e.tel }
@@ -120,6 +161,27 @@ func (e *Engine) Close() error {
 			s.jl = nil
 		}
 		s.mu.Unlock()
+	}
+	if rs := e.replicas; rs != nil {
+		// Replica files are fsync'd per append; closing releases the
+		// descriptors, and a later promotion reads from disk.
+		rs.mu.Lock()
+		ids := make([]string, 0, len(rs.sessions))
+		for id := range rs.sessions {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			st := rs.sessions[id]
+			st.mu.Lock() // wait out an in-flight append before closing
+			err := st.f.Close()
+			st.mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("engine: close replica %s: %w", id, err))
+			}
+			delete(rs.sessions, id)
+		}
+		rs.mu.Unlock()
 	}
 	return errors.Join(errs...)
 }
@@ -274,7 +336,7 @@ func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
 			Tiles:       cfg.Tiles,
 			Exact:       cfg.Exact,
 			GenNodes:    cfg.GenNodes,
-		}, e.snapEvery, e.tel)
+		}, e.snapEvery, 1, e.tel)
 		if err != nil {
 			e.mu.Lock()
 			delete(e.sessions, s.id)
@@ -283,7 +345,27 @@ func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
 		}
 		s.mu.Lock()
 		s.jl = jl
+		s.gen = 1 // fresh sessions start at generation 1; promotions bump it
+		// Ship the create record now, acked-before-visible, like every
+		// other fsync'd record: a session whose owner dies before its
+		// first op commits must still exist on its follower, or the
+		// supervisor would have nothing to promote and the id would be
+		// unservable until an operator intervened. A transport failure
+		// degrades (single-copy, lagging) exactly as op shipping does.
+		replErr := e.replicate(context.Background(), s) //lint:allow ctxflow pre-context API; the ship client carries its own timeout
 		s.mu.Unlock()
+		if replErr != nil {
+			// A refusal on a brand-new id means the id is already live
+			// at some generation elsewhere — acking this create would
+			// fork it. The journal file stays behind for forensics; a
+			// restart that replays it is refused the same way on its
+			// first commit.
+			e.mu.Lock()
+			delete(e.sessions, s.id)
+			e.mu.Unlock()
+			_ = jl.close()
+			return nil, replErr
+		}
 	}
 	return s, nil
 }
@@ -382,10 +464,13 @@ func (e *Engine) checkout(id string) (*Session, error) {
 }
 
 // commitOp journals one committed (or aborted) operation under the
-// session lock. On append failure the session fails closed: its
-// in-memory state is ahead of disk and the journal is the source of
-// truth, so continuing to serve would let the divergence compound.
-func (e *Engine) commitOp(s *Session, rec journalRecord) error {
+// session lock and ships it to the session's follower before the
+// caller sees the result (acked-before-visible; see replica.go). On
+// local append failure the session fails closed: its in-memory state
+// is ahead of disk and the journal is the source of truth, so
+// continuing to serve would let the divergence compound. ctx bounds
+// the replication round-trip, never the local fsync.
+func (e *Engine) commitOp(ctx context.Context, s *Session, rec journalRecord) error {
 	if s.jl == nil {
 		return nil
 	}
@@ -393,7 +478,7 @@ func (e *Engine) commitOp(s *Session, rec journalRecord) error {
 		s.broken = true
 		return fmt.Errorf("engine: session %s fails closed (journal unwritable, restart with recovery): %w", s.id, err)
 	}
-	return nil
+	return e.replicate(ctx, s)
 }
 
 // Step advances a session by one sequential tuning iteration. See
@@ -450,7 +535,7 @@ func (e *Engine) StepIdem(ctx context.Context, id, key string) (StepResult, bool
 		// The strategy consumed a proposal that produced no observation;
 		// journal the abort so recovery replays the same Next call. The
 		// abort carries no key: a retry must re-attempt, not replay.
-		if jerr := e.commitOp(s, journalRecord{T: "abort", Epoch: s.epoch, Actions: []int{action}}); jerr != nil {
+		if jerr := e.commitOp(ctx, s, journalRecord{T: "abort", Epoch: s.epoch, Actions: []int{action}}); jerr != nil {
 			return StepResult{}, false, errors.Join(err, jerr)
 		}
 		return StepResult{}, false, err
@@ -459,7 +544,7 @@ func (e *Engine) StepIdem(ctx context.Context, id, key string) (StepResult, bool
 	s.driver.Observe(action, d)
 	res := s.record(action, d, sim)
 	res.CacheHit = hit
-	if err := e.commitOp(s, journalRecord{
+	if err := e.commitOp(ctx, s, journalRecord{
 		T: "step", Epoch: s.epoch, Iter: res.Iter, Key: key,
 		Actions: []int{action}, Sims: []float64{sim}, Obs: []float64{d}, Hits: []bool{hit},
 	}); err != nil {
@@ -546,7 +631,7 @@ func (e *Engine) BatchStepIdem(ctx context.Context, id string, k int, key string
 	if err := errs.first(); err != nil {
 		// Proposals and lies already reached the strategy; journal the
 		// abort so recovery reconstructs the identical strategy state.
-		if jerr := e.commitOp(s, journalRecord{T: "abort", Epoch: epoch, Actions: actions, Lies: lies}); jerr != nil {
+		if jerr := e.commitOp(ctx, s, journalRecord{T: "abort", Epoch: epoch, Actions: actions, Lies: lies}); jerr != nil {
 			return nil, false, errors.Join(err, jerr)
 		}
 		return nil, false, err
@@ -566,7 +651,7 @@ func (e *Engine) BatchStepIdem(ctx context.Context, id string, k int, key string
 	for i, r := range out {
 		obs[i], allSims[i] = r.Duration, r.Sim
 	}
-	if err := e.commitOp(s, journalRecord{
+	if err := e.commitOp(ctx, s, journalRecord{
 		T: "batch", Epoch: epoch, Iter: firstIter, K: k, Key: key,
 		Actions: actions, Lies: lies, Sims: allSims, Obs: obs, Hits: hits,
 	}); err != nil {
@@ -586,7 +671,8 @@ func (e *Engine) BatchStepIdem(ctx context.Context, id string, k int, key string
 // the old epoch's memory is reclaimed. The transition is journaled so a
 // recovered session resumes in the correct epoch.
 func (e *Engine) AdvanceEpoch(id string) (int, error) {
-	epoch, _, err := e.AdvanceEpochIdem(id, "")
+	//lint:allow ctxflow compat wrapper for pre-context callers; handlers go through AdvanceEpochIdem
+	epoch, _, err := e.AdvanceEpochIdem(context.Background(), id, "")
 	return epoch, err
 }
 
@@ -594,7 +680,8 @@ func (e *Engine) AdvanceEpoch(id string) (int, error) {
 // that already committed an epoch advance replays the resulting epoch
 // instead of advancing again — the difference between a retried
 // request costing nothing and a platform silently skipping an epoch.
-func (e *Engine) AdvanceEpochIdem(id, key string) (int, bool, error) {
+// ctx bounds the replication ship of the journaled transition.
+func (e *Engine) AdvanceEpochIdem(ctx context.Context, id, key string) (int, bool, error) {
 	s, err := e.checkout(id)
 	if err != nil {
 		return 0, false, err
@@ -611,7 +698,7 @@ func (e *Engine) AdvanceEpochIdem(id, key string) (int, bool, error) {
 	}
 	s.epoch++
 	e.cache.DropEpochsBelow(s.ev.Fingerprint(), s.epoch)
-	if err := e.commitOp(s, journalRecord{T: "epoch", Epoch: s.epoch, Key: key}); err != nil {
+	if err := e.commitOp(ctx, s, journalRecord{T: "epoch", Epoch: s.epoch, Key: key}); err != nil {
 		return 0, false, err
 	}
 	s.registerIdem(key, idemEntry{op: "epoch", epoch: s.epoch})

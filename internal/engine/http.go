@@ -52,6 +52,11 @@ const (
 //	POST /v1/sweep                        parallel f(n) sweep over a scenario
 //	GET  /v1/cache/peek                   shard peers probe the evaluation cache
 //	                                      (?fp=&epoch=&action= -> {"found","value"})
+//	POST /v1/replica/{id}/append          a session owner ships journal records (ndjson)
+//	                                      for replication; fsync'd before the ack
+//	POST /v1/replica/{id}/promote         supervisor promotes the local replica into a
+//	                                      live session at a bumped generation
+//	GET  /v1/replica/status               replica journals held here + live generations
 //	GET  /metrics                         Prometheus text by default; the JSON view at Accept: application/json
 //	GET  /v1/sessions/{id}/trace          Chrome trace-event JSON of the session's recorded spans
 //	GET  /healthz                         process liveness (always 200 while serving)
@@ -611,6 +616,80 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	s.handle("POST /v1/replica/{id}/append", func(w http.ResponseWriter, r *http.Request) {
+		// Session owners ship journal records here for their followers to
+		// hold. The route stays open at every lifecycle stage and bypasses
+		// the admission gate: replication is the owner's commit path, and
+		// refusing it during this node's own recovery or under local load
+		// would couple unrelated failure domains. The body is ndjson, one
+		// journal record per line, bounded well above the normal request
+		// cap because a full resync carries a session's whole history.
+		id := r.PathValue("id")
+		if err := ValidateSessionID(id); err != nil {
+			s.error(w, http.StatusBadRequest, err)
+			return
+		}
+		body := http.MaxBytesReader(w, r.Body, replicaMaxBodyBytes)
+		dec := json.NewDecoder(body)
+		var recs []journalRecord
+		for {
+			var rec journalRecord
+			if err := dec.Decode(&rec); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				s.error(w, bodyStatus(err), fmt.Errorf("bad replica batch: %w", err))
+				return
+			}
+			recs = append(recs, rec)
+		}
+		if len(recs) == 0 {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("empty replica batch"))
+			return
+		}
+		seq, err := s.e.AppendReplica(id, recs)
+		if err != nil {
+			s.error(w, replicaStatusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int64{"seq": seq})
+	})
+	s.handle("POST /v1/replica/{id}/promote", func(w http.ResponseWriter, r *http.Request) {
+		if !s.serving(w) {
+			return
+		}
+		var req struct {
+			Gen uint64 `json:"gen"`
+		}
+		if err := s.decodeJSON(w, r, &req); err != nil {
+			s.error(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		res, err := s.e.PromoteReplica(r.PathValue("id"), req.Gen)
+		if err != nil {
+			s.error(w, replicaStatusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	s.handle("GET /v1/replica/status", func(w http.ResponseWriter, r *http.Request) {
+		type liveSession struct {
+			ID      string `json:"id"`
+			Gen     uint64 `json:"gen"`
+			Lagging bool   `json:"lagging"`
+		}
+		resp := struct {
+			Replicas []ReplicaSession `json:"replicas"`
+			Sessions []liveSession    `json:"sessions"`
+		}{Replicas: s.e.ReplicaStatus()}
+		for _, sr := range s.e.Metrics().Sessions {
+			gen, _ := s.e.Generation(sr.ID)
+			resp.Sessions = append(resp.Sessions, liveSession{
+				ID: sr.ID, Gen: gen, Lagging: s.e.ReplicationLagging(sr.ID),
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	s.handle("POST /v1/sessions/{id}/advance-epoch", func(w http.ResponseWriter, r *http.Request) {
 		if !s.serving(w) {
 			return
@@ -619,7 +698,7 @@ func (s *Server) routes() {
 		if !ok {
 			return
 		}
-		epoch, replayed, err := s.e.AdvanceEpochIdem(r.PathValue("id"), key)
+		epoch, replayed, err := s.e.AdvanceEpochIdem(r.Context(), r.PathValue("id"), key)
 		if err != nil {
 			s.error(w, statusFor(err), err)
 			return

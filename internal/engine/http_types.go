@@ -100,13 +100,34 @@ func statusFor(err error) int {
 		strings.Contains(msg, "session id") {
 		return http.StatusBadRequest
 	}
-	if strings.Contains(msg, "already exists") {
+	if strings.Contains(msg, "already exists") || strings.Contains(msg, "fenced out") {
 		return http.StatusConflict
 	}
 	if strings.Contains(msg, "failed closed") {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
+}
+
+// replicaMaxBodyBytes bounds a replica-append batch. A full resync
+// carries a session's entire op history, so the cap sits well above the
+// normal request-body limit.
+const replicaMaxBodyBytes = int64(16 << 20)
+
+// replicaStatusFor maps replication errors onto HTTP statuses. The two
+// refusals are load-bearing protocol answers: 403 tells the shipper it
+// has been deposed (fail closed), 409 tells it the replica needs a full
+// resync (retry from the create record).
+func replicaStatusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrStaleGeneration):
+		return http.StatusForbidden
+	case errors.Is(err, ErrReplicaGap):
+		return http.StatusConflict
+	case errors.Is(err, ErrNoReplica):
+		return http.StatusNotFound
+	}
+	return statusFor(err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -63,7 +63,7 @@ func TestStepIdempotentReplay(t *testing.T) {
 	if _, _, err := e.BatchStepIdem(context.Background(), s.id, 2, "op-1"); !errors.Is(err, ErrIdemConflict) {
 		t.Fatalf("key reuse across ops: err %v, want ErrIdemConflict", err)
 	}
-	if _, _, err := e.AdvanceEpochIdem(s.id, "op-1"); !errors.Is(err, ErrIdemConflict) {
+	if _, _, err := e.AdvanceEpochIdem(context.Background(), s.id, "op-1"); !errors.Is(err, ErrIdemConflict) {
 		t.Fatalf("key reuse across ops: err %v, want ErrIdemConflict", err)
 	}
 }
@@ -112,11 +112,11 @@ func TestAdvanceEpochIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ep1, replayed, err := e.AdvanceEpochIdem(s.id, "e-1")
+	ep1, replayed, err := e.AdvanceEpochIdem(context.Background(), s.id, "e-1")
 	if err != nil || replayed {
 		t.Fatalf("first advance: epoch %d, replayed %t, err %v", ep1, replayed, err)
 	}
-	ep2, replayed, err := e.AdvanceEpochIdem(s.id, "e-1")
+	ep2, replayed, err := e.AdvanceEpochIdem(context.Background(), s.id, "e-1")
 	if err != nil || !replayed || ep2 != ep1 {
 		t.Fatalf("retried advance: epoch %d (want %d), replayed %t, err %v", ep2, ep1, replayed, err)
 	}
@@ -144,7 +144,7 @@ func TestIdempotencySurvivesRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ep1, _, err := e.AdvanceEpochIdem(s.id, "k-epoch")
+	ep1, _, err := e.AdvanceEpochIdem(context.Background(), s.id, "k-epoch")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestIdempotencySurvivesRecovery(t *testing.T) {
 	for i := range batch1 {
 		sameStep(t, "recovered batch step", batch2[i], batch1[i])
 	}
-	ep2, replayed, err := e2.AdvanceEpochIdem(s.id, "k-epoch")
+	ep2, replayed, err := e2.AdvanceEpochIdem(context.Background(), s.id, "k-epoch")
 	if err != nil || !replayed || ep2 != ep1 {
 		t.Fatalf("recovered epoch replay: epoch %d (want %d), replayed %t, err %v", ep2, ep1, replayed, err)
 	}

@@ -51,6 +51,10 @@ import (
 //	 "actions":[a],"sims":[x],"obs":[d],"hits":[b]}   one streamed step, committed in
 //	                                                  proposal order as its evaluation landed
 //	{"t":"epoch","seq":N,"epoch":E,"key":"..."}       platform epoch advance
+//	{"t":"gen","seq":N,"gen":G}                       fencing-token bump: the session was
+//	                                                  promoted onto this node at generation G;
+//	                                                  replication from any older generation
+//	                                                  is rejected from this record on
 //
 // key is the client's idempotency key when the committing request
 // carried one (absent otherwise); hits are the per-step cache-hit
@@ -59,12 +63,20 @@ import (
 // crash and recovery. Aborts never carry keys: a failed operation
 // commits nothing, so a retry under the same key re-attempts.
 //
+// v is the journal format version, carried on the create record
+// (absent on v1 journals, which predate replication); gen is the
+// session's generation (fencing token), stamped on every record so a
+// replica can reject appends from a deposed owner. Both fields are
+// omitempty, so v1 journals replay unchanged.
+//
 // Torn tails are expected: a crash mid-append leaves a partial final
 // line, which recovery drops (the operation never committed). A
 // malformed record anywhere else is corruption and fails recovery.
 type journalRecord struct {
 	T       string         `json:"t"`
+	V       int            `json:"v,omitempty"`
 	Seq     int64          `json:"seq,omitempty"`
+	Gen     uint64         `json:"gen,omitempty"`
 	Config  *journalConfig `json:"config,omitempty"`
 	Epoch   int            `json:"epoch,omitempty"`
 	Iter    int            `json:"iter,omitempty"`
@@ -76,6 +88,12 @@ type journalRecord struct {
 	Hits    []bool         `json:"hits,omitempty"`
 	Key     string         `json:"key,omitempty"`
 }
+
+// journalFormatVersion is the version stamped on fresh create records.
+// v2 added the generation (fencing) field and the "gen" record type;
+// v1 journals (no version field) replay unchanged, and a journal from a
+// future version fails recovery instead of being misread.
+const journalFormatVersion = 2
 
 // journalConfig is the durable form of a SessionConfig. Only
 // key-addressable scenarios can be journaled (an explicit
@@ -110,6 +128,7 @@ type snapshotFile struct {
 	ID     string          `json:"id"`
 	Config journalConfig   `json:"config"`
 	Seq    int64           `json:"seq"`
+	Gen    uint64          `json:"gen,omitempty"`
 	Ops    []journalRecord `json:"ops"`
 }
 
@@ -123,6 +142,7 @@ type journal struct {
 	cfg       journalConfig
 	f         *os.File
 	seq       int64
+	gen       uint64          // fencing token stamped on every appended record
 	ops       []journalRecord // full op history, snapshot source
 	sinceSnap int
 	tel       *obsv.Telemetry // nil disables append/rotation accounting
@@ -136,8 +156,9 @@ func snapshotPath(dir, id string) string { return filepath.Join(dir, id+".snap.j
 // newJournal starts a fresh journal for a new session: the file is
 // created (truncating any stale leftover under the same ID), the create
 // record is appended and both the file and its directory are synced
-// before the session is considered durable.
-func newJournal(dir, id string, cfg journalConfig, every int, tel *obsv.Telemetry) (*journal, error) {
+// before the session is considered durable. gen seeds the fencing
+// token stamped on every record (fresh sessions start at 1).
+func newJournal(dir, id string, cfg journalConfig, every int, gen uint64, tel *obsv.Telemetry) (*journal, error) {
 	if every <= 0 {
 		every = defaultSnapshotEvery
 	}
@@ -148,8 +169,8 @@ func newJournal(dir, id string, cfg journalConfig, every int, tel *obsv.Telemetr
 	if err != nil {
 		return nil, fmt.Errorf("engine: open journal: %w", err)
 	}
-	j := &journal{dir: dir, id: id, every: every, cfg: cfg, f: f, tel: tel}
-	if err := j.writeRecord(journalRecord{T: "create", Config: &cfg}); err != nil {
+	j := &journal{dir: dir, id: id, every: every, cfg: cfg, f: f, gen: gen, tel: tel}
+	if err := j.writeRecord(j.createRecord()); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
@@ -158,6 +179,14 @@ func newJournal(dir, id string, cfg journalConfig, every int, tel *obsv.Telemetr
 		return nil, err
 	}
 	return j, nil
+}
+
+// createRecord builds the first record of a fresh journal. It is the
+// one place the format version is stamped, so replicas that mirror the
+// create record byte-for-byte inherit the version too.
+func (j *journal) createRecord() journalRecord {
+	cfg := j.cfg
+	return journalRecord{T: "create", V: journalFormatVersion, Gen: j.gen, Config: &cfg}
 }
 
 // writeRecord marshals, appends and fsyncs one line.
@@ -179,6 +208,7 @@ func (j *journal) writeRecord(rec journalRecord) error {
 // sequence number, and rotates the snapshot when due.
 func (j *journal) append(rec journalRecord) error {
 	rec.Seq = j.seq + 1
+	rec.Gen = j.gen
 	var t0 int64
 	if j.tel != nil {
 		t0 = j.tel.Now()
@@ -203,7 +233,7 @@ func (j *journal) append(rec journalRecord) error {
 // steps leaves journal records with seq <= snapshot seq, which recovery
 // skips — the rotation is idempotent by sequence number.
 func (j *journal) rotate() error {
-	snap := snapshotFile{ID: j.id, Config: j.cfg, Seq: j.seq, Ops: j.ops}
+	snap := snapshotFile{ID: j.id, Config: j.cfg, Seq: j.seq, Gen: j.gen, Ops: j.ops}
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
 		return fmt.Errorf("engine: encode snapshot %s: %w", j.id, err)
@@ -247,6 +277,10 @@ type sessionState struct {
 	cfg journalConfig
 	ops []journalRecord
 	seq int64
+	// gen is the highest generation (fencing token) seen across the
+	// snapshot and journal records; zero for v1 journals, which recover
+	// as generation 1.
+	gen uint64
 	// tail counts ops read from the live journal (not yet in the
 	// snapshot); it seeds sinceSnap when the journal reopens.
 	tail int
@@ -267,6 +301,7 @@ func loadSessionState(dir, id string) (*sessionState, error) {
 			return nil, fmt.Errorf("engine: snapshot for %s names session %q", id, snap.ID)
 		}
 		st.cfg, st.ops, st.seq = snap.Config, snap.Ops, snap.Seq
+		st.gen = snap.Gen
 		haveConfig = true
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("engine: read snapshot for %s: %w", id, err)
@@ -304,8 +339,15 @@ func loadSessionState(dir, id string) (*sessionState, error) {
 			}
 			return nil, fmt.Errorf("engine: corrupt journal record %d for %s: %w", i, id, err)
 		}
+		if rec.Gen > st.gen {
+			st.gen = rec.Gen
+		}
 		switch {
 		case rec.T == "create":
+			if rec.V > journalFormatVersion {
+				return nil, fmt.Errorf("engine: journal for %s is format v%d; this binary reads up to v%d",
+					id, rec.V, journalFormatVersion)
+			}
 			if !haveConfig {
 				st.cfg = *rec.Config
 				haveConfig = true
@@ -338,9 +380,13 @@ func reopenJournal(dir string, st *sessionState, every int, tel *obsv.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("engine: reopen journal %s: %w", st.id, err)
 	}
+	gen := st.gen
+	if gen == 0 {
+		gen = 1 // v1 journals predate fencing; recover as generation 1
+	}
 	return &journal{
 		dir: dir, id: st.id, every: every, cfg: st.cfg, f: f,
-		seq: st.seq, ops: st.ops, sinceSnap: st.tail, tel: tel,
+		seq: st.seq, gen: gen, ops: st.ops, sinceSnap: st.tail, tel: tel,
 	}, nil
 }
 

@@ -72,6 +72,7 @@ func (e *Engine) Recover() ([]RecoveredSession, error) {
 			return nil, err
 		}
 		s.jl = jl
+		s.gen = jl.gen // highest journaled generation (1 for v1 journals)
 		if e.tel != nil {
 			e.tel.RecoverySessions.Inc()
 			e.tel.RecoveryReplayedOps.Add(float64(len(st.ops)))
@@ -203,6 +204,10 @@ func (e *Engine) replaySession(s *Session, ops []journalRecord) error {
 			if rec.Key != "" {
 				s.registerIdem(rec.Key, idemEntry{op: "epoch", epoch: rec.Epoch})
 			}
+		case "gen":
+			// Fencing-token bump journaled at promotion. It advances no
+			// session state during replay — the generation itself is
+			// tracked by loadSessionState across all records.
 		default:
 			return fmt.Errorf("op %d: unknown record type %q", rec.Seq, rec.T)
 		}

@@ -41,6 +41,15 @@ type Session struct {
 	jl     *journal
 	broken bool
 
+	// gen is the session's generation (fencing token). Fresh sessions
+	// start at 1; each supervised promotion bumps it, and the replica
+	// store rejects appends stamped with an older generation, which is
+	// what fences a deposed owner out after failover. Guarded by mu.
+	gen uint64
+	// repl is the session's replication state (nil until the planner
+	// assigns a follower, or when replication is off). Guarded by mu.
+	repl *replicator
+
 	// idem maps client idempotency keys to the operations they
 	// committed (see idempotency.go). Keys ride in the journal records,
 	// so recovery rebuilds this map and replayed responses survive a

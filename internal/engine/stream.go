@@ -82,7 +82,7 @@ func (e *Engine) StreamBatchStepIdem(ctx context.Context, id string, k int, key 
 	// runs: whatever happens next, recovery replays this exact
 	// Next/lie sequence, and committed steps stack on top via their own
 	// scommit records.
-	if err := e.commitOp(s, journalRecord{
+	if err := e.commitOp(ctx, s, journalRecord{
 		T: "spropose", Epoch: epoch, K: k, Actions: actions, Lies: lies, Key: key,
 	}); err != nil {
 		return 0, false, err
@@ -123,7 +123,7 @@ func (e *Engine) StreamBatchStepIdem(ctx context.Context, id string, k int, key 
 		s.driver.Observe(a, d)
 		res := s.record(a, d, out.v)
 		res.CacheHit = out.hit
-		if err := e.commitOp(s, journalRecord{
+		if err := e.commitOp(ctx, s, journalRecord{
 			T: "scommit", Epoch: epoch, Iter: res.Iter,
 			Actions: []int{a}, Sims: []float64{out.v}, Obs: []float64{d}, Hits: []bool{out.hit},
 		}); err != nil {

@@ -141,6 +141,34 @@ func (r *Ring) Lookup(key string) string {
 	return r.owners[i]
 }
 
+// LookupN returns the first n distinct members clockwise from key's
+// position: index 0 is the owner (same member Lookup returns), index 1
+// the session's replication follower, and so on. Fewer than n members
+// returns them all; an empty ring returns nil. Because the walk is a
+// pure function of (membership, key), every router and every worker
+// derive the identical owner/follower chain independently — the
+// property the replica-placement tests pin down.
+func (r *Ring) LookupN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.names) {
+		n = len(r.names)
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		owner := r.owners[(i+j)%len(r.points)]
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
 // Names returns the ring's members in sorted order. The slice is shared
 // — callers must not mutate it.
 func (r *Ring) Names() []string { return r.names }

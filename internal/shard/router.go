@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,6 +44,13 @@ type Options struct {
 	// HealthTimeout bounds each health probe and each /metrics scrape
 	// (<= 0 selects 1s).
 	HealthTimeout time.Duration
+	// Supervise turns the health loop into a failover supervisor: after
+	// each probe pass, sessions whose serving shard is down are
+	// promoted onto the first live member of their ring chain (the
+	// replication follower) at a bumped generation, with no operator
+	// involvement. POST /admin/shards stays available as the manual
+	// override either way. Tests drive CheckNow + SuperviseNow directly.
+	Supervise bool
 	// Client performs the proxied requests. Nil selects a client with
 	// no overall timeout: proxied evaluations and ndjson streams run as
 	// long as the worker allows.
@@ -86,10 +94,20 @@ type Router struct {
 	retrySeq atomic.Uint64
 	rrSeq    atomic.Uint64 // round-robin for unkeyed sweeps
 
-	reg      *obsv.Registry
-	proxied  func(shard string) *obsv.Counter
-	errors   *obsv.Counter
-	failover *obsv.Counter
+	reg        *obsv.Registry
+	proxied    func(shard string) *obsv.Counter
+	errors     *obsv.Counter
+	failover   *obsv.Counter
+	promotions *obsv.Counter
+
+	// sess is the supervisor's session registry: which shard serves
+	// each router-created session right now, and the last generation
+	// the supervisor knows. Populated when a create commits (201),
+	// rewritten by promotions. Sessions created behind the router's
+	// back route by the plain ring and are not supervised.
+	sessMu    sync.Mutex
+	sess      map[string]*sessionEntry
+	supervise bool
 
 	interval time.Duration
 	// baseCtx bounds the router's own background work (the health loop
@@ -98,6 +116,12 @@ type Router struct {
 	// or scrape call abandons its probe immediately.
 	baseCtx context.Context
 	cancel  context.CancelFunc
+}
+
+// sessionEntry is one supervised session's routing state.
+type sessionEntry struct {
+	owner string // shard name currently serving the session
+	gen   uint64 // highest generation the supervisor has seen
 }
 
 // New builds a Router over the fleet and starts its health loop. Close
@@ -131,16 +155,18 @@ func New(opts Options) (*Router, error) {
 
 	baseCtx, cancel := context.WithCancel(context.Background())
 	rt := &Router{
-		mux:      http.NewServeMux(),
-		ring:     ring,
-		shards:   make(map[string]*shardState, len(opts.Shards)),
-		client:   client,
-		probe:    &http.Client{Timeout: opts.HealthTimeout},
-		seed:     uint64(opts.Seed),
-		reg:      obsv.NewRegistry(),
-		interval: opts.HealthInterval,
-		baseCtx:  baseCtx,
-		cancel:   cancel,
+		mux:       http.NewServeMux(),
+		ring:      ring,
+		shards:    make(map[string]*shardState, len(opts.Shards)),
+		client:    client,
+		probe:     &http.Client{Timeout: opts.HealthTimeout},
+		seed:      uint64(opts.Seed),
+		reg:       obsv.NewRegistry(),
+		sess:      map[string]*sessionEntry{},
+		supervise: opts.Supervise,
+		interval:  opts.HealthInterval,
+		baseCtx:   baseCtx,
+		cancel:    cancel,
 	}
 	for _, s := range opts.Shards {
 		st := &shardState{name: s.Name}
@@ -157,21 +183,47 @@ func New(opts Options) (*Router, error) {
 		"proxy attempts that failed to reach their shard", nil)
 	rt.failover = rt.reg.Counter("phasetune_router_repoints_total",
 		"shard address repoints via /admin/shards", nil)
+	rt.promotions = rt.reg.Counter("phasetune_router_promotions_total",
+		"sessions auto-promoted onto their replication follower", nil)
 	rt.routes()
 
 	go func() {
-		ticker := time.NewTicker(rt.interval) //lint:allow determinism health checks are wall-clock by nature; tests drive CheckNow directly
-		defer ticker.Stop()
+		// Seeded jitter on the probe cadence: two routers over the same
+		// fleet started from the same config would otherwise tick in
+		// lockstep and double-probe every worker at the same instant.
+		// Each wait is drawn from [3/4, 5/4] of the interval by a
+		// SplitMix64 stream over (seed, tick) — deterministic per
+		// router, decorrelated across seeds. Tests bypass the loop and
+		// drive CheckNow/SuperviseNow directly.
+		var tick uint64
+		timer := time.NewTimer(rt.jitteredInterval(tick)) //lint:allow determinism health checks are wall-clock by nature; tests drive CheckNow directly
+		defer timer.Stop()
 		for {
 			select {
 			case <-rt.baseCtx.Done():
 				return
-			case <-ticker.C:
+			case <-timer.C:
 				rt.CheckNow()
+				if rt.supervise {
+					rt.SuperviseNow(rt.baseCtx)
+				}
+				tick++
+				timer.Reset(rt.jitteredInterval(tick))
 			}
 		}
 	}()
 	return rt, nil
+}
+
+// jitteredInterval returns the wait before probe pass n, spread over
+// [3/4, 5/4] of the configured interval by the router's seed.
+func (rt *Router) jitteredInterval(n uint64) time.Duration {
+	span := uint64(rt.interval) / 2
+	if span == 0 {
+		return rt.interval
+	}
+	off := splitmix64(rt.seed^(n+0x5eed)) % span
+	return rt.interval*3/4 + time.Duration(off)
 }
 
 // Close stops the health loop and cancels any in-flight background
@@ -242,6 +294,166 @@ func (rt *Router) get(ctx context.Context, url string) (*http.Response, error) {
 // shardFor maps a routing key onto its shard's state.
 func (rt *Router) shardFor(key string) *shardState {
 	return rt.shards[rt.ring.Lookup(key)]
+}
+
+// sessionShard maps a session id onto the shard serving it: the
+// supervisor's registry wins (a promoted session is served by its
+// follower, not its ring owner), the plain ring otherwise.
+func (rt *Router) sessionShard(id string) *shardState {
+	rt.sessMu.Lock()
+	ent, ok := rt.sess[id]
+	var owner string
+	if ok {
+		owner = ent.owner
+	}
+	rt.sessMu.Unlock()
+	if ok {
+		if st := rt.shards[owner]; st != nil {
+			return st
+		}
+	}
+	return rt.shardFor(id)
+}
+
+// createShard picks where a new session is born. Unsupervised routing
+// is the pure ring owner — placement is predictable from the id alone.
+// A supervisor may skip a dead owner and place the session on the next
+// live member of its chain instead: the registry keeps later requests
+// sticky to wherever the create actually landed, so a fleet running
+// one member short keeps accepting every session id.
+func (rt *Router) createShard(id string) *shardState {
+	if !rt.supervise {
+		return rt.shardFor(id)
+	}
+	chain := rt.ring.LookupN(id, len(rt.ring.Names()))
+	for _, name := range chain {
+		if st := rt.shards[name]; st != nil && st.up.Load() {
+			return st
+		}
+	}
+	return rt.shardFor(id)
+}
+
+// registerSession records where a router-created session was born.
+func (rt *Router) registerSession(id, shard string) {
+	rt.sessMu.Lock()
+	rt.sess[id] = &sessionEntry{owner: shard, gen: 1}
+	rt.sessMu.Unlock()
+}
+
+// SuperviseNow runs one supervision pass: every registered session
+// whose serving shard is down right now is promoted onto the first up
+// member of its ring chain. One attempt per session per pass — a
+// failed promotion (follower also down, replica missing) retries on
+// the next pass rather than looping. Promotions run concurrently
+// (bounded): each one replays the session's replicated journal on its
+// follower, so a dead shard with many sessions would otherwise be a
+// serial storm lasting longer than clients' retry windows — the
+// followers are spread across the fleet and can replay in parallel.
+// Safe to call from anywhere; the background loop calls it after each
+// probe pass when Options.Supervise is set, and tests call it
+// directly after CheckNow.
+func (rt *Router) SuperviseNow(ctx context.Context) {
+	type job struct {
+		id    string
+		owner string
+		gen   uint64
+	}
+	rt.sessMu.Lock()
+	jobs := make([]job, 0, len(rt.sess))
+	for id, ent := range rt.sess {
+		if st := rt.shards[ent.owner]; st != nil && !st.up.Load() {
+			jobs = append(jobs, job{id: id, owner: ent.owner, gen: ent.gen})
+		}
+	}
+	rt.sessMu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].id < jobs[j].id })
+	workers := 2 * len(rt.ring.Names())
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			rt.promoteSession(ctx, j.id, j.owner, j.gen)
+		}
+		return
+	}
+	queue := make(chan job)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				rt.promoteSession(ctx, j.id, j.owner, j.gen)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		queue <- j
+	}
+	close(queue)
+	wg.Wait()
+}
+
+// promoteSession asks the session's first live chain member to promote
+// its replica at a generation above everything the supervisor has
+// seen. On success the registry repoints the session — in-flight
+// client retries land on the promoted shard on their next attempt —
+// and the deposed owner's generation is fenced out by the promoted
+// engine itself (see the engine's replica store).
+func (rt *Router) promoteSession(ctx context.Context, id, owner string, gen uint64) {
+	chain := rt.ring.LookupN(id, len(rt.ring.Names()))
+	var target *shardState
+	for _, name := range chain {
+		if name == owner {
+			continue
+		}
+		if st := rt.shards[name]; st != nil && st.up.Load() {
+			target = st
+			break
+		}
+	}
+	if target == nil {
+		return // nowhere to promote; the next pass retries
+	}
+	body, err := json.Marshal(map[string]uint64{"gen": gen + 1})
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		target.addrStr()+"/v1/replica/"+id+"/promote", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.probe.Do(req)
+	if err != nil {
+		rt.errors.Inc()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// 404: the follower holds no replica (yet); other statuses mean
+		// it is not ready to take over. Either way the next pass retries.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var pr struct {
+		Gen uint64 `json:"gen"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return
+	}
+	rt.sessMu.Lock()
+	if ent, ok := rt.sess[id]; ok {
+		ent.owner = target.name
+		if pr.Gen > ent.gen {
+			ent.gen = pr.Gen
+		}
+	}
+	rt.sessMu.Unlock()
+	rt.promotions.Inc()
 }
 
 // Jittered Retry-After, same policy and bounds as the worker: spread
@@ -388,15 +600,23 @@ func (rt *Router) routes() {
 		r2 := r.Clone(r.Context())
 		r2.Body = io.NopCloser(bytes.NewReader(forward))
 		r2.ContentLength = int64(len(forward))
-		rt.proxy(w, r2, rt.shardFor(id))
+		target := rt.createShard(id)
+		cw := &statusCapture{ResponseWriter: w, code: http.StatusOK}
+		rt.proxy(cw, r2, target)
+		if cw.code == http.StatusCreated && target != nil {
+			// The create committed: from here on this shard serves the
+			// session (and the supervisor watches it).
+			rt.registerSession(id, target.name)
+		}
 	})
 
 	// Everything addressed to a session routes by the id's hash — the
 	// single pattern covers GET /v1/sessions/{id} and every method on
 	// its sub-resources (step, batch-step, stream-step, advance-epoch,
-	// trace).
+	// trace) — unless the supervisor has repointed the session at its
+	// promoted follower.
 	bySession := func(w http.ResponseWriter, r *http.Request) {
-		rt.proxy(w, r, rt.shardFor(r.PathValue("id")))
+		rt.proxy(w, r, rt.sessionShard(r.PathValue("id")))
 	}
 	rt.mux.HandleFunc("/v1/sessions/{id}", bySession)
 	rt.mux.HandleFunc("/v1/sessions/{id}/{op}", bySession)
@@ -447,6 +667,25 @@ func (rt *Router) routes() {
 		})
 	})
 
+	// The supervisor's session registry: which shard serves each
+	// router-created session, and its last known generation. A session
+	// whose shard differs from its ring owner has been auto-promoted.
+	rt.mux.HandleFunc("GET /admin/sessions", func(w http.ResponseWriter, r *http.Request) {
+		type view struct {
+			ID    string `json:"id"`
+			Shard string `json:"shard"`
+			Gen   uint64 `json:"gen"`
+		}
+		rt.sessMu.Lock()
+		out := make([]view, 0, len(rt.sess))
+		for id, ent := range rt.sess {
+			out = append(out, view{ID: id, Shard: ent.owner, Gen: ent.gen})
+		}
+		rt.sessMu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		rt.writeJSON(w, http.StatusOK, out)
+	})
+
 	rt.mux.HandleFunc("GET /admin/shards", func(w http.ResponseWriter, r *http.Request) {
 		type view struct {
 			Shard
@@ -491,6 +730,26 @@ func (rt *Router) routes() {
 			"name": st.name, "addr": st.addrStr(), "up": st.up.Load(), "reason": st.reasonStr(),
 		})
 	})
+}
+
+// statusCapture records the proxied response status so the create
+// handler can tell whether a session actually committed (201) before
+// registering it. Flush passes through — stream responses must not
+// buffer behind the wrapper.
+type statusCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusCapture) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusCapture) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {

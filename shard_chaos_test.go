@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"phasetune/internal/chaosnet"
 	"phasetune/internal/engine"
 	"phasetune/internal/shard"
 )
@@ -522,5 +523,441 @@ func shardPeerTwinPhase(t *testing.T, routerBase string, ring *shard.Ring, names
 	if after <= before {
 		t.Fatalf("no peer-cache hits recorded for twin sessions on shards %q and %q (before %v, after %v)",
 			ring.Lookup(twins[0]), ring.Lookup(twins[1]), before, after)
+	}
+}
+
+// The automatic-failover acceptance test: the owner of active sessions
+// is SIGKILLed and NEVER restarted. The supervising router notices on
+// its own health cadence and promotes each orphaned session onto its
+// replication follower — zero /admin/shards calls, zero operator
+// involvement — and every finished session must be bit-identical to
+// the uninterrupted single-process reference. A zombie revived later
+// from the dead owner's disk is fenced out of its old generation.
+
+// wireReplicaChain POSTs the fleet membership to every worker so each
+// engine ships its sessions' journals to the follower the shared ring
+// names — the same wiring phasetune-load and an operator would do.
+func wireReplicaChain(t *testing.T, names []string, bases []string) {
+	t.Helper()
+	type member struct {
+		Name string `json:"name"`
+		Addr string `json:"addr"`
+	}
+	members := make([]member, len(names))
+	for i := range names {
+		members[i] = member{Name: names[i], Addr: bases[i]}
+	}
+	for i, base := range bases {
+		body, err := json.Marshal(map[string]any{"self": names[i], "members": members})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status, err := chaosPost(base, "/v1/replica/fleet", body, nil); err != nil || status != http.StatusOK {
+			t.Fatalf("wiring replica fleet on %s: status %d, err %v", names[i], status, err)
+		}
+	}
+}
+
+// buildShardBins compiles the serve and router binaries into a temp
+// dir shared by one test.
+func buildShardBins(t *testing.T) (serveBin, routerBin string) {
+	t.Helper()
+	binDir := t.TempDir()
+	serveBin = filepath.Join(binDir, "phasetune-serve")
+	routerBin = filepath.Join(binDir, "phasetune-shard")
+	for bin, pkg := range map[string]string{
+		serveBin:  "./cmd/phasetune-serve",
+		routerBin: "./cmd/phasetune-shard",
+	} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Dir = "."
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return serveBin, routerBin
+}
+
+func TestShardChaosAutoFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serveBin, routerBin := buildShardBins(t)
+	ref := referenceResults(t)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			shardAutoFailoverRound(t, serveBin, routerBin, workers, ref)
+		})
+	}
+}
+
+func shardAutoFailoverRound(t *testing.T, serveBin, routerBin string, engineWorkers int, ref []engine.SessionResult) {
+	var procs []*serveProc
+	t.Cleanup(func() {
+		for _, p := range procs {
+			_ = p.cmd.Process.Kill()
+		}
+		for _, p := range procs {
+			<-p.scanned
+			_ = p.cmd.Wait()
+		}
+	})
+
+	const fleetSize = 3
+	workerArgs := []string{"-workers", strconv.Itoa(engineWorkers), "-snapshot-every", "4"}
+	names := make([]string, fleetSize)
+	dirs := make([]string, fleetSize)
+	bases := make([]string, fleetSize)
+	workers := make([]*serveProc, fleetSize)
+	for i := range workers {
+		names[i] = fmt.Sprintf("w%d", i)
+		dirs[i] = t.TempDir()
+		workers[i] = startServe(t, serveBin,
+			append([]string{"-journal-dir", dirs[i]}, workerArgs...)...)
+		bases[i] = workers[i].base
+		procs = append(procs, workers[i])
+	}
+	wireReplicaChain(t, names, bases)
+
+	parts := make([]string, fleetSize)
+	for i := range names {
+		parts[i] = names[i] + "=" + bases[i]
+	}
+	rt := startShardRouter(t, routerBin,
+		"-shards", strings.Join(parts, ","), "-seed", "5", "-health-interval", "150ms")
+	procs = append(procs, rt)
+	ring, err := shard.NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]string, len(chaosSessions))
+	for i, cs := range chaosSessions {
+		id := fmt.Sprintf("s%d", i+1)
+		body, err := json.Marshal(map[string]any{
+			"id": id, "scenario": "b", "strategy": cs.strategy, "seed": cs.seed, "tiles": cs.tiles,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, owner, data, err := shardReq(http.MethodPost, rt.base+"/v1/sessions", "", body)
+		if err != nil || status != http.StatusCreated {
+			t.Fatalf("create %s: status %d, err %v: %s", id, status, err, data)
+		}
+		if want := ring.Lookup(id); owner != want {
+			t.Fatalf("create %s landed on shard %q, ring says %q", id, owner, want)
+		}
+		ids[i] = id
+	}
+
+	victimName := ring.Lookup(ids[0])
+	victimIdx := -1
+	for i, n := range names {
+		if n == victimName {
+			victimIdx = i
+		}
+	}
+	follower := ring.LookupN(ids[0], fleetSize)[1]
+
+	// Drive every script concurrently; SIGKILL the owner of s1 once the
+	// kill lands mid-script. It is never restarted and no /admin/shards
+	// call is ever made: recovery is the supervisor's job alone.
+	var acked atomic.Int64
+	killAt := int64(len(ids) * len(chaosScript) / 3)
+	killed := make(chan struct{})
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			_ = workers[victimIdx].cmd.Process.Kill()
+			close(killed)
+		})
+	}
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var opErrs []error
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for opIdx, op := range chaosScript {
+				path, body := shardOpBody(op)
+				key := fmt.Sprintf("auto-failover:%s:%d", id, opIdx)
+				if _, _, err := shardRetry(op+" "+id, http.MethodPost,
+					rt.base+"/v1/sessions/"+id+path, key, body); err != nil {
+					errMu.Lock()
+					opErrs = append(opErrs, err)
+					errMu.Unlock()
+					return
+				}
+				if acked.Add(1) >= killAt {
+					kill()
+				}
+			}
+		}(id)
+	}
+	select {
+	case <-killed:
+	case <-time.After(3 * time.Minute):
+		t.Fatal("kill threshold never reached")
+	}
+	wg.Wait()
+	for _, err := range opErrs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every script finished, so the victim's sessions were promoted
+	// automatically. The registry must say so: served by the follower,
+	// at a bumped generation; untouched sessions stay put at gen 1.
+	var sessions []struct {
+		ID    string `json:"id"`
+		Shard string `json:"shard"`
+		Gen   uint64 `json:"gen"`
+	}
+	status, _, raw, err := shardReq(http.MethodGet, rt.base+"/admin/sessions", "", nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("admin/sessions: status %d, err %v", status, err)
+	}
+	if err := json.Unmarshal(raw, &sessions); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range sessions {
+		seen[s.ID] = true
+		ringOwner := ring.Lookup(s.ID)
+		if ringOwner == victimName {
+			if s.Shard != follower && ring.LookupN(s.ID, fleetSize)[1] != s.Shard {
+				t.Fatalf("session %s promoted onto %s, not its follower", s.ID, s.Shard)
+			}
+			if s.Shard == victimName || s.Gen < 2 {
+				t.Fatalf("session %s not promoted: %+v", s.ID, s)
+			}
+		} else if s.Shard != ringOwner || s.Gen != 1 {
+			t.Fatalf("session %s moved without cause: %+v", s.ID, s)
+		}
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("session %s missing from the supervisor registry", id)
+		}
+	}
+
+	// Finished sessions via the router are bit-identical to the
+	// uninterrupted single-process reference.
+	for i, id := range ids {
+		sameFinal(t, fmt.Sprintf("workers=%d final %s", engineWorkers, id), chaosResult(t, rt.base, id), ref[i])
+	}
+
+	// The zombie: a process revived from the dead owner's disk recovers
+	// its sessions at the old generation. Its first commit ships to the
+	// promoted follower, is refused by the fence, and must surface as a
+	// conflict — never an ack.
+	zombie := startServe(t, serveBin,
+		append([]string{"-journal-dir", dirs[victimIdx]}, append(workerArgs, "-recover")...)...)
+	procs = append(procs, zombie)
+	waitOutput(t, zombie, "recovered ")
+	zbases := append([]string{}, bases...)
+	zbases[victimIdx] = zombie.base
+	wireReplicaChain(t, names, zbases)
+	zstatus, _, zraw, err := shardReq(http.MethodPost, zombie.base+"/v1/sessions/"+ids[0]+"/step", "", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zstatus != http.StatusConflict || !strings.Contains(string(zraw), "fenced") {
+		t.Fatalf("zombie owner's commit: status %d body %s, want 409 fenced", zstatus, zraw)
+	}
+}
+
+// The asymmetric-partition test: the owner keeps serving clients that
+// reach it directly, but the router's path to it runs through a
+// chaosnet proxy that gets blackholed — the classic "the monitor
+// thinks the node is dead, the node disagrees" split. The supervisor
+// promotes the follower anyway, the zombie's next replicated commit is
+// fenced, and because every ack required the follower's append first,
+// the promoted timeline contains every operation any client ever saw
+// acknowledged: the finished session is bit-identical to the
+// uninterrupted reference.
+func TestShardChaosPartitionPromote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serveBin, routerBin := buildShardBins(t)
+	ref := referenceResults(t)[0]
+
+	var procs []*serveProc
+	t.Cleanup(func() {
+		for _, p := range procs {
+			_ = p.cmd.Process.Kill()
+		}
+		for _, p := range procs {
+			<-p.scanned
+			_ = p.cmd.Wait()
+		}
+	})
+
+	const fleetSize = 3
+	names := []string{"w0", "w1", "w2"}
+	ring, err := shard.NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A session whose ring owner is w0, the member we will partition.
+	var id string
+	for i := 0; ; i++ {
+		id = fmt.Sprintf("part-%d", i)
+		if ring.Lookup(id) == "w0" {
+			break
+		}
+	}
+	follower := ring.LookupN(id, fleetSize)[1]
+
+	workerArgs := []string{"-workers", "2", "-snapshot-every", "4"}
+	dirs := make([]string, fleetSize)
+	bases := make([]string, fleetSize)
+	workers := make([]*serveProc, fleetSize)
+	for i := range workers {
+		dirs[i] = t.TempDir()
+		workers[i] = startServe(t, serveBin,
+			append([]string{"-journal-dir", dirs[i]}, workerArgs...)...)
+		bases[i] = workers[i].base
+		procs = append(procs, workers[i])
+	}
+	// Worker-to-worker replication uses the real addresses: the
+	// partition cuts only the router's view of w0.
+	wireReplicaChain(t, names, bases)
+
+	proxy, err := chaosnet.New(chaosnet.Config{
+		Listen: "127.0.0.1:0",
+		Target: strings.TrimPrefix(bases[0], "http://"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = proxy.Close() })
+
+	parts := []string{
+		"w0=http://" + proxy.Addr(),
+		"w1=" + bases[1],
+		"w2=" + bases[2],
+	}
+	rt := startShardRouter(t, routerBin,
+		"-shards", strings.Join(parts, ","), "-seed", "5", "-health-interval", "150ms")
+	procs = append(procs, rt)
+
+	cs := chaosSessions[0]
+	body, err := json.Marshal(map[string]any{
+		"id": id, "scenario": "b", "strategy": cs.strategy, "seed": cs.seed, "tiles": cs.tiles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, owner, data, err := shardReq(http.MethodPost, rt.base+"/v1/sessions", "", body)
+	if err != nil || status != http.StatusCreated {
+		t.Fatalf("create %s: status %d, err %v: %s", id, status, err, data)
+	}
+	if owner != "w0" {
+		t.Fatalf("create %s landed on %q, want w0", id, owner)
+	}
+
+	// runOp commits one script op exactly once: first directly against
+	// the owner (the client-side of the asymmetric partition), and if
+	// the owner refuses — fenced mid-promotion, or already failed
+	// closed — the same idempotency key retries through the router, so
+	// a commit the owner did ack is replayed, never re-applied.
+	runOp := func(opIdx int, direct bool) {
+		t.Helper()
+		op := chaosScript[opIdx]
+		path, opBody := shardOpBody(op)
+		key := fmt.Sprintf("partition:%s:%d", id, opIdx)
+		if direct {
+			dstatus, _, _, derr := shardReq(http.MethodPost, bases[0]+"/v1/sessions/"+id+path, key, opBody)
+			if derr == nil && dstatus < 300 {
+				return
+			}
+		}
+		if _, _, err := shardRetry(op+" "+id, http.MethodPost,
+			rt.base+"/v1/sessions/"+id+path, key, opBody); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two ops through the router while the fleet is healthy.
+	runOp(0, false)
+	runOp(1, false)
+
+	// The partition: the router's probes (and proxied requests) to w0
+	// now dial a dead port, and the tunnels its keep-alive client was
+	// riding are reset; direct clients still reach w0, whose own
+	// replication path to its follower is untouched.
+	proxy.SetTarget("127.0.0.1:1")
+	proxy.DropConns()
+
+	// Ops committed by the isolated owner. Each ack required the
+	// follower's fsync first, so whatever lands here survives the
+	// takeover; whatever gets fenced instead is replayed via the router.
+	runOp(2, true)
+	runOp(3, true)
+
+	// The supervisor deposes w0 on its own: no admin call, no restart.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var sessions []struct {
+			ID    string `json:"id"`
+			Shard string `json:"shard"`
+			Gen   uint64 `json:"gen"`
+		}
+		status, _, raw, err := shardReq(http.MethodGet, rt.base+"/admin/sessions", "", nil)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("admin/sessions: status %d, err %v", status, err)
+		}
+		if err := json.Unmarshal(raw, &sessions); err != nil {
+			t.Fatal(err)
+		}
+		promoted := false
+		for _, s := range sessions {
+			if s.ID == id && s.Shard != "w0" && s.Gen >= 2 {
+				if s.Shard != follower {
+					t.Fatalf("session %s promoted onto %s, want follower %s", id, s.Shard, follower)
+				}
+				promoted = true
+			}
+		}
+		if promoted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor never promoted %s off the partitioned owner", id)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The zombie side of the fence: w0 is alive and reachable by
+	// clients, but its next commit ships to the promoted follower and
+	// is refused. Depending on whether an earlier direct op already
+	// tripped the fence, the session is either fenced now (409) or has
+	// already failed closed (503) — it must never ack.
+	zstatus, _, zraw, err := shardReq(http.MethodPost, bases[0]+"/v1/sessions/"+id+"/step", "", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenced := zstatus == http.StatusConflict && strings.Contains(string(zraw), "fenced")
+	broken := zstatus == http.StatusServiceUnavailable && strings.Contains(string(zraw), "failed closed")
+	if !fenced && !broken {
+		t.Fatalf("partitioned owner's post-promotion commit: status %d body %s, want fenced or failed closed", zstatus, zraw)
+	}
+
+	// The rest of the script runs on the promoted follower.
+	runOp(4, false)
+	runOp(5, false)
+
+	final := chaosResult(t, rt.base, id)
+	sameFinal(t, "partition promote "+id, final, ref)
+
+	// The partition was real: the router's probes dialed into the void.
+	if st := proxy.Snapshot(); st.DialErrors == 0 {
+		t.Fatalf("proxy saw no dial errors; the partition never bit: %+v", st)
 	}
 }
