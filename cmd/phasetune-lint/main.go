@@ -1,9 +1,10 @@
 // Command phasetune-lint is the project's multichecker: it runs the
-// eight phasetune analyzers (determinism, floatsafe, strategylock,
-// errdrop, ctxflow, goleak, atomicwrite, lockorder) over the given
-// package patterns and exits non-zero when any finding survives
-// //lint:allow suppression. The last four share one whole-program call
-// graph built once per run (see internal/lint/callgraph). CI runs
+// nine phasetune analyzers (determinism, floatsafe, strategylock,
+// errdrop, ctxflow, goleak, atomicwrite, lockorder, obsvnames) over
+// the given package patterns and exits non-zero when any finding
+// survives //lint:allow suppression. The interprocedural four
+// (ctxflow, goleak, atomicwrite, lockorder) share one whole-program
+// call graph built once per run (see internal/lint/callgraph). CI runs
 // exactly this binary, and lint.sh runs it locally, so the blocking
 // check is the same everywhere:
 //

@@ -58,6 +58,7 @@ import (
 
 	"phasetune/internal/engine"
 	"phasetune/internal/fsutil"
+	"phasetune/internal/obsv/events"
 	"phasetune/internal/obsv/wallclock"
 	"phasetune/internal/shard"
 )
@@ -73,6 +74,7 @@ type config struct {
 	evalTimeout  time.Duration
 	drainTimeout time.Duration
 	traceDir     string
+	eventsFile   string
 	pprofAddr    string
 	peers        string
 	peerTimeout  time.Duration
@@ -91,6 +93,7 @@ func main() {
 	flag.DurationVar(&cfg.evalTimeout, "eval-timeout", 0, "per-request evaluation timeout (0 = none)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
 	flag.StringVar(&cfg.traceDir, "trace-dir", "", "directory for per-session Chrome trace-event JSON files, written on shutdown (empty = tracing still served at GET /v1/sessions/{id}/trace, no files)")
+	flag.StringVar(&cfg.eventsFile, "events-file", "", "append the structured event log as fsync'd JSON lines to this file (empty = in-memory ring only, still served at GET /v1/events)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "net/http/pprof listen address on its own mux, never the API listener (empty = off; a bare port binds loopback only)")
 	flag.StringVar(&cfg.peers, "peers", "", "comma-separated base URLs of shard peers whose evaluation caches answer local misses (empty = no peer lookups; repointable at POST /v1/cache/peers)")
 	flag.DurationVar(&cfg.peerTimeout, "peer-timeout", 0, "per-peer cache probe timeout (0 = 75ms); past it the worker simulates locally")
@@ -117,6 +120,11 @@ func run(cfg config) error {
 		return errors.New("-recover requires -journal-dir")
 	}
 	tel := wallclock.NewTelemetry()
+	evlog, err := newEventsLog(cfg.eventsFile)
+	if err != nil {
+		return err
+	}
+	tel.Events = evlog
 	eng := engine.NewWithOptions(engine.Options{
 		Workers:       cfg.workers,
 		JournalDir:    cfg.journalDir,
@@ -158,6 +166,10 @@ func run(cfg config) error {
 	fmt.Println("  GET  /v1/sessions/{id}/trace   GET /healthz   GET /readyz")
 	fmt.Println("  GET  /v1/cache/peek   GET|POST /v1/cache/peers")
 	fmt.Println("  GET|POST /v1/replica/fleet   GET /v1/replica/status")
+	fmt.Println("  GET  /v1/trace?trace=|session=   GET /v1/events")
+	if cfg.eventsFile != "" {
+		fmt.Printf("  event log appended to %s\n", cfg.eventsFile)
+	}
 
 	var pprofLn net.Listener
 	if cfg.pprofAddr != "" {
@@ -208,6 +220,9 @@ func run(cfg config) error {
 	}
 	if err := eng.Close(); err != nil {
 		return fmt.Errorf("closing engine: %w", err)
+	}
+	if err := evlog.Close(); err != nil {
+		return fmt.Errorf("closing event log: %w", err)
 	}
 	if cfg.traceDir != "" {
 		if err := writeSessionTraces(eng, cfg.traceDir); err != nil {
@@ -347,6 +362,21 @@ func wireReplicaFleet(eng *engine.Engine, srv *engine.Server) {
 	})
 }
 
+// newEventsLog builds the process's structured event log: in-memory
+// always (so GET /v1/events and the router's fleet merge work out of
+// the box), additionally appending fsync'd JSON lines when a path is
+// configured.
+func newEventsLog(path string) (*events.Log, error) {
+	if path == "" {
+		return events.New(wallclock.Nanos), nil
+	}
+	l, err := events.NewFile(path, wallclock.Nanos)
+	if err != nil {
+		return nil, fmt.Errorf("events file: %w", err)
+	}
+	return l, nil
+}
+
 // splitPeers parses the -peers flag: comma-separated base URLs, blanks
 // dropped.
 func splitPeers(s string) []string {
@@ -427,6 +457,7 @@ func runSelfcheck(cfg config) error {
 	}
 
 	tel := wallclock.NewTelemetry()
+	tel.Events = events.New(wallclock.Nanos)
 	eng := engine.NewWithOptions(engine.Options{Workers: cfg.workers, JournalDir: dir, Telemetry: tel})
 	srv := engine.NewServerWithOptions(eng, engine.ServerOptions{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -525,6 +556,22 @@ func runSelfcheck(cfg config) error {
 	}
 	fmt.Printf("telemetry ok: %d bytes of Prometheus text, %d bytes of session trace\n",
 		len(text), len(traceData))
+	var evResp struct {
+		Events []events.Event `json:"events"`
+	}
+	if err := getJSON(base+"/v1/events", &evResp); err != nil {
+		return fmt.Errorf("event log: %w", err)
+	}
+	createdSeen := false
+	for _, ev := range evResp.Events {
+		if ev.Type == "session.created" && ev.Session == created.ID {
+			createdSeen = true
+		}
+	}
+	if !createdSeen {
+		return fmt.Errorf("event log missing session.created for %s (%d events)", created.ID, len(evResp.Events))
+	}
+	fmt.Printf("event log ok: %d events, session.created recorded\n", len(evResp.Events))
 	status, _, err = fetch("http://"+pprofLn.Addr().String()+"/debug/pprof/cmdline", "")
 	if err != nil || status != http.StatusOK {
 		return fmt.Errorf("pprof cmdline: status %d, err %v", status, err)

@@ -32,9 +32,24 @@
 // The ring hashes names, not addresses, so every session the dead
 // process owned routes to its recovered replacement.
 //
-// -selfcheck spins two in-process workers plus the router on loopback
-// ports and drives routing, idempotent replay through the proxy,
-// metrics aggregation and a failover repoint, then exits.
+// The router is also the fleet's observability front door. It mints a
+// fleet trace id for any proxied request that arrives without an
+// X-Phasetune-Trace header (and adopts the one that does), so GET
+// /v1/fleet/trace?trace=<id> can stitch the router's, the owner's and
+// the replication follower's span slices into one Chrome trace with
+// flow arrows across the process boundaries. GET /v1/events merges
+// every process's structured event log — session lifecycle,
+// replication state changes, shard down/up, supervisor promotions —
+// into one causal order, and /metrics adds fleet-summed
+// phasetune_fleet_* families next to the per-shard samples.
+//
+// -selfcheck spins two replica-wired in-process workers plus the
+// router on loopback ports and drives routing, idempotent replay
+// through the proxy, metrics aggregation, a traced stream-step
+// stitched across three processes, the merged event log, and a
+// failover repoint, then exits. -fleet-trace-out and -events-out write
+// the stitched trace and merged event log to files (CI uploads them as
+// artifacts).
 package main
 
 import (
@@ -54,6 +69,11 @@ import (
 	"time"
 
 	"phasetune/internal/engine"
+	"phasetune/internal/fsutil"
+	"phasetune/internal/obsv"
+	"phasetune/internal/obsv/events"
+	"phasetune/internal/obsv/obsvtest"
+	"phasetune/internal/obsv/wallclock"
 	"phasetune/internal/shard"
 )
 
@@ -65,6 +85,9 @@ type config struct {
 	healthInterval time.Duration
 	healthTimeout  time.Duration
 	supervise      bool
+	eventsFile     string
+	fleetTraceOut  string
+	eventsOut      string
 }
 
 func main() {
@@ -76,7 +99,10 @@ func main() {
 	flag.DurationVar(&cfg.healthInterval, "health-interval", 0, "background health-check cadence (0 = 500ms)")
 	flag.DurationVar(&cfg.healthTimeout, "health-timeout", 0, "per-probe timeout for health checks and metrics scrapes (0 = 1s)")
 	flag.BoolVar(&cfg.supervise, "supervise", true, "promote sessions' replicas automatically when their owner shard goes down (requires workers wired with /v1/replica/fleet)")
-	selfcheck := flag.Bool("selfcheck", false, "spin two in-process workers plus the router on loopback, drive routing/replay/failover, exit")
+	flag.StringVar(&cfg.eventsFile, "events-file", "", "append the router's structured event log as fsync'd JSON lines to this file (empty = in-memory ring only, still merged into GET /v1/events)")
+	flag.StringVar(&cfg.fleetTraceOut, "fleet-trace-out", "", "with -selfcheck: write the stitched three-process fleet trace to this file")
+	flag.StringVar(&cfg.eventsOut, "events-out", "", "with -selfcheck: write the fleet-merged event log to this file")
+	selfcheck := flag.Bool("selfcheck", false, "spin two replica-wired in-process workers plus the router on loopback, drive routing/replay/tracing/failover, exit")
 	flag.Parse()
 
 	if *selfcheck {
@@ -118,6 +144,10 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	evlog, err := newEventsLog(cfg.eventsFile)
+	if err != nil {
+		return err
+	}
 	rt, err := shard.New(shard.Options{
 		Shards:         shards,
 		Replicas:       cfg.replicas,
@@ -125,11 +155,14 @@ func run(cfg config) error {
 		HealthInterval: cfg.healthInterval,
 		HealthTimeout:  cfg.healthTimeout,
 		Supervise:      cfg.supervise,
+		Trace:          obsv.NewTraceRecorder(wallclock.Nanos),
+		Events:         evlog,
 	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
+	defer func() { _ = evlog.Close() }()
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -142,6 +175,7 @@ func run(cfg config) error {
 		fmt.Printf("  shard %s -> %s\n", s.Name, s.Addr)
 	}
 	fmt.Println("  GET /readyz   GET /metrics   GET|POST /admin/shards   GET /admin/sessions")
+	fmt.Println("  GET /v1/fleet/trace?trace=|session=   GET /v1/events (fleet-merged)")
 	if cfg.supervise {
 		fmt.Println("  supervising: dead owners' sessions auto-promote to their ring follower")
 	}
@@ -161,34 +195,88 @@ func run(cfg config) error {
 	return httpSrv.Close()
 }
 
-// runSelfcheck drives the router against two in-process workers:
-// session routing, follow-up stickiness, idempotent replay through the
-// proxy hop, aggregated metrics, and a failover repoint.
+// newEventsLog builds the router's structured event log: in-memory
+// always, additionally appending fsync'd JSON lines when a path is
+// configured.
+func newEventsLog(path string) (*events.Log, error) {
+	if path == "" {
+		return events.New(wallclock.Nanos), nil
+	}
+	l, err := events.NewFile(path, wallclock.Nanos)
+	if err != nil {
+		return nil, fmt.Errorf("events file: %w", err)
+	}
+	return l, nil
+}
+
+// runSelfcheck drives the router against two replica-wired in-process
+// workers: session routing, follow-up stickiness, idempotent replay
+// through the proxy hop, aggregated metrics, a traced stream-step
+// stitched across router+owner+follower, the fleet-merged event log,
+// and a failover repoint.
 func runSelfcheck(cfg config) error {
-	worker := func() (*engine.Engine, *http.Server, string, error) {
-		eng := engine.New(1)
+	worker := func() (*engine.Engine, *http.Server, string, func(), error) {
+		dir, err := os.MkdirTemp("", "phasetune-shard-selfcheck-*")
+		if err != nil {
+			return nil, nil, "", nil, err
+		}
+		tel := wallclock.NewTelemetry()
+		tel.Events = events.New(wallclock.Nanos)
+		eng := engine.NewWithOptions(engine.Options{Workers: 1, JournalDir: dir, Telemetry: tel})
 		srv := &http.Server{Handler: engine.NewServer(eng)}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, nil, "", err
+			_ = os.RemoveAll(dir)
+			return nil, nil, "", nil, err
 		}
 		go func() { _ = srv.Serve(ln) }()
-		return eng, srv, "http://" + ln.Addr().String(), nil
+		return eng, srv, "http://" + ln.Addr().String(), func() { _ = os.RemoveAll(dir) }, nil
 	}
-	engA, srvA, addrA, err := worker()
+	engA, srvA, addrA, cleanA, err := worker()
 	if err != nil {
 		return err
 	}
 	defer srvA.Close()
-	_, srvB, addrB, err := worker()
+	defer cleanA()
+	engB, srvB, addrB, cleanB, err := worker()
 	if err != nil {
 		return err
 	}
 	defer srvB.Close()
+	defer cleanB()
+
+	// Replica-wire the pair the way phasetune-serve's /v1/replica/fleet
+	// would: each session's follower is the other ring member, so every
+	// committed op lands on two processes and a traced request crosses
+	// three.
+	names := []string{"w0", "w1"}
+	addrOf := map[string]string{"w0": addrA, "w1": addrB}
+	replRing, err := shard.NewRing(names, 0)
+	if err != nil {
+		return err
+	}
+	for i, eng := range []*engine.Engine{engA, engB} {
+		self := names[i]
+		eng.SetReplicaPlanner(func(id string) (string, bool) {
+			chain := replRing.LookupN(id, len(names))
+			for j, name := range chain {
+				if name == self {
+					next := chain[(j+1)%len(chain)]
+					if next == self {
+						return "", false
+					}
+					return addrOf[next], true
+				}
+			}
+			return "", false
+		})
+	}
 
 	rt, err := shard.New(shard.Options{
 		Shards: []shard.Shard{{Name: "w0", Addr: addrA}, {Name: "w1", Addr: addrB}},
 		Seed:   cfg.seed,
+		Trace:  obsv.NewTraceRecorder(wallclock.Nanos),
+		Events: events.New(wallclock.Nanos),
 	})
 	if err != nil {
 		return err
@@ -294,6 +382,67 @@ func runSelfcheck(cfg config) error {
 		}
 	}
 	fmt.Printf("metrics ok: %d bytes aggregated with shard labels\n", len(mbody))
+	if !strings.Contains(string(mbody), "phasetune_fleet_") {
+		return errors.New("aggregated metrics missing fleet-summed phasetune_fleet_* families")
+	}
+
+	// Distributed tracing: one traced stream-step through the router
+	// must leave spans in three processes — router, session owner, and
+	// the owner's replication follower (the replica append rides the
+	// same trace) — and GET /v1/fleet/trace must stitch them into one
+	// flow-linked document.
+	const traceID = "cafef00dcafef00d"
+	treq, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+oneID+"/stream-step",
+		strings.NewReader(`{"k":2}`))
+	if err != nil {
+		return err
+	}
+	treq.Header.Set("Content-Type", "application/json")
+	treq.Header.Set(obsv.TraceHeader, traceID+"-00000000000000a1")
+	tresp, err := http.DefaultClient.Do(treq)
+	if err != nil {
+		return err
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	_ = tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traced stream-step: %d %s", tresp.StatusCode, tbody)
+	}
+	// The follower's root span closes just after the owner's ship ack,
+	// so poll briefly rather than race it.
+	var fleetTrace []byte
+	var procs int
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fresp, err := http.Get(base + "/v1/fleet/trace?trace=" + traceID)
+		var verr error
+		if err == nil {
+			fbody, _ := io.ReadAll(fresp.Body)
+			_ = fresp.Body.Close()
+			if fresp.StatusCode == http.StatusOK {
+				if procs, verr = obsvtest.ValidateFleetTrace(fbody, 3); verr == nil {
+					fleetTrace = fbody
+					break
+				}
+			} else {
+				verr = fmt.Errorf("status %d: %s", fresp.StatusCode, fbody)
+			}
+		} else {
+			verr = err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet trace never stitched three processes: %v", verr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("fleet trace ok: %d processes flow-linked under trace %s (%d bytes)\n",
+		procs, traceID, len(fleetTrace))
+	if cfg.fleetTraceOut != "" {
+		if err := fsutil.WriteFileAtomic(cfg.fleetTraceOut, fleetTrace, 0o644); err != nil {
+			return fmt.Errorf("writing fleet trace: %w", err)
+		}
+		fmt.Printf("  wrote %s\n", cfg.fleetTraceOut)
+	}
 
 	// Failover: kill w0, repoint its name at a replacement serving the
 	// same engine (standing in for journal recovery), and the sessions
@@ -345,6 +494,44 @@ func runSelfcheck(cfg config) error {
 		}
 	}
 	fmt.Println("failover ok: dead shard repointed, fleet ready, session resumed")
+
+	// The fleet-merged event log: the router's shard.down/up transitions
+	// around the repoint and the workers' session lifecycle interleave
+	// into one causal order.
+	eresp, err := http.Get(base + "/v1/events")
+	if err != nil {
+		return err
+	}
+	ebody, _ := io.ReadAll(eresp.Body)
+	_ = eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet events: %d %s", eresp.StatusCode, ebody)
+	}
+	var elog struct {
+		Events []events.Event `json:"events"`
+	}
+	if err := json.Unmarshal(ebody, &elog); err != nil {
+		return fmt.Errorf("fleet events: %w", err)
+	}
+	seenTypes := map[string]bool{}
+	for _, ev := range elog.Events {
+		seenTypes[ev.Type] = true
+	}
+	for _, want := range []string{"session.created", "shard.down", "shard.up"} {
+		if !seenTypes[want] {
+			return fmt.Errorf("fleet event log missing %q (have %v over %d events)",
+				want, seenTypes, len(elog.Events))
+		}
+	}
+	fmt.Printf("fleet events ok: %d merged events incl. session.created, shard.down, shard.up\n",
+		len(elog.Events))
+	if cfg.eventsOut != "" {
+		if err := fsutil.WriteFileAtomic(cfg.eventsOut, ebody, 0o644); err != nil {
+			return fmt.Errorf("writing fleet events: %w", err)
+		}
+		fmt.Printf("  wrote %s\n", cfg.eventsOut)
+	}
+
 	fmt.Println("selfcheck ok")
 	return nil
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// bdEvent is the slice of a Chrome trace event the breakdown needs.
+type bdEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+// bdSpan is one hop in the reconstructed span tree.
+type bdSpan struct {
+	id, parent string
+	name, proc string
+	ts, dur    float64
+	children   []*bdSpan
+}
+
+// printBreakdown reads a stitched fleet trace (the GET /v1/fleet/trace
+// document) and prints the per-hop latency breakdown of one trace id:
+// the cross-process span tree in call order, each hop with its process,
+// start offset, duration, and self time (duration minus child hops).
+// With traceID empty the file must contain exactly one trace.
+func printBreakdown(w io.Writer, path, traceID string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []bdEvent `json:"traceEvents"`
+	}
+	events := doc.TraceEvents
+	if err := json.Unmarshal(data, &doc); err != nil || doc.TraceEvents == nil {
+		if err := json.Unmarshal(data, &events); err != nil {
+			return fmt.Errorf("%s: not trace-event JSON: %w", path, err)
+		}
+	} else {
+		events = doc.TraceEvents
+	}
+
+	procName := map[int]string{}
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				procName[ev.PID] = n
+			}
+		}
+	}
+	proc := func(pid int) string {
+		if n, ok := procName[pid]; ok {
+			return n
+		}
+		return fmt.Sprintf("pid %d", pid)
+	}
+
+	// Index every span-bearing complete event, then link children to
+	// parents. A root span carries the trace id in its args; hop spans
+	// carry only span/parent, so trace membership flows down the tree.
+	spans := map[string]*bdSpan{}
+	var order []*bdSpan
+	rootTrace := map[string]string{} // span id -> trace id, roots only
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		id, _ := ev.Args["span"].(string)
+		if id == "" {
+			continue
+		}
+		parent, _ := ev.Args["parent"].(string)
+		sp := &bdSpan{id: id, parent: parent, name: ev.Name, proc: proc(ev.PID), ts: ev.TS, dur: ev.Dur}
+		spans[id] = sp
+		order = append(order, sp)
+		if tid, ok := ev.Args["trace"].(string); ok {
+			rootTrace[id] = tid
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no linked spans (was the trace recorded with tracing enabled?)", path)
+	}
+	var roots []*bdSpan
+	for _, sp := range order {
+		if p, ok := spans[sp.parent]; ok && sp.parent != "" {
+			p.children = append(p.children, sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	// Trace id per top-level root; pick or verify the requested one.
+	ids := map[string]bool{}
+	for _, r := range roots {
+		if tid, ok := rootTrace[r.id]; ok {
+			ids[tid] = true
+		}
+	}
+	if traceID == "" {
+		if len(ids) != 1 {
+			sorted := make([]string, 0, len(ids))
+			for id := range ids {
+				sorted = append(sorted, id)
+			}
+			sort.Strings(sorted)
+			return fmt.Errorf("%s holds %d traces (%s); pick one with -trace",
+				path, len(ids), strings.Join(sorted, ", "))
+		}
+		for id := range ids {
+			traceID = id
+		}
+	}
+	var picked []*bdSpan
+	for _, r := range roots {
+		if rootTrace[r.id] == traceID {
+			picked = append(picked, r)
+		}
+	}
+	if len(picked) == 0 {
+		return fmt.Errorf("%s: no spans for trace %s", path, traceID)
+	}
+	sort.Slice(picked, func(i, j int) bool { return picked[i].ts < picked[j].ts })
+	base := picked[0].ts
+
+	count := 0
+	procs := map[string]bool{}
+	var walkCount func(sp *bdSpan)
+	walkCount = func(sp *bdSpan) {
+		count++
+		procs[sp.proc] = true
+		for _, c := range sp.children {
+			walkCount(c)
+		}
+	}
+	for _, r := range picked {
+		walkCount(r)
+	}
+	_, _ = fmt.Fprintf(w, "trace %s — %d processes, %d spans\n\n", traceID, len(procs), count)
+	_, _ = fmt.Fprintf(w, "%-52s %-28s %10s %10s %10s\n", "HOP", "PROCESS", "START", "DUR", "SELF")
+	var walk func(sp *bdSpan, depth int)
+	walk = func(sp *bdSpan, depth int) {
+		childDur := 0.0
+		sort.Slice(sp.children, func(i, j int) bool { return sp.children[i].ts < sp.children[j].ts })
+		for _, c := range sp.children {
+			childDur += c.dur
+		}
+		self := sp.dur - childDur
+		if self < 0 {
+			self = 0 // concurrent child hops can exceed the parent's span
+		}
+		name := strings.Repeat("  ", depth) + sp.name
+		if len(name) > 52 {
+			name = name[:49] + "..."
+		}
+		_, _ = fmt.Fprintf(w, "%-52s %-28s %8.3fms %8.3fms %8.3fms\n",
+			name, sp.proc, (sp.ts-base)/1e3, sp.dur/1e3, self/1e3)
+		for _, c := range sp.children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range picked {
+		walk(r, 0)
+	}
+	return nil
+}

@@ -4,9 +4,15 @@
 // configurations — few nodes for both phases, all nodes for both, and
 // all nodes for generation with only the fast subset factorizing.
 //
+// With -breakdown it instead reads a stitched fleet trace (the shard
+// router's GET /v1/fleet/trace document) and prints the per-hop
+// latency breakdown of one distributed trace: every linked span in
+// call order with its process, start offset, duration, and self time.
+//
 // Usage:
 //
 //	phasetune-trace -scenario b -tiles 48 -width 100
+//	phasetune-trace -breakdown fleet-trace.json [-trace <id>]
 package main
 
 import (
@@ -24,7 +30,17 @@ func main() {
 	tiles := flag.Int("tiles", 48, "tile count (reduced for readability)")
 	width := flag.Int("width", 100, "gantt width in characters")
 	stats := flag.Bool("stats", false, "print per-node utilization tables")
+	breakdown := flag.String("breakdown", "", "stitched fleet trace JSON: print its per-hop latency breakdown instead of the gantt")
+	traceID := flag.String("trace", "", "with -breakdown: the trace id to break down (default: the file's only trace)")
 	flag.Parse()
+
+	if *breakdown != "" {
+		if err := printBreakdown(os.Stdout, *breakdown, *traceID); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc, ok := platform.ScenarioByKey(*scenario)
 	if !ok {

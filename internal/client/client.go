@@ -39,6 +39,8 @@ import (
 	"time"
 
 	"phasetune/internal/engine"
+	"phasetune/internal/obsv"
+	"phasetune/internal/obsv/events"
 )
 
 // Config tunes the client's resilience machinery. Zero values select
@@ -93,6 +95,18 @@ type Config struct {
 	// context's error when it is cancelled. Nil selects the wall clock.
 	Now   func() time.Time
 	Sleep func(ctx context.Context, d time.Duration) error
+
+	// Trace, when set, makes the client the first hop of fleet traces:
+	// each API call opens a root span on the recorder and every HTTP
+	// attempt (first try and each retry) gets its own child hop span,
+	// whose id ships to the server in the X-Phasetune-Trace header.
+	// Nil — the default — disables tracing entirely: no header is
+	// emitted and the hot path allocates nothing.
+	Trace *obsv.TraceRecorder
+	// Events, when set, records the circuit breaker's state changes
+	// (breaker.open / breaker.half-open / breaker.close) as structured
+	// events. Nil disables event recording.
+	Events *events.Log
 }
 
 // Sentinel errors surfaced (wrapped) by the retry loop.
@@ -503,6 +517,16 @@ func (c *Client) do(ctx context.Context, op call) (replayed bool, err error) {
 			return false, fmt.Errorf("client: encode request: %w", err)
 		}
 	}
+	// With tracing configured the client is the trace's first hop: the
+	// call gets a root span and each attempt below becomes a child hop
+	// span shipped in the request header. A nil recorder yields a nil
+	// sc, and every span operation on it is a pointer-check no-op.
+	var sc *obsv.SpanCtx
+	if c.cfg.Trace != nil {
+		var endOp func()
+		sc, endOp = c.cfg.Trace.StartRequest("client", op.method+" "+op.path)
+		defer endOp()
+	}
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
 		// A breaker rejection already waited out the cooldown and never
@@ -533,18 +557,25 @@ func (c *Client) do(ctx context.Context, op call) (replayed bool, err error) {
 			}
 			continue
 		}
-		if probe && c.cfg.Resolve != nil {
-			// Half-open probe: the peer failed hard enough to open the
-			// circuit, so ask where it lives now before testing it.
-			if t := c.cfg.Resolve(); t != "" {
-				c.SetTarget(t)
+		if probe {
+			c.cfg.Events.Emit("breaker.half-open", "", sc.TraceContext().TraceID, nil)
+			if c.cfg.Resolve != nil {
+				// Half-open probe: the peer failed hard enough to open the
+				// circuit, so ask where it lives now before testing it.
+				if t := c.cfg.Resolve(); t != "" {
+					c.SetTarget(t)
+				}
 			}
 		}
 		c.attempts.Add(1)
-		replayed, err := c.attempt(ctx, op, enc)
+		replayed, err := c.attempt(ctx, op, enc, sc, attempt)
 		eligible, breakerCounts := classify(err, op.key != "" || op.read)
 		c.breaker.report(c.cfg.Now(), breakerCounts, c.onTrip)
 		if err == nil {
+			if probe {
+				// The half-open probe succeeded: the breaker is closed again.
+				c.cfg.Events.Emit("breaker.close", "", sc.TraceContext().TraceID, nil)
+			}
 			op.budget.earn()
 			if replayed {
 				c.replays.Add(1)
@@ -559,10 +590,25 @@ func (c *Client) do(ctx context.Context, op call) (replayed bool, err error) {
 	return false, fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-func (c *Client) onTrip() { c.breakerTrips.Add(1) }
+func (c *Client) onTrip() {
+	c.breakerTrips.Add(1)
+	c.cfg.Events.Emit("breaker.open", "", "", nil)
+}
 
-// attempt performs one HTTP exchange.
-func (c *Client) attempt(ctx context.Context, op call, body []byte) (replayed bool, err error) {
+// attempt performs one HTTP exchange. Each attempt is its own hop span
+// (a child of the call's root span) whose id ships in the
+// X-Phasetune-Trace header, so a retried call shows every try as a
+// separate span in the fleet trace. With tracing off (nil sc) no
+// header is emitted and no span state is allocated.
+func (c *Client) attempt(ctx context.Context, op call, body []byte, sc *obsv.SpanCtx, n int) (replayed bool, err error) {
+	tc, endHop := sc.SpanLink("client", "client.attempt")
+	if sc != nil {
+		defer func() {
+			endHop(map[string]any{"attempt": n, "ok": err == nil})
+		}()
+	} else {
+		defer endHop(nil)
+	}
 	actx, cancel := ctx, context.CancelFunc(func() {})
 	if c.cfg.AttemptTimeout > 0 {
 		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
@@ -581,6 +627,9 @@ func (c *Client) attempt(ctx context.Context, op call, body []byte) (replayed bo
 	}
 	if op.key != "" {
 		req.Header.Set("Idempotency-Key", op.key)
+	}
+	if h := tc.Header(); h != "" {
+		req.Header.Set(obsv.TraceHeader, h)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

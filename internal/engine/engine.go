@@ -367,6 +367,8 @@ func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
 			return nil, replErr
 		}
 	}
+	e.tel.Emit("session.created", s.id, "",
+		map[string]any{"strategy": s.driver.Name(), "seed": s.seed})
 	return s, nil
 }
 

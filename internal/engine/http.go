@@ -14,7 +14,24 @@ import (
 	"time"
 
 	"phasetune/internal/obsv"
+	"phasetune/internal/obsv/events"
+	"phasetune/internal/trace"
 )
+
+// traceEventsResponse is the GET /v1/trace body: one process's slice
+// of a fleet trace in local pid/tid numbering.
+type traceEventsResponse struct {
+	Events []trace.ChromeEvent `json:"events"`
+	// Base is the recorder's clock base in nanoseconds; the fleet
+	// stitcher uses it to put every process's events on one time axis.
+	Base int64 `json:"base"`
+}
+
+// eventsResponse is the GET /v1/events body.
+type eventsResponse struct {
+	Events  []events.Event `json:"events"`
+	Evicted uint64         `json:"evicted,omitempty"`
+}
 
 // ServerOptions configures the service hardening around the engine API.
 type ServerOptions struct {
@@ -59,6 +76,10 @@ const (
 //	GET  /v1/replica/status               replica journals held here + live generations
 //	GET  /metrics                         Prometheus text by default; the JSON view at Accept: application/json
 //	GET  /v1/sessions/{id}/trace          Chrome trace-event JSON of the session's recorded spans
+//	GET  /v1/trace                        this process's raw span events for one fleet trace id
+//	                                      (?trace=) or session (?session=), for the router's stitcher
+//	GET  /v1/events                       this process's structured event log (session lifecycle,
+//	                                      replication state changes, fencing)
 //	GET  /healthz                         process liveness (always 200 while serving)
 //	GET  /readyz                          readiness: 503 while draining or closed
 //
@@ -323,12 +344,30 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 
 // startTrace opens the root wall-clock span for a session-addressed
 // request. The returned SpanCtx (nil when telemetry is off) threads
-// through the request context into the engine's spans.
-func (s *Server) startTrace(session, name string) (*obsv.SpanCtx, func()) {
+// through the request context into the engine's spans. An inbound
+// X-Phasetune-Trace header joins the request to its fleet trace; a
+// request without one starts a fresh trace, making this process the
+// first hop.
+func (s *Server) startTrace(r *http.Request, session, name string) (*obsv.SpanCtx, func()) {
 	if s.e.tel == nil {
 		return nil, func() {}
 	}
-	return s.e.tel.Trace.StartRequest(session, name)
+	link, _ := obsv.ParseTraceContext(r.Header.Get(obsv.TraceHeader))
+	return s.e.tel.Trace.StartRequestLink(session, name, link)
+}
+
+// joinTrace opens a root span only when the request carries a trace
+// header — for hop endpoints (replica appends, peer peeks) that should
+// join fleet traces but never start their own.
+func (s *Server) joinTrace(r *http.Request, session, name string) (*obsv.SpanCtx, func()) {
+	if s.e.tel == nil {
+		return nil, func() {}
+	}
+	link, ok := obsv.ParseTraceContext(r.Header.Get(obsv.TraceHeader))
+	if !ok {
+		return nil, func() {}
+	}
+	return s.e.tel.Trace.StartRequestLink(session, name, link)
 }
 
 // wantsJSON implements /metrics content negotiation: the first
@@ -466,6 +505,53 @@ func (s *Server) routes() {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(data)
 	})
+	s.handle("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		// The fleet stitcher's per-process export: this process's raw
+		// events for one fleet trace id (?trace=) or one session
+		// (?session=), still in local pid/tid numbering. Open at every
+		// lifecycle stage — a draining or recovering process's spans are
+		// exactly what a fleet investigation wants.
+		if s.e.tel == nil {
+			s.error(w, http.StatusNotFound,
+				fmt.Errorf("tracing disabled (engine runs without telemetry)"))
+			return
+		}
+		q := r.URL.Query()
+		traceID, session := q.Get("trace"), q.Get("session")
+		var (
+			evs []trace.ChromeEvent
+			ok  bool
+		)
+		switch {
+		case traceID != "":
+			evs, ok = s.e.tel.Trace.TraceEvents(traceID)
+		case session != "":
+			evs, ok = s.e.tel.Trace.SessionEvents(session)
+		default:
+			s.error(w, http.StatusBadRequest, fmt.Errorf("need a trace or session parameter"))
+			return
+		}
+		if !ok {
+			s.error(w, http.StatusNotFound, fmt.Errorf("no spans recorded here for trace %q session %q", traceID, session))
+			return
+		}
+		writeJSON(w, http.StatusOK, traceEventsResponse{Events: evs, Base: s.e.tel.Trace.Base()})
+	})
+	s.handle("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		// The process's structured event log. An engine without telemetry
+		// (or without an attached log) serves an empty list rather than
+		// erroring, so fleet merging treats "nothing happened" and
+		// "nothing recorded" alike.
+		var resp eventsResponse
+		if s.e.tel != nil {
+			resp.Events = s.e.tel.Events.Events()
+			resp.Evicted = s.e.tel.Events.Evicted()
+		}
+		if resp.Events == nil {
+			resp.Events = []events.Event{}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	s.handle("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
 		if !s.serving(w) {
 			return
@@ -482,7 +568,7 @@ func (s *Server) routes() {
 		ctx, cancel := s.evalContext(r)
 		defer cancel()
 		id := r.PathValue("id")
-		sc, endReq := s.startTrace(id, "POST /v1/sessions/{id}/step")
+		sc, endReq := s.startTrace(r, id, "POST /v1/sessions/{id}/step")
 		defer endReq()
 		res, replayed, err := s.e.StepIdem(obsv.ContextWith(ctx, sc), id, key)
 		if err != nil {
@@ -516,7 +602,7 @@ func (s *Server) routes() {
 		ctx, cancel := s.evalContext(r)
 		defer cancel()
 		id := r.PathValue("id")
-		sc, endReq := s.startTrace(id, "POST /v1/sessions/{id}/batch-step")
+		sc, endReq := s.startTrace(r, id, "POST /v1/sessions/{id}/batch-step")
 		defer endReq()
 		res, replayed, err := s.e.BatchStepIdem(obsv.ContextWith(ctx, sc), id, req.K, key)
 		if err != nil {
@@ -550,7 +636,7 @@ func (s *Server) routes() {
 		ctx, cancel := s.evalContext(r)
 		defer cancel()
 		id := r.PathValue("id")
-		sc, endReq := s.startTrace(id, "POST /v1/sessions/{id}/stream-step")
+		sc, endReq := s.startTrace(r, id, "POST /v1/sessions/{id}/stream-step")
 		defer endReq()
 
 		// The response is ndjson: one line per committed step, flushed
@@ -609,7 +695,9 @@ func (s *Server) routes() {
 			s.error(w, http.StatusBadRequest, fmt.Errorf("bad action parameter: %w", err))
 			return
 		}
+		_, endReq := s.joinTrace(r, "peer", "GET /v1/cache/peek")
 		v, found := s.e.PeekShared(CacheKey{Fingerprint: fp, Epoch: epoch, Action: action})
+		endReq()
 		resp := cachePeekResponse{Found: found}
 		if found {
 			resp.Value = &v
@@ -647,7 +735,12 @@ func (s *Server) routes() {
 			s.error(w, http.StatusBadRequest, fmt.Errorf("empty replica batch"))
 			return
 		}
-		seq, err := s.e.AppendReplica(id, recs)
+		// Followers join the owner's trace (the hop span shipped in the
+		// header becomes this root span's parent) but never start one:
+		// an untraced ship records nothing here.
+		sc, endReq := s.joinTrace(r, id, "POST /v1/replica/{id}/append")
+		defer endReq()
+		seq, err := s.e.AppendReplica(obsv.ContextWith(r.Context(), sc), id, recs)
 		if err != nil {
 			s.error(w, replicaStatusFor(err), err)
 			return
@@ -665,7 +758,12 @@ func (s *Server) routes() {
 			s.error(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		res, err := s.e.PromoteReplica(r.PathValue("id"), req.Gen)
+		// A supervisor-driven promotion ships the supervisor's trace
+		// context; joining it makes the takeover visible in the fleet
+		// trace of the failover that caused it.
+		sc, endReq := s.joinTrace(r, r.PathValue("id"), "POST /v1/replica/{id}/promote")
+		defer endReq()
+		res, err := s.e.PromoteReplica(obsv.ContextWith(r.Context(), sc), r.PathValue("id"), req.Gen)
 		if err != nil {
 			s.error(w, replicaStatusFor(err), err)
 			return

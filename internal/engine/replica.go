@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"phasetune/internal/fsutil"
+	"phasetune/internal/obsv"
 )
 
 // Replication: every fsync'd journal record of a session is shipped,
@@ -88,6 +89,10 @@ type replicator struct {
 	// the local commit was acked anyway, and durability is single-copy
 	// until a ship succeeds again.
 	lagging bool
+	// lagOps counts commits acked locally but not by the follower — the
+	// session's replication lag, exported as a per-session gauge. Zero
+	// while synced.
+	lagOps int
 }
 
 // replicate ships the just-committed journal tail to the session's
@@ -120,22 +125,39 @@ func (e *Engine) replicate(ctx context.Context, s *Session) error {
 		return nil
 	}
 
+	sc := obsv.FromContext(ctx)
 	var recs []journalRecord
+	resync := !s.repl.synced
 	if s.repl.synced {
 		recs = s.jl.ops[len(s.jl.ops)-1:]
 	} else {
 		recs = append([]journalRecord{s.jl.createRecord()}, s.jl.ops...)
 	}
-	err := e.ship(ctx, s.repl.addr, s.id, recs)
+	start := e.tel.Now()
+	err := e.shipSpan(ctx, sc, s.repl.addr, s.id, recs)
 	if errors.Is(err, ErrReplicaGap) && s.repl.synced {
 		// The follower lost state (restart, wipe); resync the full
 		// history once and retry.
 		s.repl.synced = false
+		resync = true
 		recs = append([]journalRecord{s.jl.createRecord()}, s.jl.ops...)
-		err = e.ship(ctx, s.repl.addr, s.id, recs)
+		err = e.shipSpan(ctx, sc, s.repl.addr, s.id, recs)
 	}
 	switch {
 	case err == nil:
+		if e.tel != nil {
+			if resync {
+				e.tel.ReplicaResync.Observe(e.tel.Seconds(start))
+			} else {
+				e.tel.ReplicaAckLatency.Observe(e.tel.Seconds(start))
+			}
+		}
+		if s.repl.lagging {
+			e.tel.ReplicaLag(s.id).Set(0)
+			s.repl.lagOps = 0
+			e.tel.Emit("repl.recovered", s.id, sc.TraceContext().TraceID,
+				map[string]any{"follower": s.repl.addr})
+		}
 		s.repl.synced = true
 		s.repl.lagging = false
 		e.replShips.Inc()
@@ -146,6 +168,8 @@ func (e *Engine) replicate(ctx context.Context, s *Session) error {
 		// acking even one more commit here would fork history.
 		s.broken = true
 		e.replFenced.Inc()
+		e.tel.Emit("session.fenced", s.id, sc.TraceContext().TraceID,
+			map[string]any{"gen": s.gen, "reason": "stale generation: a newer generation is live elsewhere"})
 		return fmt.Errorf("engine: session %s fenced out (a newer generation is live elsewhere): %w", s.id, err)
 	case errors.Is(err, ErrReplicaGap):
 		// A gap that survives a full resync is a deliberate refusal, not
@@ -154,22 +178,46 @@ func (e *Engine) replicate(ctx context.Context, s *Session) error {
 		// commit vanish from the promoted timeline — fail closed instead.
 		s.broken = true
 		e.replFenced.Inc()
+		e.tel.Emit("session.fenced", s.id, sc.TraceContext().TraceID,
+			map[string]any{"gen": s.gen, "reason": "follower is promoting this session"})
 		return fmt.Errorf("engine: session %s fenced out (follower is promoting it): %w", s.id, err)
 	default:
 		// Transport-level failure: the follower is down or unreachable,
 		// not refusing. Stay available, mark the lag, resync when it
 		// returns.
+		if !s.repl.lagging {
+			e.tel.Emit("repl.degraded", s.id, sc.TraceContext().TraceID,
+				map[string]any{"follower": s.repl.addr, "err": err.Error()})
+		}
 		s.repl.synced = false
 		s.repl.lagging = true
+		s.repl.lagOps++
+		e.tel.ReplicaLag(s.id).Set(float64(s.repl.lagOps))
 		e.replDegraded.Inc()
 		return nil
 	}
 }
 
+// shipSpan wraps one ship in a cross-process hop span: the follower
+// receives the hop's child span id in the X-Phasetune-Trace header and
+// records it as its root span's parent. Untraced requests (nil sc) pay
+// one pointer check and send no header.
+func (e *Engine) shipSpan(ctx context.Context, sc *obsv.SpanCtx, addr, id string, recs []journalRecord) error {
+	tc, end := sc.SpanLink("repl", "replica.ship")
+	err := e.ship(ctx, tc, addr, id, recs)
+	if sc != nil {
+		end(map[string]any{"follower": addr, "records": len(recs), "ok": err == nil})
+	} else {
+		end(nil)
+	}
+	return err
+}
+
 // ship POSTs records as ndjson to the follower's replica-append
-// endpoint. Refusals (stale generation, sequence gap) come back as
+// endpoint, carrying tc in the X-Phasetune-Trace header when the hop
+// is traced. Refusals (stale generation, sequence gap) come back as
 // typed errors; anything else is a transport failure.
-func (e *Engine) ship(ctx context.Context, addr, id string, recs []journalRecord) error {
+func (e *Engine) ship(ctx context.Context, tc obsv.TraceContext, addr, id string, recs []journalRecord) error {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, rec := range recs {
@@ -183,6 +231,9 @@ func (e *Engine) ship(ctx context.Context, addr, id string, recs []journalRecord
 		return err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	if h := tc.Header(); h != "" {
+		req.Header.Set(obsv.TraceHeader, h)
+	}
 	resp, err := e.replClient.Do(req)
 	if err != nil {
 		return err
@@ -270,7 +321,7 @@ type ReplicaSession struct {
 // check is the fence that stops a deposed owner from acking through
 // its old follower after that follower was promoted. The batch is
 // written with a single fsync before the ack.
-func (e *Engine) AppendReplica(id string, recs []journalRecord) (int64, error) {
+func (e *Engine) AppendReplica(ctx context.Context, id string, recs []journalRecord) (int64, error) {
 	if e.replicas == nil {
 		return 0, fmt.Errorf("engine: replication needs a journal directory")
 	}
@@ -297,6 +348,8 @@ func (e *Engine) AppendReplica(id string, recs []journalRecord) (int64, error) {
 		if live := s.generation(); live > batchGen {
 			rs.mu.Unlock()
 			e.replRejects.Inc()
+			e.tel.Emit("repl.fenced", id, obsv.FromContext(ctx).TraceContext().TraceID,
+				map[string]any{"live_gen": live, "batch_gen": batchGen, "reason": "session live here"})
 			return 0, fmt.Errorf("%w: session %s is live here at generation %d, batch carries %d",
 				ErrStaleGeneration, id, live, batchGen)
 		}
@@ -311,6 +364,8 @@ func (e *Engine) AppendReplica(id string, recs []journalRecord) (int64, error) {
 	if st != nil && batchGen < st.gen {
 		rs.mu.Unlock()
 		e.replRejects.Inc()
+		e.tel.Emit("repl.fenced", id, obsv.FromContext(ctx).TraceContext().TraceID,
+			map[string]any{"live_gen": st.gen, "batch_gen": batchGen, "reason": "replica has seen a newer generation"})
 		return 0, fmt.Errorf("%w: replica of %s has seen generation %d, batch carries %d",
 			ErrStaleGeneration, id, st.gen, batchGen)
 	}
@@ -421,8 +476,10 @@ type PromotedSession struct {
 // and a generation record at max(minGen, seen+1) is journaled so every
 // subsequent commit is fenced above the deposed owner. Idempotent: a
 // repeated promotion of an already-live session at or above minGen
-// reports the live state.
-func (e *Engine) PromoteReplica(id string, minGen uint64) (PromotedSession, error) {
+// reports the live state. ctx only carries the caller's trace span
+// (the promotion itself is local and must run to completion once
+// started); the promoted event is stamped with its trace id.
+func (e *Engine) PromoteReplica(ctx context.Context, id string, minGen uint64) (PromotedSession, error) {
 	if e.closed.Load() {
 		return PromotedSession{}, ErrClosed
 	}
@@ -540,6 +597,8 @@ func (e *Engine) PromoteReplica(id string, minGen uint64) (PromotedSession, erro
 		e.tel.RecoverySessions.Inc()
 		e.tel.RecoveryReplayedOps.Add(float64(len(st.ops)))
 	}
+	e.tel.Emit("session.promoted", id, obsv.FromContext(ctx).TraceContext().TraceID,
+		map[string]any{"gen": newGen, "iterations": len(s.actions), "replayed_ops": len(st.ops)})
 	return PromotedSession{ID: id, Iterations: len(s.actions), Epoch: s.epoch, Gen: newGen}, nil
 }
 

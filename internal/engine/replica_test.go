@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"os"
@@ -55,7 +56,7 @@ func TestPromoteReplicaBitIdentical(t *testing.T) {
 	sameResult(t, "owner vs reference", before, refRes)
 
 	// "Kill" the owner: no Close, no flush; its disk is never read again.
-	promoted, err := follower.PromoteReplica(s.id, 2)
+	promoted, err := follower.PromoteReplica(context.Background(), s.id, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestCreateReplicatedBeforeAck(t *testing.T) {
 
 	// "Kill" the owner with zero ops committed: the acked create alone
 	// must be enough for the follower to take over.
-	promoted, err := follower.PromoteReplica(s.id, 2)
+	promoted, err := follower.PromoteReplica(context.Background(), s.id, 2)
 	if err != nil {
 		t.Fatalf("promoting an op-less session: %v", err)
 	}
@@ -136,17 +137,17 @@ func TestPromoteReplicaIdempotent(t *testing.T) {
 	if _, err := e.Step(s.id); err != nil {
 		t.Fatal(err)
 	}
-	p, err := e.PromoteReplica(s.id, 1)
+	p, err := e.PromoteReplica(context.Background(), s.id, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Gen != 1 || p.Iterations != 1 {
 		t.Fatalf("idempotent promote %+v, want gen 1 with 1 iteration", p)
 	}
-	if _, err := e.PromoteReplica(s.id, 9); err == nil {
+	if _, err := e.PromoteReplica(context.Background(), s.id, 9); err == nil {
 		t.Fatal("promotion above the live generation must fail, got nil")
 	}
-	if _, err := e.PromoteReplica("nosuch", 2); !errors.Is(err, ErrNoReplica) {
+	if _, err := e.PromoteReplica(context.Background(), "nosuch", 2); !errors.Is(err, ErrNoReplica) {
 		t.Fatalf("promoting an unknown id: %v, want ErrNoReplica", err)
 	}
 }
@@ -170,7 +171,7 @@ func TestFencingDeposedOwner(t *testing.T) {
 
 	// The supervisor deposes the owner (it was unreachable from the
 	// router, say) and promotes the follower at generation 2.
-	if _, err := follower.PromoteReplica(s.id, 2); err != nil {
+	if _, err := follower.PromoteReplica(context.Background(), s.id, 2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -233,21 +234,21 @@ func TestAppendReplicaValidation(t *testing.T) {
 	defer e.Close()
 	cfg := &journalConfig{ScenarioKey: "b", Strategy: "GP-discontinuous", Seed: 1}
 
-	if _, err := e.AppendReplica("v1", nil); err == nil {
+	if _, err := e.AppendReplica(context.Background(), "v1", nil); err == nil {
 		t.Fatal("empty batch must be refused")
 	}
-	if _, err := e.AppendReplica("../evil", []journalRecord{{T: "create"}}); err == nil {
+	if _, err := e.AppendReplica(context.Background(), "../evil", []journalRecord{{T: "create"}}); err == nil {
 		t.Fatal("invalid session id must be refused")
 	}
 
 	// No state and no leading create: demand a resync.
-	_, err := e.AppendReplica("v1", []journalRecord{{T: "epoch", Seq: 1, Gen: 1, Epoch: 1}})
+	_, err := e.AppendReplica(context.Background(), "v1", []journalRecord{{T: "epoch", Seq: 1, Gen: 1, Epoch: 1}})
 	if !errors.Is(err, ErrReplicaGap) {
 		t.Fatalf("append without state: %v, want ErrReplicaGap", err)
 	}
 
 	// Full resync: create plus two ops lands at seq 2.
-	seq, err := e.AppendReplica("v1", []journalRecord{
+	seq, err := e.AppendReplica(context.Background(), "v1", []journalRecord{
 		{T: "create", V: journalFormatVersion, Gen: 1, Config: cfg},
 		{T: "epoch", Seq: 1, Gen: 1, Epoch: 1},
 		{T: "epoch", Seq: 2, Gen: 1, Epoch: 2},
@@ -257,21 +258,21 @@ func TestAppendReplicaValidation(t *testing.T) {
 	}
 
 	// Contiguous extension is accepted; a gap is refused.
-	if _, err := e.AppendReplica("v1", []journalRecord{{T: "epoch", Seq: 3, Gen: 1, Epoch: 3}}); err != nil {
+	if _, err := e.AppendReplica(context.Background(), "v1", []journalRecord{{T: "epoch", Seq: 3, Gen: 1, Epoch: 3}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.AppendReplica("v1", []journalRecord{{T: "epoch", Seq: 9, Gen: 1, Epoch: 4}}); !errors.Is(err, ErrReplicaGap) {
+	if _, err := e.AppendReplica(context.Background(), "v1", []journalRecord{{T: "epoch", Seq: 9, Gen: 1, Epoch: 4}}); !errors.Is(err, ErrReplicaGap) {
 		t.Fatalf("gapped append: %v, want ErrReplicaGap", err)
 	}
 
 	// A batch from an older generation than the replica has seen is a
 	// deposed owner.
-	if _, err := e.AppendReplica("v1", []journalRecord{
+	if _, err := e.AppendReplica(context.Background(), "v1", []journalRecord{
 		{T: "create", V: journalFormatVersion, Gen: 2, Config: cfg},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.AppendReplica("v1", []journalRecord{{T: "epoch", Seq: 1, Gen: 1, Epoch: 1}}); !errors.Is(err, ErrStaleGeneration) {
+	if _, err := e.AppendReplica(context.Background(), "v1", []journalRecord{{T: "epoch", Seq: 1, Gen: 1, Epoch: 1}}); !errors.Is(err, ErrStaleGeneration) {
 		t.Fatalf("stale-generation append: %v, want ErrStaleGeneration", err)
 	}
 
@@ -281,7 +282,7 @@ func TestAppendReplicaValidation(t *testing.T) {
 	e.replicas.mu.Lock()
 	e.replicas.promoting["v1"] = true
 	e.replicas.mu.Unlock()
-	if _, err := e.AppendReplica("v1", []journalRecord{
+	if _, err := e.AppendReplica(context.Background(), "v1", []journalRecord{
 		{T: "create", V: journalFormatVersion, Gen: 2, Config: cfg},
 	}); !errors.Is(err, ErrReplicaGap) {
 		t.Fatalf("append during promotion: %v, want ErrReplicaGap", err)

@@ -21,12 +21,15 @@ import (
 	"phasetune/internal/lint/goleak"
 	"phasetune/internal/lint/load"
 	"phasetune/internal/lint/lockorder"
+	"phasetune/internal/lint/obsvnames"
 	"phasetune/internal/lint/strategylock"
 )
 
 // Analyzers returns the full registry, in report order. The first four
-// are the intra-procedural PR-3 suite; the last four are the
-// interprocedural suite built on the internal/lint/callgraph graph.
+// are the intra-procedural PR-3 suite; ctxflow through lockorder are
+// the interprocedural suite built on the internal/lint/callgraph
+// graph; obsvnames guards the observability contract (static metric
+// vocabulary, nil-safe Telemetry).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
@@ -37,6 +40,7 @@ func Analyzers() []*analysis.Analyzer {
 		goleak.Analyzer,
 		atomicwrite.Analyzer,
 		lockorder.Analyzer,
+		obsvnames.Analyzer,
 	}
 }
 
@@ -83,7 +87,7 @@ func inScope(a *analysis.Analyzer, path string) bool {
 	switch a.Name {
 	case determinism.Name, floatsafe.Name, strategylock.Name:
 		return simPackages[path]
-	case errdrop.Name, goleak.Name:
+	case errdrop.Name, goleak.Name, obsvnames.Name:
 		// Everything we ship: the library internals and the CLIs, minus
 		// the linter's own packages (they report through returned errors
 		// and their fixtures intentionally drop values / spawn loops).

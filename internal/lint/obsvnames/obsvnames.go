@@ -1,0 +1,201 @@
+// Package obsvnames implements the phasetune-lint analyzer guarding
+// the observability contract: metric families are a fixed, documented
+// vocabulary, and telemetry is optional everywhere.
+//
+// Dynamic metric names (fmt.Sprintf'd session ids or shard names into
+// the family name) explode Prometheus cardinality one family at a
+// time, break the METRICS.md inventory, and defeat the router's
+// fleet-wide merge, which sums families by name. Identity belongs in
+// label values — which may vary — never in the family name or the
+// label keys.
+//
+// The nil-receiver rule keeps the disabled path disabled: every method
+// on *Telemetry must begin with a nil-receiver guard, because every
+// instrumented call site relies on `tel.X()` being a cheap no-op when
+// telemetry is off. One method that forgets the guard turns "tracing
+// disabled" into a nil-pointer panic on the hot path.
+package obsvnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"phasetune/internal/lint/analysis"
+)
+
+// Name is the analyzer's registry and //lint:allow identifier.
+const Name = "obsvnames"
+
+// Analyzer flags:
+//
+//   - a non-constant metric name passed to Registry.Counter / Gauge /
+//     GaugeFunc / Histogram (anything the compiler cannot fold to a
+//     string constant: fmt.Sprintf, concatenation with a variable, a
+//     parameter);
+//   - a non-constant label KEY in a composite Labels literal at those
+//     call sites (label values may vary — that is what labels are for);
+//   - a method on a type named Telemetry whose body does not begin
+//     with the nil-receiver guard `if t == nil { return ... }`.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "require static metric family names and label keys at Registry call sites, and a nil-receiver guard opening every Telemetry method",
+	Run:  run,
+}
+
+// registryMethods are the family-registering entry points, keyed by
+// method name with the index of the labels argument (-1: none).
+var registryMethods = map[string]int{
+	"Counter":   2,
+	"Gauge":     2,
+	"GaugeFunc": 2,
+	"Histogram": 3,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pass.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		labelsArg, ok := registryMethods[sel.Sel.Name]
+		if !ok || !isRegistryMethod(pass.TypesInfo, sel) {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		if !isConstString(pass.TypesInfo, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric family name passed to Registry.%s is not a compile-time constant: dynamic names explode cardinality and break the fleet metrics merge — put identity in a label value instead", sel.Sel.Name)
+		}
+		if labelsArg < 0 || labelsArg >= len(call.Args) {
+			return
+		}
+		lit, ok := ast.Unparen(call.Args[labelsArg]).(*ast.CompositeLit)
+		if !ok {
+			return // nil or a prebuilt variable; keys were checked where built
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if !isConstString(pass.TypesInfo, kv.Key) {
+				pass.Reportf(kv.Key.Pos(),
+					"label key in Registry.%s call is not a compile-time constant: the label schema is part of the family's identity and must be static", sel.Sel.Name)
+			}
+		}
+	})
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if !isTelemetryRecv(pass.TypesInfo, fd.Recv.List[0].Type) {
+				continue
+			}
+			recv := recvName(fd.Recv.List[0])
+			if recv == "" || recv == "_" {
+				continue // an unnamed receiver cannot be dereferenced
+			}
+			if !startsWithNilGuard(fd.Body, recv) {
+				pass.Reportf(fd.Pos(),
+					"method (*Telemetry).%s does not begin with a nil-receiver guard (`if %s == nil { return ... }`): every Telemetry method must be a no-op when telemetry is disabled", fd.Name.Name, recv)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isRegistryMethod reports whether sel resolves to a method whose
+// receiver's base type is named Registry. Matching by type name (not
+// package path) lets the fixture suite declare its own Registry.
+func isRegistryMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return baseTypeName(sig.Recv().Type()) == "Registry"
+}
+
+// isTelemetryRecv reports whether the receiver type expression names a
+// type called Telemetry (through any pointers).
+func isTelemetryRecv(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return baseTypeName(tv.Type) == "Telemetry"
+}
+
+// baseTypeName unwraps pointers and returns the named type's name, or
+// "".
+func baseTypeName(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+// isConstString reports whether the checker folded e to a string
+// constant (literal, named constant, or concatenation thereof).
+func isConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.String
+}
+
+// recvName returns the receiver's identifier, "" when anonymous.
+func recvName(f *ast.Field) string {
+	if len(f.Names) == 0 {
+		return ""
+	}
+	return f.Names[0].Name
+}
+
+// startsWithNilGuard reports whether the first statement of body is
+// `if <recv> == nil { ... }` with a body that returns.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "==" {
+		return false
+	}
+	if !isIdent(cond.X, recv) && !isIdent(cond.Y, recv) {
+		return false
+	}
+	if !isIdent(cond.X, "nil") && !isIdent(cond.Y, "nil") {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, ok = ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}

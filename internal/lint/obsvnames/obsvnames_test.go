@@ -1,0 +1,12 @@
+package obsvnames_test
+
+import (
+	"testing"
+
+	"phasetune/internal/lint/linttest"
+	"phasetune/internal/lint/obsvnames"
+)
+
+func TestObsvnames(t *testing.T) {
+	linttest.Run(t, obsvnames.Analyzer, "testdata/src/obsvnames")
+}

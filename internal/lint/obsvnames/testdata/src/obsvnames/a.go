@@ -1,0 +1,76 @@
+// Package obsvnames is the fixture suite for the obsvnames analyzer:
+// a miniature Registry/Telemetry pair with compliant and violating
+// call sites and methods.
+package obsvnames
+
+import "fmt"
+
+// Labels mirrors obsv.Labels.
+type Labels map[string]string
+
+// Counter is a stub instrument.
+type Counter struct{}
+
+// Registry mirrors obsv.Registry's registration surface; the analyzer
+// matches by receiver type name, so this fixture stands in for the
+// real one.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels Labels) *Counter       { return nil }
+func (r *Registry) Gauge(name, help string, labels Labels) *Counter         { return nil }
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func())   {}
+func (r *Registry) Histogram(name, help string, b []float64, labels Labels) {}
+
+const famPrefix = "phasetune_"
+
+func registrations(r *Registry, shard string, n int) {
+	// Compliant: literals, named constants, constant concatenation;
+	// identity varies in the label VALUE only.
+	r.Counter("phasetune_requests_total", "requests", nil)
+	r.Counter(famPrefix+"proxied_total", "proxied", Labels{"shard": shard})
+	r.Histogram("phasetune_latency_seconds", "latency", nil, Labels{"op": "step"})
+
+	// Violations: the family name or a label key is built at run time.
+	r.Counter(fmt.Sprintf("phasetune_%s_total", shard), "per-shard family", nil) // want `metric family name passed to Registry\.Counter is not a compile-time constant`
+	r.Gauge("phasetune_lag_"+shard, "lag", nil)                                  // want `metric family name passed to Registry\.Gauge is not a compile-time constant`
+	r.Histogram(dynamicName(n), "latency", nil, nil)                             // want `metric family name passed to Registry\.Histogram is not a compile-time constant`
+	r.Counter("phasetune_ops_total", "ops", Labels{shard: "1"})                  // want `label key in Registry\.Counter call is not a compile-time constant`
+}
+
+func dynamicName(n int) string { return fmt.Sprintf("phasetune_bucket_%d", n) }
+
+// Telemetry mirrors obsv.Telemetry: every method must open with the
+// nil-receiver guard.
+type Telemetry struct {
+	steps int
+}
+
+// Step is compliant.
+func (t *Telemetry) Step() {
+	if t == nil {
+		return
+	}
+	t.steps++
+}
+
+// Value is compliant: guard with a valued return.
+func (t *Telemetry) Value() int {
+	if nil == t {
+		return 0
+	}
+	return t.steps
+}
+
+// Reset forgets the guard.
+func (t *Telemetry) Reset() { // want `method \(\*Telemetry\)\.Reset does not begin with a nil-receiver guard`
+	t.steps = 0
+}
+
+// LateGuard guards too late: the first statement already dereferences.
+func (t *Telemetry) LateGuard() int { // want `method \(\*Telemetry\)\.LateGuard does not begin with a nil-receiver guard`
+	n := t.steps
+	if t == nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package obsv
+
+import (
+	"encoding/json"
+
+	"phasetune/internal/trace"
+)
+
+// FleetSlice is one process's contribution to a stitched fleet trace:
+// the events its recorder holds for the trace (still in local pid/tid
+// numbering, as served by GET /v1/trace), the recorder's clock base,
+// and a process label for the stitched lanes.
+type FleetSlice struct {
+	// Proc labels the process ("router", a shard name). Lane metadata
+	// and the pid remap key off it.
+	Proc string
+	// Base is the process recorder's construction clock reading in
+	// nanoseconds (TraceRecorder.Base); timestamps in Events are
+	// microseconds since it.
+	Base int64
+	// Events is the process's slice of the trace.
+	Events []trace.ChromeEvent
+}
+
+// fleetPIDStride separates processes in a stitched trace: process k
+// keeps its local pid numbering inside [k*stride, (k+1)*stride). Local
+// pids are the service pid plus the sim-eval pids above simPIDBase,
+// far below the stride.
+const fleetPIDStride = 1000
+
+// StitchFleetTrace merges per-process slices of one fleet trace into a
+// single Chrome trace-event document:
+//
+//   - each process's events keep their relative order but move to a
+//     dedicated pid range (process k counts from k*1000), with a
+//     process_name metadata event per lane so the viewer shows one
+//     named track group per process;
+//   - timestamps re-base onto the earliest recorder base, so lanes
+//     recorded by different processes share one wall-clock axis (the
+//     stitcher does not correct clock skew between machines; on one
+//     host the bases come from the same clock);
+//   - the cross-process span links the span layer records in event
+//     args ("span"/"parent" ids) become flow events — "s" at the
+//     parent span, "f" at the child — so the viewer draws arrows
+//     across process lanes. Same-process links stay implicit: parent
+//     and child already share a track.
+//
+// Slices without events are skipped. otherData is attached to the
+// document verbatim.
+func StitchFleetTrace(slices []FleetSlice, otherData map[string]any) ([]byte, error) {
+	var base int64
+	first := true
+	for _, sl := range slices {
+		if len(sl.Events) == 0 {
+			continue
+		}
+		if first || sl.Base < base {
+			base, first = sl.Base, false
+		}
+	}
+	var out []trace.ChromeEvent
+	bySpan := map[string]trace.ChromeEvent{}
+	proc := 0
+	for _, sl := range slices {
+		if len(sl.Events) == 0 {
+			continue
+		}
+		proc++
+		pidBase := proc * fleetPIDStride
+		offset := float64(sl.Base-base) / 1e3
+		named := map[int]bool{} // lanes that brought their own process_name
+		pids := map[int]bool{}
+		for _, ev := range sl.Events {
+			ev.PID += pidBase
+			pids[ev.PID] = true
+			if ev.Ph == "M" {
+				if ev.Name == "process_name" {
+					named[ev.PID] = true
+					if n, ok := ev.Args["name"].(string); ok {
+						// Fresh map: the recorder's stored events share
+						// their args by reference.
+						ev.Args = map[string]any{"name": sl.Proc + ": " + n}
+					}
+				}
+			} else {
+				ev.TS += offset
+			}
+			if id, ok := ev.Args["span"].(string); ok {
+				bySpan[id] = ev
+			}
+			out = append(out, ev)
+		}
+		for pid := range pids {
+			if named[pid] {
+				continue
+			}
+			out = append(out, trace.ChromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				PID:  pid,
+				Args: map[string]any{"name": sl.Proc},
+			})
+		}
+	}
+	var flows []trace.ChromeEvent
+	for _, ev := range out {
+		parent, _ := ev.Args["parent"].(string)
+		child, _ := ev.Args["span"].(string)
+		if parent == "" || child == "" {
+			continue
+		}
+		pev, ok := bySpan[parent]
+		if !ok || pev.PID == ev.PID {
+			continue
+		}
+		flows = append(flows,
+			trace.ChromeEvent{Name: "link", Cat: "fleet", Ph: "s",
+				TS: pev.TS, PID: pev.PID, TID: pev.TID, ID: child},
+			trace.ChromeEvent{Name: "link", Cat: "fleet", Ph: "f", BP: "e",
+				TS: ev.TS, PID: ev.PID, TID: ev.TID, ID: child})
+	}
+	out = append(out, flows...)
+	sortChromeEvents(out)
+	doc := chromeDoc{TraceEvents: out, DisplayTimeUnit: "ms", OtherData: otherData}
+	return json.MarshalIndent(doc, "", " ")
+}

@@ -1,0 +1,186 @@
+package obsv
+
+import (
+	"encoding/json"
+	"testing"
+
+	"phasetune/internal/obsv/obsvtest"
+	"phasetune/internal/trace"
+)
+
+// TestParseTraceContext pins the wire format: 16 lowercase hex chars,
+// a dash, 16 more. Anything else is "untraced", never an error.
+func TestParseTraceContext(t *testing.T) {
+	tc, ok := ParseTraceContext(" cafef00dcafef00d-00000000000000a1 ")
+	if !ok || tc.TraceID != "cafef00dcafef00d" || tc.SpanID != "00000000000000a1" {
+		t.Fatalf("ParseTraceContext = %+v, %v", tc, ok)
+	}
+	if got := tc.Header(); got != "cafef00dcafef00d-00000000000000a1" {
+		t.Fatalf("Header() = %q", got)
+	}
+	for _, bad := range []string{
+		"",
+		"cafef00dcafef00d",                   // no span id
+		"CAFEF00DCAFEF00D-00000000000000a1",  // uppercase
+		"cafef00dcafef00-00000000000000a1",   // 15 chars
+		"cafef00dcafef00d-00000000000000a1x", // 17 chars
+		"cafef00dcafef00g-00000000000000a1",  // non-hex
+	} {
+		if tc, ok := ParseTraceContext(bad); ok {
+			t.Fatalf("ParseTraceContext(%q) accepted: %+v", bad, tc)
+		}
+	}
+	if (TraceContext{TraceID: "cafef00dcafef00d"}).Header() != "" {
+		t.Fatal("half-valid context rendered a header")
+	}
+}
+
+// TestStitchFleetTrace hand-builds two process slices with a
+// cross-process span link and differing recorder bases, and checks the
+// stitcher's three jobs: pid-lane separation with process_name
+// metadata, timestamp re-basing onto the earliest base, and flow
+// events drawn for cross-process parent/child links only.
+func TestStitchFleetTrace(t *testing.T) {
+	router := FleetSlice{
+		Proc: "router",
+		Base: 1_000_000, // 1ms later than the worker's base
+		Events: []trace.ChromeEvent{
+			{Name: "POST step", Cat: "http", Ph: "X", TS: 10, Dur: 500, PID: 1, TID: 1,
+				Args: map[string]any{"trace": "feedfacefeedface", "span": "aaaaaaaaaaaaaaaa"}},
+			{Name: "proxy w0", Cat: "proxy", Ph: "X", TS: 20, Dur: 400, PID: 1, TID: 1,
+				Args: map[string]any{"span": "bbbbbbbbbbbbbbbb", "parent": "aaaaaaaaaaaaaaaa"}},
+			// A same-process child: must NOT produce a flow pair.
+			{Name: "pick", Cat: "route", Ph: "X", TS: 12, Dur: 2, PID: 1, TID: 1,
+				Args: map[string]any{"span": "dddddddddddddddd", "parent": "aaaaaaaaaaaaaaaa"}},
+		},
+	}
+	worker := FleetSlice{
+		Proc: "w0",
+		Base: 0,
+		Events: []trace.ChromeEvent{
+			{Name: "process_name", Ph: "M", PID: 1,
+				Args: map[string]any{"name": "engine"}},
+			{Name: "POST step", Cat: "http", Ph: "X", TS: 1030, Dur: 300, PID: 1, TID: 1,
+				Args: map[string]any{"trace": "feedfacefeedface", "span": "cccccccccccccccc", "parent": "bbbbbbbbbbbbbbbb"}},
+		},
+	}
+	empty := FleetSlice{Proc: "idle"} // no events: skipped, no lane
+	data, err := StitchFleetTrace([]FleetSlice{router, worker, empty}, map[string]any{"trace": "feedfacefeedface"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if procs, err := obsvtest.ValidateFleetTrace(data, 2); err != nil {
+		t.Fatalf("stitched trace fails its own validator: %v", err)
+	} else if procs != 2 {
+		t.Fatalf("validator saw %d processes, want 2 (empty slice must not count)", procs)
+	}
+
+	var doc struct {
+		TraceEvents []trace.ChromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	bySpan := func(span string) (trace.ChromeEvent, bool) {
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" && ev.Args["span"] == span {
+				return ev, true
+			}
+		}
+		return trace.ChromeEvent{}, false
+	}
+
+	// Lane separation: slices land on stride-separated pid ranges, and
+	// each lane carries a process_name. The worker's own metadata event
+	// is prefixed with the slice label rather than duplicated.
+	rootEv, ok := bySpan("bbbbbbbbbbbbbbbb")
+	if !ok {
+		t.Fatal("router's proxy span missing from stitched trace")
+	}
+	childEv, ok := bySpan("cccccccccccccccc")
+	if !ok {
+		t.Fatal("worker's root span missing from stitched trace")
+	}
+	if rootEv.PID/fleetPIDStride == childEv.PID/fleetPIDStride {
+		t.Fatalf("processes share a pid lane: router pid %d, worker pid %d", rootEv.PID, childEv.PID)
+	}
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				names = append(names, n)
+			}
+		}
+	}
+	wantNames := map[string]bool{"router": false, "w0: engine": false}
+	for _, n := range names {
+		if _, ok := wantNames[n]; ok {
+			wantNames[n] = true
+		}
+	}
+	for n, seen := range wantNames {
+		if !seen {
+			t.Fatalf("stitched trace lacks process lane %q (have %v)", n, names)
+		}
+	}
+
+	// Re-basing: the worker's base is the earliest, so its timestamps
+	// are unchanged and the router's are shifted by the 1ms base delta.
+	if childEv.TS != 1030 {
+		t.Fatalf("earliest-base slice was shifted: worker span at %v, want 1030", childEv.TS)
+	}
+	if rootEv.TS != 20+1000 {
+		t.Fatalf("router span at %v, want 1020 (TS 20 + 1000us base offset)", rootEv.TS)
+	}
+
+	// Flow events: exactly one s/f pair, binding the cross-process link
+	// by the child span id, anchored on the two sides' lanes. The
+	// same-process parent/child pair must not add one.
+	var starts, finishes []trace.ChromeEvent
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			starts = append(starts, ev)
+		case "f":
+			finishes = append(finishes, ev)
+		}
+	}
+	if len(starts) != 1 || len(finishes) != 1 {
+		t.Fatalf("flow events: %d starts, %d finishes, want 1 each", len(starts), len(finishes))
+	}
+	s, f := starts[0], finishes[0]
+	if s.ID != "cccccccccccccccc" || f.ID != s.ID {
+		t.Fatalf("flow pair bound to %q/%q, want the child span id", s.ID, f.ID)
+	}
+	if s.PID != rootEv.PID || f.PID != childEv.PID {
+		t.Fatalf("flow anchored on pids %d->%d, want %d->%d", s.PID, f.PID, rootEv.PID, childEv.PID)
+	}
+	if f.BP != "e" {
+		t.Fatalf("flow finish bp = %q, want \"e\" (bind to enclosing slice)", f.BP)
+	}
+}
+
+// TestDisabledTracingZeroAlloc: with telemetry off every tracing hook
+// sees a nil recorder or nil span context, and the entire disabled
+// path — opening a request root, minting a hop link, rendering the
+// header, closing both — must not allocate.
+func TestDisabledTracingZeroAlloc(t *testing.T) {
+	var r *TraceRecorder
+	var sc *SpanCtx
+	allocs := testing.AllocsPerRun(1000, func() {
+		root, endReq := r.StartRequestLink("s1", "POST step", TraceContext{})
+		tc, end := root.SpanLink("repl", "replica.ship")
+		if h := tc.Header(); h != "" {
+			t.Fatal("disabled hop produced a header")
+		}
+		if sc.TraceContext().Header() != "" {
+			t.Fatal("nil span context produced a header")
+		}
+		end(nil)
+		endReq()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %v times per request", allocs)
+	}
+}

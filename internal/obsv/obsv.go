@@ -17,6 +17,8 @@
 // instrumented code pays one pointer check when telemetry is disabled.
 package obsv
 
+import "phasetune/internal/obsv/events"
+
 // Telemetry bundles the registry, the trace recorder and the injected
 // clock, plus the pre-registered instruments the engine and harness
 // record into. Construct it with NewTelemetry (or
@@ -28,19 +30,29 @@ type Telemetry struct {
 	Trace *TraceRecorder
 	now   func() int64
 
+	// Events is the process's structured event log (session lifecycle,
+	// replication state changes, fencing). It is nil unless the
+	// service layer attaches one — a nil log is a no-op, like every
+	// other disabled instrument.
+	Events *events.Log
+
 	// Engine instruments.
 	PoolWait            *Histogram // seconds waiting for a pool slot
 	EvalLatency         *Histogram // seconds running one DES evaluation
 	CacheHits           *Counter
 	CacheMisses         *Counter
-	CacheShares         *Counter // hits served by an in-flight singleflight
-	PeerHits            *Counter // local misses answered by a shard peer's cache
-	PeerMisses          *Counter // peer lookups that found nothing (computed locally)
-	PeerShares          *Counter // completed values served to shard peers via /v1/cache/peek
+	CacheShares         *Counter   // hits served by an in-flight singleflight
+	PeerHits            *Counter   // local misses answered by a shard peer's cache
+	PeerMisses          *Counter   // peer lookups that found nothing (computed locally)
+	PeerShares          *Counter   // completed values served to shard peers via /v1/cache/peek
 	JournalAppend       *Histogram // seconds per fsync'd journal append
 	SnapshotRotations   *Counter
 	RecoverySessions    *Counter
 	RecoveryReplayedOps *Counter
+
+	// Replication instruments.
+	ReplicaAckLatency *Histogram // seconds per synchronous replica ship round-trip
+	ReplicaResync     *Histogram // seconds per full-history replica resync
 
 	// Harness instruments.
 	IterMakespan *Histogram // simulated seconds per tuning iteration
@@ -86,6 +98,11 @@ func NewTelemetry(nowNanos func() int64) *Telemetry {
 		RecoveryReplayedOps: reg.Counter("phasetune_recovery_replayed_ops_total",
 			"journaled operations replayed during recovery", nil),
 
+		ReplicaAckLatency: reg.Histogram("phasetune_replica_ack_seconds",
+			"wall-clock seconds per synchronous replica journal ship, send to follower ack", DurationBuckets, nil),
+		ReplicaResync: reg.Histogram("phasetune_replica_resync_seconds",
+			"wall-clock seconds per full-history replica resync after a gap or rewire", DurationBuckets, nil),
+
 		IterMakespan: reg.Histogram("phasetune_harness_iteration_makespan_seconds",
 			"simulated seconds per online-tuning iteration (includes retries)", MakespanBuckets, nil),
 		Regret: reg.Gauge("phasetune_harness_regret_seconds",
@@ -108,4 +125,26 @@ func (t *Telemetry) Seconds(startNanos int64) float64 {
 		return 0
 	}
 	return float64(t.now()-startNanos) / 1e9
+}
+
+// ReplicaLag returns the per-session replication-lag gauge: journaled
+// operations the session's follower has not yet acknowledged (zero
+// while synced, growing while the follower is unreachable and the
+// session runs in degraded single-copy mode). Nil on a nil receiver.
+func (t *Telemetry) ReplicaLag(session string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	return t.Reg.Gauge("phasetune_replica_lag_ops",
+		"journaled operations not yet acknowledged by the session's replication follower",
+		Labels{"session": session})
+}
+
+// Emit records one structured event on the attached event log (a
+// no-op when the telemetry bundle or its log is nil).
+func (t *Telemetry) Emit(typ, session, trace string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Events.Emit(typ, session, trace, fields)
 }

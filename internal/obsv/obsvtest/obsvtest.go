@@ -295,35 +295,33 @@ func checkHistogram(fam *Family) error {
 
 // chromeEvent mirrors the trace-event fields the validator needs.
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id"`
+	Args map[string]any `json:"args"`
 }
 
 // ValidateChromeTrace checks that data is valid Chrome trace-event
 // JSON — either the object form {"traceEvents": [...]} or a bare
 // array — with known phase types, non-negative durations on complete
-// events, matched B/E pairs per (pid, tid), and non-decreasing
-// timestamps among non-metadata events. Returns the event count.
+// events, matched B/E pairs per (pid, tid), flow events ("s"/"t"/"f")
+// carrying binding ids with every flow id both started and finished,
+// and non-decreasing timestamps among non-metadata events. Returns the
+// event count.
 func ValidateChromeTrace(data []byte) (int, error) {
-	var doc struct {
-		TraceEvents []chromeEvent `json:"traceEvents"`
-	}
-	var events []chromeEvent
-	if err := json.Unmarshal(data, &doc); err == nil && doc.TraceEvents != nil {
-		events = doc.TraceEvents
-	} else if err := json.Unmarshal(data, &events); err != nil {
-		return 0, fmt.Errorf("not trace-event JSON: %w", err)
-	}
-	if len(events) == 0 {
-		return 0, fmt.Errorf("empty trace")
+	events, err := decodeChromeEvents(data)
+	if err != nil {
+		return 0, err
 	}
 	type track struct{ pid, tid int }
 	open := map[track]int{}
 	lastTS := map[track]float64{}
+	flowStart := map[string]int{}
+	flowFinish := map[string]int{}
 	for i, ev := range events {
 		tr := track{ev.PID, ev.TID}
 		switch ev.Ph {
@@ -340,6 +338,15 @@ func ValidateChromeTrace(data []byte) (int, error) {
 			if open[tr] < 0 {
 				return 0, fmt.Errorf("event %d (%s): E without matching B on pid=%d tid=%d", i, ev.Name, ev.PID, ev.TID)
 			}
+		case "s", "t", "f":
+			if ev.ID == "" {
+				return 0, fmt.Errorf("event %d (%s): flow %q without binding id", i, ev.Name, ev.Ph)
+			}
+			if ev.Ph == "s" {
+				flowStart[ev.ID]++
+			} else if ev.Ph == "f" {
+				flowFinish[ev.ID]++
+			}
 		default:
 			return 0, fmt.Errorf("event %d (%s): unsupported phase %q", i, ev.Name, ev.Ph)
 		}
@@ -353,5 +360,72 @@ func ValidateChromeTrace(data []byte) (int, error) {
 			return 0, fmt.Errorf("pid=%d tid=%d: %d unclosed B events", tr.pid, tr.tid, n)
 		}
 	}
+	for id := range flowStart {
+		if flowFinish[id] == 0 {
+			return 0, fmt.Errorf("flow %s: started but never finished", id)
+		}
+	}
+	for id := range flowFinish {
+		if flowStart[id] == 0 {
+			return 0, fmt.Errorf("flow %s: finished but never started", id)
+		}
+	}
 	return len(events), nil
+}
+
+func decodeChromeEvents(data []byte) ([]chromeEvent, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal(data, &doc); err == nil && doc.TraceEvents != nil {
+		events = doc.TraceEvents
+	} else if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("not trace-event JSON: %w", err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	return events, nil
+}
+
+// ValidateFleetTrace checks a stitched fleet trace: a valid Chrome
+// trace whose spans come from at least minProcs distinct process lanes
+// (the stitcher places process k at pid range [k*1000, (k+1)*1000)),
+// all linked by a single fleet trace id, with at least one
+// cross-process flow link. Returns the number of distinct processes
+// contributing spans.
+func ValidateFleetTrace(data []byte, minProcs int) (int, error) {
+	if _, err := ValidateChromeTrace(data); err != nil {
+		return 0, err
+	}
+	events, err := decodeChromeEvents(data)
+	if err != nil {
+		return 0, err
+	}
+	procs := map[int]bool{}
+	traceIDs := map[string]bool{}
+	flows := 0
+	for _, ev := range events {
+		if ev.Ph == "M" {
+			continue
+		}
+		procs[ev.PID/1000] = true
+		if ev.Ph == "s" {
+			flows++
+		}
+		if id, ok := ev.Args["trace"].(string); ok {
+			traceIDs[id] = true
+		}
+	}
+	if len(traceIDs) != 1 {
+		return 0, fmt.Errorf("fleet trace carries %d trace ids, want exactly 1", len(traceIDs))
+	}
+	if flows == 0 {
+		return 0, fmt.Errorf("fleet trace has no cross-process flow links")
+	}
+	if len(procs) < minProcs {
+		return 0, fmt.Errorf("fleet trace spans %d processes, want >= %d", len(procs), minProcs)
+	}
+	return len(procs), nil
 }

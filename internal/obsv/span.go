@@ -31,6 +31,17 @@ type TraceRecorder struct {
 	mu       sync.Mutex
 	maxPer   int
 	sessions map[string]*sessionTrace
+	idSeq    uint64
+	traces   map[string][]*traceRef
+}
+
+// traceRef locates the slice of one session trace that belongs to a
+// fleet trace id: the wall-clock request track plus any sim-time eval
+// processes spawned under it.
+type traceRef struct {
+	session string
+	tid     int
+	simPIDs []int
 }
 
 type sessionTrace struct {
@@ -51,7 +62,41 @@ func NewTraceRecorder(nowNanos func() int64) *TraceRecorder {
 		base:     nowNanos(),
 		maxPer:   defaultMaxEvents,
 		sessions: map[string]*sessionTrace{},
+		traces:   map[string][]*traceRef{},
 	}
+}
+
+// mintID returns a fresh 16-hex-char identifier. Ids mix the
+// recorder's construction clock reading with a sequence counter
+// through splitmix64, so concurrent processes (whose wall clocks
+// differ at nanosecond granularity) mint disjoint ids without any
+// coordination. Callers must hold r.mu.
+func (r *TraceRecorder) mintID() string {
+	r.idSeq++
+	x := uint64(r.base)*0x9e3779b97f4a7c15 + r.idSeq
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+// Base returns the recorder's construction clock reading in
+// nanoseconds — the zero point of every exported timestamp. The fleet
+// stitcher offsets each process's events by its base so lanes recorded
+// by different processes share one time axis. Zero on a nil recorder.
+func (r *TraceRecorder) Base() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.base
 }
 
 func (r *TraceRecorder) session(id string) *sessionTrace {
@@ -86,8 +131,17 @@ func (r *TraceRecorder) micros(nanos int64) float64 {
 // against a session, on a fresh thread track, and returns the span
 // context to thread through the request plus the func that closes the
 // root span. On a nil recorder both returns are safe no-ops (the
-// SpanCtx is nil).
+// SpanCtx is nil). The request starts a fresh fleet trace; use
+// StartRequestLink to join one arriving in an X-Phasetune-Trace header.
 func (r *TraceRecorder) StartRequest(session, name string) (*SpanCtx, func()) {
+	return r.StartRequestLink(session, name, TraceContext{})
+}
+
+// StartRequestLink is StartRequest for a request carrying an inbound
+// trace context: the new root span joins link's trace id and records
+// link's span id as its cross-process parent. An invalid link mints a
+// fresh trace id, making this process the first hop.
+func (r *TraceRecorder) StartRequestLink(session, name string, link TraceContext) (*SpanCtx, func()) {
 	if r == nil {
 		return nil, func() {}
 	}
@@ -95,18 +149,70 @@ func (r *TraceRecorder) StartRequest(session, name string) (*SpanCtx, func()) {
 	st := r.session(session)
 	tid := st.nextTID
 	st.nextTID++
+	traceID, parent := link.TraceID, link.SpanID
+	if !link.Valid() {
+		traceID, parent = r.mintID(), ""
+	}
+	spanID := r.mintID()
+	ref := &traceRef{session: session, tid: tid}
+	r.traces[traceID] = append(r.traces[traceID], ref)
 	r.mu.Unlock()
-	sc := &SpanCtx{rec: r, session: session, tid: tid}
+	sc := &SpanCtx{rec: r, session: session, tid: tid, traceID: traceID, spanID: spanID, ref: ref}
 	end := sc.Span("http", name)
-	return sc, func() { end(nil) }
+	args := map[string]any{"trace": traceID, "span": spanID}
+	if parent != "" {
+		args["parent"] = parent
+	}
+	return sc, func() { end(args) }
 }
 
 // SpanCtx identifies one request's wall-clock track within a session
-// trace. A nil *SpanCtx is a valid no-op.
+// trace, plus the request's position in its fleet trace. A nil
+// *SpanCtx is a valid no-op.
 type SpanCtx struct {
 	rec     *TraceRecorder
 	session string
 	tid     int
+	traceID string
+	spanID  string
+	ref     *traceRef
+}
+
+// TraceContext returns the identifiers an outgoing hop should send in
+// its X-Phasetune-Trace header when the hop itself needs no dedicated
+// span (the receiver's root span links directly to this request's root
+// span). The zero value is returned on a nil context.
+func (sc *SpanCtx) TraceContext() TraceContext {
+	if sc == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: sc.traceID, SpanID: sc.spanID}
+}
+
+// SpanLink opens a wall-clock span for one outgoing cross-process hop
+// (a replica ship, a peer peek, a proxy attempt) and returns the trace
+// context to send in the hop's X-Phasetune-Trace header: the hop gets
+// its own child span id, which the receiving process records as its
+// root span's parent. The returned end func closes the span; the hop's
+// span/parent ids are merged into its args. On a nil context the
+// returned TraceContext is the zero value (callers emit no header) and
+// the end func is the shared no-op.
+func (sc *SpanCtx) SpanLink(cat, name string) (TraceContext, func(args map[string]any)) {
+	if sc == nil {
+		return TraceContext{}, noopEnd
+	}
+	sc.rec.mu.Lock()
+	child := sc.rec.mintID()
+	sc.rec.mu.Unlock()
+	end := sc.Span(cat, name)
+	return TraceContext{TraceID: sc.traceID, SpanID: child}, func(args map[string]any) {
+		if args == nil {
+			args = make(map[string]any, 2)
+		}
+		args["span"] = child
+		args["parent"] = sc.spanID
+		end(args)
+	}
 }
 
 // Tracing reports whether spans recorded through this context are kept.
@@ -154,6 +260,9 @@ func (sc *SpanCtx) SimEval(name string, spans []trace.Span) {
 	st := sc.rec.session(sc.session)
 	pid := simPIDBase + st.nextPID
 	st.nextPID++
+	if sc.ref != nil {
+		sc.ref.simPIDs = append(sc.ref.simPIDs, pid)
+	}
 	sc.rec.mu.Unlock()
 	evs := make([]trace.ChromeEvent, 0, len(spans)+4)
 	evs = append(evs, trace.ChromeEvent{
@@ -212,6 +321,30 @@ func (r *TraceRecorder) Export(session string) ([]byte, bool) {
 	}
 	// Metadata events first, then events in timestamp order; stable
 	// secondary keys keep the export deterministic.
+	sortChromeEvents(evs)
+	doc := chromeDoc{
+		TraceEvents: append([]trace.ChromeEvent{{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  servicePID,
+			Args: map[string]any{"name": "phasetune service (wall clock)"},
+		}}, evs...),
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"session": session},
+	}
+	if dropped > 0 {
+		doc.OtherData["droppedEvents"] = dropped
+	}
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// sortChromeEvents orders events metadata-first, then by (ts, pid,
+// tid, name) with a stable sort, the deterministic export order.
+func sortChromeEvents(evs []trace.ChromeEvent) {
 	sort.SliceStable(evs, func(i, j int) bool {
 		im, jm := evs[i].Ph == "M", evs[j].Ph == "M"
 		if im != jm {
@@ -231,24 +364,64 @@ func (r *TraceRecorder) Export(session string) ([]byte, bool) {
 		}
 		return evs[i].Name < evs[j].Name
 	})
-	doc := chromeDoc{
-		TraceEvents: append([]trace.ChromeEvent{{
-			Name: "process_name",
-			Ph:   "M",
-			PID:  servicePID,
-			Args: map[string]any{"name": "phasetune service (wall clock)"},
-		}}, evs...),
-		DisplayTimeUnit: "ms",
-		OtherData:       map[string]any{"session": session},
-	}
-	if dropped > 0 {
-		doc.OtherData["droppedEvents"] = dropped
-	}
-	out, err := json.MarshalIndent(doc, "", " ")
-	if err != nil {
+}
+
+// TraceEvents returns this process's slice of one fleet trace: every
+// event recorded on a request track that joined traceID (wall-clock
+// spans plus the sim-time eval processes spawned under them), in the
+// deterministic export order. ok is false when the trace id is
+// unknown to this recorder. The events still carry this process's
+// local pid/tid numbering — the fleet stitcher remaps lanes.
+func (r *TraceRecorder) TraceEvents(traceID string) ([]trace.ChromeEvent, bool) {
+	if r == nil {
 		return nil, false
 	}
-	return out, true
+	r.mu.Lock()
+	refs := r.traces[traceID]
+	var evs []trace.ChromeEvent
+	for _, ref := range refs {
+		st, found := r.sessions[ref.session]
+		if !found {
+			continue
+		}
+		pids := make(map[int]bool, len(ref.simPIDs))
+		for _, p := range ref.simPIDs {
+			pids[p] = true
+		}
+		for _, ev := range st.events {
+			if (ev.PID == servicePID && ev.TID == ref.tid) || pids[ev.PID] {
+				evs = append(evs, ev)
+			}
+		}
+	}
+	r.mu.Unlock()
+	if len(refs) == 0 {
+		return nil, false
+	}
+	sortChromeEvents(evs)
+	return evs, true
+}
+
+// SessionEvents returns every event recorded for one session in the
+// deterministic export order — the per-session counterpart of
+// TraceEvents for fleet stitching. ok is false when the session has no
+// recorded events.
+func (r *TraceRecorder) SessionEvents(session string) ([]trace.ChromeEvent, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	st, found := r.sessions[session]
+	var evs []trace.ChromeEvent
+	if found {
+		evs = append(evs, st.events...)
+	}
+	r.mu.Unlock()
+	if !found {
+		return nil, false
+	}
+	sortChromeEvents(evs)
+	return evs, true
 }
 
 // Sessions lists the session ids with recorded events, sorted.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"phasetune/internal/engine"
+	"phasetune/internal/obsv"
 )
 
 // PeerSet answers a worker's evaluation-cache misses from its peers.
@@ -94,7 +95,11 @@ func (p *PeerSet) Lookup(ctx context.Context, key engine.CacheKey) (float64, boo
 	return 0, false
 }
 
-// probe asks one peer; every failure mode is a miss.
+// probe asks one peer; every failure mode is a miss. A traced request
+// (a SpanCtx in ctx) wraps the probe in a hop span and ships its child
+// span id in the X-Phasetune-Trace header so the peer's peek appears
+// in the fleet trace; untraced requests pay one pointer check and
+// send no header.
 func (p *PeerSet) probe(ctx context.Context, base string, key engine.CacheKey) (float64, bool) {
 	u := fmt.Sprintf("%s/v1/cache/peek?fp=%s&epoch=%d&action=%d",
 		base, url.QueryEscape(key.Fingerprint), key.Epoch, key.Action)
@@ -102,7 +107,17 @@ func (p *PeerSet) probe(ctx context.Context, base string, key engine.CacheKey) (
 	if err != nil {
 		return 0, false
 	}
+	sc := obsv.FromContext(ctx)
+	tc, endHop := sc.SpanLink("peer", "peer.peek")
+	if h := tc.Header(); h != "" {
+		req.Header.Set(obsv.TraceHeader, h)
+	}
 	resp, err := p.client.Do(req)
+	if sc != nil {
+		defer func() { endHop(map[string]any{"peer": base, "ok": err == nil}) }()
+	} else {
+		defer endHop(nil)
+	}
 	if err != nil {
 		return 0, false
 	}

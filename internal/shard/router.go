@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"phasetune/internal/obsv"
+	"phasetune/internal/obsv/events"
+	"phasetune/internal/trace"
 )
 
 // Shard names one worker process. Name is the routing identity (hashed
@@ -55,6 +57,22 @@ type Options struct {
 	// no overall timeout: proxied evaluations and ndjson streams run as
 	// long as the worker allows.
 	Client *http.Client
+	// Trace, when set, records the router's own request spans and makes
+	// the router a trace first hop: a proxied request without an inbound
+	// X-Phasetune-Trace header gets a fleet trace minted here, and every
+	// proxy hop ships a child span id so the shard's root span links
+	// back to the router's. GET /v1/fleet/trace stitches the fleet's
+	// slices into one document. Nil disables router tracing; inbound
+	// headers still pass through to the shards untouched.
+	Trace *obsv.TraceRecorder
+	// Events, when set, records the router's structured events — shard
+	// down/up transitions and supervisor promotions — into the
+	// fleet-merged GET /v1/events view. Nil records nothing (the view
+	// still merges the shards' logs).
+	Events *events.Log
+	// Now is the nanosecond clock behind takeover timing. Nil selects
+	// the wall clock; tests inject a fake.
+	Now func() int64
 }
 
 // shardState is one shard's mutable runtime state. The ring owns the
@@ -64,6 +82,9 @@ type shardState struct {
 	addr   atomic.Value // string
 	up     atomic.Bool
 	reason atomic.Value // string; why the shard is down
+	// downSince is the clock reading when the shard was last observed
+	// going down (0 while up). Promotions measure takeover time from it.
+	downSince atomic.Int64
 }
 
 func (st *shardState) addrStr() string   { return st.addr.Load().(string) }
@@ -77,7 +98,10 @@ func (st *shardState) view() Shard { return Shard{Name: st.name, Addr: st.addrSt
 // so the create lands on the shard that will own every later request.
 // Sweeps hash their Idempotency-Key so a retry replays on the shard
 // holding the committed result. /metrics aggregates the fleet with a
-// shard label; /readyz is ready only when every shard is.
+// shard label plus fleet-summed phasetune_fleet_* families; /readyz is
+// ready only when every shard is. GET /v1/fleet/trace stitches one
+// fleet trace from every process's slice, and GET /v1/events merges
+// the fleet's structured event logs into one causal order.
 //
 // The router holds no tuning state: killing it loses nothing, and two
 // routers over the same fleet route identically (the ring is a pure
@@ -99,6 +123,11 @@ type Router struct {
 	errors     *obsv.Counter
 	failover   *obsv.Counter
 	promotions *obsv.Counter
+	takeover   *obsv.Histogram
+
+	tracer *obsv.TraceRecorder // nil: router tracing disabled
+	events *events.Log         // nil: router events disabled
+	now    func() int64
 
 	// sess is the supervisor's session registry: which shard serves
 	// each router-created session right now, and the last generation
@@ -152,6 +181,10 @@ func New(opts Options) (*Router, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	now := opts.Now
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() } //lint:allow determinism wall-clock default for takeover timing; deterministic tests inject Now
+	}
 
 	baseCtx, cancel := context.WithCancel(context.Background())
 	rt := &Router{
@@ -167,6 +200,9 @@ func New(opts Options) (*Router, error) {
 		interval:  opts.HealthInterval,
 		baseCtx:   baseCtx,
 		cancel:    cancel,
+		tracer:    opts.Trace,
+		events:    opts.Events,
+		now:       now,
 	}
 	for _, s := range opts.Shards {
 		st := &shardState{name: s.Name}
@@ -185,6 +221,9 @@ func New(opts Options) (*Router, error) {
 		"shard address repoints via /admin/shards", nil)
 	rt.promotions = rt.reg.Counter("phasetune_router_promotions_total",
 		"sessions auto-promoted onto their replication follower", nil)
+	rt.takeover = rt.reg.Histogram("phasetune_takeover_seconds",
+		"time from a shard being observed down to each of its sessions being promoted onto its follower",
+		obsv.DurationBuckets, nil)
 	rt.routes()
 
 	go func() {
@@ -267,19 +306,40 @@ func (rt *Router) CheckNow() {
 func (rt *Router) checkOne(ctx context.Context, st *shardState) {
 	resp, err := rt.get(ctx, st.addrStr()+"/readyz")
 	if err != nil {
-		st.up.Store(false)
-		st.reason.Store("readyz: " + err.Error())
+		rt.markDown(st, "readyz: "+err.Error())
 		return
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		st.up.Store(false)
-		st.reason.Store(fmt.Sprintf("readyz: status %d", resp.StatusCode))
+		rt.markDown(st, fmt.Sprintf("readyz: status %d", resp.StatusCode))
 		return
 	}
-	st.up.Store(true)
+	rt.markUp(st)
+}
+
+// markDown records a shard going down. The event and the takeover
+// clock fire on the up→down transition only — repeated failed probes
+// keep the original downSince, so takeover time measures from the
+// first observation of the outage.
+func (rt *Router) markDown(st *shardState, reason string) {
+	was := st.up.Swap(false)
+	st.reason.Store(reason)
+	if was {
+		st.downSince.Store(rt.now())
+		rt.events.Emit("shard.down", "", "",
+			map[string]any{"shard": st.name, "reason": reason})
+	}
+}
+
+// markUp records a shard (back) up; the event fires on the transition.
+func (rt *Router) markUp(st *shardState) {
+	was := st.up.Swap(true)
 	st.reason.Store("")
+	st.downSince.Store(0)
+	if !was {
+		rt.events.Emit("shard.up", "", "", map[string]any{"shard": st.name})
+	}
 }
 
 // get issues one context-bound probe through the short-timeout client.
@@ -367,14 +427,24 @@ func (rt *Router) SuperviseNow(ctx context.Context) {
 		}
 	}
 	rt.sessMu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].id < jobs[j].id })
+	// The batch is a trace root of its own — no request caused it — so
+	// every promote hop and each follower's replay shows up as one
+	// fleet trace per supervision pass.
+	sc, endBatch := rt.tracer.StartRequest("supervisor", "supervise")
+	defer endBatch()
+	rt.events.Emit("supervisor.batch", "", sc.TraceContext().TraceID,
+		map[string]any{"sessions": len(jobs)})
 	workers := 2 * len(rt.ring.Names())
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
-			rt.promoteSession(ctx, j.id, j.owner, j.gen)
+			rt.promoteSession(ctx, sc, j.id, j.owner, j.gen)
 		}
 		return
 	}
@@ -385,7 +455,7 @@ func (rt *Router) SuperviseNow(ctx context.Context) {
 		go func() {
 			defer wg.Done()
 			for j := range queue {
-				rt.promoteSession(ctx, j.id, j.owner, j.gen)
+				rt.promoteSession(ctx, sc, j.id, j.owner, j.gen)
 			}
 		}()
 	}
@@ -402,7 +472,14 @@ func (rt *Router) SuperviseNow(ctx context.Context) {
 // client retries land on the promoted shard on their next attempt —
 // and the deposed owner's generation is fenced out by the promoted
 // engine itself (see the engine's replica store).
-func (rt *Router) promoteSession(ctx context.Context, id, owner string, gen uint64) {
+func (rt *Router) promoteSession(ctx context.Context, sc *obsv.SpanCtx, id, owner string, gen uint64) {
+	promoted := false
+	tc, endHop := sc.SpanLink("supervisor", "promote")
+	if sc != nil {
+		defer func() { endHop(map[string]any{"session": id, "from": owner, "ok": promoted}) }()
+	} else {
+		defer endHop(nil)
+	}
 	chain := rt.ring.LookupN(id, len(rt.ring.Names()))
 	var target *shardState
 	for _, name := range chain {
@@ -427,6 +504,9 @@ func (rt *Router) promoteSession(ctx context.Context, id, owner string, gen uint
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if h := tc.Header(); h != "" {
+		req.Header.Set(obsv.TraceHeader, h)
+	}
 	resp, err := rt.probe.Do(req)
 	if err != nil {
 		rt.errors.Inc()
@@ -454,6 +534,12 @@ func (rt *Router) promoteSession(ctx context.Context, id, owner string, gen uint
 	}
 	rt.sessMu.Unlock()
 	rt.promotions.Inc()
+	promoted = true
+	if since := rt.shards[owner].downSince.Load(); since > 0 {
+		rt.takeover.Observe(float64(rt.now()-since) / 1e9)
+	}
+	rt.events.Emit("supervisor.promoted", id, tc.TraceID,
+		map[string]any{"from": owner, "to": target.name, "gen": pr.Gen})
 }
 
 // Jittered Retry-After, same policy and bounds as the worker: spread
@@ -522,20 +608,41 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, st *shardState) 
 	copyHeaders(out.Header, r.Header)
 	out.ContentLength = r.ContentLength
 
+	// A tracing router is the fleet trace's first hop when the client
+	// sent no context (it minted none, or is not trace-aware); either
+	// way the forwarded request carries a fresh child span id so the
+	// shard's root span links back to this proxy span.
+	var endHop func(map[string]any)
+	if rt.tracer != nil {
+		link, _ := obsv.ParseTraceContext(r.Header.Get(obsv.TraceHeader))
+		sc, endReq := rt.tracer.StartRequestLink("router", r.Method+" "+r.URL.Path, link)
+		defer endReq()
+		var tc obsv.TraceContext
+		tc, endHop = sc.SpanLink("proxy", "proxy "+st.name)
+		out.Header.Set(obsv.TraceHeader, tc.Header())
+	}
+
 	resp, err := rt.client.Do(out)
 	if err != nil {
 		// The shard was marked up but is not answering: record the
 		// failure so routing stops sending work there before the next
 		// health tick, and hand the client a retryable 502.
-		st.up.Store(false)
-		st.reason.Store("proxy: " + err.Error())
+		rt.markDown(st, "proxy: "+err.Error())
 		rt.errors.Inc()
+		if endHop != nil {
+			endHop(map[string]any{"shard": st.name, "ok": false})
+		}
 		rt.errJSON(w, http.StatusBadGateway,
 			fmt.Errorf("shard %s unreachable: %v", st.name, err))
 		return
 	}
 	defer resp.Body.Close()
 	rt.proxied(st.name).Inc()
+	if endHop != nil {
+		// Deferred so the span covers the full streamed response, not
+		// just the response headers.
+		defer endHop(map[string]any{"shard": st.name, "status": resp.StatusCode})
+	}
 
 	copyHeaders(w.Header(), resp.Header)
 	w.Header().Set("X-Phasetune-Shard", st.name)
@@ -637,6 +744,20 @@ func (rt *Router) routes() {
 
 	rt.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		rt.serveMetrics(r.Context(), w)
+	})
+
+	// One fleet trace, stitched: the router's own slice plus every
+	// shard's GET /v1/trace slice, remapped onto per-process pid lanes
+	// and joined by flow arrows. ?trace= selects a fleet trace id,
+	// ?session= every span of one session across the fleet.
+	rt.mux.HandleFunc("GET /v1/fleet/trace", func(w http.ResponseWriter, r *http.Request) {
+		rt.serveFleetTrace(w, r)
+	})
+
+	// The fleet event log: every process's structured events (the
+	// router's own under shard="router") merged into one causal order.
+	rt.mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		rt.serveFleetEvents(r.Context(), w)
 	})
 
 	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -760,17 +881,125 @@ func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// serveFleetTrace stitches one fleet trace (?trace=) or one session's
+// spans (?session=) from every process's slice. A shard that answers
+// 404 simply did not participate in the trace; a shard that cannot be
+// reached is skipped the same way — the stitched view is best-effort
+// by design, and the trace id makes a later retry cheap.
+func (rt *Router) serveFleetTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	traceID, session := q.Get("trace"), q.Get("session")
+	if traceID == "" && session == "" {
+		rt.errJSON(w, http.StatusBadRequest, fmt.Errorf("need a trace or session parameter"))
+		return
+	}
+	var slices []obsv.FleetSlice
+	if rt.tracer != nil {
+		var (
+			evs []trace.ChromeEvent
+			ok  bool
+		)
+		if traceID != "" {
+			evs, ok = rt.tracer.TraceEvents(traceID)
+		} else {
+			evs, ok = rt.tracer.SessionEvents(session)
+		}
+		if ok {
+			slices = append(slices, obsv.FleetSlice{
+				Proc: "router", Base: rt.tracer.Base(), Events: evs,
+			})
+		}
+	}
+	param := "?trace=" + traceID
+	if traceID == "" {
+		param = "?session=" + session
+	}
+	for _, st := range rt.sortedStates() {
+		resp, err := rt.get(r.Context(), st.addrStr()+"/v1/trace"+param)
+		if err != nil {
+			rt.errors.Inc()
+			continue
+		}
+		var body struct {
+			Events []trace.ChromeEvent `json:"events"`
+			Base   int64               `json:"base"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		code := resp.StatusCode
+		_ = resp.Body.Close()
+		if code != http.StatusOK || err != nil {
+			continue
+		}
+		slices = append(slices, obsv.FleetSlice{Proc: st.name, Base: body.Base, Events: body.Events})
+	}
+	if len(slices) == 0 {
+		rt.errJSON(w, http.StatusNotFound,
+			fmt.Errorf("no fleet member holds spans for trace %q session %q", traceID, session))
+		return
+	}
+	key := map[string]any{"trace": traceID}
+	if traceID == "" {
+		key = map[string]any{"session": session}
+	}
+	data, err := obsv.StitchFleetTrace(slices, key)
+	if err != nil {
+		rt.errJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// serveFleetEvents merges the fleet's structured event logs — the
+// router's own plus every reachable shard's — into one shard-stamped,
+// time-ordered view. Unreachable shards are skipped (their file-backed
+// logs, when configured, survive for later inspection).
+func (rt *Router) serveFleetEvents(ctx context.Context, w http.ResponseWriter) {
+	byShard := map[string][]events.Event{"router": rt.events.Events()}
+	evicted := rt.events.Evicted()
+	for _, st := range rt.sortedStates() {
+		resp, err := rt.get(ctx, st.addrStr()+"/v1/events")
+		if err != nil {
+			rt.errors.Inc()
+			continue
+		}
+		var body struct {
+			Events  []events.Event `json:"events"`
+			Evicted uint64         `json:"evicted"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		code := resp.StatusCode
+		_ = resp.Body.Close()
+		if code != http.StatusOK || err != nil {
+			continue
+		}
+		byShard[st.name] = body.Events
+		evicted += body.Evicted
+	}
+	merged := events.Merge(byShard)
+	if merged == nil {
+		merged = []events.Event{}
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]any{"events": merged, "evicted": evicted})
+}
+
 // prometheusContentType matches the worker's exposition version.
 const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // serveMetrics aggregates the fleet: each shard's Prometheus text is
 // scraped and re-emitted with a shard="<name>" label spliced into
 // every sample (HELP/TYPE lines deduplicated across shards), then the
-// router's own counters follow. One scrape gives fleet-wide totals
-// without a separate aggregation service.
+// router's own counters, then fleet-summed phasetune_fleet_* families
+// (identical-name samples from every shard merged by label set —
+// histogram buckets included, which the shard-labeled view cannot
+// offer a single series for). One scrape gives both the per-shard
+// breakdown and fleet-wide totals without a separate aggregation
+// service.
 func (rt *Router) serveMetrics(ctx context.Context, w http.ResponseWriter) {
 	var buf bytes.Buffer
 	seenMeta := map[string]bool{}
+	agg := newFleetAgg()
 	for _, st := range rt.sortedStates() {
 		resp, err := rt.get(ctx, st.addrStr()+"/metrics")
 		if err != nil {
@@ -778,13 +1007,14 @@ func (rt *Router) serveMetrics(ctx context.Context, w http.ResponseWriter) {
 			fmt.Fprintf(&buf, "# shard %s: scrape failed: %s\n", st.name, err)
 			continue
 		}
-		rewriteMetrics(&buf, resp.Body, st.name, seenMeta)
+		rewriteMetrics(&buf, resp.Body, st.name, seenMeta, agg)
 		_ = resp.Body.Close()
 	}
 	if err := rt.reg.WritePrometheus(&buf); err != nil {
 		rt.errJSON(w, http.StatusInternalServerError, err)
 		return
 	}
+	agg.write(&buf)
 	w.Header().Set("Content-Type", prometheusContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = buf.WriteTo(w)
@@ -792,8 +1022,9 @@ func (rt *Router) serveMetrics(ctx context.Context, w http.ResponseWriter) {
 
 // rewriteMetrics copies one shard's exposition text into buf, tagging
 // every sample line with shard="<name>" and passing HELP/TYPE comments
-// through once per metric across the whole aggregation.
-func rewriteMetrics(buf *bytes.Buffer, r io.Reader, shard string, seenMeta map[string]bool) {
+// through once per metric across the whole aggregation. Samples also
+// feed agg, the fleet-summed view.
+func rewriteMetrics(buf *bytes.Buffer, r io.Reader, shard string, seenMeta map[string]bool, agg *fleetAgg) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -806,6 +1037,9 @@ func rewriteMetrics(buf *bytes.Buffer, r io.Reader, shard string, seenMeta map[s
 			// shard's copy, drop repeats.
 			f := strings.Fields(line)
 			if len(f) >= 3 && (f[1] == "HELP" || f[1] == "TYPE") {
+				if f[1] == "TYPE" {
+					agg.setType(f[2], strings.Join(f[3:], " "))
+				}
 				metaKey := f[1] + " " + f[2]
 				if seenMeta[metaKey] {
 					continue
@@ -815,10 +1049,150 @@ func rewriteMetrics(buf *bytes.Buffer, r io.Reader, shard string, seenMeta map[s
 			buf.WriteString(line)
 			buf.WriteByte('\n')
 		default:
+			agg.add(line)
 			buf.WriteString(injectShardLabel(line, shard))
 			buf.WriteByte('\n')
 		}
 	}
+}
+
+// fleetAgg accumulates fleet-wide sums of the shards' phasetune_*
+// samples as the shard-labeled lines stream through rewriteMetrics,
+// merging identical (name, label-set) samples across shards — the sum
+// is the right merge for counters, additive gauges, and histogram
+// bucket/sum/count triples alike, provided every shard runs the same
+// binary (same bucket bounds).
+type fleetAgg struct {
+	types   map[string]string // family name -> counter | gauge | histogram
+	order   []string          // sample names in first-appearance order
+	samples map[string]*fleetSamples
+}
+
+// fleetSamples is one sample name's accumulated label-set sums.
+type fleetSamples struct {
+	order []string // label signatures in first-appearance order
+	vals  map[string]float64
+}
+
+func newFleetAgg() *fleetAgg {
+	return &fleetAgg{types: map[string]string{}, samples: map[string]*fleetSamples{}}
+}
+
+func (a *fleetAgg) setType(name, typ string) {
+	if a.types[name] == "" {
+		a.types[name] = typ
+	}
+}
+
+// add parses one sample line and accumulates it. Lines outside the
+// phasetune_ namespace (or unparsable ones) are left to the shard-
+// labeled view only.
+func (a *fleetAgg) add(line string) {
+	name, labels, v, ok := parseSample(line)
+	if !ok || !strings.HasPrefix(name, "phasetune_") {
+		return
+	}
+	s := a.samples[name]
+	if s == nil {
+		s = &fleetSamples{vals: map[string]float64{}}
+		a.samples[name] = s
+		a.order = append(a.order, name)
+	}
+	if _, seen := s.vals[labels]; !seen {
+		s.order = append(s.order, labels)
+	}
+	s.vals[labels] += v
+}
+
+// familyOf maps a sample name onto its declared family: histogram
+// samples arrive as <family>_bucket/_sum/_count with the TYPE line on
+// the bare family name.
+func (a *fleetAgg) familyOf(name string) string {
+	if a.types[name] != "" {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && a.types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// write emits the fleet-summed families as phasetune_fleet_*. Sample
+// order follows first appearance, which keeps each family's samples
+// contiguous (the shards emit families whole).
+func (a *fleetAgg) write(buf *bytes.Buffer) {
+	meta := map[string]bool{}
+	for _, name := range a.order {
+		fam := a.familyOf(name)
+		fleetFam := "phasetune_fleet_" + strings.TrimPrefix(fam, "phasetune_")
+		if !meta[fam] {
+			meta[fam] = true
+			typ := a.types[fam]
+			if typ == "" {
+				typ = "untyped"
+			}
+			fmt.Fprintf(buf, "# HELP %s fleet-wide sum across shards of %s\n", fleetFam, fam)
+			fmt.Fprintf(buf, "# TYPE %s %s\n", fleetFam, typ)
+		}
+		fleetName := "phasetune_fleet_" + strings.TrimPrefix(name, "phasetune_")
+		s := a.samples[name]
+		for _, labels := range s.order {
+			buf.WriteString(fleetName)
+			if labels != "" {
+				buf.WriteString("{" + labels + "}")
+			}
+			fmt.Fprintf(buf, " %s\n", strconv.FormatFloat(s.vals[labels], 'g', -1, 64))
+		}
+	}
+}
+
+// parseSample splits one exposition sample line into name, raw label
+// block (without braces), and value. The label scan respects quoted
+// values and backslash escapes, so session ids and error strings in
+// labels cannot derail it.
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		end := -1
+		inQuote := false
+		for j := brace + 1; j < len(line); j++ {
+			switch line[j] {
+			case '\\':
+				if inQuote {
+					j++
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					end = j
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", 0, false
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[end+1:]), 64)
+		if err != nil {
+			return "", "", 0, false
+		}
+		return line[:brace], line[brace+1 : end], v, true
+	}
+	if space < 0 {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[space+1:]), 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	return line[:space], "", v, true
 }
 
 // injectShardLabel splices shard="<name>" into one sample line,

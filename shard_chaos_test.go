@@ -769,6 +769,48 @@ func shardAutoFailoverRound(t *testing.T, serveBin, routerBin string, engineWork
 	if zstatus != http.StatusConflict || !strings.Contains(string(zraw), "fenced") {
 		t.Fatalf("zombie owner's commit: status %d body %s, want 409 fenced", zstatus, zraw)
 	}
+
+	// The fleet event log must tell the whole failover story in causal
+	// order: the router saw the owner die, the supervisor promoted the
+	// session at a bumped generation, and the zombie's stale-generation
+	// ship was fenced by the promoted follower.
+	estatus, _, eraw, err := shardReq(http.MethodGet, rt.base+"/v1/events", "", nil)
+	if err != nil || estatus != http.StatusOK {
+		t.Fatalf("fleet events: status %d, err %v", estatus, err)
+	}
+	var elog struct {
+		Events []struct {
+			Type    string         `json:"type"`
+			Shard   string         `json:"shard"`
+			Session string         `json:"session"`
+			Fields  map[string]any `json:"fields"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(eraw, &elog); err != nil {
+		t.Fatalf("fleet events decode: %v\n%s", err, eraw)
+	}
+	idxDown, idxPromoted, idxFenced := -1, -1, -1
+	for i, ev := range elog.Events {
+		switch {
+		case idxDown < 0 && ev.Type == "shard.down" && ev.Fields["shard"] == victimName:
+			idxDown = i
+		case idxPromoted < 0 && ev.Type == "session.promoted" && ev.Session == ids[0]:
+			if gen, ok := ev.Fields["gen"].(float64); !ok || gen < 2 {
+				t.Fatalf("session.promoted without a bumped generation: %+v", ev)
+			}
+			idxPromoted = i
+		case idxFenced < 0 && ev.Type == "repl.fenced" && ev.Session == ids[0]:
+			idxFenced = i
+		}
+	}
+	if idxDown < 0 || idxPromoted < 0 || idxFenced < 0 {
+		t.Fatalf("causal chain incomplete in fleet events: shard.down@%d session.promoted@%d repl.fenced@%d\n%s",
+			idxDown, idxPromoted, idxFenced, eraw)
+	}
+	if !(idxDown < idxPromoted && idxPromoted < idxFenced) {
+		t.Fatalf("causal chain out of order: shard.down@%d session.promoted@%d repl.fenced@%d",
+			idxDown, idxPromoted, idxFenced)
+	}
 }
 
 // The asymmetric-partition test: the owner keeps serving clients that
